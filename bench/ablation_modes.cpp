@@ -1,0 +1,127 @@
+//===- bench/ablation_modes.cpp - Tangent vs adjoint AD mode --------------===//
+//
+// The paper calls adjoint mode "the enabling technology for the
+// efficient estimation of the impact of all intermediate variables to
+// the final result" (Section 5).  This ablation quantifies that: for a
+// scalar-output kernel with n inputs,
+//
+//  * adjoint (tape) mode yields d[y]/d[x_i] for EVERY input — and every
+//    intermediate — in one forward + one reverse sweep;
+//  * tangent (forward) mode needs one full evaluation per input
+//    direction (n evaluations), and says nothing about intermediates.
+//
+// Both modes are cross-checked for agreement on the input derivatives
+// before timing.  Expected shape: adjoint-mode cost roughly flat in n;
+// tangent-mode cost linear in n; identical derivative enclosures.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/IATangent.h"
+#include "core/IAValue.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+using namespace scorpio;
+
+namespace {
+
+/// A dense n-input scalar kernel with enough arithmetic per input.
+template <typename T> T denseKernel(const std::vector<T> &X) {
+  T Acc = 0.0;
+  for (size_t I = 0; I != X.size(); ++I) {
+    T Term = sin(X[I] * (0.3 + 0.01 * I)) + sqr(X[I]) * 0.05;
+    Acc = Acc + Term * (1.0 + 0.001 * I);
+  }
+  return exp(Acc * 0.01);
+}
+
+Interval inputRange(size_t I) {
+  return Interval(0.1 + 0.01 * static_cast<double>(I % 7),
+                  0.3 + 0.01 * static_cast<double>(I % 7));
+}
+
+/// Adjoint mode: one tape, one reverse sweep, all derivatives.
+std::vector<Interval> adjointDerivatives(size_t N, double &Ms) {
+  Timer T;
+  ActiveTapeScope Scope;
+  std::vector<IAValue> X;
+  X.reserve(N);
+  for (size_t I = 0; I != N; ++I)
+    X.push_back(IAValue::input(inputRange(I)));
+  IAValue Y = denseKernel(X);
+  Scope.tape().clearAdjoints();
+  Scope.tape().seedAdjoint(Y.node(), Interval(1.0));
+  Scope.tape().reverseSweep();
+  std::vector<Interval> D;
+  D.reserve(N);
+  for (const IAValue &Xi : X)
+    D.push_back(Scope.tape().node(Xi.node()).Adjoint);
+  Ms = T.milliseconds();
+  return D;
+}
+
+/// Tangent mode: n seeded evaluations.
+std::vector<Interval> tangentDerivatives(size_t N, double &Ms) {
+  Timer T;
+  std::vector<Interval> D;
+  D.reserve(N);
+  for (size_t Seed = 0; Seed != N; ++Seed) {
+    std::vector<IATangent> X;
+    X.reserve(N);
+    for (size_t I = 0; I != N; ++I)
+      X.push_back(IATangent(inputRange(I),
+                            Interval(I == Seed ? 1.0 : 0.0)));
+    D.push_back(denseKernel(X).tangent());
+  }
+  Ms = T.milliseconds();
+  return D;
+}
+
+} // namespace
+
+int main() {
+  std::cout << "=== Ablation: tangent-linear vs adjoint interval AD "
+               "===\n\n";
+  Table T({"inputs n", "adjoint (ms)", "tangent (ms)",
+           "tangent/adjoint", "max rel. mismatch"});
+  bool Ok = true;
+  double PrevRatio = 0.0;
+  for (size_t N : {8u, 32u, 128u, 512u}) {
+    double AdjMs = 0.0, TanMs = 0.0;
+    const auto DA = adjointDerivatives(N, AdjMs);
+    const auto DT = tangentDerivatives(N, TanMs);
+    // The two modes apply outward rounding in different op orders, so
+    // enclosure widths differ slightly at large n; midpoints must agree
+    // to relative precision and widths within a few percent.
+    double MaxMismatch = 0.0;
+    for (size_t I = 0; I != N; ++I) {
+      const double Scale =
+          std::max({std::fabs(DA[I].mid()), DA[I].width(), 1e-12});
+      MaxMismatch = std::max(
+          MaxMismatch, std::fabs(DA[I].mid() - DT[I].mid()) / Scale);
+      MaxMismatch =
+          std::max(MaxMismatch,
+                   std::fabs(DA[I].width() - DT[I].width()) / Scale);
+    }
+    const double Ratio = TanMs / std::max(AdjMs, 1e-9);
+    T.addRow({std::to_string(N), formatFixed(AdjMs, 3),
+              formatFixed(TanMs, 3), formatFixed(Ratio, 1),
+              formatDouble(MaxMismatch, 2)});
+    Ok = Ok && MaxMismatch < 0.05;
+    PrevRatio = Ratio;
+  }
+  T.print(std::cout);
+  std::cout << "\nAdjoint mode amortizes one sweep over all "
+               "derivatives; tangent mode re-evaluates per input — the\n"
+               "gap grows linearly with n, which is why significance "
+               "analysis is built on the adjoint.\n";
+  Ok = Ok && PrevRatio > 10.0; // at n = 512 the gap must be wide
+  std::cout << "\nshape check (modes agree; adjoint scales better): "
+            << (Ok ? "PASS" : "FAIL") << "\n";
+  return Ok ? 0 : 1;
+}

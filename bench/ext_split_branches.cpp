@@ -1,0 +1,95 @@
+//===- bench/ext_split_branches.cpp - Interval-splitting extension --------===//
+//
+// Demonstrates the paper's Section-2.2 / Section-6 "automatic interval
+// splitting" extension: a kernel whose control flow depends on the
+// interval input (the Sobel-style clip written with an explicit branch)
+// is unanalysable as a single box — the run is reported invalid — but
+// analyseWithSplitting recovers per-variable significances by bisecting
+// around the branch points, covering (almost) the whole input box.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SplitAnalysis.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+
+#include <iostream>
+
+using namespace scorpio;
+
+namespace {
+
+/// A branchy kernel: soft-clip with different gains per region, like the
+/// saturating stages of signal pipelines.
+void softClipKernel(Analysis &A, std::span<const Interval> Box) {
+  IAValue X = A.input("x", Box[0].lower(), Box[0].upper());
+  IAValue G = A.input("g", Box[1].lower(), Box[1].upper());
+  IAValue Scaled = X * G;
+  A.registerIntermediate(Scaled, "scaled");
+  IAValue Y = Scaled < -1.0
+                  ? Scaled * 0.05 - 0.95
+                  : (Scaled > 1.0 ? Scaled * 0.05 + 0.95 : Scaled * 1.0);
+  A.registerOutput(Y, "y");
+}
+
+} // namespace
+
+int main() {
+  std::cout << "=== Extension: automatic interval splitting (paper "
+               "Sections 2.2 / 6) ===\n\n";
+  const std::vector<Interval> Box = {Interval(-2.0, 2.0),
+                                     Interval(0.8, 1.2)};
+
+  // Single-box analysis: must diverge.
+  {
+    Analysis A;
+    softClipKernel(A, Box);
+    const AnalysisResult R = A.analyse();
+    std::cout << "single-box analysis over x in [-2, 2], g in "
+                 "[0.8, 1.2]:\n";
+    R.print(std::cout);
+    std::cout << "\n";
+    if (R.isValid()) {
+      std::cout << "expected divergence did not happen\n";
+      return 1;
+    }
+  }
+
+  // Split analysis recovers.  The branch boundary x*g = +-1 is a curve,
+  // so the splitter needs depth to trace it; abandoned slivers hug the
+  // curve with vanishing volume.
+  SplitOptions SOpts;
+  SOpts.MaxDepth = 16;
+  SOpts.MaxSubdomains = 40000;
+  // Eq. 11's worst-case product w([x]*[g]) is symmetric in the factors
+  // of `scaled = x * g` and cannot rank them; the derivative-magnitude
+  // metric can (see bench/ablation_analysis).
+  SOpts.PerLeaf.SignificanceMetric =
+      AnalysisOptions::Metric::WidthTimesDerivative;
+  Timer T;
+  const SplitResult S = analyseWithSplitting(softClipKernel, Box, SOpts);
+  const double Ms = T.milliseconds();
+
+  Table Out({"quantity", "value"});
+  Out.addRow({"converged leaves", std::to_string(S.NumConverged)});
+  Out.addRow({"abandoned slivers", std::to_string(S.NumAbandoned)});
+  Out.addRow({"covered fraction", formatPercent(S.coveredFraction())});
+  Out.addRow({"S(x)", formatDouble(S.significanceOf("x"), 4)});
+  Out.addRow({"S(g)", formatDouble(S.significanceOf("g"), 4)});
+  Out.addRow({"S_rel(scaled)", formatFixed(S.normalizedOf("scaled"), 3)});
+  Out.addRow({"wall time (ms)", formatFixed(Ms, 2)});
+  Out.print(std::cout);
+
+  // Shape: x spans [-2, 2] while the gain only wiggles by +-0.2, so x
+  // must dominate g; the analysis must cover nearly the whole box.
+  // (The volume-weighted leaf aggregate compresses the x/g gap because
+  // deep leaves shrink x's width but not g's; the ordering is what
+  // matters.)
+  const bool Ok = S.coveredFraction() > 0.98 &&
+                  S.significanceOf("x") > 1.5 * S.significanceOf("g") &&
+                  S.normalizedOf("scaled") > 0.5;
+  std::cout << "\nshape check (recovers from divergence, covers the box, "
+               "sensible ranking): "
+            << (Ok ? "PASS" : "FAIL") << "\n";
+  return Ok ? 0 : 1;
+}

@@ -1,0 +1,137 @@
+//===- bench/micro_infra.cpp - Infrastructure micro-benchmarks ------------===//
+//
+// google-benchmark timings of the analysis infrastructure itself: raw
+// interval arithmetic, the recording overhead of IAValue versus passive
+// evaluation, reverse-sweep throughput, end-to-end analysis cost, and
+// the runtime's scheduling policy.  The paper's key efficiency claim —
+// one analysis run suffices for a whole input range — rests on this
+// machinery being cheap.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/maclaurin/Maclaurin.h"
+#include "core/Analysis.h"
+#include "runtime/TaskRuntime.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace scorpio;
+
+namespace {
+
+void BM_IntervalAdd(benchmark::State &State) {
+  Interval A(1.0, 2.0), B(3.5, 4.5);
+  for (auto _ : State) {
+    Interval C = A + B;
+    benchmark::DoNotOptimize(C);
+  }
+}
+BENCHMARK(BM_IntervalAdd);
+
+void BM_IntervalMul(benchmark::State &State) {
+  Interval A(-1.0, 2.0), B(3.5, 4.5);
+  for (auto _ : State) {
+    Interval C = A * B;
+    benchmark::DoNotOptimize(C);
+  }
+}
+BENCHMARK(BM_IntervalMul);
+
+void BM_IntervalSin(benchmark::State &State) {
+  Interval A(0.3, 1.4);
+  for (auto _ : State) {
+    Interval C = sin(A);
+    benchmark::DoNotOptimize(C);
+  }
+}
+BENCHMARK(BM_IntervalSin);
+
+/// The paper's Listing-1 example on plain doubles: the baseline cost.
+void BM_Listing1Double(benchmark::State &State) {
+  double X = 0.7;
+  for (auto _ : State) {
+    double Y = std::cos(std::exp(std::sin(X) + X) - X);
+    benchmark::DoNotOptimize(Y);
+  }
+}
+BENCHMARK(BM_Listing1Double);
+
+/// Same expression in passive interval mode (no tape).
+void BM_Listing1IntervalPassive(benchmark::State &State) {
+  IAValue X(Interval(0.6, 0.8));
+  for (auto _ : State) {
+    IAValue Y = cos(exp(sin(X) + X) - X);
+    benchmark::DoNotOptimize(Y);
+  }
+}
+BENCHMARK(BM_Listing1IntervalPassive);
+
+/// Same expression with DynDFG recording: the profile-run overhead.
+void BM_Listing1Recording(benchmark::State &State) {
+  for (auto _ : State) {
+    ActiveTapeScope Scope;
+    IAValue X = IAValue::input(Interval(0.6, 0.8));
+    IAValue Y = cos(exp(sin(X) + X) - X);
+    benchmark::DoNotOptimize(Y);
+  }
+}
+BENCHMARK(BM_Listing1Recording);
+
+/// Reverse-sweep throughput over a long recorded chain.
+void BM_ReverseSweep(benchmark::State &State) {
+  const int N = static_cast<int>(State.range(0));
+  ActiveTapeScope Scope;
+  IAValue X = IAValue::input(Interval(0.99, 1.01));
+  IAValue Y = X;
+  for (int I = 0; I < N; ++I)
+    Y = Y * 1.0001 + 0.0001;
+  for (auto _ : State) {
+    Scope.tape().clearAdjoints();
+    Scope.tape().seedAdjoint(Y.node(), Interval(1.0));
+    Scope.tape().reverseSweep();
+    benchmark::DoNotOptimize(Scope.tape().node(X.node()).Adjoint);
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_ReverseSweep)->Arg(1000)->Arg(10000);
+
+/// End-to-end analysis of the Maclaurin running example.
+void BM_AnalyseMaclaurin(benchmark::State &State) {
+  const int N = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    const AnalysisResult R = apps::analyseMaclaurin(0.25, 0.5, N);
+    benchmark::DoNotOptimize(R.outputSignificance());
+  }
+}
+BENCHMARK(BM_AnalyseMaclaurin)->Arg(8)->Arg(64);
+
+/// Scheduling policy cost for large task batches.
+void BM_DecideFates(benchmark::State &State) {
+  const size_t N = static_cast<size_t>(State.range(0));
+  std::vector<double> Sig(N);
+  std::vector<bool> HasApprox(N, true);
+  for (size_t I = 0; I != N; ++I)
+    Sig[I] = static_cast<double>(I % 97) / 97.0;
+  for (auto _ : State) {
+    auto Fates = rt::TaskRuntime::decideFates(Sig, HasApprox, 0.5);
+    benchmark::DoNotOptimize(Fates.data());
+  }
+  State.SetItemsProcessed(State.iterations() * static_cast<int64_t>(N));
+}
+BENCHMARK(BM_DecideFates)->Arg(1024)->Arg(16384);
+
+/// Task spawn + taskwait round trip.
+void BM_SpawnTaskwait(benchmark::State &State) {
+  rt::TaskRuntime RT(2);
+  for (auto _ : State) {
+    for (int I = 0; I < 64; ++I)
+      RT.spawn([] {}, rt::TaskOptions{});
+    RT.taskwaitAll(1.0);
+  }
+  State.SetItemsProcessed(State.iterations() * 64);
+}
+BENCHMARK(BM_SpawnTaskwait);
+
+} // namespace
+
+BENCHMARK_MAIN();

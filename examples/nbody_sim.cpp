@@ -1,0 +1,85 @@
+//===- examples/nbody_sim.cpp - Approximate molecular dynamics ------------===//
+//
+// Lennard-Jones argon simulation with region-based force tasks: nearby
+// regions always compute exact pair forces, far regions may be replaced
+// by their center-of-mass monopole depending on the taskwait ratio.
+// Reports the end-state error versus the fully accurate run and the
+// work performed — the paper's N-Body scenario where even a fully
+// approximate run stays within a tiny relative error.
+//
+// Usage:  ./examples/nbody_sim [ratio] [particlesPerDim] [steps]
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/nbody/NBody.h"
+#include "energy/Energy.h"
+#include "quality/Metrics.h"
+#include "support/Table.h"
+
+#include <cstdlib>
+#include <iostream>
+
+using namespace scorpio;
+using namespace scorpio::apps;
+
+int main(int Argc, char **Argv) {
+  NBodyParams P;
+  const double Ratio = Argc > 1 ? std::atof(Argv[1]) : 0.0;
+  if (Argc > 2)
+    P.ParticlesPerDim = std::atoi(Argv[2]);
+  if (Argc > 3)
+    P.Steps = std::atoi(Argv[3]);
+  if (Ratio < 0.0 || Ratio > 1.0 || P.ParticlesPerDim < 2 ||
+      P.Steps < 1) {
+    std::cerr << "usage: nbody_sim [ratio 0..1] [particlesPerDim >= 2] "
+                 "[steps >= 1]\n";
+    return 1;
+  }
+
+  std::cout << "Lennard-Jones MD: " << P.numParticles() << " atoms, "
+            << P.Steps << " steps, " << P.numCells()
+            << " regions, ratio " << Ratio << "\n\n";
+
+  // The analysis behind the region significances.
+  std::cout << "significance of a source atom vs distance (analysis):\n";
+  for (const auto &[D, S] :
+       analyseNBodyDistanceSignificance({1.2, 2.0, 4.0, 8.0}))
+    std::cout << "  r = " << formatFixed(D, 1)
+              << " sigma  ->  S = " << formatDouble(S, 3) << "\n";
+  std::cout << "=> region tasks get significance 1.0 up to the 26 "
+               "neighbour cells, decaying beyond.\n\n";
+
+  // Fully accurate reference trajectory.
+  NBodyState Ref = nbodyInit(P);
+  EnergyProbe RefProbe;
+  {
+    rt::TaskRuntime RT;
+    nbodyTasks(RT, Ref, P, 1.0);
+  }
+  const EnergyReport RefEnergy = RefProbe.report();
+
+  // Approximate trajectory.
+  NBodyState St = nbodyInit(P);
+  EnergyProbe Probe;
+  rt::TaskRuntime RT;
+  nbodyTasks(RT, St, P, Ratio);
+  const EnergyReport E = Probe.report();
+
+  Table T({"run", "rel. error (positions+velocities)",
+           "pair-interaction units", "time (s)"});
+  T.addRow({"accurate", "0", formatFixed(RefEnergy.WorkUnits, 0),
+            formatFixed(RefEnergy.Seconds, 3)});
+  T.addRow({"ratio " + formatFixed(Ratio, 2),
+            formatDouble(relativeErrorOf(Ref.flattened(), St.flattened()),
+                         3),
+            formatFixed(E.WorkUnits, 0), formatFixed(E.Seconds, 3)});
+  T.print(std::cout);
+
+  const rt::TaskStats &Stats = RT.totals();
+  std::cout << "\ntask fates: " << Stats.NumAccurate << " accurate, "
+            << Stats.NumApproximate << " monopole-approximated\n"
+            << "work saved: "
+            << formatPercent(1.0 - E.WorkUnits / RefEnergy.WorkUnits)
+            << "\n";
+  return 0;
+}

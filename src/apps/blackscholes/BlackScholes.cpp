@@ -1,0 +1,162 @@
+//===- apps/blackscholes/BlackScholes.cpp - Option pricing benchmark -----===//
+
+#include "apps/blackscholes/BlackScholes.h"
+
+#include "energy/Energy.h"
+#include "fastmath/FastMath.h"
+#include "support/Random.h"
+
+#include <cmath>
+
+using namespace scorpio;
+using namespace scorpio::apps;
+
+namespace {
+
+constexpr double AccurateUnits = 100.0; // per option
+constexpr double ApproxUnits = 40.0;
+
+/// Standard normal CDF via erf, templated for analysis.
+template <typename T> T cndf(const T &X) {
+  using std::erf;
+  static const double InvSqrt2 = 0.70710678118654752440;
+  return 0.5 * (erf(X * InvSqrt2) + 1.0);
+}
+
+} // namespace
+
+std::vector<Option> scorpio::apps::generatePortfolio(size_t N,
+                                                     uint64_t Seed) {
+  Random Rng(Seed);
+  std::vector<Option> Opts;
+  Opts.reserve(N);
+  for (size_t I = 0; I != N; ++I) {
+    Option O;
+    O.S = Rng.uniform(25.0, 175.0);
+    O.K = O.S * Rng.uniform(0.6, 1.4);
+    O.R = Rng.uniform(0.005, 0.10);
+    O.V = Rng.uniform(0.10, 0.65);
+    O.T = Rng.uniform(0.1, 4.0);
+    O.IsCall = Rng.uniform() < 0.5;
+    Opts.push_back(O);
+  }
+  return Opts;
+}
+
+double scorpio::apps::priceOption(const Option &Opt) {
+  const double SqrtT = std::sqrt(Opt.T);                       // block D
+  const double Disc = std::exp(-Opt.R * Opt.T);                // block C
+  const double D1 = (std::log(Opt.S / Opt.K) +
+                     (Opt.R + 0.5 * Opt.V * Opt.V) * Opt.T) /
+                    (Opt.V * SqrtT);                           // block A
+  const double D2 = D1 - Opt.V * SqrtT;
+  const double Nd1 = cndf<double>(D1);                         // block B
+  const double Nd2 = cndf<double>(D2);
+  const double Call = Opt.S * Nd1 - Opt.K * Disc * Nd2;
+  if (Opt.IsCall)
+    return Call;
+  // Put-call parity.
+  return Call - Opt.S + Opt.K * Disc;
+}
+
+double scorpio::apps::priceOptionApprox(const Option &Opt) {
+  using namespace scorpio::fastmath;
+  // Only the analysis-least-significant blocks C and D use the crude
+  // "faster" tier (Section 4.1.5); block B keeps the near-accurate fast
+  // CNDF and block A stays exact.
+  const double SqrtT = sqrtFaster(Opt.T);                      // block D~
+  const double Disc = expFaster(-Opt.R * Opt.T);               // block C~
+  const double D1 = (std::log(Opt.S / Opt.K) +
+                     (Opt.R + 0.5 * Opt.V * Opt.V) * Opt.T) /
+                    (Opt.V * SqrtT);
+  const double D2 = D1 - Opt.V * SqrtT;
+  const double Nd1 = cndfFast(D1);                             // block B
+  const double Nd2 = cndfFast(D2);
+  const double Call = Opt.S * Nd1 - Opt.K * Disc * Nd2;
+  if (Opt.IsCall)
+    return Call;
+  return Call - Opt.S + Opt.K * Disc;
+}
+
+std::vector<double>
+scorpio::apps::blackscholesReference(const std::vector<Option> &Opts) {
+  std::vector<double> Prices(Opts.size());
+  for (size_t I = 0; I != Opts.size(); ++I)
+    Prices[I] = priceOption(Opts[I]);
+  WorkMeter::global().add(AccurateUnits * static_cast<double>(Opts.size()));
+  return Prices;
+}
+
+std::vector<double>
+scorpio::apps::blackscholesTasks(rt::TaskRuntime &RT,
+                                 const std::vector<Option> &Opts,
+                                 double Ratio, size_t ChunkSize) {
+  assert(ChunkSize > 0 && "chunk must hold options");
+  std::vector<double> Prices(Opts.size(), 0.0);
+  for (size_t Begin = 0; Begin < Opts.size(); Begin += ChunkSize) {
+    const size_t End = std::min(Begin + ChunkSize, Opts.size());
+    rt::TaskOptions TOpts;
+    TOpts.Significance = 0.5; // uniform: the ratio knob picks the split
+    TOpts.Label = "blackscholes";
+    TOpts.ApproxFn = [&, Begin, End] {
+      for (size_t I = Begin; I != End; ++I)
+        Prices[I] = priceOptionApprox(Opts[I]);
+      WorkMeter::global().add(ApproxUnits *
+                              static_cast<double>(End - Begin));
+    };
+    RT.spawn(
+        [&, Begin, End] {
+          for (size_t I = Begin; I != End; ++I)
+            Prices[I] = priceOption(Opts[I]);
+          WorkMeter::global().add(AccurateUnits *
+                                  static_cast<double>(End - Begin));
+        },
+        std::move(TOpts));
+  }
+  RT.taskwait("blackscholes", Ratio);
+  return Prices;
+}
+
+BlackScholesBlockSignificance
+scorpio::apps::analyseBlackScholes(const Option &Center, double RelWidth) {
+  assert(RelWidth > 0.0 && RelWidth < 1.0 && "bad relative width");
+  Analysis A;
+  auto In = [&](const char *Name, double V) {
+    return A.input(Name, V * (1.0 - RelWidth), V * (1.0 + RelWidth));
+  };
+  IAValue S = In("spot", Center.S);
+  IAValue K = In("strike", Center.K);
+  IAValue R = In("rate", Center.R);
+  IAValue V = In("vol", Center.V);
+  IAValue T = In("expiry", Center.T);
+
+  IAValue SqrtT = sqrt(T); // block D
+  A.registerIntermediate(SqrtT, "D");
+  IAValue Disc = exp(-R * T); // block C
+  A.registerIntermediate(Disc, "C");
+  IAValue D1 = (log(S / K) + (R + 0.5 * V * V) * T) / (V * SqrtT); // A
+  A.registerIntermediate(D1, "A");
+  IAValue D2 = D1 - V * SqrtT;
+  IAValue Nd1 = cndf<IAValue>(D1); // block B
+  A.registerIntermediate(Nd1, "B");
+  IAValue Nd2 = cndf<IAValue>(D2);
+  A.registerIntermediate(Nd2, "B2");
+  IAValue Price = S * Nd1 - K * Disc * Nd2;
+  A.registerOutput(Price, "price");
+
+  BlackScholesBlockSignificance Sig;
+  AnalysisOptions Opts;
+  Opts.SignificanceMetric =
+      AnalysisOptions::Metric::WidthTimesDerivative;
+  Sig.Result = A.analyse(Opts);
+  auto SigOf = [&](const char *Name) {
+    const VariableSignificance *VS = Sig.Result.find(Name);
+    assert(VS && "block not registered");
+    return VS->Normalized;
+  };
+  Sig.A = SigOf("A");
+  Sig.B = std::max(SigOf("B"), SigOf("B2"));
+  Sig.C = SigOf("C");
+  Sig.D = SigOf("D");
+  return Sig;
+}

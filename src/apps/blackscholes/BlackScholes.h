@@ -1,0 +1,91 @@
+//===- apps/blackscholes/BlackScholes.h - Option pricing benchmark --------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The BlackScholes benchmark of Section 4.1.5 (from PARSEC): pricing a
+/// portfolio of European options with the Black-Scholes closed form,
+///
+///   call = S * N(d1) - K * e^(-rT) * N(d2),
+///   d1 = (log(S/K) + (r + v^2/2) T) / (v sqrt(T)),   d2 = d1 - v sqrt(T).
+///
+/// The significance analysis decomposes the per-option computation into
+/// four blocks — A: the d1/d2 core, B: the two CNDF evaluations, C: the
+/// discount factor e^(-rT), D: sqrt(T) — and finds
+/// sig(A) > sig(B) >> sig(C) > sig(D); accordingly, the approximate task
+/// version replaces only the least-significant C and D (and the CNDF's
+/// inner exp) with crude fast-math variants.
+///
+/// Loop perforation is NOT applicable to this benchmark (no loop inside
+/// a single option's price — paper Section 4.2), which the benchmark
+/// harness reports as such.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_APPS_BLACKSCHOLES_BLACKSCHOLES_H
+#define SCORPIO_APPS_BLACKSCHOLES_BLACKSCHOLES_H
+
+#include "core/Analysis.h"
+#include "runtime/TaskRuntime.h"
+
+#include <vector>
+
+namespace scorpio {
+namespace apps {
+
+/// One European option.
+struct Option {
+  double S;  ///< Spot price.
+  double K;  ///< Strike.
+  double R;  ///< Risk-free rate.
+  double V;  ///< Volatility.
+  double T;  ///< Time to expiry (years).
+  bool IsCall = true;
+};
+
+/// Deterministic synthetic portfolio within PARSEC-like parameter ranges
+/// (substitution for the PARSEC input files; see DESIGN.md).
+std::vector<Option> generatePortfolio(size_t N, uint64_t Seed = 2016);
+
+/// Accurate price (erf-based normal CDF).
+double priceOption(const Option &Opt);
+
+/// Approximate price: blocks C (discount exp) and D (sqrt) and the CNDF
+/// exp use the crude "faster" tier of src/fastmath.
+double priceOptionApprox(const Option &Opt);
+
+/// Prices the whole portfolio accurately (plain loop).
+std::vector<double> blackscholesReference(const std::vector<Option> &Opts);
+
+/// Task version: one task per chunk of options, uniform significance
+/// (the ratio knob directly selects the accurately priced fraction).
+std::vector<double> blackscholesTasks(rt::TaskRuntime &RT,
+                                      const std::vector<Option> &Opts,
+                                      double Ratio, size_t ChunkSize = 256);
+
+/// Block significances of one option's pricing.
+struct BlackScholesBlockSignificance {
+  double A = 0.0; ///< d1/d2 core.
+  double B = 0.0; ///< CNDF evaluations.
+  double C = 0.0; ///< Discount factor.
+  double D = 0.0; ///< sqrt(T).
+  AnalysisResult Result;
+};
+
+/// Analyses one option with every market input ranging over
+/// [v*(1-RelWidth), v*(1+RelWidth)] — the profile-driven data range.
+/// Uses the WidthTimesDerivative significance metric: under the raw
+/// Eq.-11 worst-case product, large point values (the discount factor,
+/// sqrt(T)) absorb adjoint width and mask the ranking — the
+/// overestimation the paper itself cautions about.  Expect
+/// sig(A) > sig(B) >> sig(C), sig(D).
+BlackScholesBlockSignificance
+analyseBlackScholes(const Option &Center, double RelWidth = 0.15);
+
+} // namespace apps
+} // namespace scorpio
+
+#endif // SCORPIO_APPS_BLACKSCHOLES_BLACKSCHOLES_H

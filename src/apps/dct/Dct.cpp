@@ -1,0 +1,327 @@
+//===- apps/dct/Dct.cpp - DCT pipeline benchmark --------------------------===//
+
+#include "apps/dct/Dct.h"
+
+#include "energy/Energy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+using namespace scorpio;
+using namespace scorpio::apps;
+
+namespace {
+
+/// Work-unit charges.
+constexpr double CoefUnits = 64.0;           // one direct DCT coefficient
+constexpr double ReconUnitsPerBlock = 64.0 * 18.0; // quant+dequant+IDCT
+
+/// cos((2i+1) * k * pi / 16) premultiplied by the orthonormal alpha(k).
+struct DctTables {
+  double Basis[8][8]; // Basis[i][k]
+  DctTables() {
+    for (int K = 0; K < 8; ++K) {
+      const double Alpha =
+          K == 0 ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
+      for (int I = 0; I < 8; ++I)
+        Basis[I][K] =
+            Alpha * std::cos((2.0 * I + 1.0) * K * M_PI / 16.0);
+    }
+  }
+};
+
+const DctTables &tables() {
+  static const DctTables T;
+  return T;
+}
+
+/// One forward-DCT coefficient of an 8x8 block (direct 2D form — the
+/// doubly nested loop the paper perforates).
+template <typename T>
+T dctCoefficient(const T Block[64], int U, int V) {
+  const DctTables &Tab = tables();
+  T Sum = 0.0;
+  for (int Y = 0; Y < 8; ++Y)
+    for (int X = 0; X < 8; ++X)
+      Sum = Sum + Block[Y * 8 + X] * (Tab.Basis[X][U] * Tab.Basis[Y][V]);
+  return Sum;
+}
+
+/// Quantize + de-quantize one coefficient with step \p Q.
+template <typename T> T quantDequant(const T &C, double Q) {
+  using std::round;
+  T Quantized = round(C / Q);
+  return Quantized * Q;
+}
+
+/// Separable double-precision IDCT of one block of de-quantized
+/// coefficients (the always-accurate reconstruction stage).
+void idctBlock(const double Coef[64], double Pixels[64]) {
+  const DctTables &Tab = tables();
+  double Tmp[64];
+  for (int Y = 0; Y < 8; ++Y)
+    for (int X = 0; X < 8; ++X) {
+      double S = 0.0;
+      for (int U = 0; U < 8; ++U)
+        S += Coef[Y * 8 + U] * Tab.Basis[X][U];
+      Tmp[Y * 8 + X] = S;
+    }
+  for (int X = 0; X < 8; ++X)
+    for (int Y = 0; Y < 8; ++Y) {
+      double S = 0.0;
+      for (int V = 0; V < 8; ++V)
+        S += Tmp[V * 8 + X] * Tab.Basis[Y][V];
+      Pixels[Y * 8 + X] = S;
+    }
+}
+
+/// Loads one 8x8 block (level-shifted by -128, as in JPEG).
+void loadBlock(const Image &In, int BX, int BY, double Block[64]) {
+  for (int Y = 0; Y < 8; ++Y)
+    for (int X = 0; X < 8; ++X)
+      Block[Y * 8 + X] =
+          static_cast<double>(In.clamped(BX * 8 + X, BY * 8 + Y)) - 128.0;
+}
+
+/// Reconstructs one block from de-quantized coefficients into the image.
+void reconstructBlock(Image &Out, int BX, int BY, const double Coef[64]) {
+  double Pixels[64];
+  idctBlock(Coef, Pixels);
+  for (int Y = 0; Y < 8; ++Y)
+    for (int X = 0; X < 8; ++X) {
+      const int PX = BX * 8 + X, PY = BY * 8 + Y;
+      if (Out.inBounds(PX, PY))
+        Out.at(PX, PY) = clampToByte(Pixels[Y * 8 + X] + 128.0);
+    }
+}
+
+} // namespace
+
+std::array<int, 64> scorpio::apps::jpegQuantTable(int Quality) {
+  assert(Quality >= 1 && Quality <= 100 && "quality out of [1, 100]");
+  // JPEG Annex K.1 luminance table.
+  static const int Base[64] = {
+      16, 11, 10, 16, 24,  40,  51,  61,  12, 12, 14, 19, 26,  58,  60,
+      55, 14, 13, 16, 24,  40,  57,  69,  56, 14, 17, 22, 29,  51,  87,
+      80, 62, 18, 22, 37,  56,  68,  109, 103, 77, 24, 35, 55,  64,  81,
+      104, 113, 92, 49, 64, 78,  87,  103, 121, 120, 101, 72, 92, 95,  98,
+      112, 100, 103, 99};
+  const int Scale = Quality < 50 ? 5000 / Quality : 200 - 2 * Quality;
+  std::array<int, 64> Table;
+  for (int I = 0; I < 64; ++I)
+    Table[static_cast<size_t>(I)] =
+        std::clamp((Base[I] * Scale + 50) / 100, 1, 255);
+  return Table;
+}
+
+const std::array<std::pair<int, int>, 64> &scorpio::apps::zigzagOrder() {
+  static const std::array<std::pair<int, int>, 64> Order = [] {
+    std::array<std::pair<int, int>, 64> O;
+    int I = 0;
+    for (int D = 0; D < 15; ++D) {
+      if (D % 2 == 0) {
+        for (int V = std::min(D, 7); V >= std::max(0, D - 7); --V)
+          O[static_cast<size_t>(I++)] = {D - V, V};
+      } else {
+        for (int U = std::min(D, 7); U >= std::max(0, D - 7); --U)
+          O[static_cast<size_t>(I++)] = {U, D - U};
+      }
+    }
+    return O;
+  }();
+  return Order;
+}
+
+void scorpio::apps::dctBlockTransform(const double Block[64],
+                                      double Coef[64]) {
+  for (int V = 0; V < 8; ++V)
+    for (int U = 0; U < 8; ++U)
+      Coef[V * 8 + U] = dctCoefficient<double>(Block, U, V);
+}
+
+void scorpio::apps::idctBlockTransform(const double Coef[64],
+                                       double Block[64]) {
+  idctBlock(Coef, Block);
+}
+
+Image scorpio::apps::dctReference(const Image &In, int Quality) {
+  const std::array<int, 64> QT = jpegQuantTable(Quality);
+  const int BW = (In.width() + 7) / 8, BH = (In.height() + 7) / 8;
+  Image Out(In.width(), In.height());
+  for (int BY = 0; BY < BH; ++BY)
+    for (int BX = 0; BX < BW; ++BX) {
+      double Block[64], Coef[64];
+      loadBlock(In, BX, BY, Block);
+      for (int V = 0; V < 8; ++V)
+        for (int U = 0; U < 8; ++U)
+          Coef[V * 8 + U] = dctCoefficient<double>(Block, U, V);
+      for (int I = 0; I < 64; ++I)
+        Coef[I] = quantDequant<double>(Coef[I],
+                                       QT[static_cast<size_t>(I % 8 +
+                                                              (I / 8) * 8)]);
+      reconstructBlock(Out, BX, BY, Coef);
+    }
+  WorkMeter::global().add(
+      static_cast<double>(BW) * BH * (64.0 * CoefUnits + ReconUnitsPerBlock));
+  return Out;
+}
+
+Image scorpio::apps::dctTasks(rt::TaskRuntime &RT, const Image &In,
+                              double Ratio, int Quality) {
+  const std::array<int, 64> QT = jpegQuantTable(Quality);
+  const int BW = (In.width() + 7) / 8, BH = (In.height() + 7) / 8;
+  const size_t NumBlocks = static_cast<size_t>(BW) * BH;
+  // Coefficients for every block; dropped diagonals stay zero.
+  std::vector<double> Coef(NumBlocks * 64, 0.0);
+
+  // Stage 1: one task per coefficient anti-diagonal.
+  for (int D = 0; D < 15; ++D) {
+    rt::TaskOptions Opts;
+    Opts.Significance = dctDiagonalSignificance(D);
+    Opts.Label = "dct.coef";
+    RT.spawn(
+        [&, D] {
+          int NumCoef = 0;
+          for (int BY = 0; BY < BH; ++BY)
+            for (int BX = 0; BX < BW; ++BX) {
+              double Block[64];
+              loadBlock(In, BX, BY, Block);
+              double *C =
+                  &Coef[(static_cast<size_t>(BY) * BW + BX) * 64];
+              for (int U = std::max(0, D - 7); U <= std::min(D, 7); ++U) {
+                const int V = D - U;
+                C[V * 8 + U] = dctCoefficient<double>(Block, U, V);
+                ++NumCoef;
+              }
+            }
+          WorkMeter::global().add(CoefUnits * NumCoef);
+        },
+        std::move(Opts));
+  }
+  RT.taskwait("dct.coef", Ratio);
+
+  // Stage 2: quantize/de-quantize/IDCT — always accurate (one task per
+  // block row).
+  Image Out(In.width(), In.height());
+  for (int BY = 0; BY < BH; ++BY) {
+    rt::TaskOptions Opts;
+    Opts.Significance = 1.0;
+    Opts.Label = "dct.recon";
+    RT.spawn(
+        [&, BY] {
+          for (int BX = 0; BX < BW; ++BX) {
+            double C[64];
+            const double *Src =
+                &Coef[(static_cast<size_t>(BY) * BW + BX) * 64];
+            for (int I = 0; I < 64; ++I)
+              C[I] = quantDequant<double>(Src[I],
+                                          QT[static_cast<size_t>(I)]);
+            reconstructBlock(Out, BX, BY, C);
+          }
+          WorkMeter::global().add(ReconUnitsPerBlock * BW);
+        },
+        std::move(Opts));
+  }
+  RT.taskwait("dct.recon", 1.0);
+  return Out;
+}
+
+int scorpio::apps::dctCoefficientsAtRatio(double Ratio) {
+  assert(Ratio >= 0.0 && Ratio <= 1.0 && "ratio out of [0, 1]");
+  const int NumDiagonals =
+      static_cast<int>(std::ceil(Ratio * 15.0 - 1e-9));
+  auto DiagonalSize = [](int D) { return D < 8 ? D + 1 : 15 - D; };
+  int Count = 0;
+  for (int D = 0; D < NumDiagonals; ++D)
+    Count += DiagonalSize(D);
+  if (NumDiagonals == 0)
+    Count = DiagonalSize(0); // the forced-accurate DC diagonal
+  return Count;
+}
+
+Image scorpio::apps::dctPerforated(const Image &In, double Rate,
+                                   int Quality) {
+  assert(Rate >= 0.0 && Rate <= 1.0 && "rate out of [0, 1]");
+  const std::array<int, 64> QT = jpegQuantTable(Quality);
+  const int BW = (In.width() + 7) / 8, BH = (In.height() + 7) / 8;
+  const int NumExecuted =
+      static_cast<int>(std::ceil(Rate * 64.0 - 1e-9));
+  Image Out(In.width(), In.height());
+  for (int BY = 0; BY < BH; ++BY)
+    for (int BX = 0; BX < BW; ++BX) {
+      double Block[64], Coef[64] = {};
+      loadBlock(In, BX, BY, Block);
+      // Perforate the doubly nested coefficient loop: only the first
+      // NumExecuted (u, v) iterations in raster order run.
+      int Iter = 0;
+      for (int V = 0; V < 8 && Iter < NumExecuted; ++V)
+        for (int U = 0; U < 8 && Iter < NumExecuted; ++U, ++Iter)
+          Coef[V * 8 + U] = dctCoefficient<double>(Block, U, V);
+      for (int I = 0; I < 64; ++I)
+        Coef[I] = quantDequant<double>(Coef[I], QT[static_cast<size_t>(I)]);
+      reconstructBlock(Out, BX, BY, Coef);
+      WorkMeter::global().add(CoefUnits * NumExecuted +
+                              ReconUnitsPerBlock);
+    }
+  return Out;
+}
+
+DctSignificanceMap scorpio::apps::analyseDct(const Image &In, int BlockX,
+                                             int BlockY, int Quality,
+                                             double HalfWidth) {
+  const std::array<int, 64> QT = jpegQuantTable(Quality);
+  double Block[64];
+  loadBlock(In, BlockX, BlockY, Block);
+
+  Analysis A;
+  IAValue Pixels[64];
+  for (int I = 0; I < 64; ++I)
+    Pixels[I] = A.input("p" + std::to_string(I), Block[I] - HalfWidth,
+                        Block[I] + HalfWidth);
+
+  IAValue Dequant[64];
+  for (int V = 0; V < 8; ++V)
+    for (int U = 0; U < 8; ++U) {
+      IAValue C = dctCoefficient<IAValue>(Pixels, U, V);
+      // Register the *pre-quantization* coefficient: this is the value a
+      // dropped diagonal task would fail to produce.  Its adjoint flows
+      // back through quantize/de-quantize, whose rounding attenuates or
+      // swallows perturbations per the quantization step Q(u, v).
+      A.registerIntermediate(
+          C, "c_" + std::to_string(U) + "_" + std::to_string(V));
+      Dequant[V * 8 + U] =
+          quantDequant<IAValue>(C, QT[static_cast<size_t>(V * 8 + U)]);
+    }
+
+  // Direct-form IDCT so the whole pipeline is on the tape.
+  const DctTables &Tab = tables();
+  for (int Y = 0; Y < 8; ++Y)
+    for (int X = 0; X < 8; ++X) {
+      IAValue S = 0.0;
+      for (int V = 0; V < 8; ++V)
+        for (int U = 0; U < 8; ++U)
+          S = S + Dequant[V * 8 + U] * (Tab.Basis[X][U] * Tab.Basis[Y][V]);
+      A.registerOutput(S, "out" + std::to_string(Y * 8 + X));
+    }
+
+  AnalysisOptions Opts;
+  Opts.Mode = AnalysisOptions::OutputMode::PerOutput;
+  DctSignificanceMap Map;
+  Map.Result = A.analyse(Opts);
+
+  double MaxSig = 0.0;
+  for (int V = 0; V < 8; ++V)
+    for (int U = 0; U < 8; ++U) {
+      const VariableSignificance *VS = Map.Result.find(
+          "c_" + std::to_string(U) + "_" + std::to_string(V));
+      assert(VS && "coefficient not registered");
+      Map.Sig[V][U] = VS->Significance;
+      MaxSig = std::max(MaxSig, Map.Sig[V][U]);
+    }
+  if (MaxSig > 0.0)
+    for (int V = 0; V < 8; ++V)
+      for (int U = 0; U < 8; ++U)
+        Map.Sig[V][U] /= MaxSig;
+  return Map;
+}

@@ -1,0 +1,103 @@
+//===- apps/dct/Dct.h - DCT video-compression kernel benchmark ------------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The DCT benchmark of Section 4.1.2: the compression core of a video
+/// codec — forward 8x8 DCT, JPEG-style quantization, de-quantization and
+/// inverse DCT — evaluated on full images.  Quality is the PSNR of the
+/// reconstructed image versus the fully accurate reconstruction.
+///
+/// Task structure follows the paper: the coefficient computation is
+/// partitioned into 15 tasks, one per anti-diagonal u + v = d of the 8x8
+/// coefficient block (across all blocks of the image).  Task
+/// significances decrease with d; the DC diagonal is pinned to 1.0.
+/// Approximation drops a diagonal's coefficients (they stay zero).  The
+/// quantize/de-quantize/IDCT stage is a second, always-accurate group.
+///
+/// The significance analysis (Figure 4) runs the *whole* pipeline on one
+/// block with interval inputs and reports the significance of each
+/// de-quantized coefficient for the 64 reconstructed pixels; the JPEG
+/// quantization table is what shapes the zig-zag pattern — coarse
+/// quantization steps swallow input perturbations, zeroing the interval
+/// width of high-frequency coefficients.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_APPS_DCT_DCT_H
+#define SCORPIO_APPS_DCT_DCT_H
+
+#include "core/Analysis.h"
+#include "quality/Image.h"
+#include "runtime/TaskRuntime.h"
+
+#include <array>
+
+namespace scorpio {
+namespace apps {
+
+/// The JPEG Annex-K luminance quantization table scaled to \p Quality
+/// (1-100, 50 = the standard table).
+std::array<int, 64> jpegQuantTable(int Quality);
+
+/// The task significance assigned to diagonal \p D (0-14): 1.0 for the
+/// DC diagonal, then linearly decreasing.
+inline double dctDiagonalSignificance(int D) {
+  return D == 0 ? 1.0 : (15.0 - D) / 16.0;
+}
+
+/// Fully accurate DCT -> quantize -> dequantize -> IDCT pipeline.
+Image dctReference(const Image &In, int Quality = 50);
+
+/// Significance-driven task version; equals dctReference at Ratio == 1.
+Image dctTasks(rt::TaskRuntime &RT, const Image &In, double Ratio,
+               int Quality = 50);
+
+/// Loop-perforated baseline: per block, only the first Rate fraction of
+/// the doubly nested (u, v) coefficient loop executes (raster order) —
+/// paper Section 4.2.
+Image dctPerforated(const Image &In, double Rate, int Quality = 50);
+
+/// Number of coefficients per 8x8 block that dctTasks computes at
+/// taskwait ratio \p Ratio (the ceil(Ratio*15) most significant
+/// diagonals, plus the forced-accurate DC diagonal).  Used to give the
+/// perforation baseline the same computation budget ("the same
+/// percentage of computations is skipped", Section 4.2).
+int dctCoefficientsAtRatio(double Ratio);
+
+/// Figure 4: the 8x8 significance map of the frequency coefficients for
+/// the reconstructed block, normalized so the maximum is 1.  Each entry
+/// is the significance of the coefficient *computation* (the pre-
+/// quantization DCT node — what a dropped diagonal task would not
+/// compute); the downstream quantization attenuates or swallows the
+/// high-frequency entries, producing the zig-zag wave.
+struct DctSignificanceMap {
+  double Sig[8][8] = {};
+  AnalysisResult Result;
+};
+
+/// Analyses the pipeline on the 8x8 block whose top-left pixel is
+/// (BlockX*8, BlockY*8), with each input pixel in [p - HalfWidth,
+/// p + HalfWidth].
+DctSignificanceMap analyseDct(const Image &In, int BlockX, int BlockY,
+                              int Quality = 50, double HalfWidth = 2.0);
+
+/// Forward 8x8 DCT-II of a (level-shifted) block into 64 coefficients —
+/// the orthonormal transform the pipeline uses, exposed for tests and
+/// downstream users (Parseval, invertibility).
+void dctBlockTransform(const double Block[64], double Coef[64]);
+
+/// Inverse 8x8 DCT of 64 coefficients back to pixel values.
+void idctBlockTransform(const double Coef[64], double Block[64]);
+
+/// The JPEG zig-zag scan order: ZigZag[i] = (u, v) of the i-th visited
+/// coefficient.
+const std::array<std::pair<int, int>, 64> &zigzagOrder();
+
+} // namespace apps
+} // namespace scorpio
+
+#endif // SCORPIO_APPS_DCT_DCT_H

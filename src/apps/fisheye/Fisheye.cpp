@@ -1,0 +1,276 @@
+//===- apps/fisheye/Fisheye.cpp - Fisheye correction benchmark -----------===//
+
+#include "apps/fisheye/Fisheye.h"
+
+#include "energy/Energy.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace scorpio;
+using namespace scorpio::apps;
+
+namespace {
+
+/// Work-unit charges per output pixel.
+constexpr double MapUnits = 25.0;       // InverseMapping (tan, sqrt, div)
+constexpr double BicubicUnits = 35.0;   // 16-tap Catmull-Rom
+constexpr double CoordLerpUnits = 6.0;  // interpolated coordinates
+constexpr double BilinearUnits = 10.0;  // 4-tap sample
+
+double accuratePixel(const Image &In, int X, int Y,
+                     const FisheyeParams &P) {
+  double SrcX, SrcY;
+  const double XD = X, YD = Y;
+  inverseMapping<double>(XD, YD, In.width(), In.height(), P, SrcX, SrcY);
+  return bicubicSample(In, SrcX, SrcY);
+}
+
+/// Normalized output radius of pixel (X, Y).
+double normRadius(int X, int Y, int W, int H) {
+  const double Cx = 0.5 * (W - 1), Cy = 0.5 * (H - 1);
+  const double HalfDiag = std::sqrt(Cx * Cx + Cy * Cy);
+  return std::hypot(X - Cx, Y - Cy) / HalfDiag;
+}
+
+} // namespace
+
+void scorpio::apps::forwardMapping(double SrcX, double SrcY, int W,
+                                   int H, const FisheyeParams &P,
+                                   double &OutX, double &OutY) {
+  const double Cx = 0.5 * (W - 1), Cy = 0.5 * (H - 1);
+  const double HalfDiag = std::sqrt(Cx * Cx + Cy * Cy);
+  const double Phi = P.Strength * 1.57079632679489661923;
+  const double TanPhi = std::tan(Phi);
+  const double Nx = (SrcX - Cx) / HalfDiag;
+  const double Ny = (SrcY - Cy) / HalfDiag;
+  const double S = std::hypot(Nx, Ny);
+  if (S < 1e-12) {
+    OutX = Cx;
+    OutY = Cy;
+    return;
+  }
+  // Invert s = tan(r * phi) / tan(phi):  r = atan(s * tan(phi)) / phi.
+  const double R = std::atan(S * TanPhi) / Phi;
+  const double Scale = R / S;
+  OutX = Cx + Nx * Scale * HalfDiag;
+  OutY = Cy + Ny * Scale * HalfDiag;
+}
+
+double scorpio::apps::bicubicSample(const Image &In, double SrcX,
+                                    double SrcY) {
+  const int IX = static_cast<int>(std::floor(SrcX));
+  const int IY = static_cast<int>(std::floor(SrcY));
+  const double Fx = SrcX - IX, Fy = SrcY - IY;
+  const std::array<double, 4> Wx = catmullRomWeights<double>(Fx);
+  const std::array<double, 4> Wy = catmullRomWeights<double>(Fy);
+  double Sum = 0.0;
+  for (int R = 0; R < 4; ++R) {
+    double Row = 0.0;
+    for (int C = 0; C < 4; ++C)
+      Row += Wx[static_cast<size_t>(C)] *
+             In.clamped(IX - 1 + C, IY - 1 + R);
+    Sum += Wy[static_cast<size_t>(R)] * Row;
+  }
+  return std::clamp(Sum, 0.0, 255.0);
+}
+
+double scorpio::apps::bilinearSample(const Image &In, double SrcX,
+                                     double SrcY) {
+  const int IX = static_cast<int>(std::floor(SrcX));
+  const int IY = static_cast<int>(std::floor(SrcY));
+  const double Fx = SrcX - IX, Fy = SrcY - IY;
+  const double Top = (1.0 - Fx) * In.clamped(IX, IY) +
+                     Fx * In.clamped(IX + 1, IY);
+  const double Bot = (1.0 - Fx) * In.clamped(IX, IY + 1) +
+                     Fx * In.clamped(IX + 1, IY + 1);
+  return std::clamp((1.0 - Fy) * Top + Fy * Bot, 0.0, 255.0);
+}
+
+Image scorpio::apps::fisheyeReference(const Image &Distorted,
+                                      const FisheyeParams &P) {
+  const int W = Distorted.width(), H = Distorted.height();
+  Image Out(W, H);
+  for (int Y = 0; Y < H; ++Y)
+    for (int X = 0; X < W; ++X)
+      Out.at(X, Y) = clampToByte(accuratePixel(Distorted, X, Y, P));
+  WorkMeter::global().add((MapUnits + BicubicUnits) * W * H);
+  return Out;
+}
+
+Image scorpio::apps::fisheyeTasks(rt::TaskRuntime &RT,
+                                  const Image &Distorted, double Ratio,
+                                  const FisheyeParams &P, int BlockW,
+                                  int BlockH) {
+  assert(BlockW > 0 && BlockH > 0 && "empty tile");
+  const int W = Distorted.width(), H = Distorted.height();
+  Image Out(W, H);
+  for (int Y0 = 0; Y0 < H; Y0 += BlockH)
+    for (int X0 = 0; X0 < W; X0 += BlockW) {
+      const int X1 = std::min(X0 + BlockW, W);
+      const int Y1 = std::min(Y0 + BlockH, H);
+      // Border tiles are more sensitive to coordinate imprecision
+      // (Figure 5), so they get higher significance.
+      const double MaxR = std::max(
+          std::max(normRadius(X0, Y0, W, H), normRadius(X1 - 1, Y0, W, H)),
+          std::max(normRadius(X0, Y1 - 1, W, H),
+                   normRadius(X1 - 1, Y1 - 1, W, H)));
+      rt::TaskOptions Opts;
+      Opts.Significance = fisheyeTileSignificance(MaxR);
+      Opts.Label = "fisheye";
+      Opts.ApproxFn = [&, X0, X1, Y0, Y1] {
+        // InverseMapping only on a sparse sub-grid (every GridStep
+        // pixels, i.e. on the tile border and a few interior lines);
+        // interior coordinates are bilinearly interpolated and sampling
+        // degrades to bilinear — the paper's InverseMapping-on-the-
+        // border-only approximation plus transitive significance for
+        // BicubicInterp.
+        constexpr int GridStep = 16;
+        const int GW = (X1 - 1 - X0) / GridStep + 2;
+        const int GH = (Y1 - 1 - Y0) / GridStep + 2;
+        std::vector<double> CX(static_cast<size_t>(GW) * GH),
+            CY(static_cast<size_t>(GW) * GH);
+        for (int J = 0; J < GH; ++J)
+          for (int I = 0; I < GW; ++I) {
+            const double XD = std::min(X0 + I * GridStep, X1 - 1);
+            const double YD = std::min(Y0 + J * GridStep, Y1 - 1);
+            inverseMapping<double>(XD, YD, W, H, P,
+                                   CX[static_cast<size_t>(J) * GW + I],
+                                   CY[static_cast<size_t>(J) * GW + I]);
+          }
+        for (int Y = Y0; Y < Y1; ++Y) {
+          const int GJ = std::min((Y - Y0) / GridStep, GH - 2);
+          const double Y0G = Y0 + GJ * GridStep;
+          const double Y1G = std::min(Y0 + (GJ + 1) * GridStep, Y1 - 1);
+          const double Ty =
+              Y1G > Y0G ? (Y - Y0G) / (Y1G - Y0G) : 0.0;
+          for (int X = X0; X < X1; ++X) {
+            const int GI = std::min((X - X0) / GridStep, GW - 2);
+            const double X0G = X0 + GI * GridStep;
+            const double X1G = std::min(X0 + (GI + 1) * GridStep, X1 - 1);
+            const double Tx =
+                X1G > X0G ? (X - X0G) / (X1G - X0G) : 0.0;
+            auto At = [&](int J, int I, const std::vector<double> &V) {
+              return V[static_cast<size_t>(J) * GW + I];
+            };
+            const double SrcX =
+                (1 - Ty) * ((1 - Tx) * At(GJ, GI, CX) +
+                            Tx * At(GJ, GI + 1, CX)) +
+                Ty * ((1 - Tx) * At(GJ + 1, GI, CX) +
+                      Tx * At(GJ + 1, GI + 1, CX));
+            const double SrcY =
+                (1 - Ty) * ((1 - Tx) * At(GJ, GI, CY) +
+                            Tx * At(GJ, GI + 1, CY)) +
+                Ty * ((1 - Tx) * At(GJ + 1, GI, CY) +
+                      Tx * At(GJ + 1, GI + 1, CY));
+            Out.at(X, Y) =
+                clampToByte(bilinearSample(Distorted, SrcX, SrcY));
+          }
+        }
+        WorkMeter::global().add((CoordLerpUnits + BilinearUnits) *
+                                    (X1 - X0) * (Y1 - Y0) +
+                                static_cast<double>(GW) * GH * MapUnits);
+      };
+      RT.spawn(
+          [&, X0, X1, Y0, Y1] {
+            for (int Y = Y0; Y < Y1; ++Y)
+              for (int X = X0; X < X1; ++X)
+                Out.at(X, Y) =
+                    clampToByte(accuratePixel(Distorted, X, Y, P));
+            WorkMeter::global().add((MapUnits + BicubicUnits) *
+                                    (X1 - X0) * (Y1 - Y0));
+          },
+          std::move(Opts));
+    }
+  RT.taskwait("fisheye", Ratio);
+  return Out;
+}
+
+Image scorpio::apps::fisheyePerforated(const Image &Distorted, double Rate,
+                                       const FisheyeParams &P) {
+  assert(Rate >= 0.0 && Rate <= 1.0 && "rate out of [0, 1]");
+  const int W = Distorted.width(), H = Distorted.height();
+  Image Out(W, H);
+  int LastComputed = -1;
+  double Acc = 0.0;
+  for (int Y = 0; Y < H; ++Y) {
+    Acc += Rate;
+    const bool Execute = Acc >= 1.0 - 1e-12 || (Y == 0 && Rate > 0.0);
+    if (Execute)
+      Acc -= 1.0;
+    if (!Execute) {
+      for (int X = 0; X < W; ++X)
+        Out.at(X, Y) = LastComputed >= 0 ? Out.at(X, LastComputed) : 0;
+      continue;
+    }
+    for (int X = 0; X < W; ++X)
+      Out.at(X, Y) = clampToByte(accuratePixel(Distorted, X, Y, P));
+    WorkMeter::global().add((MapUnits + BicubicUnits) * W);
+    LastComputed = Y;
+  }
+  return Out;
+}
+
+std::vector<double> scorpio::apps::analyseInverseMappingGrid(
+    int W, int H, int GridW, int GridH, const FisheyeParams &P) {
+  assert(GridW > 1 && GridH > 1 && "grid too small");
+  std::vector<double> Sig(static_cast<size_t>(GridW) * GridH, 0.0);
+  double MaxSig = 0.0;
+  for (int GY = 0; GY < GridH; ++GY)
+    for (int GX = 0; GX < GridW; ++GX) {
+      const double PX = GX * (W - 1.0) / (GridW - 1.0);
+      const double PY = GY * (H - 1.0) / (GridH - 1.0);
+      Analysis A;
+      IAValue X = A.input("x", PX - 0.5, PX + 0.5);
+      IAValue Y = A.input("y", PY - 0.5, PY + 0.5);
+      IAValue SrcX, SrcY;
+      inverseMapping<IAValue>(X, Y, W, H, P, SrcX, SrcY);
+      A.registerOutput(SrcX, "srcx");
+      A.registerOutput(SrcY, "srcy");
+      const AnalysisResult R = A.analyse();
+      // Per-pixel kernel significance: total output significance — how
+      // strongly the mapped coordinates react to coordinate perturbation.
+      const double S = R.outputSignificance();
+      Sig[static_cast<size_t>(GY) * GridW + GX] = S;
+      MaxSig = std::max(MaxSig, S);
+    }
+  if (MaxSig > 0.0)
+    for (double &S : Sig)
+      S /= MaxSig;
+  return Sig;
+}
+
+std::array<double, 16> scorpio::apps::analyseBicubicWeights(double Fx,
+                                                            double Fy) {
+  assert(Fx >= 0.0 && Fx < 1.0 && Fy >= 0.0 && Fy < 1.0 &&
+         "fractional position out of the unit cell");
+  Analysis A;
+  IAValue Px[16];
+  for (int I = 0; I < 16; ++I)
+    Px[I] = A.input("p" + std::to_string(I), 96.0, 160.0);
+
+  const std::array<double, 4> Wx = catmullRomWeights<double>(Fx);
+  const std::array<double, 4> Wy = catmullRomWeights<double>(Fy);
+  IAValue Sum = 0.0;
+  for (int R = 0; R < 4; ++R) {
+    IAValue Row = 0.0;
+    for (int C = 0; C < 4; ++C)
+      Row = Row + Px[R * 4 + C] * Wx[static_cast<size_t>(C)];
+    Sum = Sum + Row * Wy[static_cast<size_t>(R)];
+  }
+  A.registerOutput(Sum, "interp");
+  const AnalysisResult Res = A.analyse();
+
+  std::array<double, 16> Sig;
+  double MaxSig = 0.0;
+  for (int I = 0; I < 16; ++I) {
+    const VariableSignificance *V = Res.find("p" + std::to_string(I));
+    assert(V && "input not registered");
+    Sig[static_cast<size_t>(I)] = V->Significance;
+    MaxSig = std::max(MaxSig, V->Significance);
+  }
+  if (MaxSig > 0.0)
+    for (double &S : Sig)
+      S /= MaxSig;
+  return Sig;
+}

@@ -1,0 +1,138 @@
+//===- apps/fisheye/Fisheye.h - Fisheye lens correction benchmark ---------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Fisheye benchmark of Section 4.1.3: correcting a fisheye-distorted
+/// image back to perspective space with two kernels:
+///
+///  * InverseMapping — maps integer output (perspective) coordinates to
+///    real-valued coordinates in the distorted input.  We use a
+///    tangent-compression lens model: with r the output radius normalized
+///    by the half-diagonal and phi = Strength * pi/2 the lens angle, the
+///    distorted radius is s = tan(r * phi) / tan(phi).  Its sensitivity
+///    ds/dr grows sharply towards the border, which the significance
+///    analysis recovers (Figure 5: border pixels more significant than
+///    the center).
+///
+///  * BicubicInterp — Catmull-Rom interpolation on a 4x4 window around
+///    the mapped point.  The analysis finds the inner 2x2 pixel pairs
+///    most significant (Figure 6).
+///
+/// The task version processes BlockW x BlockH output tiles.  The task
+/// significance is derived from the analysis pattern (border blocks
+/// higher).  The approximate version evaluates InverseMapping only at
+/// the four tile corners, bilinearly interpolates source coordinates
+/// inside, and samples with bilinear (inner 2x2) interpolation — the
+/// paper's "transitive significance" approximation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_APPS_FISHEYE_FISHEYE_H
+#define SCORPIO_APPS_FISHEYE_FISHEYE_H
+
+#include "core/Analysis.h"
+#include "quality/Image.h"
+#include "runtime/TaskRuntime.h"
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace scorpio {
+namespace apps {
+
+/// Lens model parameters.
+struct FisheyeParams {
+  /// Lens strength in (0, 1): phi = Strength * pi/2.
+  double Strength = 0.85;
+};
+
+/// InverseMapping, templated over double (execution) and IAValue
+/// (analysis).  (X, Y) are output-image coordinates; (SrcX, SrcY) receive
+/// the distorted-image coordinates.
+template <typename T>
+void inverseMapping(const T &X, const T &Y, int W, int H,
+                    const FisheyeParams &P, T &SrcX, T &SrcY) {
+  using std::sqrt;
+  const double Cx = 0.5 * (W - 1), Cy = 0.5 * (H - 1);
+  const double HalfDiag = std::sqrt(Cx * Cx + Cy * Cy);
+  const double Phi = P.Strength * 1.57079632679489661923;
+  const double TanPhi = std::tan(Phi);
+  T Nx = (X - Cx) * (1.0 / HalfDiag);
+  T Ny = (Y - Cy) * (1.0 / HalfDiag);
+  T R = sqrt(Nx * Nx + Ny * Ny);
+  // Scale = tan(R*Phi) / (R*tanPhi) via the dedicated dependency-safe
+  // primitive: tan(R*Phi)/R as two interval ops explodes near the image
+  // center where numerator and denominator are perfectly correlated
+  // (paper Section 2.2: special interval algorithms required).
+  T Scale = tanOverX(R, Phi) * (1.0 / TanPhi);
+  SrcX = Cx + Nx * Scale * HalfDiag;
+  SrcY = Cy + Ny * Scale * HalfDiag;
+}
+
+/// Catmull-Rom weights for fractional position F in [0, 1).
+template <typename T> std::array<T, 4> catmullRomWeights(const T &F) {
+  std::array<T, 4> W;
+  T F2 = F * F;
+  T F3 = F2 * F;
+  W[0] = -0.5 * F3 + F2 - 0.5 * F;
+  W[1] = 1.5 * F3 - 2.5 * F2 + 1.0;
+  W[2] = -1.5 * F3 + 2.0 * F2 + 0.5 * F;
+  W[3] = 0.5 * F3 - 0.5 * F2;
+  return W;
+}
+
+/// The forward lens mapping — the analytic inverse of inverseMapping:
+/// maps distorted-image coordinates back to output (perspective)
+/// coordinates via r = atan(s * tan(phi)) / phi.  Used by the
+/// round-trip property tests and by callers that need to know where a
+/// distorted pixel lands.
+void forwardMapping(double SrcX, double SrcY, int W, int H,
+                    const FisheyeParams &P, double &OutX, double &OutY);
+
+/// BicubicInterp on the 4x4 window around (SrcX, SrcY), double version
+/// used by the accurate execution paths.
+double bicubicSample(const Image &In, double SrcX, double SrcY);
+
+/// Bilinear 2x2 sample — the approximate interpolation.
+double bilinearSample(const Image &In, double SrcX, double SrcY);
+
+/// Fully accurate correction: per-pixel InverseMapping + bicubic.
+Image fisheyeReference(const Image &Distorted, const FisheyeParams &P = {});
+
+/// Significance-driven task version over BlockW x BlockH tiles; equals
+/// fisheyeReference at Ratio == 1.
+Image fisheyeTasks(rt::TaskRuntime &RT, const Image &Distorted,
+                   double Ratio, const FisheyeParams &P = {},
+                   int BlockW = 128, int BlockH = 64);
+
+/// Loop-perforated baseline: computes only a Rate fraction of output
+/// rows, replicating the nearest computed row.
+Image fisheyePerforated(const Image &Distorted, double Rate,
+                        const FisheyeParams &P = {});
+
+/// Figure 5: significance of InverseMapping per output pixel, sampled on
+/// a GridW x GridH lattice; returned row-major, normalized to max 1.
+std::vector<double> analyseInverseMappingGrid(int W, int H, int GridW,
+                                              int GridH,
+                                              const FisheyeParams &P = {});
+
+/// The task significance used for a tile spanning output-normalized radii
+/// up to \p MaxR in [0, 1]: grows towards the border, strictly below 1.
+inline double fisheyeTileSignificance(double MaxR) {
+  return 0.10 + 0.85 * std::min(1.0, MaxR);
+}
+
+/// Figure 6: significance of each of the 16 BicubicInterp input pixels
+/// for the interpolated value at fractional position (Fx, Fy); row-major
+/// 4x4, normalized to max 1.
+std::array<double, 16> analyseBicubicWeights(double Fx, double Fy);
+
+} // namespace apps
+} // namespace scorpio
+
+#endif // SCORPIO_APPS_FISHEYE_FISHEYE_H

@@ -1,0 +1,387 @@
+//===- apps/nbody/NBody.cpp - Lennard-Jones molecular dynamics -----------===//
+
+#include "apps/nbody/NBody.h"
+
+#include "energy/Energy.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace scorpio;
+using namespace scorpio::apps;
+
+namespace {
+
+/// Lennard-Jones pair force (reduced units) of a source atom at relative
+/// offset (DX, DY, DZ) from the target; adds the force on the target.
+/// Templated so the same kernel runs under analysis.
+template <typename T>
+void ljForce(const T &DX, const T &DY, const T &DZ, T &FX, T &FY, T &FZ) {
+  T R2 = DX * DX + DY * DY + DZ * DZ;
+  T Inv2 = 1.0 / R2;
+  T Inv6 = Inv2 * Inv2 * Inv2;
+  T Coef = 24.0 * (2.0 * Inv6 * Inv6 - Inv6) * Inv2;
+  FX = Coef * DX;
+  FY = Coef * DY;
+  FZ = Coef * DZ;
+}
+
+/// Double specialization with a softening floor so that the monopole
+/// approximation can never divide by zero.
+void ljForceSafe(double DX, double DY, double DZ, double &FX, double &FY,
+                 double &FZ, double Scale = 1.0) {
+  const double R2 = std::max(DX * DX + DY * DY + DZ * DZ, 0.25);
+  const double Inv2 = 1.0 / R2;
+  const double Inv6 = Inv2 * Inv2 * Inv2;
+  const double Coef = Scale * 24.0 * (2.0 * Inv6 * Inv6 - Inv6) * Inv2;
+  FX = Coef * DX;
+  FY = Coef * DY;
+  FZ = Coef * DZ;
+}
+
+struct CellGrid {
+  double MinX, MinY, MinZ;
+  double CellSize;
+  int CellsPerDim;
+
+  int cellOf(double X, double Y, double Z) const {
+    auto Index = [&](double V, double Min) {
+      const int I = static_cast<int>((V - Min) / CellSize);
+      return std::clamp(I, 0, CellsPerDim - 1);
+    };
+    return (Index(Z, MinZ) * CellsPerDim + Index(Y, MinY)) * CellsPerDim +
+           Index(X, MinX);
+  }
+
+  /// Center-to-center distance of two cells in cell-size units.
+  double cellDistance(int A, int B) const {
+    const int AX = A % CellsPerDim, AY = (A / CellsPerDim) % CellsPerDim,
+              AZ = A / (CellsPerDim * CellsPerDim);
+    const int BX = B % CellsPerDim, BY = (B / CellsPerDim) % CellsPerDim,
+              BZ = B / (CellsPerDim * CellsPerDim);
+    const double DX = AX - BX, DY = AY - BY, DZ = AZ - BZ;
+    return std::sqrt(DX * DX + DY * DY + DZ * DZ);
+  }
+};
+
+CellGrid makeGrid(const NBodyState &S, int CellsPerDim) {
+  CellGrid G;
+  G.CellsPerDim = CellsPerDim;
+  double MinX = S.X[0], MaxX = S.X[0];
+  double MinY = S.Y[0], MaxY = S.Y[0];
+  double MinZ = S.Z[0], MaxZ = S.Z[0];
+  for (size_t I = 1; I != S.size(); ++I) {
+    MinX = std::min(MinX, S.X[I]);
+    MaxX = std::max(MaxX, S.X[I]);
+    MinY = std::min(MinY, S.Y[I]);
+    MaxY = std::max(MaxY, S.Y[I]);
+    MinZ = std::min(MinZ, S.Z[I]);
+    MaxZ = std::max(MaxZ, S.Z[I]);
+  }
+  const double Extent = std::max(
+      {MaxX - MinX, MaxY - MinY, MaxZ - MinZ, 1e-9});
+  G.MinX = MinX;
+  G.MinY = MinY;
+  G.MinZ = MinZ;
+  G.CellSize = Extent / CellsPerDim * (1.0 + 1e-12);
+  return G;
+}
+
+/// Accurate all-pairs forces (plain loops); charges one unit per pair.
+void computeForcesReference(const NBodyState &S, std::vector<double> &FX,
+                            std::vector<double> &FY,
+                            std::vector<double> &FZ) {
+  const size_t N = S.size();
+  FX.assign(N, 0.0);
+  FY.assign(N, 0.0);
+  FZ.assign(N, 0.0);
+  for (size_t I = 0; I != N; ++I)
+    for (size_t J = 0; J != N; ++J) {
+      if (I == J)
+        continue;
+      double GX, GY, GZ;
+      ljForce<double>(S.X[I] - S.X[J], S.Y[I] - S.Y[J], S.Z[I] - S.Z[J],
+                      GX, GY, GZ);
+      FX[I] += GX;
+      FY[I] += GY;
+      FZ[I] += GZ;
+    }
+  WorkMeter::global().add(static_cast<double>(N) * (N - 1));
+}
+
+void verletStep(NBodyState &S, std::vector<double> &FX,
+                std::vector<double> &FY, std::vector<double> &FZ,
+                double Dt,
+                const std::function<void(const NBodyState &,
+                                         std::vector<double> &,
+                                         std::vector<double> &,
+                                         std::vector<double> &)> &Forces) {
+  const size_t N = S.size();
+  for (size_t I = 0; I != N; ++I) {
+    S.VX[I] += 0.5 * Dt * FX[I];
+    S.VY[I] += 0.5 * Dt * FY[I];
+    S.VZ[I] += 0.5 * Dt * FZ[I];
+    S.X[I] += Dt * S.VX[I];
+    S.Y[I] += Dt * S.VY[I];
+    S.Z[I] += Dt * S.VZ[I];
+  }
+  Forces(S, FX, FY, FZ);
+  for (size_t I = 0; I != N; ++I) {
+    S.VX[I] += 0.5 * Dt * FX[I];
+    S.VY[I] += 0.5 * Dt * FY[I];
+    S.VZ[I] += 0.5 * Dt * FZ[I];
+  }
+}
+
+} // namespace
+
+std::vector<double> NBodyState::flattened() const {
+  std::vector<double> Out;
+  Out.reserve(6 * size());
+  for (const std::vector<double> *V : {&X, &Y, &Z, &VX, &VY, &VZ})
+    Out.insert(Out.end(), V->begin(), V->end());
+  return Out;
+}
+
+NBodyState scorpio::apps::nbodyInit(const NBodyParams &Params) {
+  NBodyState S;
+  Random Rng(Params.Seed);
+  const int PPD = Params.ParticlesPerDim;
+  for (int K = 0; K < PPD; ++K)
+    for (int J = 0; J < PPD; ++J)
+      for (int I = 0; I < PPD; ++I) {
+        S.X.push_back(I * Params.Spacing +
+                      Rng.uniform(-0.05, 0.05) * Params.Spacing);
+        S.Y.push_back(J * Params.Spacing +
+                      Rng.uniform(-0.05, 0.05) * Params.Spacing);
+        S.Z.push_back(K * Params.Spacing +
+                      Rng.uniform(-0.05, 0.05) * Params.Spacing);
+        S.VX.push_back(Rng.gaussian(0.0, Params.InitialTemp));
+        S.VY.push_back(Rng.gaussian(0.0, Params.InitialTemp));
+        S.VZ.push_back(Rng.gaussian(0.0, Params.InitialTemp));
+      }
+  return S;
+}
+
+void scorpio::apps::nbodyReference(NBodyState &State,
+                                   const NBodyParams &Params) {
+  std::vector<double> FX, FY, FZ;
+  computeForcesReference(State, FX, FY, FZ);
+  for (int Step = 0; Step < Params.Steps; ++Step)
+    verletStep(State, FX, FY, FZ, Params.Dt, computeForcesReference);
+}
+
+double scorpio::apps::nbodyRegionSignificance(double Dist) {
+  // The cell itself and all 26 neighbours (center distance <= sqrt(3))
+  // must always be accurate; beyond that, significance decays with the
+  // analysis-confirmed distance law.
+  if (Dist <= std::sqrt(3.0) + 1e-9)
+    return 1.0;
+  return std::min(0.95, 1.75 / (Dist * Dist));
+}
+
+void scorpio::apps::nbodyTasks(rt::TaskRuntime &RT, NBodyState &State,
+                               const NBodyParams &Params, double Ratio) {
+  const size_t N = State.size();
+  const int NumCells = Params.numCells();
+  std::vector<double> FX(N), FY(N), FZ(N);
+
+  auto Forces = [&](const NBodyState &S, std::vector<double> &OFX,
+                    std::vector<double> &OFY, std::vector<double> &OFZ) {
+    const CellGrid Grid = makeGrid(S, Params.CellsPerDim);
+    std::vector<std::vector<int>> Members(
+        static_cast<size_t>(NumCells));
+    for (size_t I = 0; I != N; ++I)
+      Members[static_cast<size_t>(Grid.cellOf(S.X[I], S.Y[I], S.Z[I]))]
+          .push_back(static_cast<int>(I));
+
+    // One force slot per (target cell, source region): deterministic
+    // reduction independent of thread interleaving.
+    std::vector<std::vector<double>> Slots(
+        static_cast<size_t>(NumCells) * NumCells);
+
+    for (int C = 0; C < NumCells; ++C) {
+      const std::vector<int> &Targets = Members[static_cast<size_t>(C)];
+      if (Targets.empty())
+        continue;
+      for (int R = 0; R < NumCells; ++R) {
+        const std::vector<int> &Sources = Members[static_cast<size_t>(R)];
+        if (Sources.empty())
+          continue;
+        std::vector<double> &Slot =
+            Slots[static_cast<size_t>(C) * NumCells + R];
+        Slot.assign(Targets.size() * 3, 0.0);
+
+        rt::TaskOptions Opts;
+        Opts.Significance =
+            nbodyRegionSignificance(Grid.cellDistance(C, R));
+        Opts.Label = "nbody.force";
+        Opts.ApproxFn = [&S, &Targets, &Sources, &Slot] {
+          // Monopole: the whole source region acts as one super-atom at
+          // its center of mass.
+          double CX = 0.0, CY = 0.0, CZ = 0.0;
+          for (int J : Sources) {
+            CX += S.X[static_cast<size_t>(J)];
+            CY += S.Y[static_cast<size_t>(J)];
+            CZ += S.Z[static_cast<size_t>(J)];
+          }
+          const double Inv = 1.0 / static_cast<double>(Sources.size());
+          CX *= Inv;
+          CY *= Inv;
+          CZ *= Inv;
+          for (size_t TI = 0; TI != Targets.size(); ++TI) {
+            const size_t I = static_cast<size_t>(Targets[TI]);
+            double GX, GY, GZ;
+            ljForceSafe(S.X[I] - CX, S.Y[I] - CY, S.Z[I] - CZ, GX, GY, GZ,
+                        static_cast<double>(Sources.size()));
+            Slot[TI * 3 + 0] = GX;
+            Slot[TI * 3 + 1] = GY;
+            Slot[TI * 3 + 2] = GZ;
+          }
+          WorkMeter::global().add(
+              static_cast<double>(Targets.size() + Sources.size()));
+        };
+        RT.spawn(
+            [&S, &Targets, &Sources, &Slot] {
+              for (size_t TI = 0; TI != Targets.size(); ++TI) {
+                const size_t I = static_cast<size_t>(Targets[TI]);
+                double AX = 0.0, AY = 0.0, AZ = 0.0;
+                for (int J : Sources) {
+                  if (static_cast<size_t>(J) == I)
+                    continue;
+                  double GX, GY, GZ;
+                  ljForce<double>(S.X[I] - S.X[static_cast<size_t>(J)],
+                                  S.Y[I] - S.Y[static_cast<size_t>(J)],
+                                  S.Z[I] - S.Z[static_cast<size_t>(J)],
+                                  GX, GY, GZ);
+                  AX += GX;
+                  AY += GY;
+                  AZ += GZ;
+                }
+                Slot[TI * 3 + 0] = AX;
+                Slot[TI * 3 + 1] = AY;
+                Slot[TI * 3 + 2] = AZ;
+              }
+              WorkMeter::global().add(static_cast<double>(Targets.size()) *
+                                      Sources.size());
+            },
+            std::move(Opts));
+      }
+    }
+    RT.taskwait("nbody.force", Ratio);
+
+    OFX.assign(N, 0.0);
+    OFY.assign(N, 0.0);
+    OFZ.assign(N, 0.0);
+    for (int C = 0; C < NumCells; ++C) {
+      const std::vector<int> &Targets = Members[static_cast<size_t>(C)];
+      for (int R = 0; R < NumCells; ++R) {
+        const std::vector<double> &Slot =
+            Slots[static_cast<size_t>(C) * NumCells + R];
+        if (Slot.empty())
+          continue;
+        for (size_t TI = 0; TI != Targets.size(); ++TI) {
+          const size_t I = static_cast<size_t>(Targets[TI]);
+          OFX[I] += Slot[TI * 3 + 0];
+          OFY[I] += Slot[TI * 3 + 1];
+          OFZ[I] += Slot[TI * 3 + 2];
+        }
+      }
+    }
+  };
+
+  Forces(State, FX, FY, FZ);
+  for (int Step = 0; Step < Params.Steps; ++Step)
+    verletStep(State, FX, FY, FZ, Params.Dt, Forces);
+}
+
+void scorpio::apps::nbodyPerforated(NBodyState &State,
+                                    const NBodyParams &Params,
+                                    double Rate) {
+  assert(Rate >= 0.0 && Rate <= 1.0 && "rate out of [0, 1]");
+  const size_t N = State.size();
+  auto Forces = [&](const NBodyState &S, std::vector<double> &FX,
+                    std::vector<double> &FY, std::vector<double> &FZ) {
+    FX.assign(N, 0.0);
+    FY.assign(N, 0.0);
+    FZ.assign(N, 0.0);
+    size_t Pairs = 0;
+    for (size_t I = 0; I != N; ++I) {
+      double Acc = 0.0;
+      for (size_t J = 0; J != N; ++J) {
+        if (I == J)
+          continue;
+        // Perforation: skip source iterations evenly per the rate.
+        Acc += Rate;
+        if (Acc < 1.0 - 1e-12)
+          continue;
+        Acc -= 1.0;
+        double GX, GY, GZ;
+        ljForce<double>(S.X[I] - S.X[J], S.Y[I] - S.Y[J], S.Z[I] - S.Z[J],
+                        GX, GY, GZ);
+        FX[I] += GX;
+        FY[I] += GY;
+        FZ[I] += GZ;
+        ++Pairs;
+      }
+    }
+    WorkMeter::global().add(static_cast<double>(Pairs));
+  };
+  std::vector<double> FX, FY, FZ;
+  Forces(State, FX, FY, FZ);
+  for (int Step = 0; Step < Params.Steps; ++Step)
+    verletStep(State, FX, FY, FZ, Params.Dt, Forces);
+}
+
+double scorpio::apps::nbodyTotalEnergy(const NBodyState &S) {
+  const size_t N = S.size();
+  double Kinetic = 0.0;
+  for (size_t I = 0; I != N; ++I)
+    Kinetic += 0.5 * (S.VX[I] * S.VX[I] + S.VY[I] * S.VY[I] +
+                      S.VZ[I] * S.VZ[I]);
+  double Potential = 0.0;
+  for (size_t I = 0; I != N; ++I)
+    for (size_t J = I + 1; J != N; ++J) {
+      const double DX = S.X[I] - S.X[J];
+      const double DY = S.Y[I] - S.Y[J];
+      const double DZ = S.Z[I] - S.Z[J];
+      const double R2 = DX * DX + DY * DY + DZ * DZ;
+      const double Inv6 = 1.0 / (R2 * R2 * R2);
+      Potential += 4.0 * (Inv6 * Inv6 - Inv6);
+    }
+  return Kinetic + Potential;
+}
+
+std::vector<std::pair<double, double>>
+scorpio::apps::analyseNBodyDistanceSignificance(
+    const std::vector<double> &Distances, double HalfWidth) {
+  std::vector<std::pair<double, double>> Out;
+  double MaxSig = 0.0;
+  for (double D : Distances) {
+    assert(D > 2.0 * HalfWidth && "source overlaps the target");
+    Analysis A;
+    IAValue SX = A.input("sx", D - HalfWidth, D + HalfWidth);
+    IAValue SY = A.input("sy", -HalfWidth, HalfWidth);
+    IAValue SZ = A.input("sz", -HalfWidth, HalfWidth);
+    // Target atom fixed at the origin; force it experiences from the
+    // source at (sx, sy, sz).
+    IAValue FX, FY, FZ;
+    ljForce<IAValue>(0.0 - SX, 0.0 - SY, 0.0 - SZ, FX, FY, FZ);
+    A.registerOutput(FX, "fx");
+    A.registerOutput(FY, "fy");
+    A.registerOutput(FZ, "fz");
+    AnalysisOptions Opts;
+    Opts.Mode = AnalysisOptions::OutputMode::PerOutput;
+    const AnalysisResult R = A.analyse(Opts);
+    double Sig = 0.0;
+    for (const VariableSignificance &V : R.inputs())
+      Sig += V.Significance;
+    Out.emplace_back(D, Sig);
+    MaxSig = std::max(MaxSig, Sig);
+  }
+  if (MaxSig > 0.0)
+    for (auto &[D, S] : Out)
+      S /= MaxSig;
+  return Out;
+}

@@ -1,0 +1,102 @@
+//===- apps/nbody/NBody.h - Lennard-Jones molecular dynamics --------------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The N-Body benchmark of Section 4.1.4: liquid-argon molecular
+/// dynamics under the Lennard-Jones pair potential (Eq. 13),
+///
+///   V(r) = 4 eps [ (sigma/r)^12 - (sigma/r)^6 ],
+///
+/// integrated with velocity Verlet in reduced units (sigma = eps = m =
+/// 1).  The 3D container is partitioned into regions (cells); for each
+/// target cell, one task per source region computes the forces its atoms
+/// exert on the targets.  Region tasks are tagged with significance
+/// decreasing in the distance between the cells — the pattern the
+/// significance analysis confirms ("the greater the distance between
+/// atom A and atom B, the less the kinematic properties of one affect
+/// the other").  The approximate version replaces a far region by its
+/// center-of-mass monopole.  Loop perforation (the baseline) skips a
+/// fraction of the source atoms in the all-pairs loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_APPS_NBODY_NBODY_H
+#define SCORPIO_APPS_NBODY_NBODY_H
+
+#include "core/Analysis.h"
+#include "runtime/TaskRuntime.h"
+
+#include <vector>
+
+namespace scorpio {
+namespace apps {
+
+/// Simulation configuration (reduced Lennard-Jones units).
+struct NBodyParams {
+  int ParticlesPerDim = 7;  ///< Particles are seeded on a jittered lattice.
+  double Spacing = 1.35;    ///< Lattice spacing (> 2^(1/6) keeps it tame).
+  int CellsPerDim = 3;      ///< Region grid (CellsPerDim^3 regions).
+  double Dt = 0.004;
+  int Steps = 10;
+  uint64_t Seed = 7;
+  double InitialTemp = 0.15; ///< Gaussian velocity scale.
+
+  int numParticles() const {
+    return ParticlesPerDim * ParticlesPerDim * ParticlesPerDim;
+  }
+  int numCells() const { return CellsPerDim * CellsPerDim * CellsPerDim; }
+};
+
+/// Structure-of-arrays particle state.
+struct NBodyState {
+  std::vector<double> X, Y, Z;
+  std::vector<double> VX, VY, VZ;
+
+  size_t size() const { return X.size(); }
+  /// Positions followed by velocities, for the quality metrics.
+  std::vector<double> flattened() const;
+};
+
+/// Jittered-lattice initial condition (deterministic in Params.Seed).
+NBodyState nbodyInit(const NBodyParams &Params);
+
+/// Accurate all-pairs reference simulation (plain loops).
+void nbodyReference(NBodyState &State, const NBodyParams &Params);
+
+/// Task significance for a source region at center-distance \p Dist (in
+/// cell-size units) from the target cell: 1.0 for the cell itself and
+/// its face/edge/corner neighbours, then decaying.
+double nbodyRegionSignificance(double Dist);
+
+/// Significance-driven task version; deterministic regardless of thread
+/// count (per-(cell, region) force slots with a fixed reduction order).
+void nbodyTasks(rt::TaskRuntime &RT, NBodyState &State,
+                const NBodyParams &Params, double Ratio);
+
+/// Loop-perforated baseline: each target atom only interacts with an
+/// evenly spread Rate fraction of the source atoms.
+void nbodyPerforated(NBodyState &State, const NBodyParams &Params,
+                     double Rate);
+
+/// Total mechanical energy (kinetic + Lennard-Jones potential) of the
+/// state, in reduced units.  Velocity Verlet conserves it approximately;
+/// tests bound the drift and use it to gauge approximation damage.
+double nbodyTotalEnergy(const NBodyState &State);
+
+/// Significance analysis for the paper's distance claim: for a target
+/// atom at the origin and a source atom at distance \p Dist, the
+/// significance of the source position for the force on the target.
+/// Returns (distance, normalized significance) pairs for the sampled
+/// distances.
+std::vector<std::pair<double, double>>
+analyseNBodyDistanceSignificance(const std::vector<double> &Distances,
+                                 double HalfWidth = 0.05);
+
+} // namespace apps
+} // namespace scorpio
+
+#endif // SCORPIO_APPS_NBODY_NBODY_H

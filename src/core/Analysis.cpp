@@ -1,0 +1,217 @@
+//===- core/Analysis.cpp - Significance analysis driver ------------------===//
+
+#include "core/Analysis.h"
+
+#include "support/Json.h"
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace scorpio;
+
+double AnalysisResult::normalizedSignificanceOf(NodeId Id) const {
+  if (OutputSig <= 0.0)
+    return 0.0;
+  return significanceOf(Id) / OutputSig;
+}
+
+const VariableSignificance *
+AnalysisResult::find(const std::string &Name) const {
+  for (const auto *List : {&Inputs, &Intermediates, &Outputs})
+    for (const VariableSignificance &V : *List)
+      if (V.Name == Name)
+        return &V;
+  return nullptr;
+}
+
+void AnalysisResult::print(std::ostream &OS) const {
+  if (!isValid()) {
+    OS << "analysis INVALID: control flow diverged on interval input\n";
+    for (const std::string &D : Divergences)
+      OS << "  " << D << "\n";
+    return;
+  }
+  auto PrintList = [&](const char *Title,
+                       const std::vector<VariableSignificance> &List) {
+    if (List.empty())
+      return;
+    OS << Title << ":\n";
+    for (const VariableSignificance &V : List)
+      OS << "  " << V.Name << " = " << V.Value << "  S=" << V.Significance
+         << "  S_rel=" << V.Normalized << "\n";
+  };
+  PrintList("inputs", Inputs);
+  PrintList("intermediates", Intermediates);
+  PrintList("outputs", Outputs);
+  OS << "variance level L=" << VarianceLevel << " (graph height "
+     << Graph.height() << ", " << Graph.numAlive() << " nodes)\n";
+}
+
+void AnalysisResult::writeJson(std::ostream &OS) const {
+  JsonWriter J(OS);
+  J.beginObject();
+  J.key("valid").value(isValid());
+  J.key("divergences").beginArray();
+  for (const std::string &D : Divergences)
+    J.value(D);
+  J.endArray();
+  auto EmitList = [&](const char *Name,
+                      const std::vector<VariableSignificance> &List) {
+    J.key(Name).beginArray();
+    for (const VariableSignificance &V : List) {
+      J.beginObject();
+      J.key("name").value(V.Name);
+      J.key("lower").value(V.Value.lower());
+      J.key("upper").value(V.Value.upper());
+      J.key("significance").value(V.Significance);
+      J.key("normalized").value(V.Normalized);
+      J.endObject();
+    }
+    J.endArray();
+  };
+  EmitList("inputs", Inputs);
+  EmitList("intermediates", Intermediates);
+  EmitList("outputs", Outputs);
+  J.key("outputSignificance").value(OutputSig);
+  J.key("varianceLevel").value(VarianceLevel);
+  J.key("graph").beginObject();
+  J.key("aliveNodes").value(Graph.numAlive());
+  J.key("height").value(Graph.height());
+  J.endObject();
+  J.endObject();
+  OS << "\n";
+}
+
+static thread_local Analysis *CurrentAnalysis = nullptr;
+
+Analysis::Analysis() : PreviousCurrent(CurrentAnalysis) {
+  CurrentAnalysis = this;
+}
+
+Analysis::~Analysis() { CurrentAnalysis = PreviousCurrent; }
+
+Analysis &Analysis::current() {
+  assert(CurrentAnalysis && "no Analysis is live on this thread");
+  return *CurrentAnalysis;
+}
+
+IAValue Analysis::input(const std::string &Name, double Lo, double Hi) {
+  IAValue X;
+  registerInput(X, Name, Lo, Hi);
+  return X;
+}
+
+void Analysis::registerInput(IAValue &X, const std::string &Name, double Lo,
+                             double Hi) {
+  const Interval Range(Lo, Hi);
+  const NodeId Id = Scope.tape().recordInput(Range);
+  X = IAValue(Range, Id);
+  Labels.emplace(Id, Name);
+  InputVars.emplace_back(Id, Name);
+}
+
+void Analysis::registerIntermediate(const IAValue &Z,
+                                    const std::string &Name) {
+  if (!Z.isActive())
+    return;
+  Labels.emplace(Z.node(), Name);
+  IntermediateVars.emplace_back(Z.node(), Name);
+}
+
+void Analysis::registerOutput(const IAValue &Y, const std::string &Name) {
+  assert(Y.isActive() && "output does not depend on any registered input");
+  Labels.emplace(Y.node(), Name);
+  OutputVars.emplace_back(Y.node(), Name);
+  OutputNodes.push_back(Y.node());
+}
+
+double Analysis::cappedSignificance(NodeId Id,
+                                    const AnalysisOptions &Options) const {
+  const TapeNode &N = Scope.tape().node(Id);
+  double W = 0.0;
+  switch (Options.SignificanceMetric) {
+  case AnalysisOptions::Metric::Eq11WorstCase:
+    // Eq. 11: S_y(u_j) = w([u_j] * grad_[u_j][y]).
+    W = (N.Value * N.Adjoint).width();
+    break;
+  case AnalysisOptions::Metric::WidthTimesDerivative:
+    W = N.Value.width() * N.Adjoint.mag();
+    break;
+  }
+  if (std::isnan(W))
+    return Options.SignificanceCap;
+  return std::min(W, Options.SignificanceCap);
+}
+
+AnalysisResult Analysis::analyse(const AnalysisOptions &Options) {
+  Tape &T = Scope.tape();
+  AnalysisResult R;
+  R.Divergences = T.divergences();
+  R.NodeSignificance.assign(T.size(), 0.0);
+
+  assert(!OutputNodes.empty() && "analyse() requires a registered output");
+
+  if (Options.Mode == AnalysisOptions::OutputMode::CombinedSeed ||
+      OutputNodes.size() == 1) {
+    T.clearAdjoints();
+    for (NodeId Out : OutputNodes)
+      T.seedAdjoint(Out, Interval(1.0));
+    T.reverseSweep();
+    for (size_t I = 0; I != T.size(); ++I)
+      R.NodeSignificance[I] =
+          cappedSignificance(static_cast<NodeId>(I), Options);
+  } else {
+    // PerOutput: m sweeps; S_y(u) = sum_i S_{y_i}(u).
+    for (NodeId Out : OutputNodes) {
+      T.clearAdjoints();
+      T.seedAdjoint(Out, Interval(1.0));
+      T.reverseSweep();
+      for (size_t I = 0; I != T.size(); ++I) {
+        R.NodeSignificance[I] +=
+            cappedSignificance(static_cast<NodeId>(I), Options);
+        R.NodeSignificance[I] =
+            std::min(R.NodeSignificance[I], Options.SignificanceCap);
+      }
+    }
+  }
+
+  for (NodeId Out : OutputNodes)
+    R.OutputSig += R.NodeSignificance[static_cast<size_t>(Out)];
+
+  auto FillVars = [&](const std::vector<std::pair<NodeId, std::string>> &Src,
+                      std::vector<VariableSignificance> &Dst) {
+    for (const auto &[Id, Name] : Src) {
+      VariableSignificance V;
+      V.Name = Name;
+      V.Node = Id;
+      V.Value = T.node(Id).Value;
+      V.Significance = R.NodeSignificance[static_cast<size_t>(Id)];
+      V.Normalized =
+          R.OutputSig > 0.0 ? V.Significance / R.OutputSig : 0.0;
+      Dst.push_back(std::move(V));
+    }
+  };
+  FillVars(InputVars, R.Inputs);
+  FillVars(IntermediateVars, R.Intermediates);
+  FillVars(OutputVars, R.Outputs);
+
+  R.Graph =
+      DynDFG::fromTape(T, R.NodeSignificance, Labels, OutputNodes);
+  if (Options.Simplify)
+    R.Graph.simplify();
+
+  // Step S5 on normalized significances so Delta is scale-free.
+  if (R.OutputSig > 0.0) {
+    DynDFG Normalized = R.Graph;
+    // Scale significances in a scratch copy used only for detection.
+    for (size_t I = 0; I != T.size(); ++I)
+      Normalized.node(static_cast<NodeId>(I)).Significance =
+          R.NodeSignificance[I] / R.OutputSig;
+    R.VarianceLevel = Normalized.findSignificanceVarianceLevel(Options.Delta);
+  } else {
+    R.VarianceLevel = R.Graph.findSignificanceVarianceLevel(Options.Delta);
+  }
+
+  return R;
+}

@@ -1,0 +1,199 @@
+//===- core/Analysis.h - Significance analysis driver ---------------------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The user-facing entry point of dco/scorpio: register inputs with their
+/// value ranges (S2), run the kernel on IAValue (S3 forward sweep),
+/// register intermediates and outputs (S1), then analyse() performs the
+/// adjoint reverse sweep, computes Eq.-11 significances for every node,
+/// simplifies the DynDFG (S4) and locates the significance-variance level
+/// (S5).
+///
+/// The paper's macro set (Table 1) is provided in core/Macros.h on top of
+/// this class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_CORE_ANALYSIS_H
+#define SCORPIO_CORE_ANALYSIS_H
+
+#include "core/DynDFG.h"
+#include "core/IAValue.h"
+#include "tape/Tape.h"
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace scorpio {
+
+/// Options controlling analyse().
+struct AnalysisOptions {
+  /// How multiple registered outputs are combined.
+  enum class OutputMode {
+    /// One reverse sweep with every output adjoint seeded to 1 (the
+    /// paper's "single run" for vector functions, Section 2.3).
+    CombinedSeed,
+    /// One reverse sweep per output; per-node significances are the sum
+    /// of the per-output significances (the literal definition
+    /// S_y(u) = sum_i S_{y_i}(u)).  Costs m sweeps.
+    PerOutput,
+  };
+
+  /// How a node's significance is computed from its enclosure and
+  /// interval adjoint.
+  enum class Metric {
+    /// Eq. 11 verbatim: S = w([u] * grad_[u][y]).  The paper notes this
+    /// worst-case product "might introduce a considerable
+    /// overestimation": variables with large point values absorb any
+    /// adjoint width.
+    Eq11WorstCase,
+    /// S = w([u]) * mag(grad_[u][y]): the first-order perturbation
+    /// impact; immune to the value-magnitude artifact.  Compared against
+    /// Eq11WorstCase in bench/ablation_analysis.
+    WidthTimesDerivative,
+  };
+
+  OutputMode Mode = OutputMode::CombinedSeed;
+  Metric SignificanceMetric = Metric::Eq11WorstCase;
+  /// Run step S4 (aggregation-chain collapsing) before level analysis.
+  bool Simplify = true;
+  /// Variance threshold delta of step S5, applied to *normalized*
+  /// significances so it is scale-free.
+  double Delta = 1e-3;
+  /// Cap applied to infinite/overflowing significances so downstream
+  /// statistics stay finite.
+  double SignificanceCap = 1e300;
+};
+
+/// Significance of one registered variable.
+struct VariableSignificance {
+  std::string Name;
+  NodeId Node = InvalidNodeId;
+  Interval Value;
+  /// Raw Eq.-11 significance.
+  double Significance = 0.0;
+  /// Significance divided by the total output significance (so the
+  /// output itself is 1.0, as in Figure 3).
+  double Normalized = 0.0;
+};
+
+/// Everything analyse() produces.
+class AnalysisResult {
+public:
+  /// False when the kernel branched on an ambiguous interval comparison;
+  /// in that case Divergences lists the offending conditions and all
+  /// significance data must be disregarded (paper Section 2.2).
+  bool isValid() const { return Divergences.empty(); }
+  const std::vector<std::string> &divergences() const { return Divergences; }
+
+  /// Raw significance of tape node \p Id.
+  double significanceOf(NodeId Id) const {
+    return NodeSignificance[static_cast<size_t>(Id)];
+  }
+
+  /// Normalized significance of tape node \p Id.
+  double normalizedSignificanceOf(NodeId Id) const;
+
+  /// Registered-variable views, in registration order.
+  const std::vector<VariableSignificance> &inputs() const { return Inputs; }
+  const std::vector<VariableSignificance> &intermediates() const {
+    return Intermediates;
+  }
+  const std::vector<VariableSignificance> &outputs() const {
+    return Outputs;
+  }
+
+  /// Looks up a registered variable by name (inputs, intermediates, then
+  /// outputs); returns nullptr when absent.
+  const VariableSignificance *find(const std::string &Name) const;
+
+  /// Sum of the raw significances of all registered outputs; the
+  /// denominator of normalization.
+  double outputSignificance() const { return OutputSig; }
+
+  /// The simplified DynDFG (or the raw one when Simplify was off).
+  const DynDFG &graph() const { return Graph; }
+
+  /// Level found by step S5 (-1 when no variance level was detected).
+  int varianceLevel() const { return VarianceLevel; }
+
+  /// The paper's "report" step of ANALYSE(): prints registered variables
+  /// with their enclosures and significances.
+  void print(std::ostream &OS) const;
+
+  /// Machine-readable form of the report: validity/divergences,
+  /// registered variables with enclosures and (normalized)
+  /// significances, output significance, and the S5 variance level.
+  void writeJson(std::ostream &OS) const;
+
+private:
+  friend class Analysis;
+  std::vector<std::string> Divergences;
+  std::vector<double> NodeSignificance;
+  std::vector<VariableSignificance> Inputs, Intermediates, Outputs;
+  double OutputSig = 0.0;
+  DynDFG Graph;
+  int VarianceLevel = -1;
+};
+
+/// A single significance-analysis session.
+///
+/// Construction activates a fresh thread-local tape; destruction restores
+/// the previous one.  Exactly one Analysis may be live per thread at a
+/// time (they nest like scopes).
+class Analysis {
+public:
+  Analysis();
+  ~Analysis();
+  Analysis(const Analysis &) = delete;
+  Analysis &operator=(const Analysis &) = delete;
+
+  /// The innermost live Analysis on this thread; asserts when none.
+  static Analysis &current();
+
+  /// Creates and registers an input with enclosure [Lo, Hi].
+  IAValue input(const std::string &Name, double Lo, double Hi);
+
+  /// Re-binds \p X to a fresh input node with enclosure [Lo, Hi]
+  /// (the paper's INPUT(x, xl, xu) macro semantics).
+  void registerInput(IAValue &X, const std::string &Name, double Lo,
+                     double Hi);
+
+  /// Names the node that computed \p Z (paper's INTERMEDIATE(z)).
+  /// Passive values are ignored.
+  void registerIntermediate(const IAValue &Z, const std::string &Name);
+
+  /// Marks \p Y as an output (paper's OUTPUT(y)); its adjoint is seeded
+  /// during analyse().
+  void registerOutput(const IAValue &Y, const std::string &Name);
+
+  /// Number of outputs registered so far.
+  size_t numOutputs() const { return OutputNodes.size(); }
+
+  /// The paper's ANALYSE(): reverse sweep(s), Eq.-11 significances,
+  /// S4 simplification, S5 variance-level detection.
+  AnalysisResult analyse(const AnalysisOptions &Options = {});
+
+  /// Direct access to the recording tape (tests, tooling).
+  Tape &tape() { return Scope.tape(); }
+
+private:
+  double cappedSignificance(NodeId Id, const AnalysisOptions &Options) const;
+
+  ActiveTapeScope Scope;
+  Analysis *PreviousCurrent;
+  std::map<NodeId, std::string> Labels;
+  std::vector<std::pair<NodeId, std::string>> InputVars, IntermediateVars,
+      OutputVars;
+  std::vector<NodeId> OutputNodes;
+};
+
+} // namespace scorpio
+
+#endif // SCORPIO_CORE_ANALYSIS_H

@@ -1,0 +1,231 @@
+//===- core/DynDFG.cpp - DynDFG simplification and level analysis --------===//
+
+#include "core/DynDFG.h"
+
+#include "support/Dot.h"
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+using namespace scorpio;
+
+DynDFG DynDFG::fromTape(const Tape &T,
+                        const std::vector<double> &Significance,
+                        const std::map<NodeId, std::string> &Labels,
+                        const std::vector<NodeId> &Outputs) {
+  assert(Significance.size() == T.size() &&
+         "need one significance per tape node");
+  DynDFG G;
+  G.Nodes.resize(T.size());
+  for (size_t I = 0; I != T.size(); ++I) {
+    const TapeNode &TN = T.node(static_cast<NodeId>(I));
+    DfgNode &DN = G.Nodes[I];
+    DN.Kind = TN.Kind;
+    DN.Value = TN.Value;
+    DN.Significance = Significance[I];
+    for (uint8_t A = 0; A != TN.NumArgs; ++A)
+      DN.Preds.push_back(TN.Args[A]);
+  }
+  for (const auto &[Id, Name] : Labels)
+    G.Nodes[static_cast<size_t>(Id)].Label = Name;
+  for (NodeId Out : Outputs)
+    G.Nodes[static_cast<size_t>(Out)].IsOutput = true;
+  // Derive successor lists.
+  for (size_t I = 0; I != G.Nodes.size(); ++I)
+    for (NodeId P : G.Nodes[I].Preds)
+      G.Nodes[static_cast<size_t>(P)].Succs.push_back(
+          static_cast<NodeId>(I));
+  G.computeLevels();
+  return G;
+}
+
+size_t DynDFG::numAlive() const {
+  size_t N = 0;
+  for (const DfgNode &DN : Nodes)
+    if (DN.Alive)
+      ++N;
+  return N;
+}
+
+void DynDFG::simplify() {
+  const size_t N = Nodes.size();
+  // A node collapses forward into its unique same-op consumer.  Inputs
+  // and registered outputs always survive.
+  std::vector<bool> Dead(N, false);
+  for (size_t I = 0; I != N; ++I) {
+    const DfgNode &V = Nodes[I];
+    if (!V.Alive || V.IsOutput || V.Kind == OpKind::Input)
+      continue;
+    if (!isAccumulativeOp(V.Kind) || V.Succs.size() != 1)
+      continue;
+    const DfgNode &S = Nodes[static_cast<size_t>(V.Succs[0])];
+    if (S.Alive && S.Kind == V.Kind)
+      Dead[I] = true;
+  }
+
+  // Head of a dead node: follow the unique-consumer chain until an alive
+  // node is reached.
+  auto HeadOf = [&](NodeId Id) {
+    while (Dead[static_cast<size_t>(Id)])
+      Id = Nodes[static_cast<size_t>(Id)].Succs[0];
+    return Id;
+  };
+
+  // Rebuild predecessor lists: each alive node keeps its non-dead preds;
+  // the external operands of every collapsed chain attach to the head.
+  std::vector<std::vector<NodeId>> NewPreds(N);
+  for (size_t I = 0; I != N; ++I) {
+    if (!Nodes[I].Alive)
+      continue;
+    const NodeId Target =
+        Dead[I] ? HeadOf(static_cast<NodeId>(I)) : static_cast<NodeId>(I);
+    for (NodeId P : Nodes[I].Preds) {
+      if (Dead[static_cast<size_t>(P)])
+        continue; // chain-internal edge
+      NewPreds[static_cast<size_t>(Target)].push_back(P);
+    }
+  }
+
+  for (size_t I = 0; I != N; ++I) {
+    if (Dead[I]) {
+      Nodes[I].Alive = false;
+      // Preserve a user label by moving it to the chain head if the head
+      // is unlabeled (e.g. intermediate accumulator snapshots).
+      const NodeId H = HeadOf(static_cast<NodeId>(I));
+      if (!Nodes[I].Label.empty() &&
+          Nodes[static_cast<size_t>(H)].Label.empty())
+        Nodes[static_cast<size_t>(H)].Label = Nodes[I].Label;
+      Nodes[I].Preds.clear();
+      Nodes[I].Succs.clear();
+      continue;
+    }
+    // Deduplicate while preserving order.
+    std::vector<NodeId> Unique;
+    for (NodeId P : NewPreds[I])
+      if (std::find(Unique.begin(), Unique.end(), P) == Unique.end())
+        Unique.push_back(P);
+    Nodes[I].Preds = std::move(Unique);
+    Nodes[I].Succs.clear();
+  }
+  for (size_t I = 0; I != N; ++I)
+    if (Nodes[I].Alive)
+      for (NodeId P : Nodes[I].Preds)
+        Nodes[static_cast<size_t>(P)].Succs.push_back(
+            static_cast<NodeId>(I));
+
+  computeLevels();
+}
+
+void DynDFG::computeLevels() {
+  std::deque<NodeId> Queue;
+  for (size_t I = 0; I != Nodes.size(); ++I) {
+    Nodes[I].Level = -1;
+    if (Nodes[I].Alive && Nodes[I].IsOutput) {
+      Nodes[I].Level = 0;
+      Queue.push_back(static_cast<NodeId>(I));
+    }
+  }
+  while (!Queue.empty()) {
+    const NodeId V = Queue.front();
+    Queue.pop_front();
+    const int NextLevel = Nodes[static_cast<size_t>(V)].Level + 1;
+    for (NodeId P : Nodes[static_cast<size_t>(V)].Preds) {
+      DfgNode &PN = Nodes[static_cast<size_t>(P)];
+      if (!PN.Alive || PN.Level != -1)
+        continue;
+      PN.Level = NextLevel;
+      Queue.push_back(P);
+    }
+  }
+}
+
+int DynDFG::height() const {
+  int H = 0;
+  for (const DfgNode &DN : Nodes)
+    if (DN.Alive)
+      H = std::max(H, DN.Level + 1);
+  return H;
+}
+
+std::vector<NodeId> DynDFG::nodesAtLevel(int L) const {
+  std::vector<NodeId> Ids;
+  for (size_t I = 0; I != Nodes.size(); ++I)
+    if (Nodes[I].Alive && Nodes[I].Level == L)
+      Ids.push_back(static_cast<NodeId>(I));
+  return Ids;
+}
+
+std::vector<double> DynDFG::significancesAtLevel(int L) const {
+  std::vector<double> Sig;
+  for (NodeId Id : nodesAtLevel(L))
+    Sig.push_back(node(Id).Significance);
+  return Sig;
+}
+
+int DynDFG::findSignificanceVarianceLevel(double Delta) const {
+  const int H = height();
+  for (int L = 1; L < H; ++L) {
+    const std::vector<double> Sig = significancesAtLevel(L);
+    if (Sig.size() < 2)
+      continue;
+    if (variance(Sig) > Delta)
+      return L;
+  }
+  return -1;
+}
+
+DynDFG DynDFG::truncatedAbove(int MaxLevel) const {
+  DynDFG G;
+  G.Nodes = Nodes;
+  for (DfgNode &DN : G.Nodes) {
+    if (!DN.Alive)
+      continue;
+    if (DN.Level < 0 || DN.Level > MaxLevel)
+      DN.Alive = false;
+  }
+  // Drop edges into removed nodes.
+  for (DfgNode &DN : G.Nodes) {
+    if (!DN.Alive) {
+      DN.Preds.clear();
+      DN.Succs.clear();
+      continue;
+    }
+    auto IsDead = [&](NodeId Id) {
+      return !G.Nodes[static_cast<size_t>(Id)].Alive;
+    };
+    DN.Preds.erase(std::remove_if(DN.Preds.begin(), DN.Preds.end(), IsDead),
+                   DN.Preds.end());
+    DN.Succs.erase(std::remove_if(DN.Succs.begin(), DN.Succs.end(), IsDead),
+                   DN.Succs.end());
+  }
+  return G;
+}
+
+void DynDFG::writeDot(std::ostream &OS) const {
+  DotWriter W("DynDFG");
+  for (size_t I = 0; I != Nodes.size(); ++I) {
+    const DfgNode &DN = Nodes[I];
+    if (!DN.Alive)
+      continue;
+    std::ostringstream Label;
+    if (!DN.Label.empty())
+      Label << DN.Label << "\\n";
+    Label << opKindName(DN.Kind) << "\\nS=" << DN.Significance;
+    std::string Attrs =
+        "label=\"" + DotWriter::escape(Label.str()) + "\", shape=box";
+    if (DN.IsOutput)
+      Attrs += ", style=bold";
+    if (DN.Kind == OpKind::Input)
+      Attrs += ", style=filled, fillcolor=lightgrey";
+    W.addNode("n" + std::to_string(I), Attrs);
+  }
+  for (size_t I = 0; I != Nodes.size(); ++I) {
+    if (!Nodes[I].Alive)
+      continue;
+    for (NodeId P : Nodes[I].Preds)
+      W.addEdge("n" + std::to_string(P), "n" + std::to_string(I));
+  }
+  W.write(OS);
+}

@@ -1,0 +1,124 @@
+//===- core/DynDFG.h - Significance-annotated dynamic data flow graph -----===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The post-processing side of Algorithm 1.  A DynDFG is built from a
+/// recorded Tape together with per-node significances (step S3 output),
+/// then:
+///
+///  * simplify() — step S4 — collapses anti-dependency aggregation chains
+///    (`res = res + term[i]`) so that pure accumulation does not count as
+///    "computation" (Figure 3a -> 3b);
+///  * computeLevels() assigns each node its BFS distance from the output
+///    nodes (outputs are level 0, Figure 2);
+///  * findSignificanceVarianceLevel() — step S5 — walks levels from the
+///    outputs towards the inputs and returns the first level whose node
+///    significances have statistical variance above delta: the level at
+///    which the code should be partitioned into tasks of different
+///    significance;
+///  * truncatedAbove() implements G.removeAbove(L+1) from the paper's
+///    pseudocode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_CORE_DYNDFG_H
+#define SCORPIO_CORE_DYNDFG_H
+
+#include "tape/Tape.h"
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace scorpio {
+
+/// One vertex of the (possibly simplified) DynDFG.
+struct DfgNode {
+  OpKind Kind = OpKind::Input;
+  Interval Value;
+  /// Raw significance S_y(u) = w([u] * grad_[u][y]) (Eq. 11).
+  double Significance = 0.0;
+  /// BFS distance from the outputs; -1 for nodes that do not reach any
+  /// output (dead code).
+  int Level = -1;
+  /// User-facing name when the node was registered via
+  /// INPUT/INTERMEDIATE/OUTPUT; empty otherwise.
+  std::string Label;
+  bool IsOutput = false;
+  bool Alive = true;
+  /// Ids (into DynDFG::node()) of the operand nodes.
+  std::vector<NodeId> Preds;
+  /// Ids of consumer nodes (derived from Preds).
+  std::vector<NodeId> Succs;
+};
+
+/// Significance-annotated DAG with the Algorithm-1 transformations.
+class DynDFG {
+public:
+  DynDFG() = default;
+
+  /// Builds the graph from a tape.  \p Significance must have one entry
+  /// per tape node; \p Labels maps tape node ids to user names;
+  /// \p Outputs lists the registered output nodes.
+  static DynDFG fromTape(const Tape &T,
+                         const std::vector<double> &Significance,
+                         const std::map<NodeId, std::string> &Labels,
+                         const std::vector<NodeId> &Outputs);
+
+  size_t size() const { return Nodes.size(); }
+  size_t numAlive() const;
+
+  const DfgNode &node(NodeId Id) const {
+    assert(Id >= 0 && static_cast<size_t>(Id) < Nodes.size());
+    return Nodes[static_cast<size_t>(Id)];
+  }
+  DfgNode &node(NodeId Id) {
+    assert(Id >= 0 && static_cast<size_t>(Id) < Nodes.size());
+    return Nodes[static_cast<size_t>(Id)];
+  }
+
+  /// Step S4: collapse aggregation chains.  A node v is collapsed into
+  /// its unique consumer s when v's operation is accumulative, v has
+  /// exactly one consumer, and s performs the same operation.  The
+  /// non-chain operands of collapsed nodes re-attach to the surviving
+  /// chain head.  Recomputes levels afterwards.
+  void simplify();
+
+  /// Recomputes Level for every alive node: outputs are level 0; every
+  /// other node is 1 + the minimum level of its alive consumers (BFS).
+  void computeLevels();
+
+  /// Height of the graph: 1 + the maximum level of any alive node.
+  int height() const;
+
+  /// Ids of all alive nodes with Level == L, in id order.
+  std::vector<NodeId> nodesAtLevel(int L) const;
+
+  /// Significances of all alive nodes at level \p L.
+  std::vector<double> significancesAtLevel(int L) const;
+
+  /// Step S5: returns the smallest level L >= 1 whose significances have
+  /// population variance > \p Delta, or -1 when no such level exists
+  /// (all levels are (almost) equally significant down to the inputs).
+  int findSignificanceVarianceLevel(double Delta) const;
+
+  /// The paper's G.removeAbove(L+1): returns a copy containing only the
+  /// alive nodes with 0 <= Level <= MaxLevel.
+  DynDFG truncatedAbove(int MaxLevel) const;
+
+  /// Emits the graph in Graphviz DOT format; node labels show the op,
+  /// any user name, and the significance.
+  void writeDot(std::ostream &OS) const;
+
+private:
+  std::vector<DfgNode> Nodes;
+};
+
+} // namespace scorpio
+
+#endif // SCORPIO_CORE_DYNDFG_H

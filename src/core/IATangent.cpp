@@ -1,0 +1,11 @@
+//===- core/IATangent.cpp - Tangent-linear interval AD --------------------===//
+
+#include "core/IATangent.h"
+
+#include <ostream>
+
+using namespace scorpio;
+
+std::ostream &scorpio::operator<<(std::ostream &OS, const IATangent &X) {
+  return OS << X.value() << " (d: " << X.tangent() << ")";
+}

@@ -1,0 +1,172 @@
+//===- core/IATangent.h - Tangent-linear interval AD type -----------------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tangent-linear counterpart of IAValue.  The paper's dco/c++ base
+/// library implements *both* AD modes ("implementing tangent-linear and
+/// adjoint Algorithmic Differentiation", Section 2.3); adjoint mode is
+/// the enabling technology for whole-program significance (one sweep
+/// yields d[y]/d[u] for every u), but forward mode is the natural tool
+/// when a kernel has a single input of interest — it needs no tape at
+/// all, propagating the interval directional derivative alongside the
+/// value:
+///
+///   IATangent X(Interval(0.6, 0.8), /*Tangent=*/Interval(1.0));
+///   IATangent Y = cos(exp(sin(X) + X) - X);
+///   Y.tangent();   // encloses f'(x) for every x in [0.6, 0.8]
+///
+/// tests/tangent_test.cpp cross-validates forward against adjoint mode
+/// on every elementary operation, and bench/ablation_modes measures the
+/// n-inputs-vs-one-sweep cost asymmetry that makes adjoint mode the
+/// right default for significance analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_CORE_IATANGENT_H
+#define SCORPIO_CORE_IATANGENT_H
+
+#include "interval/Interval.h"
+#include "interval/IntervalCompare.h"
+
+#include <iosfwd>
+
+namespace scorpio {
+
+/// Interval scalar carrying a first-order tangent (ia1t).
+class IATangent {
+public:
+  /// A constant zero with zero tangent.
+  IATangent() : Val(0.0), Tan(0.0) {}
+
+  /// A constant: zero tangent.
+  /*implicit*/ IATangent(double X) : Val(X), Tan(0.0) {}
+  /*implicit*/ IATangent(const Interval &V) : Val(V), Tan(0.0) {}
+
+  /// A value with an explicit tangent seed (1 for the independent
+  /// variable of interest, 0 elsewhere).
+  IATangent(const Interval &V, const Interval &T) : Val(V), Tan(T) {}
+
+  const Interval &value() const { return Val; }
+  const Interval &tangent() const { return Tan; }
+  double toDouble() const { return Val.mid(); }
+
+  IATangent operator-() const { return IATangent(-Val, -Tan); }
+
+  IATangent &operator+=(const IATangent &B) { return *this = *this + B; }
+  IATangent &operator-=(const IATangent &B) { return *this = *this - B; }
+  IATangent &operator*=(const IATangent &B) { return *this = *this * B; }
+  IATangent &operator/=(const IATangent &B) { return *this = *this / B; }
+
+  friend IATangent operator+(const IATangent &A, const IATangent &B) {
+    return IATangent(A.Val + B.Val, A.Tan + B.Tan);
+  }
+  friend IATangent operator-(const IATangent &A, const IATangent &B) {
+    return IATangent(A.Val - B.Val, A.Tan - B.Tan);
+  }
+  friend IATangent operator*(const IATangent &A, const IATangent &B) {
+    // Product rule over intervals.
+    return IATangent(A.Val * B.Val, A.Tan * B.Val + A.Val * B.Tan);
+  }
+  friend IATangent operator/(const IATangent &A, const IATangent &B) {
+    const Interval InvB = recip(B.Val);
+    return IATangent(A.Val / B.Val,
+                     A.Tan * InvB - A.Val * B.Tan * sqr(InvB));
+  }
+
+private:
+  Interval Val, Tan;
+};
+
+inline IATangent sin(const IATangent &X) {
+  return IATangent(sin(X.value()), cos(X.value()) * X.tangent());
+}
+inline IATangent cos(const IATangent &X) {
+  return IATangent(cos(X.value()), -sin(X.value()) * X.tangent());
+}
+inline IATangent tan(const IATangent &X) {
+  const Interval V = tan(X.value());
+  return IATangent(V, (Interval(1.0) + sqr(V)) * X.tangent());
+}
+inline IATangent exp(const IATangent &X) {
+  const Interval V = exp(X.value());
+  return IATangent(V, V * X.tangent());
+}
+inline IATangent log(const IATangent &X) {
+  return IATangent(log(X.value()), recip(X.value()) * X.tangent());
+}
+inline IATangent sqrt(const IATangent &X) {
+  const Interval V = sqrt(X.value());
+  return IATangent(V, recip(Interval(2.0) * V) * X.tangent());
+}
+inline IATangent sqr(const IATangent &X) {
+  return IATangent(sqr(X.value()),
+                   Interval(2.0) * X.value() * X.tangent());
+}
+inline IATangent fabs(const IATangent &X) {
+  const Interval &V = X.value();
+  Interval Sign(0.0);
+  if (V.lower() >= 0.0)
+    Sign = Interval(1.0);
+  else if (V.upper() <= 0.0)
+    Sign = Interval(-1.0);
+  else
+    Sign = Interval(-1.0, 1.0);
+  return IATangent(fabs(V), Sign * X.tangent());
+}
+inline IATangent erf(const IATangent &X) {
+  static const double TwoOverSqrtPi = 1.12837916709551257390;
+  const Interval D = Interval(TwoOverSqrtPi) * exp(-sqr(X.value()));
+  return IATangent(erf(X.value()), D * X.tangent());
+}
+inline IATangent atan(const IATangent &X) {
+  const Interval D = recip(Interval(1.0) + sqr(X.value()));
+  return IATangent(atan(X.value()), D * X.tangent());
+}
+inline IATangent pow(const IATangent &X, int N) {
+  const Interval D =
+      N == 0 ? Interval(0.0)
+             : Interval(static_cast<double>(N)) * pow(X.value(), N - 1);
+  return IATangent(pow(X.value(), N), D * X.tangent());
+}
+inline IATangent tanOverX(const IATangent &X, double Phi) {
+  const Interval V = tanOverX(X.value(), Phi);
+  Interval D = Interval::entire();
+  if (V.isBounded())
+    D = detail::outward(tanOverXDerivPoint(X.value().lower(), Phi),
+                        tanOverXDerivPoint(X.value().upper(), Phi), 4);
+  return IATangent(V, D * X.tangent());
+}
+inline IATangent min(const IATangent &A, const IATangent &B) {
+  switch (certainlyLessEqual(A.value(), B.value())) {
+  case Tribool::True:
+    return IATangent(min(A.value(), B.value()), A.tangent());
+  case Tribool::False:
+    return IATangent(min(A.value(), B.value()), B.tangent());
+  case Tribool::Ambiguous:
+    break;
+  }
+  return IATangent(min(A.value(), B.value()),
+                   hull(A.tangent(), B.tangent()));
+}
+inline IATangent max(const IATangent &A, const IATangent &B) {
+  switch (certainlyGreaterEqual(A.value(), B.value())) {
+  case Tribool::True:
+    return IATangent(max(A.value(), B.value()), A.tangent());
+  case Tribool::False:
+    return IATangent(max(A.value(), B.value()), B.tangent());
+  case Tribool::Ambiguous:
+    break;
+  }
+  return IATangent(max(A.value(), B.value()),
+                   hull(A.tangent(), B.tangent()));
+}
+
+std::ostream &operator<<(std::ostream &OS, const IATangent &X);
+
+} // namespace scorpio
+
+#endif // SCORPIO_CORE_IATANGENT_H

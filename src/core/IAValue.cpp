@@ -1,0 +1,246 @@
+//===- core/IAValue.cpp - Overloaded interval-adjoint operations ---------===//
+
+#include "core/IAValue.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+using namespace scorpio;
+
+IAValue IAValue::input(const Interval &Range) {
+  Tape *T = Tape::active();
+  assert(T && "IAValue::input requires an active tape");
+  return IAValue(Range, T->recordInput(Range));
+}
+
+/// Records a binary node if a tape is active and at least one operand is
+/// active; otherwise the result stays passive.
+static IAValue recordBin(OpKind K, const Interval &V, const IAValue &A,
+                         const Interval &PA, const IAValue &B,
+                         const Interval &PB) {
+  Tape *T = Tape::active();
+  if (!T || (!A.isActive() && !B.isActive()))
+    return IAValue(V);
+  const NodeId Id = T->recordBinary(K, V, A.node(), PA, B.node(), PB);
+  return IAValue(V, Id);
+}
+
+static IAValue recordUn(OpKind K, const Interval &V, const IAValue &A,
+                        const Interval &PA, int32_t AuxInt = 0) {
+  Tape *T = Tape::active();
+  if (!T || !A.isActive())
+    return IAValue(V);
+  const NodeId Id = T->recordUnary(K, V, A.node(), PA, AuxInt);
+  return IAValue(V, Id);
+}
+
+IAValue IAValue::operator-() const {
+  return recordUn(OpKind::Neg, -Val, *this, Interval(-1.0));
+}
+
+namespace scorpio {
+
+IAValue operator+(const IAValue &A, const IAValue &B) {
+  return recordBin(OpKind::Add, A.Val + B.Val, A, Interval(1.0), B,
+                   Interval(1.0));
+}
+
+IAValue operator-(const IAValue &A, const IAValue &B) {
+  return recordBin(OpKind::Sub, A.Val - B.Val, A, Interval(1.0), B,
+                   Interval(-1.0));
+}
+
+IAValue operator*(const IAValue &A, const IAValue &B) {
+  return recordBin(OpKind::Mul, A.Val * B.Val, A, B.Val, B, A.Val);
+}
+
+IAValue operator/(const IAValue &A, const IAValue &B) {
+  // d(a/b)/da = 1/b ; d(a/b)/db = -a/b^2.
+  const Interval InvB = recip(B.Val);
+  return recordBin(OpKind::Div, A.Val / B.Val, A, InvB, B,
+                   -A.Val * sqr(InvB));
+}
+
+} // namespace scorpio
+
+IAValue scorpio::sin(const IAValue &X) {
+  return recordUn(OpKind::Sin, sin(X.value()), X, cos(X.value()));
+}
+
+IAValue scorpio::cos(const IAValue &X) {
+  return recordUn(OpKind::Cos, cos(X.value()), X, -sin(X.value()));
+}
+
+IAValue scorpio::tan(const IAValue &X) {
+  const Interval V = tan(X.value());
+  // d tan / dx = 1 + tan^2.
+  return recordUn(OpKind::Tan, V, X, Interval(1.0) + sqr(V));
+}
+
+IAValue scorpio::exp(const IAValue &X) {
+  const Interval V = exp(X.value());
+  return recordUn(OpKind::Exp, V, X, V);
+}
+
+IAValue scorpio::log(const IAValue &X) {
+  return recordUn(OpKind::Log, log(X.value()), X, recip(X.value()));
+}
+
+IAValue scorpio::sqrt(const IAValue &X) {
+  const Interval V = sqrt(X.value());
+  // d sqrt / dx = 1 / (2 sqrt x); unbounded when the enclosure touches 0.
+  const Interval Partial = recip(Interval(2.0) * V);
+  return recordUn(OpKind::Sqrt, V, X, Partial);
+}
+
+IAValue scorpio::sqr(const IAValue &X) {
+  return recordUn(OpKind::Sqr, sqr(X.value()), X,
+                  Interval(2.0) * X.value());
+}
+
+IAValue scorpio::fabs(const IAValue &X) {
+  const Interval &V = X.value();
+  Interval Partial(0.0);
+  if (V.lower() >= 0.0)
+    Partial = Interval(1.0);
+  else if (V.upper() <= 0.0)
+    Partial = Interval(-1.0);
+  else
+    Partial = Interval(-1.0, 1.0); // subgradient across the kink
+  return recordUn(OpKind::Fabs, fabs(V), X, Partial);
+}
+
+IAValue scorpio::erf(const IAValue &X) {
+  // d erf / dx = 2/sqrt(pi) * exp(-x^2).
+  static const double TwoOverSqrtPi = 1.12837916709551257390;
+  const Interval Partial = Interval(TwoOverSqrtPi) * exp(-sqr(X.value()));
+  return recordUn(OpKind::Erf, erf(X.value()), X, Partial);
+}
+
+IAValue scorpio::atan(const IAValue &X) {
+  const Interval Partial = recip(Interval(1.0) + sqr(X.value()));
+  return recordUn(OpKind::Atan, atan(X.value()), X, Partial);
+}
+
+IAValue scorpio::pow(const IAValue &X, int N) {
+  const Interval V = pow(X.value(), N);
+  // d x^n / dx = n * x^(n-1).  For n == 0 the result is the constant 1:
+  // keep the node (the Maclaurin example's term0) with zero partial.
+  const Interval Partial =
+      N == 0 ? Interval(0.0)
+             : Interval(static_cast<double>(N)) * pow(X.value(), N - 1);
+  return recordUn(OpKind::PowInt, V, X, Partial, N);
+}
+
+IAValue scorpio::pow(const IAValue &X, const IAValue &Y) {
+  const Interval V = pow(X.value(), Y.value());
+  // d x^y/dx = y * x^(y-1) ; d x^y/dy = x^y * log(x).
+  const Interval Px = Y.value() * pow(X.value(), Y.value() - Interval(1.0));
+  const Interval Py = V * log(X.value());
+  return recordBin(OpKind::Pow, V, X, Px, Y, Py);
+}
+
+IAValue scorpio::min(const IAValue &A, const IAValue &B) {
+  Interval PA(0.0), PB(0.0);
+  switch (certainlyLessEqual(A.value(), B.value())) {
+  case Tribool::True:
+    PA = Interval(1.0);
+    break;
+  case Tribool::False:
+    PB = Interval(1.0);
+    break;
+  case Tribool::Ambiguous:
+    PA = Interval(0.0, 1.0);
+    PB = Interval(0.0, 1.0);
+    break;
+  }
+  return recordBin(OpKind::Min, min(A.value(), B.value()), A, PA, B, PB);
+}
+
+IAValue scorpio::max(const IAValue &A, const IAValue &B) {
+  Interval PA(0.0), PB(0.0);
+  switch (certainlyGreaterEqual(A.value(), B.value())) {
+  case Tribool::True:
+    PA = Interval(1.0);
+    break;
+  case Tribool::False:
+    PB = Interval(1.0);
+    break;
+  case Tribool::Ambiguous:
+    PA = Interval(0.0, 1.0);
+    PB = Interval(0.0, 1.0);
+    break;
+  }
+  return recordBin(OpKind::Max, max(A.value(), B.value()), A, PA, B, PB);
+}
+
+IAValue scorpio::round(const IAValue &X) {
+  const Interval V = round(X.value());
+  // The local partial models quantization attenuation: the fraction of
+  // the input perturbation that survives rounding, as the hull of mean
+  // slopes [0, w_out/w_in] clamped to at most 1.  In particular a narrow
+  // interval strictly inside one rounding step has partial [0, 0] — the
+  // perturbation is swallowed entirely, which is what produces the
+  // zig-zag DCT significance pattern of paper Figure 4.
+  const double WIn = X.value().width();
+  const double Slope =
+      WIn > 0.0 ? std::min(1.0, V.width() / WIn) : 1.0;
+  return recordUn(OpKind::Round, V, X, Interval(0.0, Slope));
+}
+
+IAValue scorpio::tanOverX(const IAValue &X, double Phi) {
+  const Interval V = tanOverX(X.value(), Phi);
+  Interval Partial = Interval::entire();
+  if (V.isBounded()) {
+    // g' is monotone increasing on the domain as well.
+    Partial = detail::outward(tanOverXDerivPoint(X.value().lower(), Phi),
+                              tanOverXDerivPoint(X.value().upper(), Phi),
+                              4);
+  }
+  return recordUn(OpKind::TanOverX, V, X, Partial);
+}
+
+/// Shared comparison fallback: decided comparisons return the decided
+/// value; ambiguous ones invalidate the analysis and compare midpoints.
+static bool decideOrDiverge(Tribool T, const IAValue &A, const IAValue &B,
+                            const char *Op) {
+  if (isDecided(T))
+    return T == Tribool::True;
+  if (Tape *Active = Tape::active()) {
+    std::ostringstream OS;
+    OS << "ambiguous interval comparison: " << A.value() << " " << Op << " "
+       << B.value();
+    Active->noteDivergence(OS.str());
+  }
+  switch (*Op) {
+  case '<':
+    return Op[1] == '=' ? A.value().mid() <= B.value().mid()
+                        : A.value().mid() < B.value().mid();
+  default:
+    return Op[1] == '=' ? A.value().mid() >= B.value().mid()
+                        : A.value().mid() > B.value().mid();
+  }
+}
+
+bool scorpio::operator<(const IAValue &A, const IAValue &B) {
+  return decideOrDiverge(certainlyLess(A.value(), B.value()), A, B, "<");
+}
+
+bool scorpio::operator<=(const IAValue &A, const IAValue &B) {
+  return decideOrDiverge(certainlyLessEqual(A.value(), B.value()), A, B,
+                         "<=");
+}
+
+bool scorpio::operator>(const IAValue &A, const IAValue &B) {
+  return decideOrDiverge(certainlyGreater(A.value(), B.value()), A, B, ">");
+}
+
+bool scorpio::operator>=(const IAValue &A, const IAValue &B) {
+  return decideOrDiverge(certainlyGreaterEqual(A.value(), B.value()), A, B,
+                         ">=");
+}
+
+std::ostream &scorpio::operator<<(std::ostream &OS, const IAValue &X) {
+  return OS << X.value();
+}

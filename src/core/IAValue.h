@@ -1,0 +1,125 @@
+//===- core/IAValue.h - The dco::ia1s::type overloading value -------------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IAValue is this project's equivalent of the paper's `dco::ia1s::type`
+/// (Section 2.3): an interval-valued scalar whose every elementary
+/// operation (a) evaluates in outward-rounded interval arithmetic and
+/// (b) appends a node to the thread-local active Tape, annotated with the
+/// interval local partial derivatives needed for the adjoint reverse
+/// sweep.  Replacing `double` with IAValue in a kernel (compare paper
+/// Listings 1 and 4) is the only source change significance analysis
+/// requires.
+///
+/// Values created while no tape is active — or from plain constants — are
+/// *passive*: they carry an interval but no graph node, and operations on
+/// them do not record.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_CORE_IAVALUE_H
+#define SCORPIO_CORE_IAVALUE_H
+
+#include "interval/Interval.h"
+#include "interval/IntervalCompare.h"
+#include "tape/Tape.h"
+
+#include <iosfwd>
+
+namespace scorpio {
+
+/// Interval scalar with first-order adjoint recording (ia1s).
+class IAValue {
+public:
+  /// A passive zero.
+  IAValue() : Val(0.0) {}
+
+  /// A passive constant [X, X].
+  /*implicit*/ IAValue(double X) : Val(X) {}
+
+  /// A passive interval constant.
+  /*implicit*/ IAValue(const Interval &V) : Val(V) {}
+
+  /// Wraps an existing tape node (used by registration helpers).
+  IAValue(const Interval &V, NodeId Id) : Val(V), Id(Id) {}
+
+  /// Creates an *input* value: records an Input node on the active tape.
+  /// Requires an active tape.
+  static IAValue input(const Interval &Range);
+
+  /// Creates an input covering [Center - HalfWidth, Center + HalfWidth].
+  static IAValue input(double Center, double HalfWidth) {
+    return input(Interval::centered(Center, HalfWidth));
+  }
+
+  const Interval &value() const { return Val; }
+  NodeId node() const { return Id; }
+  bool isActive() const { return Id != InvalidNodeId; }
+
+  /// Midpoint of the enclosure; the paper's `toDouble()` (Listing 6).
+  double toDouble() const { return Val.mid(); }
+
+  IAValue operator-() const;
+
+  IAValue &operator+=(const IAValue &B) { return *this = *this + B; }
+  IAValue &operator-=(const IAValue &B) { return *this = *this - B; }
+  IAValue &operator*=(const IAValue &B) { return *this = *this * B; }
+  IAValue &operator/=(const IAValue &B) { return *this = *this / B; }
+
+  friend IAValue operator+(const IAValue &A, const IAValue &B);
+  friend IAValue operator-(const IAValue &A, const IAValue &B);
+  friend IAValue operator*(const IAValue &A, const IAValue &B);
+  friend IAValue operator/(const IAValue &A, const IAValue &B);
+
+private:
+  Interval Val;
+  NodeId Id = InvalidNodeId;
+};
+
+IAValue sin(const IAValue &X);
+IAValue cos(const IAValue &X);
+IAValue tan(const IAValue &X);
+IAValue exp(const IAValue &X);
+IAValue log(const IAValue &X);
+IAValue sqrt(const IAValue &X);
+IAValue sqr(const IAValue &X);
+IAValue fabs(const IAValue &X);
+IAValue erf(const IAValue &X);
+IAValue atan(const IAValue &X);
+IAValue pow(const IAValue &X, int N);
+IAValue pow(const IAValue &X, const IAValue &Y);
+IAValue min(const IAValue &A, const IAValue &B);
+IAValue max(const IAValue &A, const IAValue &B);
+
+/// Rounding to the nearest integer.  The recorded value is the true IA
+/// enclosure [round(lo), round(hi)], but the local partial is the
+/// *smoothed* derivative 1 (a staircase has derivative 0 almost
+/// everywhere, which would wrongly zero out every downstream
+/// significance; treating round as identity-with-bounded-error is the
+/// standard AD treatment and is what lets quantization "swallow"
+/// perturbations, producing the DCT zig-zag of paper Figure 4).
+IAValue round(const IAValue &X);
+
+/// Dependency-safe tan(x * Phi) / x (see interval/Interval.h); the local
+/// partial is the monotone endpoint enclosure of g'.
+IAValue tanOverX(const IAValue &X, double Phi);
+
+/// Relational operators: decided comparisons behave like double
+/// comparisons of any representative point; *ambiguous* comparisons note
+/// a divergence on the active tape (invalidating the analysis per paper
+/// Section 2.2) and fall back to comparing midpoints so execution can
+/// finish and report.
+bool operator<(const IAValue &A, const IAValue &B);
+bool operator<=(const IAValue &A, const IAValue &B);
+bool operator>(const IAValue &A, const IAValue &B);
+bool operator>=(const IAValue &A, const IAValue &B);
+
+std::ostream &operator<<(std::ostream &OS, const IAValue &X);
+
+} // namespace scorpio
+
+#endif // SCORPIO_CORE_IAVALUE_H

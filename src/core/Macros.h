@@ -1,0 +1,62 @@
+//===- core/Macros.h - The dco/scorpio annotation macro set ---------------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Table-1 macro interface, implemented on top of
+/// scorpio::Analysis.  Usage mirrors Listing 6:
+///
+/// \code
+///   scorpio::IAValue maclaurin(scorpio::IAValue X, int N) {
+///     scorpio::Analysis A;
+///     SCORPIO_INPUT(X, X.toDouble() - 0.5, X.toDouble() + 0.5);
+///     scorpio::IAValue Result = 0.0;
+///     for (int I = 0; I < N; ++I) {
+///       scorpio::IAValue Term = pow(X, I);
+///       SCORPIO_INTERMEDIATE(Term);
+///       Result = Result + Term;
+///     }
+///     SCORPIO_OUTPUT(Result);
+///     scorpio::AnalysisResult R = SCORPIO_ANALYSE();
+///     ...
+///   }
+/// \endcode
+///
+/// The macros operate on the innermost live Analysis of the current
+/// thread, so library code can also call the Analysis methods directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_CORE_MACROS_H
+#define SCORPIO_CORE_MACROS_H
+
+#include "core/Analysis.h"
+
+/// Registers input variable \p X with enclosure [Lo, Hi] and associates
+/// it with a fresh internal input node (paper macro INPUT).
+#define SCORPIO_INPUT(X, Lo, Hi)                                             \
+  ::scorpio::Analysis::current().registerInput((X), #X, (Lo), (Hi))
+
+/// Registers intermediate variable \p Z under its source name (paper
+/// macro INTERMEDIATE); call straight after its computation.
+#define SCORPIO_INTERMEDIATE(Z)                                              \
+  ::scorpio::Analysis::current().registerIntermediate((Z), #Z)
+
+/// Registers intermediate variable \p Z under an explicit name, for
+/// values registered inside loops where #Z alone would not be unique.
+#define SCORPIO_INTERMEDIATE_NAMED(Z, Name)                                  \
+  ::scorpio::Analysis::current().registerIntermediate((Z), (Name))
+
+/// Registers output variable \p Y; its adjoint is seeded to 1 during the
+/// reverse sweep (paper macro OUTPUT).
+#define SCORPIO_OUTPUT(Y)                                                    \
+  ::scorpio::Analysis::current().registerOutput((Y), #Y)
+
+/// Runs the adjoint propagation and significance computation and returns
+/// the scorpio::AnalysisResult (paper macro ANALYSE).
+#define SCORPIO_ANALYSE() ::scorpio::Analysis::current().analyse()
+
+#endif // SCORPIO_CORE_MACROS_H

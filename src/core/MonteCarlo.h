@@ -1,0 +1,64 @@
+//===- core/MonteCarlo.h - Monte Carlo cross-validation of significance ---===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's future-work direction "combining the robustness of
+/// algorithmic differentiation to Monte Carlo-based methodologies"
+/// (Section 6), and a faithful stand-in for the ASAC-style perturbation
+/// baselines of the related work (Section 5, [30]).
+///
+/// monteCarloInputSignificance() estimates the significance of each
+/// input empirically: draw a base point uniformly from the input box,
+/// re-draw one coordinate, and record the magnitude of the output
+/// change.  The mean |delta y| per input is the sampling analogue of
+/// Eq. 11's w([u] * grad [y]) for inputs — it is what the interval
+/// adjoint computes in one run, but costs inputs x samples kernel
+/// evaluations and carries sampling noise (the comparison is measured in
+/// bench/ext_mc_vs_ia).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_CORE_MONTECARLO_H
+#define SCORPIO_CORE_MONTECARLO_H
+
+#include "interval/Interval.h"
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace scorpio {
+
+/// A plain point-evaluation kernel over concrete inputs.
+using PointKernel = std::function<double(std::span<const double>)>;
+
+/// Options for the sampling estimator.
+struct MonteCarloOptions {
+  /// Number of (base point, re-draw) pairs per input.
+  size_t SamplesPerInput = 512;
+  /// RNG seed (deterministic estimator).
+  uint64_t Seed = 0x5ca1ab1e;
+};
+
+/// Empirical per-input significances: mean |y(base with x_i re-drawn) -
+/// y(base)| over the sampled pairs; one entry per input, aligned with
+/// \p InputBox.
+std::vector<double>
+monteCarloInputSignificance(const PointKernel &Kernel,
+                            std::span<const Interval> InputBox,
+                            const MonteCarloOptions &Options = {});
+
+/// Spearman-style ranking agreement between two significance vectors in
+/// [-1, 1]: 1 means identical ranking.  Used to validate the interval
+/// analysis against the sampling estimate.
+double rankingAgreement(std::span<const double> A,
+                        std::span<const double> B);
+
+} // namespace scorpio
+
+#endif // SCORPIO_CORE_MONTECARLO_H

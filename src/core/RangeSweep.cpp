@@ -1,0 +1,55 @@
+//===- core/RangeSweep.cpp - Input-dependent significance detection ------===//
+
+#include "core/RangeSweep.h"
+
+using namespace scorpio;
+
+const SweepVariable *SweepResult::find(const std::string &Name) const {
+  for (const SweepVariable &V : Variables)
+    if (V.Name == Name)
+      return &V;
+  return nullptr;
+}
+
+bool SweepResult::anyInputDependent() const {
+  for (const SweepVariable &V : Variables)
+    if (V.InputDependent)
+      return true;
+  return false;
+}
+
+SweepResult
+scorpio::sweepAnalysis(const AnalysisKernel &Kernel,
+                       const std::vector<std::vector<Interval>> &Boxes,
+                       const SweepOptions &Options) {
+  assert(!Boxes.empty() && "sweep needs at least one box");
+  SweepResult Result;
+  std::map<std::string, RunningStats> Stats;
+
+  for (const std::vector<Interval> &Box : Boxes) {
+    Analysis A;
+    Kernel(A, Box);
+    const AnalysisResult R = A.analyse(Options.PerBox);
+    if (!R.isValid()) {
+      ++Result.NumDiverged;
+      continue;
+    }
+    for (const auto *List : {&R.inputs(), &R.intermediates(),
+                             &R.outputs()}) {
+      for (const VariableSignificance &V : *List) {
+        Stats[V.Name].add(V.Normalized);
+        Result.PerBox[V.Name].push_back(V.Normalized);
+      }
+    }
+  }
+
+  for (auto &[Name, S] : Stats) {
+    SweepVariable V;
+    V.Name = Name;
+    V.Normalized = S;
+    V.InputDependent =
+        S.coefficientOfVariation() > Options.InputDependenceThreshold;
+    Result.Variables.push_back(std::move(V));
+  }
+  return Result;
+}

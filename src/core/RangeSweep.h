@@ -1,0 +1,74 @@
+//===- core/RangeSweep.h - Input-dependent significance detection ---------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's future-work direction "extending significance analysis to
+/// a wider range of input intervals to accommodate the fact that code
+/// significance is input-dependent for some benchmarks" (Section 6).
+///
+/// sweepAnalysis() runs the same kernel over a set of input boxes (for
+/// example, the fisheye mapping at different image positions, or the
+/// Maclaurin series around different centers) and reports, per
+/// registered variable, the spread of its normalized significance across
+/// the boxes.  A large coefficient of variation flags variables whose
+/// significance ranking cannot be fixed offline — the code the paper's
+/// ratio knob must stay conservative about.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_CORE_RANGESWEEP_H
+#define SCORPIO_CORE_RANGESWEEP_H
+
+#include "core/SplitAnalysis.h" // for AnalysisKernel
+#include "support/Statistics.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace scorpio {
+
+/// Per-variable summary over the sweep.
+struct SweepVariable {
+  std::string Name;
+  RunningStats Normalized; ///< statistics of the normalized significance
+  /// True when the variable's significance varies strongly across the
+  /// boxes (coefficient of variation above the option threshold).
+  bool InputDependent = false;
+};
+
+/// Options for sweepAnalysis().
+struct SweepOptions {
+  /// Coefficient-of-variation threshold above which a variable's
+  /// significance is flagged as input-dependent.
+  double InputDependenceThreshold = 0.25;
+  /// Options forwarded to each analyse() call.
+  AnalysisOptions PerBox;
+};
+
+/// Result of a sweep: per-variable statistics plus per-box raw results.
+struct SweepResult {
+  std::vector<SweepVariable> Variables;
+  /// Normalized significances per box, keyed by variable name (one
+  /// entry per box, in box order; missing registrations are skipped).
+  std::map<std::string, std::vector<double>> PerBox;
+  /// Number of boxes whose analysis diverged (excluded from statistics).
+  size_t NumDiverged = 0;
+
+  const SweepVariable *find(const std::string &Name) const;
+  /// True if any variable was flagged input-dependent.
+  bool anyInputDependent() const;
+};
+
+/// Runs \p Kernel once per box in \p Boxes and aggregates.
+SweepResult sweepAnalysis(const AnalysisKernel &Kernel,
+                          const std::vector<std::vector<Interval>> &Boxes,
+                          const SweepOptions &Options = {});
+
+} // namespace scorpio
+
+#endif // SCORPIO_CORE_RANGESWEEP_H

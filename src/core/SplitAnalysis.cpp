@@ -1,0 +1,119 @@
+//===- core/SplitAnalysis.cpp - Automatic interval splitting -------------===//
+
+#include "core/SplitAnalysis.h"
+
+#include <algorithm>
+#include <deque>
+
+using namespace scorpio;
+
+namespace {
+
+struct WorkItem {
+  std::vector<Interval> Box;
+  int Depth;
+};
+
+/// Pseudo-volume of a box: the product of widths, treating degenerate
+/// dimensions as 1 so point inputs do not zero the weight.
+double boxVolume(const std::vector<Interval> &Box) {
+  double V = 1.0;
+  for (const Interval &I : Box) {
+    const double W = I.width();
+    if (W > 0.0)
+      V *= W;
+  }
+  return V;
+}
+
+/// Index of the widest dimension (ties to the lowest index).
+size_t widestDim(const std::vector<Interval> &Box) {
+  size_t Best = 0;
+  double BestW = -1.0;
+  for (size_t I = 0; I != Box.size(); ++I)
+    if (Box[I].width() > BestW) {
+      BestW = Box[I].width();
+      Best = I;
+    }
+  return Best;
+}
+
+} // namespace
+
+SplitResult scorpio::analyseWithSplitting(const AnalysisKernel &Kernel,
+                                          std::vector<Interval> InputBox,
+                                          const SplitOptions &Options) {
+  assert(!InputBox.empty() && "empty input box");
+  SplitResult Result;
+  double TotalWeight = 0.0;
+
+  std::deque<WorkItem> Worklist;
+  Worklist.push_back({std::move(InputBox), 0});
+  size_t Analysed = 0;
+
+  while (!Worklist.empty()) {
+    WorkItem Item = std::move(Worklist.front());
+    Worklist.pop_front();
+
+    if (Analysed >= Options.MaxSubdomains) {
+      ++Result.NumAbandoned;
+      Result.AbandonedVolume += boxVolume(Item.Box);
+      continue;
+    }
+    ++Analysed;
+
+    Analysis A;
+    Kernel(A, Item.Box);
+    const AnalysisResult R = A.analyse(Options.PerLeaf);
+
+    if (!R.isValid()) {
+      // Control flow diverged on this box: bisect and retry, unless the
+      // depth budget is spent or no dimension can be split further.
+      const size_t Dim = widestDim(Item.Box);
+      const Interval &D = Item.Box[Dim];
+      const double Mid = D.mid();
+      // Half-open bisection: the left half ends one ulp below the
+      // midpoint so that a branch point landing exactly on a split
+      // boundary cannot stay ambiguous forever (closed intervals would
+      // always contain it).  The one-ulp gap is immaterial for the
+      // volume-weighted significance aggregate.
+      const double LeftHi = detail::stepDown(Mid);
+      const bool Splittable =
+          D.width() > 0.0 && LeftHi > D.lower() && Mid < D.upper();
+      if (Item.Depth >= Options.MaxDepth || !Splittable) {
+        ++Result.NumAbandoned;
+        Result.AbandonedVolume += boxVolume(Item.Box);
+        continue;
+      }
+      WorkItem Lo = Item, Hi = std::move(Item);
+      Lo.Box[Dim] = Interval(D.lower(), LeftHi);
+      Hi.Box[Dim] = Interval(Mid, D.upper());
+      ++Lo.Depth;
+      ++Hi.Depth;
+      Worklist.push_back(std::move(Lo));
+      Worklist.push_back(std::move(Hi));
+      continue;
+    }
+
+    ++Result.NumConverged;
+    const double Weight = boxVolume(Item.Box);
+    Result.ConvergedVolume += Weight;
+    TotalWeight += Weight;
+    for (const auto *List : {&R.inputs(), &R.intermediates(),
+                             &R.outputs()}) {
+      for (const VariableSignificance &V : *List) {
+        Result.Significance[V.Name] += Weight * V.Significance;
+        Result.Normalized[V.Name] += Weight * V.Normalized;
+      }
+    }
+  }
+
+  if (TotalWeight > 0.0) {
+    for (auto &[Name, S] : Result.Significance)
+      S /= TotalWeight;
+    for (auto &[Name, S] : Result.Normalized)
+      S /= TotalWeight;
+  }
+  Result.Converged = Result.NumAbandoned == 0 && Result.NumConverged > 0;
+  return Result;
+}

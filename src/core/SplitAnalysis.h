@@ -1,0 +1,109 @@
+//===- core/SplitAnalysis.h - Automatic interval splitting ----------------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Section-2.2 limitation: when a kernel branches on an
+/// interval comparison that is neither certainly true nor certainly
+/// false, the control flow is not unique and the analysis must be
+/// abandoned for that input box.  "Circumventing this issue by an
+/// automatic interval splitting approach is part of ongoing research" —
+/// this module implements that approach.
+///
+/// analyseWithSplitting() runs the kernel on the full input box; if the
+/// run diverges, the box is bisected along its widest dimension and both
+/// halves are analysed recursively, until every leaf box either has a
+/// unique control flow or the depth budget is exhausted.  Per-variable
+/// significances are combined as volume-weighted averages over the
+/// converged leaves, so the result approximates the significance a
+/// control-flow-splitting-aware analysis would report for the whole box.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_CORE_SPLITANALYSIS_H
+#define SCORPIO_CORE_SPLITANALYSIS_H
+
+#include "core/Analysis.h"
+
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace scorpio {
+
+/// A kernel under split analysis: must register one input per entry of
+/// the given box (in a fixed order and with fixed names), evaluate, and
+/// register its intermediates/outputs.  It is re-invoked once per
+/// analysed sub-box.
+using AnalysisKernel =
+    std::function<void(Analysis &, std::span<const Interval>)>;
+
+/// Options for analyseWithSplitting().
+struct SplitOptions {
+  /// Maximum bisection depth per box before a diverging leaf is
+  /// abandoned.
+  int MaxDepth = 10;
+  /// Hard cap on analysed sub-boxes (worklist safety valve).
+  size_t MaxSubdomains = 1024;
+  /// Options forwarded to each per-leaf analyse() call.
+  AnalysisOptions PerLeaf;
+};
+
+/// Aggregated outcome of a split analysis.
+///
+/// Outward rounding means boxes touching a branch point within rounding
+/// slack can never be decided; the splitter shrinks them geometrically
+/// and abandons a sliver of vanishing volume.  coveredFraction() tells
+/// how much of the input box the aggregate actually represents.
+struct SplitResult {
+  /// True when every analysed leaf had a unique control flow.
+  bool Converged = false;
+  /// Number of leaf boxes successfully analysed.
+  size_t NumConverged = 0;
+  /// Number of leaf boxes abandoned (still diverging at MaxDepth, or
+  /// cut off by MaxSubdomains).
+  size_t NumAbandoned = 0;
+  /// Pseudo-volume successfully analysed / abandoned.
+  double ConvergedVolume = 0.0;
+  double AbandonedVolume = 0.0;
+
+  /// Fraction of the input box covered by converged leaves.
+  double coveredFraction() const {
+    const double Total = ConvergedVolume + AbandonedVolume;
+    return Total > 0.0 ? ConvergedVolume / Total : 0.0;
+  }
+  /// Volume-weighted mean of the per-leaf *raw* significances.  Leaf
+  /// significances scale with the leaf's own input widths, so this value
+  /// depends on how finely the box was partitioned — treat it as an
+  /// order-of-magnitude indicator, not as a drop-in replacement for an
+  /// unsplit whole-box significance.
+  std::map<std::string, double> Significance;
+  /// Volume-weighted mean of the per-leaf *normalized* significances.
+  /// Scale-free per leaf, hence stable under refinement: use this for
+  /// ranking variables across a control-flow boundary.
+  std::map<std::string, double> Normalized;
+
+  double significanceOf(const std::string &Name) const {
+    auto It = Significance.find(Name);
+    return It == Significance.end() ? 0.0 : It->second;
+  }
+  double normalizedOf(const std::string &Name) const {
+    auto It = Normalized.find(Name);
+    return It == Normalized.end() ? 0.0 : It->second;
+  }
+};
+
+/// Runs \p Kernel over \p InputBox, recursively bisecting on control-flow
+/// divergence (see file comment).
+SplitResult analyseWithSplitting(const AnalysisKernel &Kernel,
+                                 std::vector<Interval> InputBox,
+                                 const SplitOptions &Options = {});
+
+} // namespace scorpio
+
+#endif // SCORPIO_CORE_SPLITANALYSIS_H

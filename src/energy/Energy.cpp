@@ -1,0 +1,10 @@
+//===- energy/Energy.cpp - Energy accounting ------------------------------===//
+
+#include "energy/Energy.h"
+
+using namespace scorpio;
+
+WorkMeter &WorkMeter::global() {
+  static WorkMeter Meter;
+  return Meter;
+}

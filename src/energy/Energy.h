@@ -1,0 +1,113 @@
+//===- energy/Energy.h - Energy accounting substitute for RAPL ------------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper measures energy with hardware counters on a Xeon E5-2695 v3.
+/// Neither that machine nor RAPL access is available here, so this module
+/// provides two proxies (see DESIGN.md, Substitutions):
+///
+///  * a *time model*: energy = wall-clock seconds x constant package
+///    power — tracks real computation savings on the host machine;
+///  * an *operation-cost model*: kernels report abstract work units
+///    (roughly, weighted flop counts) to a thread-safe WorkMeter; energy
+///    = units x joules-per-unit — bit-deterministic across machines.
+///
+/// Both are monotone in the amount of work executed, which is what the
+/// paper's energy results measure (approximated/dropped tasks do less
+/// work), so win/lose orderings and relative-reduction bands carry over.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_ENERGY_ENERGY_H
+#define SCORPIO_ENERGY_ENERGY_H
+
+#include "support/Timer.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace scorpio {
+
+/// Scaling constants of the two proxies.
+struct EnergyModelParams {
+  /// Package power of the modeled CPU under load (W).  The paper's Xeon
+  /// E5-2695 v3 has a 120 W TDP; full-system draw under the paper's
+  /// workloads is higher, but only ratios matter for the reproduction.
+  double PackagePowerWatts = 120.0;
+  /// Joules charged per abstract work unit in the operation-cost model.
+  double JoulesPerUnit = 20e-9;
+};
+
+/// Thread-safe accumulator of abstract work units.
+///
+/// Units are stored as an integer count of nano-units so the accumulation
+/// is a single atomic add.
+class WorkMeter {
+public:
+  /// Adds \p Units (may be fractional).
+  void add(double Units) {
+    Nano.fetch_add(static_cast<int64_t>(Units * 1e3),
+                   std::memory_order_relaxed);
+  }
+
+  /// Total units accumulated since construction or reset().
+  double units() const {
+    return static_cast<double>(Nano.load(std::memory_order_relaxed)) * 1e-3;
+  }
+
+  void reset() { Nano.store(0, std::memory_order_relaxed); }
+
+  /// Process-wide meter used by the benchmark kernels.
+  static WorkMeter &global();
+
+private:
+  std::atomic<int64_t> Nano{0};
+};
+
+/// What one measured region consumed.
+struct EnergyReport {
+  double Seconds = 0.0;
+  double WorkUnits = 0.0;
+
+  /// Energy under the time model.
+  double timeModelJoules(const EnergyModelParams &P = {}) const {
+    return Seconds * P.PackagePowerWatts;
+  }
+
+  /// Energy under the operation-cost model (deterministic).
+  double opModelJoules(const EnergyModelParams &P = {}) const {
+    return WorkUnits * P.JoulesPerUnit;
+  }
+};
+
+/// Scope-style probe: construct before the region, call report() after.
+///
+/// \code
+///   EnergyProbe Probe;
+///   runKernel();
+///   EnergyReport R = Probe.report();
+/// \endcode
+class EnergyProbe {
+public:
+  EnergyProbe() : StartUnits(WorkMeter::global().units()) {}
+
+  /// Seconds and work units consumed since construction.
+  EnergyReport report() const {
+    EnergyReport R;
+    R.Seconds = Watch.seconds();
+    R.WorkUnits = WorkMeter::global().units() - StartUnits;
+    return R;
+  }
+
+private:
+  Timer Watch;
+  double StartUnits;
+};
+
+} // namespace scorpio
+
+#endif // SCORPIO_ENERGY_ENERGY_H

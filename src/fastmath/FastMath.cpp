@@ -1,0 +1,168 @@
+//===- fastmath/FastMath.cpp - Approximate math implementations ----------===//
+
+#include "fastmath/FastMath.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace scorpio {
+namespace fastmath {
+
+float fastPow2(float P) {
+  // Clamp to the float exponent range to avoid producing inf/denormals.
+  if (P < -126.0f)
+    P = -126.0f;
+  if (P > 127.0f)
+    P = 127.0f;
+  const float Offset = P < 0.0f ? 1.0f : 0.0f;
+  const float Clipp = P;
+  const int32_t W = static_cast<int32_t>(Clipp);
+  const float Z = Clipp - static_cast<float>(W) + Offset;
+  // Coefficients from fastapprox's fastpow2.
+  const float V = (1 << 23) * (Clipp + 121.2740575f +
+                               27.7280233f / (4.84252568f - Z) -
+                               1.49012907f * Z);
+  return std::bit_cast<float>(static_cast<uint32_t>(V));
+}
+
+float fastLog2(float X) {
+  const uint32_t Bits = std::bit_cast<uint32_t>(X);
+  const float MX =
+      std::bit_cast<float>((Bits & 0x007FFFFF) | 0x3f000000);
+  const float Y = static_cast<float>(Bits) * 1.1920928955078125e-7f;
+  // Coefficients from fastapprox's fastlog2.
+  return Y - 124.22551499f - 1.498030302f * MX -
+         1.72587999f / (0.3520887068f + MX);
+}
+
+double expFast(double X) {
+  static const float Log2E = 1.442695040f;
+  return static_cast<double>(fastPow2(static_cast<float>(X) * Log2E));
+}
+
+double logFast(double X) {
+  static const float Ln2 = 0.69314718f;
+  return static_cast<double>(fastLog2(static_cast<float>(X)) * Ln2);
+}
+
+double powFast(double X, double P) {
+  return static_cast<double>(
+      fastPow2(static_cast<float>(P) * fastLog2(static_cast<float>(X))));
+}
+
+double powIntFast(double X, int N) {
+  if (N == 0)
+    return 1.0;
+  const bool Negative = N < 0;
+  unsigned K = Negative ? static_cast<unsigned>(-(long long)N)
+                        : static_cast<unsigned>(N);
+  // Truncate the mantissa to float precision: the "light-weight" part.
+  float B = static_cast<float>(X);
+  float R = 1.0f;
+  while (K) {
+    if (K & 1)
+      R *= B;
+    B *= B;
+    K >>= 1;
+  }
+  const double Result = static_cast<double>(R);
+  return Negative ? 1.0 / Result : Result;
+}
+
+double rsqrtFast(double X) {
+  float XF = static_cast<float>(X);
+  const uint32_t I = 0x5f3759df - (std::bit_cast<uint32_t>(XF) >> 1);
+  float Y = std::bit_cast<float>(I);
+  Y = Y * (1.5f - 0.5f * XF * Y * Y); // one Newton-Raphson step
+  return static_cast<double>(Y);
+}
+
+double sqrtFast(double X) {
+  if (X <= 0.0)
+    return 0.0;
+  return X * rsqrtFast(X);
+}
+
+double cndfFast(double X) {
+  // Abramowitz & Stegun 7.1.26 on the complementary half, with the
+  // expensive exp replaced by expFast.
+  const bool Negative = X < 0.0;
+  const double Z = Negative ? -X : X;
+  const double T = 1.0 / (1.0 + 0.2316419 * Z);
+  const double Poly =
+      T * (0.319381530 +
+           T * (-0.356563782 +
+                T * (1.781477937 + T * (-1.821255978 + T * 1.330274429))));
+  const double Pdf = 0.3989422804014327 * expFast(-0.5 * Z * Z);
+  const double Tail = Pdf * Poly;
+  return Negative ? Tail : 1.0 - Tail;
+}
+
+static float fasterPow2(float P) {
+  if (P < -126.0f)
+    P = -126.0f;
+  if (P > 127.0f)
+    P = 127.0f;
+  const float V = (1 << 23) * (P + 126.94269504f);
+  return std::bit_cast<float>(static_cast<uint32_t>(V));
+}
+
+static float fasterLog2(float X) {
+  const uint32_t Bits = std::bit_cast<uint32_t>(X);
+  const float Y = static_cast<float>(Bits) * 1.1920928955078125e-7f;
+  return Y - 126.94269504f;
+}
+
+double expFaster(double X) {
+  static const float Log2E = 1.442695040f;
+  return static_cast<double>(fasterPow2(static_cast<float>(X) * Log2E));
+}
+
+double logFaster(double X) {
+  static const float Ln2 = 0.69314718f;
+  return static_cast<double>(fasterLog2(static_cast<float>(X)) * Ln2);
+}
+
+double sqrtFaster(double X) {
+  if (X <= 0.0)
+    return 0.0;
+  const float XF = static_cast<float>(X);
+  const uint32_t I = (std::bit_cast<uint32_t>(XF) >> 1) + 0x1fbd1df5;
+  return static_cast<double>(std::bit_cast<float>(I));
+}
+
+double cndfFaster(double X) {
+  const bool Negative = X < 0.0;
+  const double Z = Negative ? -X : X;
+  const double T = 1.0 / (1.0 + 0.2316419 * Z);
+  const double Poly =
+      T * (0.319381530 +
+           T * (-0.356563782 +
+                T * (1.781477937 + T * (-1.821255978 + T * 1.330274429))));
+  const double Pdf = 0.3989422804014327 * expFaster(-0.5 * Z * Z);
+  const double Tail = Pdf * Poly;
+  return Negative ? Tail : 1.0 - Tail;
+}
+
+double sinFast(double X) {
+  // Range-reduce to [-pi, pi].
+  static const double Pi = 3.14159265358979323846;
+  static const double TwoPi = 2.0 * Pi;
+  static const double InvTwoPi = 1.0 / TwoPi;
+  X -= TwoPi * std::floor(X * InvTwoPi + 0.5);
+  // Parabolic approximation with a correction pass.
+  const double B = 4.0 / Pi;
+  const double C = -4.0 / (Pi * Pi);
+  double Y = B * X + C * X * std::fabs(X);
+  Y = 0.775 * Y + 0.225 * Y * std::fabs(Y);
+  return Y;
+}
+
+double cosFast(double X) {
+  static const double HalfPi = 1.57079632679489661923;
+  return sinFast(X + HalfPi);
+}
+
+} // namespace fastmath
+} // namespace scorpio

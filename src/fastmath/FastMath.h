@@ -1,0 +1,83 @@
+//===- fastmath/FastMath.h - Light-weight approximate math kernels --------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cheap, reduced-precision replacements for libm functions, standing in
+/// for the fastapprox library the paper's approximate task versions use
+/// (Section 4.1.5, reference [22]).  All functions trade 3-6 decimal
+/// digits of accuracy for a fraction of the cost of the accurate
+/// implementation; relative error bounds are documented per function and
+/// verified by tests/fastmath_test.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_FASTMATH_FASTMATH_H
+#define SCORPIO_FASTMATH_FASTMATH_H
+
+namespace scorpio {
+namespace fastmath {
+
+/// 2^P via a piecewise-polynomial correction of the float exponent-field
+/// trick.  Relative error below ~6e-5 for |P| < 120.
+float fastPow2(float P);
+
+/// log2(X) for X > 0 via the inverse trick.  Absolute error ~6e-5.
+float fastLog2(float X);
+
+/// exp(X); relative error below ~1e-4 over |X| <= 80.
+double expFast(double X);
+
+/// Natural log for X > 0; absolute error ~5e-5.
+double logFast(double X);
+
+/// X^P for X > 0; relative error grows with |P|, ~1e-4 * |P|.
+double powFast(double X, double P);
+
+/// X^N for integer N, square-and-multiply on a truncated float mantissa;
+/// cheaper than std::pow for small N and any X (including negatives).
+double powIntFast(double X, int N);
+
+/// sqrt via the rsqrt bit trick plus one Newton step; relative error
+/// below ~1e-3.
+double sqrtFast(double X);
+
+/// 1/sqrt(X) via the classic bit trick plus one Newton step.
+double rsqrtFast(double X);
+
+/// Standard normal CDF via the Abramowitz-Stegun 7.1.26 polynomial with
+/// expFast; absolute error below ~1e-5 — the paper's BlackScholes blocks
+/// C/D substitution.
+double cndfFast(double X);
+
+/// Cruder "faster" tier (fastapprox's fasterexp/fasterlog): pure
+/// exponent-field manipulation without the polynomial correction.
+/// Relative error up to ~4% — used where the paper reports double-digit
+/// percentage quality loss from approximate math (BlackScholes blocks
+/// C/D at ratio 0).
+double expFaster(double X);
+
+/// Crude natural log, matching expFaster's tier; absolute error ~3e-2.
+double logFaster(double X);
+
+/// Crude sqrt: exponent halving only (no Newton step); relative error
+/// up to ~6%.
+double sqrtFaster(double X);
+
+/// Normal CDF built on expFaster; absolute error up to ~1e-2.
+double cndfFaster(double X);
+
+/// sin via a Bhaskara-like rational approximation after range reduction;
+/// absolute error ~2e-3.
+double sinFast(double X);
+
+/// cos via sinFast(x + pi/2).
+double cosFast(double X);
+
+} // namespace fastmath
+} // namespace scorpio
+
+#endif // SCORPIO_FASTMATH_FASTMATH_H

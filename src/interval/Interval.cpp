@@ -1,0 +1,330 @@
+//===- interval/Interval.cpp - Outward-rounded interval arithmetic -------===//
+
+#include "interval/Interval.h"
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+
+using namespace scorpio;
+
+static constexpr double Inf = std::numeric_limits<double>::infinity();
+static constexpr double Pi = 3.14159265358979323846264338327950288;
+static constexpr double HalfPi = Pi / 2.0;
+
+double detail::stepDown(double X) {
+  if (X == -Inf)
+    return X;
+  return std::nextafter(X, -Inf);
+}
+
+double detail::stepUp(double X) {
+  if (X == Inf)
+    return X;
+  return std::nextafter(X, Inf);
+}
+
+Interval detail::outward(double Lo, double Hi, int Ulps) {
+  for (int I = 0; I < Ulps; ++I) {
+    Lo = stepDown(Lo);
+    Hi = stepUp(Hi);
+  }
+  return Interval(Lo, Hi);
+}
+
+Interval Interval::entire() { return Interval(-Inf, Inf); }
+
+Interval Interval::centered(double Mid, double Rad) {
+  assert(Rad >= 0.0 && "negative radius");
+  return detail::outward(Mid - Rad, Mid + Rad, 1);
+}
+
+Interval Interval::ordered(double X, double Y) {
+  return Interval(std::min(X, Y), std::max(X, Y));
+}
+
+double Interval::width() const {
+  if (Lo == -Inf || Hi == Inf)
+    return Inf;
+  // IEEE subtraction is exactly rounded; in particular the width of a
+  // point interval is exactly 0 (a zero-significance guarantee that the
+  // Maclaurin term0 result of Figure 3 depends on).
+  return Hi - Lo;
+}
+
+double Interval::mid() const {
+  if (Lo == -Inf && Hi == Inf)
+    return 0.0;
+  if (Lo == -Inf)
+    return -std::numeric_limits<double>::max();
+  if (Hi == Inf)
+    return std::numeric_limits<double>::max();
+  const double M = 0.5 * (Lo + Hi);
+  if (std::isfinite(M))
+    return M;
+  return 0.5 * Lo + 0.5 * Hi;
+}
+
+double Interval::mig() const {
+  if (contains(0.0))
+    return 0.0;
+  return std::min(std::fabs(Lo), std::fabs(Hi));
+}
+
+namespace scorpio {
+
+Interval operator+(const Interval &A, const Interval &B) {
+  // Adding the exact point 0 is exact; keeping it so preserves the
+  // zero-significance guarantees (no spurious ulp widening of zero
+  // adjoints and tangents).
+  if (A.Lo == 0.0 && A.Hi == 0.0)
+    return B;
+  if (B.Lo == 0.0 && B.Hi == 0.0)
+    return A;
+  return detail::outward(A.Lo + B.Lo, A.Hi + B.Hi, 1);
+}
+
+Interval operator-(const Interval &A, const Interval &B) {
+  if (B.Lo == 0.0 && B.Hi == 0.0)
+    return A;
+  if (A.Lo == 0.0 && A.Hi == 0.0)
+    return -B;
+  return detail::outward(A.Lo - B.Hi, A.Hi - B.Lo, 1);
+}
+
+/// Bound product treating 0 * inf as 0 (the interval-arithmetic
+/// convention: the zero factor is an exact point, so the product set is
+/// exactly {0}).
+static double mulBound(double A, double B) {
+  if (A == 0.0 || B == 0.0)
+    return 0.0;
+  return A * B;
+}
+
+Interval operator*(const Interval &A, const Interval &B) {
+  // An exact zero factor gives an exact zero product; do not widen, so
+  // that zero adjoints/partials stay exactly zero (the "significance 0
+  // means replaceable by a constant" guarantee).
+  if ((A.Lo == 0.0 && A.Hi == 0.0) || (B.Lo == 0.0 && B.Hi == 0.0))
+    return Interval(0.0, 0.0);
+  const double P1 = mulBound(A.Lo, B.Lo);
+  const double P2 = mulBound(A.Lo, B.Hi);
+  const double P3 = mulBound(A.Hi, B.Lo);
+  const double P4 = mulBound(A.Hi, B.Hi);
+  const double Lo = std::min(std::min(P1, P2), std::min(P3, P4));
+  const double Hi = std::max(std::max(P1, P2), std::max(P3, P4));
+  return detail::outward(Lo, Hi, 1);
+}
+
+Interval operator/(const Interval &A, const Interval &B) {
+  if (B.contains(0.0))
+    return Interval::entire();
+  const double Q1 = A.Lo / B.Lo;
+  const double Q2 = A.Lo / B.Hi;
+  const double Q3 = A.Hi / B.Lo;
+  const double Q4 = A.Hi / B.Hi;
+  const double Lo = std::min(std::min(Q1, Q2), std::min(Q3, Q4));
+  const double Hi = std::max(std::max(Q1, Q2), std::max(Q3, Q4));
+  return detail::outward(Lo, Hi, 1);
+}
+
+} // namespace scorpio
+
+Interval scorpio::hull(const Interval &A, const Interval &B) {
+  return Interval(std::min(A.lower(), B.lower()),
+                  std::max(A.upper(), B.upper()));
+}
+
+Interval scorpio::intersect(const Interval &A, const Interval &B) {
+  assert(A.intersects(B) && "empty intersection");
+  return Interval(std::max(A.lower(), B.lower()),
+                  std::min(A.upper(), B.upper()));
+}
+
+Interval scorpio::sqr(const Interval &X) {
+  const double MagLo = X.mig();
+  const double MagHi = X.mag();
+  const double Lo =
+      MagLo == 0.0 ? 0.0 : detail::stepDown(MagLo * MagLo);
+  return Interval(Lo, detail::stepUp(MagHi * MagHi));
+}
+
+Interval scorpio::sqrt(const Interval &X) {
+  const double Lo = std::max(X.lower(), 0.0);
+  const double Hi = std::max(X.upper(), 0.0);
+  const double SLo = std::max(0.0, detail::stepDown(std::sqrt(Lo)));
+  const double SHi = detail::stepUp(std::sqrt(Hi));
+  return Interval(SLo, SHi);
+}
+
+Interval scorpio::exp(const Interval &X) {
+  const double Lo = std::max(0.0, detail::stepDown(
+                                      detail::stepDown(std::exp(X.lower()))));
+  const double Hi = detail::stepUp(detail::stepUp(std::exp(X.upper())));
+  return Interval(Lo, Hi);
+}
+
+Interval scorpio::log(const Interval &X) {
+  if (X.upper() <= 0.0)
+    return Interval::entire();
+  const double Lo =
+      X.lower() <= 0.0
+          ? -Inf
+          : detail::stepDown(detail::stepDown(std::log(X.lower())));
+  const double Hi = detail::stepUp(detail::stepUp(std::log(X.upper())));
+  return Interval(Lo, Hi);
+}
+
+/// Shared kernel for sin/cos range computation.  Extrema of the function
+/// lie at Phase + k*pi for integer k, with value +1 for even k and -1 for
+/// odd k; between consecutive extrema the function is monotone, so the
+/// range is the hull of endpoint values plus any enclosed extremum.
+static Interval trigRange(const Interval &X, double Phase, double FLo,
+                          double FHi) {
+  if (!X.isBounded() || X.width() >= 2.0 * Pi || X.mag() > 1e15)
+    return Interval(-1.0, 1.0);
+  double Lo = std::min(FLo, FHi);
+  double Hi = std::max(FLo, FHi);
+  const double KLo = std::ceil((X.lower() - Phase) / Pi);
+  const double KHi = std::floor((X.upper() - Phase) / Pi);
+  for (double K = KLo; K <= KHi; K += 1.0) {
+    const bool Even = std::fmod(K, 2.0) == 0.0;
+    if (Even)
+      Hi = 1.0;
+    else
+      Lo = -1.0;
+  }
+  Lo = std::max(-1.0, detail::stepDown(detail::stepDown(Lo)));
+  Hi = std::min(1.0, detail::stepUp(detail::stepUp(Hi)));
+  return Interval(Lo, Hi);
+}
+
+Interval scorpio::sin(const Interval &X) {
+  return trigRange(X, HalfPi, std::sin(X.lower()), std::sin(X.upper()));
+}
+
+Interval scorpio::cos(const Interval &X) {
+  return trigRange(X, 0.0, std::cos(X.lower()), std::cos(X.upper()));
+}
+
+Interval scorpio::tan(const Interval &X) {
+  if (!X.isBounded() || X.width() >= Pi || X.mag() > 1e15)
+    return Interval::entire();
+  // tan has an asymptote at pi/2 + k*pi; the interval crosses one iff the
+  // half-period indices of its endpoints differ.
+  const double KLo = std::floor((X.lower() - HalfPi) / Pi);
+  const double KHi = std::floor((X.upper() - HalfPi) / Pi);
+  if (KLo != KHi)
+    return Interval::entire();
+  return detail::outward(std::tan(X.lower()), std::tan(X.upper()), 2);
+}
+
+Interval scorpio::atan(const Interval &X) {
+  const double Lo =
+      std::max(-HalfPi, detail::stepDown(detail::stepDown(
+                            std::atan(X.lower()))));
+  const double Hi = std::min(
+      HalfPi, detail::stepUp(detail::stepUp(std::atan(X.upper()))));
+  return Interval(Lo, Hi);
+}
+
+Interval scorpio::erf(const Interval &X) {
+  const double Lo = std::max(
+      -1.0, detail::stepDown(detail::stepDown(std::erf(X.lower()))));
+  const double Hi =
+      std::min(1.0, detail::stepUp(detail::stepUp(std::erf(X.upper()))));
+  return Interval(Lo, Hi);
+}
+
+Interval scorpio::fabs(const Interval &X) {
+  if (X.lower() >= 0.0)
+    return X;
+  if (X.upper() <= 0.0)
+    return -X;
+  return Interval(0.0, X.mag());
+}
+
+Interval scorpio::pow(const Interval &X, int N) {
+  if (N == 0)
+    return Interval(1.0, 1.0);
+  if (N < 0)
+    return recip(pow(X, -N));
+  if (N == 1)
+    return X;
+  auto IPow = [](double Base, int E) {
+    double R = 1.0;
+    double B = Base;
+    for (int K = E; K > 0; K >>= 1) {
+      if (K & 1)
+        R *= B;
+      B *= B;
+    }
+    return R;
+  };
+  if (N % 2 == 0) {
+    const Interval R = detail::outward(IPow(X.mig(), N), IPow(X.mag(), N), N);
+    return Interval(std::max(0.0, R.lower()), R.upper());
+  }
+  return detail::outward(IPow(X.lower(), N), IPow(X.upper(), N), N);
+}
+
+Interval scorpio::pow(const Interval &X, const Interval &Y) {
+  if (X.upper() <= 0.0)
+    return Interval::entire();
+  const double Lo = std::max(X.lower(), std::numeric_limits<double>::min());
+  return exp(Y * log(Interval(Lo, std::max(Lo, X.upper()))));
+}
+
+Interval scorpio::min(const Interval &A, const Interval &B) {
+  return Interval(std::min(A.lower(), B.lower()),
+                  std::min(A.upper(), B.upper()));
+}
+
+Interval scorpio::max(const Interval &A, const Interval &B) {
+  return Interval(std::max(A.lower(), B.lower()),
+                  std::max(A.upper(), B.upper()));
+}
+
+Interval scorpio::round(const Interval &X) {
+  return Interval(std::round(X.lower()), std::round(X.upper()));
+}
+
+Interval scorpio::recip(const Interval &X) {
+  return Interval(1.0) / X;
+}
+
+double scorpio::tanOverXPoint(double X, double Phi) {
+  assert(X >= 0.0 && "tanOverX domain is x >= 0");
+  const double U = X * Phi;
+  if (U < 1e-4) {
+    // tan(u)/u = 1 + u^2/3 + 2u^4/15 + ...
+    const double U2 = U * U;
+    return Phi * (1.0 + U2 / 3.0 + 2.0 * U2 * U2 / 15.0);
+  }
+  return std::tan(U) / X;
+}
+
+double scorpio::tanOverXDerivPoint(double X, double Phi) {
+  assert(X >= 0.0 && "tanOverX domain is x >= 0");
+  const double U = X * Phi;
+  if (U < 1e-4) {
+    // g'(x) = 2*Phi^3*x/3 + 8*Phi^5*x^3/15 + ...
+    return 2.0 * Phi * Phi * Phi * X / 3.0 +
+           8.0 * std::pow(Phi, 5) * X * X * X / 15.0;
+  }
+  const double Sec = 1.0 / std::cos(U);
+  return (Phi * X * Sec * Sec - std::tan(U)) / (X * X);
+}
+
+Interval scorpio::tanOverX(const Interval &X, double Phi) {
+  assert(Phi > 0.0 && "lens angle must be positive");
+  if (X.lower() < 0.0 || !X.isBounded() || X.upper() * Phi >= HalfPi)
+    return Interval::entire();
+  // g is monotone increasing on the domain: endpoint evaluation.
+  return detail::outward(tanOverXPoint(X.lower(), Phi),
+                         tanOverXPoint(X.upper(), Phi), 4);
+}
+
+std::ostream &scorpio::operator<<(std::ostream &OS, const Interval &X) {
+  return OS << "[" << X.lower() << ", " << X.upper() << "]";
+}

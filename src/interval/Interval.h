@@ -1,0 +1,200 @@
+//===- interval/Interval.h - Outward-rounded interval arithmetic ----------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interval arithmetic (IA) over doubles with outward rounding, replacing
+/// the FILIB++ base type the paper's dco/scorpio specialization used
+/// (Section 2.3, reference [19]).
+///
+/// The fundamental contract is *containment* (paper Eq. 4-6): for every
+/// operation `op`, `op(Interval(A), Interval(B))` encloses
+/// `{op(a, b) | a in A, b in B}`.  Bounds computed in double precision are
+/// nudged outward by a couple of ULPs, which is conservative for the
+/// at-most-1-ulp error of IEEE basic operations and the few-ulp error of
+/// common libm implementations.
+///
+/// Relational operators on overlapping intervals are not decidable
+/// (Section 2.2 of the paper); \see IntervalCompare.h for the tri-state
+/// comparison interface used by analysed kernels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_INTERVAL_INTERVAL_H
+#define SCORPIO_INTERVAL_INTERVAL_H
+
+#include <cassert>
+#include <cmath>
+#include <iosfwd>
+
+namespace scorpio {
+
+/// A closed interval [Lo, Hi] of doubles with outward-rounded arithmetic.
+///
+/// Invariant: Lo <= Hi, and neither bound is NaN.  Infinite bounds are
+/// allowed; `Interval::entire()` is the whole real line and results from
+/// undefined situations such as division by an interval containing zero.
+class Interval {
+public:
+  /// Constructs the degenerate interval [0, 0].
+  Interval() : Lo(0.0), Hi(0.0) {}
+
+  /// Constructs the degenerate (point) interval [X, X].
+  /*implicit*/ Interval(double X) : Lo(X), Hi(X) {
+    assert(!std::isnan(X) && "NaN interval bound");
+  }
+
+  /// Constructs [Lo, Hi]; requires Lo <= Hi.
+  Interval(double Lo, double Hi) : Lo(Lo), Hi(Hi) {
+    assert(!(std::isnan(Lo) || std::isnan(Hi)) && "NaN interval bound");
+    assert(Lo <= Hi && "inverted interval bounds");
+  }
+
+  /// The whole real line [-inf, +inf].
+  static Interval entire();
+
+  /// An interval centered at \p Mid with radius \p Rad >= 0.
+  static Interval centered(double Mid, double Rad);
+
+  /// The smallest interval containing both \p X and \p Y (which may be
+  /// given in either order).
+  static Interval ordered(double X, double Y);
+
+  double lower() const { return Lo; }
+  double upper() const { return Hi; }
+
+  /// Width w([x]) = Hi - Lo (paper Section 2.1).  +inf for unbounded
+  /// intervals; the width of a point interval is 0.
+  double width() const;
+
+  /// Midpoint (Lo + Hi) / 2, computed overflow-safely.
+  double mid() const;
+
+  /// Radius = width / 2.
+  double rad() const { return 0.5 * width(); }
+
+  /// Magnitude: max |x| over the interval.
+  double mag() const { return std::max(std::fabs(Lo), std::fabs(Hi)); }
+
+  /// Mignitude: min |x| over the interval (0 if the interval contains 0).
+  double mig() const;
+
+  /// True iff the interval is a single point.
+  bool isPoint() const { return Lo == Hi; }
+
+  /// True iff both bounds are finite.
+  bool isBounded() const { return std::isfinite(Lo) && std::isfinite(Hi); }
+
+  /// True iff \p X lies in [Lo, Hi].
+  bool contains(double X) const { return Lo <= X && X <= Hi; }
+
+  /// True iff \p Other is a subset of this interval.
+  bool contains(const Interval &Other) const {
+    return Lo <= Other.Lo && Other.Hi <= Hi;
+  }
+
+  /// True iff the two intervals share at least one point.
+  bool intersects(const Interval &Other) const {
+    return Lo <= Other.Hi && Other.Lo <= Hi;
+  }
+
+  /// Exact bound equality (not a set relation on overlapping intervals).
+  bool operator==(const Interval &Other) const {
+    return Lo == Other.Lo && Hi == Other.Hi;
+  }
+  bool operator!=(const Interval &Other) const { return !(*this == Other); }
+
+  Interval operator-() const { return Interval(-Hi, -Lo); }
+
+  Interval &operator+=(const Interval &B) { return *this = *this + B; }
+  Interval &operator-=(const Interval &B) { return *this = *this - B; }
+  Interval &operator*=(const Interval &B) { return *this = *this * B; }
+  Interval &operator/=(const Interval &B) { return *this = *this / B; }
+
+  friend Interval operator+(const Interval &A, const Interval &B);
+  friend Interval operator-(const Interval &A, const Interval &B);
+  friend Interval operator*(const Interval &A, const Interval &B);
+  /// Division; returns entire() if B contains zero.
+  friend Interval operator/(const Interval &A, const Interval &B);
+
+private:
+  double Lo, Hi;
+};
+
+/// Convex hull of two intervals.
+Interval hull(const Interval &A, const Interval &B);
+
+/// Intersection; requires the intervals to intersect.
+Interval intersect(const Interval &A, const Interval &B);
+
+/// x^2 as a single dependent operation (tighter than x*x).
+Interval sqr(const Interval &X);
+
+Interval sqrt(const Interval &X); ///< Domain clamped to [0, inf).
+Interval exp(const Interval &X);
+Interval log(const Interval &X); ///< Domain clamped to (0, inf).
+Interval sin(const Interval &X);
+Interval cos(const Interval &X);
+Interval tan(const Interval &X); ///< entire() when crossing an asymptote.
+Interval atan(const Interval &X);
+Interval erf(const Interval &X);
+Interval fabs(const Interval &X);
+
+/// x^N for integer N; exact monotonicity case analysis (no log/exp).
+Interval pow(const Interval &X, int N);
+
+/// x^y for general exponent via exp(y * log(x)); domain of X clamped to
+/// (0, inf) as in real-valued pow.
+Interval pow(const Interval &X, const Interval &Y);
+
+Interval min(const Interval &A, const Interval &B);
+Interval max(const Interval &A, const Interval &B);
+
+/// Round-half-away-from-zero applied to both bounds — the natural IA
+/// enclosure of std::round over the interval.
+Interval round(const Interval &X);
+
+/// Reciprocal 1/x; entire() if X contains zero.
+Interval recip(const Interval &X);
+
+/// The scaled tangent cardinal g(x) = tan(x * Phi) / x for x >= 0, with
+/// the removable singularity filled in: g(0) = Phi.
+///
+/// Computing tan(x*Phi)/x as two separate interval operations suffers
+/// catastrophic dependency overestimation near x = 0 (the numerator and
+/// denominator are perfectly correlated).  This is the paper's
+/// Section-2.2 "special interval algorithms required" situation; g is
+/// monotonically increasing on [0, pi/(2*Phi)), so a dedicated endpoint
+/// evaluation is exact up to rounding.  Returns entire() when X leaves
+/// that domain.
+Interval tanOverX(const Interval &X, double Phi);
+
+/// Scalar version of tanOverX (Taylor-guarded near 0).
+double tanOverXPoint(double X, double Phi);
+
+/// Overload so kernels templated over double/IAValue can call tanOverX
+/// unqualified in both instantiations.
+inline double tanOverX(double X, double Phi) {
+  return tanOverXPoint(X, Phi);
+}
+
+/// Derivative g'(x) of tanOverX at a point (0 at x = 0).
+double tanOverXDerivPoint(double X, double Phi);
+
+std::ostream &operator<<(std::ostream &OS, const Interval &X);
+
+namespace detail {
+/// Next double below \p X (identity on -inf).
+double stepDown(double X);
+/// Next double above \p X (identity on +inf).
+double stepUp(double X);
+/// Widens [Lo, Hi] outward by \p Ulps steps on each side.
+Interval outward(double Lo, double Hi, int Ulps);
+} // namespace detail
+
+} // namespace scorpio
+
+#endif // SCORPIO_INTERVAL_INTERVAL_H

@@ -1,0 +1,73 @@
+//===- interval/IntervalCompare.h - Tri-state interval comparisons --------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Comparisons between intervals are not always decidable: for c inside
+/// [x], "c < [x]" is neither true nor false (paper Section 2.2).  This
+/// header provides the tri-state comparison the analysis uses.  When a
+/// kernel under analysis branches on an Ambiguous comparison, the analysis
+/// run is terminated and the condition is reported to the user — exactly
+/// the behaviour the paper prescribes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_INTERVAL_INTERVALCOMPARE_H
+#define SCORPIO_INTERVAL_INTERVALCOMPARE_H
+
+#include "interval/Interval.h"
+
+#include <cstdint>
+
+namespace scorpio {
+
+/// Result of comparing two intervals.
+enum class Tribool : uint8_t {
+  False,    ///< Holds for no pair of points.
+  True,     ///< Holds for every pair of points.
+  Ambiguous ///< Holds for some pairs and not others.
+};
+
+/// [A] < [B]
+inline Tribool certainlyLess(const Interval &A, const Interval &B) {
+  if (A.upper() < B.lower())
+    return Tribool::True;
+  if (A.lower() >= B.upper())
+    return Tribool::False;
+  return Tribool::Ambiguous;
+}
+
+/// [A] <= [B]
+inline Tribool certainlyLessEqual(const Interval &A, const Interval &B) {
+  if (A.upper() <= B.lower())
+    return Tribool::True;
+  if (A.lower() > B.upper())
+    return Tribool::False;
+  return Tribool::Ambiguous;
+}
+
+/// [A] > [B]
+inline Tribool certainlyGreater(const Interval &A, const Interval &B) {
+  return certainlyLess(B, A);
+}
+
+/// [A] >= [B]
+inline Tribool certainlyGreaterEqual(const Interval &A, const Interval &B) {
+  return certainlyLessEqual(B, A);
+}
+
+/// True iff the comparison is decidable for every point pair.
+inline bool isDecided(Tribool T) { return T != Tribool::Ambiguous; }
+
+/// Converts a decided Tribool to bool; asserts on Ambiguous.
+inline bool decidedValue(Tribool T) {
+  assert(isDecided(T) && "branching on an ambiguous interval comparison");
+  return T == Tribool::True;
+}
+
+} // namespace scorpio
+
+#endif // SCORPIO_INTERVAL_INTERVALCOMPARE_H

@@ -1,0 +1,100 @@
+//===- kernels/KernelRegistry.h - Reusable analyzable kernels -------------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's closing future-work item: "we plan to expand our
+/// framework to treat kernels as reusable components in the spirit of
+/// libraries" (Section 6).  This module provides that component model:
+/// a kernel is registered once with its metadata — name, input arity,
+/// default profiling ranges, a point evaluator and an analysis
+/// evaluator built from the same templated source — and any client can
+/// then run significance analysis, Monte Carlo validation, or split
+/// analysis on it by name, without knowing its internals.
+///
+/// A starter library of common numeric kernels ships in
+/// StandardKernels.h (polynomial evaluation, dot products, convolution,
+/// Newton steps, numerical quadrature, ...); applications register
+/// their own with KernelRegistry::global().add(...).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_KERNELS_KERNELREGISTRY_H
+#define SCORPIO_KERNELS_KERNELREGISTRY_H
+
+#include "core/Analysis.h"
+#include "core/MonteCarlo.h"
+#include "core/SplitAnalysis.h"
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace scorpio {
+
+/// A registered, analysis-ready kernel component.
+struct KernelDescriptor {
+  /// Unique registry name, kebab-case ("horner-poly5").
+  std::string Name;
+  /// One-line description shown by listings.
+  std::string Description;
+  /// Input names, defining the arity and registration order.
+  std::vector<std::string> InputNames;
+  /// Default profiling ranges, one per input.
+  std::vector<Interval> DefaultRanges;
+  /// Evaluates the kernel on concrete inputs (for Monte Carlo and for
+  /// plain execution).
+  PointKernel Evaluate;
+  /// Runs the kernel under an Analysis with the given input box,
+  /// registering inputs (using InputNames), intermediates and outputs.
+  AnalysisKernel Analyse;
+};
+
+/// Name-indexed collection of kernel components.
+class KernelRegistry {
+public:
+  KernelRegistry() = default;
+
+  /// Registers a kernel; the name must be unused.  Returns the stored
+  /// descriptor.
+  const KernelDescriptor &add(KernelDescriptor Desc);
+
+  /// Looks a kernel up by name; nullptr when absent.
+  const KernelDescriptor *find(const std::string &Name) const;
+
+  /// Names of all registered kernels, sorted.
+  std::vector<std::string> names() const;
+
+  size_t size() const { return Kernels.size(); }
+
+  /// Runs significance analysis on the named kernel over its default
+  /// ranges (or \p CustomBox when non-empty).
+  AnalysisResult analyse(const std::string &Name,
+                         const std::vector<Interval> &CustomBox = {},
+                         const AnalysisOptions &Options = {}) const;
+
+  /// Monte Carlo input significances for cross-validation.
+  std::vector<double>
+  monteCarlo(const std::string &Name,
+             const std::vector<Interval> &CustomBox = {},
+             const MonteCarloOptions &Options = {}) const;
+
+  /// The process-wide registry, pre-populated with the standard kernels
+  /// (see StandardKernels.h).
+  static KernelRegistry &global();
+
+private:
+  std::map<std::string, KernelDescriptor> Kernels;
+};
+
+/// Registers the standard kernel library into \p Registry (idempotent
+/// per registry: asserts on duplicate names).
+void registerStandardKernels(KernelRegistry &Registry);
+
+} // namespace scorpio
+
+#endif // SCORPIO_KERNELS_KERNELREGISTRY_H

@@ -1,0 +1,171 @@
+//===- kernels/StandardKernels.cpp - The standard kernel library ---------===//
+//
+// A starter library of reusable numeric kernels, each written once as a
+// template over the scalar type and registered with both a point
+// evaluator (double) and an analysis evaluator (IAValue) derived from
+// the same source — the "kernels as library components" model of the
+// paper's Section 6.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/KernelRegistry.h"
+
+#include <cmath>
+
+using namespace scorpio;
+
+namespace {
+
+/// Builds a KernelDescriptor from one templated callable
+/// `T f(const std::vector<T>&)` usable with both double and IAValue.
+template <typename Fn>
+KernelDescriptor makeKernel(std::string Name, std::string Description,
+                            std::vector<std::string> InputNames,
+                            std::vector<Interval> Ranges, Fn F) {
+  KernelDescriptor D;
+  D.Name = std::move(Name);
+  D.Description = std::move(Description);
+  D.InputNames = std::move(InputNames);
+  D.DefaultRanges = std::move(Ranges);
+  D.Evaluate = [F](std::span<const double> X) {
+    return F(std::vector<double>(X.begin(), X.end()));
+  };
+  const std::vector<std::string> Names = D.InputNames;
+  D.Analyse = [F, Names](Analysis &A, std::span<const Interval> Box) {
+    std::vector<IAValue> X;
+    X.reserve(Box.size());
+    for (size_t I = 0; I != Box.size(); ++I)
+      X.push_back(A.input(Names[I], Box[I].lower(), Box[I].upper()));
+    IAValue Y = F(X);
+    A.registerOutput(Y, "y");
+  };
+  return D;
+}
+
+/// double overloads so the templated kernels compile in the double
+/// instantiation (the IAValue overloads are found via ADL; these must
+/// be visible at template definition).
+double sqr(double X) { return X * X; }
+double pow(double X, int N) { return std::pow(X, N); }
+
+/// Horner evaluation of p(x) = 1 - x + 2x^2 - 0.5x^3 + 0.25x^4.
+template <typename T> T hornerPoly(const std::vector<T> &X) {
+  static const double C[] = {0.25, -0.5, 2.0, -1.0, 1.0};
+  T Acc = C[0];
+  for (int I = 1; I < 5; ++I)
+    Acc = Acc * X[0] + C[I];
+  return Acc;
+}
+
+/// Dot product of two 4-vectors (inputs a0..a3, b0..b3).
+template <typename T> T dot4(const std::vector<T> &X) {
+  T Acc = 0.0;
+  for (int I = 0; I < 4; ++I)
+    Acc = Acc + X[static_cast<size_t>(I)] * X[static_cast<size_t>(4 + I)];
+  return Acc;
+}
+
+/// Centered 3-tap smoothing convolution 0.25*l + 0.5*c + 0.25*r.
+template <typename T> T conv3(const std::vector<T> &X) {
+  return 0.25 * X[0] + 0.5 * X[1] + 0.25 * X[2];
+}
+
+/// One Newton step for sqrt(a) from iterate y: 0.5 * (y + a / y).
+template <typename T> T newtonSqrtStep(const std::vector<T> &X) {
+  return 0.5 * (X[1] + X[0] / X[1]);
+}
+
+/// 4-panel trapezoidal quadrature of exp over [a, b].
+template <typename T> T trapezoidExp(const std::vector<T> &X) {
+  using std::exp;
+  const int Panels = 4;
+  T H = (X[1] - X[0]) * (1.0 / Panels);
+  T Acc = 0.5 * (exp(X[0]) + exp(X[1]));
+  for (int I = 1; I < Panels; ++I)
+    Acc = Acc + exp(X[0] + H * static_cast<double>(I));
+  return Acc * H;
+}
+
+/// Two-class softmax probability of class 0.
+template <typename T> T softmax2(const std::vector<T> &X) {
+  using std::exp;
+  T E0 = exp(X[0]);
+  T E1 = exp(X[1]);
+  return E0 / (E0 + E1);
+}
+
+/// The paper's Eq. 13 Lennard-Jones potential V(r; eps, sigma).
+template <typename T> T ljPotential(const std::vector<T> &X) {
+  T SigmaOverR = X[2] / X[0];
+  T S6 = pow(SigmaOverR, 6);
+  return 4.0 * X[1] * (S6 * S6 - S6);
+}
+
+/// The paper's Listing-1 running function.
+template <typename T> T listing1(const std::vector<T> &X) {
+  using std::cos;
+  using std::exp;
+  using std::sin;
+  return cos(exp(sin(X[0]) + X[0]) - X[0]);
+}
+
+/// Geometric mean of three positive inputs via exp/log.
+template <typename T> T geoMean3(const std::vector<T> &X) {
+  using std::exp;
+  using std::log;
+  return exp((log(X[0]) + log(X[1]) + log(X[2])) * (1.0 / 3.0));
+}
+
+/// Root mean square of three inputs.
+template <typename T> T rms3(const std::vector<T> &X) {
+  using std::sqrt;
+  return sqrt((sqr(X[0]) + sqr(X[1]) + sqr(X[2])) * (1.0 / 3.0));
+}
+
+} // namespace
+
+void scorpio::registerStandardKernels(KernelRegistry &Registry) {
+  Registry.add(makeKernel(
+      "horner-poly4", "degree-4 polynomial via Horner's rule", {"x"},
+      {Interval(-1.0, 1.0)},
+      [](const auto &X) { return hornerPoly(X); }));
+  Registry.add(makeKernel(
+      "dot4", "dot product of two 4-vectors",
+      {"a0", "a1", "a2", "a3", "b0", "b1", "b2", "b3"},
+      std::vector<Interval>(8, Interval(-1.0, 1.0)),
+      [](const auto &X) { return dot4(X); }));
+  Registry.add(makeKernel(
+      "conv3", "3-tap smoothing convolution", {"left", "center", "right"},
+      std::vector<Interval>(3, Interval(0.0, 255.0)),
+      [](const auto &X) { return conv3(X); }));
+  Registry.add(makeKernel(
+      "newton-sqrt-step", "one Newton iteration towards sqrt(a)",
+      {"a", "y"}, {Interval(1.0, 4.0), Interval(1.0, 2.5)},
+      [](const auto &X) { return newtonSqrtStep(X); }));
+  Registry.add(makeKernel(
+      "trapezoid-exp", "4-panel trapezoidal quadrature of exp on [a, b]",
+      {"a", "b"}, {Interval(-0.5, 0.0), Interval(0.5, 1.0)},
+      [](const auto &X) { return trapezoidExp(X); }));
+  Registry.add(makeKernel(
+      "softmax2", "two-class softmax probability", {"x0", "x1"},
+      {Interval(-2.0, 2.0), Interval(-2.0, 2.0)},
+      [](const auto &X) { return softmax2(X); }));
+  Registry.add(makeKernel(
+      "lj-potential", "Lennard-Jones pair potential (paper Eq. 13)",
+      {"r", "eps", "sigma"},
+      {Interval(0.9, 3.0), Interval(0.95, 1.05), Interval(0.95, 1.05)},
+      [](const auto &X) { return ljPotential(X); }));
+  Registry.add(makeKernel(
+      "listing1", "the paper's running example cos(exp(sin x + x) - x)",
+      {"x"}, {Interval(-0.5, 0.5)},
+      [](const auto &X) { return listing1(X); }));
+  Registry.add(makeKernel(
+      "geo-mean3", "geometric mean of three positive values",
+      {"x0", "x1", "x2"},
+      std::vector<Interval>(3, Interval(0.5, 2.0)),
+      [](const auto &X) { return geoMean3(X); }));
+  Registry.add(makeKernel(
+      "rms3", "root mean square of three values", {"x0", "x1", "x2"},
+      std::vector<Interval>(3, Interval(-2.0, 2.0)),
+      [](const auto &X) { return rms3(X); }));
+}

@@ -1,0 +1,210 @@
+//===- quality/Image.cpp - Image container, PGM I/O, generators ----------===//
+
+#include "quality/Image.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+using namespace scorpio;
+
+uint8_t Image::clamped(int X, int Y) const {
+  X = std::clamp(X, 0, W - 1);
+  Y = std::clamp(Y, 0, H - 1);
+  return at(X, Y);
+}
+
+bool Image::writePgm(const std::string &Path) const {
+  std::ofstream OS(Path, std::ios::binary);
+  if (!OS)
+    return false;
+  OS << "P5\n" << W << " " << H << "\n255\n";
+  OS.write(reinterpret_cast<const char *>(Pixels.data()),
+           static_cast<std::streamsize>(Pixels.size()));
+  return static_cast<bool>(OS);
+}
+
+Image Image::readPgm(const std::string &Path) {
+  std::ifstream IS(Path, std::ios::binary);
+  if (!IS)
+    return Image();
+  std::string Magic;
+  IS >> Magic;
+  if (Magic != "P5" && Magic != "P2")
+    return Image();
+  auto SkipJunk = [&] {
+    while (IS) {
+      IS >> std::ws;
+      if (IS.peek() != '#')
+        break;
+      std::string Comment;
+      std::getline(IS, Comment);
+    }
+  };
+  int W = 0, H = 0, MaxVal = 0;
+  SkipJunk();
+  IS >> W;
+  SkipJunk();
+  IS >> H;
+  SkipJunk();
+  IS >> MaxVal;
+  if (!IS || W <= 0 || H <= 0 || MaxVal <= 0 || MaxVal > 255)
+    return Image();
+  Image Img(W, H);
+  if (Magic == "P5") {
+    IS.get(); // the single whitespace after maxval
+    IS.read(reinterpret_cast<char *>(Img.data().data()),
+            static_cast<std::streamsize>(Img.size()));
+    if (!IS)
+      return Image();
+    return Img;
+  }
+  for (uint8_t &Px : Img.data()) {
+    int V = 0;
+    IS >> V;
+    if (!IS)
+      return Image();
+    Px = static_cast<uint8_t>(std::clamp(V, 0, 255));
+  }
+  return Img;
+}
+
+Image Image::readPpmLuma(const std::string &Path) {
+  std::ifstream IS(Path, std::ios::binary);
+  if (!IS)
+    return Image();
+  std::string Magic;
+  IS >> Magic;
+  if (Magic != "P6")
+    return Image();
+  auto SkipJunk = [&] {
+    while (IS) {
+      IS >> std::ws;
+      if (IS.peek() != '#')
+        break;
+      std::string Comment;
+      std::getline(IS, Comment);
+    }
+  };
+  int W = 0, H = 0, MaxVal = 0;
+  SkipJunk();
+  IS >> W;
+  SkipJunk();
+  IS >> H;
+  SkipJunk();
+  IS >> MaxVal;
+  if (!IS || W <= 0 || H <= 0 || MaxVal <= 0 || MaxVal > 255)
+    return Image();
+  IS.get();
+  std::vector<uint8_t> Rgb(static_cast<size_t>(W) * H * 3);
+  IS.read(reinterpret_cast<char *>(Rgb.data()),
+          static_cast<std::streamsize>(Rgb.size()));
+  if (!IS)
+    return Image();
+  Image Img(W, H);
+  for (size_t P = 0; P != Img.size(); ++P) {
+    const double Luma = 0.299 * Rgb[P * 3 + 0] +
+                        0.587 * Rgb[P * 3 + 1] +
+                        0.114 * Rgb[P * 3 + 2];
+    Img.data()[P] = clampToByte(Luma);
+  }
+  return Img;
+}
+
+Image Image::readAnyLuma(const std::string &Path) {
+  std::ifstream Probe(Path, std::ios::binary);
+  std::string Magic;
+  Probe >> Magic;
+  Probe.close();
+  if (Magic == "P6")
+    return readPpmLuma(Path);
+  if (Magic == "P5" || Magic == "P2")
+    return readPgm(Path);
+  return Image();
+}
+
+uint8_t scorpio::clampToByte(double X) {
+  return static_cast<uint8_t>(std::clamp(std::lround(X), 0L, 255L));
+}
+
+Image testimages::gradient(int W, int H) {
+  Image Img(W, H);
+  for (int Y = 0; Y < H; ++Y)
+    for (int X = 0; X < W; ++X)
+      Img.at(X, Y) = clampToByte(
+          255.0 * (X + Y) / static_cast<double>(W + H - 2));
+  return Img;
+}
+
+Image testimages::checkerboard(int W, int H, int CellSize) {
+  assert(CellSize > 0 && "cell size must be positive");
+  Image Img(W, H);
+  for (int Y = 0; Y < H; ++Y)
+    for (int X = 0; X < W; ++X)
+      Img.at(X, Y) = ((X / CellSize + Y / CellSize) % 2) ? 230 : 25;
+  return Img;
+}
+
+Image testimages::radialSine(int W, int H, double Frequency) {
+  Image Img(W, H);
+  const double Cx = 0.5 * (W - 1), Cy = 0.5 * (H - 1);
+  for (int Y = 0; Y < H; ++Y)
+    for (int X = 0; X < W; ++X) {
+      const double R = std::hypot(X - Cx, Y - Cy);
+      Img.at(X, Y) = clampToByte(127.5 + 127.5 * std::sin(R * Frequency));
+    }
+  return Img;
+}
+
+Image testimages::valueNoise(int W, int H, uint64_t Seed, int CellSize) {
+  assert(CellSize > 0 && "cell size must be positive");
+  const int GW = W / CellSize + 2, GH = H / CellSize + 2;
+  Random Rng(Seed);
+  std::vector<double> Grid(static_cast<size_t>(GW) * GH);
+  for (double &G : Grid)
+    G = Rng.uniform(0.0, 255.0);
+  auto GridAt = [&](int GX, int GY) {
+    return Grid[static_cast<size_t>(GY) * GW + GX];
+  };
+  auto Smooth = [](double T) { return T * T * (3.0 - 2.0 * T); };
+  Image Img(W, H);
+  for (int Y = 0; Y < H; ++Y)
+    for (int X = 0; X < W; ++X) {
+      const int GX = X / CellSize, GY = Y / CellSize;
+      const double TX = Smooth((X % CellSize) / double(CellSize));
+      const double TY = Smooth((Y % CellSize) / double(CellSize));
+      const double Top =
+          GridAt(GX, GY) * (1 - TX) + GridAt(GX + 1, GY) * TX;
+      const double Bot =
+          GridAt(GX, GY + 1) * (1 - TX) + GridAt(GX + 1, GY + 1) * TX;
+      Img.at(X, Y) = clampToByte(Top * (1 - TY) + Bot * TY);
+    }
+  return Img;
+}
+
+Image testimages::scene(int W, int H, uint64_t Seed) {
+  Image Grad = gradient(W, H);
+  Image Rings = radialSine(W, H, 0.08);
+  Image Noise = valueNoise(W, H, Seed, 20);
+  Image Img(W, H);
+  for (int Y = 0; Y < H; ++Y)
+    for (int X = 0; X < W; ++X)
+      Img.at(X, Y) = clampToByte(0.45 * Grad.at(X, Y) +
+                                 0.30 * Rings.at(X, Y) +
+                                 0.25 * Noise.at(X, Y));
+  // Hard-edged rectangles add step discontinuities for the edge filters.
+  Random Rng(Seed ^ 0x9e3779b97f4a7c15ULL);
+  for (int R = 0; R < 6; ++R) {
+    const int RW = static_cast<int>(Rng.range(W / 16, W / 5));
+    const int RH = static_cast<int>(Rng.range(H / 16, H / 5));
+    const int X0 = static_cast<int>(Rng.range(0, std::max(0, W - RW - 1)));
+    const int Y0 = static_cast<int>(Rng.range(0, std::max(0, H - RH - 1)));
+    const uint8_t Shade = static_cast<uint8_t>(Rng.range(10, 245));
+    for (int Y = Y0; Y < Y0 + RH; ++Y)
+      for (int X = X0; X < X0 + RW; ++X)
+        Img.at(X, Y) = static_cast<uint8_t>((Img.at(X, Y) + 3 * Shade) / 4);
+  }
+  return Img;
+}

@@ -1,0 +1,107 @@
+//===- quality/Image.h - Grayscale image container and I/O ----------------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An 8-bit grayscale image container with PGM (P5/P2) I/O, plus
+/// deterministic synthetic image generators that stand in for the
+/// image-compression benchmark set the paper profiles Sobel/DCT/Fisheye
+/// with (reference [5]; see DESIGN.md Substitutions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_QUALITY_IMAGE_H
+#define SCORPIO_QUALITY_IMAGE_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scorpio {
+
+/// Row-major 8-bit grayscale image.
+class Image {
+public:
+  Image() = default;
+  Image(int Width, int Height, uint8_t Fill = 0)
+      : W(Width), H(Height),
+        Pixels(static_cast<size_t>(Width) * static_cast<size_t>(Height),
+               Fill) {
+    assert(Width > 0 && Height > 0 && "empty image");
+  }
+
+  int width() const { return W; }
+  int height() const { return H; }
+  size_t size() const { return Pixels.size(); }
+  bool empty() const { return Pixels.empty(); }
+
+  uint8_t at(int X, int Y) const {
+    assert(inBounds(X, Y) && "pixel out of bounds");
+    return Pixels[static_cast<size_t>(Y) * W + X];
+  }
+  uint8_t &at(int X, int Y) {
+    assert(inBounds(X, Y) && "pixel out of bounds");
+    return Pixels[static_cast<size_t>(Y) * W + X];
+  }
+
+  /// Reads with clamp-to-edge semantics; any coordinates are valid.
+  uint8_t clamped(int X, int Y) const;
+
+  bool inBounds(int X, int Y) const {
+    return X >= 0 && X < W && Y >= 0 && Y < H;
+  }
+
+  const std::vector<uint8_t> &data() const { return Pixels; }
+  std::vector<uint8_t> &data() { return Pixels; }
+
+  /// Writes binary PGM (P5); returns false on I/O failure.
+  bool writePgm(const std::string &Path) const;
+
+  /// Reads PGM (P5 or P2); returns an empty image on failure.
+  static Image readPgm(const std::string &Path);
+
+  /// Reads a binary PPM (P6) color image and converts it to grayscale
+  /// with the BT.601 luma weights (0.299 R + 0.587 G + 0.114 B);
+  /// returns an empty image on failure.
+  static Image readPpmLuma(const std::string &Path);
+
+  /// Reads either format by magic number (P5/P2 grayscale, P6 color via
+  /// luma); returns an empty image on failure.
+  static Image readAnyLuma(const std::string &Path);
+
+private:
+  int W = 0, H = 0;
+  std::vector<uint8_t> Pixels;
+};
+
+/// Clamps \p X to [0, 255] and rounds to the nearest integer.
+uint8_t clampToByte(double X);
+
+namespace testimages {
+
+/// Diagonal luminance gradient.
+Image gradient(int W, int H);
+
+/// Checkerboard with \p CellSize-pixel cells — maximal edge content.
+Image checkerboard(int W, int H, int CellSize = 16);
+
+/// Concentric sine rings — smooth content with all orientations.
+Image radialSine(int W, int H, double Frequency = 0.15);
+
+/// Smooth value noise (deterministic in \p Seed) — natural-image-like
+/// mid-frequency content.
+Image valueNoise(int W, int H, uint64_t Seed = 42, int CellSize = 24);
+
+/// Composite scene (gradient + rings + noise + hard rectangles); the
+/// default profiling/benchmark input.
+Image scene(int W, int H, uint64_t Seed = 42);
+
+} // namespace testimages
+
+} // namespace scorpio
+
+#endif // SCORPIO_QUALITY_IMAGE_H

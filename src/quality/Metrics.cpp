@@ -1,0 +1,65 @@
+//===- quality/Metrics.cpp - Output quality metrics ----------------------===//
+
+#include "quality/Metrics.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace scorpio;
+
+double scorpio::mseOf(const Image &A, const Image &B) {
+  assert(A.width() == B.width() && A.height() == B.height() &&
+         "image size mismatch");
+  assert(!A.empty() && "empty images");
+  double Sum = 0.0;
+  const auto &DA = A.data();
+  const auto &DB = B.data();
+  for (size_t I = 0; I != DA.size(); ++I) {
+    const double D = static_cast<double>(DA[I]) - static_cast<double>(DB[I]);
+    Sum += D * D;
+  }
+  return Sum / static_cast<double>(DA.size());
+}
+
+double scorpio::psnrOf(const Image &A, const Image &B, double CapDb) {
+  const double Mse = mseOf(A, B);
+  if (Mse == 0.0)
+    return CapDb;
+  const double Psnr = 10.0 * std::log10(255.0 * 255.0 / Mse);
+  return std::min(Psnr, CapDb);
+}
+
+double scorpio::mseOf(std::span<const double> A, std::span<const double> B) {
+  assert(A.size() == B.size() && "vector size mismatch");
+  assert(!A.empty() && "empty vectors");
+  double Sum = 0.0;
+  for (size_t I = 0; I != A.size(); ++I) {
+    const double D = A[I] - B[I];
+    Sum += D * D;
+  }
+  return Sum / static_cast<double>(A.size());
+}
+
+double scorpio::relativeErrorOf(std::span<const double> A,
+                                std::span<const double> B) {
+  assert(A.size() == B.size() && "vector size mismatch");
+  double Num = 0.0, Den = 0.0;
+  for (size_t I = 0; I != A.size(); ++I) {
+    Num += std::fabs(A[I] - B[I]);
+    Den += std::fabs(A[I]);
+  }
+  if (Den == 0.0)
+    return Num == 0.0 ? 0.0 : 1.0;
+  return Num / Den;
+}
+
+double scorpio::maxRelativeErrorOf(std::span<const double> A,
+                                   std::span<const double> B) {
+  assert(A.size() == B.size() && "vector size mismatch");
+  double Max = 0.0;
+  for (size_t I = 0; I != A.size(); ++I) {
+    const double Scale = std::max(std::fabs(A[I]), 1e-12);
+    Max = std::max(Max, std::fabs(A[I] - B[I]) / Scale);
+  }
+  return Max;
+}

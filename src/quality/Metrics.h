@@ -1,0 +1,46 @@
+//===- quality/Metrics.h - Output quality metrics -------------------------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The quality metrics of the paper's evaluation (Section 4.3): Peak
+/// Signal-to-Noise Ratio for the imaging benchmarks (higher is better;
+/// logarithmic) and relative error for N-Body and BlackScholes (lower is
+/// better), always measured against the fully accurate execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_QUALITY_METRICS_H
+#define SCORPIO_QUALITY_METRICS_H
+
+#include "quality/Image.h"
+
+#include <span>
+
+namespace scorpio {
+
+/// Mean squared error between two equally sized images.
+double mseOf(const Image &A, const Image &B);
+
+/// PSNR in dB against peak value 255; +inf for identical images (the
+/// paper's plots cap the axis instead).  Returns \p CapDb when the MSE
+/// is zero.
+double psnrOf(const Image &A, const Image &B, double CapDb = 99.0);
+
+/// Mean squared error between two equally sized vectors.
+double mseOf(std::span<const double> A, std::span<const double> B);
+
+/// Mean relative error sum|a-b| / sum|a| (the PARSEC-style aggregate
+/// metric); 0 for identical vectors.
+double relativeErrorOf(std::span<const double> A, std::span<const double> B);
+
+/// Largest elementwise relative error max |a-b| / max(|a|, eps).
+double maxRelativeErrorOf(std::span<const double> A,
+                          std::span<const double> B);
+
+} // namespace scorpio
+
+#endif // SCORPIO_QUALITY_METRICS_H

@@ -1,0 +1,54 @@
+//===- runtime/RatioController.cpp - Quality-driven ratio selection ------===//
+
+#include "runtime/RatioController.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace scorpio::rt;
+
+static bool meets(double Quality, double Target, QualityGoal Goal) {
+  return Goal == QualityGoal::HigherIsBetter ? Quality >= Target
+                                             : Quality <= Target;
+}
+
+double scorpio::rt::ratioForQualityTarget(
+    const std::function<double(double)> &QualityAt, double Target,
+    QualityGoal Goal, const RatioSearchOptions &Options) {
+  assert(QualityAt && "need a quality oracle");
+  assert(Options.RatioTolerance > 0.0 && "tolerance must be positive");
+
+  if (meets(QualityAt(0.0), Target, Goal))
+    return 0.0;
+  if (!meets(QualityAt(1.0), Target, Goal))
+    return 1.0; // even full accuracy misses the target: best effort
+
+  // Invariant: quality(Lo) misses, quality(Hi) meets.
+  double Lo = 0.0, Hi = 1.0;
+  while (Hi - Lo > Options.RatioTolerance) {
+    const double Mid = 0.5 * (Lo + Hi);
+    if (meets(QualityAt(Mid), Target, Goal))
+      Hi = Mid;
+    else
+      Lo = Mid;
+  }
+  return std::min(1.0, Hi + Options.Margin);
+}
+
+double OnlineRatioController::update(double MeasuredQuality) {
+  const double Band = Opts.DeadBand * std::max(1e-12, std::abs(Target));
+  double Delta = 0.0;
+  if (Goal == QualityGoal::HigherIsBetter) {
+    if (MeasuredQuality < Target - Band)
+      Delta = Opts.Step; // quality too low: be more accurate
+    else if (MeasuredQuality > Target + Band)
+      Delta = -Opts.Step; // headroom: save energy
+  } else {
+    if (MeasuredQuality > Target + Band)
+      Delta = Opts.Step; // error too high: be more accurate
+    else if (MeasuredQuality < Target - Band)
+      Delta = -Opts.Step;
+  }
+  CurrentRatio = std::clamp(CurrentRatio + Delta, 0.0, 1.0);
+  return CurrentRatio;
+}

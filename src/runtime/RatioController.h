@@ -1,0 +1,97 @@
+//===- runtime/RatioController.h - Quality-driven ratio selection ---------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's taskwait `ratio` is "a single knob to enforce a minimum
+/// quality in the quality / performance-energy optimization space"
+/// (Section 3.2) — but choosing the knob value for a *quality target* is
+/// left to the user.  This module closes the loop, in the spirit of the
+/// Green framework the paper discusses in related work (Section 5, [4]):
+///
+///  * ratioForQualityTarget() — offline calibration: binary-searches the
+///    smallest ratio whose measured quality meets a target, exploiting
+///    the monotone quality-vs-ratio behaviour the significance runtime
+///    provides;
+///  * OnlineRatioController — online adaptation: nudges the ratio after
+///    every measured batch to hover at the target with minimal energy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_RUNTIME_RATIOCONTROLLER_H
+#define SCORPIO_RUNTIME_RATIOCONTROLLER_H
+
+#include <functional>
+
+namespace scorpio {
+namespace rt {
+
+/// Direction of the quality metric.
+enum class QualityGoal {
+  HigherIsBetter, ///< e.g. PSNR: find min ratio with quality >= target
+  LowerIsBetter,  ///< e.g. relative error: quality <= target
+};
+
+/// Options for the offline search.
+struct RatioSearchOptions {
+  /// Search terminates when the ratio bracket is narrower than this.
+  double RatioTolerance = 1.0 / 64.0;
+  /// Safety margin added on top of the found ratio (clamped to 1).
+  double Margin = 0.0;
+};
+
+/// Returns the smallest ratio in [0, 1] for which
+/// \p QualityAt(ratio) meets \p Target, assuming quality is monotone
+/// non-decreasing (HigherIsBetter) / non-increasing (LowerIsBetter) in
+/// the ratio.  Returns 1.0 when even full accuracy misses the target
+/// and 0.0 when full approximation already meets it.
+double ratioForQualityTarget(
+    const std::function<double(double)> &QualityAt, double Target,
+    QualityGoal Goal, const RatioSearchOptions &Options = {});
+
+/// Incremental controller for long-running applications: feed it the
+/// measured quality of each processed batch and use ratio() for the
+/// next one.  Additive-increase / additive-decrease with a dead band,
+/// like Green's QoS heartbeat.
+class OnlineRatioController {
+public:
+  struct Options {
+    double InitialRatio = 0.5;
+    double Step = 1.0 / 16.0;
+    /// Fractional dead band around the target within which the ratio is
+    /// left alone.
+    double DeadBand = 0.02;
+  };
+
+  OnlineRatioController(double Target, QualityGoal Goal,
+                        Options Opts)
+      : Target(Target), Goal(Goal), Opts(Opts),
+        CurrentRatio(Opts.InitialRatio) {}
+
+  // (Member-function bodies see the enclosing class as complete, so the
+  // nested Options' defaults are usable here, unlike in a default
+  // argument.)
+  OnlineRatioController(double Target, QualityGoal Goal)
+      : OnlineRatioController(Target, Goal, Options()) {}
+
+  /// The ratio to use for the next batch.
+  double ratio() const { return CurrentRatio; }
+
+  /// Records the measured quality of the batch just executed and adapts
+  /// the ratio; returns the new ratio.
+  double update(double MeasuredQuality);
+
+private:
+  double Target;
+  QualityGoal Goal;
+  Options Opts;
+  double CurrentRatio;
+};
+
+} // namespace rt
+} // namespace scorpio
+
+#endif // SCORPIO_RUNTIME_RATIOCONTROLLER_H

@@ -1,0 +1,113 @@
+//===- runtime/TaskRuntime.cpp - Significance-aware task runtime ---------===//
+
+#include "runtime/TaskRuntime.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+using namespace scorpio::rt;
+
+TaskRuntime::TaskRuntime(unsigned NumThreads) : Pool(NumThreads) {}
+
+TaskRuntime::~TaskRuntime() {
+  assert(Pending.empty() ||
+         std::all_of(Pending.begin(), Pending.end(),
+                     [](const auto &KV) { return KV.second.empty(); }) &&
+             "TaskRuntime destroyed with unreleased tasks");
+}
+
+void TaskRuntime::spawn(std::function<void()> AccurateFn,
+                        TaskOptions Options) {
+  assert(AccurateFn && "task needs an accurate implementation");
+  assert(Options.Significance >= 0.0 && "negative significance");
+  PendingTask T;
+  T.AccurateFn = std::move(AccurateFn);
+  T.ApproxFn = std::move(Options.ApproxFn);
+  T.Significance = Options.Significance;
+  Pending[Options.Label].push_back(std::move(T));
+}
+
+std::vector<TaskFate>
+TaskRuntime::decideFates(const std::vector<double> &Significances,
+                         const std::vector<bool> &HasApprox, double Ratio) {
+  assert(Significances.size() == HasApprox.size() && "size mismatch");
+  assert(Ratio >= 0.0 && Ratio <= 1.0 && "ratio out of [0, 1]");
+  const size_t N = Significances.size();
+  std::vector<TaskFate> Fates(N, TaskFate::Dropped);
+  if (N == 0)
+    return Fates;
+
+  // Rank tasks by significance, descending; stable in spawn order.
+  std::vector<size_t> Order(N);
+  std::iota(Order.begin(), Order.end(), size_t{0});
+  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    return Significances[A] > Significances[B];
+  });
+
+  const size_t NumAccurate =
+      std::min(N, static_cast<size_t>(
+                      std::ceil(Ratio * static_cast<double>(N) - 1e-9)));
+  for (size_t Rank = 0; Rank != N; ++Rank) {
+    const size_t I = Order[Rank];
+    if (Rank < NumAccurate || Significances[I] >= 1.0)
+      Fates[I] = TaskFate::Accurate;
+    else
+      Fates[I] = HasApprox[I] ? TaskFate::Approximate : TaskFate::Dropped;
+  }
+  return Fates;
+}
+
+TaskStats TaskRuntime::runBatch(std::vector<PendingTask> Batch,
+                                double Ratio) {
+  std::vector<double> Significances;
+  std::vector<bool> HasApprox;
+  Significances.reserve(Batch.size());
+  HasApprox.reserve(Batch.size());
+  for (const PendingTask &T : Batch) {
+    Significances.push_back(T.Significance);
+    HasApprox.push_back(static_cast<bool>(T.ApproxFn));
+  }
+  const std::vector<TaskFate> Fates =
+      decideFates(Significances, HasApprox, Ratio);
+
+  TaskStats Stats;
+  for (size_t I = 0; I != Batch.size(); ++I) {
+    switch (Fates[I]) {
+    case TaskFate::Accurate:
+      ++Stats.NumAccurate;
+      Pool.submit(std::move(Batch[I].AccurateFn));
+      break;
+    case TaskFate::Approximate:
+      ++Stats.NumApproximate;
+      Pool.submit(std::move(Batch[I].ApproxFn));
+      break;
+    case TaskFate::Dropped:
+      ++Stats.NumDropped;
+      break;
+    }
+  }
+  Pool.waitIdle();
+  return Stats;
+}
+
+TaskStats TaskRuntime::taskwait(const std::string &Label, double Ratio) {
+  auto It = Pending.find(Label);
+  if (It == Pending.end() || It->second.empty())
+    return TaskStats();
+  std::vector<PendingTask> Batch = std::move(It->second);
+  Pending.erase(It);
+  const TaskStats Stats = runBatch(std::move(Batch), Ratio);
+  Totals += Stats;
+  return Stats;
+}
+
+TaskStats TaskRuntime::taskwaitAll(double Ratio) {
+  TaskStats Stats;
+  while (!Pending.empty()) {
+    const std::string Label = Pending.begin()->first;
+    Stats += taskwait(Label, Ratio);
+  }
+  return Stats;
+}

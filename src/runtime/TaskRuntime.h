@@ -1,0 +1,127 @@
+//===- runtime/TaskRuntime.h - Significance-aware task runtime ------------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The library form of the paper's OpenMP extension (Section 3.2).  The
+/// paper's pragmas map to this API as follows:
+///
+/// \code
+///   #pragma omp task significance(S) approxfun(F) label(L)
+///   task(args...);
+///       =>  RT.spawn([=]{ task(args...); },
+///                    {.Significance = S, .Label = "L", .ApproxFn = F});
+///
+///   #pragma omp taskwait label(L) ratio(R)
+///       =>  RT.taskwait("L", R);
+/// \endcode
+///
+/// Semantics of `taskwait(L, R)`: among the N pending tasks of group L,
+/// the ceil(R*N) most significant execute their accurate version; every
+/// task with significance >= 1.0 is *always* accurate regardless of R
+/// (the Sobel convolution block A of Section 4.1.1 relies on this); the
+/// remaining tasks run their `approxfun` when one was provided and are
+/// dropped otherwise.  Ties in significance preserve spawn order, so
+/// scheduling decisions are deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_RUNTIME_TASKRUNTIME_H
+#define SCORPIO_RUNTIME_TASKRUNTIME_H
+
+#include "runtime/ThreadPool.h"
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace scorpio {
+namespace rt {
+
+/// What the scheduler decided for one task.
+enum class TaskFate : uint8_t { Accurate, Approximate, Dropped };
+
+/// Per-group (and aggregate) execution counters.
+struct TaskStats {
+  size_t NumAccurate = 0;
+  size_t NumApproximate = 0;
+  size_t NumDropped = 0;
+
+  size_t total() const { return NumAccurate + NumApproximate + NumDropped; }
+  TaskStats &operator+=(const TaskStats &O) {
+    NumAccurate += O.NumAccurate;
+    NumApproximate += O.NumApproximate;
+    NumDropped += O.NumDropped;
+    return *this;
+  }
+};
+
+/// Clauses of the paper's `#pragma omp task` directive.
+struct TaskOptions {
+  /// significance(...) clause; 1.0 forces accurate execution.
+  double Significance = 1.0;
+  /// label(...) clause; empty string is the default group.
+  std::string Label;
+  /// approxfun(...) clause; empty function means "drop when inaccurate".
+  std::function<void()> ApproxFn;
+};
+
+/// Significance-aware task scheduler over a worker pool.
+///
+/// Tasks spawned between two taskwait calls on the same label form one
+/// scheduling batch; the quality/energy trade-off is controlled solely by
+/// the taskwait ratio knob, as in the paper.
+class TaskRuntime {
+public:
+  /// \p NumThreads == 0 selects the hardware concurrency.
+  explicit TaskRuntime(unsigned NumThreads = 0);
+  ~TaskRuntime();
+  TaskRuntime(const TaskRuntime &) = delete;
+  TaskRuntime &operator=(const TaskRuntime &) = delete;
+
+  /// Enqueues a task into its group; it does not run until the group's
+  /// taskwait (the analysis-driven policy needs the whole batch).
+  void spawn(std::function<void()> AccurateFn, TaskOptions Options);
+
+  /// The paper's `#pragma omp taskwait label(L) ratio(R)`: schedules the
+  /// pending tasks of \p Label per the ratio policy, runs them to
+  /// completion, and returns what happened.
+  TaskStats taskwait(const std::string &Label, double Ratio);
+
+  /// Global barrier over every pending group at a common ratio.
+  TaskStats taskwaitAll(double Ratio = 1.0);
+
+  /// Pure policy function (exposed for tests and ablations): decides the
+  /// fate of each task given significances and the ratio.  \p HasApprox
+  /// tells which tasks have an approximate version.
+  static std::vector<TaskFate>
+  decideFates(const std::vector<double> &Significances,
+              const std::vector<bool> &HasApprox, double Ratio);
+
+  /// Running totals over all completed taskwaits.
+  const TaskStats &totals() const { return Totals; }
+
+  unsigned numThreads() const { return Pool.numThreads(); }
+
+private:
+  struct PendingTask {
+    std::function<void()> AccurateFn;
+    std::function<void()> ApproxFn;
+    double Significance;
+  };
+
+  TaskStats runBatch(std::vector<PendingTask> Batch, double Ratio);
+
+  ThreadPool Pool;
+  std::map<std::string, std::vector<PendingTask>> Pending;
+  TaskStats Totals;
+};
+
+} // namespace rt
+} // namespace scorpio
+
+#endif // SCORPIO_RUNTIME_TASKRUNTIME_H

@@ -1,0 +1,67 @@
+//===- runtime/ThreadPool.cpp - Fixed-size worker pool --------------------===//
+
+#include "runtime/ThreadPool.h"
+
+#include <cassert>
+
+using namespace scorpio::rt;
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0) {
+    NumThreads = std::thread::hardware_concurrency();
+    if (NumThreads == 0)
+      NumThreads = 1;
+  }
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Job) {
+  assert(Job && "empty job");
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Queue.push_back(std::move(Job));
+    ++InFlight;
+  }
+  WorkAvailable.notify_one();
+}
+
+void ThreadPool::waitIdle() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  AllDone.wait(Lock, [this] { return InFlight == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Job;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkAvailable.wait(Lock,
+                         [this] { return ShuttingDown || !Queue.empty(); });
+      if (Queue.empty()) {
+        assert(ShuttingDown && "spurious empty wake");
+        return;
+      }
+      Job = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Job();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      --InFlight;
+      if (InFlight == 0)
+        AllDone.notify_all();
+    }
+  }
+}

@@ -1,0 +1,62 @@
+//===- runtime/ThreadPool.h - Fixed-size worker pool ----------------------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal fixed-size thread pool with batch-wait support, used by the
+/// significance-aware task runtime to execute task batches released at a
+/// taskwait barrier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_RUNTIME_THREADPOOL_H
+#define SCORPIO_RUNTIME_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace scorpio {
+namespace rt {
+
+/// Fixed worker pool; jobs are void() callables.
+class ThreadPool {
+public:
+  /// \p NumThreads == 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned NumThreads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues one job.
+  void submit(std::function<void()> Job);
+
+  /// Blocks until every submitted job has finished.
+  void waitIdle();
+
+  unsigned numThreads() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex Mutex;
+  std::condition_variable WorkAvailable;
+  std::condition_variable AllDone;
+  size_t InFlight = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace rt
+} // namespace scorpio
+
+#endif // SCORPIO_RUNTIME_THREADPOOL_H

@@ -1,0 +1,37 @@
+//===- support/Dot.cpp - Graphviz DOT emission helpers --------------------===//
+
+#include "support/Dot.h"
+
+using namespace scorpio;
+
+void DotWriter::addNode(const std::string &Id, const std::string &Attrs) {
+  Lines.push_back("  " + Id + " [" + Attrs + "];");
+}
+
+void DotWriter::addEdge(const std::string &From, const std::string &To,
+                        const std::string &Attrs) {
+  std::string Line = "  " + From + " -> " + To;
+  if (!Attrs.empty())
+    Line += " [" + Attrs + "]";
+  Line += ";";
+  Lines.push_back(std::move(Line));
+}
+
+void DotWriter::write(std::ostream &OS) const {
+  OS << "digraph " << GraphName << " {\n";
+  OS << "  rankdir=TB;\n";
+  for (const std::string &Line : Lines)
+    OS << Line << "\n";
+  OS << "}\n";
+}
+
+std::string DotWriter::escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out.push_back('\\');
+    Out.push_back(C);
+  }
+  return Out;
+}

@@ -1,0 +1,51 @@
+//===- support/Dot.h - Graphviz DOT emission helpers ----------------------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny builder for Graphviz DOT files.  The DynDFG (Figures 1-3 of the
+/// paper) is exported through this so a developer can "visualize the
+/// significance for different parts of the computation" (Section 5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_SUPPORT_DOT_H
+#define SCORPIO_SUPPORT_DOT_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace scorpio {
+
+/// Accumulates nodes and edges and writes a `digraph`.
+class DotWriter {
+public:
+  explicit DotWriter(std::string GraphName = "G")
+      : GraphName(std::move(GraphName)) {}
+
+  /// Adds a node; \p Attrs is a raw attribute list such as
+  /// `label="u3", shape=box`.
+  void addNode(const std::string &Id, const std::string &Attrs);
+
+  /// Adds a directed edge From -> To with optional attributes.
+  void addEdge(const std::string &From, const std::string &To,
+               const std::string &Attrs = "");
+
+  /// Writes the complete digraph.
+  void write(std::ostream &OS) const;
+
+  /// Escapes a string for use inside a DOT label.
+  static std::string escape(const std::string &S);
+
+private:
+  std::string GraphName;
+  std::vector<std::string> Lines;
+};
+
+} // namespace scorpio
+
+#endif // SCORPIO_SUPPORT_DOT_H

@@ -1,0 +1,146 @@
+//===- support/Json.cpp - Minimal JSON emission ---------------------------===//
+
+#include "support/Json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace scorpio;
+
+JsonWriter::~JsonWriter() {
+  assert(Stack.empty() && "unbalanced JSON containers at destruction");
+}
+
+void JsonWriter::beforeValue() {
+  if (Stack.empty())
+    return;
+  if (Stack.back() == Frame::Object) {
+    assert(PendingKey && "object members need a key() first");
+    PendingKey = false;
+    return;
+  }
+  if (NeedComma.back())
+    OS << ",";
+  NeedComma.back() = true;
+}
+
+JsonWriter &JsonWriter::beginObject() {
+  beforeValue();
+  OS << "{";
+  Stack.push_back(Frame::Object);
+  NeedComma.push_back(false);
+  return *this;
+}
+
+JsonWriter &JsonWriter::endObject() {
+  assert(!Stack.empty() && Stack.back() == Frame::Object &&
+         "endObject without beginObject");
+  assert(!PendingKey && "dangling key");
+  OS << "}";
+  Stack.pop_back();
+  NeedComma.pop_back();
+  return *this;
+}
+
+JsonWriter &JsonWriter::beginArray() {
+  beforeValue();
+  OS << "[";
+  Stack.push_back(Frame::Array);
+  NeedComma.push_back(false);
+  return *this;
+}
+
+JsonWriter &JsonWriter::endArray() {
+  assert(!Stack.empty() && Stack.back() == Frame::Array &&
+         "endArray without beginArray");
+  OS << "]";
+  Stack.pop_back();
+  NeedComma.pop_back();
+  return *this;
+}
+
+JsonWriter &JsonWriter::key(const std::string &Name) {
+  assert(!Stack.empty() && Stack.back() == Frame::Object &&
+         "key() outside an object");
+  assert(!PendingKey && "two keys in a row");
+  if (NeedComma.back())
+    OS << ",";
+  NeedComma.back() = true;
+  OS << "\"" << escape(Name) << "\":";
+  PendingKey = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(const std::string &S) {
+  beforeValue();
+  OS << "\"" << escape(S) << "\"";
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(double X) {
+  beforeValue();
+  if (std::isnan(X)) {
+    OS << "null"; // JSON has no NaN
+    return *this;
+  }
+  if (std::isinf(X)) {
+    OS << (X > 0 ? "1e308" : "-1e308"); // representable stand-in
+    return *this;
+  }
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", X);
+  OS << Buf;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(long long X) {
+  beforeValue();
+  OS << X;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(bool B) {
+  beforeValue();
+  OS << (B ? "true" : "false");
+  return *this;
+}
+
+JsonWriter &JsonWriter::null() {
+  beforeValue();
+  OS << "null";
+  return *this;
+}
+
+std::string JsonWriter::escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,79 @@
+//===- support/Json.h - Minimal JSON emission ------------------------------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small streaming JSON writer used to export analysis reports in a
+/// machine-readable form (AnalysisResult::writeJson), so external
+/// tooling can consume significance data without parsing tables.
+/// Write-only by design: the project never needs to *read* JSON.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_SUPPORT_JSON_H
+#define SCORPIO_SUPPORT_JSON_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace scorpio {
+
+/// Streaming writer producing syntactically valid JSON.  Usage:
+///
+/// \code
+///   JsonWriter J(OS);
+///   J.beginObject();
+///   J.key("name").value("sobel");
+///   J.key("sig").beginArray();
+///   J.value(1.0).value(0.5);
+///   J.endArray();
+///   J.endObject();
+/// \endcode
+///
+/// The writer tracks nesting and comma placement; mismatched begin/end
+/// pairs are caught by assertions.
+class JsonWriter {
+public:
+  explicit JsonWriter(std::ostream &OS) : OS(OS) {}
+  ~JsonWriter();
+
+  JsonWriter &beginObject();
+  JsonWriter &endObject();
+  JsonWriter &beginArray();
+  JsonWriter &endArray();
+
+  /// Emits an object key; must be inside an object and followed by
+  /// exactly one value (or container).
+  JsonWriter &key(const std::string &Name);
+
+  JsonWriter &value(const std::string &S);
+  JsonWriter &value(const char *S) { return value(std::string(S)); }
+  JsonWriter &value(double X);
+  JsonWriter &value(long long X);
+  JsonWriter &value(int X) { return value(static_cast<long long>(X)); }
+  JsonWriter &value(size_t X) {
+    return value(static_cast<long long>(X));
+  }
+  JsonWriter &value(bool B);
+  JsonWriter &null();
+
+  /// Escapes a string per RFC 8259 (quotes, backslash, control chars).
+  static std::string escape(const std::string &S);
+
+private:
+  void beforeValue();
+
+  enum class Frame : uint8_t { Object, Array };
+  std::ostream &OS;
+  std::vector<Frame> Stack;
+  std::vector<bool> NeedComma;
+  bool PendingKey = false;
+};
+
+} // namespace scorpio
+
+#endif // SCORPIO_SUPPORT_JSON_H

@@ -1,0 +1,84 @@
+//===- support/Random.cpp - Deterministic RNG implementation -------------===//
+
+#include "support/Random.h"
+
+#include <cmath>
+
+using namespace scorpio;
+
+static uint64_t splitmix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+void Random::reseed(uint64_t Seed) {
+  uint64_t S = Seed;
+  for (uint64_t &Word : State)
+    Word = splitmix64(S);
+  HasSpareGaussian = false;
+  SpareGaussian = 0.0;
+}
+
+uint64_t Random::next() {
+  const uint64_t Result = rotl(State[0] + State[3], 23) + State[0];
+  const uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+double Random::uniform() {
+  // 53 high bits give a uniform double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Random::uniform(double Lo, double Hi) {
+  assert(Lo <= Hi && "empty uniform range");
+  return Lo + (Hi - Lo) * uniform();
+}
+
+uint64_t Random::below(uint64_t Bound) {
+  assert(Bound > 0 && "bound must be positive");
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t Threshold = -Bound % Bound;
+  for (;;) {
+    const uint64_t R = next();
+    if (R >= Threshold)
+      return R % Bound;
+  }
+}
+
+int64_t Random::range(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty integer range");
+  const uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+  return Lo + static_cast<int64_t>(below(Span));
+}
+
+double Random::gaussian() {
+  if (HasSpareGaussian) {
+    HasSpareGaussian = false;
+    return SpareGaussian;
+  }
+  for (;;) {
+    const double U = uniform(-1.0, 1.0);
+    const double V = uniform(-1.0, 1.0);
+    const double S = U * U + V * V;
+    if (S <= 0.0 || S >= 1.0)
+      continue;
+    const double Scale = std::sqrt(-2.0 * std::log(S) / S);
+    SpareGaussian = V * Scale;
+    HasSpareGaussian = true;
+    return U * Scale;
+  }
+}

@@ -1,0 +1,66 @@
+//===- support/Random.h - Deterministic random number generation ---------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, deterministic pseudo-random number generator (xoshiro256++)
+/// used by workload generators and property tests.  All scorpio workloads
+/// are seeded explicitly so every benchmark run is bit-reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_SUPPORT_RANDOM_H
+#define SCORPIO_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace scorpio {
+
+/// Deterministic xoshiro256++ generator.
+///
+/// The generator is seeded through splitmix64 so that any 64-bit seed,
+/// including 0, produces a well-mixed state.
+class Random {
+public:
+  explicit Random(uint64_t Seed = 0x5eed5c0421065eedULL) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed via splitmix64.
+  void reseed(uint64_t Seed);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next();
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double uniform();
+
+  /// Returns a double uniformly distributed in [Lo, Hi).
+  double uniform(double Lo, double Hi);
+
+  /// Returns an integer uniformly distributed in [0, Bound).
+  uint64_t below(uint64_t Bound);
+
+  /// Returns an integer uniformly distributed in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi);
+
+  /// Returns a sample from the standard normal distribution
+  /// (Marsaglia polar method).
+  double gaussian();
+
+  /// Returns a sample from N(Mean, Sigma^2).
+  double gaussian(double Mean, double Sigma) {
+    return Mean + Sigma * gaussian();
+  }
+
+private:
+  uint64_t State[4];
+  bool HasSpareGaussian = false;
+  double SpareGaussian = 0.0;
+};
+
+} // namespace scorpio
+
+#endif // SCORPIO_SUPPORT_RANDOM_H

@@ -1,0 +1,79 @@
+//===- support/Statistics.cpp - Summary statistics implementation --------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+using namespace scorpio;
+
+RunningStats::RunningStats()
+    : Min(std::numeric_limits<double>::infinity()),
+      Max(-std::numeric_limits<double>::infinity()) {}
+
+void RunningStats::add(double X) {
+  ++N;
+  const double Delta = X - Mean;
+  Mean += Delta / static_cast<double>(N);
+  M2 += Delta * (X - Mean);
+  Min = std::min(Min, X);
+  Max = std::max(Max, X);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::coefficientOfVariation() const {
+  const double M = mean();
+  if (M == 0.0)
+    return 0.0;
+  return stddev() / std::fabs(M);
+}
+
+void RunningStats::merge(const RunningStats &Other) {
+  if (Other.N == 0)
+    return;
+  if (N == 0) {
+    *this = Other;
+    return;
+  }
+  const double Total = static_cast<double>(N + Other.N);
+  const double Delta = Other.Mean - Mean;
+  const double NewMean = Mean + Delta * static_cast<double>(Other.N) / Total;
+  M2 += Other.M2 + Delta * Delta * static_cast<double>(N) *
+                       static_cast<double>(Other.N) / Total;
+  Mean = NewMean;
+  N += Other.N;
+  Min = std::min(Min, Other.Min);
+  Max = std::max(Max, Other.Max);
+}
+
+double scorpio::mean(std::span<const double> Xs) {
+  RunningStats S;
+  for (double X : Xs)
+    S.add(X);
+  return S.mean();
+}
+
+double scorpio::variance(std::span<const double> Xs) {
+  RunningStats S;
+  for (double X : Xs)
+    S.add(X);
+  return S.variance();
+}
+
+double scorpio::stddev(std::span<const double> Xs) {
+  return std::sqrt(variance(Xs));
+}
+
+double scorpio::median(std::span<const double> Xs) {
+  if (Xs.empty())
+    return 0.0;
+  std::vector<double> Copy(Xs.begin(), Xs.end());
+  std::sort(Copy.begin(), Copy.end());
+  const size_t Mid = Copy.size() / 2;
+  if (Copy.size() % 2 == 1)
+    return Copy[Mid];
+  return 0.5 * (Copy[Mid - 1] + Copy[Mid]);
+}

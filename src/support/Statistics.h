@@ -1,0 +1,76 @@
+//===- support/Statistics.h - Running and batch statistics ----------------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Numerically stable summary statistics.  The significance-variance level
+/// detector of Algorithm 1 (step S5) uses these to decide at which DynDFG
+/// level node significances start to diverge.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_SUPPORT_STATISTICS_H
+#define SCORPIO_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <span>
+
+namespace scorpio {
+
+/// Welford-style running accumulator for mean and variance.
+class RunningStats {
+public:
+  /// Adds one observation.
+  void add(double X);
+
+  /// Number of observations seen so far.
+  size_t count() const { return N; }
+
+  /// Arithmetic mean; 0 when empty.
+  double mean() const { return N ? Mean : 0.0; }
+
+  /// Population variance (divides by N); 0 for fewer than two samples.
+  double variance() const { return N > 1 ? M2 / static_cast<double>(N) : 0.0; }
+
+  /// Sample variance (divides by N-1); 0 for fewer than two samples.
+  double sampleVariance() const {
+    return N > 1 ? M2 / static_cast<double>(N - 1) : 0.0;
+  }
+
+  /// Population standard deviation.
+  double stddev() const;
+
+  /// Smallest observation; +inf when empty.
+  double min() const { return Min; }
+
+  /// Largest observation; -inf when empty.
+  double max() const { return Max; }
+
+  /// Coefficient of variation (stddev / |mean|); 0 when the mean is 0.
+  double coefficientOfVariation() const;
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void merge(const RunningStats &Other);
+
+  RunningStats();
+
+private:
+  size_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Min;
+  double Max;
+};
+
+/// Convenience batch helpers.
+double mean(std::span<const double> Xs);
+double variance(std::span<const double> Xs);
+double stddev(std::span<const double> Xs);
+double median(std::span<const double> Xs);
+
+} // namespace scorpio
+
+#endif // SCORPIO_SUPPORT_STATISTICS_H

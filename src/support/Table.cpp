@@ -1,0 +1,96 @@
+//===- support/Table.cpp - Console table and CSV emission ----------------===//
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+using namespace scorpio;
+
+Table::Table(std::vector<std::string> Header) : Header(std::move(Header)) {
+  assert(!this->Header.empty() && "table needs at least one column");
+}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Header.size() && "row arity mismatch");
+  Rows.push_back(std::move(Cells));
+}
+
+void Table::print(std::ostream &OS) const {
+  std::vector<size_t> Widths(Header.size());
+  for (size_t I = 0; I != Header.size(); ++I)
+    Widths[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I != Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    OS << "|";
+    for (size_t I = 0; I != Row.size(); ++I)
+      OS << " " << std::left << std::setw(static_cast<int>(Widths[I]))
+         << Row[I] << " |";
+    OS << "\n";
+  };
+  auto PrintRule = [&] {
+    OS << "+";
+    for (size_t W : Widths)
+      OS << std::string(W + 2, '-') << "+";
+    OS << "\n";
+  };
+
+  PrintRule();
+  PrintRow(Header);
+  PrintRule();
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+  PrintRule();
+}
+
+static void printCsvCell(std::ostream &OS, const std::string &Cell) {
+  if (Cell.find_first_of(",\"\n") == std::string::npos) {
+    OS << Cell;
+    return;
+  }
+  OS << '"';
+  for (char C : Cell) {
+    if (C == '"')
+      OS << '"';
+    OS << C;
+  }
+  OS << '"';
+}
+
+void Table::printCsv(std::ostream &OS) const {
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I != Row.size(); ++I) {
+      if (I)
+        OS << ",";
+      printCsvCell(OS, Row[I]);
+    }
+    OS << "\n";
+  };
+  PrintRow(Header);
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}
+
+std::string scorpio::formatDouble(double X, int Digits) {
+  std::ostringstream OS;
+  OS << std::setprecision(Digits) << X;
+  return OS.str();
+}
+
+std::string scorpio::formatFixed(double X, int Decimals) {
+  std::ostringstream OS;
+  OS << std::fixed << std::setprecision(Decimals) << X;
+  return OS.str();
+}
+
+std::string scorpio::formatPercent(double X) {
+  std::ostringstream OS;
+  OS << std::fixed << std::setprecision(1) << (100.0 * X) << "%";
+  return OS.str();
+}

@@ -1,0 +1,57 @@
+//===- support/Table.h - Console table and CSV emission -------------------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small text-table builder used by the benchmark harnesses to print the
+/// rows of the paper's tables and figure series in a uniform format, and to
+/// optionally dump the same data as CSV for plotting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_SUPPORT_TABLE_H
+#define SCORPIO_SUPPORT_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace scorpio {
+
+/// Collects rows of string cells and renders them column-aligned.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Appends a fully formatted row; must match the header arity.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Number of data rows.
+  size_t numRows() const { return Rows.size(); }
+
+  /// Renders an aligned ASCII table.
+  void print(std::ostream &OS) const;
+
+  /// Renders RFC-4180-ish CSV (cells containing ',' or '"' get quoted).
+  void printCsv(std::ostream &OS) const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Formats \p X with \p Digits significant decimal digits.
+std::string formatDouble(double X, int Digits = 4);
+
+/// Formats \p X as a fixed-point value with \p Decimals digits.
+std::string formatFixed(double X, int Decimals = 2);
+
+/// Formats \p X as a percentage ("12.3%") with one decimal.
+std::string formatPercent(double X);
+
+} // namespace scorpio
+
+#endif // SCORPIO_SUPPORT_TABLE_H

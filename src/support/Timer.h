@@ -1,0 +1,44 @@
+//===- support/Timer.h - Wall-clock timing ---------------------------------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal steady-clock stopwatch used by the energy model and the
+/// benchmark harness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_SUPPORT_TIMER_H
+#define SCORPIO_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace scorpio {
+
+/// A resettable stopwatch over std::chrono::steady_clock.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  double milliseconds() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace scorpio
+
+#endif // SCORPIO_SUPPORT_TIMER_H

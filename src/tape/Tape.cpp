@@ -1,0 +1,152 @@
+//===- tape/Tape.cpp - DynDFG recording tape implementation --------------===//
+
+#include "tape/Tape.h"
+
+using namespace scorpio;
+
+const char *scorpio::opKindName(OpKind K) {
+  switch (K) {
+  case OpKind::Input:
+    return "input";
+  case OpKind::Add:
+    return "add";
+  case OpKind::Sub:
+    return "sub";
+  case OpKind::Mul:
+    return "mul";
+  case OpKind::Div:
+    return "div";
+  case OpKind::Neg:
+    return "neg";
+  case OpKind::Sin:
+    return "sin";
+  case OpKind::Cos:
+    return "cos";
+  case OpKind::Tan:
+    return "tan";
+  case OpKind::Exp:
+    return "exp";
+  case OpKind::Log:
+    return "log";
+  case OpKind::Sqrt:
+    return "sqrt";
+  case OpKind::Sqr:
+    return "sqr";
+  case OpKind::PowInt:
+    return "powi";
+  case OpKind::Pow:
+    return "pow";
+  case OpKind::Fabs:
+    return "fabs";
+  case OpKind::Erf:
+    return "erf";
+  case OpKind::Atan:
+    return "atan";
+  case OpKind::Min:
+    return "min";
+  case OpKind::Max:
+    return "max";
+  case OpKind::Round:
+    return "round";
+  case OpKind::TanOverX:
+    return "tanoverx";
+  }
+  assert(false && "unknown op kind");
+  return "?";
+}
+
+bool scorpio::isAccumulativeOp(OpKind K) {
+  return K == OpKind::Add || K == OpKind::Mul || K == OpKind::Min ||
+         K == OpKind::Max;
+}
+
+NodeId Tape::recordInput(const Interval &V) {
+  TapeNode N;
+  N.Value = V;
+  N.Kind = OpKind::Input;
+  N.NumArgs = 0;
+  const NodeId Id = static_cast<NodeId>(Nodes.size());
+  Nodes.push_back(N);
+  Inputs.push_back(Id);
+  return Id;
+}
+
+NodeId Tape::recordUnary(OpKind K, const Interval &V, NodeId Arg,
+                         const Interval &Partial, int32_t AuxInt) {
+  assert(Arg != InvalidNodeId && "unary op needs an active argument");
+  assert(Arg < static_cast<NodeId>(Nodes.size()) && "forward reference");
+  TapeNode N;
+  N.Value = V;
+  N.Kind = K;
+  N.NumArgs = 1;
+  N.Args[0] = Arg;
+  N.Partials[0] = Partial;
+  N.AuxInt = AuxInt;
+  Nodes.push_back(N);
+  return static_cast<NodeId>(Nodes.size() - 1);
+}
+
+NodeId Tape::recordBinary(OpKind K, const Interval &V, NodeId Arg0,
+                          const Interval &Partial0, NodeId Arg1,
+                          const Interval &Partial1) {
+  assert((Arg0 != InvalidNodeId || Arg1 != InvalidNodeId) &&
+         "binary op needs at least one active argument");
+  TapeNode N;
+  N.Value = V;
+  N.Kind = K;
+  N.NumArgs = 0;
+  if (Arg0 != InvalidNodeId) {
+    assert(Arg0 < static_cast<NodeId>(Nodes.size()) && "forward reference");
+    N.Args[N.NumArgs] = Arg0;
+    N.Partials[N.NumArgs] = Partial0;
+    ++N.NumArgs;
+  }
+  if (Arg1 != InvalidNodeId) {
+    assert(Arg1 < static_cast<NodeId>(Nodes.size()) && "forward reference");
+    N.Args[N.NumArgs] = Arg1;
+    N.Partials[N.NumArgs] = Partial1;
+    ++N.NumArgs;
+  }
+  Nodes.push_back(N);
+  return static_cast<NodeId>(Nodes.size() - 1);
+}
+
+void Tape::clearAdjoints() {
+  for (TapeNode &N : Nodes)
+    N.Adjoint = Interval(0.0);
+}
+
+void Tape::seedAdjoint(NodeId Id, const Interval &Seed) {
+  node(Id).Adjoint += Seed;
+}
+
+void Tape::reverseSweep() {
+  // Eq. 8: u_(1)i = sum over consumers j of dphi_j/du_i * u_(1)j,
+  // evaluated by walking the tape backwards and scattering each node's
+  // adjoint to its arguments.
+  for (size_t I = Nodes.size(); I-- > 0;) {
+    const TapeNode &N = Nodes[I];
+    if (N.Adjoint == Interval(0.0))
+      continue;
+    for (uint8_t A = 0; A != N.NumArgs; ++A)
+      Nodes[static_cast<size_t>(N.Args[A])].Adjoint +=
+          N.Partials[A] * N.Adjoint;
+  }
+}
+
+void Tape::noteDivergence(std::string Description) {
+  Divergences.push_back(std::move(Description));
+}
+
+Tape *&Tape::activeSlot() {
+  thread_local Tape *Active = nullptr;
+  return Active;
+}
+
+Tape *Tape::active() { return activeSlot(); }
+
+ActiveTapeScope::ActiveTapeScope() : Previous(Tape::activeSlot()) {
+  Tape::activeSlot() = &OwnedTape;
+}
+
+ActiveTapeScope::~ActiveTapeScope() { Tape::activeSlot() = Previous; }

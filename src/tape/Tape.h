@@ -1,0 +1,183 @@
+//===- tape/Tape.h - DynDFG recording tape for interval adjoint AD --------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Dynamic Data Flow Graph (DynDFG) recording mechanism of
+/// dco/scorpio (paper Section 2.3).  Every elementary operation executed
+/// on the overloading type appends one node to the active tape; edges
+/// carry interval-valued local partial derivatives computed during the
+/// forward sweep (Figure 1a).  A reverse sweep propagates interval
+/// adjoints backwards (Eq. 7-9) so that after a single pass the interval
+/// derivative of the output with respect to *every* intermediate variable
+/// is available (Figure 1b).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_TAPE_TAPE_H
+#define SCORPIO_TAPE_TAPE_H
+
+#include "interval/Interval.h"
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace scorpio {
+
+/// Elementary function kinds (the phi_j of Eq. 2).
+enum class OpKind : uint8_t {
+  Input,
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Neg,
+  Sin,
+  Cos,
+  Tan,
+  Exp,
+  Log,
+  Sqrt,
+  Sqr,
+  PowInt,
+  Pow,
+  Fabs,
+  Erf,
+  Atan,
+  Min,
+  Max,
+  Round,
+  TanOverX
+};
+
+/// Human-readable operation mnemonic ("add", "sin", ...).
+const char *opKindName(OpKind K);
+
+/// True for associative accumulation operations (+, *, min, max) whose
+/// self-referential chains (`res = res + term`) are anti-dependency
+/// aggregation nodes in the sense of Algorithm 1 step S4.
+bool isAccumulativeOp(OpKind K);
+
+/// Index of a node within its tape.
+using NodeId = int32_t;
+inline constexpr NodeId InvalidNodeId = -1;
+
+/// One dynamically executed elementary function u_j = phi_j(u_i).
+struct TapeNode {
+  /// Interval enclosure [u_j] computed during the forward sweep.
+  Interval Value;
+  /// Interval local partials d(phi_j)/d(u_i) for each recorded argument.
+  Interval Partials[2];
+  /// Interval adjoint, accumulated by Tape::reverseSweep().
+  Interval Adjoint;
+  /// Recorded (active) argument node ids.
+  NodeId Args[2] = {InvalidNodeId, InvalidNodeId};
+  OpKind Kind = OpKind::Input;
+  uint8_t NumArgs = 0;
+  /// Integer exponent for PowInt.
+  int32_t AuxInt = 0;
+};
+
+/// An append-only tape of TapeNodes plus divergence diagnostics.
+///
+/// Constant operands are *passive*: they are not recorded, so a node's
+/// argument list contains only the operands that transitively depend on a
+/// registered input.  This matches the paper's DynDFG figures, which show
+/// only value-carrying vertices.
+class Tape {
+public:
+  Tape() = default;
+  Tape(const Tape &) = delete;
+  Tape &operator=(const Tape &) = delete;
+
+  /// Appends an input node holding enclosure \p V; returns its id.
+  NodeId recordInput(const Interval &V);
+
+  /// Appends a unary operation node.
+  NodeId recordUnary(OpKind K, const Interval &V, NodeId Arg,
+                     const Interval &Partial, int32_t AuxInt = 0);
+
+  /// Appends a binary operation node.  Either argument may be
+  /// InvalidNodeId (a passive operand); at least one must be active.
+  NodeId recordBinary(OpKind K, const Interval &V, NodeId Arg0,
+                      const Interval &Partial0, NodeId Arg1,
+                      const Interval &Partial1);
+
+  size_t size() const { return Nodes.size(); }
+  bool empty() const { return Nodes.empty(); }
+
+  const TapeNode &node(NodeId Id) const {
+    assert(Id >= 0 && static_cast<size_t>(Id) < Nodes.size() &&
+           "node id out of range");
+    return Nodes[static_cast<size_t>(Id)];
+  }
+  TapeNode &node(NodeId Id) {
+    assert(Id >= 0 && static_cast<size_t>(Id) < Nodes.size() &&
+           "node id out of range");
+    return Nodes[static_cast<size_t>(Id)];
+  }
+  std::span<const TapeNode> nodes() const { return Nodes; }
+
+  /// Ids of all recorded input nodes, in registration order.
+  const std::vector<NodeId> &inputs() const { return Inputs; }
+
+  /// Resets every adjoint to [0, 0].
+  void clearAdjoints();
+
+  /// Adds \p Seed to the adjoint of \p Id (Eq. 7 allows y_(1) seeds).
+  void seedAdjoint(NodeId Id, const Interval &Seed);
+
+  /// Propagates adjoints from the last node towards the inputs (Eq. 8).
+  /// Callers seed output adjoints first.
+  void reverseSweep();
+
+  /// Records that a kernel branched on an ambiguous interval comparison.
+  /// The analysis result will be flagged invalid (paper Section 2.2).
+  void noteDivergence(std::string Description);
+
+  bool hasDiverged() const { return !Divergences.empty(); }
+  const std::vector<std::string> &divergences() const { return Divergences; }
+
+  /// The tape new IAValue operations record into, or nullptr when none is
+  /// active (pure interval evaluation).  Thread-local.
+  static Tape *active();
+
+private:
+  friend class ActiveTapeScope;
+  static Tape *&activeSlot();
+
+  std::vector<TapeNode> Nodes;
+  std::vector<NodeId> Inputs;
+  std::vector<std::string> Divergences;
+};
+
+/// RAII activation of a tape for the current thread.
+///
+/// \code
+///   ActiveTapeScope Scope;
+///   IAValue X = ...;            // operations record into Scope.tape()
+///   Scope.tape().reverseSweep();
+/// \endcode
+class ActiveTapeScope {
+public:
+  ActiveTapeScope();
+  ~ActiveTapeScope();
+  ActiveTapeScope(const ActiveTapeScope &) = delete;
+  ActiveTapeScope &operator=(const ActiveTapeScope &) = delete;
+
+  Tape &tape() { return OwnedTape; }
+  const Tape &tape() const { return OwnedTape; }
+
+private:
+  Tape OwnedTape;
+  Tape *Previous;
+};
+
+} // namespace scorpio
+
+#endif // SCORPIO_TAPE_TAPE_H

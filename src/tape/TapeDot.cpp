@@ -1,0 +1,53 @@
+//===- tape/TapeDot.cpp - Annotated DynDFG export -------------------------===//
+
+#include "tape/TapeDot.h"
+
+#include "support/Dot.h"
+
+#include <iomanip>
+#include <sstream>
+
+using namespace scorpio;
+
+static std::string fmtInterval(const Interval &X, int Digits) {
+  std::ostringstream OS;
+  OS << std::setprecision(Digits) << "[" << X.lower() << ", "
+     << X.upper() << "]";
+  return OS.str();
+}
+
+void scorpio::writeTapeDot(const Tape &T, std::ostream &OS,
+                           const std::map<NodeId, std::string> &Labels,
+                           const TapeDotOptions &Options) {
+  DotWriter W("DynDFGAnnotated");
+  for (size_t I = 0; I != T.size(); ++I) {
+    const TapeNode &N = T.node(static_cast<NodeId>(I));
+    std::ostringstream Label;
+    Label << "u" << I << ": " << opKindName(N.Kind);
+    if (auto It = Labels.find(static_cast<NodeId>(I)); It != Labels.end())
+      Label << "\\n" << It->second;
+    if (Options.ShowValues)
+      Label << "\\n" << fmtInterval(N.Value, Options.Digits);
+    if (Options.ShowAdjoints)
+      Label << "\\nadj " << fmtInterval(N.Adjoint, Options.Digits);
+    std::string Attrs =
+        "label=\"" + DotWriter::escape(Label.str()) + "\", shape=box";
+    if (N.Kind == OpKind::Input)
+      Attrs += ", style=filled, fillcolor=lightgrey";
+    W.addNode("u" + std::to_string(I), Attrs);
+  }
+  for (size_t I = 0; I != T.size(); ++I) {
+    const TapeNode &N = T.node(static_cast<NodeId>(I));
+    for (uint8_t A = 0; A != N.NumArgs; ++A) {
+      std::string Attrs;
+      if (Options.ShowPartials)
+        Attrs = "label=\"" +
+                DotWriter::escape(
+                    fmtInterval(N.Partials[A], Options.Digits)) +
+                "\"";
+      W.addEdge("u" + std::to_string(N.Args[A]),
+                "u" + std::to_string(I), Attrs);
+    }
+  }
+  W.write(OS);
+}

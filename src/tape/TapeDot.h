@@ -1,0 +1,50 @@
+//===- tape/TapeDot.h - Annotated DynDFG export (paper Figure 1a) ---------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graphviz export of the raw recorded tape with the edge annotations of
+/// paper Figure 1a: every edge u_i -> u_j carries the interval local
+/// partial derivative d phi_j / d[u_i] computed during the forward
+/// sweep; after a reverse sweep, nodes additionally show their interval
+/// adjoints (Figure 1b).  This is the "visualize the significance for
+/// different parts of the computation" facility of Section 5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_TAPE_TAPEDOT_H
+#define SCORPIO_TAPE_TAPEDOT_H
+
+#include "tape/Tape.h"
+
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace scorpio {
+
+/// Options for the annotated export.
+struct TapeDotOptions {
+  /// Show interval values in node labels.
+  bool ShowValues = true;
+  /// Show interval adjoints in node labels (meaningful after a
+  /// reverseSweep()).
+  bool ShowAdjoints = false;
+  /// Show interval local partials as edge labels (Figure 1a).
+  bool ShowPartials = true;
+  /// Decimal digits for interval bounds.
+  int Digits = 3;
+};
+
+/// Writes the full recorded tape as a digraph; \p Labels optionally maps
+/// node ids to user-facing variable names.
+void writeTapeDot(const Tape &T, std::ostream &OS,
+                  const std::map<NodeId, std::string> &Labels = {},
+                  const TapeDotOptions &Options = {});
+
+} // namespace scorpio
+
+#endif // SCORPIO_TAPE_TAPEDOT_H

@@ -1,0 +1,231 @@
+//===- tests/analysis_test.cpp - Significance analysis driver tests -------===//
+
+#include "core/Analysis.h"
+#include "core/Macros.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+using namespace scorpio;
+
+namespace {
+
+TEST(Analysis, InputRegistersAndBinds) {
+  Analysis A;
+  IAValue X = A.input("x", 1.0, 2.0);
+  EXPECT_TRUE(X.isActive());
+  EXPECT_EQ(X.value().lower(), 1.0);
+  EXPECT_EQ(X.value().upper(), 2.0);
+}
+
+TEST(Analysis, RegisterInputRebinds) {
+  Analysis A;
+  IAValue X(99.0); // passive placeholder, as in the paper's Listing 6
+  A.registerInput(X, "x", -1.0, 1.0);
+  EXPECT_TRUE(X.isActive());
+  EXPECT_EQ(X.value().lower(), -1.0);
+}
+
+TEST(Analysis, LinearFunctionSignificances) {
+  // y = 3a + b over a, b in [0, 1]: S(a) = w([a] * 3) = 3, S(b) = 1,
+  // S(y) = w([y]) = 4.
+  Analysis A;
+  IAValue X = A.input("a", 0.0, 1.0);
+  IAValue B = A.input("b", 0.0, 1.0);
+  IAValue Y = 3.0 * X + B;
+  A.registerOutput(Y, "y");
+  const AnalysisResult R = A.analyse();
+  ASSERT_TRUE(R.isValid());
+  EXPECT_NEAR(R.find("a")->Significance, 3.0, 1e-9);
+  EXPECT_NEAR(R.find("b")->Significance, 1.0, 1e-9);
+  EXPECT_NEAR(R.outputSignificance(), 4.0, 1e-9);
+  EXPECT_NEAR(R.find("a")->Normalized, 0.75, 1e-9);
+}
+
+TEST(Analysis, InsignificantInputHasZeroSignificance) {
+  // y depends only on a; b is dead.
+  Analysis A;
+  IAValue X = A.input("a", 0.0, 1.0);
+  IAValue B = A.input("b", 0.0, 1.0);
+  IAValue Y = X * 2.0;
+  (void)B;
+  A.registerOutput(Y, "y");
+  const AnalysisResult R = A.analyse();
+  EXPECT_EQ(R.find("b")->Significance, 0.0);
+  EXPECT_GT(R.find("a")->Significance, 0.0);
+}
+
+TEST(Analysis, ConstantSubexpressionZeroSignificance) {
+  // pow(x, 0) == 1 contributes nothing: significance 0 (the Maclaurin
+  // term0 of Figure 3).
+  Analysis A;
+  IAValue X = A.input("x", -0.5, 0.5);
+  IAValue T0 = pow(X, 0);
+  A.registerIntermediate(T0, "t0");
+  IAValue T1 = pow(X, 1);
+  A.registerIntermediate(T1, "t1");
+  IAValue Y = T0 + T1;
+  A.registerOutput(Y, "y");
+  const AnalysisResult R = A.analyse();
+  EXPECT_LT(R.find("t0")->Significance, 1e-12);
+  EXPECT_GT(R.find("t1")->Significance, 0.5);
+}
+
+TEST(Analysis, IntermediateSignificanceMatchesEq11) {
+  // y = sin(u), u = 2x over x in [0, 0.5]: [u] = [0, 1],
+  // grad_u y = cos([0, 1]) = [cos 1, 1], S(u) = w([u] * [cos 1, 1]) = 1.
+  Analysis A;
+  IAValue X = A.input("x", 0.0, 0.5);
+  IAValue U = 2.0 * X;
+  A.registerIntermediate(U, "u");
+  IAValue Y = sin(U);
+  A.registerOutput(Y, "y");
+  const AnalysisResult R = A.analyse();
+  EXPECT_NEAR(R.find("u")->Significance, 1.0, 1e-6);
+}
+
+TEST(Analysis, DivergenceInvalidatesResult) {
+  Analysis A;
+  IAValue X = A.input("x", 0.0, 2.0);
+  IAValue Y = X > 1.0 ? X * 2.0 : X * 3.0; // undecidable branch
+  A.registerOutput(Y, "y");
+  const AnalysisResult R = A.analyse();
+  EXPECT_FALSE(R.isValid());
+  EXPECT_FALSE(R.divergences().empty());
+}
+
+TEST(Analysis, DecidedBranchKeepsResultValid) {
+  Analysis A;
+  IAValue X = A.input("x", 2.0, 3.0);
+  IAValue Y = X > 1.0 ? X * 2.0 : X * 3.0; // decidably true
+  A.registerOutput(Y, "y");
+  EXPECT_TRUE(A.analyse().isValid());
+}
+
+TEST(Analysis, MultiOutputCombinedSeed) {
+  // y0 = 2x, y1 = 3x: combined sweep gives adjoint(x) = 5.
+  Analysis A;
+  IAValue X = A.input("x", 0.0, 1.0);
+  IAValue Y0 = 2.0 * X;
+  IAValue Y1 = 3.0 * X;
+  A.registerOutput(Y0, "y0");
+  A.registerOutput(Y1, "y1");
+  AnalysisOptions Opts;
+  Opts.Mode = AnalysisOptions::OutputMode::CombinedSeed;
+  const AnalysisResult R = A.analyse(Opts);
+  EXPECT_NEAR(R.find("x")->Significance, 5.0, 1e-9);
+}
+
+TEST(Analysis, MultiOutputPerOutputSums) {
+  // Same function, exact mode: S(x) = S_{y0}(x) + S_{y1}(x) = 2 + 3.
+  Analysis A;
+  IAValue X = A.input("x", 0.0, 1.0);
+  IAValue Y0 = 2.0 * X;
+  IAValue Y1 = 3.0 * X;
+  A.registerOutput(Y0, "y0");
+  A.registerOutput(Y1, "y1");
+  AnalysisOptions Opts;
+  Opts.Mode = AnalysisOptions::OutputMode::PerOutput;
+  const AnalysisResult R = A.analyse(Opts);
+  EXPECT_NEAR(R.find("x")->Significance, 5.0, 1e-9);
+}
+
+TEST(Analysis, PerOutputAvoidsCancellation) {
+  // y0 = x, y1 = -x: combined adjoint cancels to 0, per-output sums to 2.
+  auto Run = [](AnalysisOptions::OutputMode Mode) {
+    Analysis A;
+    IAValue X = A.input("x", 0.0, 1.0);
+    IAValue Y0 = X * 1.0;
+    IAValue Y1 = -X;
+    A.registerOutput(Y0, "y0");
+    A.registerOutput(Y1, "y1");
+    AnalysisOptions Opts;
+    Opts.Mode = Mode;
+    return A.analyse(Opts).find("x")->Significance;
+  };
+  EXPECT_NEAR(Run(AnalysisOptions::OutputMode::CombinedSeed), 0.0, 1e-9);
+  EXPECT_NEAR(Run(AnalysisOptions::OutputMode::PerOutput), 2.0, 1e-9);
+}
+
+TEST(Analysis, UnboundedSignificanceIsCapped) {
+  Analysis A;
+  IAValue X = A.input("x", -1.0, 1.0);
+  IAValue Y = 1.0 / X; // division across zero: entire interval
+  A.registerOutput(Y, "y");
+  AnalysisOptions Opts;
+  Opts.SignificanceCap = 1e10;
+  const AnalysisResult R = A.analyse(Opts);
+  EXPECT_LE(R.find("y")->Significance, 1e10);
+}
+
+TEST(Analysis, PrintReportsVariables) {
+  Analysis A;
+  IAValue X = A.input("x", 0.0, 1.0);
+  IAValue Y = X * 2.0;
+  A.registerOutput(Y, "y");
+  const AnalysisResult R = A.analyse();
+  std::ostringstream OS;
+  R.print(OS);
+  EXPECT_NE(OS.str().find("x"), std::string::npos);
+  EXPECT_NE(OS.str().find("S="), std::string::npos);
+}
+
+TEST(Analysis, NestedAnalysesRestoreCurrent) {
+  Analysis Outer;
+  IAValue XO = Outer.input("xo", 0.0, 1.0);
+  {
+    Analysis Inner;
+    EXPECT_EQ(&Analysis::current(), &Inner);
+    IAValue XI = Inner.input("xi", 0.0, 1.0);
+    IAValue YI = XI * 2.0;
+    Inner.registerOutput(YI, "yi");
+    EXPECT_TRUE(Inner.analyse().isValid());
+  }
+  EXPECT_EQ(&Analysis::current(), &Outer);
+  IAValue YO = XO + 1.0;
+  Outer.registerOutput(YO, "yo");
+  EXPECT_TRUE(Outer.analyse().isValid());
+}
+
+TEST(AnalysisMacros, PaperStyleWorkflow) {
+  Analysis A;
+  IAValue X(0.25); // value as in Listing 6: range x +- 0.5
+  SCORPIO_INPUT(X, X.toDouble() - 0.5, X.toDouble() + 0.5);
+  IAValue Result = 0.0;
+  for (int I = 0; I < 4; ++I) {
+    IAValue Term = pow(X, I);
+    SCORPIO_INTERMEDIATE_NAMED(Term, "term" + std::to_string(I));
+    Result = Result + Term;
+  }
+  SCORPIO_OUTPUT(Result);
+  const AnalysisResult R = SCORPIO_ANALYSE();
+  ASSERT_TRUE(R.isValid());
+  EXPECT_LT(R.find("term0")->Significance, 1e-12);
+  EXPECT_GT(R.find("term1")->Significance,
+            R.find("term2")->Significance);
+  EXPECT_NE(R.find("Result"), nullptr);
+}
+
+TEST(Analysis, FindReturnsNullForUnknown) {
+  Analysis A;
+  IAValue X = A.input("x", 0.0, 1.0);
+  IAValue Y = X + 0.0;
+  A.registerOutput(Y, "y");
+  const AnalysisResult R = A.analyse();
+  EXPECT_EQ(R.find("nonexistent"), nullptr);
+}
+
+TEST(Analysis, PassiveIntermediateIgnored) {
+  Analysis A;
+  IAValue X = A.input("x", 0.0, 1.0);
+  IAValue Passive(42.0);
+  A.registerIntermediate(Passive, "const"); // silently skipped
+  IAValue Y = X * 1.0;
+  A.registerOutput(Y, "y");
+  const AnalysisResult R = A.analyse();
+  EXPECT_EQ(R.find("const"), nullptr);
+}
+
+} // namespace

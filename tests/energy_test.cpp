@@ -1,0 +1,80 @@
+//===- tests/energy_test.cpp - Energy accounting tests --------------------===//
+
+#include "energy/Energy.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace scorpio;
+
+namespace {
+
+TEST(WorkMeter, AccumulatesUnits) {
+  WorkMeter M;
+  EXPECT_EQ(M.units(), 0.0);
+  M.add(10.0);
+  M.add(2.5);
+  EXPECT_NEAR(M.units(), 12.5, 1e-3);
+  M.reset();
+  EXPECT_EQ(M.units(), 0.0);
+}
+
+TEST(WorkMeter, ThreadSafeAccumulation) {
+  WorkMeter &M = WorkMeter::global();
+  const double Before = M.units();
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([] {
+      for (int I = 0; I < 1000; ++I)
+        WorkMeter::global().add(1.0);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_NEAR(M.units() - Before, 4000.0, 1e-3);
+}
+
+TEST(EnergyReport, TimeModelScalesWithPower) {
+  EnergyReport R;
+  R.Seconds = 2.0;
+  EnergyModelParams P;
+  P.PackagePowerWatts = 100.0;
+  EXPECT_NEAR(R.timeModelJoules(P), 200.0, 1e-12);
+}
+
+TEST(EnergyReport, OpModelScalesWithUnits) {
+  EnergyReport R;
+  R.WorkUnits = 1e9;
+  EnergyModelParams P;
+  P.JoulesPerUnit = 20e-9;
+  EXPECT_NEAR(R.opModelJoules(P), 20.0, 1e-9);
+}
+
+TEST(EnergyProbe, CapturesWorkDelta) {
+  EnergyProbe Probe;
+  WorkMeter::global().add(123.0);
+  const EnergyReport R = Probe.report();
+  EXPECT_NEAR(R.WorkUnits, 123.0, 1e-3);
+  EXPECT_GE(R.Seconds, 0.0);
+}
+
+TEST(EnergyProbe, IndependentProbesNest) {
+  EnergyProbe Outer;
+  WorkMeter::global().add(10.0);
+  EnergyProbe Inner;
+  WorkMeter::global().add(5.0);
+  EXPECT_NEAR(Inner.report().WorkUnits, 5.0, 1e-3);
+  EXPECT_NEAR(Outer.report().WorkUnits, 15.0, 1e-3);
+}
+
+TEST(EnergyModel, MonotoneInWork) {
+  // The substitution argument: strictly more work units means strictly
+  // more op-model energy, which preserves win/lose orderings.
+  EnergyReport Less, More;
+  Less.WorkUnits = 1000.0;
+  More.WorkUnits = 2000.0;
+  EXPECT_LT(Less.opModelJoules(), More.opModelJoules());
+}
+
+} // namespace

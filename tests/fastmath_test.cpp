@@ -1,0 +1,173 @@
+//===- tests/fastmath_test.cpp - Approximate math error-bound tests -------===//
+//
+// Verifies that every fast-math kernel stays within its documented error
+// envelope over the ranges the benchmarks use, and that the "faster"
+// tier is strictly cruder than the "fast" tier.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fastmath/FastMath.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace scorpio;
+using namespace scorpio::fastmath;
+
+namespace {
+
+double relErr(double Approx, double Exact) {
+  return std::fabs(Approx - Exact) / std::max(std::fabs(Exact), 1e-30);
+}
+
+TEST(FastMath, ExpFastWithinTolerance) {
+  Random Rng(1);
+  for (int I = 0; I < 2000; ++I) {
+    const double X = Rng.uniform(-20.0, 20.0);
+    EXPECT_LT(relErr(expFast(X), std::exp(X)), 2e-4) << "x = " << X;
+  }
+}
+
+TEST(FastMath, LogFastWithinTolerance) {
+  Random Rng(2);
+  for (int I = 0; I < 2000; ++I) {
+    const double X = Rng.uniform(1e-3, 1e3);
+    EXPECT_NEAR(logFast(X), std::log(X), 2e-4) << "x = " << X;
+  }
+}
+
+TEST(FastMath, PowFastWithinTolerance) {
+  Random Rng(3);
+  for (int I = 0; I < 2000; ++I) {
+    const double X = Rng.uniform(0.1, 10.0);
+    const double P = Rng.uniform(-3.0, 3.0);
+    EXPECT_LT(relErr(powFast(X, P), std::pow(X, P)), 2e-3)
+        << "x = " << X << ", p = " << P;
+  }
+}
+
+TEST(FastMath, PowIntFastMatchesIntegerPowers) {
+  Random Rng(4);
+  for (int I = 0; I < 500; ++I) {
+    const double X = Rng.uniform(-2.0, 2.0);
+    for (int N : {0, 1, 2, 3, 5, 8, -1, -3}) {
+      const double Exact = std::pow(X, N);
+      if (!std::isfinite(Exact) || std::fabs(Exact) < 1e-20 ||
+          std::fabs(Exact) > 1e20)
+        continue;
+      EXPECT_LT(relErr(powIntFast(X, N), Exact), 1e-5)
+          << "x = " << X << ", n = " << N;
+    }
+  }
+}
+
+TEST(FastMath, PowIntFastExactCorners) {
+  EXPECT_EQ(powIntFast(3.0, 0), 1.0);
+  EXPECT_NEAR(powIntFast(2.0, 10), 1024.0, 1e-3);
+  EXPECT_NEAR(powIntFast(2.0, -2), 0.25, 1e-6);
+  EXPECT_NEAR(powIntFast(-2.0, 3), -8.0, 1e-5);
+}
+
+TEST(FastMath, SqrtFastWithinTolerance) {
+  Random Rng(5);
+  for (int I = 0; I < 2000; ++I) {
+    const double X = Rng.uniform(1e-6, 1e6);
+    EXPECT_LT(relErr(sqrtFast(X), std::sqrt(X)), 2e-3) << "x = " << X;
+  }
+  EXPECT_EQ(sqrtFast(0.0), 0.0);
+  EXPECT_EQ(sqrtFast(-1.0), 0.0);
+}
+
+TEST(FastMath, RsqrtFastWithinTolerance) {
+  Random Rng(6);
+  for (int I = 0; I < 2000; ++I) {
+    const double X = Rng.uniform(1e-6, 1e6);
+    EXPECT_LT(relErr(rsqrtFast(X), 1.0 / std::sqrt(X)), 2e-3);
+  }
+}
+
+TEST(FastMath, CndfFastAccurate) {
+  auto Cndf = [](double X) { return 0.5 * std::erfc(-X * M_SQRT1_2); };
+  Random Rng(7);
+  for (int I = 0; I < 2000; ++I) {
+    const double X = Rng.uniform(-6.0, 6.0);
+    EXPECT_NEAR(cndfFast(X), Cndf(X), 1e-4) << "x = " << X;
+  }
+}
+
+TEST(FastMath, CndfMonotoneAndBounded) {
+  double Prev = -1.0;
+  for (double X = -8.0; X <= 8.0; X += 0.05) {
+    const double C = cndfFast(X);
+    EXPECT_GE(C, 0.0);
+    EXPECT_LE(C, 1.0);
+    EXPECT_GE(C, Prev - 1e-6); // monotone within noise
+    Prev = C;
+  }
+}
+
+TEST(FastMath, SinFastWithinTolerance) {
+  for (double X = -10.0; X <= 10.0; X += 0.01)
+    EXPECT_NEAR(sinFast(X), std::sin(X), 3e-3) << "x = " << X;
+}
+
+TEST(FastMath, CosFastWithinTolerance) {
+  for (double X = -10.0; X <= 10.0; X += 0.01)
+    EXPECT_NEAR(cosFast(X), std::cos(X), 3e-3) << "x = " << X;
+}
+
+TEST(FastMath, FasterTierCruderButBounded) {
+  Random Rng(8);
+  double MaxFast = 0.0, MaxFaster = 0.0;
+  for (int I = 0; I < 2000; ++I) {
+    const double X = Rng.uniform(-5.0, 5.0);
+    MaxFast = std::max(MaxFast, relErr(expFast(X), std::exp(X)));
+    MaxFaster = std::max(MaxFaster, relErr(expFaster(X), std::exp(X)));
+  }
+  EXPECT_LT(MaxFast, MaxFaster);  // "fast" beats "faster"
+  EXPECT_LT(MaxFaster, 0.07);     // but "faster" is still bounded
+  EXPECT_GT(MaxFaster, 1e-4);     // and meaningfully crude
+}
+
+TEST(FastMath, LogFasterBounded) {
+  Random Rng(9);
+  for (int I = 0; I < 1000; ++I) {
+    const double X = Rng.uniform(0.01, 100.0);
+    EXPECT_NEAR(logFaster(X), std::log(X), 0.06) << "x = " << X;
+  }
+}
+
+TEST(FastMath, SqrtFasterBounded) {
+  Random Rng(10);
+  for (int I = 0; I < 1000; ++I) {
+    const double X = Rng.uniform(1e-3, 1e3);
+    EXPECT_LT(relErr(sqrtFaster(X), std::sqrt(X)), 0.07) << "x = " << X;
+  }
+}
+
+TEST(FastMath, CndfFasterBounded) {
+  auto Cndf = [](double X) { return 0.5 * std::erfc(-X * M_SQRT1_2); };
+  for (double X = -6.0; X <= 6.0; X += 0.01)
+    EXPECT_NEAR(cndfFaster(X), Cndf(X), 0.02) << "x = " << X;
+}
+
+TEST(FastMath, FastPow2ExactAtIntegers) {
+  for (int P = -10; P <= 10; ++P)
+    EXPECT_LT(relErr(static_cast<double>(fastPow2(static_cast<float>(P))),
+                     std::pow(2.0, P)),
+              1e-4);
+}
+
+TEST(FastMath, FastLog2RoundTrip) {
+  Random Rng(11);
+  for (int I = 0; I < 500; ++I) {
+    const double X = Rng.uniform(0.01, 100.0);
+    const double RoundTrip = static_cast<double>(
+        fastPow2(fastLog2(static_cast<float>(X))));
+    EXPECT_LT(relErr(RoundTrip, X), 1e-3);
+  }
+}
+
+} // namespace

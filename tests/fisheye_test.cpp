@@ -1,0 +1,233 @@
+//===- tests/fisheye_test.cpp - Fisheye benchmark tests (Section 4.1.3) ---===//
+
+#include "apps/fisheye/Fisheye.h"
+#include "quality/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace scorpio;
+using namespace scorpio::apps;
+
+namespace {
+
+Image testScene() { return testimages::scene(160, 120, 31); }
+
+TEST(InverseMapping, CenterMapsToCenter) {
+  double SX, SY;
+  const double CX = (160 - 1) / 2.0, CY = (120 - 1) / 2.0;
+  inverseMapping<double>(CX, CY, 160, 120, FisheyeParams{}, SX, SY);
+  EXPECT_NEAR(SX, CX, 1e-3);
+  EXPECT_NEAR(SY, CY, 1e-3);
+}
+
+TEST(InverseMapping, RadialSymmetry) {
+  FisheyeParams P;
+  double SXl, SYl, SXr, SYr;
+  const double CX = (160 - 1) / 2.0, CY = (120 - 1) / 2.0;
+  inverseMapping<double>(CX - 40.0, CY, 160, 120, P, SXl, SYl);
+  inverseMapping<double>(CX + 40.0, CY, 160, 120, P, SXr, SYr);
+  EXPECT_NEAR(CX - SXl, SXr - CX, 1e-6);
+  EXPECT_NEAR(SYl, CY, 1e-6);
+  EXPECT_NEAR(SYr, CY, 1e-6);
+}
+
+TEST(InverseMapping, ExpandsTowardsBorder) {
+  // The lens compresses the border, so the inverse mapping must stretch:
+  // source displacement grows super-linearly with output displacement.
+  FisheyeParams P;
+  const double CX = (160 - 1) / 2.0, CY = (120 - 1) / 2.0;
+  double SX1, SY1, SX2, SY2;
+  inverseMapping<double>(CX + 20.0, CY, 160, 120, P, SX1, SY1);
+  inverseMapping<double>(CX + 60.0, CY, 160, 120, P, SX2, SY2);
+  const double Gain1 = (SX1 - CX) / 20.0;
+  const double Gain2 = (SX2 - CX) / 60.0;
+  EXPECT_GT(Gain2, Gain1);
+}
+
+TEST(ForwardMapping, RoundTripsWithInverse) {
+  // forward(inverse(p)) == p across the output plane.
+  const FisheyeParams P;
+  for (int Y = 5; Y < 120; Y += 23)
+    for (int X = 5; X < 160; X += 31) {
+      double SX, SY, BX, BY;
+      const double XD = X, YD = Y;
+      inverseMapping<double>(XD, YD, 160, 120, P, SX, SY);
+      forwardMapping(SX, SY, 160, 120, P, BX, BY);
+      EXPECT_NEAR(BX, XD, 1e-6) << X << "," << Y;
+      EXPECT_NEAR(BY, YD, 1e-6) << X << "," << Y;
+    }
+}
+
+TEST(ForwardMapping, CenterFixedPoint) {
+  const double CX = (160 - 1) / 2.0, CY = (120 - 1) / 2.0;
+  double OX, OY;
+  forwardMapping(CX, CY, 160, 120, FisheyeParams{}, OX, OY);
+  EXPECT_NEAR(OX, CX, 1e-9);
+  EXPECT_NEAR(OY, CY, 1e-9);
+}
+
+TEST(ForwardMapping, PushesOutward) {
+  // The lens compresses content toward the center of the distorted
+  // image (s = tan(r*phi)/tan(phi) <= r), so the forward correction
+  // pushes distorted points outward: |out - c| > |src - c|.
+  const FisheyeParams P;
+  const double CX = (160 - 1) / 2.0, CY = (120 - 1) / 2.0;
+  double OX, OY;
+  forwardMapping(CX + 60.0, CY, 160, 120, P, OX, OY);
+  EXPECT_GT(OX - CX, 60.0);
+  EXPECT_LT(OX - CX, 200.0);
+}
+
+TEST(CatmullRom, WeightsSumToOne) {
+  for (double F : {0.0, 0.25, 0.5, 0.75, 0.99}) {
+    const auto W = catmullRomWeights<double>(F);
+    EXPECT_NEAR(W[0] + W[1] + W[2] + W[3], 1.0, 1e-12) << "f = " << F;
+  }
+}
+
+TEST(CatmullRom, InterpolatesEndpoints) {
+  const auto W0 = catmullRomWeights<double>(0.0);
+  EXPECT_NEAR(W0[1], 1.0, 1e-12); // f = 0 hits the left center tap
+  EXPECT_NEAR(W0[0], 0.0, 1e-12);
+  EXPECT_NEAR(W0[2], 0.0, 1e-12);
+}
+
+TEST(BicubicSample, ReproducesLinearRamp) {
+  // Catmull-Rom reproduces linear functions exactly.
+  Image Ramp(16, 16);
+  for (int Y = 0; Y < 16; ++Y)
+    for (int X = 0; X < 16; ++X)
+      Ramp.at(X, Y) = static_cast<uint8_t>(10 * X);
+  EXPECT_NEAR(bicubicSample(Ramp, 5.5, 8.0), 55.0, 1e-9);
+  EXPECT_NEAR(bicubicSample(Ramp, 7.25, 3.0), 72.5, 1e-9);
+}
+
+TEST(BilinearSample, Midpoint) {
+  Image Img(4, 4, 0);
+  Img.at(1, 1) = 100;
+  Img.at(2, 1) = 200;
+  EXPECT_NEAR(bilinearSample(Img, 1.5, 1.0), 150.0, 1e-9);
+}
+
+TEST(FisheyeTasks, RatioOneMatchesReference) {
+  Image In = testScene();
+  rt::TaskRuntime RT(2);
+  EXPECT_EQ(fisheyeTasks(RT, In, 1.0, FisheyeParams{}, 40, 30).data(),
+            fisheyeReference(In).data());
+}
+
+TEST(FisheyeTasks, QualityMonotoneInRatio) {
+  Image In = testScene();
+  Image Ref = fisheyeReference(In);
+  double PrevPsnr = 0.0;
+  for (double Ratio : {0.0, 0.5, 1.0}) {
+    rt::TaskRuntime RT(2);
+    const double Psnr =
+        psnrOf(Ref, fisheyeTasks(RT, In, Ratio, FisheyeParams{}, 40, 30));
+    EXPECT_GE(Psnr, PrevPsnr - 0.5) << "ratio " << Ratio;
+    PrevPsnr = Psnr;
+  }
+  EXPECT_EQ(PrevPsnr, 99.0);
+}
+
+TEST(FisheyeTasks, ApproximationStaysReasonable) {
+  // Even fully approximate output must stay recognizable (the paper's
+  // graceful degradation): PSNR above 20 dB.
+  Image In = testScene();
+  Image Ref = fisheyeReference(In);
+  rt::TaskRuntime RT(2);
+  EXPECT_GT(psnrOf(Ref, fisheyeTasks(RT, In, 0.0, FisheyeParams{}, 40,
+                                     30)),
+            20.0);
+}
+
+TEST(FisheyeTileSignificance, BorderAboveCenter) {
+  EXPECT_GT(fisheyeTileSignificance(1.0), fisheyeTileSignificance(0.2));
+  EXPECT_LT(fisheyeTileSignificance(1.0), 1.0); // never forces accuracy
+  EXPECT_GT(fisheyeTileSignificance(0.0), 0.0);
+}
+
+TEST(FisheyePerforated, RateOneMatchesReference) {
+  Image In = testScene();
+  EXPECT_EQ(fisheyePerforated(In, 1.0).data(),
+            fisheyeReference(In).data());
+}
+
+TEST(FisheyePerforated, SignificanceBeatsPerforation) {
+  Image In = testScene();
+  Image Ref = fisheyeReference(In);
+  for (double Ratio : {0.3, 0.6}) {
+    rt::TaskRuntime RT(2);
+    const double Sig =
+        psnrOf(Ref, fisheyeTasks(RT, In, Ratio, FisheyeParams{}, 40, 30));
+    const double Perf = psnrOf(Ref, fisheyePerforated(In, Ratio));
+    EXPECT_GT(Sig, Perf) << "ratio " << Ratio;
+  }
+}
+
+TEST(FisheyeAnalysis, BorderMoreSignificantThanCenter) {
+  // Figure 5: computing coordinates for pixels near the border is more
+  // sensitive to imprecision than for those at the center.
+  const int GW = 9, GH = 7;
+  const std::vector<double> Sig =
+      analyseInverseMappingGrid(320, 240, GW, GH);
+  const double Center = Sig[static_cast<size_t>(GH / 2) * GW + GW / 2];
+  const double Corner = Sig[0];
+  const double EdgeMid = Sig[static_cast<size_t>(GH / 2) * GW + 0];
+  EXPECT_GT(Corner, 5.0 * Center);
+  EXPECT_GT(EdgeMid, Center);
+  EXPECT_GE(Corner, EdgeMid);
+}
+
+TEST(FisheyeAnalysis, SignificanceGrowsMonotonicallyOutward) {
+  const int GW = 11;
+  const std::vector<double> Sig =
+      analyseInverseMappingGrid(320, 240, GW, 1 + 0 /*row grid*/ + 6);
+  // Walk the middle row from center to the right edge.
+  const int Row = 3; // of 7 rows
+  double Prev = 0.0;
+  for (int GX = GW / 2; GX < GW; ++GX) {
+    const double S = Sig[static_cast<size_t>(Row) * GW + GX];
+    EXPECT_GE(S, Prev - 1e-9) << "gx " << GX;
+    Prev = S;
+  }
+}
+
+TEST(BicubicAnalysis, InnerPixelsDominate) {
+  // Figure 6: the inner 2x2 block around the sample point contains the
+  // most significant pixel pairs.
+  const auto Sig = analyseBicubicWeights(0.5, 0.5);
+  double Inner = 0.0, Outer = 0.0;
+  for (int R = 0; R < 4; ++R)
+    for (int C = 0; C < 4; ++C) {
+      const bool IsInner = (R == 1 || R == 2) && (C == 1 || C == 2);
+      (IsInner ? Inner : Outer) += Sig[static_cast<size_t>(R * 4 + C)];
+    }
+  EXPECT_GT(Inner / 4.0, 3.0 * (Outer / 12.0));
+}
+
+TEST(BicubicAnalysis, SymmetricAtCellCenter) {
+  const auto Sig = analyseBicubicWeights(0.5, 0.5);
+  // Horizontal and vertical mirror symmetry of the 4x4 pattern.
+  for (int R = 0; R < 4; ++R)
+    for (int C = 0; C < 4; ++C) {
+      EXPECT_NEAR(Sig[static_cast<size_t>(R * 4 + C)],
+                  Sig[static_cast<size_t>(R * 4 + (3 - C))], 1e-9);
+      EXPECT_NEAR(Sig[static_cast<size_t>(R * 4 + C)],
+                  Sig[static_cast<size_t>((3 - R) * 4 + C)], 1e-9);
+    }
+}
+
+TEST(BicubicAnalysis, WeightTracksSamplePosition) {
+  // Moving the sample point towards a column raises that column's
+  // significance.
+  const auto Left = analyseBicubicWeights(0.1, 0.5);
+  const auto Right = analyseBicubicWeights(0.9, 0.5);
+  // Column 1 is nearest for fx = 0.1; column 2 for fx = 0.9.
+  EXPECT_GT(Left[1 * 4 + 1], Left[1 * 4 + 2]);
+  EXPECT_GT(Right[1 * 4 + 2], Right[1 * 4 + 1]);
+}
+
+} // namespace

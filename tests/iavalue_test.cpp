@@ -1,0 +1,277 @@
+//===- tests/iavalue_test.cpp - Overloading type unit tests ---------------===//
+//
+// Verifies that IAValue (the dco::ia1s::type equivalent) evaluates
+// intervals correctly, records the right DynDFG, and that its adjoints
+// match analytic derivatives — including on the paper's Listing-1
+// example f(x) = cos(exp(sin(x) + x) - x).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/IAValue.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace scorpio;
+
+namespace {
+
+TEST(IAValue, PassiveWithoutTape) {
+  IAValue X(2.0);
+  IAValue Y = X * X + 1.0;
+  EXPECT_FALSE(Y.isActive());
+  EXPECT_NEAR(Y.toDouble(), 5.0, 1e-9);
+  EXPECT_EQ(Tape::active(), nullptr);
+}
+
+TEST(IAValue, InputIsActive) {
+  ActiveTapeScope Scope;
+  IAValue X = IAValue::input(Interval(1.0, 2.0));
+  EXPECT_TRUE(X.isActive());
+  EXPECT_EQ(Scope.tape().size(), 1u);
+}
+
+TEST(IAValue, ConstantsStayPassive) {
+  ActiveTapeScope Scope;
+  IAValue A(1.0), B(2.0);
+  IAValue C = A + B;
+  EXPECT_FALSE(C.isActive());
+  EXPECT_EQ(Scope.tape().size(), 0u);
+}
+
+TEST(IAValue, MixedActivePassiveRecordsOneArg) {
+  ActiveTapeScope Scope;
+  IAValue X = IAValue::input(Interval(1.0, 2.0));
+  IAValue Y = X + 10.0;
+  ASSERT_TRUE(Y.isActive());
+  const TapeNode &N = Scope.tape().node(Y.node());
+  EXPECT_EQ(N.Kind, OpKind::Add);
+  EXPECT_EQ(N.NumArgs, 1);
+  EXPECT_NEAR(Y.value().lower(), 11.0, 1e-9);
+  EXPECT_NEAR(Y.value().upper(), 12.0, 1e-9);
+}
+
+TEST(IAValue, CompoundAssignments) {
+  ActiveTapeScope Scope;
+  IAValue X = IAValue::input(Interval(2.0, 2.0));
+  X += 1.0;
+  X *= 2.0;
+  X -= 3.0;
+  X /= 3.0;
+  EXPECT_NEAR(X.toDouble(), 1.0, 1e-9);
+}
+
+/// Computes dy/dx at point X0 for a unary builder via the tape, with a
+/// degenerate (point) input interval — this reduces interval AD to plain
+/// AD, so adjoints must match analytic derivatives exactly.
+template <typename Fn>
+double adjointAt(double X0, Fn Builder) {
+  ActiveTapeScope Scope;
+  IAValue X = IAValue::input(Interval(X0, X0));
+  IAValue Y = Builder(X);
+  Scope.tape().clearAdjoints();
+  Scope.tape().seedAdjoint(Y.node(), Interval(1.0));
+  Scope.tape().reverseSweep();
+  return Scope.tape().node(X.node()).Adjoint.mid();
+}
+
+TEST(IAValueDerivative, Sin) {
+  EXPECT_NEAR(adjointAt(0.7, [](IAValue X) { return sin(X); }),
+              std::cos(0.7), 1e-9);
+}
+
+TEST(IAValueDerivative, Cos) {
+  EXPECT_NEAR(adjointAt(0.7, [](IAValue X) { return cos(X); }),
+              -std::sin(0.7), 1e-9);
+}
+
+TEST(IAValueDerivative, Tan) {
+  const double D = adjointAt(0.4, [](IAValue X) { return tan(X); });
+  EXPECT_NEAR(D, 1.0 / (std::cos(0.4) * std::cos(0.4)), 1e-6);
+}
+
+TEST(IAValueDerivative, Exp) {
+  EXPECT_NEAR(adjointAt(1.3, [](IAValue X) { return exp(X); }),
+              std::exp(1.3), 1e-6);
+}
+
+TEST(IAValueDerivative, Log) {
+  EXPECT_NEAR(adjointAt(2.5, [](IAValue X) { return log(X); }),
+              1.0 / 2.5, 1e-9);
+}
+
+TEST(IAValueDerivative, Sqrt) {
+  EXPECT_NEAR(adjointAt(4.0, [](IAValue X) { return sqrt(X); }), 0.25,
+              1e-9);
+}
+
+TEST(IAValueDerivative, Sqr) {
+  EXPECT_NEAR(adjointAt(3.0, [](IAValue X) { return sqr(X); }), 6.0, 1e-9);
+}
+
+TEST(IAValueDerivative, Erf) {
+  const double Expected = 2.0 / std::sqrt(M_PI) * std::exp(-0.25);
+  EXPECT_NEAR(adjointAt(0.5, [](IAValue X) { return erf(X); }), Expected,
+              1e-6);
+}
+
+TEST(IAValueDerivative, Atan) {
+  EXPECT_NEAR(adjointAt(2.0, [](IAValue X) { return atan(X); }), 0.2,
+              1e-9);
+}
+
+TEST(IAValueDerivative, PowInt) {
+  EXPECT_NEAR(adjointAt(2.0, [](IAValue X) { return pow(X, 4); }), 32.0,
+              1e-6);
+}
+
+TEST(IAValueDerivative, PowIntZeroExponent) {
+  EXPECT_NEAR(adjointAt(2.0, [](IAValue X) { return pow(X, 0); }), 0.0,
+              1e-12);
+}
+
+TEST(IAValueDerivative, Neg) {
+  EXPECT_NEAR(adjointAt(1.0, [](IAValue X) { return -X; }), -1.0, 1e-12);
+}
+
+TEST(IAValueDerivative, Division) {
+  // y = 1 / x  =>  dy/dx = -1/x^2.
+  EXPECT_NEAR(adjointAt(2.0, [](IAValue X) { return 1.0 / X; }), -0.25,
+              1e-9);
+}
+
+TEST(IAValueDerivative, FabsPositive) {
+  EXPECT_NEAR(adjointAt(2.0, [](IAValue X) { return fabs(X); }), 1.0,
+              1e-12);
+  EXPECT_NEAR(adjointAt(-2.0, [](IAValue X) { return fabs(X); }), -1.0,
+              1e-12);
+}
+
+TEST(IAValueDerivative, PaperListing1Example) {
+  // f(x) = cos(exp(sin(x) + x) - x); f'(x) =
+  //   -sin(exp(sin x + x) - x) * (exp(sin x + x) * (cos x + 1) - 1).
+  auto F = [](IAValue X) { return cos(exp(sin(X) + X) - X); };
+  for (double X0 : {-0.8, -0.3, 0.0, 0.4, 1.1}) {
+    const double E = std::exp(std::sin(X0) + X0);
+    const double Expected =
+        -std::sin(E - X0) * (E * (std::cos(X0) + 1.0) - 1.0);
+    EXPECT_NEAR(adjointAt(X0, F), Expected, 1e-6) << "at x = " << X0;
+  }
+}
+
+TEST(IAValueDerivative, MatchesFiniteDifferencesOnComposite) {
+  auto F = [](auto X) {
+    using std::atan;
+    using std::exp;
+    using std::log;
+    using std::sqrt;
+    return atan(sqrt(exp(X * 0.3) + 1.0) * log(X + 3.0));
+  };
+  Random Rng(5);
+  for (int Trial = 0; Trial < 25; ++Trial) {
+    const double X0 = Rng.uniform(-1.0, 3.0);
+    const double H = 1e-6;
+    const double FD = (F(X0 + H) - F(X0 - H)) / (2.0 * H);
+    const double AD = adjointAt(X0, [&](IAValue X) { return F(X); });
+    EXPECT_NEAR(AD, FD, 1e-4 * std::max(1.0, std::fabs(FD)))
+        << "at x = " << X0;
+  }
+}
+
+TEST(IAValue, MinMaxSelectsDecidedPartial) {
+  ActiveTapeScope Scope;
+  IAValue X = IAValue::input(Interval(1.0, 2.0));
+  IAValue Y = IAValue::input(Interval(5.0, 6.0));
+  IAValue M = min(X, Y);
+  const TapeNode &N = Scope.tape().node(M.node());
+  EXPECT_EQ(N.Partials[0], Interval(1.0)); // x certainly smaller
+  EXPECT_EQ(N.Partials[1], Interval(0.0));
+}
+
+TEST(IAValue, MinMaxAmbiguousUsesSubgradientInterval) {
+  ActiveTapeScope Scope;
+  IAValue X = IAValue::input(Interval(1.0, 5.0));
+  IAValue Y = IAValue::input(Interval(2.0, 4.0));
+  IAValue M = max(X, Y);
+  const TapeNode &N = Scope.tape().node(M.node());
+  EXPECT_EQ(N.Partials[0], Interval(0.0, 1.0));
+  EXPECT_EQ(N.Partials[1], Interval(0.0, 1.0));
+  EXPECT_FALSE(Scope.tape().hasDiverged()); // min/max never diverge
+}
+
+TEST(IAValue, DecidedComparisonDoesNotDiverge) {
+  ActiveTapeScope Scope;
+  IAValue X = IAValue::input(Interval(1.0, 2.0));
+  IAValue Y = IAValue::input(Interval(5.0, 6.0));
+  EXPECT_TRUE(X < Y);
+  EXPECT_FALSE(X > Y);
+  EXPECT_TRUE(Y >= X);
+  EXPECT_TRUE(X <= Y);
+  EXPECT_FALSE(Scope.tape().hasDiverged());
+}
+
+TEST(IAValue, AmbiguousComparisonNotesDivergence) {
+  ActiveTapeScope Scope;
+  IAValue X = IAValue::input(Interval(1.0, 5.0));
+  IAValue Y = IAValue::input(Interval(2.0, 4.0));
+  (void)(X < Y); // undecidable: part of [x] is below, part above
+  EXPECT_TRUE(Scope.tape().hasDiverged());
+  EXPECT_NE(Scope.tape().divergences()[0].find("ambiguous"),
+            std::string::npos);
+}
+
+TEST(IAValue, AmbiguousComparisonFallsBackToMidpoints) {
+  ActiveTapeScope Scope;
+  IAValue X = IAValue::input(Interval(0.0, 2.0)); // mid 1
+  IAValue Y = IAValue::input(Interval(1.0, 5.0)); // mid 3
+  EXPECT_TRUE(X < Y);  // midpoint comparison 1 < 3
+  EXPECT_FALSE(X > Y); // 1 > 3 is false
+}
+
+TEST(IAValue, RoundEnclosureAndAttenuationPartial) {
+  ActiveTapeScope Scope;
+  IAValue X = IAValue::input(Interval(1.2, 3.8));
+  IAValue R = round(X);
+  EXPECT_EQ(R.value().lower(), 1.0);
+  EXPECT_EQ(R.value().upper(), 4.0);
+  // w_out / w_in = 3 / 2.6, clamped to 1: partial hull is [0, 1].
+  EXPECT_EQ(Scope.tape().node(R.node()).Partials[0], Interval(0.0, 1.0));
+}
+
+TEST(IAValue, RoundSwallowsSubStepPerturbations) {
+  // An interval strictly inside one rounding step collapses: partial 0.
+  ActiveTapeScope Scope;
+  IAValue X = IAValue::input(Interval(2.1, 2.4));
+  IAValue R = round(X);
+  EXPECT_TRUE(R.value().isPoint());
+  EXPECT_EQ(Scope.tape().node(R.node()).Partials[0], Interval(0.0));
+}
+
+TEST(IAValue, ValueContainmentThroughCompositeKernel) {
+  // Interval evaluation of a composite must contain all point results.
+  auto F = [](auto X, auto Y) {
+    using std::cos;
+    using std::exp;
+    using std::sqrt;
+    return sqrt(X * X + Y * Y) * cos(X) + exp(Y * 0.1);
+  };
+  Random Rng(21);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    const double XL = Rng.uniform(-3, 3), YL = Rng.uniform(-3, 3);
+    const Interval XI = Interval::ordered(XL, XL + Rng.uniform(0, 2));
+    const Interval YI = Interval::ordered(YL, YL + Rng.uniform(0, 2));
+    ActiveTapeScope Scope;
+    IAValue X = IAValue::input(XI);
+    IAValue Y = IAValue::input(YI);
+    IAValue R = F(X, Y);
+    for (int S = 0; S < 10; ++S) {
+      const double PX = Rng.uniform(XI.lower(), XI.upper());
+      const double PY = Rng.uniform(YI.lower(), YI.upper());
+      ASSERT_TRUE(R.value().contains(F(PX, PY)));
+    }
+  }
+}
+
+} // namespace

@@ -1,0 +1,161 @@
+//===- tests/integration_test.cpp - Cross-module workflow tests -----------===//
+//
+// End-to-end exercises of the paper's workflow: analysis informs task
+// significance; the runtime's ratio knob trades quality for energy; the
+// energy model orders executions by work done.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/blackscholes/BlackScholes.h"
+#include "apps/dct/Dct.h"
+#include "apps/maclaurin/Maclaurin.h"
+#include "apps/nbody/NBody.h"
+#include "apps/sobel/Sobel.h"
+#include "energy/Energy.h"
+#include "quality/Metrics.h"
+
+#include <gtest/gtest.h>
+
+using namespace scorpio;
+using namespace scorpio::apps;
+
+namespace {
+
+TEST(Integration, EnergyDecreasesWithLowerRatioSobel) {
+  Image In = testimages::scene(128, 128, 3);
+  double PrevUnits = 0.0;
+  for (double Ratio : {0.0, 0.5, 1.0}) {
+    rt::TaskRuntime RT(2);
+    EnergyProbe Probe;
+    sobelTasks(RT, In, Ratio);
+    const double Units = Probe.report().WorkUnits;
+    EXPECT_GT(Units, PrevUnits) << "ratio " << Ratio;
+    PrevUnits = Units;
+  }
+}
+
+TEST(Integration, EnergyDecreasesWithLowerRatioDct) {
+  Image In = testimages::scene(96, 96, 4);
+  double PrevUnits = 0.0;
+  for (double Ratio : {0.0, 0.5, 1.0}) {
+    rt::TaskRuntime RT(2);
+    EnergyProbe Probe;
+    dctTasks(RT, In, Ratio);
+    const double Units = Probe.report().WorkUnits;
+    EXPECT_GT(Units, PrevUnits) << "ratio " << Ratio;
+    PrevUnits = Units;
+  }
+}
+
+TEST(Integration, EnergyReductionBandAtFullApproximation) {
+  // Paper headline: 31%-91% energy reduction at full approximation.
+  // Check each kernel's op-model reduction lands in a generous band.
+  Image In = testimages::scene(128, 128, 5);
+  auto ReductionOf = [&](auto Run) {
+    rt::TaskRuntime RTFull(2);
+    EnergyProbe PF;
+    Run(RTFull, 1.0);
+    const double Full = PF.report().WorkUnits;
+    rt::TaskRuntime RTApprox(2);
+    EnergyProbe PA;
+    Run(RTApprox, 0.0);
+    const double Approx = PA.report().WorkUnits;
+    return 1.0 - Approx / Full;
+  };
+  const double SobelRed = ReductionOf(
+      [&](rt::TaskRuntime &RT, double R) { sobelTasks(RT, In, R); });
+  EXPECT_GT(SobelRed, 0.2);
+  EXPECT_LT(SobelRed, 0.95);
+  const double DctRed = ReductionOf(
+      [&](rt::TaskRuntime &RT, double R) { dctTasks(RT, In, R); });
+  EXPECT_GT(DctRed, 0.3);
+  EXPECT_LT(DctRed, 0.95);
+}
+
+TEST(Integration, AnalysisInformedSignificanceOrdersQuality) {
+  // Running DCT with the *analysis* ordering (zig-zag diagonals) must
+  // beat an inverted (wrong) ordering at the same ratio.  We emulate the
+  // wrong ordering via perforation's raster order, which executes the
+  // same share of coefficients.
+  Image In = testimages::scene(96, 96, 6);
+  Image Ref = dctReference(In);
+  rt::TaskRuntime RT(2);
+  const double MatchedRate = dctCoefficientsAtRatio(0.4) / 64.0;
+  const double Good = psnrOf(Ref, dctTasks(RT, In, 0.4));
+  const double Bad = psnrOf(Ref, dctPerforated(In, MatchedRate));
+  EXPECT_GT(Good, Bad + 1.0);
+}
+
+TEST(Integration, MaclaurinWorkflowEndToEnd) {
+  // Step S3-S5: analysis finds the term level; the programmer maps term
+  // index to task significance; the runtime honors the ranking.
+  const AnalysisResult R = analyseMaclaurin(0.25, 0.5, 8);
+  ASSERT_TRUE(R.isValid());
+  ASSERT_EQ(R.varianceLevel(), 1);
+  // Significance ranking from the analysis matches the Listing-7
+  // closed-form ranking used by the task version.
+  for (int I = 2; I < 8; ++I) {
+    const double SAnalysis =
+        R.find("term" + std::to_string(I))->Significance;
+    const double SPrev =
+        R.find("term" + std::to_string(I - 1))->Significance;
+    EXPECT_LE(SAnalysis, SPrev);
+    EXPECT_LT(maclaurinTaskSignificance(I, 8),
+              maclaurinTaskSignificance(I - 1, 8));
+  }
+}
+
+TEST(Integration, WorkUnitsScaleWithInputSize) {
+  rt::TaskRuntime RT(2);
+  EnergyProbe Small;
+  sobelTasks(RT, testimages::scene(64, 64, 7), 1.0);
+  const double SmallUnits = Small.report().WorkUnits;
+  EnergyProbe Large;
+  sobelTasks(RT, testimages::scene(128, 128, 7), 1.0);
+  const double LargeUnits = Large.report().WorkUnits;
+  EXPECT_NEAR(LargeUnits / SmallUnits, 4.0, 0.2);
+}
+
+TEST(Integration, BlackScholesQualityEnergyTradeoff) {
+  const auto Portfolio = generatePortfolio(2000, 9);
+  const auto Ref = blackscholesReference(Portfolio);
+  double PrevErr = 1e18, PrevUnits = 0.0;
+  for (double Ratio : {0.0, 0.5, 1.0}) {
+    rt::TaskRuntime RT(2);
+    EnergyProbe Probe;
+    const auto Prices = blackscholesTasks(RT, Portfolio, Ratio);
+    const double Units = Probe.report().WorkUnits;
+    const double Err = relativeErrorOf(Ref, Prices);
+    EXPECT_LE(Err, PrevErr + 1e-15);
+    EXPECT_GT(Units, PrevUnits);
+    PrevErr = Err;
+    PrevUnits = Units;
+  }
+}
+
+TEST(Integration, NBodyQualityEnergyTradeoff) {
+  NBodyParams P;
+  P.ParticlesPerDim = 5;
+  P.Steps = 4;
+  NBodyState Ref = nbodyInit(P);
+  {
+    rt::TaskRuntime RT(2);
+    nbodyTasks(RT, Ref, P, 1.0);
+  }
+  const auto RefFlat = Ref.flattened();
+  double PrevErr = 1e18, PrevUnits = 0.0;
+  for (double Ratio : {0.0, 0.5, 1.0}) {
+    NBodyState S = nbodyInit(P);
+    rt::TaskRuntime RT(2);
+    EnergyProbe Probe;
+    nbodyTasks(RT, S, P, Ratio);
+    const double Units = Probe.report().WorkUnits;
+    const double Err = relativeErrorOf(RefFlat, S.flattened());
+    EXPECT_LE(Err, PrevErr + 1e-15) << "ratio " << Ratio;
+    EXPECT_GE(Units, PrevUnits) << "ratio " << Ratio;
+    PrevErr = Err;
+    PrevUnits = Units;
+  }
+}
+
+} // namespace

@@ -1,0 +1,149 @@
+//===- tests/json_test.cpp - JSON writer and report export tests ----------===//
+
+#include "support/Json.h"
+
+#include "apps/maclaurin/Maclaurin.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace scorpio;
+
+namespace {
+
+std::string write(void (*Fn)(JsonWriter &)) {
+  std::ostringstream OS;
+  {
+    JsonWriter J(OS);
+    Fn(J);
+  }
+  return OS.str();
+}
+
+TEST(JsonWriter, EmptyObjectAndArray) {
+  EXPECT_EQ(write([](JsonWriter &J) {
+              J.beginObject();
+              J.endObject();
+            }),
+            "{}");
+  EXPECT_EQ(write([](JsonWriter &J) {
+              J.beginArray();
+              J.endArray();
+            }),
+            "[]");
+}
+
+TEST(JsonWriter, ObjectMembersCommaSeparated) {
+  EXPECT_EQ(write([](JsonWriter &J) {
+              J.beginObject();
+              J.key("a").value(1);
+              J.key("b").value("two");
+              J.key("c").value(true);
+              J.endObject();
+            }),
+            "{\"a\":1,\"b\":\"two\",\"c\":true}");
+}
+
+TEST(JsonWriter, ArrayElementsCommaSeparated) {
+  EXPECT_EQ(write([](JsonWriter &J) {
+              J.beginArray();
+              J.value(1).value(2).value(3);
+              J.endArray();
+            }),
+            "[1,2,3]");
+}
+
+TEST(JsonWriter, NestedContainers) {
+  EXPECT_EQ(write([](JsonWriter &J) {
+              J.beginObject();
+              J.key("xs").beginArray();
+              J.beginObject();
+              J.key("n").value(0);
+              J.endObject();
+              J.value(5);
+              J.endArray();
+              J.key("flag").value(false);
+              J.endObject();
+            }),
+            "{\"xs\":[{\"n\":0},5],\"flag\":false}");
+}
+
+TEST(JsonWriter, NumbersRoundTripPrecision) {
+  std::ostringstream OS;
+  {
+    JsonWriter J(OS);
+    J.beginArray();
+    J.value(0.1).value(1e-300).value(-2.5);
+    J.endArray();
+  }
+  // Parse back the first number textually.
+  EXPECT_NE(OS.str().find("0.1"), std::string::npos);
+  EXPECT_NE(OS.str().find("-2.5"), std::string::npos);
+}
+
+TEST(JsonWriter, NonFiniteNumbersSanitized) {
+  std::ostringstream OS;
+  {
+    JsonWriter J(OS);
+    J.beginArray();
+    J.value(std::numeric_limits<double>::quiet_NaN());
+    J.value(std::numeric_limits<double>::infinity());
+    J.endArray();
+  }
+  EXPECT_EQ(OS.str(), "[null,1e308]");
+}
+
+TEST(JsonWriter, NullValue) {
+  EXPECT_EQ(write([](JsonWriter &J) {
+              J.beginArray();
+              J.null();
+              J.endArray();
+            }),
+            "[null]");
+}
+
+TEST(JsonWriter, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd\te"),
+            "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(JsonWriter::escape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(AnalysisJson, ReportIsWellFormedAndComplete) {
+  const AnalysisResult R = apps::analyseMaclaurin(0.25, 0.5, 4);
+  std::ostringstream OS;
+  R.writeJson(OS);
+  const std::string S = OS.str();
+  // Structural spot checks (no JSON parser in the project, by design).
+  EXPECT_EQ(S.front(), '{');
+  EXPECT_NE(S.find("\"valid\":true"), std::string::npos);
+  EXPECT_NE(S.find("\"inputs\":["), std::string::npos);
+  EXPECT_NE(S.find("\"name\":\"term2\""), std::string::npos);
+  EXPECT_NE(S.find("\"varianceLevel\":1"), std::string::npos);
+  EXPECT_NE(S.find("\"outputSignificance\":"), std::string::npos);
+  // Balanced braces/brackets.
+  int Braces = 0, Brackets = 0;
+  for (char C : S) {
+    Braces += C == '{';
+    Braces -= C == '}';
+    Brackets += C == '[';
+    Brackets -= C == ']';
+  }
+  EXPECT_EQ(Braces, 0);
+  EXPECT_EQ(Brackets, 0);
+}
+
+TEST(AnalysisJson, DivergedRunRecorded) {
+  Analysis A;
+  IAValue X = A.input("x", 0.0, 2.0);
+  IAValue Y = X < 1.0 ? X * 2.0 : X * 3.0;
+  A.registerOutput(Y, "y");
+  const AnalysisResult R = A.analyse();
+  std::ostringstream OS;
+  R.writeJson(OS);
+  EXPECT_NE(OS.str().find("\"valid\":false"), std::string::npos);
+  EXPECT_NE(OS.str().find("ambiguous interval comparison"),
+            std::string::npos);
+}
+
+} // namespace

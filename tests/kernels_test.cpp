@@ -1,0 +1,166 @@
+//===- tests/kernels_test.cpp - Kernel registry tests ----------------------===//
+//
+// Tests for the Section-6 "kernels as reusable library components"
+// extension: the standard kernel library, registry lookups, and the
+// consistency of each kernel's point and analysis evaluators.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/KernelRegistry.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace scorpio;
+
+namespace {
+
+TEST(KernelRegistry, GlobalHasStandardLibrary) {
+  KernelRegistry &R = KernelRegistry::global();
+  EXPECT_GE(R.size(), 10u);
+  for (const char *Name :
+       {"horner-poly4", "dot4", "conv3", "newton-sqrt-step",
+        "trapezoid-exp", "softmax2", "lj-potential", "listing1",
+        "geo-mean3", "rms3"})
+    EXPECT_NE(R.find(Name), nullptr) << Name;
+  EXPECT_EQ(R.find("no-such-kernel"), nullptr);
+}
+
+TEST(KernelRegistry, NamesSortedAndComplete) {
+  const auto Names = KernelRegistry::global().names();
+  EXPECT_EQ(Names.size(), KernelRegistry::global().size());
+  EXPECT_TRUE(std::is_sorted(Names.begin(), Names.end()));
+}
+
+TEST(KernelRegistry, DescriptorShapeConsistent) {
+  KernelRegistry &R = KernelRegistry::global();
+  for (const std::string &Name : R.names()) {
+    const KernelDescriptor *K = R.find(Name);
+    ASSERT_NE(K, nullptr);
+    EXPECT_FALSE(K->Description.empty()) << Name;
+    EXPECT_EQ(K->InputNames.size(), K->DefaultRanges.size()) << Name;
+    EXPECT_TRUE(K->Evaluate && K->Analyse) << Name;
+  }
+}
+
+TEST(KernelRegistry, AddCustomKernel) {
+  KernelRegistry R;
+  KernelDescriptor D;
+  D.Name = "double-it";
+  D.Description = "y = 2x";
+  D.InputNames = {"x"};
+  D.DefaultRanges = {Interval(0.0, 1.0)};
+  D.Evaluate = [](std::span<const double> X) { return 2.0 * X[0]; };
+  D.Analyse = [](Analysis &A, std::span<const Interval> Box) {
+    IAValue X = A.input("x", Box[0].lower(), Box[0].upper());
+    IAValue Y = X * 2.0;
+    A.registerOutput(Y, "y");
+  };
+  R.add(std::move(D));
+  const AnalysisResult Res = R.analyse("double-it");
+  ASSERT_TRUE(Res.isValid());
+  EXPECT_NEAR(Res.find("x")->Significance, 2.0, 1e-9);
+}
+
+/// Every standard kernel: the analysis enclosure must contain every
+/// point evaluation over the default box (the two evaluators come from
+/// the same template, but this guards against registration mix-ups).
+TEST(KernelRegistry, PointEvaluationsInsideAnalysisEnclosure) {
+  KernelRegistry &R = KernelRegistry::global();
+  Random Rng(0xbeef);
+  for (const std::string &Name : R.names()) {
+    const KernelDescriptor *K = R.find(Name);
+    const AnalysisResult Res = R.analyse(Name);
+    ASSERT_TRUE(Res.isValid()) << Name;
+    const Interval Enclosure = Res.outputs().front().Value;
+    std::vector<double> X(K->DefaultRanges.size());
+    for (int S = 0; S < 50; ++S) {
+      for (size_t I = 0; I != X.size(); ++I)
+        X[I] = Rng.uniform(K->DefaultRanges[I].lower(),
+                           K->DefaultRanges[I].upper());
+      const double Y = K->Evaluate(X);
+      ASSERT_TRUE(Enclosure.contains(Y))
+          << Name << ": " << Y << " outside " << Enclosure;
+    }
+  }
+}
+
+TEST(KernelRegistry, AnalyseRanksDotProductUniformly) {
+  // Symmetric inputs with symmetric ranges: all eight dot4 inputs are
+  // (nearly) equally significant.
+  const AnalysisResult Res = KernelRegistry::global().analyse("dot4");
+  ASSERT_TRUE(Res.isValid());
+  const double S0 = Res.inputs().front().Significance;
+  for (const VariableSignificance &V : Res.inputs())
+    EXPECT_NEAR(V.Significance, S0, 1e-9 + 0.05 * S0) << V.Name;
+}
+
+TEST(KernelRegistry, Conv3CenterTapDominates) {
+  const AnalysisResult Res = KernelRegistry::global().analyse("conv3");
+  ASSERT_TRUE(Res.isValid());
+  const double Center = Res.find("center")->Significance;
+  EXPECT_NEAR(Center / Res.find("left")->Significance, 2.0, 0.1);
+  EXPECT_NEAR(Center / Res.find("right")->Significance, 2.0, 0.1);
+}
+
+TEST(KernelRegistry, LjPotentialDistanceDominates) {
+  // Over the default box (r spans the steep repulsive wall), the
+  // distance input must dwarf the material constants.
+  AnalysisOptions Opts;
+  Opts.SignificanceMetric =
+      AnalysisOptions::Metric::WidthTimesDerivative;
+  const AnalysisResult Res =
+      KernelRegistry::global().analyse("lj-potential", {}, Opts);
+  ASSERT_TRUE(Res.isValid());
+  EXPECT_GT(Res.find("r")->Significance,
+            5.0 * Res.find("eps")->Significance);
+  EXPECT_GT(Res.find("r")->Significance,
+            5.0 * Res.find("sigma")->Significance);
+}
+
+TEST(KernelRegistry, MonteCarloAgreesWithAnalysisOnConv3) {
+  KernelRegistry &R = KernelRegistry::global();
+  const auto Mc = R.monteCarlo("conv3");
+  ASSERT_EQ(Mc.size(), 3u);
+  // Center twice as sensitive as the side taps, empirically too.
+  EXPECT_NEAR(Mc[1] / Mc[0], 2.0, 0.3);
+  EXPECT_NEAR(Mc[1] / Mc[2], 2.0, 0.3);
+}
+
+TEST(KernelRegistry, CustomBoxOverridesDefaults) {
+  const AnalysisResult Wide = KernelRegistry::global().analyse(
+      "horner-poly4", {Interval(-1.0, 1.0)});
+  const AnalysisResult Narrow = KernelRegistry::global().analyse(
+      "horner-poly4", {Interval(-0.1, 0.1)});
+  EXPECT_GT(Wide.find("x")->Significance,
+            Narrow.find("x")->Significance);
+}
+
+TEST(KernelRegistry, NewtonStepContractsIterateSignificance) {
+  // Near convergence (y ~ sqrt(a)), the Newton map's derivative in y is
+  // ~0: the iterate's significance collapses relative to a's.  This is
+  // the error-resilience of iterative refinement that approximate-
+  // computing frameworks exploit (paper Section 5, ApproxIt).
+  AnalysisOptions Opts;
+  Opts.SignificanceMetric =
+      AnalysisOptions::Metric::WidthTimesDerivative;
+  const AnalysisResult Res = KernelRegistry::global().analyse(
+      "newton-sqrt-step",
+      {Interval(3.9, 4.1), Interval(1.95, 2.05)}, Opts);
+  ASSERT_TRUE(Res.isValid());
+  EXPECT_LT(Res.find("y")->Significance,
+            0.5 * Res.find("a")->Significance);
+}
+
+TEST(KernelRegistry, Listing1MatchesDirectComputation) {
+  const KernelDescriptor *K =
+      KernelRegistry::global().find("listing1");
+  ASSERT_NE(K, nullptr);
+  const double X = 0.3;
+  EXPECT_NEAR(K->Evaluate(std::vector<double>{X}),
+              std::cos(std::exp(std::sin(X) + X) - X), 1e-12);
+}
+
+} // namespace

@@ -1,0 +1,98 @@
+//===- tests/maclaurin_test.cpp - Running-example tests (Figure 3) --------===//
+
+#include "apps/maclaurin/Maclaurin.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace scorpio;
+using namespace scorpio::apps;
+
+namespace {
+
+TEST(Maclaurin, SeriesConvergesToClosedForm) {
+  // sum x^i -> 1/(1-x) for |x| < 1.
+  for (double X : {-0.5, -0.2, 0.1, 0.4}) {
+    const double S = maclaurinSeries(X, 60);
+    EXPECT_NEAR(S, 1.0 / (1.0 - X), 1e-9) << "x = " << X;
+  }
+}
+
+TEST(Maclaurin, SeriesFirstTermIsOne) {
+  EXPECT_EQ(maclaurinSeries(0.9, 1), 1.0);
+}
+
+TEST(MaclaurinAnalysis, Term0HasZeroSignificance) {
+  const AnalysisResult R = analyseMaclaurin(0.25, 0.5, 5);
+  ASSERT_TRUE(R.isValid());
+  EXPECT_LT(R.find("term0")->Significance, 1e-12);
+}
+
+TEST(MaclaurinAnalysis, Term1MostSignificantThenDecreasing) {
+  // Figure 3: the most significant term is the second one (term1) and
+  // every term computed afterwards is less significant than the one
+  // before it.
+  const AnalysisResult R = analyseMaclaurin(0.25, 0.5, 6);
+  ASSERT_TRUE(R.isValid());
+  double Prev = R.find("term1")->Significance;
+  EXPECT_GT(Prev, 0.0);
+  for (int I = 2; I < 6; ++I) {
+    const double S =
+        R.find("term" + std::to_string(I))->Significance;
+    EXPECT_LT(S, Prev) << "term" << I;
+    Prev = S;
+  }
+}
+
+TEST(MaclaurinAnalysis, OutputNormalizedToOne) {
+  const AnalysisResult R = analyseMaclaurin(0.25, 0.5, 5);
+  EXPECT_NEAR(R.find("result")->Normalized, 1.0, 1e-9);
+}
+
+TEST(MaclaurinAnalysis, VarianceLevelIsTermLevel) {
+  const AnalysisResult R = analyseMaclaurin(0.25, 0.5, 5);
+  EXPECT_EQ(R.varianceLevel(), 1);
+}
+
+TEST(MaclaurinTasks, SignificanceFormulaMonotone) {
+  const int N = 10;
+  for (int I = 2; I < N; ++I)
+    EXPECT_LT(maclaurinTaskSignificance(I, N),
+              maclaurinTaskSignificance(I - 1, N));
+  EXPECT_LT(maclaurinTaskSignificance(1, N), 1.0);
+  EXPECT_GT(maclaurinTaskSignificance(N - 1, N), 0.0);
+}
+
+TEST(MaclaurinTasks, FullRatioMatchesSequential) {
+  rt::TaskRuntime RT(2);
+  const double X = 0.3;
+  const int N = 24;
+  EXPECT_NEAR(maclaurinTasks(RT, X, N, 1.0), maclaurinSeries(X, N),
+              1e-12);
+}
+
+TEST(MaclaurinTasks, ZeroRatioStillReasonable) {
+  rt::TaskRuntime RT(2);
+  const double X = 0.3;
+  const int N = 24;
+  const double Exact = maclaurinSeries(X, N);
+  const double Approx = maclaurinTasks(RT, X, N, 0.0);
+  // Fast pow keeps float precision: small but nonzero error.
+  EXPECT_NEAR(Approx, Exact, 1e-3 * std::fabs(Exact));
+}
+
+TEST(MaclaurinTasks, QualityImprovesWithRatio) {
+  const double X = 0.37;
+  const int N = 32;
+  const double Exact = maclaurinSeries(X, N);
+  double PrevErr = 1e9;
+  for (double Ratio : {0.0, 0.5, 1.0}) {
+    rt::TaskRuntime RT(2);
+    const double Err = std::fabs(maclaurinTasks(RT, X, N, Ratio) - Exact);
+    EXPECT_LE(Err, PrevErr + 1e-15);
+    PrevErr = Err;
+  }
+}
+
+} // namespace

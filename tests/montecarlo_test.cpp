@@ -1,0 +1,123 @@
+//===- tests/montecarlo_test.cpp - Monte Carlo cross-validation tests -----===//
+
+#include "core/Analysis.h"
+#include "core/MonteCarlo.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace scorpio;
+
+namespace {
+
+TEST(MonteCarlo, LinearFunctionProportionalToSlope) {
+  // y = 3a + b: mean |delta y| from re-drawing a is 3x that from b.
+  auto Kernel = [](std::span<const double> X) {
+    return 3.0 * X[0] + X[1];
+  };
+  const Interval Box[] = {Interval(0.0, 1.0), Interval(0.0, 1.0)};
+  const auto Sig = monteCarloInputSignificance(Kernel, Box);
+  ASSERT_EQ(Sig.size(), 2u);
+  EXPECT_NEAR(Sig[0] / Sig[1], 3.0, 0.3);
+}
+
+TEST(MonteCarlo, DeadInputHasZeroSignificance) {
+  auto Kernel = [](std::span<const double> X) { return X[0] * 2.0; };
+  const Interval Box[] = {Interval(0.0, 1.0), Interval(0.0, 1.0)};
+  const auto Sig = monteCarloInputSignificance(Kernel, Box);
+  EXPECT_GT(Sig[0], 0.1);
+  EXPECT_EQ(Sig[1], 0.0);
+}
+
+TEST(MonteCarlo, DeterministicInSeed) {
+  auto Kernel = [](std::span<const double> X) {
+    return std::sin(X[0]) * X[1];
+  };
+  const Interval Box[] = {Interval(0.0, 2.0), Interval(-1.0, 1.0)};
+  MonteCarloOptions Opts;
+  Opts.Seed = 99;
+  const auto A = monteCarloInputSignificance(Kernel, Box, Opts);
+  const auto B = monteCarloInputSignificance(Kernel, Box, Opts);
+  EXPECT_EQ(A, B);
+  Opts.Seed = 100;
+  const auto C = monteCarloInputSignificance(Kernel, Box, Opts);
+  EXPECT_NE(A, C);
+}
+
+TEST(MonteCarlo, ConvergesWithMoreSamples) {
+  auto Kernel = [](std::span<const double> X) {
+    return X[0] * X[0] + 0.1 * X[1];
+  };
+  const Interval Box[] = {Interval(0.0, 1.0), Interval(0.0, 1.0)};
+  MonteCarloOptions Few, Many;
+  Few.SamplesPerInput = 64;
+  Many.SamplesPerInput = 8192;
+  Few.Seed = Many.Seed = 5;
+  const auto SFew = monteCarloInputSignificance(Kernel, Box, Few);
+  const auto SMany = monteCarloInputSignificance(Kernel, Box, Many);
+  // The analytic mean |x'^2 - x^2| over iid U(0,1) pairs is 0.25...;
+  // just require the large-sample estimate to be closer to a reference
+  // computed with even more samples.
+  MonteCarloOptions Ref;
+  Ref.SamplesPerInput = 32768;
+  Ref.Seed = 77;
+  const auto SRef = monteCarloInputSignificance(Kernel, Box, Ref);
+  EXPECT_LT(std::fabs(SMany[0] - SRef[0]),
+            std::fabs(SFew[0] - SRef[0]) + 0.01);
+}
+
+TEST(MonteCarlo, AgreesWithIntervalAnalysisRankingOnBlackScholesShape) {
+  // A 5-input smooth kernel: rankings from the interval analysis
+  // (WidthTimesDerivative) and the sampling estimator must agree.
+  auto Point = [](std::span<const double> X) {
+    // price-like composite: different per-input sensitivities
+    return X[0] * std::erf(X[1]) + std::exp(-X[2]) * X[3] +
+           0.01 * std::sqrt(X[4]);
+  };
+  const Interval Box[] = {Interval(0.9, 1.1), Interval(0.4, 0.6),
+                          Interval(0.0, 0.2), Interval(1.8, 2.2),
+                          Interval(0.9, 1.1)};
+  const auto Mc = monteCarloInputSignificance(Point, Box);
+
+  Analysis A;
+  IAValue X0 = A.input("x0", 0.9, 1.1);
+  IAValue X1 = A.input("x1", 0.4, 0.6);
+  IAValue X2 = A.input("x2", 0.0, 0.2);
+  IAValue X3 = A.input("x3", 1.8, 2.2);
+  IAValue X4 = A.input("x4", 0.9, 1.1);
+  IAValue Y = X0 * erf(X1) + exp(-X2) * X3 + 0.01 * sqrt(X4);
+  A.registerOutput(Y, "y");
+  AnalysisOptions Opts;
+  Opts.SignificanceMetric =
+      AnalysisOptions::Metric::WidthTimesDerivative;
+  const AnalysisResult R = A.analyse(Opts);
+  std::vector<double> Ia;
+  for (const VariableSignificance &V : R.inputs())
+    Ia.push_back(V.Significance);
+
+  EXPECT_GT(rankingAgreement(Mc, Ia), 0.85);
+}
+
+TEST(RankingAgreement, PerfectAndInverted) {
+  const double A[] = {1.0, 2.0, 3.0, 4.0};
+  const double B[] = {10.0, 20.0, 30.0, 40.0};
+  const double C[] = {4.0, 3.0, 2.0, 1.0};
+  EXPECT_NEAR(rankingAgreement(A, B), 1.0, 1e-12);
+  EXPECT_NEAR(rankingAgreement(A, C), -1.0, 1e-12);
+}
+
+TEST(RankingAgreement, PartialAgreement) {
+  const double A[] = {1.0, 2.0, 3.0, 4.0};
+  const double B[] = {1.0, 2.0, 4.0, 3.0}; // one adjacent swap
+  const double Rho = rankingAgreement(A, B);
+  EXPECT_GT(Rho, 0.5);
+  EXPECT_LT(Rho, 1.0);
+}
+
+TEST(RankingAgreement, TrivialSizes) {
+  const double One[] = {5.0};
+  EXPECT_EQ(rankingAgreement(One, One), 1.0);
+}
+
+} // namespace

@@ -1,0 +1,227 @@
+//===- tests/nbody_test.cpp - N-Body benchmark tests (Section 4.1.4) ------===//
+
+#include "apps/nbody/NBody.h"
+#include "quality/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace scorpio;
+using namespace scorpio::apps;
+
+namespace {
+
+NBodyParams smallParams() {
+  NBodyParams P;
+  P.ParticlesPerDim = 5; // 125 atoms
+  P.Steps = 6;
+  return P;
+}
+
+TEST(NBodyInit, DeterministicInSeed) {
+  NBodyParams P = smallParams();
+  NBodyState A = nbodyInit(P), B = nbodyInit(P);
+  EXPECT_EQ(A.X, B.X);
+  EXPECT_EQ(A.VZ, B.VZ);
+  P.Seed = 8;
+  NBodyState C = nbodyInit(P);
+  EXPECT_NE(A.X, C.X);
+}
+
+TEST(NBodyInit, LatticeShape) {
+  NBodyParams P = smallParams();
+  NBodyState S = nbodyInit(P);
+  EXPECT_EQ(S.size(), static_cast<size_t>(P.numParticles()));
+  EXPECT_EQ(S.flattened().size(), 6u * S.size());
+}
+
+TEST(NBodyReference, MomentumApproximatelyConserved) {
+  // LJ forces are pairwise antisymmetric: total momentum is invariant.
+  NBodyParams P = smallParams();
+  NBodyState S = nbodyInit(P);
+  double PX0 = 0.0, PY0 = 0.0, PZ0 = 0.0;
+  for (size_t I = 0; I != S.size(); ++I) {
+    PX0 += S.VX[I];
+    PY0 += S.VY[I];
+    PZ0 += S.VZ[I];
+  }
+  nbodyReference(S, P);
+  double PX1 = 0.0, PY1 = 0.0, PZ1 = 0.0;
+  for (size_t I = 0; I != S.size(); ++I) {
+    PX1 += S.VX[I];
+    PY1 += S.VY[I];
+    PZ1 += S.VZ[I];
+  }
+  EXPECT_NEAR(PX1, PX0, 1e-7);
+  EXPECT_NEAR(PY1, PY0, 1e-7);
+  EXPECT_NEAR(PZ1, PZ0, 1e-7);
+}
+
+TEST(NBodyReference, ParticlesStayBounded) {
+  NBodyParams P = smallParams();
+  NBodyState S = nbodyInit(P);
+  nbodyReference(S, P);
+  for (size_t I = 0; I != S.size(); ++I) {
+    EXPECT_LT(std::fabs(S.X[I]), 100.0);
+    EXPECT_LT(std::fabs(S.VX[I]), 50.0);
+  }
+}
+
+TEST(NBodyTasks, RatioOneMatchesReferenceClosely) {
+  // Same interactions, different summation order: agreement to FP noise.
+  NBodyParams P = smallParams();
+  NBodyState Ref = nbodyInit(P), Tasked = nbodyInit(P);
+  nbodyReference(Ref, P);
+  rt::TaskRuntime RT(2);
+  nbodyTasks(RT, Tasked, P, 1.0);
+  const auto A = Ref.flattened(), B = Tasked.flattened();
+  EXPECT_LT(relativeErrorOf(A, B), 1e-9);
+}
+
+TEST(NBodyTasks, DeterministicAcrossThreadCounts) {
+  NBodyParams P = smallParams();
+  NBodyState S1 = nbodyInit(P), S4 = nbodyInit(P);
+  rt::TaskRuntime RT1(1), RT4(4);
+  nbodyTasks(RT1, S1, P, 0.5);
+  nbodyTasks(RT4, S4, P, 0.5);
+  EXPECT_EQ(S1.X, S4.X); // bitwise: fixed reduction order
+  EXPECT_EQ(S1.VZ, S4.VZ);
+}
+
+TEST(NBodyTasks, ErrorDecreasesWithRatio) {
+  NBodyParams P = smallParams();
+  NBodyState Ref = nbodyInit(P);
+  {
+    rt::TaskRuntime RT(2);
+    nbodyTasks(RT, Ref, P, 1.0);
+  }
+  const auto RefFlat = Ref.flattened();
+  double PrevErr = 1e18;
+  for (double Ratio : {0.0, 0.5, 1.0}) {
+    NBodyState S = nbodyInit(P);
+    rt::TaskRuntime RT(2);
+    nbodyTasks(RT, S, P, Ratio);
+    const double Err = relativeErrorOf(RefFlat, S.flattened());
+    EXPECT_LE(Err, PrevErr + 1e-12) << "ratio " << Ratio;
+    PrevErr = Err;
+  }
+  EXPECT_EQ(PrevErr, 0.0);
+}
+
+TEST(NBodyTasks, FullApproximationStillAccurate) {
+  // The paper's headline: significance-based N-Body reaches ~1e-5
+  // relative error even fully approximate, because near regions stay
+  // accurate.
+  NBodyParams P = smallParams();
+  NBodyState Ref = nbodyInit(P), S = nbodyInit(P);
+  {
+    rt::TaskRuntime RT(2);
+    nbodyTasks(RT, Ref, P, 1.0);
+  }
+  rt::TaskRuntime RT(2);
+  nbodyTasks(RT, S, P, 0.0);
+  EXPECT_LT(relativeErrorOf(Ref.flattened(), S.flattened()), 1e-2);
+}
+
+TEST(NBodyRegionSignificance, NeighboursForcedAccurate) {
+  EXPECT_EQ(nbodyRegionSignificance(0.0), 1.0);
+  EXPECT_EQ(nbodyRegionSignificance(1.0), 1.0);
+  EXPECT_EQ(nbodyRegionSignificance(std::sqrt(3.0)), 1.0);
+  EXPECT_LT(nbodyRegionSignificance(2.0), 1.0);
+}
+
+TEST(NBodyRegionSignificance, DecaysWithDistance) {
+  double Prev = 1.0;
+  for (double D : {2.0, 2.5, 3.0, 4.0, 6.0}) {
+    const double S = nbodyRegionSignificance(D);
+    EXPECT_LE(S, Prev);
+    EXPECT_GT(S, 0.0);
+    Prev = S;
+  }
+}
+
+TEST(NBodyEnergy, VerletConservesTotalEnergy) {
+  // Symplectic integration: total energy drift stays small over the
+  // short runs the benchmark uses.
+  NBodyParams P = smallParams();
+  NBodyState S = nbodyInit(P);
+  const double E0 = nbodyTotalEnergy(S);
+  nbodyReference(S, P);
+  const double E1 = nbodyTotalEnergy(S);
+  EXPECT_LT(std::fabs(E1 - E0) / std::max(1.0, std::fabs(E0)), 0.02);
+}
+
+TEST(NBodyEnergy, ApproximationKeepsEnergyDriftSmall) {
+  // Even fully approximate (monopole far fields) runs must not blow the
+  // system up energetically.
+  NBodyParams P = smallParams();
+  NBodyState S = nbodyInit(P);
+  const double E0 = nbodyTotalEnergy(S);
+  rt::TaskRuntime RT(2);
+  nbodyTasks(RT, S, P, 0.0);
+  const double E1 = nbodyTotalEnergy(S);
+  EXPECT_LT(std::fabs(E1 - E0) / std::max(1.0, std::fabs(E0)), 0.05);
+}
+
+TEST(NBodyEnergy, KineticPlusPotentialDecomposition) {
+  // Two atoms at the LJ minimum distance 2^(1/6), at rest: energy -1.
+  NBodyState S;
+  S.X = {0.0, std::pow(2.0, 1.0 / 6.0)};
+  S.Y = {0.0, 0.0};
+  S.Z = {0.0, 0.0};
+  S.VX = {0.0, 0.0};
+  S.VY = {0.0, 0.0};
+  S.VZ = {0.0, 0.0};
+  EXPECT_NEAR(nbodyTotalEnergy(S), -1.0, 1e-9);
+  // Give one atom unit velocity: +0.5 kinetic.
+  S.VX[0] = 1.0;
+  EXPECT_NEAR(nbodyTotalEnergy(S), -0.5, 1e-9);
+}
+
+TEST(NBodyPerforated, RateOneMatchesReference) {
+  NBodyParams P = smallParams();
+  NBodyState A = nbodyInit(P), B = nbodyInit(P);
+  nbodyReference(A, P);
+  nbodyPerforated(B, P, 1.0);
+  EXPECT_EQ(A.X, B.X);
+}
+
+TEST(NBodyPerforated, SignificanceBeatsPerforationByOrders) {
+  // Paper: N-Body relative errors ~6 orders of magnitude lower than
+  // perforation; we assert >= 2 orders at equal accurate-work ratio.
+  NBodyParams P = smallParams();
+  NBodyState Ref = nbodyInit(P);
+  {
+    rt::TaskRuntime RT(2);
+    nbodyTasks(RT, Ref, P, 1.0);
+  }
+  const auto RefFlat = Ref.flattened();
+
+  NBodyState SigState = nbodyInit(P);
+  {
+    rt::TaskRuntime RT(2);
+    nbodyTasks(RT, SigState, P, 0.5);
+  }
+  NBodyState PerfState = nbodyInit(P);
+  nbodyPerforated(PerfState, P, 0.5);
+
+  const double SigErr = relativeErrorOf(RefFlat, SigState.flattened());
+  const double PerfErr = relativeErrorOf(RefFlat, PerfState.flattened());
+  EXPECT_LT(SigErr * 100.0, PerfErr);
+}
+
+TEST(NBodyAnalysis, SignificanceDecreasesWithDistance) {
+  // The paper's claim: "the greater the distance between atom A and atom
+  // B, the less the kinematic properties of one affect the other."
+  const auto Sig = analyseNBodyDistanceSignificance(
+      {1.2, 1.5, 2.0, 3.0, 4.5, 6.0});
+  ASSERT_EQ(Sig.size(), 6u);
+  for (size_t I = 1; I < Sig.size(); ++I)
+    EXPECT_LT(Sig[I].second, Sig[I - 1].second)
+        << "distance " << Sig[I].first;
+  EXPECT_EQ(Sig[0].second, 1.0); // normalized
+  EXPECT_LT(Sig.back().second, 1e-2);
+}
+
+} // namespace

@@ -1,0 +1,246 @@
+//===- tests/property_test.cpp - Cross-module property sweeps -------------===//
+//
+// Parameterized invariant sweeps that cut across modules: interval
+// algebra laws, analysis consistency between registration orders, the
+// runtime's ratio-policy laws over randomized batches, and
+// metric-independent significance facts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Analysis.h"
+#include "runtime/TaskRuntime.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+using namespace scorpio;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Interval algebra laws under random sampling.
+//===----------------------------------------------------------------------===//
+
+class IntervalLawTest : public ::testing::TestWithParam<uint64_t> {};
+
+Interval randomInterval(Random &Rng, double Lo, double Hi) {
+  return Interval::ordered(Rng.uniform(Lo, Hi), Rng.uniform(Lo, Hi));
+}
+
+TEST_P(IntervalLawTest, HullContainsBothOperands) {
+  Random Rng(GetParam());
+  for (int T = 0; T < 100; ++T) {
+    const Interval A = randomInterval(Rng, -50, 50);
+    const Interval B = randomInterval(Rng, -50, 50);
+    const Interval H = hull(A, B);
+    EXPECT_TRUE(H.contains(A));
+    EXPECT_TRUE(H.contains(B));
+    // Minimality: the hull's bounds touch one of the operands.
+    EXPECT_TRUE(H.lower() == A.lower() || H.lower() == B.lower());
+    EXPECT_TRUE(H.upper() == A.upper() || H.upper() == B.upper());
+  }
+}
+
+TEST_P(IntervalLawTest, IntersectionIsLargestCommonSubset) {
+  Random Rng(GetParam() ^ 1);
+  for (int T = 0; T < 100; ++T) {
+    const Interval A = randomInterval(Rng, -10, 10);
+    const Interval B = randomInterval(Rng, -10, 10);
+    if (!A.intersects(B))
+      continue;
+    const Interval I = intersect(A, B);
+    EXPECT_TRUE(A.contains(I));
+    EXPECT_TRUE(B.contains(I));
+    EXPECT_LE(I.width(), std::min(A.width(), B.width()) + 1e-12);
+  }
+}
+
+TEST_P(IntervalLawTest, MidAndRadReconstructBounds) {
+  Random Rng(GetParam() ^ 2);
+  for (int T = 0; T < 100; ++T) {
+    const Interval A = randomInterval(Rng, -1e6, 1e6);
+    EXPECT_NEAR(A.mid() - A.rad(), A.lower(),
+                1e-9 * std::max(1.0, std::fabs(A.lower())));
+    EXPECT_NEAR(A.mid() + A.rad(), A.upper(),
+                1e-9 * std::max(1.0, std::fabs(A.upper())));
+  }
+}
+
+TEST_P(IntervalLawTest, MagMigBracketAbsoluteValues) {
+  Random Rng(GetParam() ^ 3);
+  for (int T = 0; T < 100; ++T) {
+    const Interval A = randomInterval(Rng, -20, 20);
+    for (int S = 0; S < 10; ++S) {
+      const double P = Rng.uniform(A.lower(), A.upper());
+      EXPECT_LE(A.mig(), std::fabs(P) + 1e-12);
+      EXPECT_GE(A.mag(), std::fabs(P) - 1e-12);
+    }
+  }
+}
+
+TEST_P(IntervalLawTest, MulDistributesOverAddAsSuperset) {
+  // Sub-distributivity of IA: a*(b+c) is contained in a*b + a*c.
+  Random Rng(GetParam() ^ 4);
+  for (int T = 0; T < 100; ++T) {
+    const Interval A = randomInterval(Rng, -5, 5);
+    const Interval B = randomInterval(Rng, -5, 5);
+    const Interval C = randomInterval(Rng, -5, 5);
+    const Interval Tight = A * (B + C);
+    const Interval Loose = A * B + A * C;
+    EXPECT_LE(Loose.lower(), Tight.lower() + 1e-9);
+    EXPECT_GE(Loose.upper(), Tight.upper() - 1e-9);
+  }
+}
+
+TEST_P(IntervalLawTest, NegationIsInvolution) {
+  Random Rng(GetParam() ^ 5);
+  for (int T = 0; T < 100; ++T) {
+    const Interval A = randomInterval(Rng, -100, 100);
+    EXPECT_EQ(-(-A), A);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalLawTest,
+                         ::testing::Values(11u, 222u, 3333u));
+
+//===----------------------------------------------------------------------===//
+// Analysis consistency properties.
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisProperty, SignificanceInvariantUnderExpressionRewrite) {
+  // x + x and 2 * x are the same function; input significance matches.
+  auto SigOf = [](auto Build) {
+    Analysis A;
+    IAValue X = A.input("x", 0.5, 1.5);
+    IAValue Y = Build(X);
+    A.registerOutput(Y, "y");
+    return A.analyse().find("x")->Significance;
+  };
+  const double SAdd = SigOf([](IAValue X) { return X + X; });
+  const double SMul = SigOf([](IAValue X) { return 2.0 * X; });
+  EXPECT_NEAR(SAdd, SMul, 1e-9);
+}
+
+TEST(AnalysisProperty, ScalingInputScalesSignificanceLinearly) {
+  auto SigOf = [](double HalfWidth) {
+    Analysis A;
+    IAValue X = A.input("x", 1.0 - HalfWidth, 1.0 + HalfWidth);
+    IAValue Y = X * 3.0 + 1.0;
+    A.registerOutput(Y, "y");
+    return A.analyse().find("x")->Significance;
+  };
+  EXPECT_NEAR(SigOf(0.2) / SigOf(0.1), 2.0, 1e-6);
+  EXPECT_NEAR(SigOf(0.4) / SigOf(0.1), 4.0, 1e-6);
+}
+
+TEST(AnalysisProperty, IntermediateRegistrationDoesNotPerturbValues) {
+  // Registering intermediates must not change any computed enclosure.
+  auto OutputOf = [](bool Register) {
+    Analysis A;
+    IAValue X = A.input("x", 0.0, 1.0);
+    IAValue U = sin(X) * 2.0;
+    if (Register)
+      A.registerIntermediate(U, "u");
+    IAValue Y = U + X;
+    A.registerOutput(Y, "y");
+    return A.analyse().outputs().front().Value;
+  };
+  EXPECT_EQ(OutputOf(false), OutputOf(true));
+}
+
+TEST(AnalysisProperty, MetricsAgreeOnPointAdjointKernels) {
+  // When all adjoints are point intervals (linear kernel), Eq. 11 and
+  // width*|derivative| coincide.
+  for (auto Metric : {AnalysisOptions::Metric::Eq11WorstCase,
+                      AnalysisOptions::Metric::WidthTimesDerivative}) {
+    Analysis A;
+    IAValue X = A.input("x", 0.0, 2.0);
+    IAValue Y = X * 4.0 - 1.0;
+    A.registerOutput(Y, "y");
+    AnalysisOptions Opts;
+    Opts.SignificanceMetric = Metric;
+    EXPECT_NEAR(A.analyse(Opts).find("x")->Significance, 8.0, 1e-9);
+  }
+}
+
+TEST(AnalysisProperty, OutputSignificanceEqualsOutputWidth) {
+  // S(y) = w([y] * [1]) = w([y]) for any kernel, both metrics.
+  Random Rng(77);
+  for (int T = 0; T < 20; ++T) {
+    Analysis A;
+    const double Lo = Rng.uniform(-2.0, 0.0);
+    IAValue X = A.input("x", Lo, Lo + Rng.uniform(0.1, 2.0));
+    IAValue Y = sin(X) + sqr(X) * 0.3;
+    A.registerOutput(Y, "y");
+    const AnalysisResult R = A.analyse();
+    EXPECT_NEAR(R.outputSignificance(),
+                R.outputs().front().Value.width(), 1e-9);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime policy laws over randomized batches.
+//===----------------------------------------------------------------------===//
+
+class PolicyLawTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PolicyLawTest, AccurateSetGrowsMonotonicallyWithRatio) {
+  Random Rng(GetParam());
+  const size_t N = 40;
+  std::vector<double> Sig(N);
+  std::vector<bool> HasApprox(N, true);
+  for (double &S : Sig)
+    S = Rng.uniform(0.0, 1.0);
+  std::vector<bool> PrevAccurate(N, false);
+  for (double Ratio : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const auto Fates = rt::TaskRuntime::decideFates(Sig, HasApprox, Ratio);
+    for (size_t I = 0; I != N; ++I) {
+      const bool Acc = Fates[I] == rt::TaskFate::Accurate;
+      // Once accurate at a lower ratio, always accurate at higher ones.
+      EXPECT_TRUE(!PrevAccurate[I] || Acc) << "task " << I;
+      PrevAccurate[I] = Acc;
+    }
+  }
+}
+
+TEST_P(PolicyLawTest, NoLessSignificantTaskBeatsAMoreSignificantOne) {
+  Random Rng(GetParam() ^ 9);
+  const size_t N = 30;
+  std::vector<double> Sig(N);
+  std::vector<bool> HasApprox(N, true);
+  for (double &S : Sig)
+    S = Rng.uniform(0.0, 0.99);
+  const auto Fates = rt::TaskRuntime::decideFates(Sig, HasApprox, 0.4);
+  for (size_t I = 0; I != N; ++I)
+    for (size_t J = 0; J != N; ++J)
+      if (Fates[I] == rt::TaskFate::Accurate &&
+          Fates[J] != rt::TaskFate::Accurate) {
+        EXPECT_GE(Sig[I], Sig[J] - 1e-12) << I << " vs " << J;
+      }
+}
+
+TEST_P(PolicyLawTest, RatioLowerBoundsAccurateFraction) {
+  Random Rng(GetParam() ^ 10);
+  for (int T = 0; T < 20; ++T) {
+    const size_t N = 1 + Rng.below(50);
+    std::vector<double> Sig(N);
+    std::vector<bool> HasApprox(N, true);
+    for (double &S : Sig)
+      S = Rng.uniform(0.0, 0.99);
+    const double Ratio = Rng.uniform(0.0, 1.0);
+    const auto Fates = rt::TaskRuntime::decideFates(Sig, HasApprox, Ratio);
+    size_t Accurate = 0;
+    for (auto F : Fates)
+      Accurate += F == rt::TaskFate::Accurate;
+    EXPECT_GE(static_cast<double>(Accurate),
+              Ratio * static_cast<double>(N) - 1.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicyLawTest,
+                         ::testing::Values(5u, 66u, 777u));
+
+} // namespace

@@ -1,0 +1,208 @@
+//===- tests/quality_test.cpp - Image and metric tests ---------------------===//
+
+#include "quality/Image.h"
+#include "quality/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+using namespace scorpio;
+
+namespace {
+
+TEST(Image, ConstructAndAccess) {
+  Image Img(4, 3, 7);
+  EXPECT_EQ(Img.width(), 4);
+  EXPECT_EQ(Img.height(), 3);
+  EXPECT_EQ(Img.size(), 12u);
+  EXPECT_EQ(Img.at(0, 0), 7);
+  Img.at(2, 1) = 200;
+  EXPECT_EQ(Img.at(2, 1), 200);
+}
+
+TEST(Image, ClampedEdgeSemantics) {
+  Image Img(2, 2);
+  Img.at(0, 0) = 10;
+  Img.at(1, 1) = 20;
+  EXPECT_EQ(Img.clamped(-5, -5), 10);
+  EXPECT_EQ(Img.clamped(100, 100), 20);
+  EXPECT_EQ(Img.clamped(0, 0), 10);
+}
+
+TEST(Image, PgmRoundTrip) {
+  Image Img = testimages::scene(33, 17, 5);
+  const std::string Path =
+      (std::filesystem::temp_directory_path() / "scorpio_rt.pgm").string();
+  ASSERT_TRUE(Img.writePgm(Path));
+  Image Back = Image::readPgm(Path);
+  ASSERT_FALSE(Back.empty());
+  EXPECT_EQ(Back.width(), Img.width());
+  EXPECT_EQ(Back.height(), Img.height());
+  EXPECT_EQ(Back.data(), Img.data());
+  std::remove(Path.c_str());
+}
+
+TEST(Image, PpmLumaConversion) {
+  // Hand-craft a 2x1 P6: pure red and pure white.
+  const std::string Path =
+      (std::filesystem::temp_directory_path() / "scorpio_rt.ppm")
+          .string();
+  {
+    std::ofstream OS(Path, std::ios::binary);
+    OS << "P6\n2 1\n255\n";
+    const unsigned char Px[] = {255, 0, 0, 255, 255, 255};
+    OS.write(reinterpret_cast<const char *>(Px), sizeof(Px));
+  }
+  Image Img = Image::readPpmLuma(Path);
+  ASSERT_FALSE(Img.empty());
+  EXPECT_EQ(Img.width(), 2);
+  EXPECT_EQ(Img.at(0, 0), 76);  // 0.299 * 255 rounded
+  EXPECT_EQ(Img.at(1, 0), 255); // white
+  std::remove(Path.c_str());
+}
+
+TEST(Image, ReadAnyLumaDispatchesByMagic) {
+  const auto Dir = std::filesystem::temp_directory_path();
+  const std::string Pgm = (Dir / "scorpio_any.pgm").string();
+  const std::string Ppm = (Dir / "scorpio_any.ppm").string();
+  testimages::gradient(8, 8).writePgm(Pgm);
+  {
+    std::ofstream OS(Ppm, std::ios::binary);
+    OS << "P6\n1 1\n255\n";
+    const unsigned char Px[] = {0, 255, 0};
+    OS.write(reinterpret_cast<const char *>(Px), sizeof(Px));
+  }
+  EXPECT_FALSE(Image::readAnyLuma(Pgm).empty());
+  EXPECT_FALSE(Image::readAnyLuma(Ppm).empty());
+  EXPECT_EQ(Image::readAnyLuma(Ppm).at(0, 0), 150); // 0.587 * 255
+  std::remove(Pgm.c_str());
+  std::remove(Ppm.c_str());
+}
+
+TEST(Image, AsciiPgmParsing) {
+  const std::string Path =
+      (std::filesystem::temp_directory_path() / "scorpio_p2.pgm")
+          .string();
+  {
+    std::ofstream OS(Path);
+    OS << "P2\n# a comment\n2 2\n255\n0 64\n128 255\n";
+  }
+  Image Img = Image::readPgm(Path);
+  ASSERT_FALSE(Img.empty());
+  EXPECT_EQ(Img.at(0, 0), 0);
+  EXPECT_EQ(Img.at(1, 0), 64);
+  EXPECT_EQ(Img.at(0, 1), 128);
+  EXPECT_EQ(Img.at(1, 1), 255);
+  std::remove(Path.c_str());
+}
+
+TEST(Image, ReadMissingFileReturnsEmpty) {
+  EXPECT_TRUE(Image::readPgm("/nonexistent/file.pgm").empty());
+}
+
+TEST(Image, ClampToByte) {
+  EXPECT_EQ(clampToByte(-5.0), 0);
+  EXPECT_EQ(clampToByte(300.0), 255);
+  EXPECT_EQ(clampToByte(127.4), 127);
+  EXPECT_EQ(clampToByte(127.6), 128);
+}
+
+TEST(TestImages, GradientMonotoneAlongDiagonal) {
+  Image G = testimages::gradient(64, 64);
+  EXPECT_LT(G.at(0, 0), G.at(32, 32));
+  EXPECT_LT(G.at(32, 32), G.at(63, 63));
+}
+
+TEST(TestImages, CheckerboardAlternates) {
+  Image C = testimages::checkerboard(64, 64, 8);
+  EXPECT_NE(C.at(0, 0), C.at(8, 0));
+  EXPECT_EQ(C.at(0, 0), C.at(16, 0));
+}
+
+TEST(TestImages, ValueNoiseDeterministic) {
+  Image A = testimages::valueNoise(48, 48, 9);
+  Image B = testimages::valueNoise(48, 48, 9);
+  Image C = testimages::valueNoise(48, 48, 10);
+  EXPECT_EQ(A.data(), B.data());
+  EXPECT_NE(A.data(), C.data());
+}
+
+TEST(TestImages, SceneDeterministicAndVaried) {
+  Image A = testimages::scene(128, 96, 42);
+  Image B = testimages::scene(128, 96, 42);
+  EXPECT_EQ(A.data(), B.data());
+  // The scene has real content: spread of pixel values.
+  int Min = 255, Max = 0;
+  for (uint8_t P : A.data()) {
+    Min = std::min<int>(Min, P);
+    Max = std::max<int>(Max, P);
+  }
+  EXPECT_GT(Max - Min, 100);
+}
+
+TEST(Metrics, MseZeroForIdentical) {
+  Image A = testimages::scene(32, 32);
+  EXPECT_EQ(mseOf(A, A), 0.0);
+}
+
+TEST(Metrics, MseKnownValue) {
+  Image A(2, 2, 10), B(2, 2, 13);
+  EXPECT_NEAR(mseOf(A, B), 9.0, 1e-12);
+}
+
+TEST(Metrics, PsnrCapsOnIdentical) {
+  Image A = testimages::gradient(16, 16);
+  EXPECT_EQ(psnrOf(A, A), 99.0);
+  EXPECT_EQ(psnrOf(A, A, 80.0), 80.0);
+}
+
+TEST(Metrics, PsnrKnownValue) {
+  Image A(4, 4, 100), B(4, 4, 110); // MSE = 100 => PSNR ~ 28.13 dB
+  EXPECT_NEAR(psnrOf(A, B), 10.0 * std::log10(255.0 * 255.0 / 100.0),
+              1e-9);
+}
+
+TEST(Metrics, PsnrDecreasesWithMoreNoise) {
+  Image A = testimages::scene(64, 64);
+  Image Light = A, Heavy = A;
+  for (size_t I = 0; I < A.size(); I += 7)
+    Light.data()[I] = static_cast<uint8_t>(Light.data()[I] ^ 4);
+  for (size_t I = 0; I < A.size(); ++I)
+    Heavy.data()[I] = static_cast<uint8_t>(Heavy.data()[I] ^ 32);
+  EXPECT_GT(psnrOf(A, Light), psnrOf(A, Heavy));
+}
+
+TEST(Metrics, VectorMse) {
+  const double A[] = {1.0, 2.0};
+  const double B[] = {2.0, 4.0};
+  EXPECT_NEAR(mseOf(std::span<const double>(A),
+                    std::span<const double>(B)),
+              2.5, 1e-12);
+}
+
+TEST(Metrics, RelativeError) {
+  const double A[] = {10.0, 10.0};
+  const double B[] = {11.0, 9.0};
+  EXPECT_NEAR(relativeErrorOf(A, B), 0.1, 1e-12);
+  EXPECT_EQ(relativeErrorOf(A, A), 0.0);
+}
+
+TEST(Metrics, RelativeErrorZeroDenominator) {
+  const double A[] = {0.0, 0.0};
+  const double B[] = {0.0, 0.0};
+  EXPECT_EQ(relativeErrorOf(A, B), 0.0);
+  const double C[] = {1.0, 0.0};
+  EXPECT_EQ(relativeErrorOf(A, C), 1.0);
+}
+
+TEST(Metrics, MaxRelativeError) {
+  const double A[] = {10.0, 100.0};
+  const double B[] = {11.0, 100.0};
+  EXPECT_NEAR(maxRelativeErrorOf(A, B), 0.1, 1e-12);
+}
+
+} // namespace

@@ -1,0 +1,99 @@
+//===- tests/rangesweep_test.cpp - Input-range sweep tests -----------------===//
+
+#include "core/RangeSweep.h"
+
+#include <gtest/gtest.h>
+
+using namespace scorpio;
+
+namespace {
+
+/// Maclaurin-style kernel over a single input box.
+void maclaurinKernel(Analysis &A, std::span<const Interval> Box) {
+  IAValue X = A.input("x", Box[0].lower(), Box[0].upper());
+  IAValue Result = 0.0;
+  for (int I = 0; I < 4; ++I) {
+    IAValue Term = pow(X, I);
+    A.registerIntermediate(Term, "term" + std::to_string(I));
+    Result = Result + Term;
+  }
+  A.registerOutput(Result, "result");
+}
+
+/// Linear kernel: significance ratios are range-independent.
+void linearKernel(Analysis &A, std::span<const Interval> Box) {
+  IAValue X = A.input("x", Box[0].lower(), Box[0].upper());
+  IAValue U = X * 3.0;
+  A.registerIntermediate(U, "u");
+  IAValue Y = U + X;
+  A.registerOutput(Y, "y");
+}
+
+std::vector<std::vector<Interval>> centeredBoxes(
+    std::initializer_list<double> Centers, double HalfWidth) {
+  std::vector<std::vector<Interval>> Boxes;
+  for (double C : Centers)
+    Boxes.push_back({Interval(C - HalfWidth, C + HalfWidth)});
+  return Boxes;
+}
+
+TEST(RangeSweep, LinearKernelIsRangeIndependent) {
+  const SweepResult R = sweepAnalysis(
+      linearKernel, centeredBoxes({-2.0, 0.0, 1.0, 5.0}, 0.5));
+  EXPECT_EQ(R.NumDiverged, 0u);
+  const SweepVariable *U = R.find("u");
+  ASSERT_NE(U, nullptr);
+  EXPECT_FALSE(U->InputDependent);
+  EXPECT_LT(U->Normalized.coefficientOfVariation(), 1e-9);
+  EXPECT_FALSE(R.anyInputDependent());
+}
+
+TEST(RangeSweep, MaclaurinTermsAreInputDependent) {
+  // The paper's motivation: term significance depends on where x sits in
+  // (-1, 1) — term3 matters much more near |x| ~ 0.8 than near 0.
+  const SweepResult R = sweepAnalysis(
+      maclaurinKernel, centeredBoxes({-0.6, -0.2, 0.2, 0.6}, 0.2));
+  EXPECT_EQ(R.NumDiverged, 0u);
+  const SweepVariable *T3 = R.find("term3");
+  ASSERT_NE(T3, nullptr);
+  EXPECT_TRUE(T3->InputDependent);
+  EXPECT_TRUE(R.anyInputDependent());
+}
+
+TEST(RangeSweep, PerBoxSeriesRecorded) {
+  const SweepResult R = sweepAnalysis(
+      maclaurinKernel, centeredBoxes({0.0, 0.3, 0.6}, 0.1));
+  auto It = R.PerBox.find("term2");
+  ASSERT_NE(It, R.PerBox.end());
+  EXPECT_EQ(It->second.size(), 3u);
+  // term2's normalized significance grows with |x| center.
+  EXPECT_LT(It->second[0], It->second[2]);
+}
+
+TEST(RangeSweep, DivergedBoxesExcluded) {
+  auto Branchy = [](Analysis &A, std::span<const Interval> Box) {
+    IAValue X = A.input("x", Box[0].lower(), Box[0].upper());
+    IAValue Y = X < 0.5 ? X * 2.0 : X * 3.0;
+    A.registerOutput(Y, "y");
+  };
+  // Middle box straddles the branch point.
+  const SweepResult R = sweepAnalysis(
+      Branchy, centeredBoxes({0.0, 0.5, 1.0}, 0.2));
+  EXPECT_EQ(R.NumDiverged, 1u);
+  const SweepVariable *X = R.find("x");
+  ASSERT_NE(X, nullptr);
+  EXPECT_EQ(X->Normalized.count(), 2u);
+}
+
+TEST(RangeSweep, ThresholdControlsFlagging) {
+  SweepOptions Strict, Lax;
+  Strict.InputDependenceThreshold = 0.0001;
+  Lax.InputDependenceThreshold = 100.0;
+  const auto Boxes = centeredBoxes({0.0, 0.3, 0.6}, 0.1);
+  EXPECT_TRUE(sweepAnalysis(maclaurinKernel, Boxes, Strict)
+                  .anyInputDependent());
+  EXPECT_FALSE(sweepAnalysis(maclaurinKernel, Boxes, Lax)
+                   .anyInputDependent());
+}
+
+} // namespace

@@ -1,0 +1,143 @@
+//===- tests/ratiocontroller_test.cpp - Quality-target controller tests ---===//
+
+#include "runtime/RatioController.h"
+
+#include "apps/dct/Dct.h"
+#include "quality/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace scorpio;
+using namespace scorpio::rt;
+
+namespace {
+
+TEST(RatioSearch, TrivialTargets) {
+  auto Psnr = [](double R) { return 20.0 + 40.0 * R; };
+  EXPECT_EQ(ratioForQualityTarget(Psnr, 10.0,
+                                  QualityGoal::HigherIsBetter),
+            0.0);
+  EXPECT_EQ(ratioForQualityTarget(Psnr, 90.0,
+                                  QualityGoal::HigherIsBetter),
+            1.0);
+}
+
+TEST(RatioSearch, FindsMinimalRatioHigherBetter) {
+  auto Psnr = [](double R) { return 20.0 + 40.0 * R; };
+  // Target 40 dB => ratio 0.5.
+  const double R = ratioForQualityTarget(Psnr, 40.0,
+                                         QualityGoal::HigherIsBetter);
+  EXPECT_GE(Psnr(R), 40.0);
+  EXPECT_NEAR(R, 0.5, 1.0 / 32.0);
+}
+
+TEST(RatioSearch, FindsMinimalRatioLowerBetter) {
+  auto Err = [](double R) { return 0.10 * (1.0 - R); };
+  const double R = ratioForQualityTarget(Err, 0.02,
+                                         QualityGoal::LowerIsBetter);
+  EXPECT_LE(Err(R), 0.02);
+  EXPECT_NEAR(R, 0.8, 1.0 / 32.0);
+}
+
+TEST(RatioSearch, MarginAddsHeadroom) {
+  auto Psnr = [](double R) { return 20.0 + 40.0 * R; };
+  RatioSearchOptions Opts;
+  Opts.Margin = 0.1;
+  const double Plain = ratioForQualityTarget(
+      Psnr, 40.0, QualityGoal::HigherIsBetter);
+  const double Padded = ratioForQualityTarget(
+      Psnr, 40.0, QualityGoal::HigherIsBetter, Opts);
+  EXPECT_NEAR(Padded - Plain, 0.1, 1e-12);
+}
+
+TEST(RatioSearch, StepFunctionQuality) {
+  // Discontinuous quality (as with discrete task counts): the search
+  // still brackets the jump.
+  auto Quality = [](double R) { return R < 0.37 ? 10.0 : 50.0; };
+  const double R = ratioForQualityTarget(Quality, 30.0,
+                                         QualityGoal::HigherIsBetter);
+  EXPECT_GE(Quality(R), 30.0);
+  EXPECT_NEAR(R, 0.37, 1.0 / 32.0);
+}
+
+TEST(RatioSearch, EndToEndOnDct) {
+  // Close the loop on the real DCT benchmark: pick a PSNR target
+  // between the ratio-0 and ratio-1 qualities and verify the found
+  // ratio meets it (and is not trivially 1).
+  Image In = testimages::scene(96, 96, 77);
+  Image Ref = apps::dctReference(In, 90);
+  auto QualityAt = [&](double Ratio) {
+    rt::TaskRuntime RT(2);
+    return psnrOf(Ref, apps::dctTasks(RT, In, Ratio, 90));
+  };
+  const double Target = 45.0; // dB, between ~30 (ratio 0) and 99
+  const double R = ratioForQualityTarget(QualityAt, Target,
+                                         QualityGoal::HigherIsBetter);
+  EXPECT_GE(QualityAt(R), Target);
+  EXPECT_LT(R, 1.0);
+  EXPECT_GT(R, 0.0);
+}
+
+TEST(OnlineController, RaisesRatioWhenQualityLow) {
+  OnlineRatioController C(40.0, QualityGoal::HigherIsBetter);
+  const double R0 = C.ratio();
+  C.update(30.0); // below target
+  EXPECT_GT(C.ratio(), R0);
+}
+
+TEST(OnlineController, LowersRatioWhenHeadroom) {
+  OnlineRatioController C(40.0, QualityGoal::HigherIsBetter);
+  const double R0 = C.ratio();
+  C.update(70.0); // far above target
+  EXPECT_LT(C.ratio(), R0);
+}
+
+TEST(OnlineController, DeadBandHolds) {
+  OnlineRatioController C(40.0, QualityGoal::HigherIsBetter);
+  const double R0 = C.ratio();
+  C.update(40.1); // within 2% band
+  EXPECT_EQ(C.ratio(), R0);
+}
+
+TEST(OnlineController, ErrorGoalDirection) {
+  OnlineRatioController C(0.01, QualityGoal::LowerIsBetter);
+  const double R0 = C.ratio();
+  C.update(0.05); // error too high -> more accuracy
+  EXPECT_GT(C.ratio(), R0);
+  C.update(0.001); // error tiny -> save energy
+  C.update(0.001);
+  EXPECT_LT(C.ratio(), C.ratio() + 1e-9); // moved down overall
+}
+
+TEST(OnlineController, ClampsToUnitRange) {
+  OnlineRatioController::Options Opts;
+  Opts.InitialRatio = 0.95;
+  Opts.Step = 0.5;
+  OnlineRatioController C(40.0, QualityGoal::HigherIsBetter, Opts);
+  C.update(0.0);
+  EXPECT_EQ(C.ratio(), 1.0);
+  C.update(100.0);
+  C.update(100.0);
+  C.update(100.0);
+  C.update(100.0);
+  EXPECT_EQ(C.ratio(), 0.0);
+}
+
+TEST(OnlineController, ConvergesOnSyntheticPlant) {
+  // Plant: quality = 20 + 40 * ratio with a bit of deterministic ripple.
+  OnlineRatioController::Options Opts;
+  Opts.Step = 1.0 / 32.0;
+  OnlineRatioController C(44.0, QualityGoal::HigherIsBetter, Opts);
+  double Ratio = C.ratio();
+  for (int I = 0; I < 100; ++I) {
+    const double Quality =
+        20.0 + 40.0 * Ratio + 0.3 * std::sin(0.7 * I);
+    Ratio = C.update(Quality);
+  }
+  // Target 44 dB corresponds to ratio 0.6.
+  EXPECT_NEAR(Ratio, 0.6, 0.08);
+}
+
+} // namespace

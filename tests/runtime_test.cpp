@@ -1,0 +1,218 @@
+//===- tests/runtime_test.cpp - Significance-aware runtime tests ----------===//
+
+#include "runtime/TaskRuntime.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+using namespace scorpio;
+using namespace scorpio::rt;
+
+namespace {
+
+std::vector<TaskFate> fates(std::vector<double> Sig,
+                            std::vector<bool> HasApprox, double Ratio) {
+  return TaskRuntime::decideFates(Sig, HasApprox, Ratio);
+}
+
+size_t countFate(const std::vector<TaskFate> &F, TaskFate Kind) {
+  size_t N = 0;
+  for (TaskFate T : F)
+    if (T == Kind)
+      ++N;
+  return N;
+}
+
+TEST(DecideFates, RatioOneRunsEverythingAccurately) {
+  const auto F = fates({0.1, 0.5, 0.9, 0.3}, {true, true, true, true}, 1.0);
+  EXPECT_EQ(countFate(F, TaskFate::Accurate), 4u);
+}
+
+TEST(DecideFates, RatioZeroApproximatesAll) {
+  const auto F = fates({0.1, 0.5, 0.9, 0.3}, {true, true, true, true}, 0.0);
+  EXPECT_EQ(countFate(F, TaskFate::Accurate), 0u);
+  EXPECT_EQ(countFate(F, TaskFate::Approximate), 4u);
+}
+
+TEST(DecideFates, HalfRatioPicksMostSignificant) {
+  const auto F = fates({0.1, 0.5, 0.9, 0.3}, {true, true, true, true}, 0.5);
+  EXPECT_EQ(F[2], TaskFate::Accurate); // 0.9
+  EXPECT_EQ(F[1], TaskFate::Accurate); // 0.5
+  EXPECT_EQ(F[0], TaskFate::Approximate);
+  EXPECT_EQ(F[3], TaskFate::Approximate);
+}
+
+TEST(DecideFates, SignificanceOneAlwaysAccurate) {
+  const auto F = fates({1.0, 0.5, 1.0}, {true, true, true}, 0.0);
+  EXPECT_EQ(F[0], TaskFate::Accurate);
+  EXPECT_EQ(F[2], TaskFate::Accurate);
+  EXPECT_EQ(F[1], TaskFate::Approximate);
+}
+
+TEST(DecideFates, NoApproxFnMeansDrop) {
+  const auto F = fates({0.2, 0.8}, {false, true}, 0.5);
+  EXPECT_EQ(F[1], TaskFate::Accurate);
+  EXPECT_EQ(F[0], TaskFate::Dropped);
+}
+
+TEST(DecideFates, CeilSemanticsAtLeastRatio) {
+  // 3 tasks at ratio 0.5: ceil(1.5) = 2 accurate.
+  const auto F = fates({0.3, 0.2, 0.1}, {true, true, true}, 0.5);
+  EXPECT_EQ(countFate(F, TaskFate::Accurate), 2u);
+}
+
+TEST(DecideFates, ExactMultipleNotOverShot) {
+  // 4 tasks at ratio 0.25: exactly 1 accurate.
+  const auto F = fates({0.3, 0.2, 0.1, 0.05}, {true, true, true, true},
+                       0.25);
+  EXPECT_EQ(countFate(F, TaskFate::Accurate), 1u);
+  EXPECT_EQ(F[0], TaskFate::Accurate);
+}
+
+TEST(DecideFates, TiesPreserveSpawnOrder) {
+  const auto F = fates({0.5, 0.5, 0.5, 0.5}, {true, true, true, true},
+                       0.5);
+  EXPECT_EQ(F[0], TaskFate::Accurate);
+  EXPECT_EQ(F[1], TaskFate::Accurate);
+  EXPECT_EQ(F[2], TaskFate::Approximate);
+  EXPECT_EQ(F[3], TaskFate::Approximate);
+}
+
+TEST(DecideFates, EmptyBatch) {
+  EXPECT_TRUE(fates({}, {}, 0.5).empty());
+}
+
+TEST(TaskRuntime, RunsAccurateTasks) {
+  TaskRuntime RT(2);
+  std::atomic<int> Counter{0};
+  for (int I = 0; I < 10; ++I)
+    RT.spawn([&Counter] { ++Counter; }, TaskOptions{});
+  const TaskStats S = RT.taskwaitAll(1.0);
+  EXPECT_EQ(Counter.load(), 10);
+  EXPECT_EQ(S.NumAccurate, 10u);
+  EXPECT_EQ(S.total(), 10u);
+}
+
+TEST(TaskRuntime, ApproxVersionRunsBelowRatio) {
+  TaskRuntime RT(2);
+  std::atomic<int> Accurate{0}, Approx{0};
+  for (int I = 0; I < 10; ++I) {
+    TaskOptions Opts;
+    Opts.Significance = 0.5;
+    Opts.Label = "g";
+    Opts.ApproxFn = [&Approx] { ++Approx; };
+    RT.spawn([&Accurate] { ++Accurate; }, std::move(Opts));
+  }
+  const TaskStats S = RT.taskwait("g", 0.3);
+  EXPECT_EQ(S.NumAccurate, 3u);
+  EXPECT_EQ(S.NumApproximate, 7u);
+  EXPECT_EQ(Accurate.load(), 3);
+  EXPECT_EQ(Approx.load(), 7);
+}
+
+TEST(TaskRuntime, DroppedTasksNeverRun) {
+  TaskRuntime RT(2);
+  std::atomic<int> Ran{0};
+  for (int I = 0; I < 8; ++I) {
+    TaskOptions Opts;
+    Opts.Significance = 0.5;
+    Opts.Label = "d";
+    RT.spawn([&Ran] { ++Ran; }, std::move(Opts));
+  }
+  const TaskStats S = RT.taskwait("d", 0.25);
+  EXPECT_EQ(S.NumAccurate, 2u);
+  EXPECT_EQ(S.NumDropped, 6u);
+  EXPECT_EQ(Ran.load(), 2);
+}
+
+TEST(TaskRuntime, GroupsAreIndependent) {
+  TaskRuntime RT(2);
+  std::atomic<int> GroupA{0}, GroupB{0};
+  for (int I = 0; I < 4; ++I) {
+    TaskOptions OA;
+    OA.Label = "a";
+    RT.spawn([&GroupA] { ++GroupA; }, std::move(OA));
+    TaskOptions OB;
+    OB.Label = "b";
+    RT.spawn([&GroupB] { ++GroupB; }, std::move(OB));
+  }
+  RT.taskwait("a", 1.0);
+  EXPECT_EQ(GroupA.load(), 4);
+  EXPECT_EQ(GroupB.load(), 0); // label b not yet released
+  RT.taskwait("b", 1.0);
+  EXPECT_EQ(GroupB.load(), 4);
+}
+
+TEST(TaskRuntime, TaskwaitOnEmptyGroupIsNoop) {
+  TaskRuntime RT(1);
+  const TaskStats S = RT.taskwait("nothing", 0.5);
+  EXPECT_EQ(S.total(), 0u);
+}
+
+TEST(TaskRuntime, TotalsAccumulateAcrossWaits) {
+  TaskRuntime RT(1);
+  for (int Round = 0; Round < 3; ++Round) {
+    for (int I = 0; I < 5; ++I) {
+      TaskOptions Opts;
+      Opts.Label = "t";
+      Opts.Significance = 0.5;
+      Opts.ApproxFn = [] {};
+      RT.spawn([] {}, std::move(Opts));
+    }
+    RT.taskwait("t", 0.2);
+  }
+  EXPECT_EQ(RT.totals().total(), 15u);
+  EXPECT_EQ(RT.totals().NumAccurate, 3u);
+  EXPECT_EQ(RT.totals().NumApproximate, 12u);
+}
+
+TEST(TaskRuntime, ConcurrentTasksAllComplete) {
+  TaskRuntime RT(4);
+  std::atomic<long> Sum{0};
+  for (int I = 1; I <= 1000; ++I)
+    RT.spawn([&Sum, I] { Sum += I; }, TaskOptions{});
+  RT.taskwaitAll(1.0);
+  EXPECT_EQ(Sum.load(), 500500);
+}
+
+TEST(TaskRuntime, SingleThreadDeterministicOrderIndependence) {
+  // Output buffers written by disjoint tasks match across thread counts.
+  auto Run = [](unsigned Threads) {
+    TaskRuntime RT(Threads);
+    std::vector<int> Out(64, 0);
+    for (int I = 0; I < 64; ++I) {
+      TaskOptions Opts;
+      Opts.Significance = (I % 7) / 7.0;
+      Opts.ApproxFn = [&Out, I] { Out[static_cast<size_t>(I)] = -I; };
+      RT.spawn([&Out, I] { Out[static_cast<size_t>(I)] = I; },
+               std::move(Opts));
+    }
+    RT.taskwaitAll(0.5);
+    return Out;
+  };
+  EXPECT_EQ(Run(1), Run(4));
+}
+
+TEST(ThreadPool, WaitIdleOnFreshPool) {
+  ThreadPool Pool(2);
+  Pool.waitIdle(); // must not hang
+  EXPECT_EQ(Pool.numThreads(), 2u);
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+  ThreadPool Pool(0);
+  EXPECT_GE(Pool.numThreads(), 1u);
+}
+
+TEST(TaskStats, Addition) {
+  TaskStats A{1, 2, 3}, B{10, 20, 30};
+  A += B;
+  EXPECT_EQ(A.NumAccurate, 11u);
+  EXPECT_EQ(A.NumApproximate, 22u);
+  EXPECT_EQ(A.NumDropped, 33u);
+  EXPECT_EQ(A.total(), 66u);
+}
+
+} // namespace

@@ -1,0 +1,146 @@
+//===- tests/sobel_test.cpp - Sobel benchmark tests (Section 4.1.1) -------===//
+
+#include "apps/sobel/Sobel.h"
+#include "quality/Metrics.h"
+
+#include <gtest/gtest.h>
+
+using namespace scorpio;
+using namespace scorpio::apps;
+
+namespace {
+
+Image testScene() { return testimages::scene(96, 96, 11); }
+
+TEST(SobelReference, FlatImageHasNoEdges) {
+  Image Flat(32, 32, 100);
+  Image Out = sobelReference(Flat);
+  for (uint8_t P : Out.data())
+    EXPECT_EQ(P, 0);
+}
+
+TEST(SobelReference, VerticalStepDetected) {
+  Image Step(32, 32, 0);
+  for (int Y = 0; Y < 32; ++Y)
+    for (int X = 16; X < 32; ++X)
+      Step.at(X, Y) = 200;
+  Image Out = sobelReference(Step);
+  // The edge column responds strongly; flat regions stay dark.
+  EXPECT_GT(Out.at(16, 16), 200);
+  EXPECT_EQ(Out.at(4, 16), 0);
+  EXPECT_EQ(Out.at(28, 16), 0);
+}
+
+TEST(SobelReference, KnownKernelResponse) {
+  // A single bright pixel: the response at its E neighbour is
+  // |Gx| = 2*255 horizontally plus corners; compute exactly.
+  Image Dot(9, 9, 0);
+  Dot.at(4, 4) = 255;
+  Image Out = sobelReference(Dot);
+  // At (5, 4): Gx = -(2*255) (W neighbour), Gy = 0 by symmetry.
+  EXPECT_EQ(Out.at(5, 4), 255); // clipped from 510
+  // At (5, 5) (diagonal): Gx = -255 (NW), Gy = -255 (NW).
+  EXPECT_EQ(Out.at(5, 5), clampToByte(std::sqrt(2.0) * 255.0));
+}
+
+TEST(SobelTasks, RatioOneMatchesReference) {
+  Image In = testScene();
+  rt::TaskRuntime RT(2);
+  Image Tasked = sobelTasks(RT, In, 1.0);
+  Image Ref = sobelReference(In);
+  EXPECT_EQ(Tasked.data(), Ref.data());
+}
+
+TEST(SobelTasks, DeterministicAcrossThreadCounts) {
+  Image In = testScene();
+  rt::TaskRuntime RT1(1), RT4(4);
+  EXPECT_EQ(sobelTasks(RT1, In, 0.5).data(),
+            sobelTasks(RT4, In, 0.5).data());
+}
+
+TEST(SobelTasks, QualityMonotoneInRatio) {
+  Image In = testScene();
+  Image Ref = sobelReference(In);
+  double PrevPsnr = 0.0;
+  for (double Ratio : {0.0, 0.4, 0.7, 1.0}) {
+    rt::TaskRuntime RT(2);
+    const double Psnr = psnrOf(Ref, sobelTasks(RT, In, Ratio));
+    EXPECT_GE(Psnr, PrevPsnr - 0.5) << "ratio " << Ratio;
+    PrevPsnr = Psnr;
+  }
+  EXPECT_EQ(PrevPsnr, 99.0); // ratio 1 is exact
+}
+
+TEST(SobelTasks, ZeroRatioKeepsBlockA) {
+  // Even at ratio 0 the significance-1.0 A tasks run, so edges are
+  // still detected (unlike dropping everything).
+  Image Step(64, 64, 0);
+  for (int Y = 0; Y < 64; ++Y)
+    for (int X = 32; X < 64; ++X)
+      Step.at(X, Y) = 200;
+  rt::TaskRuntime RT(2);
+  Image Out = sobelTasks(RT, Step, 0.0);
+  EXPECT_GT(Out.at(32, 32), 150);
+}
+
+TEST(SobelTasks, StatsReflectPolicy) {
+  Image In = testScene();
+  rt::TaskRuntime RT(2);
+  sobelTasks(RT, In, 0.0);
+  // Per band: A accurate (sig 1.0), B and C dropped; combine accurate.
+  const rt::TaskStats &S = RT.totals();
+  EXPECT_GT(S.NumDropped, 0u);
+  EXPECT_GT(S.NumAccurate, 0u);
+  EXPECT_EQ(S.NumApproximate, 0u); // Sobel approximates by dropping
+  EXPECT_NEAR(static_cast<double>(S.NumDropped) /
+                  static_cast<double>(S.total()),
+              0.5, 0.15); // B and C of the conv group
+}
+
+TEST(SobelPerforated, RateOneMatchesReference) {
+  Image In = testScene();
+  EXPECT_EQ(sobelPerforated(In, 1.0).data(), sobelReference(In).data());
+}
+
+TEST(SobelPerforated, QualityDegradesWithLowerRate) {
+  Image In = testScene();
+  Image Ref = sobelReference(In);
+  const double P80 = psnrOf(Ref, sobelPerforated(In, 0.8));
+  const double P30 = psnrOf(Ref, sobelPerforated(In, 0.3));
+  EXPECT_GT(P80, P30);
+}
+
+TEST(SobelPerforated, SignificanceBeatsPerforationAtEqualRatio) {
+  // The paper's headline comparison, at the accurate-computation ratio
+  // where both execute ~the same fraction of work.
+  Image In = testScene();
+  Image Ref = sobelReference(In);
+  for (double Ratio : {0.4, 0.6}) {
+    rt::TaskRuntime RT(2);
+    const double PsnrSig = psnrOf(Ref, sobelTasks(RT, In, Ratio));
+    const double PsnrPerf = psnrOf(Ref, sobelPerforated(In, Ratio));
+    EXPECT_GT(PsnrSig, PsnrPerf) << "ratio " << Ratio;
+  }
+}
+
+TEST(SobelAnalysis, BlockATwiceAsSignificant) {
+  Image In = testScene();
+  // Pick a pixel with real gradient content.
+  const SobelBlockSignificance Sig = analyseSobelBlocks(In, 48, 48);
+  ASSERT_TRUE(Sig.Result.isValid());
+  EXPECT_GT(Sig.A, 0.0);
+  EXPECT_NEAR(Sig.A / Sig.B, 2.0, 0.35);
+  EXPECT_NEAR(Sig.B / Sig.C, 1.0, 0.25);
+}
+
+TEST(SobelAnalysis, PatternStableAcrossPixels) {
+  Image In = testScene();
+  for (int P = 0; P < 5; ++P) {
+    const int X = 16 + P * 13, Y = 20 + P * 11;
+    const SobelBlockSignificance Sig = analyseSobelBlocks(In, X, Y);
+    EXPECT_GT(Sig.A, Sig.B) << "pixel " << X << "," << Y;
+    EXPECT_GT(Sig.A, Sig.C) << "pixel " << X << "," << Y;
+  }
+}
+
+} // namespace

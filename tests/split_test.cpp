@@ -1,0 +1,149 @@
+//===- tests/split_test.cpp - Automatic interval splitting tests ----------===//
+//
+// Tests for the Section-2.2 "ongoing research" extension: when a kernel
+// branches on an ambiguous interval comparison, analyseWithSplitting
+// bisects the input box until every leaf has a unique control flow.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SplitAnalysis.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace scorpio;
+
+namespace {
+
+/// Piecewise kernel: y = 3x for x < 1, y = x for x >= 1 (continuous at
+/// the knee it is not — that is fine, the analysis is per-branch).
+void piecewiseKernel(Analysis &A, std::span<const Interval> Box) {
+  IAValue X = A.input("x", Box[0].lower(), Box[0].upper());
+  IAValue Y = X < 1.0 ? X * 3.0 : X * 1.0;
+  A.registerOutput(Y, "y");
+}
+
+TEST(SplitAnalysis, BranchFreeBoxNeedsNoSplit) {
+  const SplitResult R = analyseWithSplitting(
+      piecewiseKernel, {Interval(2.0, 3.0)});
+  EXPECT_TRUE(R.Converged);
+  EXPECT_EQ(R.NumConverged, 1u);
+  EXPECT_EQ(R.NumAbandoned, 0u);
+  EXPECT_NEAR(R.significanceOf("x"), 1.0, 1e-9); // slope 1 branch
+}
+
+TEST(SplitAnalysis, DivergingBoxIsBisected) {
+  // [0, 2] straddles the branch point 1.0: one bisection suffices.
+  const SplitResult R = analyseWithSplitting(
+      piecewiseKernel, {Interval(0.0, 2.0)});
+  EXPECT_TRUE(R.Converged);
+  EXPECT_EQ(R.NumConverged, 2u);
+  // Volume-weighted mean of slope 3 (left half) and slope 1 (right).
+  EXPECT_NEAR(R.significanceOf("x"), 0.5 * 3.0 + 0.5 * 1.0, 1e-6);
+}
+
+TEST(SplitAnalysis, UnevenBoxWeightsByVolume) {
+  // [0, 4] first splits at 2 (the right half converges); successive
+  // bisections of the left half corner the branch point at 1 from both
+  // sides.  A sliver around 1 is abandoned (outward rounding makes the
+  // comparison undecidable within rounding slack), but the converged
+  // leaves cover virtually all of the box and the volume-weighted mean
+  // matches the analytic value 0.25*3 + 0.75*1.
+  const SplitResult R = analyseWithSplitting(
+      piecewiseKernel, {Interval(0.0, 4.0)});
+  EXPECT_GE(R.NumConverged, 3u);
+  EXPECT_GT(R.coveredFraction(), 0.995);
+  // Raw aggregate lies between the two branch slopes...
+  EXPECT_GT(R.significanceOf("x"), 1.0);
+  EXPECT_LT(R.significanceOf("x"), 3.0);
+  // ...and the scale-free normalized value is exactly 1 on every leaf
+  // (the output is x times a constant per branch), so it is stable
+  // under any decomposition.
+  EXPECT_NEAR(R.normalizedOf("x"), 1.0, 1e-9);
+}
+
+TEST(SplitAnalysis, DepthBudgetAbandonsPathologicalBoxes) {
+  // A kernel that diverges for every box (branches on a comparison of
+  // the input with its own midpoint) can never converge.
+  auto Pathological = [](Analysis &A, std::span<const Interval> Box) {
+    IAValue X = A.input("x", Box[0].lower(), Box[0].upper());
+    const double Mid = Box[0].mid();
+    IAValue Y = X < Mid ? X * 2.0 : X * 3.0;
+    A.registerOutput(Y, "y");
+  };
+  SplitOptions Opts;
+  Opts.MaxDepth = 3;
+  const SplitResult R = analyseWithSplitting(
+      Pathological, {Interval(0.0, 1.0)}, Opts);
+  EXPECT_FALSE(R.Converged);
+  EXPECT_GT(R.NumAbandoned, 0u);
+  EXPECT_EQ(R.NumConverged, 0u);
+}
+
+TEST(SplitAnalysis, MultiDimensionalSplitsWidestDimension) {
+  // Branch on x only; y is narrow.  Splitting must happen along x.
+  auto Kernel = [](Analysis &A, std::span<const Interval> Box) {
+    IAValue X = A.input("x", Box[0].lower(), Box[0].upper());
+    IAValue Y = A.input("y", Box[1].lower(), Box[1].upper());
+    IAValue Out = X < 0.0 ? X + Y : X - Y;
+    A.registerOutput(Out, "out");
+  };
+  const SplitResult R = analyseWithSplitting(
+      Kernel, {Interval(-1.0, 1.0), Interval(0.1, 0.2)});
+  EXPECT_TRUE(R.Converged);
+  EXPECT_EQ(R.NumConverged, 2u);
+  // |d out/d y| = 1 on both branches.
+  EXPECT_NEAR(R.significanceOf("y"), 0.1, 1e-6);
+}
+
+TEST(SplitAnalysis, SubdomainCapStopsWork) {
+  auto Pathological = [](Analysis &A, std::span<const Interval> Box) {
+    IAValue X = A.input("x", Box[0].lower(), Box[0].upper());
+    const double Mid = Box[0].mid();
+    IAValue Y = X < Mid ? X * 2.0 : X * 3.0;
+    A.registerOutput(Y, "y");
+  };
+  SplitOptions Opts;
+  Opts.MaxDepth = 50;
+  Opts.MaxSubdomains = 8;
+  const SplitResult R = analyseWithSplitting(
+      Pathological, {Interval(0.0, 1.0)}, Opts);
+  EXPECT_FALSE(R.Converged);
+  // Worklist processed at most MaxSubdomains boxes.
+  EXPECT_LE(R.NumConverged + R.NumAbandoned, 30u);
+}
+
+TEST(SplitAnalysis, IntermediatesAggregatedAcrossLeaves) {
+  auto Kernel = [](Analysis &A, std::span<const Interval> Box) {
+    IAValue X = A.input("x", Box[0].lower(), Box[0].upper());
+    IAValue U = sqr(X);
+    A.registerIntermediate(U, "u");
+    IAValue Y = U < 1.0 ? U * 2.0 : U * 0.5;
+    A.registerOutput(Y, "y");
+  };
+  const SplitResult R = analyseWithSplitting(
+      Kernel, {Interval(0.5, 1.5)});
+  // sqr's outward rounding leaves an undecidable sliver at u = 1; the
+  // rest converges.
+  EXPECT_GT(R.coveredFraction(), 0.99);
+  EXPECT_GT(R.significanceOf("u"), 0.0);
+  EXPECT_GT(R.normalizedOf("u"), 0.0);
+}
+
+TEST(SplitAnalysis, AbsKernelMatchesAnalyticAverage) {
+  // y = |x| over [-1, 1] written with an explicit branch: slope is -1
+  // then +1; significance per leaf = w([x_leaf]) * 1.
+  auto Kernel = [](Analysis &A, std::span<const Interval> Box) {
+    IAValue X = A.input("x", Box[0].lower(), Box[0].upper());
+    IAValue Y = X < 0.0 ? -X : X * 1.0;
+    A.registerOutput(Y, "y");
+  };
+  const SplitResult R = analyseWithSplitting(
+      Kernel, {Interval(-1.0, 1.0)});
+  EXPECT_TRUE(R.Converged);
+  // Each half has width 1 and |slope| 1: weighted mean significance 1.
+  EXPECT_NEAR(R.significanceOf("x"), 1.0, 1e-6);
+}
+
+} // namespace

@@ -1,0 +1,232 @@
+//===- tests/support_test.cpp - Support library tests ---------------------===//
+
+#include "support/Dot.h"
+#include "support/Random.h"
+#include "support/Statistics.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+using namespace scorpio;
+
+namespace {
+
+TEST(Random, DeterministicForSameSeed) {
+  Random A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Random, DifferentSeedsDiffer) {
+  Random A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    if (A.next() == B.next())
+      ++Same;
+  EXPECT_LT(Same, 2);
+}
+
+TEST(Random, ReseedResets) {
+  Random A(7);
+  const uint64_t First = A.next();
+  A.next();
+  A.reseed(7);
+  EXPECT_EQ(A.next(), First);
+}
+
+TEST(Random, UniformInUnitRange) {
+  Random Rng(3);
+  for (int I = 0; I < 1000; ++I) {
+    const double U = Rng.uniform();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+  }
+}
+
+TEST(Random, UniformRangeRespectsBounds) {
+  Random Rng(4);
+  for (int I = 0; I < 1000; ++I) {
+    const double U = Rng.uniform(-3.0, 5.0);
+    EXPECT_GE(U, -3.0);
+    EXPECT_LT(U, 5.0);
+  }
+}
+
+TEST(Random, UniformMeanNearCenter) {
+  Random Rng(5);
+  double Sum = 0.0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I)
+    Sum += Rng.uniform();
+  EXPECT_NEAR(Sum / N, 0.5, 0.01);
+}
+
+TEST(Random, BelowNeverReachesBound) {
+  Random Rng(6);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(Rng.below(7), 7u);
+}
+
+TEST(Random, RangeInclusive) {
+  Random Rng(8);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 2000; ++I) {
+    const int64_t V = Rng.range(-2, 2);
+    EXPECT_GE(V, -2);
+    EXPECT_LE(V, 2);
+    SawLo |= (V == -2);
+    SawHi |= (V == 2);
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(Random, GaussianMomentsRoughlyStandard) {
+  Random Rng(9);
+  double Sum = 0.0, Sum2 = 0.0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I) {
+    const double G = Rng.gaussian();
+    Sum += G;
+    Sum2 += G * G;
+  }
+  EXPECT_NEAR(Sum / N, 0.0, 0.03);
+  EXPECT_NEAR(Sum2 / N, 1.0, 0.05);
+}
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_EQ(S.mean(), 0.0);
+  EXPECT_EQ(S.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats S;
+  for (double X : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.add(X);
+  EXPECT_EQ(S.count(), 8u);
+  EXPECT_NEAR(S.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(S.variance(), 4.0, 1e-12); // classic example
+  EXPECT_NEAR(S.stddev(), 2.0, 1e-12);
+  EXPECT_EQ(S.min(), 2.0);
+  EXPECT_EQ(S.max(), 9.0);
+}
+
+TEST(RunningStats, SampleVarianceUsesNMinusOne) {
+  RunningStats S;
+  S.add(1.0);
+  S.add(3.0);
+  EXPECT_NEAR(S.variance(), 1.0, 1e-12);
+  EXPECT_NEAR(S.sampleVariance(), 2.0, 1e-12);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Random Rng(11);
+  RunningStats All, A, B;
+  for (int I = 0; I < 500; ++I) {
+    const double X = Rng.uniform(-10, 10);
+    All.add(X);
+    (I % 2 ? A : B).add(X);
+  }
+  A.merge(B);
+  EXPECT_EQ(A.count(), All.count());
+  EXPECT_NEAR(A.mean(), All.mean(), 1e-9);
+  EXPECT_NEAR(A.variance(), All.variance(), 1e-9);
+  EXPECT_EQ(A.min(), All.min());
+  EXPECT_EQ(A.max(), All.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats A, Empty;
+  A.add(5.0);
+  A.merge(Empty);
+  EXPECT_EQ(A.count(), 1u);
+  Empty.merge(A);
+  EXPECT_EQ(Empty.count(), 1u);
+  EXPECT_EQ(Empty.mean(), 5.0);
+}
+
+TEST(RunningStats, CoefficientOfVariation) {
+  RunningStats S;
+  S.add(9.0);
+  S.add(11.0);
+  EXPECT_NEAR(S.coefficientOfVariation(), 0.1, 1e-12);
+}
+
+TEST(BatchStats, MeanVarianceMedian) {
+  const double Xs[] = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(mean(Xs), 2.5, 1e-12);
+  EXPECT_NEAR(variance(Xs), 1.25, 1e-12);
+  EXPECT_NEAR(stddev(Xs), std::sqrt(1.25), 1e-12);
+  EXPECT_NEAR(median(Xs), 2.5, 1e-12);
+  const double Odd[] = {5.0, 1.0, 3.0};
+  EXPECT_NEAR(median(Odd), 3.0, 1e-12);
+}
+
+TEST(BatchStats, EmptySpans) {
+  EXPECT_EQ(mean(std::span<const double>{}), 0.0);
+  EXPECT_EQ(median(std::span<const double>{}), 0.0);
+}
+
+TEST(Table, AlignedPrint) {
+  Table T({"name", "value"});
+  T.addRow({"alpha", "1"});
+  T.addRow({"b", "22222"});
+  std::ostringstream OS;
+  T.print(OS);
+  const std::string S = OS.str();
+  EXPECT_NE(S.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(S.find("| b     | 22222 |"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table T({"a", "b"});
+  T.addRow({"plain", "with,comma"});
+  T.addRow({"quo\"te", "line"});
+  std::ostringstream OS;
+  T.printCsv(OS);
+  const std::string S = OS.str();
+  EXPECT_NE(S.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(S.find("\"quo\"\"te\""), std::string::npos);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(formatPercent(0.125), "12.5%");
+  EXPECT_EQ(formatDouble(1234.5678, 6), "1234.57");
+}
+
+TEST(Dot, BasicGraph) {
+  DotWriter W("Test");
+  W.addNode("a", "label=\"A\"");
+  W.addNode("b", "label=\"B\"");
+  W.addEdge("a", "b", "color=red");
+  std::ostringstream OS;
+  W.write(OS);
+  const std::string S = OS.str();
+  EXPECT_NE(S.find("digraph Test {"), std::string::npos);
+  EXPECT_NE(S.find("a -> b [color=red];"), std::string::npos);
+}
+
+TEST(Dot, EscapeQuotesAndBackslashes) {
+  EXPECT_EQ(DotWriter::escape("a\"b\\c"), "a\\\"b\\\\c");
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer T;
+  // Burn a little CPU deterministically.
+  volatile double Sink = 0.0;
+  for (int I = 0; I < 100000; ++I)
+    Sink = Sink + std::sqrt(static_cast<double>(I));
+  EXPECT_GT(T.seconds(), 0.0);
+  const double Before = T.seconds();
+  T.reset();
+  EXPECT_LE(T.seconds(), Before + 1.0);
+}
+
+} // namespace

@@ -1,0 +1,152 @@
+//===- tests/tanoverx_test.cpp - tanOverX primitive tests ------------------===//
+//
+// The dedicated interval primitive g(x) = tan(x * Phi) / x (with
+// g(0) = Phi) exists because the two-operation interval evaluation
+// suffers catastrophic dependency overestimation near x = 0 — the
+// paper's Section-2.2 "special interval algorithms required" situation.
+// These tests pin down the scalar function, its derivative, the interval
+// enclosure (containment + tightness), and the recorded AD partial.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/IAValue.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace scorpio;
+
+namespace {
+
+constexpr double Phi = 0.85 * 1.57079632679489661923; // fisheye default
+
+TEST(TanOverXPoint, LimitAtZeroIsPhi) {
+  EXPECT_NEAR(tanOverXPoint(0.0, Phi), Phi, 1e-12);
+  EXPECT_NEAR(tanOverXPoint(0.0, 1.0), 1.0, 1e-12);
+}
+
+TEST(TanOverXPoint, MatchesDirectFormulaAwayFromZero) {
+  for (double X : {0.01, 0.1, 0.5, 0.9, 1.1})
+    EXPECT_NEAR(tanOverXPoint(X, Phi), std::tan(X * Phi) / X, 1e-12)
+        << "x = " << X;
+}
+
+TEST(TanOverXPoint, TaylorBranchContinuous) {
+  // The Taylor guard engages below u = x*Phi = 1e-4; values on either
+  // side of the switch must agree to high precision.
+  const double XSwitch = 1e-4 / Phi;
+  const double Below = tanOverXPoint(XSwitch * 0.999, Phi);
+  const double Above = tanOverXPoint(XSwitch * 1.001, Phi);
+  EXPECT_NEAR(Below, Above, 1e-10);
+}
+
+TEST(TanOverXPoint, MonotoneIncreasing) {
+  double Prev = 0.0;
+  for (double X = 0.0; X * Phi < 1.55; X += 0.01) {
+    const double G = tanOverXPoint(X, Phi);
+    EXPECT_GT(G, Prev) << "x = " << X;
+    Prev = G;
+  }
+}
+
+TEST(TanOverXDeriv, ZeroAtOrigin) {
+  EXPECT_NEAR(tanOverXDerivPoint(0.0, Phi), 0.0, 1e-12);
+}
+
+TEST(TanOverXDeriv, MatchesFiniteDifferences) {
+  for (double X : {0.05, 0.2, 0.5, 0.8, 1.0}) {
+    const double H = 1e-7;
+    const double FD =
+        (tanOverXPoint(X + H, Phi) - tanOverXPoint(X - H, Phi)) /
+        (2.0 * H);
+    EXPECT_NEAR(tanOverXDerivPoint(X, Phi), FD,
+                1e-4 * std::max(1.0, std::fabs(FD)))
+        << "x = " << X;
+  }
+}
+
+TEST(TanOverXDeriv, MonotoneIncreasingOnDomain) {
+  // The interval partial relies on g' being monotone on [0, pi/(2 Phi)).
+  double Prev = -1.0;
+  for (double X = 0.0; X * Phi < 1.54; X += 0.005) {
+    const double D = tanOverXDerivPoint(X, Phi);
+    EXPECT_GE(D, Prev - 1e-12) << "x = " << X;
+    Prev = D;
+  }
+}
+
+TEST(TanOverXInterval, ContainmentProperty) {
+  Random Rng(0x7a11);
+  const double XMax = 1.5 / Phi;
+  for (int Trial = 0; Trial < 500; ++Trial) {
+    const double A = Rng.uniform(0.0, XMax);
+    const double B = Rng.uniform(0.0, XMax);
+    const Interval X = Interval::ordered(A, B);
+    const Interval G = tanOverX(X, Phi);
+    for (int S = 0; S < 10; ++S) {
+      const double P = Rng.uniform(X.lower(), X.upper());
+      ASSERT_TRUE(G.contains(tanOverXPoint(P, Phi)))
+          << "point " << P << " escaped " << G;
+    }
+  }
+}
+
+TEST(TanOverXInterval, TightNearZeroUnlikeNaiveDivision) {
+  // The whole point of the primitive: near x = 0 the naive tan/x
+  // evaluation explodes while the dedicated enclosure stays ~Phi wide.
+  const Interval X(1e-6, 1e-3);
+  const Interval Good = tanOverX(X, Phi);
+  const Interval Naive = tan(X * Phi) / X;
+  EXPECT_LT(Good.width(), 1e-3);
+  EXPECT_GT(Naive.width(), 0.1); // dependency blow-up
+  EXPECT_NEAR(Good.mid(), Phi, 1e-3);
+}
+
+TEST(TanOverXInterval, DomainViolationsReturnEntire) {
+  EXPECT_EQ(tanOverX(Interval(-0.5, 0.5), Phi).width(),
+            std::numeric_limits<double>::infinity());
+  const double Asymptote = 1.5707963 / Phi;
+  EXPECT_EQ(tanOverX(Interval(0.0, Asymptote + 0.1), Phi).width(),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(TanOverXInterval, PointIntervalIsTight) {
+  const Interval G = tanOverX(Interval(0.5, 0.5), Phi);
+  EXPECT_LT(G.width(), 1e-12);
+  EXPECT_TRUE(G.contains(tanOverXPoint(0.5, Phi)));
+}
+
+TEST(TanOverXValue, RecordsNodeWithDerivativePartial) {
+  ActiveTapeScope Scope;
+  IAValue X = IAValue::input(Interval(0.3, 0.4));
+  IAValue G = tanOverX(X, Phi);
+  ASSERT_TRUE(G.isActive());
+  const TapeNode &N = Scope.tape().node(G.node());
+  EXPECT_EQ(N.Kind, OpKind::TanOverX);
+  // Partial encloses g' over [0.3, 0.4].
+  EXPECT_LE(N.Partials[0].lower(),
+            tanOverXDerivPoint(0.3, Phi) + 1e-9);
+  EXPECT_GE(N.Partials[0].upper(),
+            tanOverXDerivPoint(0.4, Phi) - 1e-9);
+}
+
+TEST(TanOverXValue, AdjointMatchesDerivativeAtPoint) {
+  ActiveTapeScope Scope;
+  IAValue X = IAValue::input(Interval(0.6, 0.6));
+  IAValue G = tanOverX(X, Phi);
+  Scope.tape().clearAdjoints();
+  Scope.tape().seedAdjoint(G.node(), Interval(1.0));
+  Scope.tape().reverseSweep();
+  EXPECT_NEAR(Scope.tape().node(X.node()).Adjoint.mid(),
+              tanOverXDerivPoint(0.6, Phi), 1e-9);
+}
+
+TEST(TanOverXValue, DoubleOverloadForTemplates) {
+  // Kernels templated over double/IAValue call tanOverX unqualified.
+  const double G = tanOverX(0.5, Phi);
+  EXPECT_NEAR(G, tanOverXPoint(0.5, Phi), 0.0);
+}
+
+} // namespace

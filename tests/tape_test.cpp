@@ -1,0 +1,171 @@
+//===- tests/tape_test.cpp - DynDFG tape unit tests ------------------------===//
+
+#include "tape/Tape.h"
+
+#include <gtest/gtest.h>
+
+using namespace scorpio;
+
+namespace {
+
+TEST(Tape, StartsEmptyAndInactive) {
+  EXPECT_EQ(Tape::active(), nullptr);
+  Tape T;
+  EXPECT_TRUE(T.empty());
+  EXPECT_EQ(T.size(), 0u);
+}
+
+TEST(Tape, ActiveScopeInstallsAndRestores) {
+  EXPECT_EQ(Tape::active(), nullptr);
+  {
+    ActiveTapeScope Scope;
+    EXPECT_EQ(Tape::active(), &Scope.tape());
+    {
+      ActiveTapeScope Inner;
+      EXPECT_EQ(Tape::active(), &Inner.tape());
+    }
+    EXPECT_EQ(Tape::active(), &Scope.tape());
+  }
+  EXPECT_EQ(Tape::active(), nullptr);
+}
+
+TEST(Tape, RecordInputTracksIds) {
+  Tape T;
+  const NodeId A = T.recordInput(Interval(1.0, 2.0));
+  const NodeId B = T.recordInput(Interval(3.0));
+  EXPECT_EQ(A, 0);
+  EXPECT_EQ(B, 1);
+  ASSERT_EQ(T.inputs().size(), 2u);
+  EXPECT_EQ(T.inputs()[0], A);
+  EXPECT_EQ(T.node(A).Kind, OpKind::Input);
+  EXPECT_EQ(T.node(A).NumArgs, 0);
+  EXPECT_EQ(T.node(A).Value, Interval(1.0, 2.0));
+}
+
+TEST(Tape, RecordUnaryStoresPartial) {
+  Tape T;
+  const NodeId X = T.recordInput(Interval(2.0));
+  const NodeId Y =
+      T.recordUnary(OpKind::Sqr, Interval(4.0), X, Interval(4.0));
+  const TapeNode &N = T.node(Y);
+  EXPECT_EQ(N.Kind, OpKind::Sqr);
+  EXPECT_EQ(N.NumArgs, 1);
+  EXPECT_EQ(N.Args[0], X);
+  EXPECT_EQ(N.Partials[0], Interval(4.0));
+}
+
+TEST(Tape, RecordBinarySkipsPassiveArg) {
+  Tape T;
+  const NodeId X = T.recordInput(Interval(2.0));
+  // x + constant: only the active argument is recorded.
+  const NodeId Y = T.recordBinary(OpKind::Add, Interval(5.0), X,
+                                  Interval(1.0), InvalidNodeId,
+                                  Interval(1.0));
+  EXPECT_EQ(T.node(Y).NumArgs, 1);
+  EXPECT_EQ(T.node(Y).Args[0], X);
+}
+
+TEST(Tape, ReverseSweepLinearChain) {
+  // y = (x * 3) + 10  =>  dy/dx = 3.
+  Tape T;
+  const NodeId X = T.recordInput(Interval(2.0));
+  const NodeId M = T.recordBinary(OpKind::Mul, Interval(6.0), X,
+                                  Interval(3.0), InvalidNodeId, Interval());
+  const NodeId Y = T.recordBinary(OpKind::Add, Interval(16.0), M,
+                                  Interval(1.0), InvalidNodeId, Interval());
+  T.clearAdjoints();
+  T.seedAdjoint(Y, Interval(1.0));
+  T.reverseSweep();
+  EXPECT_NEAR(T.node(X).Adjoint.mid(), 3.0, 1e-12);
+  EXPECT_LT(T.node(X).Adjoint.width(), 1e-12);
+  EXPECT_NEAR(T.node(M).Adjoint.mid(), 1.0, 1e-12);
+}
+
+TEST(Tape, ReverseSweepFanOutAccumulates) {
+  // y = x*2 + x*5  =>  dy/dx = 7.
+  Tape T;
+  const NodeId X = T.recordInput(Interval(1.0));
+  const NodeId A = T.recordBinary(OpKind::Mul, Interval(2.0), X,
+                                  Interval(2.0), InvalidNodeId, Interval());
+  const NodeId B = T.recordBinary(OpKind::Mul, Interval(5.0), X,
+                                  Interval(5.0), InvalidNodeId, Interval());
+  const NodeId Y = T.recordBinary(OpKind::Add, Interval(7.0), A,
+                                  Interval(1.0), B, Interval(1.0));
+  T.clearAdjoints();
+  T.seedAdjoint(Y, Interval(1.0));
+  T.reverseSweep();
+  EXPECT_NEAR(T.node(X).Adjoint.mid(), 7.0, 1e-9);
+}
+
+TEST(Tape, ReverseSweepIntervalPartials) {
+  // Partial is an interval: adjoint of x must be the interval product.
+  Tape T;
+  const NodeId X = T.recordInput(Interval(0.0, 1.0));
+  const NodeId Y = T.recordUnary(OpKind::Sin, Interval(0.0, 0.9), X,
+                                 Interval(0.5, 1.0));
+  T.clearAdjoints();
+  T.seedAdjoint(Y, Interval(1.0));
+  T.reverseSweep();
+  EXPECT_NEAR(T.node(X).Adjoint.lower(), 0.5, 1e-9);
+  EXPECT_NEAR(T.node(X).Adjoint.upper(), 1.0, 1e-9);
+}
+
+TEST(Tape, ClearAdjointsResets) {
+  Tape T;
+  const NodeId X = T.recordInput(Interval(1.0));
+  T.seedAdjoint(X, Interval(2.0));
+  EXPECT_NEAR(T.node(X).Adjoint.mid(), 2.0, 1e-12);
+  T.clearAdjoints();
+  EXPECT_EQ(T.node(X).Adjoint, Interval(0.0));
+}
+
+TEST(Tape, SeedAccumulates) {
+  Tape T;
+  const NodeId X = T.recordInput(Interval(1.0));
+  T.seedAdjoint(X, Interval(1.0));
+  T.seedAdjoint(X, Interval(1.0));
+  EXPECT_NEAR(T.node(X).Adjoint.mid(), 2.0, 1e-12);
+}
+
+TEST(Tape, DivergenceNotes) {
+  Tape T;
+  EXPECT_FALSE(T.hasDiverged());
+  T.noteDivergence("x < y undecidable");
+  EXPECT_TRUE(T.hasDiverged());
+  ASSERT_EQ(T.divergences().size(), 1u);
+  EXPECT_EQ(T.divergences()[0], "x < y undecidable");
+}
+
+TEST(Tape, OpKindNames) {
+  EXPECT_STREQ(opKindName(OpKind::Add), "add");
+  EXPECT_STREQ(opKindName(OpKind::Input), "input");
+  EXPECT_STREQ(opKindName(OpKind::PowInt), "powi");
+  EXPECT_STREQ(opKindName(OpKind::Round), "round");
+}
+
+TEST(Tape, AccumulativeOpClassification) {
+  EXPECT_TRUE(isAccumulativeOp(OpKind::Add));
+  EXPECT_TRUE(isAccumulativeOp(OpKind::Mul));
+  EXPECT_TRUE(isAccumulativeOp(OpKind::Min));
+  EXPECT_TRUE(isAccumulativeOp(OpKind::Max));
+  EXPECT_FALSE(isAccumulativeOp(OpKind::Sub));
+  EXPECT_FALSE(isAccumulativeOp(OpKind::Div));
+  EXPECT_FALSE(isAccumulativeOp(OpKind::Sin));
+}
+
+TEST(Tape, ZeroAdjointShortCircuitStillCorrect) {
+  // A node never reaching the output keeps a zero adjoint.
+  Tape T;
+  const NodeId X = T.recordInput(Interval(1.0));
+  const NodeId Dead = T.recordUnary(OpKind::Sqr, Interval(1.0), X,
+                                    Interval(2.0));
+  const NodeId Y = T.recordUnary(OpKind::Neg, Interval(-1.0), X,
+                                 Interval(-1.0));
+  T.clearAdjoints();
+  T.seedAdjoint(Y, Interval(1.0));
+  T.reverseSweep();
+  EXPECT_EQ(T.node(Dead).Adjoint, Interval(0.0));
+  EXPECT_NEAR(T.node(X).Adjoint.mid(), -1.0, 1e-12);
+}
+
+} // namespace

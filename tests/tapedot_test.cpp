@@ -1,0 +1,97 @@
+//===- tests/tapedot_test.cpp - Annotated tape export tests ----------------===//
+
+#include "tape/TapeDot.h"
+
+#include "core/IAValue.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace scorpio;
+
+namespace {
+
+/// Records the paper's Listing-1 example and returns the tape scope.
+struct Listing1Fixture {
+  ActiveTapeScope Scope;
+  IAValue X, Y;
+  Listing1Fixture() {
+    X = IAValue::input(Interval(0.6, 0.8));
+    Y = cos(exp(sin(X) + X) - X);
+  }
+};
+
+TEST(TapeDot, EmitsAllNodesAndEdges) {
+  Listing1Fixture F;
+  std::ostringstream OS;
+  writeTapeDot(F.Scope.tape(), OS);
+  const std::string Dot = OS.str();
+  EXPECT_NE(Dot.find("digraph"), std::string::npos);
+  // Listing 2: input + sin + add + exp + sub + cos = 6 nodes.
+  EXPECT_EQ(F.Scope.tape().size(), 6u);
+  for (const char *Op : {"input", "sin", "add", "exp", "sub", "cos"})
+    EXPECT_NE(Dot.find(Op), std::string::npos) << Op;
+  // Edge count: sin(x):1, add:2, exp:1, sub:2, cos:1 = 7 (Figure 1a).
+  size_t Edges = 0;
+  for (size_t Pos = Dot.find("->"); Pos != std::string::npos;
+       Pos = Dot.find("->", Pos + 1))
+    ++Edges;
+  EXPECT_EQ(Edges, 7u);
+}
+
+TEST(TapeDot, PartialAnnotationsPresent) {
+  Listing1Fixture F;
+  std::ostringstream OS;
+  writeTapeDot(F.Scope.tape(), OS);
+  // Every edge must carry an interval label (Figure 1a's d phi / d u).
+  const std::string Dot = OS.str();
+  size_t Labeled = 0;
+  for (size_t Pos = Dot.find("-> "); Pos != std::string::npos;
+       Pos = Dot.find("-> ", Pos + 1)) {
+    const size_t Eol = Dot.find('\n', Pos);
+    if (Dot.substr(Pos, Eol - Pos).find("label=\"[") !=
+        std::string::npos)
+      ++Labeled;
+  }
+  EXPECT_EQ(Labeled, 7u);
+}
+
+TEST(TapeDot, PartialsCanBeSuppressed) {
+  Listing1Fixture F;
+  TapeDotOptions Opts;
+  Opts.ShowPartials = false;
+  std::ostringstream OS;
+  writeTapeDot(F.Scope.tape(), OS, {}, Opts);
+  EXPECT_EQ(OS.str().find("-> u1 [label"), std::string::npos);
+}
+
+TEST(TapeDot, AdjointsShownAfterReverseSweep) {
+  Listing1Fixture F;
+  F.Scope.tape().clearAdjoints();
+  F.Scope.tape().seedAdjoint(F.Y.node(), Interval(1.0));
+  F.Scope.tape().reverseSweep();
+  TapeDotOptions Opts;
+  Opts.ShowAdjoints = true; // Figure 1b view
+  std::ostringstream OS;
+  writeTapeDot(F.Scope.tape(), OS, {}, Opts);
+  EXPECT_NE(OS.str().find("adj ["), std::string::npos);
+}
+
+TEST(TapeDot, UserLabelsAppear) {
+  Listing1Fixture F;
+  std::ostringstream OS;
+  writeTapeDot(F.Scope.tape(), OS,
+               {{F.X.node(), "x0"}, {F.Y.node(), "y"}});
+  EXPECT_NE(OS.str().find("x0"), std::string::npos);
+  EXPECT_NE(OS.str().find("\\ny"), std::string::npos);
+}
+
+TEST(TapeDot, InputNodesHighlighted) {
+  Listing1Fixture F;
+  std::ostringstream OS;
+  writeTapeDot(F.Scope.tape(), OS);
+  EXPECT_NE(OS.str().find("fillcolor=lightgrey"), std::string::npos);
+}
+
+} // namespace
