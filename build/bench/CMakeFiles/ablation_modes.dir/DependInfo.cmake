@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_modes.cpp" "bench/CMakeFiles/ablation_modes.dir/ablation_modes.cpp.o" "gcc" "bench/CMakeFiles/ablation_modes.dir/ablation_modes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/scorpio_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/scorpio_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/scorpio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/scorpio_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/scorpio_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/scorpio_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/fastmath/CMakeFiles/scorpio_fastmath.dir/DependInfo.cmake"
+  "/root/repo/build/src/tape/CMakeFiles/scorpio_tape.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/scorpio_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/scorpio_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

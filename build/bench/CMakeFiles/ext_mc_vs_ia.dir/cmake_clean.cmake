@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_mc_vs_ia.dir/ext_mc_vs_ia.cpp.o"
+  "CMakeFiles/ext_mc_vs_ia.dir/ext_mc_vs_ia.cpp.o.d"
+  "ext_mc_vs_ia"
+  "ext_mc_vs_ia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mc_vs_ia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_mc_vs_ia.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_range_sweep.dir/ext_range_sweep.cpp.o"
+  "CMakeFiles/ext_range_sweep.dir/ext_range_sweep.cpp.o.d"
+  "ext_range_sweep"
+  "ext_range_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_range_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

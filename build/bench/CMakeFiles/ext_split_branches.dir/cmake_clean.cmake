@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_split_branches.dir/ext_split_branches.cpp.o"
+  "CMakeFiles/ext_split_branches.dir/ext_split_branches.cpp.o.d"
+  "ext_split_branches"
+  "ext_split_branches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_split_branches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_maclaurin.dir/fig3_maclaurin.cpp.o"
+  "CMakeFiles/fig3_maclaurin.dir/fig3_maclaurin.cpp.o.d"
+  "fig3_maclaurin"
+  "fig3_maclaurin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_maclaurin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_dct_sig.dir/fig4_dct_sig.cpp.o"
+  "CMakeFiles/fig4_dct_sig.dir/fig4_dct_sig.cpp.o.d"
+  "fig4_dct_sig"
+  "fig4_dct_sig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_dct_sig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_fisheye_sig.dir/fig5_fisheye_sig.cpp.o"
+  "CMakeFiles/fig5_fisheye_sig.dir/fig5_fisheye_sig.cpp.o.d"
+  "fig5_fisheye_sig"
+  "fig5_fisheye_sig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_fisheye_sig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_bicubic_sig.dir/fig6_bicubic_sig.cpp.o"
+  "CMakeFiles/fig6_bicubic_sig.dir/fig6_bicubic_sig.cpp.o.d"
+  "fig6_bicubic_sig"
+  "fig6_bicubic_sig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_bicubic_sig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

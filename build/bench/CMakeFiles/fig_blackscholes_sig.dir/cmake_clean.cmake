@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_blackscholes_sig.dir/fig_blackscholes_sig.cpp.o"
+  "CMakeFiles/fig_blackscholes_sig.dir/fig_blackscholes_sig.cpp.o.d"
+  "fig_blackscholes_sig"
+  "fig_blackscholes_sig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_blackscholes_sig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_nbody_sig.dir/fig_nbody_sig.cpp.o"
+  "CMakeFiles/fig_nbody_sig.dir/fig_nbody_sig.cpp.o.d"
+  "fig_nbody_sig"
+  "fig_nbody_sig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_nbody_sig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quality_target.dir/quality_target.cpp.o"
+  "CMakeFiles/quality_target.dir/quality_target.cpp.o.d"
+  "quality_target"
+  "quality_target.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quality_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/blackscholes/BlackScholes.cpp" "src/apps/CMakeFiles/scorpio_apps.dir/blackscholes/BlackScholes.cpp.o" "gcc" "src/apps/CMakeFiles/scorpio_apps.dir/blackscholes/BlackScholes.cpp.o.d"
+  "/root/repo/src/apps/dct/Dct.cpp" "src/apps/CMakeFiles/scorpio_apps.dir/dct/Dct.cpp.o" "gcc" "src/apps/CMakeFiles/scorpio_apps.dir/dct/Dct.cpp.o.d"
+  "/root/repo/src/apps/fisheye/Fisheye.cpp" "src/apps/CMakeFiles/scorpio_apps.dir/fisheye/Fisheye.cpp.o" "gcc" "src/apps/CMakeFiles/scorpio_apps.dir/fisheye/Fisheye.cpp.o.d"
+  "/root/repo/src/apps/maclaurin/Maclaurin.cpp" "src/apps/CMakeFiles/scorpio_apps.dir/maclaurin/Maclaurin.cpp.o" "gcc" "src/apps/CMakeFiles/scorpio_apps.dir/maclaurin/Maclaurin.cpp.o.d"
+  "/root/repo/src/apps/nbody/NBody.cpp" "src/apps/CMakeFiles/scorpio_apps.dir/nbody/NBody.cpp.o" "gcc" "src/apps/CMakeFiles/scorpio_apps.dir/nbody/NBody.cpp.o.d"
+  "/root/repo/src/apps/sobel/Sobel.cpp" "src/apps/CMakeFiles/scorpio_apps.dir/sobel/Sobel.cpp.o" "gcc" "src/apps/CMakeFiles/scorpio_apps.dir/sobel/Sobel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/scorpio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/scorpio_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/scorpio_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/scorpio_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/fastmath/CMakeFiles/scorpio_fastmath.dir/DependInfo.cmake"
+  "/root/repo/build/src/tape/CMakeFiles/scorpio_tape.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/scorpio_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/scorpio_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

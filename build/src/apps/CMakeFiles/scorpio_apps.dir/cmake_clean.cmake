@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scorpio_apps.dir/blackscholes/BlackScholes.cpp.o"
+  "CMakeFiles/scorpio_apps.dir/blackscholes/BlackScholes.cpp.o.d"
+  "CMakeFiles/scorpio_apps.dir/dct/Dct.cpp.o"
+  "CMakeFiles/scorpio_apps.dir/dct/Dct.cpp.o.d"
+  "CMakeFiles/scorpio_apps.dir/fisheye/Fisheye.cpp.o"
+  "CMakeFiles/scorpio_apps.dir/fisheye/Fisheye.cpp.o.d"
+  "CMakeFiles/scorpio_apps.dir/maclaurin/Maclaurin.cpp.o"
+  "CMakeFiles/scorpio_apps.dir/maclaurin/Maclaurin.cpp.o.d"
+  "CMakeFiles/scorpio_apps.dir/nbody/NBody.cpp.o"
+  "CMakeFiles/scorpio_apps.dir/nbody/NBody.cpp.o.d"
+  "CMakeFiles/scorpio_apps.dir/sobel/Sobel.cpp.o"
+  "CMakeFiles/scorpio_apps.dir/sobel/Sobel.cpp.o.d"
+  "libscorpio_apps.a"
+  "libscorpio_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scorpio_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

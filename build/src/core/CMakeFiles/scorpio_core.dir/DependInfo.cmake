@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Analysis.cpp" "src/core/CMakeFiles/scorpio_core.dir/Analysis.cpp.o" "gcc" "src/core/CMakeFiles/scorpio_core.dir/Analysis.cpp.o.d"
+  "/root/repo/src/core/DynDFG.cpp" "src/core/CMakeFiles/scorpio_core.dir/DynDFG.cpp.o" "gcc" "src/core/CMakeFiles/scorpio_core.dir/DynDFG.cpp.o.d"
+  "/root/repo/src/core/IATangent.cpp" "src/core/CMakeFiles/scorpio_core.dir/IATangent.cpp.o" "gcc" "src/core/CMakeFiles/scorpio_core.dir/IATangent.cpp.o.d"
+  "/root/repo/src/core/IAValue.cpp" "src/core/CMakeFiles/scorpio_core.dir/IAValue.cpp.o" "gcc" "src/core/CMakeFiles/scorpio_core.dir/IAValue.cpp.o.d"
+  "/root/repo/src/core/MonteCarlo.cpp" "src/core/CMakeFiles/scorpio_core.dir/MonteCarlo.cpp.o" "gcc" "src/core/CMakeFiles/scorpio_core.dir/MonteCarlo.cpp.o.d"
+  "/root/repo/src/core/RangeSweep.cpp" "src/core/CMakeFiles/scorpio_core.dir/RangeSweep.cpp.o" "gcc" "src/core/CMakeFiles/scorpio_core.dir/RangeSweep.cpp.o.d"
+  "/root/repo/src/core/SplitAnalysis.cpp" "src/core/CMakeFiles/scorpio_core.dir/SplitAnalysis.cpp.o" "gcc" "src/core/CMakeFiles/scorpio_core.dir/SplitAnalysis.cpp.o.d"
+  "/root/repo/src/core/TaskSuggestion.cpp" "src/core/CMakeFiles/scorpio_core.dir/TaskSuggestion.cpp.o" "gcc" "src/core/CMakeFiles/scorpio_core.dir/TaskSuggestion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tape/CMakeFiles/scorpio_tape.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/scorpio_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/scorpio_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

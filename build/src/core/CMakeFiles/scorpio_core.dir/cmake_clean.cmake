@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scorpio_core.dir/Analysis.cpp.o"
+  "CMakeFiles/scorpio_core.dir/Analysis.cpp.o.d"
+  "CMakeFiles/scorpio_core.dir/DynDFG.cpp.o"
+  "CMakeFiles/scorpio_core.dir/DynDFG.cpp.o.d"
+  "CMakeFiles/scorpio_core.dir/IATangent.cpp.o"
+  "CMakeFiles/scorpio_core.dir/IATangent.cpp.o.d"
+  "CMakeFiles/scorpio_core.dir/IAValue.cpp.o"
+  "CMakeFiles/scorpio_core.dir/IAValue.cpp.o.d"
+  "CMakeFiles/scorpio_core.dir/MonteCarlo.cpp.o"
+  "CMakeFiles/scorpio_core.dir/MonteCarlo.cpp.o.d"
+  "CMakeFiles/scorpio_core.dir/RangeSweep.cpp.o"
+  "CMakeFiles/scorpio_core.dir/RangeSweep.cpp.o.d"
+  "CMakeFiles/scorpio_core.dir/SplitAnalysis.cpp.o"
+  "CMakeFiles/scorpio_core.dir/SplitAnalysis.cpp.o.d"
+  "CMakeFiles/scorpio_core.dir/TaskSuggestion.cpp.o"
+  "CMakeFiles/scorpio_core.dir/TaskSuggestion.cpp.o.d"
+  "libscorpio_core.a"
+  "libscorpio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scorpio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scorpio_energy.dir/Energy.cpp.o"
+  "CMakeFiles/scorpio_energy.dir/Energy.cpp.o.d"
+  "libscorpio_energy.a"
+  "libscorpio_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scorpio_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

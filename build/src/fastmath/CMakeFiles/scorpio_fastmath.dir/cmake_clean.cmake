@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scorpio_fastmath.dir/FastMath.cpp.o"
+  "CMakeFiles/scorpio_fastmath.dir/FastMath.cpp.o.d"
+  "libscorpio_fastmath.a"
+  "libscorpio_fastmath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scorpio_fastmath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

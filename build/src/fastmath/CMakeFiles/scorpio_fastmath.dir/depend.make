@@ -1,0 +1,2 @@
+# Empty dependencies file for scorpio_fastmath.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scorpio_interval.dir/Interval.cpp.o"
+  "CMakeFiles/scorpio_interval.dir/Interval.cpp.o.d"
+  "libscorpio_interval.a"
+  "libscorpio_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scorpio_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

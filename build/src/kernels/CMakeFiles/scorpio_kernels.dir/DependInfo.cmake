@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/KernelRegistry.cpp" "src/kernels/CMakeFiles/scorpio_kernels.dir/KernelRegistry.cpp.o" "gcc" "src/kernels/CMakeFiles/scorpio_kernels.dir/KernelRegistry.cpp.o.d"
+  "/root/repo/src/kernels/StandardKernels.cpp" "src/kernels/CMakeFiles/scorpio_kernels.dir/StandardKernels.cpp.o" "gcc" "src/kernels/CMakeFiles/scorpio_kernels.dir/StandardKernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/scorpio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tape/CMakeFiles/scorpio_tape.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/scorpio_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/scorpio_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scorpio_kernels.dir/KernelRegistry.cpp.o"
+  "CMakeFiles/scorpio_kernels.dir/KernelRegistry.cpp.o.d"
+  "CMakeFiles/scorpio_kernels.dir/StandardKernels.cpp.o"
+  "CMakeFiles/scorpio_kernels.dir/StandardKernels.cpp.o.d"
+  "libscorpio_kernels.a"
+  "libscorpio_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scorpio_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scorpio_quality.dir/Image.cpp.o"
+  "CMakeFiles/scorpio_quality.dir/Image.cpp.o.d"
+  "CMakeFiles/scorpio_quality.dir/Metrics.cpp.o"
+  "CMakeFiles/scorpio_quality.dir/Metrics.cpp.o.d"
+  "libscorpio_quality.a"
+  "libscorpio_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scorpio_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

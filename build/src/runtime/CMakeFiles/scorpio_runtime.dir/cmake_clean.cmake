@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scorpio_runtime.dir/RatioController.cpp.o"
+  "CMakeFiles/scorpio_runtime.dir/RatioController.cpp.o.d"
+  "CMakeFiles/scorpio_runtime.dir/TaskRuntime.cpp.o"
+  "CMakeFiles/scorpio_runtime.dir/TaskRuntime.cpp.o.d"
+  "CMakeFiles/scorpio_runtime.dir/ThreadPool.cpp.o"
+  "CMakeFiles/scorpio_runtime.dir/ThreadPool.cpp.o.d"
+  "libscorpio_runtime.a"
+  "libscorpio_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scorpio_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scorpio_support.dir/Dot.cpp.o"
+  "CMakeFiles/scorpio_support.dir/Dot.cpp.o.d"
+  "CMakeFiles/scorpio_support.dir/Json.cpp.o"
+  "CMakeFiles/scorpio_support.dir/Json.cpp.o.d"
+  "CMakeFiles/scorpio_support.dir/Random.cpp.o"
+  "CMakeFiles/scorpio_support.dir/Random.cpp.o.d"
+  "CMakeFiles/scorpio_support.dir/Statistics.cpp.o"
+  "CMakeFiles/scorpio_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/scorpio_support.dir/Table.cpp.o"
+  "CMakeFiles/scorpio_support.dir/Table.cpp.o.d"
+  "libscorpio_support.a"
+  "libscorpio_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scorpio_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

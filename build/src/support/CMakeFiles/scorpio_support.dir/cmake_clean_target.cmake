@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscorpio_support.a"
+)

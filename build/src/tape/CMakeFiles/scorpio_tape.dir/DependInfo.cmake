@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tape/Tape.cpp" "src/tape/CMakeFiles/scorpio_tape.dir/Tape.cpp.o" "gcc" "src/tape/CMakeFiles/scorpio_tape.dir/Tape.cpp.o.d"
+  "/root/repo/src/tape/TapeDot.cpp" "src/tape/CMakeFiles/scorpio_tape.dir/TapeDot.cpp.o" "gcc" "src/tape/CMakeFiles/scorpio_tape.dir/TapeDot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interval/CMakeFiles/scorpio_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/scorpio_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

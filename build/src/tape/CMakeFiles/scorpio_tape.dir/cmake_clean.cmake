@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scorpio_tape.dir/Tape.cpp.o"
+  "CMakeFiles/scorpio_tape.dir/Tape.cpp.o.d"
+  "CMakeFiles/scorpio_tape.dir/TapeDot.cpp.o"
+  "CMakeFiles/scorpio_tape.dir/TapeDot.cpp.o.d"
+  "libscorpio_tape.a"
+  "libscorpio_tape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scorpio_tape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

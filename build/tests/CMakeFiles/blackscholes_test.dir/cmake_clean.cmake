@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blackscholes_test.dir/blackscholes_test.cpp.o"
+  "CMakeFiles/blackscholes_test.dir/blackscholes_test.cpp.o.d"
+  "blackscholes_test"
+  "blackscholes_test.pdb"
+  "blackscholes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blackscholes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

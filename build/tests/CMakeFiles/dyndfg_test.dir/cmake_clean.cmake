@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyndfg_test.dir/dyndfg_test.cpp.o"
+  "CMakeFiles/dyndfg_test.dir/dyndfg_test.cpp.o.d"
+  "dyndfg_test"
+  "dyndfg_test.pdb"
+  "dyndfg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyndfg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastmath_test.dir/fastmath_test.cpp.o"
+  "CMakeFiles/fastmath_test.dir/fastmath_test.cpp.o.d"
+  "fastmath_test"
+  "fastmath_test.pdb"
+  "fastmath_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastmath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

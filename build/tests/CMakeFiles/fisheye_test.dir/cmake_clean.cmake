@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fisheye_test.dir/fisheye_test.cpp.o"
+  "CMakeFiles/fisheye_test.dir/fisheye_test.cpp.o.d"
+  "fisheye_test"
+  "fisheye_test.pdb"
+  "fisheye_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fisheye_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

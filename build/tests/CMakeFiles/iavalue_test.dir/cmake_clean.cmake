@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iavalue_test.dir/iavalue_test.cpp.o"
+  "CMakeFiles/iavalue_test.dir/iavalue_test.cpp.o.d"
+  "iavalue_test"
+  "iavalue_test.pdb"
+  "iavalue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iavalue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

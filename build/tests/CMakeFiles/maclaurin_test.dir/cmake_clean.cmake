@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maclaurin_test.dir/maclaurin_test.cpp.o"
+  "CMakeFiles/maclaurin_test.dir/maclaurin_test.cpp.o.d"
+  "maclaurin_test"
+  "maclaurin_test.pdb"
+  "maclaurin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maclaurin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rangesweep_test.dir/rangesweep_test.cpp.o"
+  "CMakeFiles/rangesweep_test.dir/rangesweep_test.cpp.o.d"
+  "rangesweep_test"
+  "rangesweep_test.pdb"
+  "rangesweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rangesweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ratiocontroller_test.dir/ratiocontroller_test.cpp.o"
+  "CMakeFiles/ratiocontroller_test.dir/ratiocontroller_test.cpp.o.d"
+  "ratiocontroller_test"
+  "ratiocontroller_test.pdb"
+  "ratiocontroller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ratiocontroller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

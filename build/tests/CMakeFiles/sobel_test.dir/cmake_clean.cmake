@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sobel_test.dir/sobel_test.cpp.o"
+  "CMakeFiles/sobel_test.dir/sobel_test.cpp.o.d"
+  "sobel_test"
+  "sobel_test.pdb"
+  "sobel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sobel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tangent_test.dir/tangent_test.cpp.o"
+  "CMakeFiles/tangent_test.dir/tangent_test.cpp.o.d"
+  "tangent_test"
+  "tangent_test.pdb"
+  "tangent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tangent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tanoverx_test.dir/tanoverx_test.cpp.o"
+  "CMakeFiles/tanoverx_test.dir/tanoverx_test.cpp.o.d"
+  "tanoverx_test"
+  "tanoverx_test.pdb"
+  "tanoverx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tanoverx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapedot_test.dir/tapedot_test.cpp.o"
+  "CMakeFiles/tapedot_test.dir/tapedot_test.cpp.o.d"
+  "tapedot_test"
+  "tapedot_test.pdb"
+  "tapedot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapedot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasksuggestion_test.dir/tasksuggestion_test.cpp.o"
+  "CMakeFiles/tasksuggestion_test.dir/tasksuggestion_test.cpp.o.d"
+  "tasksuggestion_test"
+  "tasksuggestion_test.pdb"
+  "tasksuggestion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasksuggestion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/interval_test[1]_include.cmake")
+include("/root/repo/build/tests/tape_test[1]_include.cmake")
+include("/root/repo/build/tests/iavalue_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/dyndfg_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/fastmath_test[1]_include.cmake")
+include("/root/repo/build/tests/quality_test[1]_include.cmake")
+include("/root/repo/build/tests/energy_test[1]_include.cmake")
+include("/root/repo/build/tests/maclaurin_test[1]_include.cmake")
+include("/root/repo/build/tests/sobel_test[1]_include.cmake")
+include("/root/repo/build/tests/dct_test[1]_include.cmake")
+include("/root/repo/build/tests/fisheye_test[1]_include.cmake")
+include("/root/repo/build/tests/nbody_test[1]_include.cmake")
+include("/root/repo/build/tests/blackscholes_test[1]_include.cmake")
+include("/root/repo/build/tests/tanoverx_test[1]_include.cmake")
+include("/root/repo/build/tests/tapedot_test[1]_include.cmake")
+include("/root/repo/build/tests/tasksuggestion_test[1]_include.cmake")
+include("/root/repo/build/tests/kernels_test[1]_include.cmake")
+include("/root/repo/build/tests/json_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/tangent_test[1]_include.cmake")
+include("/root/repo/build/tests/ratiocontroller_test[1]_include.cmake")
+include("/root/repo/build/tests/split_test[1]_include.cmake")
+include("/root/repo/build/tests/montecarlo_test[1]_include.cmake")
+include("/root/repo/build/tests/rangesweep_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
