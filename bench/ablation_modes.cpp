@@ -60,7 +60,7 @@ std::vector<Interval> adjointDerivatives(size_t N, double &Ms) {
   std::vector<Interval> D;
   D.reserve(N);
   for (const IAValue &Xi : X)
-    D.push_back(Scope.tape().node(Xi.node()).Adjoint);
+    D.push_back(Scope.tape().adjoint(Xi.node()));
   Ms = T.milliseconds();
   return D;
 }

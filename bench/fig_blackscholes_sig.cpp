@@ -25,17 +25,23 @@ int main() {
   Table T({"option (S/K, v, T)", "A: d1/d2", "B: CNDF", "C: exp(-rT)",
            "D: sqrt(T)", "A>B"});
   bool Ok = true;
-  const Option Centers[] = {
+  const std::vector<Option> Centers = {
       {100.0, 117.6, 0.05, 0.20, 1.0, true},
       {100.0, 111.1, 0.05, 0.25, 1.0, true},
       {100.0, 125.0, 0.08, 0.30, 1.0, true},
       {100.0, 105.3, 0.05, 0.20, 0.5, true},
   };
-  for (const Option &C : Centers) {
-    const BlackScholesBlockSignificance Sig = analyseBlackScholes(C);
+  // One shard per option, fanned over the thread pool; per-option
+  // results are bit-identical to the sequential analyseBlackScholes.
+  const BlackScholesPortfolioSignificance Portfolio =
+      analyseBlackScholesSharded(Centers);
+  Ok = Portfolio.Result.isValid();
+  for (size_t I = 0; I != Centers.size(); ++I) {
+    const Option &C = Centers[I];
+    const BlackScholesBlockSignificance &Sig = Portfolio.PerOption[I];
     const bool RowOk = Sig.A > Sig.B && Sig.B > 3.0 * Sig.C &&
                        Sig.B > 3.0 * Sig.D;
-    Ok = Ok && RowOk && Sig.Result.isValid();
+    Ok = Ok && RowOk;
     T.addRow({formatFixed(C.S / C.K, 2) + ", " + formatFixed(C.V, 2) +
                   ", " + formatFixed(C.T, 1),
               formatFixed(Sig.A, 3), formatFixed(Sig.B, 3),

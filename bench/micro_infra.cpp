@@ -10,10 +10,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "apps/maclaurin/Maclaurin.h"
+#include "apps/sobel/Sobel.h"
 #include "core/Analysis.h"
 #include "runtime/TaskRuntime.h"
 
 #include <benchmark/benchmark.h>
+
+#include <span>
 
 using namespace scorpio;
 
@@ -89,11 +92,58 @@ void BM_ReverseSweep(benchmark::State &State) {
     Scope.tape().clearAdjoints();
     Scope.tape().seedAdjoint(Y.node(), Interval(1.0));
     Scope.tape().reverseSweep();
-    benchmark::DoNotOptimize(Scope.tape().node(X.node()).Adjoint);
+    benchmark::DoNotOptimize(Scope.tape().adjoint(X.node()));
   }
   State.SetItemsProcessed(State.iterations() * N);
 }
 BENCHMARK(BM_ReverseSweep)->Arg(1000)->Arg(10000);
+
+/// Vector-adjoint sweep over 16 outputs, batched Arg(0) seeds at a
+/// time.  Arg(0) == 1 degenerates to one traversal per output; wider
+/// batches amortise the tape walk across lanes.
+void BM_ReverseSweepBatch(benchmark::State &State) {
+  const size_t Width = static_cast<size_t>(State.range(0));
+  constexpr int NumChains = 16;
+  constexpr int ChainLen = 256;
+  ActiveTapeScope Scope;
+  std::vector<NodeId> Outputs;
+  for (int C = 0; C != NumChains; ++C) {
+    IAValue X = IAValue::input(Interval(0.99, 1.01));
+    IAValue Y = X;
+    for (int I = 0; I != ChainLen; ++I)
+      Y = Y * 1.0001 + 0.0001;
+    Outputs.push_back(Y.node());
+  }
+  BatchAdjoints Batch;
+  for (auto _ : State) {
+    for (size_t Begin = 0; Begin < Outputs.size(); Begin += Width) {
+      const size_t End = std::min(Begin + Width, Outputs.size());
+      Scope.tape().reverseSweepBatch(
+          std::span<const NodeId>(Outputs.data() + Begin, End - Begin),
+          Batch);
+      benchmark::DoNotOptimize(Batch.at(Outputs[Begin], 0));
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * NumChains * ChainLen);
+}
+BENCHMARK(BM_ReverseSweepBatch)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
+
+/// Sharded end-to-end Sobel tile analysis at different pool sizes.
+void BM_ShardedSobelTiles(benchmark::State &State) {
+  const unsigned NumThreads = static_cast<unsigned>(State.range(0));
+  Image In(32, 32);
+  for (int Y = 0; Y < In.height(); ++Y)
+    for (int X = 0; X < In.width(); ++X)
+      In.at(X, Y) = static_cast<uint8_t>((X * 37 + Y * 91) % 256);
+  for (auto _ : State) {
+    const apps::SobelTileSignificance R =
+        apps::analyseSobelTiles(In, /*TileSize=*/8, /*HalfWidth=*/8.0,
+                                NumThreads);
+    benchmark::DoNotOptimize(R.A);
+  }
+  State.SetItemsProcessed(State.iterations() * In.width() * In.height());
+}
+BENCHMARK(BM_ShardedSobelTiles)->Arg(1)->Arg(2)->Arg(4);
 
 /// End-to-end analysis of the Maclaurin running example.
 void BM_AnalyseMaclaurin(benchmark::State &State) {

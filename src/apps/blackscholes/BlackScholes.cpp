@@ -117,10 +117,11 @@ scorpio::apps::blackscholesTasks(rt::TaskRuntime &RT,
   return Prices;
 }
 
-BlackScholesBlockSignificance
-scorpio::apps::analyseBlackScholes(const Option &Center, double RelWidth) {
+void scorpio::apps::recordBlackScholes(const Option &Center,
+                                       double RelWidth) {
   assert(RelWidth > 0.0 && RelWidth < 1.0 && "bad relative width");
-  Analysis A;
+  Analysis &A = Analysis::current();
+  A.tape().reserve(64);
   auto In = [&](const char *Name, double V) {
     return A.input(Name, V * (1.0 - RelWidth), V * (1.0 + RelWidth));
   };
@@ -143,14 +144,16 @@ scorpio::apps::analyseBlackScholes(const Option &Center, double RelWidth) {
   A.registerIntermediate(Nd2, "B2");
   IAValue Price = S * Nd1 - K * Disc * Nd2;
   A.registerOutput(Price, "price");
+}
 
+namespace {
+
+/// Reads the block significances out of one option's AnalysisResult.
+BlackScholesBlockSignificance
+extractBlockSignificances(const AnalysisResult &R) {
   BlackScholesBlockSignificance Sig;
-  AnalysisOptions Opts;
-  Opts.SignificanceMetric =
-      AnalysisOptions::Metric::WidthTimesDerivative;
-  Sig.Result = A.analyse(Opts);
   auto SigOf = [&](const char *Name) {
-    const VariableSignificance *VS = Sig.Result.find(Name);
+    const VariableSignificance *VS = R.find(Name);
     assert(VS && "block not registered");
     return VS->Normalized;
   };
@@ -158,5 +161,45 @@ scorpio::apps::analyseBlackScholes(const Option &Center, double RelWidth) {
   Sig.B = std::max(SigOf("B"), SigOf("B2"));
   Sig.C = SigOf("C");
   Sig.D = SigOf("D");
+  return Sig;
+}
+
+} // namespace
+
+BlackScholesBlockSignificance
+scorpio::apps::analyseBlackScholes(const Option &Center, double RelWidth) {
+  Analysis A;
+  recordBlackScholes(Center, RelWidth);
+
+  AnalysisOptions Opts;
+  Opts.SignificanceMetric =
+      AnalysisOptions::Metric::WidthTimesDerivative;
+  const AnalysisResult R = A.analyse(Opts);
+  BlackScholesBlockSignificance Sig = extractBlockSignificances(R);
+  Sig.Result = R;
+  return Sig;
+}
+
+BlackScholesPortfolioSignificance
+scorpio::apps::analyseBlackScholesSharded(const std::vector<Option> &Centers,
+                                          double RelWidth,
+                                          unsigned NumThreads) {
+  ParallelAnalysis P;
+  for (size_t I = 0; I != Centers.size(); ++I) {
+    const Option C = Centers[I];
+    P.addShard("opt" + std::to_string(I),
+               [C, RelWidth] { recordBlackScholes(C, RelWidth); },
+               /*TapeSizeHint=*/64);
+  }
+
+  AnalysisOptions Opts;
+  Opts.SignificanceMetric =
+      AnalysisOptions::Metric::WidthTimesDerivative;
+
+  BlackScholesPortfolioSignificance Sig;
+  Sig.Result = P.run(Opts, NumThreads);
+  Sig.PerOption.reserve(Centers.size());
+  for (const ShardResult &S : Sig.Result.shards())
+    Sig.PerOption.push_back(extractBlockSignificances(S.Result));
   return Sig;
 }

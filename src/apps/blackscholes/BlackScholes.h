@@ -29,6 +29,7 @@
 #define SCORPIO_APPS_BLACKSCHOLES_BLACKSCHOLES_H
 
 #include "core/Analysis.h"
+#include "core/ParallelAnalysis.h"
 #include "runtime/TaskRuntime.h"
 
 #include <vector>
@@ -84,6 +85,29 @@ struct BlackScholesBlockSignificance {
 /// sig(A) > sig(B) >> sig(C), sig(D).
 BlackScholesBlockSignificance
 analyseBlackScholes(const Option &Center, double RelWidth = 0.15);
+
+/// Records one option's pricing pipeline (S1-S3, with the block
+/// intermediates D/C/A/B/B2 and the "price" output) into the innermost
+/// live Analysis.  Shared by analyseBlackScholes and the sharded driver.
+void recordBlackScholes(const Option &Center, double RelWidth = 0.15);
+
+/// Per-option block significances of a sharded portfolio analysis.
+struct BlackScholesPortfolioSignificance {
+  /// One entry per option, in portfolio order; each matches
+  /// analyseBlackScholes on that option exactly (the Result member of
+  /// the per-option entries is left empty — per-shard reports live in
+  /// Result.shards()).
+  std::vector<BlackScholesBlockSignificance> PerOption;
+  ParallelAnalysisResult Result;
+};
+
+/// Analyses every option of \p Centers as one ParallelAnalysis shard
+/// ("opt<i>") over \p NumThreads pool workers (0 = hardware
+/// concurrency).  Deterministic: the merged result is identical for any
+/// thread count.
+BlackScholesPortfolioSignificance
+analyseBlackScholesSharded(const std::vector<Option> &Centers,
+                           double RelWidth = 0.15, unsigned NumThreads = 0);
 
 } // namespace apps
 } // namespace scorpio

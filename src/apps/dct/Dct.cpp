@@ -267,14 +267,17 @@ Image scorpio::apps::dctPerforated(const Image &In, double Rate,
   return Out;
 }
 
-DctSignificanceMap scorpio::apps::analyseDct(const Image &In, int BlockX,
-                                             int BlockY, int Quality,
-                                             double HalfWidth) {
+void scorpio::apps::recordDctPipeline(const Image &In, int BlockX,
+                                      int BlockY, int Quality,
+                                      double HalfWidth) {
   const std::array<int, 64> QT = jpegQuantTable(Quality);
   double Block[64];
   loadBlock(In, BlockX, BlockY, Block);
 
-  Analysis A;
+  Analysis &A = Analysis::current();
+  // 64 inputs + ~128 nodes per coefficient + quant/dequant + ~128 nodes
+  // per reconstructed pixel: ~17k nodes total.
+  A.tape().reserve(17000);
   IAValue Pixels[64];
   for (int I = 0; I < 64; ++I)
     Pixels[I] = A.input("p" + std::to_string(I), Block[I] - HalfWidth,
@@ -304,6 +307,13 @@ DctSignificanceMap scorpio::apps::analyseDct(const Image &In, int BlockX,
           S = S + Dequant[V * 8 + U] * (Tab.Basis[X][U] * Tab.Basis[Y][V]);
       A.registerOutput(S, "out" + std::to_string(Y * 8 + X));
     }
+}
+
+DctSignificanceMap scorpio::apps::analyseDct(const Image &In, int BlockX,
+                                             int BlockY, int Quality,
+                                             double HalfWidth) {
+  Analysis A;
+  recordDctPipeline(In, BlockX, BlockY, Quality, HalfWidth);
 
   AnalysisOptions Opts;
   Opts.Mode = AnalysisOptions::OutputMode::PerOutput;

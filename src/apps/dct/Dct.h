@@ -85,6 +85,13 @@ struct DctSignificanceMap {
 DctSignificanceMap analyseDct(const Image &In, int BlockX, int BlockY,
                               int Quality = 50, double HalfWidth = 2.0);
 
+/// Records the full DCT -> quantize -> dequantize -> IDCT pipeline of
+/// one 8x8 block (64 inputs p0..p63, coefficient intermediates c_U_V,
+/// 64 outputs out0..out63) into the innermost live Analysis.  Shared by
+/// analyseDct and sharded per-block drivers.
+void recordDctPipeline(const Image &In, int BlockX, int BlockY,
+                       int Quality = 50, double HalfWidth = 2.0);
+
 /// Forward 8x8 DCT-II of a (level-shifted) block into 64 coefficients —
 /// the orthonormal transform the pipeline uses, exposed for tests and
 /// downstream users (Parseval, invertibility).

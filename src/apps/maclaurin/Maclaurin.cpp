@@ -36,6 +36,8 @@ AnalysisResult scorpio::apps::analyseMaclaurin(double XCenter,
                                                double HalfWidth, int N) {
   assert(N > 0 && "series needs at least one term");
   Analysis A;
+  // One input plus a pow and an accumulation node per term.
+  A.tape().reserve(2 * static_cast<size_t>(N) + 4);
   IAValue X;
   A.registerInput(X, "x", XCenter - HalfWidth, XCenter + HalfWidth);
   IAValue Result = 0.0;

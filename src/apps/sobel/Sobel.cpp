@@ -202,6 +202,7 @@ SobelBlockSignificance scorpio::apps::analyseSobelBlocks(const Image &In,
                                                          double HalfWidth) {
   assert(In.inBounds(X, Y) && "analysis pixel out of bounds");
   Analysis A;
+  A.tape().reserve(64);
   auto Input = [&](int DX, int DY, const char *Name) {
     const double P = In.clamped(X + DX, Y + DY);
     return A.input(Name, P - HalfWidth, P + HalfWidth);
@@ -245,5 +246,94 @@ SobelBlockSignificance scorpio::apps::analyseSobelBlocks(const Image &In,
   Sig.A = SigOf("Ax") + SigOf("Ay");
   Sig.B = SigOf("Bx");
   Sig.C = SigOf("Cy");
+  return Sig;
+}
+
+namespace {
+
+/// Records every pixel of the tile [X0, X1) x [Y0, Y1) into the current
+/// thread's Analysis as one DynDFG: one input per (clamped) neighborhood
+/// grid position, per-pixel block intermediates Ax/Ay/Bx/Cy_<lx>_<ly>
+/// and per-pixel outputs gx/gy_<lx>_<ly> (local tile coordinates).
+void recordSobelTile(const Image &In, int X0, int Y0, int X1, int Y1,
+                     double HalfWidth) {
+  Analysis &A = Analysis::current();
+  const int GW = X1 - X0 + 2, GH = Y1 - Y0 + 2;
+  std::vector<IAValue> Grid(static_cast<size_t>(GW) * GH);
+  for (int GY = Y0 - 1; GY <= Y1; ++GY)
+    for (int GX = X0 - 1; GX <= X1; ++GX) {
+      const int LX = GX - (X0 - 1), LY = GY - (Y0 - 1);
+      const double P = In.clamped(GX, GY);
+      Grid[static_cast<size_t>(LY) * GW + LX] =
+          A.input("p" + std::to_string(LX) + "_" + std::to_string(LY),
+                  P - HalfWidth, P + HalfWidth);
+    }
+  auto At = [&](int GX, int GY) -> const IAValue & {
+    return Grid[static_cast<size_t>(GY - (Y0 - 1)) * GW + (GX - (X0 - 1))];
+  };
+
+  for (int Y = Y0; Y < Y1; ++Y)
+    for (int X = X0; X < X1; ++X) {
+      const std::string Suffix = "_" + std::to_string(X - X0) + "_" +
+                                 std::to_string(Y - Y0);
+      IAValue GxA, GyA, GxB, GyB, GxC, GyC;
+      blockA<IAValue>(At(X - 1, Y), At(X + 1, Y), At(X, Y - 1),
+                      At(X, Y + 1), GxA, GyA);
+      blockB<IAValue>(At(X - 1, Y - 1), At(X + 1, Y - 1), At(X - 1, Y + 1),
+                      At(X + 1, Y + 1), GxB, GyB);
+      blockC<IAValue>(At(X - 1, Y - 1), At(X + 1, Y - 1), At(X - 1, Y + 1),
+                      At(X + 1, Y + 1), GxC, GyC);
+      A.registerIntermediate(GxA, "Ax" + Suffix);
+      A.registerIntermediate(GyA, "Ay" + Suffix);
+      A.registerIntermediate(GxB, "Bx" + Suffix);
+      A.registerIntermediate(GyC, "Cy" + Suffix);
+      IAValue Gx = GxA + GxB + GxC;
+      IAValue Gy = GyA + GyB + GyC;
+      A.registerOutput(Gx, "gx" + Suffix);
+      A.registerOutput(Gy, "gy" + Suffix);
+    }
+}
+
+} // namespace
+
+SobelTileSignificance scorpio::apps::analyseSobelTiles(const Image &In,
+                                                       int TileSize,
+                                                       double HalfWidth,
+                                                       unsigned NumThreads) {
+  assert(TileSize > 0 && "tile must contain pixels");
+  const int W = In.width(), H = In.height();
+
+  ParallelAnalysis P;
+  for (int Y0 = 0; Y0 < H; Y0 += TileSize)
+    for (int X0 = 0; X0 < W; X0 += TileSize) {
+      const int X1 = std::min(X0 + TileSize, W);
+      const int Y1 = std::min(Y0 + TileSize, H);
+      const size_t NumPx =
+          static_cast<size_t>(X1 - X0) * static_cast<size_t>(Y1 - Y0);
+      const size_t Hint =
+          static_cast<size_t>(X1 - X0 + 2) * (Y1 - Y0 + 2) + 20 * NumPx;
+      P.addShard("tile_" + std::to_string(X0 / TileSize) + "_" +
+                     std::to_string(Y0 / TileSize),
+                 [&In, X0, Y0, X1, Y1, HalfWidth] {
+                   recordSobelTile(In, X0, Y0, X1, Y1, HalfWidth);
+                 },
+                 Hint);
+    }
+
+  AnalysisOptions Opts;
+  Opts.Mode = AnalysisOptions::OutputMode::PerOutput;
+
+  SobelTileSignificance Sig;
+  Sig.Result = P.run(Opts, NumThreads);
+  for (const ShardResult &S : Sig.Result.shards())
+    for (const VariableSignificance &V : S.Result.intermediates()) {
+      if (V.Name.compare(0, 2, "Ax") == 0 ||
+          V.Name.compare(0, 2, "Ay") == 0)
+        Sig.A += V.Significance;
+      else if (V.Name.compare(0, 2, "Bx") == 0)
+        Sig.B += V.Significance;
+      else if (V.Name.compare(0, 2, "Cy") == 0)
+        Sig.C += V.Significance;
+    }
   return Sig;
 }

@@ -29,6 +29,7 @@
 #define SCORPIO_APPS_SOBEL_SOBEL_H
 
 #include "core/Analysis.h"
+#include "core/ParallelAnalysis.h"
 #include "quality/Image.h"
 #include "runtime/TaskRuntime.h"
 
@@ -61,6 +62,25 @@ struct SobelBlockSignificance {
 /// p + HalfWidth].  Expect A ~ 2 * B and B ~ C.
 SobelBlockSignificance analyseSobelBlocks(const Image &In, int X, int Y,
                                           double HalfWidth = 8.0);
+
+/// Whole-image block significances from the sharded tile analysis.
+struct SobelTileSignificance {
+  /// Block significances summed over every analysed pixel of every tile;
+  /// the same A ~ 2B ~ 2C ranking as the single-pixel analysis, but
+  /// profiled over the full image.
+  double A = 0.0, B = 0.0, C = 0.0;
+  ParallelAnalysisResult Result;
+};
+
+/// Sharded whole-image analysis: the image is cut into TileSize x
+/// TileSize tiles and each tile is analysed as one independent
+/// ParallelAnalysis shard (its own tape, all tile pixels recorded as one
+/// DynDFG with per-pixel gx/gy outputs, PerOutput mode).  Per-pixel
+/// block significances match analyseSobelBlocks exactly; the merge is
+/// deterministic in tile order for any \p NumThreads.
+SobelTileSignificance analyseSobelTiles(const Image &In, int TileSize,
+                                        double HalfWidth = 8.0,
+                                        unsigned NumThreads = 0);
 
 } // namespace apps
 } // namespace scorpio

@@ -18,11 +18,26 @@ double AnalysisResult::normalizedSignificanceOf(NodeId Id) const {
 
 const VariableSignificance *
 AnalysisResult::find(const std::string &Name) const {
-  for (const auto *List : {&Inputs, &Intermediates, &Outputs})
-    for (const VariableSignificance &V : *List)
-      if (V.Name == Name)
-        return &V;
-  return nullptr;
+  if (!FindIndexBuilt) {
+    // emplace keeps the first insertion per name, so a name present in
+    // several lists resolves in inputs -> intermediates -> outputs order,
+    // exactly as the original linear scan did.
+    const std::vector<VariableSignificance> *Lists[] = {&Inputs,
+                                                        &Intermediates,
+                                                        &Outputs};
+    for (int L = 0; L != 3; ++L)
+      for (size_t I = 0; I != Lists[L]->size(); ++I)
+        FindIndex.emplace((*Lists[L])[I].Name, std::make_pair(L, I));
+    FindIndexBuilt = true;
+  }
+  const auto It = FindIndex.find(Name);
+  if (It == FindIndex.end())
+    return nullptr;
+  const auto [L, I] = It->second;
+  const std::vector<VariableSignificance> *Lists[] = {&Inputs,
+                                                      &Intermediates,
+                                                      &Outputs};
+  return &(*Lists[L])[I];
 }
 
 void AnalysisResult::print(std::ostream &OS) const {
@@ -50,6 +65,11 @@ void AnalysisResult::print(std::ostream &OS) const {
 
 void AnalysisResult::writeJson(std::ostream &OS) const {
   JsonWriter J(OS);
+  writeJson(J);
+  OS << "\n";
+}
+
+void AnalysisResult::writeJson(JsonWriter &J) const {
   J.beginObject();
   J.key("valid").value(isValid());
   J.key("divergences").beginArray();
@@ -80,7 +100,6 @@ void AnalysisResult::writeJson(std::ostream &OS) const {
   J.key("height").value(Graph.height());
   J.endObject();
   J.endObject();
-  OS << "\n";
 }
 
 static thread_local Analysis *CurrentAnalysis = nullptr;
@@ -126,22 +145,28 @@ void Analysis::registerOutput(const IAValue &Y, const std::string &Name) {
   OutputNodes.push_back(Y.node());
 }
 
-double Analysis::cappedSignificance(NodeId Id,
-                                    const AnalysisOptions &Options) const {
-  const TapeNode &N = Scope.tape().node(Id);
+double Analysis::cappedSignificance(const Interval &Value,
+                                    const Interval &Adjoint,
+                                    const AnalysisOptions &Options) {
   double W = 0.0;
   switch (Options.SignificanceMetric) {
   case AnalysisOptions::Metric::Eq11WorstCase:
     // Eq. 11: S_y(u_j) = w([u_j] * grad_[u_j][y]).
-    W = (N.Value * N.Adjoint).width();
+    W = (Value * Adjoint).width();
     break;
   case AnalysisOptions::Metric::WidthTimesDerivative:
-    W = N.Value.width() * N.Adjoint.mag();
+    W = Value.width() * Adjoint.mag();
     break;
   }
   if (std::isnan(W))
     return Options.SignificanceCap;
   return std::min(W, Options.SignificanceCap);
+}
+
+double Analysis::cappedSignificance(NodeId Id,
+                                    const AnalysisOptions &Options) const {
+  const Tape &T = Scope.tape();
+  return cappedSignificance(T.value(Id), T.adjoint(Id), Options);
 }
 
 AnalysisResult Analysis::analyse(const AnalysisOptions &Options) {
@@ -161,8 +186,9 @@ AnalysisResult Analysis::analyse(const AnalysisOptions &Options) {
     for (size_t I = 0; I != T.size(); ++I)
       R.NodeSignificance[I] =
           cappedSignificance(static_cast<NodeId>(I), Options);
-  } else {
-    // PerOutput: m sweeps; S_y(u) = sum_i S_{y_i}(u).
+  } else if (Options.BatchWidth <= 1) {
+    // PerOutput, classic scalar-adjoint loop: m dedicated sweeps;
+    // S_y(u) = sum_i S_{y_i}(u).  Kept as the BatchWidth=1 baseline.
     for (NodeId Out : OutputNodes) {
       T.clearAdjoints();
       T.seedAdjoint(Out, Interval(1.0));
@@ -172,6 +198,43 @@ AnalysisResult Analysis::analyse(const AnalysisOptions &Options) {
             cappedSignificance(static_cast<NodeId>(I), Options);
         R.NodeSignificance[I] =
             std::min(R.NodeSignificance[I], Options.SignificanceCap);
+      }
+    }
+  } else {
+    // PerOutput, vector-adjoint mode: propagate up to BatchWidth output
+    // seeds per backward pass, then accumulate lane significances in
+    // output order.  Per node the sequence of += / min operations is
+    // exactly the scalar loop's, so results are bit-identical.
+    const bool IsEq11 = Options.SignificanceMetric ==
+                        AnalysisOptions::Metric::Eq11WorstCase;
+    const Interval Zero(0.0);
+    std::vector<std::pair<NodeId, Interval>> Seeds;
+    BatchAdjoints Batch;
+    for (size_t Begin = 0; Begin < OutputNodes.size();
+         Begin += Options.BatchWidth) {
+      const size_t End =
+          std::min(Begin + Options.BatchWidth, OutputNodes.size());
+      Seeds.clear();
+      for (size_t O = Begin; O != End; ++O)
+        Seeds.emplace_back(OutputNodes[O], Interval(1.0));
+      T.reverseSweepBatch(Seeds, Batch);
+
+      const unsigned W = static_cast<unsigned>(End - Begin);
+      for (size_t I = 0; I != T.size(); ++I) {
+        const Interval &V = T.value(static_cast<NodeId>(I));
+        const Interval *Row = Batch.row(static_cast<NodeId>(I));
+        // A [0,0] lane adjoint contributes exactly 0 significance (the
+        // interval product with an exact-zero factor is exactly [0,0]),
+        // except under WidthTimesDerivative with an unbounded value
+        // where inf*0 = NaN is capped — there every lane is evaluated.
+        const bool SkipZeroLanes = IsEq11 || V.isBounded();
+        for (unsigned L = 0; L != W; ++L) {
+          if (SkipZeroLanes && Row[L] == Zero)
+            continue;
+          R.NodeSignificance[I] += cappedSignificance(V, Row[L], Options);
+          R.NodeSignificance[I] =
+              std::min(R.NodeSignificance[I], Options.SignificanceCap);
+        }
       }
     }
   }
@@ -185,7 +248,7 @@ AnalysisResult Analysis::analyse(const AnalysisOptions &Options) {
       VariableSignificance V;
       V.Name = Name;
       V.Node = Id;
-      V.Value = T.node(Id).Value;
+      V.Value = T.value(Id);
       V.Significance = R.NodeSignificance[static_cast<size_t>(Id)];
       V.Normalized =
           R.OutputSig > 0.0 ? V.Significance / R.OutputSig : 0.0;
@@ -196,21 +259,17 @@ AnalysisResult Analysis::analyse(const AnalysisOptions &Options) {
   FillVars(IntermediateVars, R.Intermediates);
   FillVars(OutputVars, R.Outputs);
 
-  R.Graph =
-      DynDFG::fromTape(T, R.NodeSignificance, Labels, OutputNodes);
-  if (Options.Simplify)
-    R.Graph.simplify();
+  if (Options.BuildGraph) {
+    R.Graph =
+        DynDFG::fromTape(T, R.NodeSignificance, Labels, OutputNodes);
+    if (Options.Simplify)
+      R.Graph.simplify();
 
-  // Step S5 on normalized significances so Delta is scale-free.
-  if (R.OutputSig > 0.0) {
-    DynDFG Normalized = R.Graph;
-    // Scale significances in a scratch copy used only for detection.
-    for (size_t I = 0; I != T.size(); ++I)
-      Normalized.node(static_cast<NodeId>(I)).Significance =
-          R.NodeSignificance[I] / R.OutputSig;
-    R.VarianceLevel = Normalized.findSignificanceVarianceLevel(Options.Delta);
-  } else {
-    R.VarianceLevel = R.Graph.findSignificanceVarianceLevel(Options.Delta);
+    // Step S5 on normalized significances so Delta is scale-free.  The
+    // divisor form computes the same S / OutputSig doubles a scratch
+    // copy of the graph would hold, without deep-copying the graph.
+    R.VarianceLevel = R.Graph.findSignificanceVarianceLevel(
+        Options.Delta, R.OutputSig > 0.0 ? R.OutputSig : 1.0);
   }
 
   return R;

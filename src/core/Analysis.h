@@ -28,9 +28,12 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace scorpio {
+
+class JsonWriter;
 
 /// Options controlling analyse().
 struct AnalysisOptions {
@@ -41,7 +44,10 @@ struct AnalysisOptions {
     CombinedSeed,
     /// One reverse sweep per output; per-node significances are the sum
     /// of the per-output significances (the literal definition
-    /// S_y(u) = sum_i S_{y_i}(u)).  Costs m sweeps.
+    /// S_y(u) = sum_i S_{y_i}(u)).  Costs ceil(m / BatchWidth) passes
+    /// over the tape: outputs are propagated as adjoint lanes of
+    /// Tape::reverseSweepBatch, which is bit-identical to (but much
+    /// faster than) m dedicated sweeps.
     PerOutput,
   };
 
@@ -61,8 +67,17 @@ struct AnalysisOptions {
 
   OutputMode Mode = OutputMode::CombinedSeed;
   Metric SignificanceMetric = Metric::Eq11WorstCase;
+  /// Number of adjoint lanes propagated per PerOutput backward pass
+  /// (vector-adjoint mode).  1 degenerates to the classic one-sweep-per-
+  /// output loop; results are identical for every width.
+  unsigned BatchWidth = 8;
   /// Run step S4 (aggregation-chain collapsing) before level analysis.
   bool Simplify = true;
+  /// Build the DynDFG and run the step-S5 level analysis.  Callers that
+  /// only consume per-variable significances (block-significance apps,
+  /// throughput benchmarks) can switch this off; the result's Graph is
+  /// then empty and VarianceLevel is -1.
+  bool BuildGraph = true;
   /// Variance threshold delta of step S5, applied to *normalized*
   /// significances so it is scale-free.
   double Delta = 1e-3;
@@ -132,14 +147,26 @@ public:
   /// significances, output significance, and the S5 variance level.
   void writeJson(std::ostream &OS) const;
 
+  /// Emits the same report as one JSON object into an already-open
+  /// writer, so callers (e.g. ParallelAnalysisResult) can nest per-shard
+  /// reports inside a larger document.
+  void writeJson(JsonWriter &J) const;
+
 private:
   friend class Analysis;
+  friend class ParallelAnalysis;
   std::vector<std::string> Divergences;
   std::vector<double> NodeSignificance;
   std::vector<VariableSignificance> Inputs, Intermediates, Outputs;
   double OutputSig = 0.0;
   DynDFG Graph;
   int VarianceLevel = -1;
+  /// Lazy find() index: Name -> (list id, index).  List ids follow the
+  /// lookup order 0=Inputs, 1=Intermediates, 2=Outputs; the first
+  /// registration of a name wins, preserving shadowing semantics.
+  /// Indices (not pointers) keep the cache valid across copies.
+  mutable std::map<std::string, std::pair<int, size_t>> FindIndex;
+  mutable bool FindIndexBuilt = false;
 };
 
 /// A single significance-analysis session.
@@ -184,6 +211,11 @@ public:
   Tape &tape() { return Scope.tape(); }
 
 private:
+  /// Significance of one (value, adjoint) pair under the selected metric,
+  /// NaN-hardened and capped.
+  static double cappedSignificance(const Interval &Value,
+                                   const Interval &Adjoint,
+                                   const AnalysisOptions &Options);
   double cappedSignificance(NodeId Id, const AnalysisOptions &Options) const;
 
   ActiveTapeScope Scope;

@@ -20,13 +20,13 @@ DynDFG DynDFG::fromTape(const Tape &T,
   DynDFG G;
   G.Nodes.resize(T.size());
   for (size_t I = 0; I != T.size(); ++I) {
-    const TapeNode &TN = T.node(static_cast<NodeId>(I));
+    const NodeId Id = static_cast<NodeId>(I);
     DfgNode &DN = G.Nodes[I];
-    DN.Kind = TN.Kind;
-    DN.Value = TN.Value;
+    DN.Kind = T.kind(Id);
+    DN.Value = T.value(Id);
     DN.Significance = Significance[I];
-    for (uint8_t A = 0; A != TN.NumArgs; ++A)
-      DN.Preds.push_back(TN.Args[A]);
+    for (unsigned A = 0, N = T.numArgs(Id); A != N; ++A)
+      DN.Preds.push_back(T.arg(Id, A));
   }
   for (const auto &[Id, Name] : Labels)
     G.Nodes[static_cast<size_t>(Id)].Label = Name;
@@ -164,12 +164,16 @@ std::vector<double> DynDFG::significancesAtLevel(int L) const {
   return Sig;
 }
 
-int DynDFG::findSignificanceVarianceLevel(double Delta) const {
+int DynDFG::findSignificanceVarianceLevel(double Delta,
+                                          double Divisor) const {
   const int H = height();
   for (int L = 1; L < H; ++L) {
-    const std::vector<double> Sig = significancesAtLevel(L);
+    std::vector<double> Sig = significancesAtLevel(L);
     if (Sig.size() < 2)
       continue;
+    if (Divisor != 1.0)
+      for (double &S : Sig)
+        S /= Divisor;
     if (variance(Sig) > Delta)
       return L;
   }

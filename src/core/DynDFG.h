@@ -105,7 +105,12 @@ public:
   /// Step S5: returns the smallest level L >= 1 whose significances have
   /// population variance > \p Delta, or -1 when no such level exists
   /// (all levels are (almost) equally significant down to the inputs).
-  int findSignificanceVarianceLevel(double Delta) const;
+  ///
+  /// \p Divisor normalizes each significance as S / Divisor before the
+  /// variance test — computing exactly what a scratch copy of the graph
+  /// with scaled significances would, without materializing the copy.
+  int findSignificanceVarianceLevel(double Delta,
+                                    double Divisor = 1.0) const;
 
   /// The paper's G.removeAbove(L+1): returns a copy containing only the
   /// alive nodes with 0 <= Level <= MaxLevel.

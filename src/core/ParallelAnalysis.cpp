@@ -1,0 +1,92 @@
+//===- core/ParallelAnalysis.cpp - Sharded significance analysis ---------===//
+
+#include "core/ParallelAnalysis.h"
+
+#include "runtime/ThreadPool.h"
+#include "support/Json.h"
+
+#include <cassert>
+
+using namespace scorpio;
+
+const VariableSignificance *
+ParallelAnalysisResult::find(const std::string &PrefixedName) const {
+  for (const VariableSignificance &V : Variables)
+    if (V.Name == PrefixedName)
+      return &V;
+  return nullptr;
+}
+
+void ParallelAnalysisResult::writeJson(std::ostream &OS) const {
+  JsonWriter J(OS);
+  J.beginObject();
+  J.key("valid").value(isValid());
+  J.key("divergences").beginArray();
+  for (const std::string &D : Divergences)
+    J.value(D);
+  J.endArray();
+  J.key("outputSignificance").value(OutputSig);
+  J.key("shards").beginArray();
+  for (const ShardResult &S : Shards) {
+    J.beginObject();
+    J.key("name").value(S.Name);
+    J.key("index").value(S.Index);
+    J.key("report");
+    S.Result.writeJson(J);
+    J.endObject();
+  }
+  J.endArray();
+  J.endObject();
+  OS << "\n";
+}
+
+void ParallelAnalysis::addShard(std::string Name,
+                                std::function<void()> Record,
+                                size_t TapeSizeHint) {
+  assert(Record && "shard needs a record function");
+  Shards.push_back(
+      Shard{std::move(Name), std::move(Record), TapeSizeHint});
+}
+
+ParallelAnalysisResult ParallelAnalysis::run(const AnalysisOptions &Options,
+                                             unsigned NumThreads) {
+  ParallelAnalysisResult R;
+  R.Shards.resize(Shards.size());
+
+  {
+    rt::ThreadPool Pool(NumThreads);
+    for (size_t I = 0; I != Shards.size(); ++I) {
+      const Shard &S = Shards[I];
+      ShardResult &Slot = R.Shards[I];
+      Pool.submit([&S, &Slot, &Options, I] {
+        // Tapes and the current-Analysis pointer are thread-local, so
+        // each worker records in complete isolation; the shard's index
+        // in the result vector is fixed at registration, making the
+        // merge independent of scheduling.
+        Analysis A;
+        if (S.TapeSizeHint != 0)
+          A.tape().reserve(S.TapeSizeHint);
+        S.Record();
+        Slot.Name = S.Name;
+        Slot.Index = I;
+        Slot.Result = A.analyse(Options);
+      });
+    }
+    Pool.waitIdle();
+  }
+
+  // Deterministic merge: strictly shard-registration order.
+  for (const ShardResult &S : R.Shards) {
+    for (const std::string &D : S.Result.divergences())
+      R.Divergences.push_back(S.Name + ": " + D);
+    for (const auto *List : {&S.Result.inputs(), &S.Result.intermediates(),
+                             &S.Result.outputs()})
+      for (const VariableSignificance &V : *List) {
+        VariableSignificance P = V;
+        P.Name = S.Name + "/" + V.Name;
+        R.Variables.push_back(std::move(P));
+      }
+    R.OutputSig += S.Result.outputSignificance();
+  }
+  return R;
+}

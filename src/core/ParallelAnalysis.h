@@ -1,0 +1,121 @@
+//===- core/ParallelAnalysis.h - Sharded significance analysis ------------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fans independent significance-analysis work items ("shards": a Sobel
+/// tile, a DCT block, one BlackScholes option, an N-Body particle) out
+/// over rt::ThreadPool.  Each shard records into its own thread-local
+/// Analysis — tapes are thread-local, so shards never contend — and the
+/// merge step is purely shard-index ordered: the merged result is
+/// byte-identical regardless of thread count or completion order.
+///
+/// The SCoRPiO runtime motivates this shape: per-task significance
+/// analyses are embarrassingly parallel, and the paper's single-run
+/// efficiency claim only pays off when the driver can keep every core
+/// busy with one DynDFG each.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_CORE_PARALLELANALYSIS_H
+#define SCORPIO_CORE_PARALLELANALYSIS_H
+
+#include "core/Analysis.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace scorpio {
+
+/// The result of one shard, tagged with its registration-order index and
+/// user-supplied name.
+struct ShardResult {
+  std::string Name;
+  size_t Index = 0;
+  AnalysisResult Result;
+};
+
+/// Deterministically merged output of ParallelAnalysis::run().
+class ParallelAnalysisResult {
+public:
+  /// Per-shard results in shard registration order (never completion
+  /// order).
+  const std::vector<ShardResult> &shards() const { return Shards; }
+
+  /// False when any shard's kernel diverged; divergences() lists every
+  /// offending condition prefixed with the shard name, in shard order.
+  /// Every result that consumed a diverged tape is invalid, so the whole
+  /// merged report must be disregarded (paper Section 2.2).
+  bool isValid() const { return Divergences.empty(); }
+  const std::vector<std::string> &divergences() const { return Divergences; }
+
+  /// All registered variables of all shards concatenated in shard order,
+  /// names prefixed "<shard>/".
+  const std::vector<VariableSignificance> &variables() const {
+    return Variables;
+  }
+
+  /// Looks up "<shard>/<variable>"; nullptr when absent.
+  const VariableSignificance *find(const std::string &PrefixedName) const;
+
+  /// Sum of the per-shard output significances.
+  double outputSignificance() const { return OutputSig; }
+
+  /// Machine-readable merged report: validity, prefixed divergences and
+  /// one nested AnalysisResult report per shard, all in shard order.
+  /// Byte-identical for identical shard results, whatever the thread
+  /// count that produced them.
+  void writeJson(std::ostream &OS) const;
+
+private:
+  friend class ParallelAnalysis;
+  std::vector<ShardResult> Shards;
+  std::vector<std::string> Divergences;
+  std::vector<VariableSignificance> Variables;
+  double OutputSig = 0.0;
+};
+
+/// Driver fanning shard record-functions over a thread pool.
+///
+/// \code
+///   ParallelAnalysis P;
+///   for (const Tile &T : tiles)
+///     P.addShard(T.name(), [=] { recordTile(T); }, T.opCountHint());
+///   ParallelAnalysisResult R = P.run(Opts, /*NumThreads=*/0);
+/// \endcode
+///
+/// Each record function runs with a fresh Analysis active on the worker
+/// thread; it registers inputs/intermediates/outputs exactly as a
+/// sequential kernel would (via Analysis::current() or the Table-1
+/// macros) and returns.  run() analyses every shard and merges.
+class ParallelAnalysis {
+public:
+  /// Registers a work item.  \p Record performs S1-S3 for this shard on
+  /// the current thread's Analysis.  \p TapeSizeHint preallocates the
+  /// shard tape (0 = no hint).
+  void addShard(std::string Name, std::function<void()> Record,
+                size_t TapeSizeHint = 0);
+
+  size_t numShards() const { return Shards.size(); }
+
+  /// Records and analyses every shard on \p NumThreads pool workers
+  /// (0 = hardware concurrency), then merges deterministically.
+  ParallelAnalysisResult run(const AnalysisOptions &Options = {},
+                             unsigned NumThreads = 0);
+
+private:
+  struct Shard {
+    std::string Name;
+    std::function<void()> Record;
+    size_t TapeSizeHint = 0;
+  };
+  std::vector<Shard> Shards;
+};
+
+} // namespace scorpio
+
+#endif // SCORPIO_CORE_PARALLELANALYSIS_H

@@ -12,25 +12,9 @@ static constexpr double Inf = std::numeric_limits<double>::infinity();
 static constexpr double Pi = 3.14159265358979323846264338327950288;
 static constexpr double HalfPi = Pi / 2.0;
 
-double detail::stepDown(double X) {
-  if (X == -Inf)
-    return X;
-  return std::nextafter(X, -Inf);
-}
-
-double detail::stepUp(double X) {
-  if (X == Inf)
-    return X;
-  return std::nextafter(X, Inf);
-}
-
-Interval detail::outward(double Lo, double Hi, int Ulps) {
-  for (int I = 0; I < Ulps; ++I) {
-    Lo = stepDown(Lo);
-    Hi = stepUp(Hi);
-  }
-  return Interval(Lo, Hi);
-}
+// stepDown/stepUp/outward and the +, -, * operators live inline in
+// Interval.h: the reverse sweep calls them per tape node, and the
+// cross-TU call plus libm nextafter dominated sweep time.
 
 Interval Interval::entire() { return Interval(-Inf, Inf); }
 
@@ -72,49 +56,6 @@ double Interval::mig() const {
 }
 
 namespace scorpio {
-
-Interval operator+(const Interval &A, const Interval &B) {
-  // Adding the exact point 0 is exact; keeping it so preserves the
-  // zero-significance guarantees (no spurious ulp widening of zero
-  // adjoints and tangents).
-  if (A.Lo == 0.0 && A.Hi == 0.0)
-    return B;
-  if (B.Lo == 0.0 && B.Hi == 0.0)
-    return A;
-  return detail::outward(A.Lo + B.Lo, A.Hi + B.Hi, 1);
-}
-
-Interval operator-(const Interval &A, const Interval &B) {
-  if (B.Lo == 0.0 && B.Hi == 0.0)
-    return A;
-  if (A.Lo == 0.0 && A.Hi == 0.0)
-    return -B;
-  return detail::outward(A.Lo - B.Hi, A.Hi - B.Lo, 1);
-}
-
-/// Bound product treating 0 * inf as 0 (the interval-arithmetic
-/// convention: the zero factor is an exact point, so the product set is
-/// exactly {0}).
-static double mulBound(double A, double B) {
-  if (A == 0.0 || B == 0.0)
-    return 0.0;
-  return A * B;
-}
-
-Interval operator*(const Interval &A, const Interval &B) {
-  // An exact zero factor gives an exact zero product; do not widen, so
-  // that zero adjoints/partials stay exactly zero (the "significance 0
-  // means replaceable by a constant" guarantee).
-  if ((A.Lo == 0.0 && A.Hi == 0.0) || (B.Lo == 0.0 && B.Hi == 0.0))
-    return Interval(0.0, 0.0);
-  const double P1 = mulBound(A.Lo, B.Lo);
-  const double P2 = mulBound(A.Lo, B.Hi);
-  const double P3 = mulBound(A.Hi, B.Lo);
-  const double P4 = mulBound(A.Hi, B.Hi);
-  const double Lo = std::min(std::min(P1, P2), std::min(P3, P4));
-  const double Hi = std::max(std::max(P1, P2), std::max(P3, P4));
-  return detail::outward(Lo, Hi, 1);
-}
 
 Interval operator/(const Interval &A, const Interval &B) {
   if (B.contains(0.0))

@@ -28,7 +28,10 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <iosfwd>
+#include <limits>
 
 namespace scorpio {
 
@@ -187,13 +190,103 @@ double tanOverXDerivPoint(double X, double Phi);
 std::ostream &operator<<(std::ostream &OS, const Interval &X);
 
 namespace detail {
+
+// stepDown/stepUp are bit-manipulation equivalents of
+// std::nextafter(X, -inf) / std::nextafter(X, +inf).  The reverse sweep
+// performs two of them per adjoint mult-add; the libm call (which must
+// support errno) is the single largest cost in a sweep, so they are
+// inlined here.  interval_test pins them against std::nextafter across
+// zeros, subnormals, extremes, infinities and NaN.
+
 /// Next double below \p X (identity on -inf).
-double stepDown(double X);
+inline double stepDown(double X) {
+  if (std::isnan(X) || X == -std::numeric_limits<double>::infinity())
+    return X;
+  std::uint64_t B;
+  std::memcpy(&B, &X, sizeof(B));
+  if (X == 0.0)
+    B = 0x8000000000000001ULL; // -0x1p-1074, below both zeros
+  else if (B >> 63)
+    ++B; // negative: magnitude grows
+  else
+    --B; // positive: magnitude shrinks (+0x1p-1074 steps to +0)
+  std::memcpy(&X, &B, sizeof(X));
+  return X;
+}
+
 /// Next double above \p X (identity on +inf).
-double stepUp(double X);
+inline double stepUp(double X) {
+  if (std::isnan(X) || X == std::numeric_limits<double>::infinity())
+    return X;
+  std::uint64_t B;
+  std::memcpy(&B, &X, sizeof(B));
+  if (X == 0.0)
+    B = 1; // +0x1p-1074, above both zeros
+  else if (B >> 63)
+    --B; // negative: magnitude shrinks (-0x1p-1074 steps to -0)
+  else
+    ++B; // positive: magnitude grows
+  std::memcpy(&X, &B, sizeof(X));
+  return X;
+}
+
 /// Widens [Lo, Hi] outward by \p Ulps steps on each side.
-Interval outward(double Lo, double Hi, int Ulps);
+inline Interval outward(double Lo, double Hi, int Ulps) {
+  for (int I = 0; I < Ulps; ++I) {
+    Lo = stepDown(Lo);
+    Hi = stepUp(Hi);
+  }
+  return Interval(Lo, Hi);
+}
+
+/// Bound product treating 0 * inf as 0 (the interval-arithmetic
+/// convention: the zero factor is an exact point, so the product set is
+/// exactly {0}).
+inline double mulBound(double A, double B) {
+  if (A == 0.0 || B == 0.0)
+    return 0.0;
+  return A * B;
+}
+
 } // namespace detail
+
+// The sweep-hot arithmetic is defined inline: a per-output reverse
+// sweep executes one + and one * per (node, argument) pair, and the
+// call into a separate translation unit costs more than the arithmetic.
+
+inline Interval operator+(const Interval &A, const Interval &B) {
+  // An exact zero operand leaves the other side untouched — adjoint
+  // accumulations start from [0, 0] and must not widen on the first
+  // contribution.
+  if (A.Lo == 0.0 && A.Hi == 0.0)
+    return B;
+  if (B.Lo == 0.0 && B.Hi == 0.0)
+    return A;
+  return detail::outward(A.Lo + B.Lo, A.Hi + B.Hi, 1);
+}
+
+inline Interval operator-(const Interval &A, const Interval &B) {
+  if (B.Lo == 0.0 && B.Hi == 0.0)
+    return A;
+  if (A.Lo == 0.0 && A.Hi == 0.0)
+    return -B;
+  return detail::outward(A.Lo - B.Hi, A.Hi - B.Lo, 1);
+}
+
+inline Interval operator*(const Interval &A, const Interval &B) {
+  // An exact zero factor gives an exact zero product; do not widen, so
+  // that zero adjoints/partials stay exactly zero (the "significance 0
+  // means replaceable by a constant" guarantee).
+  if ((A.Lo == 0.0 && A.Hi == 0.0) || (B.Lo == 0.0 && B.Hi == 0.0))
+    return Interval(0.0, 0.0);
+  const double P1 = detail::mulBound(A.Lo, B.Lo);
+  const double P2 = detail::mulBound(A.Lo, B.Hi);
+  const double P3 = detail::mulBound(A.Hi, B.Lo);
+  const double P4 = detail::mulBound(A.Hi, B.Hi);
+  const double Lo = std::min(std::min(P1, P2), std::min(P3, P4));
+  const double Hi = std::max(std::max(P1, P2), std::max(P3, P4));
+  return detail::outward(Lo, Hi, 1);
+}
 
 } // namespace scorpio
 

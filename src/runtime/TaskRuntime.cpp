@@ -39,19 +39,27 @@ TaskRuntime::decideFates(const std::vector<double> &Significances,
   if (N == 0)
     return Fates;
 
+  // NaN significances (a diverged or failed analysis) would break the
+  // comparator's strict weak ordering; rank them as 0 — no evidence the
+  // task matters — deterministically, and use the sanitized keys for the
+  // force-accurate check below too (NaN >= 1.0 is false either way).
+  std::vector<double> Keys(Significances);
+  for (double &K : Keys)
+    if (std::isnan(K))
+      K = 0.0;
+
   // Rank tasks by significance, descending; stable in spawn order.
   std::vector<size_t> Order(N);
   std::iota(Order.begin(), Order.end(), size_t{0});
-  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
-    return Significances[A] > Significances[B];
-  });
+  std::stable_sort(Order.begin(), Order.end(),
+                   [&](size_t A, size_t B) { return Keys[A] > Keys[B]; });
 
   const size_t NumAccurate =
       std::min(N, static_cast<size_t>(
                       std::ceil(Ratio * static_cast<double>(N) - 1e-9)));
   for (size_t Rank = 0; Rank != N; ++Rank) {
     const size_t I = Order[Rank];
-    if (Rank < NumAccurate || Significances[I] >= 1.0)
+    if (Rank < NumAccurate || Keys[I] >= 1.0)
       Fates[I] = TaskFate::Accurate;
     else
       Fates[I] = HasApprox[I] ? TaskFate::Approximate : TaskFate::Dropped;

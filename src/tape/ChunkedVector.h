@@ -1,0 +1,116 @@
+//===- tape/ChunkedVector.h - Stable-address chunked arena ----------------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An append-only array stored as fixed-size blocks.  Unlike std::vector,
+/// growth never relocates existing elements: recording a multi-million
+/// node tape performs no reallocation-induced copies, element addresses
+/// are stable for the lifetime of the container, and reserve() is a pure
+/// block-preallocation hint.  Random access is one shift + mask + two
+/// dependent loads, which the reverse sweep amortizes by streaming
+/// blocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_TAPE_CHUNKEDVECTOR_H
+#define SCORPIO_TAPE_CHUNKEDVECTOR_H
+
+#include <cassert>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace scorpio {
+
+/// Append-only chunked storage with stable element addresses.
+/// \tparam T element type (default-constructible).
+/// \tparam BlockShift log2 of the block size in elements.
+template <typename T, unsigned BlockShift = 12> class ChunkedVector {
+public:
+  static constexpr size_t BlockSize = size_t{1} << BlockShift;
+  static constexpr size_t IndexMask = BlockSize - 1;
+
+  ChunkedVector() = default;
+  ChunkedVector(ChunkedVector &&) = default;
+  ChunkedVector &operator=(ChunkedVector &&) = default;
+  ChunkedVector(const ChunkedVector &) = delete;
+  ChunkedVector &operator=(const ChunkedVector &) = delete;
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  T &operator[](size_t I) {
+    assert(I < Count && "chunked index out of range");
+    return Blocks[I >> BlockShift][I & IndexMask];
+  }
+  const T &operator[](size_t I) const {
+    assert(I < Count && "chunked index out of range");
+    return Blocks[I >> BlockShift][I & IndexMask];
+  }
+
+  T &back() {
+    assert(Count > 0 && "back() on empty container");
+    return (*this)[Count - 1];
+  }
+
+  /// Appends a copy of \p V; never moves existing elements.
+  T &push_back(const T &V) {
+    T &Slot = appendSlot();
+    Slot = V;
+    return Slot;
+  }
+  T &push_back(T &&V) {
+    T &Slot = appendSlot();
+    Slot = std::move(V);
+    return Slot;
+  }
+
+  /// Preallocates blocks for \p N total elements (hint; never shrinks).
+  void reserve(size_t N) {
+    const size_t NeedBlocks = (N + BlockSize - 1) >> BlockShift;
+    while (Blocks.size() < NeedBlocks)
+      Blocks.push_back(std::make_unique<T[]>(BlockSize));
+  }
+
+  void clear() {
+    Blocks.clear();
+    Count = 0;
+  }
+
+  /// Number of elements currently resident in block \p B (the last block
+  /// may be partially filled).
+  size_t blockFill(size_t B) const {
+    const size_t Begin = B << BlockShift;
+    assert(Begin < Count && "block beyond end");
+    return std::min(BlockSize, Count - Begin);
+  }
+
+  /// Pointer to the first element of block \p B, for streaming loops.
+  T *blockData(size_t B) { return Blocks[B].get(); }
+  const T *blockData(size_t B) const { return Blocks[B].get(); }
+
+  /// Number of blocks that contain at least one element.
+  size_t numFilledBlocks() const {
+    return (Count + BlockSize - 1) >> BlockShift;
+  }
+
+private:
+  T &appendSlot() {
+    if ((Count >> BlockShift) == Blocks.size())
+      Blocks.push_back(std::make_unique<T[]>(BlockSize));
+    T &Slot = Blocks[Count >> BlockShift][Count & IndexMask];
+    ++Count;
+    return Slot;
+  }
+
+  std::vector<std::unique_ptr<T[]>> Blocks;
+  size_t Count = 0;
+};
+
+} // namespace scorpio
+
+#endif // SCORPIO_TAPE_CHUNKEDVECTOR_H

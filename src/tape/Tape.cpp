@@ -2,6 +2,8 @@
 
 #include "tape/Tape.h"
 
+#include <algorithm>
+
 using namespace scorpio;
 
 const char *scorpio::opKindName(OpKind K) {
@@ -60,13 +62,19 @@ bool scorpio::isAccumulativeOp(OpKind K) {
          K == OpKind::Max;
 }
 
+void Tape::reserve(size_t ExpectedNodes) {
+  Values.reserve(ExpectedNodes);
+  Ops.reserve(ExpectedNodes);
+  Edges.reserve(ExpectedNodes);
+  Adjoints.reserve(ExpectedNodes);
+}
+
 NodeId Tape::recordInput(const Interval &V) {
-  TapeNode N;
-  N.Value = V;
-  N.Kind = OpKind::Input;
-  N.NumArgs = 0;
-  const NodeId Id = static_cast<NodeId>(Nodes.size());
-  Nodes.push_back(N);
+  const NodeId Id = static_cast<NodeId>(Values.size());
+  Values.push_back(V);
+  Ops.push_back(TapeOp{OpKind::Input, 0});
+  Edges.push_back(TapeEdges{});
+  Adjoints.push_back(Interval(0.0));
   Inputs.push_back(Id);
   return Id;
 }
@@ -74,16 +82,16 @@ NodeId Tape::recordInput(const Interval &V) {
 NodeId Tape::recordUnary(OpKind K, const Interval &V, NodeId Arg,
                          const Interval &Partial, int32_t AuxInt) {
   assert(Arg != InvalidNodeId && "unary op needs an active argument");
-  assert(Arg < static_cast<NodeId>(Nodes.size()) && "forward reference");
-  TapeNode N;
-  N.Value = V;
-  N.Kind = K;
-  N.NumArgs = 1;
-  N.Args[0] = Arg;
-  N.Partials[0] = Partial;
-  N.AuxInt = AuxInt;
-  Nodes.push_back(N);
-  return static_cast<NodeId>(Nodes.size() - 1);
+  assert(Arg < static_cast<NodeId>(Values.size()) && "forward reference");
+  const NodeId Id = static_cast<NodeId>(Values.size());
+  Values.push_back(V);
+  Ops.push_back(TapeOp{K, AuxInt});
+  TapeEdges &E = Edges.push_back(TapeEdges{});
+  E.NumArgs = 1;
+  E.Args[0] = Arg;
+  E.Partials[0] = Partial;
+  Adjoints.push_back(Interval(0.0));
+  return Id;
 }
 
 NodeId Tape::recordBinary(OpKind K, const Interval &V, NodeId Arg0,
@@ -91,47 +99,139 @@ NodeId Tape::recordBinary(OpKind K, const Interval &V, NodeId Arg0,
                           const Interval &Partial1) {
   assert((Arg0 != InvalidNodeId || Arg1 != InvalidNodeId) &&
          "binary op needs at least one active argument");
-  TapeNode N;
-  N.Value = V;
-  N.Kind = K;
-  N.NumArgs = 0;
+  const NodeId Id = static_cast<NodeId>(Values.size());
+  Values.push_back(V);
+  Ops.push_back(TapeOp{K, 0});
+  TapeEdges &E = Edges.push_back(TapeEdges{});
   if (Arg0 != InvalidNodeId) {
-    assert(Arg0 < static_cast<NodeId>(Nodes.size()) && "forward reference");
-    N.Args[N.NumArgs] = Arg0;
-    N.Partials[N.NumArgs] = Partial0;
-    ++N.NumArgs;
+    assert(Arg0 < Id && "forward reference");
+    E.Args[E.NumArgs] = Arg0;
+    E.Partials[E.NumArgs] = Partial0;
+    ++E.NumArgs;
   }
   if (Arg1 != InvalidNodeId) {
-    assert(Arg1 < static_cast<NodeId>(Nodes.size()) && "forward reference");
-    N.Args[N.NumArgs] = Arg1;
-    N.Partials[N.NumArgs] = Partial1;
-    ++N.NumArgs;
+    assert(Arg1 < Id && "forward reference");
+    E.Args[E.NumArgs] = Arg1;
+    E.Partials[E.NumArgs] = Partial1;
+    ++E.NumArgs;
   }
-  Nodes.push_back(N);
-  return static_cast<NodeId>(Nodes.size() - 1);
+  Adjoints.push_back(Interval(0.0));
+  return Id;
 }
 
 void Tape::clearAdjoints() {
-  for (TapeNode &N : Nodes)
-    N.Adjoint = Interval(0.0);
+  const Interval Zero(0.0);
+  for (size_t B = 0, NB = Adjoints.numFilledBlocks(); B != NB; ++B) {
+    Interval *Block = Adjoints.blockData(B);
+    const size_t Fill = Adjoints.blockFill(B);
+    for (size_t I = 0; I != Fill; ++I)
+      Block[I] = Zero;
+  }
 }
 
 void Tape::seedAdjoint(NodeId Id, const Interval &Seed) {
-  node(Id).Adjoint += Seed;
+  Adjoints[checked(Id)] += Seed;
 }
 
 void Tape::reverseSweep() {
   // Eq. 8: u_(1)i = sum over consumers j of dphi_j/du_i * u_(1)j,
   // evaluated by walking the tape backwards and scattering each node's
-  // adjoint to its arguments.
-  for (size_t I = Nodes.size(); I-- > 0;) {
-    const TapeNode &N = Nodes[I];
-    if (N.Adjoint == Interval(0.0))
+  // adjoint to its arguments.  Nodes with a [0,0] adjoint reach nobody
+  // (interval products with an exact-zero factor are exactly [0,0]), so
+  // they are skipped without widening the result.
+  const Interval Zero(0.0);
+  for (size_t I = Values.size(); I-- > 0;) {
+    const Interval &A = Adjoints[I];
+    if (A == Zero)
       continue;
-    for (uint8_t A = 0; A != N.NumArgs; ++A)
-      Nodes[static_cast<size_t>(N.Args[A])].Adjoint +=
-          N.Partials[A] * N.Adjoint;
+    const TapeEdges &E = Edges[I];
+    for (uint8_t K = 0; K != E.NumArgs; ++K)
+      Adjoints[static_cast<size_t>(E.Args[K])] += E.Partials[K] * A;
   }
+}
+
+void Tape::reverseSweepBatch(
+    std::span<const std::pair<NodeId, Interval>> Seeds,
+    BatchAdjoints &Out) const {
+  const unsigned W = static_cast<unsigned>(Seeds.size());
+  Out.resize(Values.size(), W);
+  if (W == 0 || Values.empty())
+    return;
+  for (unsigned L = 0; L != W; ++L)
+    Out.at(Seeds[L].first, L) += Seeds[L].second;
+
+  // One backward pass over the edge stream, propagating all W lanes of a
+  // node before moving to the next node.  Per lane this performs exactly
+  // the sequence of interval operations reverseSweep() would, so each
+  // lane's result is bit-identical to a dedicated single-seed sweep:
+  // within a node, lane L's contributions to the arguments happen in
+  // argument order (which matters when both arguments alias, as in x*x),
+  // and contributions to a slot arrive in descending consumer order.
+  const Interval Zero(0.0);
+  for (size_t I = Values.size(); I-- > 0;) {
+    const TapeEdges &E = Edges[I];
+    if (E.NumArgs == 0)
+      continue;
+    const Interval *Row = Out.row(static_cast<NodeId>(I));
+    // Per argument, the destination row, the partial, and the partial's
+    // shape are loop-invariant; classifying them once per node and
+    // amortizing over the W lanes is where the batch saves over W
+    // separate sweeps.  Iterating arguments outside lanes keeps the
+    // per-slot accumulation order of the scalar sweep (lanes never share
+    // a slot, and an aliased x*x argument pair still applies partial 0
+    // before partial 1 to every lane's slot).
+    for (uint8_t K = 0; K != E.NumArgs; ++K) {
+      const Interval P = E.Partials[K];
+      // An exact-zero partial contributes the exact-zero product to
+      // every lane, and adding [0, 0] is the identity — skip the node.
+      if (P == Zero)
+        continue;
+      Interval *const D = Out.row(E.Args[K]);
+      if (P.isPoint()) {
+        // Point partial (every +/- edge and any differentiation w.r.t.
+        // an operand of a constant): only two of operator*'s four bound
+        // products are distinct, and multiplying by a one-signed point
+        // is monotone, so the product bounds arrive already ordered.
+        // Both branches produce bit-exactly operator*'s result.
+        const double Pv = P.lower();
+        if (Pv > 0.0) {
+          for (unsigned L = 0; L != W; ++L) {
+            const Interval A = Row[L];
+            if (A == Zero)
+              continue;
+            const double X1 = detail::mulBound(Pv, A.lower());
+            const double X2 = detail::mulBound(Pv, A.upper());
+            D[L] += detail::outward(X1, X2, 1);
+          }
+        } else {
+          for (unsigned L = 0; L != W; ++L) {
+            const Interval A = Row[L];
+            if (A == Zero)
+              continue;
+            const double X1 = detail::mulBound(Pv, A.lower());
+            const double X2 = detail::mulBound(Pv, A.upper());
+            D[L] += detail::outward(X2, X1, 1);
+          }
+        }
+      } else {
+        for (unsigned L = 0; L != W; ++L) {
+          const Interval A = Row[L];
+          if (A == Zero)
+            continue;
+          D[L] += P * A;
+        }
+      }
+    }
+  }
+}
+
+void Tape::reverseSweepBatch(std::span<const NodeId> SeedNodes,
+                             BatchAdjoints &Out) const {
+  std::vector<std::pair<NodeId, Interval>> Seeds;
+  Seeds.reserve(SeedNodes.size());
+  for (NodeId Id : SeedNodes)
+    Seeds.emplace_back(Id, Interval(1.0));
+  reverseSweepBatch(std::span<const std::pair<NodeId, Interval>>(Seeds), Out);
 }
 
 void Tape::noteDivergence(std::string Description) {

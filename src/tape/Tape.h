@@ -15,16 +15,27 @@
 /// derivative of the output with respect to *every* intermediate variable
 /// is available (Figure 1b).
 ///
+/// Storage is structure-of-arrays over chunked arenas (ChunkedVector):
+/// recording never relocates nodes, NodeIds and element addresses are
+/// stable, and the reverse sweep streams only the sweep-hot fields
+/// (argument ids, partials, adjoints) instead of striding over full
+/// nodes.  reverseSweepBatch() additionally propagates a configurable
+/// number of independent output seeds ("adjoint lanes") in one backward
+/// pass, which is what makes PerOutput significance analysis of
+/// m-output kernels cost ceil(m/K) sweeps instead of m.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SCORPIO_TAPE_TAPE_H
 #define SCORPIO_TAPE_TAPE_H
 
 #include "interval/Interval.h"
+#include "tape/ChunkedVector.h"
 
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace scorpio {
@@ -67,23 +78,68 @@ bool isAccumulativeOp(OpKind K);
 using NodeId = int32_t;
 inline constexpr NodeId InvalidNodeId = -1;
 
-/// One dynamically executed elementary function u_j = phi_j(u_i).
-struct TapeNode {
-  /// Interval enclosure [u_j] computed during the forward sweep.
-  Interval Value;
-  /// Interval local partials d(phi_j)/d(u_i) for each recorded argument.
+/// Sweep-hot per-node data: recorded (active) argument ids and their
+/// interval local partials d(phi_j)/d(u_i).  Kept separate from the cold
+/// metadata so the reverse sweep streams only these cache lines.
+struct TapeEdges {
   Interval Partials[2];
-  /// Interval adjoint, accumulated by Tape::reverseSweep().
-  Interval Adjoint;
-  /// Recorded (active) argument node ids.
   NodeId Args[2] = {InvalidNodeId, InvalidNodeId};
-  OpKind Kind = OpKind::Input;
   uint8_t NumArgs = 0;
+};
+
+/// Cold per-node metadata (graph export, DynDFG construction).
+struct TapeOp {
+  OpKind Kind = OpKind::Input;
   /// Integer exponent for PowInt.
   int32_t AuxInt = 0;
 };
 
-/// An append-only tape of TapeNodes plus divergence diagnostics.
+/// A dense NumNodes x Width matrix of interval adjoints, striped per node
+/// (the Width lanes of one node are contiguous).  Each lane is one
+/// independent reverse-sweep seed; Tape::reverseSweepBatch() propagates
+/// all lanes in a single backward pass over the tape.
+class BatchAdjoints {
+public:
+  BatchAdjoints() = default;
+  BatchAdjoints(size_t NumNodes, unsigned Width) { resize(NumNodes, Width); }
+
+  /// Resizes to \p NumNodes x \p Width and zeroes every lane.
+  void resize(size_t NumNodes, unsigned Width) {
+    Nodes = NumNodes;
+    Lanes = Width;
+    Data.assign(NumNodes * Width, Interval(0.0));
+  }
+
+  size_t numNodes() const { return Nodes; }
+  unsigned width() const { return Lanes; }
+
+  Interval &at(NodeId Id, unsigned Lane) {
+    assert(Id >= 0 && static_cast<size_t>(Id) < Nodes && Lane < Lanes);
+    return Data[static_cast<size_t>(Id) * Lanes + Lane];
+  }
+  const Interval &at(NodeId Id, unsigned Lane) const {
+    assert(Id >= 0 && static_cast<size_t>(Id) < Nodes && Lane < Lanes);
+    return Data[static_cast<size_t>(Id) * Lanes + Lane];
+  }
+
+  /// The contiguous lane stripe of node \p Id.
+  Interval *row(NodeId Id) {
+    assert(Id >= 0 && static_cast<size_t>(Id) < Nodes);
+    return Data.data() + static_cast<size_t>(Id) * Lanes;
+  }
+  const Interval *row(NodeId Id) const {
+    assert(Id >= 0 && static_cast<size_t>(Id) < Nodes);
+    return Data.data() + static_cast<size_t>(Id) * Lanes;
+  }
+
+private:
+  std::vector<Interval> Data;
+  size_t Nodes = 0;
+  unsigned Lanes = 0;
+};
+
+/// An append-only tape of elementary operations plus divergence
+/// diagnostics.
 ///
 /// Constant operands are *passive*: they are not recorded, so a node's
 /// argument list contains only the operands that transitively depend on a
@@ -94,6 +150,12 @@ public:
   Tape() = default;
   Tape(const Tape &) = delete;
   Tape &operator=(const Tape &) = delete;
+
+  /// Preallocates storage for \p ExpectedNodes nodes.  A pure hint:
+  /// recording beyond it simply grows block by block.  Kernels that know
+  /// their op count (apps, sharded drivers) call this to avoid growth
+  /// checks on the hot recording path.
+  void reserve(size_t ExpectedNodes);
 
   /// Appends an input node holding enclosure \p V; returns its id.
   NodeId recordInput(const Interval &V);
@@ -108,20 +170,37 @@ public:
                       const Interval &Partial0, NodeId Arg1,
                       const Interval &Partial1);
 
-  size_t size() const { return Nodes.size(); }
-  bool empty() const { return Nodes.empty(); }
+  size_t size() const { return Values.size(); }
+  bool empty() const { return Values.empty(); }
 
-  const TapeNode &node(NodeId Id) const {
-    assert(Id >= 0 && static_cast<size_t>(Id) < Nodes.size() &&
-           "node id out of range");
-    return Nodes[static_cast<size_t>(Id)];
+  /// Interval enclosure [u_j] computed during the forward sweep.
+  const Interval &value(NodeId Id) const { return Values[checked(Id)]; }
+
+  /// Elementary operation of node \p Id.
+  OpKind kind(NodeId Id) const { return Ops[checked(Id)].Kind; }
+
+  /// Integer exponent for PowInt nodes.
+  int32_t auxInt(NodeId Id) const { return Ops[checked(Id)].AuxInt; }
+
+  /// Number of recorded (active) arguments of node \p Id.
+  unsigned numArgs(NodeId Id) const { return Edges[checked(Id)].NumArgs; }
+
+  /// The \p A-th recorded argument id of node \p Id.
+  NodeId arg(NodeId Id, unsigned A) const {
+    const TapeEdges &E = Edges[checked(Id)];
+    assert(A < E.NumArgs && "argument index out of range");
+    return E.Args[A];
   }
-  TapeNode &node(NodeId Id) {
-    assert(Id >= 0 && static_cast<size_t>(Id) < Nodes.size() &&
-           "node id out of range");
-    return Nodes[static_cast<size_t>(Id)];
+
+  /// The interval local partial with respect to the \p A-th argument.
+  const Interval &partial(NodeId Id, unsigned A) const {
+    const TapeEdges &E = Edges[checked(Id)];
+    assert(A < E.NumArgs && "argument index out of range");
+    return E.Partials[A];
   }
-  std::span<const TapeNode> nodes() const { return Nodes; }
+
+  /// Interval adjoint accumulated by reverseSweep().
+  const Interval &adjoint(NodeId Id) const { return Adjoints[checked(Id)]; }
 
   /// Ids of all recorded input nodes, in registration order.
   const std::vector<NodeId> &inputs() const { return Inputs; }
@@ -135,6 +214,20 @@ public:
   /// Propagates adjoints from the last node towards the inputs (Eq. 8).
   /// Callers seed output adjoints first.
   void reverseSweep();
+
+  /// Vector-adjoint mode: one backward pass propagating
+  /// K = Seeds.size() independent seeds, lane k starting from
+  /// Seeds[k].first with adjoint Seeds[k].second.  \p Out is resized to
+  /// size() x K and zeroed first.  Lane k of the result is bit-identical
+  /// to clearAdjoints() + seedAdjoint(Seeds[k]...) + reverseSweep(): the
+  /// per-lane operation sequence is exactly the single-sweep sequence.
+  /// Does not touch the tape's own adjoints.
+  void reverseSweepBatch(std::span<const std::pair<NodeId, Interval>> Seeds,
+                         BatchAdjoints &Out) const;
+
+  /// Convenience form seeding every listed node with [1, 1].
+  void reverseSweepBatch(std::span<const NodeId> SeedNodes,
+                         BatchAdjoints &Out) const;
 
   /// Records that a kernel branched on an ambiguous interval comparison.
   /// The analysis result will be flagged invalid (paper Section 2.2).
@@ -151,7 +244,18 @@ private:
   friend class ActiveTapeScope;
   static Tape *&activeSlot();
 
-  std::vector<TapeNode> Nodes;
+  size_t checked(NodeId Id) const {
+    assert(Id >= 0 && static_cast<size_t>(Id) < Values.size() &&
+           "node id out of range");
+    return static_cast<size_t>(Id);
+  }
+
+  /// SoA node storage over chunked arenas (stable addresses, no
+  /// reallocation-induced copies).
+  ChunkedVector<Interval> Values;
+  ChunkedVector<TapeOp> Ops;
+  ChunkedVector<TapeEdges> Edges;
+  ChunkedVector<Interval> Adjoints;
   std::vector<NodeId> Inputs;
   std::vector<std::string> Divergences;
 };

@@ -21,31 +21,31 @@ void scorpio::writeTapeDot(const Tape &T, std::ostream &OS,
                            const TapeDotOptions &Options) {
   DotWriter W("DynDFGAnnotated");
   for (size_t I = 0; I != T.size(); ++I) {
-    const TapeNode &N = T.node(static_cast<NodeId>(I));
+    const NodeId Id = static_cast<NodeId>(I);
     std::ostringstream Label;
-    Label << "u" << I << ": " << opKindName(N.Kind);
-    if (auto It = Labels.find(static_cast<NodeId>(I)); It != Labels.end())
+    Label << "u" << I << ": " << opKindName(T.kind(Id));
+    if (auto It = Labels.find(Id); It != Labels.end())
       Label << "\\n" << It->second;
     if (Options.ShowValues)
-      Label << "\\n" << fmtInterval(N.Value, Options.Digits);
+      Label << "\\n" << fmtInterval(T.value(Id), Options.Digits);
     if (Options.ShowAdjoints)
-      Label << "\\nadj " << fmtInterval(N.Adjoint, Options.Digits);
+      Label << "\\nadj " << fmtInterval(T.adjoint(Id), Options.Digits);
     std::string Attrs =
         "label=\"" + DotWriter::escape(Label.str()) + "\", shape=box";
-    if (N.Kind == OpKind::Input)
+    if (T.kind(Id) == OpKind::Input)
       Attrs += ", style=filled, fillcolor=lightgrey";
     W.addNode("u" + std::to_string(I), Attrs);
   }
   for (size_t I = 0; I != T.size(); ++I) {
-    const TapeNode &N = T.node(static_cast<NodeId>(I));
-    for (uint8_t A = 0; A != N.NumArgs; ++A) {
+    const NodeId Id = static_cast<NodeId>(I);
+    for (unsigned A = 0, N = T.numArgs(Id); A != N; ++A) {
       std::string Attrs;
       if (Options.ShowPartials)
         Attrs = "label=\"" +
                 DotWriter::escape(
-                    fmtInterval(N.Partials[A], Options.Digits)) +
+                    fmtInterval(T.partial(Id, A), Options.Digits)) +
                 "\"";
-      W.addEdge("u" + std::to_string(N.Args[A]),
+      W.addEdge("u" + std::to_string(T.arg(Id, A)),
                 "u" + std::to_string(I), Attrs);
     }
   }

@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <sstream>
+#include <vector>
 
 using namespace scorpio;
 
@@ -206,6 +207,89 @@ TEST(AnalysisMacros, PaperStyleWorkflow) {
   EXPECT_GT(R.find("term1")->Significance,
             R.find("term2")->Significance);
   EXPECT_NE(R.find("Result"), nullptr);
+}
+
+TEST(Analysis, FindPrefersInputsWhenNamesShadow) {
+  // find() must resolve a duplicated name in registration-list order:
+  // inputs shadow intermediates, intermediates shadow outputs.
+  Analysis A;
+  IAValue X = A.input("v", 0.0, 1.0);
+  IAValue Mid = X * 2.0;
+  A.registerIntermediate(Mid, "v");
+  IAValue Y = Mid + 1.0;
+  A.registerOutput(Y, "v");
+  const AnalysisResult R = A.analyse();
+  const VariableSignificance *V = R.find("v");
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(V, &R.inputs()[0]);
+  EXPECT_NE(V, &R.intermediates()[0]);
+  EXPECT_NE(V, &R.outputs()[0]);
+}
+
+TEST(Analysis, FindSurvivesResultCopies) {
+  // The lazy name index must not dangle when the result is copied.
+  Analysis A;
+  IAValue X = A.input("x", 0.0, 1.0);
+  IAValue Y = X * 2.0;
+  A.registerOutput(Y, "y");
+  AnalysisResult R = A.analyse();
+  ASSERT_NE(R.find("x"), nullptr); // build the index on the original
+  const AnalysisResult Copy = R;
+  const VariableSignificance *V = Copy.find("x");
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(V, &Copy.inputs()[0]); // points into the copy, not R
+  EXPECT_EQ(V->Significance, R.find("x")->Significance);
+}
+
+TEST(Analysis, BatchWidthNeverChangesPerOutputResults) {
+  // Per-output significances must be bit-identical for every batch
+  // width; the vectorised sweep is an implementation detail.
+  auto Run = [](unsigned Width) {
+    Analysis A;
+    IAValue X = A.input("x", -1.0, 2.0);
+    IAValue Y = A.input("y", 0.5, 1.5);
+    std::vector<IAValue> Outs;
+    for (int I = 0; I != 11; ++I) {
+      IAValue O = X * static_cast<double>(I + 1) + Y * Y - X * Y;
+      A.registerOutput(O, "o" + std::to_string(I));
+      Outs.push_back(O);
+    }
+    AnalysisOptions Opts;
+    Opts.Mode = AnalysisOptions::OutputMode::PerOutput;
+    Opts.BatchWidth = Width;
+    return A.analyse(Opts);
+  };
+  const AnalysisResult Scalar = Run(1);
+  for (unsigned Width : {2u, 3u, 8u, 11u, 64u}) {
+    const AnalysisResult Batched = Run(Width);
+    for (const VariableSignificance &V : Scalar.inputs()) {
+      const VariableSignificance *B = Batched.find(V.Name);
+      ASSERT_NE(B, nullptr);
+      EXPECT_EQ(B->Significance, V.Significance)
+          << V.Name << " at width " << Width;
+    }
+    EXPECT_EQ(Batched.outputSignificance(), Scalar.outputSignificance())
+        << "width " << Width;
+  }
+}
+
+TEST(Analysis, DivergenceInvalidatesBatchedPerOutput) {
+  // A divergence noted mid-recording poisons the whole tape: every
+  // batched per-output result from it must be invalid.
+  Analysis A;
+  IAValue X = A.input("x", 0.0, 2.0);
+  IAValue Y = A.input("y", 1.0, 3.0);
+  (void)(X < Y); // ambiguous comparison: diverges
+  for (int I = 0; I != 10; ++I) {
+    IAValue O = X * static_cast<double>(I) + Y;
+    A.registerOutput(O, "o" + std::to_string(I));
+  }
+  AnalysisOptions Opts;
+  Opts.Mode = AnalysisOptions::OutputMode::PerOutput;
+  Opts.BatchWidth = 4;
+  const AnalysisResult R = A.analyse(Opts);
+  EXPECT_FALSE(R.isValid());
+  EXPECT_FALSE(R.divergences().empty());
 }
 
 TEST(Analysis, FindReturnsNullForUnknown) {

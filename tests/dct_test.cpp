@@ -228,6 +228,33 @@ TEST(DctAnalysis, HighFrequencyCornerInsignificant) {
   EXPECT_LT(Map.Sig[7][7], 0.15 * Map.Sig[0][0]);
 }
 
+TEST(DctAnalysis, BatchedSweepMatchesScalarSweepExactly) {
+  // The 64-output reconstruction pipeline is the stress case for the
+  // vector-adjoint sweep: widths 1 and 8 must agree bit for bit on
+  // every coefficient and every pixel.
+  Image In = testScene();
+  auto Run = [&](unsigned Width) {
+    Analysis A;
+    recordDctPipeline(In, 3, 3, 50, 6.0);
+    AnalysisOptions Opts;
+    Opts.Mode = AnalysisOptions::OutputMode::PerOutput;
+    Opts.BatchWidth = Width;
+    return A.analyse(Opts);
+  };
+  const AnalysisResult Scalar = Run(1);
+  const AnalysisResult Batched = Run(8);
+  ASSERT_TRUE(Scalar.isValid());
+  ASSERT_TRUE(Batched.isValid());
+  ASSERT_EQ(Scalar.intermediates().size(), Batched.intermediates().size());
+  for (size_t I = 0; I != Scalar.intermediates().size(); ++I) {
+    const VariableSignificance &S = Scalar.intermediates()[I];
+    const VariableSignificance &B = Batched.intermediates()[I];
+    ASSERT_EQ(S.Name, B.Name);
+    EXPECT_EQ(S.Significance, B.Significance) << S.Name;
+  }
+  EXPECT_EQ(Scalar.outputSignificance(), Batched.outputSignificance());
+}
+
 TEST(DctAnalysis, WaveDecreasesAlongZigzagQuarters) {
   // Figure 4: averaged over zig-zag quarters, the significance falls
   // monotonically from the DC corner towards the opposite corner.

@@ -46,9 +46,9 @@ TEST(IAValue, MixedActivePassiveRecordsOneArg) {
   IAValue X = IAValue::input(Interval(1.0, 2.0));
   IAValue Y = X + 10.0;
   ASSERT_TRUE(Y.isActive());
-  const TapeNode &N = Scope.tape().node(Y.node());
-  EXPECT_EQ(N.Kind, OpKind::Add);
-  EXPECT_EQ(N.NumArgs, 1);
+  const Tape &T = Scope.tape();
+  EXPECT_EQ(T.kind(Y.node()), OpKind::Add);
+  EXPECT_EQ(T.numArgs(Y.node()), 1u);
   EXPECT_NEAR(Y.value().lower(), 11.0, 1e-9);
   EXPECT_NEAR(Y.value().upper(), 12.0, 1e-9);
 }
@@ -74,7 +74,7 @@ double adjointAt(double X0, Fn Builder) {
   Scope.tape().clearAdjoints();
   Scope.tape().seedAdjoint(Y.node(), Interval(1.0));
   Scope.tape().reverseSweep();
-  return Scope.tape().node(X.node()).Adjoint.mid();
+  return Scope.tape().adjoint(X.node()).mid();
 }
 
 TEST(IAValueDerivative, Sin) {
@@ -185,9 +185,9 @@ TEST(IAValue, MinMaxSelectsDecidedPartial) {
   IAValue X = IAValue::input(Interval(1.0, 2.0));
   IAValue Y = IAValue::input(Interval(5.0, 6.0));
   IAValue M = min(X, Y);
-  const TapeNode &N = Scope.tape().node(M.node());
-  EXPECT_EQ(N.Partials[0], Interval(1.0)); // x certainly smaller
-  EXPECT_EQ(N.Partials[1], Interval(0.0));
+  const Tape &T = Scope.tape();
+  EXPECT_EQ(T.partial(M.node(), 0), Interval(1.0)); // x certainly smaller
+  EXPECT_EQ(T.partial(M.node(), 1), Interval(0.0));
 }
 
 TEST(IAValue, MinMaxAmbiguousUsesSubgradientInterval) {
@@ -195,9 +195,9 @@ TEST(IAValue, MinMaxAmbiguousUsesSubgradientInterval) {
   IAValue X = IAValue::input(Interval(1.0, 5.0));
   IAValue Y = IAValue::input(Interval(2.0, 4.0));
   IAValue M = max(X, Y);
-  const TapeNode &N = Scope.tape().node(M.node());
-  EXPECT_EQ(N.Partials[0], Interval(0.0, 1.0));
-  EXPECT_EQ(N.Partials[1], Interval(0.0, 1.0));
+  const Tape &T = Scope.tape();
+  EXPECT_EQ(T.partial(M.node(), 0), Interval(0.0, 1.0));
+  EXPECT_EQ(T.partial(M.node(), 1), Interval(0.0, 1.0));
   EXPECT_FALSE(Scope.tape().hasDiverged()); // min/max never diverge
 }
 
@@ -237,7 +237,7 @@ TEST(IAValue, RoundEnclosureAndAttenuationPartial) {
   EXPECT_EQ(R.value().lower(), 1.0);
   EXPECT_EQ(R.value().upper(), 4.0);
   // w_out / w_in = 3 / 2.6, clamped to 1: partial hull is [0, 1].
-  EXPECT_EQ(Scope.tape().node(R.node()).Partials[0], Interval(0.0, 1.0));
+  EXPECT_EQ(Scope.tape().partial(R.node(), 0), Interval(0.0, 1.0));
 }
 
 TEST(IAValue, RoundSwallowsSubStepPerturbations) {
@@ -246,7 +246,7 @@ TEST(IAValue, RoundSwallowsSubStepPerturbations) {
   IAValue X = IAValue::input(Interval(2.1, 2.4));
   IAValue R = round(X);
   EXPECT_TRUE(R.value().isPoint());
-  EXPECT_EQ(Scope.tape().node(R.node()).Partials[0], Interval(0.0));
+  EXPECT_EQ(Scope.tape().partial(R.node(), 0), Interval(0.0));
 }
 
 TEST(IAValue, ValueContainmentThroughCompositeKernel) {

@@ -490,4 +490,49 @@ TEST(IntervalProperty, WidthNonNegativeAndSubadditive) {
   }
 }
 
+TEST(Interval, StepFunctionsMatchNextafter) {
+  // The inlined bit-manipulation stepUp/stepDown must agree with libm's
+  // nextafter on every class of double: zeros of both signs, the
+  // subnormal boundary, extremes, infinities, and ordinary values.
+  const double Inf = std::numeric_limits<double>::infinity();
+  const double Cases[] = {0.0,
+                          -0.0,
+                          std::numeric_limits<double>::denorm_min(),
+                          -std::numeric_limits<double>::denorm_min(),
+                          std::numeric_limits<double>::min(),
+                          -std::numeric_limits<double>::min(),
+                          std::numeric_limits<double>::max(),
+                          -std::numeric_limits<double>::max(),
+                          1.0,
+                          -1.0,
+                          0.1,
+                          -3.75e200,
+                          6.1e-300,
+                          Inf,
+                          -Inf};
+  for (double X : Cases) {
+    EXPECT_EQ(detail::stepUp(X), X == Inf ? Inf : std::nextafter(X, Inf))
+        << "stepUp(" << X << ")";
+    EXPECT_EQ(detail::stepDown(X),
+              X == -Inf ? -Inf : std::nextafter(X, -Inf))
+        << "stepDown(" << X << ")";
+  }
+  // Stepping the smallest subnormals toward zero keeps the zero's sign,
+  // exactly like nextafter.
+  EXPECT_FALSE(std::signbit(
+      detail::stepDown(std::numeric_limits<double>::denorm_min())));
+  EXPECT_TRUE(std::signbit(
+      detail::stepUp(-std::numeric_limits<double>::denorm_min())));
+  Random Rng(77);
+  for (int I = 0; I < 1000; ++I) {
+    const double X = Rng.uniform(-1e12, 1e12);
+    EXPECT_EQ(detail::stepUp(X), std::nextafter(X, Inf));
+    EXPECT_EQ(detail::stepDown(X), std::nextafter(X, -Inf));
+  }
+  // NaN passes through (the tape never stores one, but outward must not
+  // turn it into something that looks ordered).
+  EXPECT_TRUE(std::isnan(detail::stepUp(std::nan(""))));
+  EXPECT_TRUE(std::isnan(detail::stepDown(std::nan(""))));
+}
+
 } // namespace

@@ -1,0 +1,233 @@
+//===- tests/parallel_analysis_test.cpp - Sharded analysis tests ----------===//
+
+#include "core/ParallelAnalysis.h"
+
+#include "apps/blackscholes/BlackScholes.h"
+#include "apps/sobel/Sobel.h"
+#include "core/Macros.h"
+#include "quality/Image.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+using namespace scorpio;
+
+namespace {
+
+/// Records y = a * x + b with distinct per-shard coefficients.
+void recordAffine(double Slope, double Offset) {
+  Analysis &A = Analysis::current();
+  IAValue X = A.input("x", 1.0, 2.0);
+  IAValue Y = X * Slope + Offset;
+  A.registerOutput(Y, "y");
+}
+
+TEST(ParallelAnalysis, ZeroShardsIsValidAndEmpty) {
+  ParallelAnalysis P;
+  EXPECT_EQ(P.numShards(), 0u);
+  const ParallelAnalysisResult R = P.run();
+  EXPECT_TRUE(R.isValid());
+  EXPECT_TRUE(R.shards().empty());
+  EXPECT_TRUE(R.variables().empty());
+  EXPECT_EQ(R.outputSignificance(), 0.0);
+}
+
+TEST(ParallelAnalysis, ShardsKeepRegistrationOrder) {
+  ParallelAnalysis P;
+  for (int I = 0; I != 8; ++I)
+    P.addShard("shard" + std::to_string(I),
+               [I] { recordAffine(1.0 + I, 0.5 * I); });
+  const ParallelAnalysisResult R = P.run({}, /*NumThreads=*/3);
+  ASSERT_EQ(R.shards().size(), 8u);
+  for (size_t I = 0; I != 8; ++I) {
+    EXPECT_EQ(R.shards()[I].Index, I);
+    EXPECT_EQ(R.shards()[I].Name, "shard" + std::to_string(I));
+  }
+  // Variables concatenate in shard order with "<shard>/" prefixes.
+  ASSERT_EQ(R.variables().size(), 16u); // x and y per shard
+  EXPECT_EQ(R.variables()[0].Name, "shard0/x");
+  EXPECT_EQ(R.variables()[1].Name, "shard0/y");
+  EXPECT_EQ(R.variables()[14].Name, "shard7/x");
+  EXPECT_NE(R.find("shard3/x"), nullptr);
+  EXPECT_EQ(R.find("shard9/x"), nullptr);
+}
+
+TEST(ParallelAnalysis, ShardMatchesSequentialAnalysisExactly) {
+  ParallelAnalysis P;
+  P.addShard("affine", [] { recordAffine(3.0, 1.0); });
+  const ParallelAnalysisResult R = P.run();
+
+  Analysis A;
+  recordAffine(3.0, 1.0);
+  const AnalysisResult Seq = A.analyse();
+
+  ASSERT_EQ(R.shards().size(), 1u);
+  const AnalysisResult &Sharded = R.shards()[0].Result;
+  ASSERT_NE(Seq.find("x"), nullptr);
+  EXPECT_EQ(Sharded.find("x")->Significance, Seq.find("x")->Significance);
+  EXPECT_EQ(Sharded.outputSignificance(), Seq.outputSignificance());
+  EXPECT_EQ(R.outputSignificance(), Seq.outputSignificance());
+}
+
+TEST(ParallelAnalysis, MergedJsonByteIdenticalAcrossThreadCounts) {
+  auto RunWith = [](unsigned NumThreads) {
+    ParallelAnalysis P;
+    for (int I = 0; I != 7; ++I)
+      P.addShard("s" + std::to_string(I),
+                 [I] { recordAffine(2.0 + I, -1.0 * I); });
+    const ParallelAnalysisResult R = P.run({}, NumThreads);
+    std::ostringstream OS;
+    R.writeJson(OS);
+    return OS.str();
+  };
+  const std::string OneThread = RunWith(1);
+  EXPECT_EQ(RunWith(2), OneThread);
+  EXPECT_EQ(RunWith(5), OneThread);
+  EXPECT_FALSE(OneThread.empty());
+}
+
+TEST(ParallelAnalysis, DivergentShardInvalidatesMergeAndNamesShard) {
+  ParallelAnalysis P;
+  P.addShard("clean", [] { recordAffine(1.0, 0.0); });
+  P.addShard("branchy", [] {
+    Analysis &A = Analysis::current();
+    IAValue X = A.input("x", 0.0, 2.0);
+    IAValue Y = A.input("y", 1.0, 3.0);
+    (void)(X < Y); // ambiguous: diverges
+    IAValue Z = X + Y;
+    A.registerOutput(Z, "z");
+  });
+  const ParallelAnalysisResult R = P.run({}, /*NumThreads=*/2);
+  EXPECT_FALSE(R.isValid());
+  ASSERT_EQ(R.divergences().size(), 1u);
+  EXPECT_EQ(R.divergences()[0].find("branchy: "), 0u);
+  // The clean shard alone is valid; the diverged one is not.
+  EXPECT_TRUE(R.shards()[0].Result.isValid());
+  EXPECT_FALSE(R.shards()[1].Result.isValid());
+}
+
+TEST(ParallelAnalysis, TapeSizeHintDoesNotChangeResults) {
+  auto Run = [](size_t Hint) {
+    ParallelAnalysis P;
+    P.addShard("affine", [] { recordAffine(4.0, 2.0); }, Hint);
+    std::ostringstream OS;
+    P.run().writeJson(OS);
+    return OS.str();
+  };
+  EXPECT_EQ(Run(0), Run(100000));
+}
+
+TEST(ParallelAnalysis, MacrosWorkInsideShards) {
+  // The Table-1 macros route through Analysis::current(), which is
+  // thread-local — they must work verbatim inside a shard body.
+  ParallelAnalysis P;
+  P.addShard("macro", [] {
+    IAValue X;
+    SCORPIO_INPUT(X, 1.0, 2.0);
+    IAValue Y = X * X;
+    SCORPIO_OUTPUT(Y);
+  });
+  const ParallelAnalysisResult R = P.run({}, /*NumThreads=*/2);
+  EXPECT_TRUE(R.isValid());
+  EXPECT_NE(R.find("macro/X"), nullptr);
+  EXPECT_GT(R.outputSignificance(), 0.0);
+}
+
+TEST(SobelTiles, BlockSignificancesMatchPerPixelAnalysis) {
+  Image In(12, 10);
+  for (int Y = 0; Y < In.height(); ++Y)
+    for (int X = 0; X < In.width(); ++X)
+      In.at(X, Y) = static_cast<uint8_t>((X * 37 + Y * 91 + 13) % 256);
+
+  const apps::SobelTileSignificance Tiles =
+      apps::analyseSobelTiles(In, /*TileSize=*/4, /*HalfWidth=*/8.0,
+                              /*NumThreads=*/2);
+  ASSERT_TRUE(Tiles.Result.isValid());
+  ASSERT_EQ(Tiles.Result.shards().size(), 9u); // 3x3 tiles
+
+  // Every pixel's per-block significances must equal the dedicated
+  // single-pixel analysis bit for bit: the tile DynDFG contains the same
+  // sub-graph, and foreign outputs contribute exactly zero.
+  double SumA = 0.0, SumB = 0.0, SumC = 0.0;
+  for (const ShardResult &S : Tiles.Result.shards()) {
+    int TX = 0, TY = 0;
+    ASSERT_EQ(std::sscanf(S.Name.c_str(), "tile_%d_%d", &TX, &TY), 2);
+    for (const VariableSignificance &V : S.Result.intermediates()) {
+      int LX = 0, LY = 0;
+      char Block[3] = {V.Name[0], V.Name[1], 0};
+      ASSERT_EQ(std::sscanf(V.Name.c_str() + 2, "_%d_%d", &LX, &LY), 2);
+      const int PX = TX * 4 + LX, PY = TY * 4 + LY;
+      const apps::SobelBlockSignificance Ref =
+          apps::analyseSobelBlocks(In, PX, PY, 8.0);
+      const VariableSignificance *RefV = Ref.Result.find(Block);
+      ASSERT_NE(RefV, nullptr) << V.Name;
+      EXPECT_EQ(V.Significance, RefV->Significance)
+          << "pixel (" << PX << ", " << PY << ") block " << Block;
+    }
+  }
+  for (int Y = 0; Y < In.height(); ++Y)
+    for (int X = 0; X < In.width(); ++X) {
+      const apps::SobelBlockSignificance Ref =
+          apps::analyseSobelBlocks(In, X, Y, 8.0);
+      SumA += Ref.A;
+      SumB += Ref.B;
+      SumC += Ref.C;
+    }
+  // The tile path sums per tile, the reference loop sums row-major: the
+  // addends are bitwise equal (checked above) but associate differently.
+  EXPECT_NEAR(Tiles.A, SumA, 1e-9 * SumA);
+  EXPECT_NEAR(Tiles.B, SumB, 1e-9 * SumB);
+  EXPECT_NEAR(Tiles.C, SumC, 1e-9 * SumC);
+}
+
+TEST(SobelTiles, DeterministicAcrossThreadCounts) {
+  Image In(8, 8);
+  for (int Y = 0; Y < 8; ++Y)
+    for (int X = 0; X < 8; ++X)
+      In.at(X, Y) = static_cast<uint8_t>((X * 53 + Y * 17) % 256);
+  auto JsonWith = [&](unsigned NumThreads) {
+    std::ostringstream OS;
+    apps::analyseSobelTiles(In, 4, 8.0, NumThreads).Result.writeJson(OS);
+    return OS.str();
+  };
+  const std::string One = JsonWith(1);
+  EXPECT_EQ(JsonWith(2), One);
+  EXPECT_EQ(JsonWith(5), One);
+}
+
+TEST(BlackScholesSharded, PerOptionMatchesSequential) {
+  const std::vector<apps::Option> Portfolio =
+      apps::generatePortfolio(6, 2016);
+  const apps::BlackScholesPortfolioSignificance Sharded =
+      apps::analyseBlackScholesSharded(Portfolio, 0.15, /*NumThreads=*/3);
+  ASSERT_TRUE(Sharded.Result.isValid());
+  ASSERT_EQ(Sharded.PerOption.size(), Portfolio.size());
+  for (size_t I = 0; I != Portfolio.size(); ++I) {
+    const apps::BlackScholesBlockSignificance Seq =
+        apps::analyseBlackScholes(Portfolio[I], 0.15);
+    EXPECT_EQ(Sharded.PerOption[I].A, Seq.A) << "option " << I;
+    EXPECT_EQ(Sharded.PerOption[I].B, Seq.B) << "option " << I;
+    EXPECT_EQ(Sharded.PerOption[I].C, Seq.C) << "option " << I;
+    EXPECT_EQ(Sharded.PerOption[I].D, Seq.D) << "option " << I;
+    // The paper's ranking survives the sharded path.
+    EXPECT_GT(Sharded.PerOption[I].A, Sharded.PerOption[I].C);
+    EXPECT_GT(Sharded.PerOption[I].B, Sharded.PerOption[I].C);
+  }
+}
+
+TEST(BlackScholesSharded, JsonDeterministicAcrossThreadCounts) {
+  const std::vector<apps::Option> Portfolio =
+      apps::generatePortfolio(5, 7);
+  auto JsonWith = [&](unsigned NumThreads) {
+    std::ostringstream OS;
+    apps::analyseBlackScholesSharded(Portfolio, 0.15, NumThreads)
+        .Result.writeJson(OS);
+    return OS.str();
+  };
+  const std::string One = JsonWith(1);
+  EXPECT_EQ(JsonWith(4), One);
+}
+
+} // namespace

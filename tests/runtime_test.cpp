@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <numeric>
 
 using namespace scorpio;
@@ -82,6 +83,44 @@ TEST(DecideFates, TiesPreserveSpawnOrder) {
 
 TEST(DecideFates, EmptyBatch) {
   EXPECT_TRUE(fates({}, {}, 0.5).empty());
+}
+
+TEST(DecideFates, RatioZeroAllSignificanceOneStillAccurate) {
+  // Significance >= 1.0 forces accuracy regardless of ratio.
+  const auto F = fates({1.0, 1.0, 1.0}, {true, true, true}, 0.0);
+  EXPECT_EQ(countFate(F, TaskFate::Accurate), 3u);
+}
+
+TEST(DecideFates, NaNSignificanceTreatedAsZero) {
+  const double NaN = std::numeric_limits<double>::quiet_NaN();
+  // NaN ranks below every finite significance and never forces accuracy.
+  const auto F = fates({NaN, 0.5, NaN, 0.9}, {true, true, true, true}, 0.5);
+  EXPECT_EQ(F[1], TaskFate::Accurate);
+  EXPECT_EQ(F[3], TaskFate::Accurate);
+  EXPECT_EQ(F[0], TaskFate::Approximate);
+  EXPECT_EQ(F[2], TaskFate::Approximate);
+}
+
+TEST(DecideFates, NaNDoesNotForceAccurate) {
+  const double NaN = std::numeric_limits<double>::quiet_NaN();
+  const auto F = fates({NaN, NaN}, {true, true}, 0.0);
+  EXPECT_EQ(countFate(F, TaskFate::Accurate), 0u);
+  EXPECT_EQ(countFate(F, TaskFate::Approximate), 2u);
+}
+
+TEST(DecideFates, NaNTiesBreakBySpawnOrder) {
+  const double NaN = std::numeric_limits<double>::quiet_NaN();
+  // All-NaN batch ties at key 0: the earliest-spawned tasks win the
+  // accurate slots, deterministically.
+  const auto F = fates({NaN, NaN, NaN, NaN}, {true, true, true, true}, 0.5);
+  EXPECT_EQ(F[0], TaskFate::Accurate);
+  EXPECT_EQ(F[1], TaskFate::Accurate);
+  EXPECT_EQ(F[2], TaskFate::Approximate);
+  EXPECT_EQ(F[3], TaskFate::Approximate);
+  // And a NaN ties with an explicit zero the same way.
+  const auto G = fates({0.0, NaN}, {true, true}, 0.5);
+  EXPECT_EQ(G[0], TaskFate::Accurate);
+  EXPECT_EQ(G[1], TaskFate::Approximate);
 }
 
 TEST(TaskRuntime, RunsAccurateTasks) {

@@ -34,7 +34,7 @@ template <typename Fn> double adjointAt(double X0, Fn Builder) {
   Scope.tape().clearAdjoints();
   Scope.tape().seedAdjoint(Y.node(), Interval(1.0));
   Scope.tape().reverseSweep();
-  return Scope.tape().node(X.node()).Adjoint.mid();
+  return Scope.tape().adjoint(X.node()).mid();
 }
 
 TEST(IATangent, ConstantsHaveZeroTangent) {

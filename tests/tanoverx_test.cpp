@@ -123,12 +123,12 @@ TEST(TanOverXValue, RecordsNodeWithDerivativePartial) {
   IAValue X = IAValue::input(Interval(0.3, 0.4));
   IAValue G = tanOverX(X, Phi);
   ASSERT_TRUE(G.isActive());
-  const TapeNode &N = Scope.tape().node(G.node());
-  EXPECT_EQ(N.Kind, OpKind::TanOverX);
+  const Tape &T = Scope.tape();
+  EXPECT_EQ(T.kind(G.node()), OpKind::TanOverX);
   // Partial encloses g' over [0.3, 0.4].
-  EXPECT_LE(N.Partials[0].lower(),
+  EXPECT_LE(T.partial(G.node(), 0).lower(),
             tanOverXDerivPoint(0.3, Phi) + 1e-9);
-  EXPECT_GE(N.Partials[0].upper(),
+  EXPECT_GE(T.partial(G.node(), 0).upper(),
             tanOverXDerivPoint(0.4, Phi) - 1e-9);
 }
 
@@ -139,7 +139,7 @@ TEST(TanOverXValue, AdjointMatchesDerivativeAtPoint) {
   Scope.tape().clearAdjoints();
   Scope.tape().seedAdjoint(G.node(), Interval(1.0));
   Scope.tape().reverseSweep();
-  EXPECT_NEAR(Scope.tape().node(X.node()).Adjoint.mid(),
+  EXPECT_NEAR(Scope.tape().adjoint(X.node()).mid(),
               tanOverXDerivPoint(0.6, Phi), 1e-9);
 }
 

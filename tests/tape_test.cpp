@@ -37,9 +37,9 @@ TEST(Tape, RecordInputTracksIds) {
   EXPECT_EQ(B, 1);
   ASSERT_EQ(T.inputs().size(), 2u);
   EXPECT_EQ(T.inputs()[0], A);
-  EXPECT_EQ(T.node(A).Kind, OpKind::Input);
-  EXPECT_EQ(T.node(A).NumArgs, 0);
-  EXPECT_EQ(T.node(A).Value, Interval(1.0, 2.0));
+  EXPECT_EQ(T.kind(A), OpKind::Input);
+  EXPECT_EQ(T.numArgs(A), 0u);
+  EXPECT_EQ(T.value(A), Interval(1.0, 2.0));
 }
 
 TEST(Tape, RecordUnaryStoresPartial) {
@@ -47,11 +47,10 @@ TEST(Tape, RecordUnaryStoresPartial) {
   const NodeId X = T.recordInput(Interval(2.0));
   const NodeId Y =
       T.recordUnary(OpKind::Sqr, Interval(4.0), X, Interval(4.0));
-  const TapeNode &N = T.node(Y);
-  EXPECT_EQ(N.Kind, OpKind::Sqr);
-  EXPECT_EQ(N.NumArgs, 1);
-  EXPECT_EQ(N.Args[0], X);
-  EXPECT_EQ(N.Partials[0], Interval(4.0));
+  EXPECT_EQ(T.kind(Y), OpKind::Sqr);
+  EXPECT_EQ(T.numArgs(Y), 1u);
+  EXPECT_EQ(T.arg(Y, 0), X);
+  EXPECT_EQ(T.partial(Y, 0), Interval(4.0));
 }
 
 TEST(Tape, RecordBinarySkipsPassiveArg) {
@@ -61,8 +60,8 @@ TEST(Tape, RecordBinarySkipsPassiveArg) {
   const NodeId Y = T.recordBinary(OpKind::Add, Interval(5.0), X,
                                   Interval(1.0), InvalidNodeId,
                                   Interval(1.0));
-  EXPECT_EQ(T.node(Y).NumArgs, 1);
-  EXPECT_EQ(T.node(Y).Args[0], X);
+  EXPECT_EQ(T.numArgs(Y), 1u);
+  EXPECT_EQ(T.arg(Y, 0), X);
 }
 
 TEST(Tape, ReverseSweepLinearChain) {
@@ -76,9 +75,9 @@ TEST(Tape, ReverseSweepLinearChain) {
   T.clearAdjoints();
   T.seedAdjoint(Y, Interval(1.0));
   T.reverseSweep();
-  EXPECT_NEAR(T.node(X).Adjoint.mid(), 3.0, 1e-12);
-  EXPECT_LT(T.node(X).Adjoint.width(), 1e-12);
-  EXPECT_NEAR(T.node(M).Adjoint.mid(), 1.0, 1e-12);
+  EXPECT_NEAR(T.adjoint(X).mid(), 3.0, 1e-12);
+  EXPECT_LT(T.adjoint(X).width(), 1e-12);
+  EXPECT_NEAR(T.adjoint(M).mid(), 1.0, 1e-12);
 }
 
 TEST(Tape, ReverseSweepFanOutAccumulates) {
@@ -94,7 +93,7 @@ TEST(Tape, ReverseSweepFanOutAccumulates) {
   T.clearAdjoints();
   T.seedAdjoint(Y, Interval(1.0));
   T.reverseSweep();
-  EXPECT_NEAR(T.node(X).Adjoint.mid(), 7.0, 1e-9);
+  EXPECT_NEAR(T.adjoint(X).mid(), 7.0, 1e-9);
 }
 
 TEST(Tape, ReverseSweepIntervalPartials) {
@@ -106,17 +105,17 @@ TEST(Tape, ReverseSweepIntervalPartials) {
   T.clearAdjoints();
   T.seedAdjoint(Y, Interval(1.0));
   T.reverseSweep();
-  EXPECT_NEAR(T.node(X).Adjoint.lower(), 0.5, 1e-9);
-  EXPECT_NEAR(T.node(X).Adjoint.upper(), 1.0, 1e-9);
+  EXPECT_NEAR(T.adjoint(X).lower(), 0.5, 1e-9);
+  EXPECT_NEAR(T.adjoint(X).upper(), 1.0, 1e-9);
 }
 
 TEST(Tape, ClearAdjointsResets) {
   Tape T;
   const NodeId X = T.recordInput(Interval(1.0));
   T.seedAdjoint(X, Interval(2.0));
-  EXPECT_NEAR(T.node(X).Adjoint.mid(), 2.0, 1e-12);
+  EXPECT_NEAR(T.adjoint(X).mid(), 2.0, 1e-12);
   T.clearAdjoints();
-  EXPECT_EQ(T.node(X).Adjoint, Interval(0.0));
+  EXPECT_EQ(T.adjoint(X), Interval(0.0));
 }
 
 TEST(Tape, SeedAccumulates) {
@@ -124,7 +123,7 @@ TEST(Tape, SeedAccumulates) {
   const NodeId X = T.recordInput(Interval(1.0));
   T.seedAdjoint(X, Interval(1.0));
   T.seedAdjoint(X, Interval(1.0));
-  EXPECT_NEAR(T.node(X).Adjoint.mid(), 2.0, 1e-12);
+  EXPECT_NEAR(T.adjoint(X).mid(), 2.0, 1e-12);
 }
 
 TEST(Tape, DivergenceNotes) {
@@ -164,8 +163,145 @@ TEST(Tape, ZeroAdjointShortCircuitStillCorrect) {
   T.clearAdjoints();
   T.seedAdjoint(Y, Interval(1.0));
   T.reverseSweep();
-  EXPECT_EQ(T.node(Dead).Adjoint, Interval(0.0));
-  EXPECT_NEAR(T.node(X).Adjoint.mid(), -1.0, 1e-12);
+  EXPECT_EQ(T.adjoint(Dead), Interval(0.0));
+  EXPECT_NEAR(T.adjoint(X).mid(), -1.0, 1e-12);
+}
+
+TEST(Tape, ReserveIsPureHint) {
+  Tape T;
+  T.reserve(10000);
+  EXPECT_TRUE(T.empty());
+  EXPECT_EQ(T.size(), 0u);
+  const NodeId X = T.recordInput(Interval(1.0, 2.0));
+  EXPECT_EQ(X, 0);
+  EXPECT_EQ(T.size(), 1u);
+  EXPECT_EQ(T.value(X), Interval(1.0, 2.0));
+  // Reserving after recording must not disturb recorded nodes.
+  T.reserve(100000);
+  EXPECT_EQ(T.size(), 1u);
+  EXPECT_EQ(T.value(X), Interval(1.0, 2.0));
+}
+
+TEST(Tape, ChunkGrowthKeepsAddressesStable) {
+  // Push well past one 4096-element block; addresses taken early must
+  // stay valid (the chunked arena never relocates elements).
+  Tape T;
+  const NodeId X = T.recordInput(Interval(0.5));
+  const Interval *ValueAddr = &T.value(X);
+  const Interval *AdjAddr = &T.adjoint(X);
+  NodeId Prev = X;
+  constexpr int NumNodes = 3 * 4096 + 17;
+  for (int I = 0; I != NumNodes; ++I)
+    Prev = T.recordUnary(OpKind::Neg, -T.value(Prev), Prev, Interval(-1.0));
+  EXPECT_EQ(T.size(), static_cast<size_t>(NumNodes) + 1);
+  EXPECT_EQ(&T.value(X), ValueAddr);
+  EXPECT_EQ(&T.adjoint(X), AdjAddr);
+  // A sweep through the full chain still reaches the input: the chain is
+  // NumNodes negations, so dy/dx = (-1)^NumNodes.
+  T.clearAdjoints();
+  T.seedAdjoint(Prev, Interval(1.0));
+  T.reverseSweep();
+  const double Expected = (NumNodes % 2 == 0) ? 1.0 : -1.0;
+  EXPECT_NEAR(T.adjoint(X).mid(), Expected, 1e-12);
+}
+
+/// Records a small multi-output kernel:
+///   s = a + b, d = a - b, p = a * b, q = s * d
+/// with interval inputs so adjoints are genuine intervals.
+struct MultiOutTape {
+  Tape T;
+  NodeId A, B, S, D, P, Q;
+  MultiOutTape() {
+    A = T.recordInput(Interval(1.0, 2.0));
+    B = T.recordInput(Interval(-1.0, 3.0));
+    S = T.recordBinary(OpKind::Add, T.value(A) + T.value(B), A,
+                       Interval(1.0), B, Interval(1.0));
+    D = T.recordBinary(OpKind::Sub, T.value(A) - T.value(B), A,
+                       Interval(1.0), B, Interval(-1.0));
+    P = T.recordBinary(OpKind::Mul, T.value(A) * T.value(B), A,
+                       T.value(B), B, T.value(A));
+    Q = T.recordBinary(OpKind::Mul, T.value(S) * T.value(D), S,
+                       T.value(D), D, T.value(S));
+  }
+};
+
+TEST(Tape, BatchSweepMatchesSequentialSweepsExactly) {
+  MultiOutTape F;
+  const NodeId Outs[] = {F.S, F.D, F.P, F.Q};
+
+  // Reference: one dedicated reverse sweep per output.
+  std::vector<std::vector<Interval>> Ref;
+  for (NodeId Out : Outs) {
+    F.T.clearAdjoints();
+    F.T.seedAdjoint(Out, Interval(1.0));
+    F.T.reverseSweep();
+    std::vector<Interval> Adj;
+    for (size_t I = 0; I != F.T.size(); ++I)
+      Adj.push_back(F.T.adjoint(static_cast<NodeId>(I)));
+    Ref.push_back(std::move(Adj));
+  }
+
+  // One batched pass with all four seeds as lanes.
+  BatchAdjoints Batch;
+  F.T.reverseSweepBatch(std::span<const NodeId>(Outs), Batch);
+  ASSERT_EQ(Batch.numNodes(), F.T.size());
+  ASSERT_EQ(Batch.width(), 4u);
+
+  for (unsigned L = 0; L != 4; ++L)
+    for (size_t I = 0; I != F.T.size(); ++I) {
+      const Interval &Want = Ref[L][I];
+      const Interval &Got = Batch.at(static_cast<NodeId>(I), L);
+      // Bit-identical, not merely close: same lower/upper doubles.
+      EXPECT_EQ(Got.lower(), Want.lower()) << "lane " << L << " node " << I;
+      EXPECT_EQ(Got.upper(), Want.upper()) << "lane " << L << " node " << I;
+    }
+}
+
+TEST(Tape, BatchSweepWithExplicitSeeds) {
+  MultiOutTape F;
+  // Weighted seeds exercise the (NodeId, Interval) overload.
+  const std::pair<NodeId, Interval> Seeds[] = {
+      {F.Q, Interval(2.0)},
+      {F.P, Interval(0.5, 1.5)},
+  };
+
+  F.T.clearAdjoints();
+  F.T.seedAdjoint(F.Q, Interval(2.0));
+  F.T.reverseSweep();
+  std::vector<Interval> WantLane0;
+  for (size_t I = 0; I != F.T.size(); ++I)
+    WantLane0.push_back(F.T.adjoint(static_cast<NodeId>(I)));
+
+  BatchAdjoints Batch;
+  F.T.reverseSweepBatch(
+      std::span<const std::pair<NodeId, Interval>>(Seeds), Batch);
+  for (size_t I = 0; I != F.T.size(); ++I) {
+    EXPECT_EQ(Batch.at(static_cast<NodeId>(I), 0).lower(),
+              WantLane0[I].lower());
+    EXPECT_EQ(Batch.at(static_cast<NodeId>(I), 0).upper(),
+              WantLane0[I].upper());
+  }
+}
+
+TEST(Tape, BatchSweepDoesNotTouchTapeAdjoints) {
+  MultiOutTape F;
+  F.T.clearAdjoints();
+  F.T.seedAdjoint(F.Q, Interval(1.0));
+  F.T.reverseSweep();
+  const Interval Before = F.T.adjoint(F.A);
+
+  const NodeId Outs[] = {F.S, F.D};
+  BatchAdjoints Batch;
+  F.T.reverseSweepBatch(std::span<const NodeId>(Outs), Batch);
+  EXPECT_EQ(F.T.adjoint(F.A), Before);
+}
+
+TEST(Tape, BatchSweepEmptySeeds) {
+  MultiOutTape F;
+  BatchAdjoints Batch;
+  F.T.reverseSweepBatch(std::span<const NodeId>(), Batch);
+  EXPECT_EQ(Batch.width(), 0u);
+  EXPECT_EQ(Batch.numNodes(), F.T.size());
 }
 
 } // namespace
