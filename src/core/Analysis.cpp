@@ -111,7 +111,12 @@ Analysis::Analysis() : PreviousCurrent(CurrentAnalysis) {
 Analysis::~Analysis() { CurrentAnalysis = PreviousCurrent; }
 
 Analysis &Analysis::current() {
-  assert(CurrentAnalysis && "no Analysis is live on this thread");
+  // No representable recovery: there is no Analysis to return a
+  // reference to, so this check traps under every policy (after
+  // recording the structured diagnostic).
+  SCORPIO_CHECK_FATAL(CurrentAnalysis, diag::ErrC::InvalidState,
+                      "Analysis::current: no Analysis is live on this "
+                      "thread");
   return *CurrentAnalysis;
 }
 
@@ -123,7 +128,19 @@ IAValue Analysis::input(const std::string &Name, double Lo, double Hi) {
 
 void Analysis::registerInput(IAValue &X, const std::string &Name, double Lo,
                              double Hi) {
-  const Interval Range(Lo, Hi);
+  // User-provided range bounds: a NaN bound widens to entire() (the
+  // containment-safe "unknown") and swapped bounds are reordered, each
+  // with a structured diagnostic.
+  Interval Range = Interval::entire();
+  if (SCORPIO_CHECK(!std::isnan(Lo) && !std::isnan(Hi),
+                    diag::ErrC::DomainError,
+                    "Analysis::registerInput: NaN range bound")) {
+    if (SCORPIO_CHECK(Lo <= Hi, diag::ErrC::InvalidArgument,
+                      "Analysis::registerInput: inverted range bounds"))
+      Range = Interval(Lo, Hi);
+    else
+      Range = Interval::ordered(Lo, Hi);
+  }
   const NodeId Id = Scope.tape().recordInput(Range);
   X = IAValue(Range, Id);
   Labels.emplace(Id, Name);
@@ -139,7 +156,12 @@ void Analysis::registerIntermediate(const IAValue &Z,
 }
 
 void Analysis::registerOutput(const IAValue &Y, const std::string &Name) {
-  assert(Y.isActive() && "output does not depend on any registered input");
+  // A passive output does not depend on any registered input; seeding
+  // its (nonexistent) node would corrupt the sweep, so the registration
+  // is dropped with a diagnostic.
+  SCORPIO_REQUIRE(Y.isActive(), diag::ErrC::InvalidState,
+                  "Analysis::registerOutput: output does not depend on "
+                  "any registered input");
   Labels.emplace(Y.node(), Name);
   OutputVars.emplace_back(Y.node(), Name);
   OutputNodes.push_back(Y.node());
@@ -169,13 +191,33 @@ double Analysis::cappedSignificance(NodeId Id,
   return cappedSignificance(T.value(Id), T.adjoint(Id), Options);
 }
 
-AnalysisResult Analysis::analyse(const AnalysisOptions &Options) {
+AnalysisResult Analysis::analyse(const AnalysisOptions &OptionsIn) {
   Tape &T = Scope.tape();
   AnalysisResult R;
   R.Divergences = T.divergences();
   R.NodeSignificance.assign(T.size(), 0.0);
 
-  assert(!OutputNodes.empty() && "analyse() requires a registered output");
+  // Without a registered output there is nothing to seed; return an
+  // explicitly invalid (empty) result instead of sweeping garbage.
+  if (!SCORPIO_CHECK(!OutputNodes.empty(), diag::ErrC::InvalidState,
+                     "Analysis::analyse: no registered output")) {
+    R.Divergences.push_back(
+        "error: analyse() called with no registered output");
+    return R;
+  }
+
+  // Sanitize caller-tunable knobs once, with one diagnostic per bad
+  // field; the sweep below then trusts Options unconditionally.
+  AnalysisOptions Options = OptionsIn;
+  if (!SCORPIO_CHECK(Options.SignificanceCap > 0.0 &&
+                         !std::isnan(Options.SignificanceCap),
+                     diag::ErrC::InvalidArgument,
+                     "Analysis::analyse: SignificanceCap must be positive"))
+    Options.SignificanceCap = AnalysisOptions().SignificanceCap;
+  if (!SCORPIO_CHECK(Options.Delta >= 0.0 && !std::isnan(Options.Delta),
+                     diag::ErrC::InvalidArgument,
+                     "Analysis::analyse: Delta must be non-negative"))
+    Options.Delta = AnalysisOptions().Delta;
 
   if (Options.Mode == AnalysisOptions::OutputMode::CombinedSeed ||
       OutputNodes.size() == 1) {

@@ -3,9 +3,8 @@
 #include "core/ParallelAnalysis.h"
 
 #include "runtime/ThreadPool.h"
+#include "support/Diag.h"
 #include "support/Json.h"
-
-#include <cassert>
 
 using namespace scorpio;
 
@@ -43,7 +42,12 @@ void ParallelAnalysisResult::writeJson(std::ostream &OS) const {
 void ParallelAnalysis::addShard(std::string Name,
                                 std::function<void()> Record,
                                 size_t TapeSizeHint) {
-  assert(Record && "shard needs a record function");
+  // A shard without a record function can never produce a result slot;
+  // drop the registration with a diagnostic rather than crash a pool
+  // worker later.
+  SCORPIO_REQUIRE(static_cast<bool>(Record), diag::ErrC::InvalidArgument,
+                  "ParallelAnalysis::addShard: shard needs a record "
+                  "function");
   Shards.push_back(
       Shard{std::move(Name), std::move(Record), TapeSizeHint});
 }

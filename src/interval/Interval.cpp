@@ -19,7 +19,13 @@ static constexpr double HalfPi = Pi / 2.0;
 Interval Interval::entire() { return Interval(-Inf, Inf); }
 
 Interval Interval::centered(double Mid, double Rad) {
-  assert(Rad >= 0.0 && "negative radius");
+  SCORPIO_REQUIRE(!std::isnan(Mid) && !std::isnan(Rad),
+                  diag::ErrC::DomainError,
+                  "Interval::centered: NaN center or radius",
+                  Interval::entire());
+  SCORPIO_REQUIRE(Rad >= 0.0, diag::ErrC::DomainError,
+                  "Interval::centered: negative radius",
+                  Interval::entire());
   return detail::outward(Mid - Rad, Mid + Rad, 1);
 }
 
@@ -57,13 +63,28 @@ double Interval::mig() const {
 
 namespace scorpio {
 
+/// Corner quotient for division bounds.  When both endpoints are
+/// infinite, IEEE gives NaN, which would poison the min/max fold below
+/// (std::min/std::max are not NaN-symmetric).  Within the operand box the
+/// quotient set near such a corner spans from 0 towards the signed
+/// infinity, and the adjacent corners (finite/inf = 0 and inf/finite =
+/// +-inf) already contribute both extremes; substituting 0 for the
+/// indeterminate corner therefore never narrows the true range.  The
+/// directed outward rounding applied to the fold keeps the enclosure
+/// conservative.
+static double divBound(double X, double Y) {
+  if (std::isinf(X) && std::isinf(Y))
+    return 0.0;
+  return X / Y;
+}
+
 Interval operator/(const Interval &A, const Interval &B) {
   if (B.contains(0.0))
     return Interval::entire();
-  const double Q1 = A.Lo / B.Lo;
-  const double Q2 = A.Lo / B.Hi;
-  const double Q3 = A.Hi / B.Lo;
-  const double Q4 = A.Hi / B.Hi;
+  const double Q1 = divBound(A.Lo, B.Lo);
+  const double Q2 = divBound(A.Lo, B.Hi);
+  const double Q3 = divBound(A.Hi, B.Lo);
+  const double Q4 = divBound(A.Hi, B.Hi);
   const double Lo = std::min(std::min(Q1, Q2), std::min(Q3, Q4));
   const double Hi = std::max(std::max(Q1, Q2), std::max(Q3, Q4));
   return detail::outward(Lo, Hi, 1);
@@ -77,7 +98,25 @@ Interval scorpio::hull(const Interval &A, const Interval &B) {
 }
 
 Interval scorpio::intersect(const Interval &A, const Interval &B) {
-  assert(A.intersects(B) && "empty intersection");
+  // Disjoint operands: the true intersection is the empty set, which
+  // Interval cannot represent — a Release build of the old assert-only
+  // version returned an *inverted* interval here.  Recover with the gap
+  // hull [min(uppers), max(lowers)]: any interval is a superset of the
+  // empty set, so containment is preserved, and the gap hull is the
+  // tightest choice touching both operands.
+  SCORPIO_REQUIRE(A.intersects(B), diag::ErrC::DomainError,
+                  "intersect: disjoint intervals (empty intersection)",
+                  Interval::ordered(std::max(A.lower(), B.lower()),
+                                    std::min(A.upper(), B.upper())));
+  return Interval(std::max(A.lower(), B.lower()),
+                  std::min(A.upper(), B.upper()));
+}
+
+diag::Expected<Interval> scorpio::tryIntersect(const Interval &A,
+                                               const Interval &B) {
+  if (!A.intersects(B))
+    return diag::Status::error(diag::ErrC::DomainError,
+                               "tryIntersect: disjoint intervals");
   return Interval(std::max(A.lower(), B.lower()),
                   std::min(A.upper(), B.upper()));
 }
@@ -258,7 +297,9 @@ double scorpio::tanOverXDerivPoint(double X, double Phi) {
 }
 
 Interval scorpio::tanOverX(const Interval &X, double Phi) {
-  assert(Phi > 0.0 && "lens angle must be positive");
+  SCORPIO_REQUIRE(Phi > 0.0, diag::ErrC::DomainError,
+                  "tanOverX: lens angle must be positive",
+                  Interval::entire());
   if (X.lower() < 0.0 || !X.isBounded() || X.upper() * Phi >= HalfPi)
     return Interval::entire();
   // g is monotone increasing on the domain: endpoint evaluation.

@@ -26,6 +26,8 @@
 #ifndef SCORPIO_INTERVAL_INTERVAL_H
 #define SCORPIO_INTERVAL_INTERVAL_H
 
+#include "support/Diag.h"
+
 #include <cassert>
 #include <cmath>
 #include <cstdint>
@@ -59,7 +61,10 @@ public:
   /// The whole real line [-inf, +inf].
   static Interval entire();
 
-  /// An interval centered at \p Mid with radius \p Rad >= 0.
+  /// An interval centered at \p Mid with radius \p Rad >= 0.  A NaN
+  /// center/radius or a negative radius records a structured diagnostic
+  /// (domain_error) and recovers with entire(), the containment-safe
+  /// enclosure of "unknown".
   static Interval centered(double Mid, double Rad);
 
   /// The smallest interval containing both \p X and \p Y (which may be
@@ -120,7 +125,10 @@ public:
   friend Interval operator+(const Interval &A, const Interval &B);
   friend Interval operator-(const Interval &A, const Interval &B);
   friend Interval operator*(const Interval &A, const Interval &B);
-  /// Division; returns entire() if B contains zero.
+  /// Division; returns entire() if B contains zero.  Unbounded operands
+  /// are handled with the limit convention inf/inf -> 0 for the
+  /// indeterminate corner quotients (the adjacent corners supply the
+  /// +-inf bounds), so no NaN can reach the result.
   friend Interval operator/(const Interval &A, const Interval &B);
 
 private:
@@ -130,8 +138,20 @@ private:
 /// Convex hull of two intervals.
 Interval hull(const Interval &A, const Interval &B);
 
-/// Intersection; requires the intervals to intersect.
+/// Intersection; requires the intervals to intersect.  On disjoint
+/// inputs (the intersection is the empty set, which Interval cannot
+/// represent) records a structured diagnostic (domain_error) and
+/// recovers with the *gap hull* — the interval between the facing
+/// endpoints — which is a containment-safe superset of the empty true
+/// intersection.  Callers that expect disjointness should use
+/// tryIntersect instead.
 Interval intersect(const Interval &A, const Interval &B);
+
+/// Probing intersection: the intersection when the operands share at
+/// least one point, otherwise a domain_error Status.  Never records a
+/// diagnostic — disjointness is an expected answer here, not an API
+/// violation.
+diag::Expected<Interval> tryIntersect(const Interval &A, const Interval &B);
 
 /// x^2 as a single dependent operation (tighter than x*x).
 Interval sqr(const Interval &X);

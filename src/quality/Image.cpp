@@ -139,7 +139,9 @@ Image testimages::gradient(int W, int H) {
 }
 
 Image testimages::checkerboard(int W, int H, int CellSize) {
-  assert(CellSize > 0 && "cell size must be positive");
+  if (!SCORPIO_CHECK(CellSize > 0, diag::ErrC::InvalidArgument,
+                     "checkerboard: cell size must be positive"))
+    CellSize = 1;
   Image Img(W, H);
   for (int Y = 0; Y < H; ++Y)
     for (int X = 0; X < W; ++X)
@@ -159,7 +161,9 @@ Image testimages::radialSine(int W, int H, double Frequency) {
 }
 
 Image testimages::valueNoise(int W, int H, uint64_t Seed, int CellSize) {
-  assert(CellSize > 0 && "cell size must be positive");
+  if (!SCORPIO_CHECK(CellSize > 0, diag::ErrC::InvalidArgument,
+                     "valueNoise: cell size must be positive"))
+    CellSize = 1;
   const int GW = W / CellSize + 2, GH = H / CellSize + 2;
   Random Rng(Seed);
   std::vector<double> Grid(static_cast<size_t>(GW) * GH);

@@ -16,6 +16,8 @@
 #ifndef SCORPIO_QUALITY_IMAGE_H
 #define SCORPIO_QUALITY_IMAGE_H
 
+#include "support/Diag.h"
+
 #include <cassert>
 #include <cstdint>
 #include <string>
@@ -27,11 +29,17 @@ namespace scorpio {
 class Image {
 public:
   Image() = default;
-  Image(int Width, int Height, uint8_t Fill = 0)
-      : W(Width), H(Height),
-        Pixels(static_cast<size_t>(Width) * static_cast<size_t>(Height),
-               Fill) {
-    assert(Width > 0 && Height > 0 && "empty image");
+  /// Non-positive dimensions record a structured diagnostic and produce
+  /// the empty image (a negative width cast to size_t would otherwise
+  /// request a near-2^64 allocation in Release builds).
+  Image(int Width, int Height, uint8_t Fill = 0) {
+    if (!SCORPIO_CHECK(Width > 0 && Height > 0, diag::ErrC::InvalidArgument,
+                       "Image: non-positive dimensions"))
+      return;
+    W = Width;
+    H = Height;
+    Pixels.assign(static_cast<size_t>(Width) * static_cast<size_t>(Height),
+                  Fill);
   }
 
   int width() const { return W; }

@@ -2,15 +2,25 @@
 
 #include "quality/Metrics.h"
 
-#include <cassert>
+#include "support/Diag.h"
+
 #include <cmath>
+#include <limits>
 
 using namespace scorpio;
 
+// Recovery convention for invalid metric inputs: +inf, i.e. "worst
+// possible error".  Quality-driven decisions (ratio controllers,
+// calibration searches) then fail towards full accuracy instead of
+// silently reporting perfect quality for an uncomparable pair.
+static constexpr double WorstError = std::numeric_limits<double>::infinity();
+
 double scorpio::mseOf(const Image &A, const Image &B) {
-  assert(A.width() == B.width() && A.height() == B.height() &&
-         "image size mismatch");
-  assert(!A.empty() && "empty images");
+  SCORPIO_REQUIRE(A.width() == B.width() && A.height() == B.height(),
+                  diag::ErrC::SizeMismatch, "mseOf: image size mismatch",
+                  WorstError);
+  SCORPIO_REQUIRE(!A.empty(), diag::ErrC::EmptyInput, "mseOf: empty images",
+                  WorstError);
   double Sum = 0.0;
   const auto &DA = A.data();
   const auto &DB = B.data();
@@ -30,8 +40,10 @@ double scorpio::psnrOf(const Image &A, const Image &B, double CapDb) {
 }
 
 double scorpio::mseOf(std::span<const double> A, std::span<const double> B) {
-  assert(A.size() == B.size() && "vector size mismatch");
-  assert(!A.empty() && "empty vectors");
+  SCORPIO_REQUIRE(A.size() == B.size(), diag::ErrC::SizeMismatch,
+                  "mseOf: vector size mismatch", WorstError);
+  SCORPIO_REQUIRE(!A.empty(), diag::ErrC::EmptyInput, "mseOf: empty vectors",
+                  WorstError);
   double Sum = 0.0;
   for (size_t I = 0; I != A.size(); ++I) {
     const double D = A[I] - B[I];
@@ -42,7 +54,8 @@ double scorpio::mseOf(std::span<const double> A, std::span<const double> B) {
 
 double scorpio::relativeErrorOf(std::span<const double> A,
                                 std::span<const double> B) {
-  assert(A.size() == B.size() && "vector size mismatch");
+  SCORPIO_REQUIRE(A.size() == B.size(), diag::ErrC::SizeMismatch,
+                  "relativeErrorOf: vector size mismatch", WorstError);
   double Num = 0.0, Den = 0.0;
   for (size_t I = 0; I != A.size(); ++I) {
     Num += std::fabs(A[I] - B[I]);
@@ -55,7 +68,8 @@ double scorpio::relativeErrorOf(std::span<const double> A,
 
 double scorpio::maxRelativeErrorOf(std::span<const double> A,
                                    std::span<const double> B) {
-  assert(A.size() == B.size() && "vector size mismatch");
+  SCORPIO_REQUIRE(A.size() == B.size(), diag::ErrC::SizeMismatch,
+                  "maxRelativeErrorOf: vector size mismatch", WorstError);
   double Max = 0.0;
   for (size_t I = 0; I != A.size(); ++I) {
     const double Scale = std::max(std::fabs(A[I]), 1e-12);

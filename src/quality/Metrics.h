@@ -11,6 +11,11 @@
 /// logarithmic) and relative error for N-Body and BlackScholes (lower is
 /// better), always measured against the fully accurate execution.
 ///
+/// Invalid inputs (size mismatches, empty operands) record a structured
+/// diagnostic (support/Diag.h) and recover with +inf — "worst possible
+/// error" — so quality-driven control loops fail towards full accuracy
+/// rather than silently reporting perfect quality.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SCORPIO_QUALITY_METRICS_H

@@ -2,8 +2,10 @@
 
 #include "runtime/RatioController.h"
 
+#include "support/Diag.h"
+
 #include <algorithm>
-#include <cassert>
+#include <cmath>
 
 using namespace scorpio::rt;
 
@@ -14,9 +16,24 @@ static bool meets(double Quality, double Target, QualityGoal Goal) {
 
 double scorpio::rt::ratioForQualityTarget(
     const std::function<double(double)> &QualityAt, double Target,
-    QualityGoal Goal, const RatioSearchOptions &Options) {
-  assert(QualityAt && "need a quality oracle");
-  assert(Options.RatioTolerance > 0.0 && "tolerance must be positive");
+    QualityGoal Goal, const RatioSearchOptions &OptionsIn) {
+  // Without an oracle no quality can be measured; 1.0 (full accuracy)
+  // is the only answer that cannot miss the target by more than the
+  // hardware does.
+  SCORPIO_REQUIRE(static_cast<bool>(QualityAt), diag::ErrC::InvalidArgument,
+                  "ratioForQualityTarget: need a quality oracle", 1.0);
+  SCORPIO_REQUIRE(!std::isnan(Target), diag::ErrC::DomainError,
+                  "ratioForQualityTarget: NaN quality target", 1.0);
+  RatioSearchOptions Options = OptionsIn;
+  if (!SCORPIO_CHECK(Options.RatioTolerance > 0.0 &&
+                         !std::isnan(Options.RatioTolerance),
+                     diag::ErrC::InvalidArgument,
+                     "ratioForQualityTarget: tolerance must be positive"))
+    Options.RatioTolerance = RatioSearchOptions().RatioTolerance;
+  if (!SCORPIO_CHECK(Options.Margin >= 0.0 && !std::isnan(Options.Margin),
+                     diag::ErrC::InvalidArgument,
+                     "ratioForQualityTarget: margin must be non-negative"))
+    Options.Margin = 0.0;
 
   if (meets(QualityAt(0.0), Target, Goal))
     return 0.0;
@@ -36,7 +53,16 @@ double scorpio::rt::ratioForQualityTarget(
 }
 
 double OnlineRatioController::update(double MeasuredQuality) {
-  const double Band = Opts.DeadBand * std::max(1e-12, std::abs(Target));
+  // A NaN measurement carries no information; keep the current ratio.
+  SCORPIO_REQUIRE(!std::isnan(MeasuredQuality), diag::ErrC::DomainError,
+                  "OnlineRatioController::update: NaN measured quality",
+                  CurrentRatio);
+  // The fractional band alone collapses to ~0 at Target == 0 (the old
+  // 1e-12 epsilon merely avoided a zero product), making the controller
+  // oscillate on any measurement noise; the absolute floor keeps a real
+  // dead band around zero targets.
+  const double Band =
+      std::max(Opts.DeadBandFloor, Opts.DeadBand * std::abs(Target));
   double Delta = 0.0;
   if (Goal == QualityGoal::HigherIsBetter) {
     if (MeasuredQuality < Target - Band)

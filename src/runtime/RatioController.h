@@ -64,6 +64,12 @@ public:
     /// Fractional dead band around the target within which the ratio is
     /// left alone.
     double DeadBand = 0.02;
+    /// Absolute floor of the dead band, in quality units.  A purely
+    /// fractional band degenerates to ~0 when Target == 0 (e.g. a
+    /// zero-error target): any measurement noise then lies outside the
+    /// band and the controller steps — oscillating — on every update.
+    /// The effective band is max(DeadBand * |Target|, DeadBandFloor).
+    double DeadBandFloor = 1e-6;
   };
 
   OnlineRatioController(double Target, QualityGoal Goal,

@@ -2,8 +2,9 @@
 
 #include "runtime/TaskRuntime.h"
 
+#include "support/Diag.h"
+
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numeric>
 
@@ -12,16 +13,31 @@ using namespace scorpio::rt;
 TaskRuntime::TaskRuntime(unsigned NumThreads) : Pool(NumThreads) {}
 
 TaskRuntime::~TaskRuntime() {
-  assert(Pending.empty() ||
-         std::all_of(Pending.begin(), Pending.end(),
-                     [](const auto &KV) { return KV.second.empty(); }) &&
-             "TaskRuntime destroyed with unreleased tasks");
+  // The old assert here spelled `A || B && "msg"`, whose precedence
+  // (`A || (B && "msg")`) is the -Wparentheses footgun the build now
+  // rejects; and being an assert it vanished under NDEBUG entirely.
+  // Destructors cannot return a Status, so the violation is recorded as
+  // a structured diagnostic and the pending tasks are released unrun.
+  const bool AllReleased =
+      std::all_of(Pending.begin(), Pending.end(),
+                  [](const auto &KV) { return KV.second.empty(); });
+  (void)SCORPIO_CHECK(AllReleased, diag::ErrC::InvalidState,
+                      "TaskRuntime destroyed with unreleased tasks");
 }
 
 void TaskRuntime::spawn(std::function<void()> AccurateFn,
                         TaskOptions Options) {
-  assert(AccurateFn && "task needs an accurate implementation");
-  assert(Options.Significance >= 0.0 && "negative significance");
+  // A task without an accurate implementation could never honour a
+  // ratio-1.0 taskwait; drop the spawn with a diagnostic.
+  SCORPIO_REQUIRE(static_cast<bool>(AccurateFn), diag::ErrC::InvalidArgument,
+                  "TaskRuntime::spawn: task needs an accurate "
+                  "implementation");
+  // NaN significance is sanitized by decideFates (ranked as 0); a
+  // negative one is clamped to 0 here so the ranking invariants hold.
+  if (!SCORPIO_CHECK(!(Options.Significance < 0.0),
+                     diag::ErrC::InvalidArgument,
+                     "TaskRuntime::spawn: negative significance"))
+    Options.Significance = 0.0;
   PendingTask T;
   T.AccurateFn = std::move(AccurateFn);
   T.ApproxFn = std::move(Options.ApproxFn);
@@ -32,8 +48,21 @@ void TaskRuntime::spawn(std::function<void()> AccurateFn,
 std::vector<TaskFate>
 TaskRuntime::decideFates(const std::vector<double> &Significances,
                          const std::vector<bool> &HasApprox, double Ratio) {
-  assert(Significances.size() == HasApprox.size() && "size mismatch");
-  assert(Ratio >= 0.0 && Ratio <= 1.0 && "ratio out of [0, 1]");
+  // Invalid task metadata must degrade gracefully, not corrupt state
+  // (Vassiliadis et al., arXiv:1412.5150): on a size mismatch the only
+  // fate assignable without reading out of bounds is the conservative
+  // one — run everything accurate (zero quality loss, energy win lost).
+  SCORPIO_REQUIRE(Significances.size() == HasApprox.size(),
+                  diag::ErrC::SizeMismatch,
+                  "TaskRuntime::decideFates: significance/approx size "
+                  "mismatch",
+                  std::vector<TaskFate>(Significances.size(),
+                                        TaskFate::Accurate));
+  // An out-of-range ratio is clamped; a NaN ratio means "no usable
+  // knob" and resolves to 1.0, the all-accurate safe side.
+  if (!SCORPIO_CHECK(Ratio >= 0.0 && Ratio <= 1.0, diag::ErrC::OutOfRange,
+                     "TaskRuntime::decideFates: ratio out of [0, 1]"))
+    Ratio = std::isnan(Ratio) ? 1.0 : std::clamp(Ratio, 0.0, 1.0);
   const size_t N = Significances.size();
   std::vector<TaskFate> Fates(N, TaskFate::Dropped);
   if (N == 0)

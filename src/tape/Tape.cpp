@@ -81,15 +81,24 @@ NodeId Tape::recordInput(const Interval &V) {
 
 NodeId Tape::recordUnary(OpKind K, const Interval &V, NodeId Arg,
                          const Interval &Partial, int32_t AuxInt) {
-  assert(Arg != InvalidNodeId && "unary op needs an active argument");
-  assert(Arg < static_cast<NodeId>(Values.size()) && "forward reference");
   const NodeId Id = static_cast<NodeId>(Values.size());
+  // IAValue overloads always pass tape-generated ids, but the recording
+  // API is public (tests, tooling): an invalid or forward-referencing
+  // argument is live-checked and demoted to a passive operand (the node
+  // is still recorded, as a constant leaf) instead of corrupting the
+  // edge stream in Release builds.
+  const bool ArgOk =
+      SCORPIO_CHECK(Arg != InvalidNodeId && Arg < Id,
+                    diag::ErrC::InvalidArgument,
+                    "Tape::recordUnary: invalid or forward argument id");
   Values.push_back(V);
   Ops.push_back(TapeOp{K, AuxInt});
   TapeEdges &E = Edges.push_back(TapeEdges{});
-  E.NumArgs = 1;
-  E.Args[0] = Arg;
-  E.Partials[0] = Partial;
+  if (ArgOk) {
+    E.NumArgs = 1;
+    E.Args[0] = Arg;
+    E.Partials[0] = Partial;
+  }
   Adjoints.push_back(Interval(0.0));
   return Id;
 }
@@ -97,20 +106,33 @@ NodeId Tape::recordUnary(OpKind K, const Interval &V, NodeId Arg,
 NodeId Tape::recordBinary(OpKind K, const Interval &V, NodeId Arg0,
                           const Interval &Partial0, NodeId Arg1,
                           const Interval &Partial1) {
-  assert((Arg0 != InvalidNodeId || Arg1 != InvalidNodeId) &&
-         "binary op needs at least one active argument");
   const NodeId Id = static_cast<NodeId>(Values.size());
+  // Either argument may legitimately be passive (InvalidNodeId); an id
+  // that is present but out of range / forward-referencing is demoted to
+  // passive with a diagnostic, and a node whose arguments all turn out
+  // passive is additionally flagged (callers should have recorded a
+  // constant, not an operation).
+  auto ActiveOk = [&](NodeId Arg) {
+    if (Arg == InvalidNodeId)
+      return false;
+    return SCORPIO_CHECK(Arg < Id && Arg >= 0, diag::ErrC::InvalidArgument,
+                         "Tape::recordBinary: invalid or forward argument id");
+  };
+  const bool Use0 = ActiveOk(Arg0);
+  const bool Use1 = ActiveOk(Arg1);
+  (void)SCORPIO_CHECK(Arg0 != InvalidNodeId || Arg1 != InvalidNodeId,
+                      diag::ErrC::InvalidArgument,
+                      "Tape::recordBinary: binary op needs at least one "
+                      "active argument");
   Values.push_back(V);
   Ops.push_back(TapeOp{K, 0});
   TapeEdges &E = Edges.push_back(TapeEdges{});
-  if (Arg0 != InvalidNodeId) {
-    assert(Arg0 < Id && "forward reference");
+  if (Use0) {
     E.Args[E.NumArgs] = Arg0;
     E.Partials[E.NumArgs] = Partial0;
     ++E.NumArgs;
   }
-  if (Arg1 != InvalidNodeId) {
-    assert(Arg1 < Id && "forward reference");
+  if (Use1) {
     E.Args[E.NumArgs] = Arg1;
     E.Partials[E.NumArgs] = Partial1;
     ++E.NumArgs;
@@ -130,7 +152,9 @@ void Tape::clearAdjoints() {
 }
 
 void Tape::seedAdjoint(NodeId Id, const Interval &Seed) {
-  Adjoints[checked(Id)] += Seed;
+  SCORPIO_REQUIRE(isValidNode(Id), diag::ErrC::OutOfRange,
+                  "Tape::seedAdjoint: node id out of range");
+  Adjoints[static_cast<size_t>(Id)] += Seed;
 }
 
 void Tape::reverseSweep() {
@@ -157,8 +181,14 @@ void Tape::reverseSweepBatch(
   Out.resize(Values.size(), W);
   if (W == 0 || Values.empty())
     return;
-  for (unsigned L = 0; L != W; ++L)
+  for (unsigned L = 0; L != W; ++L) {
+    // An out-of-range seed node leaves its lane all-zero (a sweep that
+    // was never seeded) instead of scribbling outside the matrix.
+    if (!SCORPIO_CHECK(isValidNode(Seeds[L].first), diag::ErrC::OutOfRange,
+                       "Tape::reverseSweepBatch: seed node id out of range"))
+      continue;
     Out.at(Seeds[L].first, L) += Seeds[L].second;
+  }
 
   // One backward pass over the edge stream, propagating all W lanes of a
   // node before moving to the next node.  Per lane this performs exactly

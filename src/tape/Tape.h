@@ -30,6 +30,7 @@
 #define SCORPIO_TAPE_TAPE_H
 
 #include "interval/Interval.h"
+#include "support/Diag.h"
 #include "tape/ChunkedVector.h"
 
 #include <cstdint>
@@ -173,34 +174,80 @@ public:
   size_t size() const { return Values.size(); }
   bool empty() const { return Values.empty(); }
 
+  /// True iff \p Id names a recorded node.  Node ids also arrive from
+  /// callers (tests, tooling, seed lists), so the accessors below
+  /// live-check them and recover with neutral fallbacks instead of
+  /// reading out of bounds in Release builds.
+  bool isValidNode(NodeId Id) const {
+    return Id >= 0 && static_cast<size_t>(Id) < Values.size();
+  }
+
   /// Interval enclosure [u_j] computed during the forward sweep.
-  const Interval &value(NodeId Id) const { return Values[checked(Id)]; }
+  const Interval &value(NodeId Id) const {
+    if (!SCORPIO_CHECK(isValidNode(Id), diag::ErrC::OutOfRange,
+                       "Tape::value: node id out of range"))
+      return zeroInterval();
+    return Values[static_cast<size_t>(Id)];
+  }
 
   /// Elementary operation of node \p Id.
-  OpKind kind(NodeId Id) const { return Ops[checked(Id)].Kind; }
+  OpKind kind(NodeId Id) const {
+    if (!SCORPIO_CHECK(isValidNode(Id), diag::ErrC::OutOfRange,
+                       "Tape::kind: node id out of range"))
+      return OpKind::Input;
+    return Ops[static_cast<size_t>(Id)].Kind;
+  }
 
   /// Integer exponent for PowInt nodes.
-  int32_t auxInt(NodeId Id) const { return Ops[checked(Id)].AuxInt; }
+  int32_t auxInt(NodeId Id) const {
+    if (!SCORPIO_CHECK(isValidNode(Id), diag::ErrC::OutOfRange,
+                       "Tape::auxInt: node id out of range"))
+      return 0;
+    return Ops[static_cast<size_t>(Id)].AuxInt;
+  }
 
   /// Number of recorded (active) arguments of node \p Id.
-  unsigned numArgs(NodeId Id) const { return Edges[checked(Id)].NumArgs; }
+  unsigned numArgs(NodeId Id) const {
+    if (!SCORPIO_CHECK(isValidNode(Id), diag::ErrC::OutOfRange,
+                       "Tape::numArgs: node id out of range"))
+      return 0;
+    return Edges[static_cast<size_t>(Id)].NumArgs;
+  }
 
   /// The \p A-th recorded argument id of node \p Id.
   NodeId arg(NodeId Id, unsigned A) const {
-    const TapeEdges &E = Edges[checked(Id)];
-    assert(A < E.NumArgs && "argument index out of range");
-    return E.Args[A];
+    if (!SCORPIO_CHECK(isValidNode(Id), diag::ErrC::OutOfRange,
+                       "Tape::arg: node id out of range"))
+      return InvalidNodeId;
+    const TapeEdges &E = Edges[static_cast<size_t>(Id)];
+    if (!SCORPIO_CHECK(A < E.NumArgs, diag::ErrC::OutOfRange,
+                       "Tape::arg: argument index out of range"))
+      return InvalidNodeId;
+    // NumArgs <= 2, so A & 1 == A here; the mask makes the access
+    // provably in-bounds for the optimizer as well.
+    return E.Args[A & 1];
   }
 
   /// The interval local partial with respect to the \p A-th argument.
   const Interval &partial(NodeId Id, unsigned A) const {
-    const TapeEdges &E = Edges[checked(Id)];
-    assert(A < E.NumArgs && "argument index out of range");
-    return E.Partials[A];
+    if (!SCORPIO_CHECK(isValidNode(Id), diag::ErrC::OutOfRange,
+                       "Tape::partial: node id out of range"))
+      return zeroInterval();
+    const TapeEdges &E = Edges[static_cast<size_t>(Id)];
+    if (!SCORPIO_CHECK(A < E.NumArgs, diag::ErrC::OutOfRange,
+                       "Tape::partial: argument index out of range"))
+      return zeroInterval();
+    // NumArgs <= 2, so A & 1 == A here (see arg()).
+    return E.Partials[A & 1];
   }
 
   /// Interval adjoint accumulated by reverseSweep().
-  const Interval &adjoint(NodeId Id) const { return Adjoints[checked(Id)]; }
+  const Interval &adjoint(NodeId Id) const {
+    if (!SCORPIO_CHECK(isValidNode(Id), diag::ErrC::OutOfRange,
+                       "Tape::adjoint: node id out of range"))
+      return zeroInterval();
+    return Adjoints[static_cast<size_t>(Id)];
+  }
 
   /// Ids of all recorded input nodes, in registration order.
   const std::vector<NodeId> &inputs() const { return Inputs; }
@@ -244,10 +291,11 @@ private:
   friend class ActiveTapeScope;
   static Tape *&activeSlot();
 
-  size_t checked(NodeId Id) const {
-    assert(Id >= 0 && static_cast<size_t>(Id) < Values.size() &&
-           "node id out of range");
-    return static_cast<size_t>(Id);
+  /// Neutral fallback returned by reference-returning accessors when a
+  /// live check fails (there may be no node to refer to at all).
+  static const Interval &zeroInterval() {
+    static const Interval Zero(0.0);
+    return Zero;
   }
 
   /// SoA node storage over chunked arenas (stable addresses, no

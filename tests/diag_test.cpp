@@ -1,0 +1,247 @@
+//===- tests/diag_test.cpp - Structured diagnostics layer tests -----------===//
+//
+// Unit tests for support/Diag.h: Status/Expected, the DiagSink, check
+// policies, the fault-injection hook, and JSON export.  Everything here
+// must behave identically in Debug and Release (NDEBUG) builds — that is
+// the point of the layer.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diag.h"
+
+#include "core/Analysis.h"
+#include "interval/Interval.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+using namespace scorpio;
+using namespace scorpio::diag;
+
+namespace {
+
+class DiagTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    DiagSink::global().clear();
+    DiagTestHook::disarm();
+    setCheckPolicy(CheckPolicy::ReturnStatus);
+  }
+  void TearDown() override {
+    DiagTestHook::disarm();
+    setCheckPolicy(CheckPolicy::ReturnStatus);
+    DiagSink::global().clear();
+  }
+};
+
+TEST_F(DiagTest, StatusOkAndError) {
+  const Status Ok = Status::ok();
+  EXPECT_TRUE(Ok.isOk());
+  EXPECT_TRUE(static_cast<bool>(Ok));
+  EXPECT_EQ(Ok.code(), ErrC::Ok);
+  EXPECT_EQ(Ok.toString(), "ok");
+
+  const Status E =
+      Status::error(ErrC::DomainError, "negative radius",
+                    SourceLoc{"Interval.cpp", 42});
+  EXPECT_FALSE(E.isOk());
+  EXPECT_FALSE(static_cast<bool>(E));
+  EXPECT_EQ(E.code(), ErrC::DomainError);
+  EXPECT_EQ(E.message(), "negative radius");
+  EXPECT_EQ(E.toString(), "domain_error: negative radius (Interval.cpp:42)");
+}
+
+TEST_F(DiagTest, ErrNamesAreStable) {
+  EXPECT_STREQ(errName(ErrC::Ok), "ok");
+  EXPECT_STREQ(errName(ErrC::InvalidArgument), "invalid_argument");
+  EXPECT_STREQ(errName(ErrC::DomainError), "domain_error");
+  EXPECT_STREQ(errName(ErrC::SizeMismatch), "size_mismatch");
+  EXPECT_STREQ(errName(ErrC::EmptyInput), "empty_input");
+  EXPECT_STREQ(errName(ErrC::OutOfRange), "out_of_range");
+  EXPECT_STREQ(errName(ErrC::InvalidState), "invalid_state");
+  EXPECT_STREQ(errName(ErrC::Internal), "internal");
+}
+
+TEST_F(DiagTest, ExpectedHoldsValueOrStatus) {
+  Expected<int> V(7);
+  EXPECT_TRUE(V.hasValue());
+  EXPECT_EQ(V.value(), 7);
+  EXPECT_EQ(V.valueOr(-1), 7);
+  EXPECT_TRUE(V.status().isOk());
+
+  Expected<int> E(Status::error(ErrC::OutOfRange, "nope"));
+  EXPECT_FALSE(E.hasValue());
+  EXPECT_EQ(E.valueOr(-1), -1);
+  EXPECT_EQ(E.status().code(), ErrC::OutOfRange);
+  EXPECT_EQ(E.status().message(), "nope");
+}
+
+TEST_F(DiagTest, ExpectedFromOkStatusIsNormalizedToError) {
+  // A value-less Expected must never claim success.
+  Expected<int> E{Status::ok()};
+  EXPECT_FALSE(E.hasValue());
+  EXPECT_EQ(E.status().code(), ErrC::Internal);
+}
+
+TEST_F(DiagTest, SinkCollectsRecordsInOrder) {
+  DiagSink &S = DiagSink::global();
+  EXPECT_EQ(S.count(), 0u);
+  S.report(ErrC::DomainError, "a.cpp", 1, "first");
+  S.report(ErrC::SizeMismatch, "b.cpp", 2, "second");
+  EXPECT_EQ(S.count(), 2u);
+  EXPECT_EQ(S.countOf(ErrC::DomainError), 1u);
+  EXPECT_EQ(S.countOf(ErrC::SizeMismatch), 1u);
+  EXPECT_EQ(S.countOf(ErrC::OutOfRange), 0u);
+
+  const std::vector<DiagRecord> R = S.records();
+  ASSERT_EQ(R.size(), 2u);
+  EXPECT_EQ(R[0].Message, "first");
+  EXPECT_EQ(R[1].Message, "second");
+  EXPECT_LT(R[0].Seq, R[1].Seq);
+  EXPECT_EQ(S.last().Message, "second");
+
+  S.clear();
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_EQ(S.last().Code, ErrC::Ok);
+}
+
+TEST_F(DiagTest, SinkIsThreadSafe) {
+  constexpr int PerThread = 200;
+  constexpr int NumThreads = 8;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([T] {
+      for (int I = 0; I != PerThread; ++I)
+        DiagSink::global().report(ErrC::Internal, "mt.cpp", T, "mt");
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(DiagSink::global().count(),
+            static_cast<size_t>(PerThread * NumThreads));
+  // Sequence numbers are unique and monotone in collection order.
+  const std::vector<DiagRecord> R = DiagSink::global().records();
+  for (size_t I = 1; I < R.size(); ++I)
+    EXPECT_LT(R[I - 1].Seq, R[I].Seq);
+}
+
+TEST_F(DiagTest, CheckMacroPassesAndFails) {
+  EXPECT_TRUE(SCORPIO_CHECK(1 + 1 == 2, ErrC::Internal, "arith works"));
+  EXPECT_EQ(DiagSink::global().count(), 0u);
+
+  EXPECT_FALSE(SCORPIO_CHECK(1 + 1 == 3, ErrC::InvalidArgument,
+                             "arith is broken"));
+  ASSERT_EQ(DiagSink::global().count(), 1u);
+  const DiagRecord R = DiagSink::global().last();
+  EXPECT_EQ(R.Code, ErrC::InvalidArgument);
+  EXPECT_EQ(R.Message, "arith is broken");
+  EXPECT_NE(R.File.find("diag_test.cpp"), std::string::npos);
+  EXPECT_GT(R.Line, 0);
+}
+
+TEST_F(DiagTest, ReportFailureReturnsMatchingStatus) {
+  const Status S =
+      reportFailure(ErrC::OutOfRange, "x.cpp", 99, "index too large");
+  EXPECT_EQ(S.code(), ErrC::OutOfRange);
+  EXPECT_EQ(S.message(), "index too large");
+  EXPECT_EQ(S.location().Line, 99);
+  EXPECT_EQ(DiagSink::global().count(), 1u);
+}
+
+TEST_F(DiagTest, TestHookForcesFailureOnValidInput) {
+  // The guarded condition holds, but the armed fault drives the failure
+  // path anyway — this is how every recovery path is exercised under
+  // NDEBUG.
+  DiagTestHook::arm("forced site");
+  EXPECT_FALSE(SCORPIO_CHECK(true, ErrC::Internal, "forced site"));
+  EXPECT_EQ(DiagSink::global().countOf(ErrC::Internal), 1u);
+
+  // The fault was consumed: the same check now passes.
+  EXPECT_TRUE(SCORPIO_CHECK(true, ErrC::Internal, "forced site"));
+  EXPECT_EQ(DiagSink::global().count(), 1u);
+}
+
+TEST_F(DiagTest, TestHookMatchesBySubstringAndCount) {
+  DiagTestHook::arm("intersect", 2);
+  // Non-matching site is unaffected.
+  EXPECT_TRUE(SCORPIO_CHECK(true, ErrC::Internal, "unrelated check"));
+  // Matching site fails exactly twice.
+  EXPECT_FALSE(SCORPIO_CHECK(true, ErrC::DomainError,
+                             "intersect: disjoint intervals"));
+  EXPECT_FALSE(SCORPIO_CHECK(true, ErrC::DomainError,
+                             "intersect: disjoint intervals"));
+  EXPECT_TRUE(SCORPIO_CHECK(true, ErrC::DomainError,
+                            "intersect: disjoint intervals"));
+  EXPECT_EQ(DiagSink::global().countOf(ErrC::DomainError), 2u);
+
+  DiagTestHook::arm("never evaluated");
+  DiagTestHook::disarm();
+  EXPECT_TRUE(SCORPIO_CHECK(true, ErrC::Internal, "never evaluated"));
+}
+
+TEST_F(DiagTest, LogAndRecoverPrintsToStderr) {
+  setCheckPolicy(CheckPolicy::LogAndRecover);
+  ::testing::internal::CaptureStderr();
+  EXPECT_FALSE(SCORPIO_CHECK(false, ErrC::DomainError, "loud failure"));
+  const std::string Err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(Err.find("loud failure"), std::string::npos);
+  EXPECT_NE(Err.find("domain_error"), std::string::npos);
+  // The record is still collected.
+  EXPECT_EQ(DiagSink::global().countOf(ErrC::DomainError), 1u);
+}
+
+TEST_F(DiagTest, ReturnStatusPolicyIsSilent) {
+  ::testing::internal::CaptureStderr();
+  EXPECT_FALSE(SCORPIO_CHECK(false, ErrC::DomainError, "quiet failure"));
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+  EXPECT_EQ(DiagSink::global().count(), 1u);
+}
+
+TEST_F(DiagTest, TrapPolicyAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        setCheckPolicy(CheckPolicy::Trap);
+        (void)SCORPIO_CHECK(false, ErrC::DomainError, "trapped failure");
+      },
+      "trapped failure");
+}
+
+TEST_F(DiagTest, FatalCheckAbortsUnderEveryPolicy) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Analysis::current() with no live Analysis has nothing to return a
+  // reference to; it must trap even under the default recover policy —
+  // in Release builds the old assert would have dereferenced null.
+  EXPECT_DEATH((void)Analysis::current(), "no Analysis is live");
+}
+
+TEST_F(DiagTest, JsonExportContainsRecords) {
+  DiagSink::global().report(ErrC::SizeMismatch, "m.cpp", 7,
+                            "vector size mismatch");
+  std::ostringstream OS;
+  DiagSink::global().writeJson(OS);
+  const std::string J = OS.str();
+  EXPECT_NE(J.find("\"name\":\"size_mismatch\""), std::string::npos);
+  EXPECT_NE(J.find("\"message\":\"vector size mismatch\""),
+            std::string::npos);
+  EXPECT_NE(J.find("\"file\":\"m.cpp\""), std::string::npos);
+  EXPECT_NE(J.find("\"line\":7"), std::string::npos);
+  EXPECT_EQ(J.front(), '[');
+  EXPECT_EQ(J.back(), ']');
+}
+
+TEST_F(DiagTest, TryIntersectProbesWithoutDiagnostics) {
+  const auto Hit = tryIntersect(Interval(0.0, 2.0), Interval(1.0, 3.0));
+  ASSERT_TRUE(Hit.hasValue());
+  EXPECT_EQ(Hit.value(), Interval(1.0, 2.0));
+
+  const auto Miss = tryIntersect(Interval(0.0, 1.0), Interval(2.0, 3.0));
+  EXPECT_FALSE(Miss.hasValue());
+  EXPECT_EQ(Miss.status().code(), ErrC::DomainError);
+  // Probing is not a violation: the sink stays clean.
+  EXPECT_EQ(DiagSink::global().count(), 0u);
+}
+
+} // namespace

@@ -535,4 +535,57 @@ TEST(Interval, StepFunctionsMatchNextafter) {
   EXPECT_TRUE(std::isnan(detail::stepDown(std::nan(""))));
 }
 
+TEST(Interval, UnboundedDivisionNoNaN) {
+  // Regression: with both operands unbounded, the corner quotient
+  // inf/inf is NaN under IEEE and used to poison the min/max fold,
+  // producing NaN interval bounds.  The unbounded-division path
+  // substitutes the indeterminate corner with 0 (the adjacent corners
+  // supply the +-inf extremes), so bounds stay ordered and containment
+  // holds.
+  const Interval A = Interval(1.0, Inf) / Interval(2.0, Inf);
+  EXPECT_FALSE(std::isnan(A.lower()));
+  EXPECT_FALSE(std::isnan(A.upper()));
+  EXPECT_LE(A.lower(), A.upper());
+  EXPECT_TRUE(A.contains(0.5));  // 1 / 2
+  EXPECT_TRUE(A.contains(1e12)); // huge / 2
+  EXPECT_TRUE(A.contains(1e-12)); // 1 / huge
+
+  const Interval B = Interval(-Inf, 1.0) / Interval(2.0, Inf);
+  EXPECT_FALSE(std::isnan(B.lower()));
+  EXPECT_FALSE(std::isnan(B.upper()));
+  EXPECT_EQ(B.lower(), -Inf); // -inf / 2
+  EXPECT_TRUE(B.contains(0.5));
+
+  const Interval C = Interval(1.0, Inf) / Interval(-Inf, -2.0);
+  EXPECT_FALSE(std::isnan(C.lower()));
+  EXPECT_FALSE(std::isnan(C.upper()));
+  EXPECT_EQ(C.lower(), -Inf); // huge / -2
+  EXPECT_TRUE(C.contains(-0.5));
+  EXPECT_TRUE(C.contains(-1e-12)); // 1 / -huge
+
+  const Interval D = Interval::entire() / Interval(2.0, Inf);
+  EXPECT_FALSE(std::isnan(D.lower()));
+  EXPECT_FALSE(std::isnan(D.upper()));
+  EXPECT_EQ(D, Interval::entire());
+}
+
+TEST(Interval, DisjointIntersectRecovery) {
+  // Regression: in a Release (NDEBUG) build the old assert-only
+  // intersect returned the inverted "interval" [2, 1] for disjoint
+  // inputs.  It now records a diagnostic and recovers with the gap hull,
+  // which is a valid (ordered) interval and a superset of the empty true
+  // intersection.
+  diag::DiagSink::global().clear();
+  const Interval I = intersect(Interval(0.0, 1.0), Interval(2.0, 3.0));
+  EXPECT_LE(I.lower(), I.upper());
+  EXPECT_EQ(I, Interval(1.0, 2.0));
+  EXPECT_EQ(diag::DiagSink::global().countOf(diag::ErrC::DomainError), 1u);
+  diag::DiagSink::global().clear();
+
+  // Probing form: disjointness is an expected answer, no diagnostic.
+  EXPECT_FALSE(tryIntersect(Interval(0.0, 1.0), Interval(2.0, 3.0))
+                   .hasValue());
+  EXPECT_EQ(diag::DiagSink::global().count(), 0u);
+}
+
 } // namespace

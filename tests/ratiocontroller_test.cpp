@@ -125,6 +125,25 @@ TEST(OnlineController, ClampsToUnitRange) {
   EXPECT_EQ(C.ratio(), 0.0);
 }
 
+TEST(OnlineController, ZeroTargetDeadBandFloor) {
+  // Regression: with Target == 0 the purely fractional dead band
+  // DeadBand * |Target| degenerates to ~0 (the old 1e-12 epsilon only
+  // avoided an exact-zero product), so any measurement noise fell
+  // outside the band and the controller stepped — oscillating — on
+  // every update.  The absolute DeadBandFloor keeps a real band around
+  // zero targets: tiny alternating noise must not move the ratio.
+  OnlineRatioController C(0.0, QualityGoal::LowerIsBetter);
+  const double R0 = C.ratio();
+  for (int I = 0; I < 20; ++I) {
+    const double Noise = (I % 2 == 0) ? 1e-9 : -1e-9;
+    EXPECT_EQ(C.update(Noise), R0) << "oscillated at step " << I;
+  }
+  EXPECT_EQ(C.ratio(), R0);
+
+  // A genuinely out-of-band error measurement still steps the ratio up.
+  EXPECT_GT(C.update(0.1), R0);
+}
+
 TEST(OnlineController, ConvergesOnSyntheticPlant) {
   // Plant: quality = 20 + 40 * ratio with a bit of deterministic ripple.
   OnlineRatioController::Options Opts;
