@@ -4,6 +4,7 @@
 
 #include "support/Json.h"
 #include "support/Statistics.h"
+#include "verify/TapeVerifier.h"
 
 #include <algorithm>
 #include <cmath>
@@ -95,6 +96,10 @@ void AnalysisResult::writeJson(JsonWriter &J) const {
   EmitList("outputs", Outputs);
   J.key("outputSignificance").value(OutputSig);
   J.key("varianceLevel").value(VarianceLevel);
+  if (Verified) {
+    J.key("verification");
+    Verification.writeJson(J);
+  }
   J.key("graph").beginObject();
   J.key("aliveNodes").value(Graph.numAlive());
   J.key("height").value(Graph.height());
@@ -145,6 +150,14 @@ void Analysis::registerInput(IAValue &X, const std::string &Name, double Lo,
   X = IAValue(Range, Id);
   Labels.emplace(Id, Name);
   InputVars.emplace_back(Id, Name);
+}
+
+std::vector<NodeId> Analysis::registeredInputNodes() const {
+  std::vector<NodeId> Ids;
+  Ids.reserve(InputVars.size());
+  for (const auto &[Id, Name] : InputVars)
+    Ids.push_back(Id);
+  return Ids;
 }
 
 void Analysis::registerIntermediate(const IAValue &Z,
@@ -218,6 +231,24 @@ AnalysisResult Analysis::analyse(const AnalysisOptions &OptionsIn) {
                      diag::ErrC::InvalidArgument,
                      "Analysis::analyse: Delta must be non-negative"))
     Options.Delta = AnalysisOptions().Delta;
+
+  // Optional S3.5: structural verification before anything consumes the
+  // tape.  A malformed IR invalidates the result without sweeping — the
+  // reverse sweep on a broken edge stream is exactly the garbage-in/
+  // garbage-out path the verifier exists to close.
+  if (Options.VerifyTape) {
+    verify::VerifierOptions VO;
+    VO.BatchWidth = std::max(1u, Options.BatchWidth);
+    R.Verification = verify::verifyTape(T, OutputNodes, VO);
+    R.Verified = true;
+    if (R.Verification.hasErrors()) {
+      for (const verify::Finding &F : R.Verification.findings())
+        if (F.severity() == verify::Severity::Error)
+          R.Divergences.push_back(std::string("verifier: ") +
+                                  F.rule().Id + ": " + F.Message);
+      return R;
+    }
+  }
 
   if (Options.Mode == AnalysisOptions::OutputMode::CombinedSeed ||
       OutputNodes.size() == 1) {

@@ -24,6 +24,7 @@
 #include "core/DynDFG.h"
 #include "core/IAValue.h"
 #include "tape/Tape.h"
+#include "verify/Verify.h"
 
 #include <map>
 #include <ostream>
@@ -84,6 +85,11 @@ struct AnalysisOptions {
   /// Cap applied to infinite/overflowing significances so downstream
   /// statistics stay finite.
   double SignificanceCap = 1e300;
+  /// Run the structural tape verifier (src/verify) between S3 and the
+  /// reverse sweep.  Findings land in AnalysisResult::verification();
+  /// structural errors invalidate the result and skip the sweep — a
+  /// malformed IR is reported, never analysed.
+  bool VerifyTape = false;
 };
 
 /// Significance of one registered variable.
@@ -138,6 +144,12 @@ public:
   /// Level found by step S5 (-1 when no variance level was detected).
   int varianceLevel() const { return VarianceLevel; }
 
+  /// Verifier findings (empty unless AnalysisOptions::VerifyTape ran).
+  const verify::VerifyReport &verification() const { return Verification; }
+
+  /// True when the structural verifier ran on this result's tape.
+  bool wasVerified() const { return Verified; }
+
   /// The paper's "report" step of ANALYSE(): prints registered variables
   /// with their enclosures and significances.
   void print(std::ostream &OS) const;
@@ -161,6 +173,8 @@ private:
   double OutputSig = 0.0;
   DynDFG Graph;
   int VarianceLevel = -1;
+  verify::VerifyReport Verification;
+  bool Verified = false;
   /// Lazy find() index: Name -> (list id, index).  List ids follow the
   /// lookup order 0=Inputs, 1=Intermediates, 2=Outputs; the first
   /// registration of a name wins, preserving shadowing semantics.
@@ -202,6 +216,16 @@ public:
 
   /// Number of outputs registered so far.
   size_t numOutputs() const { return OutputNodes.size(); }
+
+  /// Registered output nodes, in registration order (verifier/lint
+  /// drivers seed and cross-check these).
+  const std::vector<NodeId> &outputNodes() const { return OutputNodes; }
+
+  /// Nodes registered via registerInput, in registration order.
+  std::vector<NodeId> registeredInputNodes() const;
+
+  /// NodeId -> user-facing name for every registered variable.
+  const std::map<NodeId, std::string> &labels() const { return Labels; }
 
   /// The paper's ANALYSE(): reverse sweep(s), Eq.-11 significances,
   /// S4 simplification, S5 variance-level detection.

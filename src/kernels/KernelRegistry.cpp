@@ -58,6 +58,7 @@ KernelRegistry &KernelRegistry::global() {
   static KernelRegistry *Registry = [] {
     auto *R = new KernelRegistry();
     registerStandardKernels(*R);
+    registerPaperKernels(*R);
     return R;
   }();
   return *Registry;

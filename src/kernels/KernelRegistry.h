@@ -95,6 +95,14 @@ private:
 /// per registry: asserts on duplicate names).
 void registerStandardKernels(KernelRegistry &Registry);
 
+/// Registers component versions of the paper's six benchmark kernels
+/// (Sobel pixel, DCT row, the two Fisheye kernels, N-Body pair force,
+/// BlackScholes pricing) plus the Figure-3 Maclaurin running example,
+/// each with the paper's block intermediates registered so
+/// significance reports and the scorpio-lint driver can attribute
+/// findings (see PaperKernels.cpp).
+void registerPaperKernels(KernelRegistry &Registry);
+
 } // namespace scorpio
 
 #endif // SCORPIO_KERNELS_KERNELREGISTRY_H

@@ -1,0 +1,321 @@
+//===- kernels/PaperKernels.cpp - The paper's benchmarks as components ----===//
+//
+// Component versions of the CGO-2016 benchmark kernels (Section 4) plus
+// the Maclaurin running example (Section 3), registered into the
+// KernelRegistry so any client — significance analysis, Monte Carlo
+// validation, and in particular the scorpio-lint static-analysis driver
+// — can run them by name.  Each kernel is written once as a template
+// over the scalar type and registers the paper's block intermediates,
+// so per-variable reports and lint findings attribute to the same
+// structure the paper discusses.
+//
+// These are the *analysable cores* (one pixel / row / pair / option),
+// not the full-image drivers of src/apps: the registry model is
+// fixed-arity input boxes, which is exactly the granularity the paper's
+// per-kernel analyses use (Figures 3-7).
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/KernelRegistry.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <string>
+
+using namespace scorpio;
+
+namespace {
+
+/// Intermediate-registration callback: a no-op for the double
+/// instantiation, Analysis::registerIntermediate for IAValue.
+struct NoRegister {
+  template <typename T>
+  void operator()(const T &, const char *) const {}
+};
+
+struct AnalysisRegister {
+  Analysis &A;
+  void operator()(const IAValue &V, const char *Name) const {
+    A.registerIntermediate(V, Name);
+  }
+};
+
+/// double overloads visible at template definition (IAValue overloads
+/// resolve via ADL).
+double sqr(double X) { return X * X; }
+double pow(double X, int N) { return std::pow(X, N); }
+
+/// Builds a KernelDescriptor from one templated callable
+/// `std::vector<T> f(const std::vector<T>&, Reg)` producing the named
+/// outputs.  The point evaluator returns the sum of the outputs (the
+/// combined-seed quantity PerOutput analysis also totals).
+template <typename Fn>
+KernelDescriptor makePaperKernel(std::string Name, std::string Description,
+                                 std::vector<std::string> InputNames,
+                                 std::vector<Interval> Ranges,
+                                 std::vector<std::string> OutputNames,
+                                 Fn F) {
+  KernelDescriptor D;
+  D.Name = std::move(Name);
+  D.Description = std::move(Description);
+  D.InputNames = std::move(InputNames);
+  D.DefaultRanges = std::move(Ranges);
+  D.Evaluate = [F](std::span<const double> X) {
+    const std::vector<double> Out =
+        F(std::vector<double>(X.begin(), X.end()), NoRegister{});
+    double Sum = 0.0;
+    for (double Y : Out)
+      Sum += Y;
+    return Sum;
+  };
+  const std::vector<std::string> Ins = D.InputNames;
+  D.Analyse = [F, Ins, OutputNames](Analysis &A,
+                                    std::span<const Interval> Box) {
+    std::vector<IAValue> X;
+    X.reserve(Box.size());
+    for (size_t I = 0; I != Box.size(); ++I)
+      X.push_back(A.input(Ins[I], Box[I].lower(), Box[I].upper()));
+    const std::vector<IAValue> Out = F(X, AnalysisRegister{A});
+    for (size_t I = 0; I != Out.size(); ++I)
+      A.registerOutput(Out[I], OutputNames[std::min(
+                                   I, OutputNames.size() - 1)]);
+  };
+  return D;
+}
+
+/// Section 3 / Figure 3: the Maclaurin geometric series
+/// f(x) = sum_i x^i, each term a registered intermediate (Listing 6).
+template <typename T, typename Reg>
+std::vector<T> maclaurinKernel(const std::vector<T> &X, Reg R) {
+  const int N = 8;
+  T Res = 1.0; // x^0: a passive constant, recorded only when consumed
+  for (int I = 1; I != N; ++I) {
+    T Term = pow(X[0], I);
+    R(Term, ("term" + std::to_string(I)).c_str());
+    Res = Res + Term;
+  }
+  return {Res};
+}
+
+/// Section 4.1.1: one Sobel output pixel from its 3x3 neighborhood —
+/// Gx/Gy convolutions, magnitude, clip to [0, 255].
+template <typename T, typename Reg>
+std::vector<T> sobelKernel(const std::vector<T> &X, Reg R) {
+  using std::min;
+  using std::sqrt;
+  // Row-major p00..p22.
+  const T &P00 = X[0], &P01 = X[1], &P02 = X[2];
+  const T &P10 = X[3], &P12 = X[5];
+  const T &P20 = X[6], &P21 = X[7], &P22 = X[8];
+  T Gx = (P02 + 2.0 * P12 + P22) - (P00 + 2.0 * P10 + P20);
+  T Gy = (P20 + 2.0 * P21 + P22) - (P00 + 2.0 * P01 + P02);
+  R(Gx, "gx");
+  R(Gy, "gy");
+  T Mag = sqrt(sqr(Gx) + sqr(Gy));
+  return {min(Mag, T(255.0))};
+}
+
+/// Section 4.1.2: one row of the DCT pipeline — 8-point DCT-II,
+/// JPEG-style quantize, de-quantize (the zig-zag-shaping stage of
+/// Figure 4), all eight reconstructed coefficients as outputs.
+template <typename T, typename Reg>
+std::vector<T> dct8Kernel(const std::vector<T> &X, Reg R) {
+  using std::round;
+  static const double QRow[8] = {16, 11, 10, 16, 24, 40, 51, 61};
+  const double Pi = 3.14159265358979323846;
+  std::vector<T> Out;
+  Out.reserve(8);
+  for (int U = 0; U != 8; ++U) {
+    const double AU = U == 0 ? std::sqrt(1.0 / 8.0) : 0.5;
+    T C = 0.0;
+    for (int K = 0; K != 8; ++K)
+      C = C + (X[static_cast<size_t>(K)] - 128.0) *
+                  (AU * std::cos((2 * K + 1) * U * Pi / 16.0));
+    R(C, ("c" + std::to_string(U)).c_str());
+    // Quantize / de-quantize: coarse steps swallow perturbations.
+    T Q = round(C * (1.0 / QRow[U]));
+    Out.push_back(Q * QRow[U]);
+  }
+  return Out;
+}
+
+/// Section 4.1.3a: the Fisheye InverseMapping kernel — output pixel
+/// coordinates to distorted-image coordinates through the
+/// tangent-compression lens model (tanOverX is the dependency-safe
+/// primitive of Section 2.2).
+template <typename T, typename Reg>
+std::vector<T> fisheyeMapKernel(const std::vector<T> &X, Reg R) {
+  using std::sqrt;
+  const int W = 640, H = 480;
+  const double Cx = 0.5 * (W - 1), Cy = 0.5 * (H - 1);
+  const double HalfDiag = std::sqrt(Cx * Cx + Cy * Cy);
+  const double Phi = 0.85 * 1.57079632679489661923;
+  const double TanPhi = std::tan(Phi);
+  T Nx = (X[0] - Cx) * (1.0 / HalfDiag);
+  T Ny = (X[1] - Cy) * (1.0 / HalfDiag);
+  T Rad = sqrt(Nx * Nx + Ny * Ny);
+  R(Rad, "r");
+  T Scale = tanOverX(Rad, Phi) * (1.0 / TanPhi);
+  R(Scale, "scale");
+  return {Cx + Nx * Scale * HalfDiag, Cy + Ny * Scale * HalfDiag};
+}
+
+/// Section 4.1.3b: the Fisheye BicubicInterp kernel — Catmull-Rom
+/// interpolation over a 4x4 window (first 16 inputs) at fractional
+/// position (fx, fy) (last two inputs).  Figure 6: the inner rows and
+/// columns dominate.
+template <typename T, typename Reg>
+std::vector<T> bicubicKernel(const std::vector<T> &X, Reg R) {
+  auto Weights = [](const T &F) {
+    std::array<T, 4> Wt;
+    T F2 = F * F;
+    T F3 = F2 * F;
+    Wt[0] = -0.5 * F3 + F2 - 0.5 * F;
+    Wt[1] = 1.5 * F3 - 2.5 * F2 + 1.0;
+    Wt[2] = -1.5 * F3 + 2.0 * F2 + 0.5 * F;
+    Wt[3] = 0.5 * F3 - 0.5 * F2;
+    return Wt;
+  };
+  const std::array<T, 4> Wx = Weights(X[16]);
+  const std::array<T, 4> Wy = Weights(X[17]);
+  T Acc = 0.0;
+  for (int J = 0; J != 4; ++J) {
+    T Row = 0.0;
+    for (int I = 0; I != 4; ++I)
+      Row = Row + Wx[static_cast<size_t>(I)] *
+                      X[static_cast<size_t>(4 * J + I)];
+    R(Row, ("row" + std::to_string(J)).c_str());
+    Acc = Acc + Wy[static_cast<size_t>(J)] * Row;
+  }
+  return {Acc};
+}
+
+/// Section 4.1.4: the N-Body pair interaction — Lennard-Jones energy
+/// (Eq. 13) and force magnitude for a component distance (dx, dy, dz),
+/// in reduced units.  The distance decay is what grounds the paper's
+/// region-significance claim.
+template <typename T, typename Reg>
+std::vector<T> nbodyPairKernel(const std::vector<T> &X, Reg R) {
+  T R2 = sqr(X[0]) + sqr(X[1]) + sqr(X[2]);
+  R(R2, "r2");
+  T Inv2 = 1.0 / R2;
+  T S6 = pow(Inv2, 3);
+  R(S6, "s6");
+  T Energy = 4.0 * (S6 * S6 - S6);
+  T ForceMag = 24.0 * (2.0 * (S6 * S6) - S6) * Inv2;
+  return {Energy, ForceMag};
+}
+
+/// Section 4.1.5: BlackScholes European call — the d1/d2 core (block
+/// A), the two CNDF evaluations (B), the discount factor (C) and
+/// sqrt(T) (D) as intermediates, matching the paper's block ranking
+/// sig(A) > sig(B) >> sig(C) > sig(D).
+template <typename T, typename Reg>
+std::vector<T> blackscholesKernel(const std::vector<T> &X, Reg R) {
+  using std::erf;
+  using std::exp;
+  using std::log;
+  using std::sqrt;
+  const T &S = X[0], &K = X[1], &Rf = X[2], &V = X[3], &Tm = X[4];
+  const double InvSqrt2 = 0.70710678118654752440;
+  T SqrtT = sqrt(Tm);
+  R(SqrtT, "sqrtT");
+  T D1 = (log(S / K) + (Rf + 0.5 * sqr(V)) * Tm) / (V * SqrtT);
+  T D2 = D1 - V * SqrtT;
+  R(D1, "d1");
+  R(D2, "d2");
+  T N1 = 0.5 * (1.0 + erf(D1 * InvSqrt2));
+  T N2 = 0.5 * (1.0 + erf(D2 * InvSqrt2));
+  R(N1, "cndf1");
+  R(N2, "cndf2");
+  T Discount = exp(0.0 - Rf * Tm);
+  R(Discount, "discount");
+  return {S * N1 - K * Discount * N2};
+}
+
+} // namespace
+
+void scorpio::registerPaperKernels(KernelRegistry &Registry) {
+  Registry.add(makePaperKernel(
+      "maclaurin", "Maclaurin geometric series (Section 3, Figure 3)",
+      {"x"}, {Interval(0.4, 0.6)}, {"result"},
+      [](const auto &X, auto R) { return maclaurinKernel(X, R); }));
+
+  {
+    std::vector<std::string> Ins;
+    std::vector<Interval> Ranges;
+    for (int Y = 0; Y != 3; ++Y)
+      for (int X = 0; X != 3; ++X) {
+        Ins.push_back("p" + std::to_string(Y) + std::to_string(X));
+        // The paper's profiling box: pixel value +- 8 around a
+        // horizontal gradient, so Gx is biased but Gy straddles zero.
+        const double Center = 100.0 + 30.0 * X;
+        Ranges.push_back(Interval(Center - 8.0, Center + 8.0));
+      }
+    Registry.add(makePaperKernel(
+        "sobel-pixel", "Sobel edge magnitude of one pixel (Section 4.1.1)",
+        std::move(Ins), std::move(Ranges), {"t"},
+        [](const auto &X, auto R) { return sobelKernel(X, R); }));
+  }
+
+  {
+    std::vector<std::string> Ins;
+    std::vector<std::string> Outs;
+    for (int K = 0; K != 8; ++K) {
+      Ins.push_back("p" + std::to_string(K));
+      Outs.push_back("out" + std::to_string(K));
+    }
+    Registry.add(makePaperKernel(
+        "dct8", "8-point DCT row with JPEG quantization (Section 4.1.2)",
+        std::move(Ins), std::vector<Interval>(8, Interval(112.0, 144.0)),
+        std::move(Outs),
+        [](const auto &X, auto R) { return dct8Kernel(X, R); }));
+  }
+
+  Registry.add(makePaperKernel(
+      "fisheye-inverse-mapping",
+      "Fisheye lens inverse mapping of one output pixel (Section 4.1.3)",
+      {"x", "y"}, {Interval(400.0, 410.0), Interval(300.0, 310.0)},
+      {"srcx", "srcy"},
+      [](const auto &X, auto R) { return fisheyeMapKernel(X, R); }));
+
+  {
+    std::vector<std::string> Ins;
+    std::vector<Interval> Ranges;
+    for (int J = 0; J != 4; ++J)
+      for (int I = 0; I != 4; ++I) {
+        Ins.push_back("p" + std::to_string(J) + std::to_string(I));
+        Ranges.push_back(Interval(120.0, 136.0));
+      }
+    Ins.push_back("fx");
+    Ins.push_back("fy");
+    Ranges.push_back(Interval(0.2, 0.8));
+    Ranges.push_back(Interval(0.2, 0.8));
+    Registry.add(makePaperKernel(
+        "fisheye-bicubic",
+        "Catmull-Rom bicubic interpolation on a 4x4 window (Section "
+        "4.1.3)",
+        std::move(Ins), std::move(Ranges), {"sample"},
+        [](const auto &X, auto R) { return bicubicKernel(X, R); }));
+  }
+
+  Registry.add(makePaperKernel(
+      "nbody-lj-pair",
+      "Lennard-Jones pair energy and force, reduced units (Section "
+      "4.1.4)",
+      {"dx", "dy", "dz"},
+      std::vector<Interval>(3, Interval(0.58, 0.72)),
+      {"energy", "force"},
+      [](const auto &X, auto R) { return nbodyPairKernel(X, R); }));
+
+  Registry.add(makePaperKernel(
+      "blackscholes-call",
+      "BlackScholes European call with block intermediates (Section "
+      "4.1.5)",
+      {"S", "K", "r", "v", "T"},
+      {Interval(90.0, 110.0), Interval(95.0, 105.0),
+       Interval(0.01, 0.05), Interval(0.15, 0.35), Interval(0.5, 2.0)},
+      {"price"},
+      [](const auto &X, auto R) { return blackscholesKernel(X, R); }));
+}

@@ -62,6 +62,38 @@ bool scorpio::isAccumulativeOp(OpKind K) {
          K == OpKind::Max;
 }
 
+unsigned scorpio::opArity(OpKind K) {
+  switch (K) {
+  case OpKind::Input:
+    return 0;
+  case OpKind::Neg:
+  case OpKind::Sin:
+  case OpKind::Cos:
+  case OpKind::Tan:
+  case OpKind::Exp:
+  case OpKind::Log:
+  case OpKind::Sqrt:
+  case OpKind::Sqr:
+  case OpKind::PowInt:
+  case OpKind::Fabs:
+  case OpKind::Erf:
+  case OpKind::Atan:
+  case OpKind::Round:
+  case OpKind::TanOverX:
+    return 1;
+  case OpKind::Add:
+  case OpKind::Sub:
+  case OpKind::Mul:
+  case OpKind::Div:
+  case OpKind::Pow:
+  case OpKind::Min:
+  case OpKind::Max:
+    return 2;
+  }
+  assert(false && "unknown op kind");
+  return 0;
+}
+
 void Tape::reserve(size_t ExpectedNodes) {
   Values.reserve(ExpectedNodes);
   Ops.reserve(ExpectedNodes);

@@ -67,6 +67,13 @@ enum class OpKind : uint8_t {
   TanOverX
 };
 
+/// The highest-valued OpKind enumerator.  Exhaustive iteration (tests,
+/// the tape verifier's rule catalog) walks [0, LastOpKind]; when adding
+/// an enumerator, update this anchor — the opkind_exhaustive_test and
+/// the -Werror=switch'd switches below fail the build otherwise.
+inline constexpr OpKind LastOpKind = OpKind::TanOverX;
+inline constexpr size_t NumOpKinds = static_cast<size_t>(LastOpKind) + 1;
+
 /// Human-readable operation mnemonic ("add", "sin", ...).
 const char *opKindName(OpKind K);
 
@@ -74,6 +81,12 @@ const char *opKindName(OpKind K);
 /// self-referential chains (`res = res + term`) are anti-dependency
 /// aggregation nodes in the sense of Algorithm 1 step S4.
 bool isAccumulativeOp(OpKind K);
+
+/// Number of operands the elementary function phi takes: 0 for Input,
+/// 1 for unary kinds, 2 for binary kinds.  This is the *mathematical*
+/// arity; a recorded node may carry fewer edges when operands are
+/// passive constants (they are not recorded), but never more.
+unsigned opArity(OpKind K);
 
 /// Index of a node within its tape.
 using NodeId = int32_t;

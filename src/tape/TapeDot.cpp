@@ -32,7 +32,10 @@ void scorpio::writeTapeDot(const Tape &T, std::ostream &OS,
       Label << "\\nadj " << fmtInterval(T.adjoint(Id), Options.Digits);
     std::string Attrs =
         "label=\"" + DotWriter::escape(Label.str()) + "\", shape=box";
-    if (T.kind(Id) == OpKind::Input)
+    if (auto Fill = Options.FillColors.find(Id);
+        Fill != Options.FillColors.end())
+      Attrs += ", style=filled, fillcolor=" + Fill->second;
+    else if (T.kind(Id) == OpKind::Input)
       Attrs += ", style=filled, fillcolor=lightgrey";
     W.addNode("u" + std::to_string(I), Attrs);
   }

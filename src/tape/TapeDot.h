@@ -37,6 +37,10 @@ struct TapeDotOptions {
   bool ShowPartials = true;
   /// Decimal digits for interval bounds.
   int Digits = 3;
+  /// Per-node fill colors (Graphviz color names), e.g. verifier/linter
+  /// findings highlighting offending nodes.  Takes precedence over the
+  /// default Input shading.
+  std::map<NodeId, std::string> FillColors;
 };
 
 /// Writes the full recorded tape as a digraph; \p Labels optionally maps

@@ -1,0 +1,74 @@
+//===- verify/Lint.h - Approximation-safety linting of recorded tapes -----===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The approximation-safety linter (the SCORPIO-Wxxx rules of Verify.h):
+/// heuristics over a *well-formed* recorded tape that explain why a
+/// kernel is hazardous under interval evaluation before the analysis
+/// result misleads anyone.  Where the TapeVerifier answers "is this IR
+/// valid?", the linter answers "will Algorithm 1 produce a significance
+/// ranking worth acting on?":
+///
+///  * zero-straddling div/log/sqrt operands and unbounded local partials
+///    are where enclosures explode to [-inf, inf] (paper Section 2.2);
+///  * width amplification localizes the overestimation of the Eq.-11
+///    worst-case product to the operation that introduces it;
+///  * interleaved accumulation chains are aggregations step S4 cannot
+///    collapse, skewing the S5 variance-level search;
+///  * dead, unregistered and floating inputs are registration bugs that
+///    make the per-variable report lie by omission.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_VERIFY_LINT_H
+#define SCORPIO_VERIFY_LINT_H
+
+#include "verify/Verify.h"
+
+#include <span>
+
+namespace scorpio {
+namespace verify {
+
+/// Tunables of the linter.
+struct LintOptions {
+  /// SCORPIO-W003 fires when a node's value width exceeds this multiple
+  /// of its widest recorded operand.
+  double WidthAmplificationThreshold = 1e8;
+  /// Widths below this are attributed to outward rounding and never
+  /// flagged as amplification.
+  double MinNodeWidth = 1e-9;
+  /// Lanes per adjoint pass of the dead-significance sweep.
+  unsigned BatchWidth = 8;
+  /// Run the adjoint sweep behind SCORPIO-W005 (skippable for very
+  /// large tapes).
+  bool CheckDeadInputs = true;
+  /// Per-rule cap on stored findings (exact counts are always kept).
+  size_t MaxFindingsPerRule = 32;
+};
+
+/// Registration context for the registration-hygiene rules.
+struct LintContext {
+  /// Nodes registered via Analysis::registerInput, when known.
+  std::span<const NodeId> RegisteredInputs;
+  /// True when RegisteredInputs is authoritative (an empty span then
+  /// means "nothing was registered", not "unknown"); SCORPIO-W006 only
+  /// runs in that case.
+  bool HaveRegistration = false;
+  /// Registered output nodes (seeds of the significance sweep).
+  std::span<const NodeId> Outputs;
+};
+
+/// Lints \p T.  The tape must have passed structural verification; the
+/// linter trusts node ids and arities.  Does not modify the tape.
+VerifyReport lintTape(const Tape &T, const LintContext &Ctx,
+                      const LintOptions &Options = {});
+
+} // namespace verify
+} // namespace scorpio
+
+#endif // SCORPIO_VERIFY_LINT_H

@@ -1,0 +1,110 @@
+//===- verify/Sarif.cpp - SARIF 2.1.0 export ------------------------------===//
+
+#include "verify/Sarif.h"
+
+#include "support/Json.h"
+
+#include <ostream>
+
+using namespace scorpio;
+using namespace scorpio::verify;
+
+void verify::writeSarif(std::ostream &OS,
+                        const std::vector<SarifEntry> &Entries,
+                        const std::string &ToolVersion) {
+  JsonWriter J(OS);
+  J.beginObject();
+  J.key("$schema").value(
+      "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+      "Schemata/sarif-schema-2.1.0.json");
+  J.key("version").value("2.1.0");
+  J.key("runs").beginArray();
+  J.beginObject();
+
+  J.key("tool").beginObject();
+  J.key("driver").beginObject();
+  J.key("name").value("scorpio-lint");
+  J.key("informationUri")
+      .value("https://example.org/scorpio/verify (CGO 2016 significance "
+             "analysis, static verification pass)");
+  J.key("version").value(ToolVersion);
+  J.key("rules").beginArray();
+  for (const Rule &R : ruleCatalog()) {
+    J.beginObject();
+    J.key("id").value(R.Id);
+    J.key("name").value(R.Name);
+    J.key("shortDescription").beginObject();
+    J.key("text").value(R.Summary);
+    J.endObject();
+    J.key("fullDescription").beginObject();
+    J.key("text").value(R.Help);
+    J.endObject();
+    J.key("defaultConfiguration").beginObject();
+    J.key("level").value(severityName(R.Sev));
+    J.endObject();
+    J.endObject();
+  }
+  J.endArray();
+  J.endObject(); // driver
+  J.endObject(); // tool
+
+  J.key("results").beginArray();
+  for (const SarifEntry &E : Entries) {
+    if (!E.Report)
+      continue;
+    for (const Finding &F : E.Report->findings()) {
+      const Rule &R = F.rule();
+      J.beginObject();
+      J.key("ruleId").value(R.Id);
+      J.key("ruleIndex")
+          .value(static_cast<long long>(static_cast<size_t>(F.Kind)));
+      J.key("level").value(severityName(R.Sev));
+      J.key("message").beginObject();
+      J.key("text").value("[" + E.Subject + "] " + F.Message);
+      J.endObject();
+      J.key("locations").beginArray();
+      J.beginObject();
+      J.key("logicalLocations").beginArray();
+      J.beginObject();
+      const std::string NodeName =
+          F.Node == InvalidNodeId ? std::string("tape")
+                                  : "u" + std::to_string(F.Node);
+      J.key("name").value(NodeName);
+      J.key("fullyQualifiedName").value(E.Subject + "/" + NodeName);
+      J.key("kind").value("element");
+      J.endObject();
+      J.endArray();
+      J.endObject();
+      J.endArray();
+      J.endObject();
+    }
+  }
+  J.endArray();
+
+  J.endObject(); // run
+  J.endArray();  // runs
+  J.endObject();
+  OS << "\n";
+}
+
+void verify::writeSarif(std::ostream &OS, const std::string &Subject,
+                        const VerifyReport &Report,
+                        const std::string &ToolVersion) {
+  writeSarif(OS, {{Subject, &Report}}, ToolVersion);
+}
+
+std::map<NodeId, std::string> verify::dotHighlights(
+    const VerifyReport &Report) {
+  std::map<NodeId, std::string> Colors;
+  for (const Finding &F : Report.findings()) {
+    if (F.Node == InvalidNodeId)
+      continue;
+    // Errors dominate warnings when a node carries both.
+    const bool IsError = F.severity() == Severity::Error;
+    auto [It, Inserted] = Colors.emplace(
+        F.Node, IsError ? "lightcoral" : "orange");
+    if (!Inserted && IsError)
+      It->second = "lightcoral";
+  }
+  return Colors;
+}

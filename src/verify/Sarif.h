@@ -1,0 +1,54 @@
+//===- verify/Sarif.h - SARIF 2.1.0 export of lint findings ---------------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static Analysis Results Interchange Format (SARIF) 2.1.0 export, so
+/// scorpio-lint findings load into standard viewers and CI annotators
+/// (GitHub code scanning, VS Code SARIF viewer).  One run per emission;
+/// the full rule catalog is published under tool.driver.rules and every
+/// result carries its ruleId, ruleIndex, level and a logicalLocation
+/// naming the offending tape node ("<kernel>/u<id>" — tapes are dynamic
+/// IR, so provenance is logical, not physical).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_VERIFY_SARIF_H
+#define SCORPIO_VERIFY_SARIF_H
+
+#include "verify/Verify.h"
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+namespace scorpio {
+namespace verify {
+
+/// One analysed subject (kernel) and its report, in emission order.
+struct SarifEntry {
+  std::string Subject; ///< kernel / tape name, used as location prefix
+  const VerifyReport *Report = nullptr;
+};
+
+/// Writes one complete SARIF 2.1.0 document containing a single run
+/// with the full rule catalog and the findings of every entry.
+void writeSarif(std::ostream &OS, const std::vector<SarifEntry> &Entries,
+                const std::string &ToolVersion = "1.0.0");
+
+/// Convenience form for a single report.
+void writeSarif(std::ostream &OS, const std::string &Subject,
+                const VerifyReport &Report,
+                const std::string &ToolVersion = "1.0.0");
+
+/// Node fill-color map for TapeDotOptions::FillColors: offending nodes
+/// of \p Report are highlighted (errors red, warnings orange).
+std::map<NodeId, std::string> dotHighlights(const VerifyReport &Report);
+
+} // namespace verify
+} // namespace scorpio
+
+#endif // SCORPIO_VERIFY_SARIF_H

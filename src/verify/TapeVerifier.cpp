@@ -1,0 +1,227 @@
+//===- verify/TapeVerifier.cpp - Structural tape verification -------------===//
+
+#include "verify/TapeVerifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+using namespace scorpio;
+using namespace scorpio::verify;
+
+RawTape verify::extractRaw(const Tape &T, std::span<const NodeId> Outputs) {
+  RawTape Raw;
+  Raw.Nodes.resize(T.size());
+  for (size_t I = 0; I != T.size(); ++I) {
+    const NodeId Id = static_cast<NodeId>(I);
+    RawNode &N = Raw.Nodes[I];
+    N.Kind = T.kind(Id);
+    N.AuxInt = T.auxInt(Id);
+    N.ValueLo = T.value(Id).lower();
+    N.ValueHi = T.value(Id).upper();
+    N.NumArgs = static_cast<uint8_t>(T.numArgs(Id));
+    for (unsigned A = 0; A != N.NumArgs && A != 2; ++A) {
+      N.Args[A] = T.arg(Id, A);
+      N.PartialLo[A] = T.partial(Id, A).lower();
+      N.PartialHi[A] = T.partial(Id, A).upper();
+    }
+  }
+  Raw.Inputs = T.inputs();
+  Raw.Outputs.assign(Outputs.begin(), Outputs.end());
+  return Raw;
+}
+
+namespace {
+
+std::string describeNode(const RawTape &Raw, NodeId Id) {
+  std::ostringstream OS;
+  OS << "u" << Id;
+  const size_t I = static_cast<size_t>(Id);
+  if (Id >= 0 && I < Raw.Nodes.size() &&
+      static_cast<size_t>(Raw.Nodes[I].Kind) < NumOpKinds)
+    OS << " (" << opKindName(Raw.Nodes[I].Kind) << ")";
+  return OS.str();
+}
+
+bool boundsMalformed(double Lo, double Hi) {
+  return std::isnan(Lo) || std::isnan(Hi) || Lo > Hi;
+}
+
+} // namespace
+
+VerifyReport verify::verifyStructure(const RawTape &Raw,
+                                     const VerifierOptions &Options) {
+  VerifyReport Report(Options.MaxFindingsPerRule);
+  const size_t N = Raw.Nodes.size();
+  auto Flag = [&](RuleKind K, NodeId Node, int Arg, std::string Msg) {
+    Finding F;
+    F.Kind = K;
+    F.Node = Node;
+    F.ArgIndex = Arg;
+    F.Message = std::move(Msg);
+    Report.add(std::move(F));
+  };
+
+  for (size_t I = 0; I != N; ++I) {
+    const RawNode &Node = Raw.Nodes[I];
+    const NodeId Id = static_cast<NodeId>(I);
+
+    // Arity consistency (E003).  An unrecognized kind byte cannot be
+    // given an expected arity; it is an arity violation by definition.
+    if (static_cast<size_t>(Node.Kind) >= NumOpKinds) {
+      std::ostringstream OS;
+      OS << "u" << Id << " has unrecognized operation kind "
+         << static_cast<int>(Node.Kind);
+      Flag(RuleKind::ArityMismatch, Id, -1, OS.str());
+    } else {
+      const unsigned Arity = opArity(Node.Kind);
+      // Passive (constant) operands are not recorded, so a binary node
+      // may legitimately carry one edge — but an Input must have none,
+      // a unary node exactly one, and nothing exceeds its arity.
+      const bool Bad = Node.NumArgs > 2 || Node.NumArgs > Arity ||
+                       (Arity != 0 && Node.NumArgs == 0);
+      if (Bad) {
+        std::ostringstream OS;
+        OS << describeNode(Raw, Id) << " records "
+           << static_cast<int>(Node.NumArgs) << " edges; "
+           << opKindName(Node.Kind) << " admits "
+           << (Arity == 2 ? "1-2" : std::to_string(Arity));
+        Flag(RuleKind::ArityMismatch, Id, -1, OS.str());
+      }
+    }
+
+    // Value enclosure well-formed (E005).
+    if (boundsMalformed(Node.ValueLo, Node.ValueHi)) {
+      std::ostringstream OS;
+      OS << describeNode(Raw, Id) << " value bounds [" << Node.ValueLo
+         << ", " << Node.ValueHi << "] are not a valid interval";
+      Flag(RuleKind::MalformedValue, Id, -1, OS.str());
+    }
+
+    const unsigned Edges = std::min<unsigned>(Node.NumArgs, 2);
+    for (unsigned A = 0; A != Edges; ++A) {
+      const NodeId Arg = Node.Args[A];
+      if (Arg < 0 || static_cast<size_t>(Arg) >= N) {
+        std::ostringstream OS;
+        OS << describeNode(Raw, Id) << " argument " << A << " id " << Arg
+           << " does not name a recorded node";
+        Flag(RuleKind::DanglingArgument, Id, static_cast<int>(A), OS.str());
+      } else if (Arg >= Id) {
+        std::ostringstream OS;
+        OS << describeNode(Raw, Id) << " argument " << A << " id " << Arg
+           << " is not topologically earlier";
+        Flag(RuleKind::NonTopologicalArgument, Id, static_cast<int>(A),
+             OS.str());
+      }
+      if (boundsMalformed(Node.PartialLo[A], Node.PartialHi[A])) {
+        std::ostringstream OS;
+        OS << describeNode(Raw, Id) << " partial " << A << " bounds ["
+           << Node.PartialLo[A] << ", " << Node.PartialHi[A]
+           << "] are not a valid interval";
+        Flag(RuleKind::MalformedPartial, Id, static_cast<int>(A), OS.str());
+      }
+    }
+  }
+
+  // Registered inputs must exist and be Input operations (E006).
+  for (NodeId In : Raw.Inputs) {
+    if (In < 0 || static_cast<size_t>(In) >= N) {
+      std::ostringstream OS;
+      OS << "input list entry " << In << " does not name a recorded node";
+      Flag(RuleKind::InputKindMismatch, In, -1, OS.str());
+    } else if (Raw.Nodes[static_cast<size_t>(In)].Kind != OpKind::Input) {
+      std::ostringstream OS;
+      OS << "input list entry " << describeNode(Raw, In)
+         << " is not an Input operation";
+      Flag(RuleKind::InputKindMismatch, In, -1, OS.str());
+    }
+  }
+
+  // Registered outputs must exist (E007).
+  for (NodeId Out : Raw.Outputs) {
+    if (Out < 0 || static_cast<size_t>(Out) >= N) {
+      std::ostringstream OS;
+      OS << "output list entry " << Out << " does not name a recorded node";
+      Flag(RuleKind::InvalidOutput, Out, -1, OS.str());
+    }
+  }
+
+  return Report;
+}
+
+namespace {
+
+/// Bit-exact interval comparison (the batch contract is bit-identity,
+/// stronger than numeric ==: it distinguishes -0.0 from 0.0).
+bool bitEqual(const Interval &A, const Interval &B) {
+  const double AB[2] = {A.lower(), A.upper()};
+  const double BB[2] = {B.lower(), B.upper()};
+  return std::memcmp(AB, BB, sizeof(AB)) == 0;
+}
+
+/// SCORPIO-E008: replay every output's adjoint both as a batch lane and
+/// as a width-1 dedicated batch sweep and compare all node adjoints
+/// bit-for-bit.  Both replays go through the const batch entry point,
+/// so the tape's own adjoint state is never touched.
+void crossCheckBatchSweep(const Tape &T, std::span<const NodeId> Outputs,
+                          const VerifierOptions &Options,
+                          VerifyReport &Report) {
+  const unsigned Width = std::max(1u, Options.BatchWidth);
+  std::vector<std::pair<NodeId, Interval>> Seeds;
+  BatchAdjoints Lanes, Single;
+  for (size_t Begin = 0; Begin < Outputs.size(); Begin += Width) {
+    const size_t End = std::min(Begin + Width, Outputs.size());
+    Seeds.clear();
+    for (size_t O = Begin; O != End; ++O)
+      Seeds.emplace_back(Outputs[O], Interval(1.0));
+    T.reverseSweepBatch(Seeds, Lanes);
+    // Testing seam (see VerifierOptions::TestLaneAdjointBitFlip).
+    auto LaneAdjoint = [&](NodeId Id, unsigned Lane) {
+      Interval A = Lanes.at(Id, Lane);
+      if (Options.TestLaneAdjointBitFlip == 0)
+        return A;
+      double Lo = A.lower();
+      uint64_t Bits;
+      std::memcpy(&Bits, &Lo, sizeof(Bits));
+      Bits ^= Options.TestLaneAdjointBitFlip;
+      std::memcpy(&Lo, &Bits, sizeof(Bits));
+      return Interval(std::min(Lo, A.upper()), A.upper());
+    };
+    for (size_t O = Begin; O != End; ++O) {
+      const std::pair<NodeId, Interval> One[] = {
+          {Outputs[O], Interval(1.0)}};
+      T.reverseSweepBatch(std::span<const std::pair<NodeId, Interval>>(One),
+                          Single);
+      const unsigned Lane = static_cast<unsigned>(O - Begin);
+      for (size_t I = 0; I != T.size(); ++I) {
+        const NodeId Id = static_cast<NodeId>(I);
+        if (bitEqual(LaneAdjoint(Id, Lane), Single.at(Id, 0)))
+          continue;
+        std::ostringstream OS;
+        OS << "adjoint of u" << Id << " for output u" << Outputs[O]
+           << " differs between batch lane " << Lane
+           << " and the dedicated sweep";
+        Finding F;
+        F.Kind = RuleKind::BatchSweepMismatch;
+        F.Node = Id;
+        F.Message = OS.str();
+        Report.add(std::move(F));
+      }
+    }
+  }
+}
+
+} // namespace
+
+VerifyReport verify::verifyTape(const Tape &T,
+                                std::span<const NodeId> Outputs,
+                                const VerifierOptions &Options) {
+  VerifyReport Report = verifyStructure(extractRaw(T, Outputs), Options);
+  // Replaying sweeps over a structurally broken tape would exercise the
+  // very out-of-bounds behavior the structural rules just reported;
+  // the cross-check only runs on a well-formed IR.
+  if (Options.CheckBatchSweep && !Report.hasErrors())
+    crossCheckBatchSweep(T, Outputs, Options, Report);
+  return Report;
+}

@@ -1,0 +1,197 @@
+//===- verify/Verify.cpp - Rule catalog and findings ----------------------===//
+
+#include "verify/Verify.h"
+
+#include "support/Json.h"
+
+#include <cassert>
+#include <ostream>
+
+using namespace scorpio;
+using namespace scorpio::verify;
+
+const char *verify::severityName(Severity S) {
+  return S == Severity::Error ? "error" : "warning";
+}
+
+const std::vector<Rule> &verify::ruleCatalog() {
+  static const std::vector<Rule> Catalog = {
+      {RuleKind::DanglingArgument, Severity::Error, "SCORPIO-E001",
+       "dangling-argument",
+       "node argument id does not name a recorded tape node",
+       "Every recorded edge must point at an existing node; a dangling "
+       "id makes the reverse sweep (Eq. 8) read or scatter out of "
+       "bounds."},
+      {RuleKind::NonTopologicalArgument, Severity::Error, "SCORPIO-E002",
+       "nontopological-argument",
+       "node argument id is not strictly smaller than the node id",
+       "The tape is an append-only topological order of the DynDFG "
+       "(Section 2.3); a forward or self reference breaks the single "
+       "backward pass of the adjoint sweep."},
+      {RuleKind::ArityMismatch, Severity::Error, "SCORPIO-E003",
+       "arity-mismatch",
+       "recorded edge count is inconsistent with the operation kind",
+       "An Input must have no edges, a unary operation exactly one, a "
+       "binary operation one or two (passive constant operands are not "
+       "recorded).  Any other shape corrupts partial attribution."},
+      {RuleKind::MalformedPartial, Severity::Error, "SCORPIO-E004",
+       "malformed-partial",
+       "interval local partial has NaN or inverted bounds",
+       "Local partials d(phi_j)/d(u_i) are the edge weights of the "
+       "DynDFG (Figure 1a); a NaN or inverted enclosure violates the "
+       "containment contract (Eq. 4-6) and poisons every adjoint "
+       "downstream."},
+      {RuleKind::MalformedValue, Severity::Error, "SCORPIO-E005",
+       "malformed-value",
+       "interval value has NaN or inverted bounds",
+       "Node enclosures [u_j] feed the Eq.-11 significance product; a "
+       "NaN or inverted enclosure is not a valid interval."},
+      {RuleKind::InputKindMismatch, Severity::Error, "SCORPIO-E006",
+       "input-kind-mismatch",
+       "registered input node is not an Input operation",
+       "The tape's input list must reference OpKind::Input nodes "
+       "(paper step S2); anything else means the registration "
+       "machinery and the tape disagree about what the inputs are."},
+      {RuleKind::InvalidOutput, Severity::Error, "SCORPIO-E007",
+       "invalid-output",
+       "registered output id does not name a recorded tape node",
+       "Outputs seed the reverse sweep (step S1/ANALYSE); seeding a "
+       "nonexistent node either crashes or silently analyses the wrong "
+       "graph."},
+      {RuleKind::BatchSweepMismatch, Severity::Error, "SCORPIO-E008",
+       "batch-sweep-mismatch",
+       "a reverseSweepBatch lane differs from the dedicated sweep",
+       "Vector-adjoint lanes are documented to be bit-identical to "
+       "per-output scalar sweeps; a mismatch means the batched kernel "
+       "and the scalar kernel disagree and PerOutput significances "
+       "depend on BatchWidth."},
+      {RuleKind::ZeroStraddlingOperand, Severity::Warning, "SCORPIO-W001",
+       "zero-straddling-operand",
+       "div/log/sqrt operand interval spans a domain boundary",
+       "A divisor containing zero (or a log/sqrt operand reaching "
+       "non-positive values) forces the interval result to explode to "
+       "an unbounded enclosure (Section 2.2); every downstream "
+       "significance becomes the worst case.  Narrow the input ranges "
+       "or use a dependency-safe primitive (cf. tanOverX)."},
+      {RuleKind::UnboundedPartial, Severity::Warning, "SCORPIO-W002",
+       "unbounded-partial",
+       "interval local partial is unbounded (derivative blow-up)",
+       "An infinite local partial (1/x at a zero-straddling x, tan at "
+       "a pole) saturates the interval adjoint product of Eq. 8-9 and "
+       "masks the relative significance ranking the analysis exists to "
+       "produce."},
+      {RuleKind::WidthAmplification, Severity::Warning, "SCORPIO-W003",
+       "width-amplification",
+       "node widens its operand enclosures beyond the threshold",
+       "A single operation whose result width exceeds "
+       "WidthAmplificationThreshold times its widest operand is where "
+       "the interval analysis loses precision (the overestimation the "
+       "paper cautions about for Eq. 11); a candidate for range "
+       "splitting (SplitAnalysis) or kernel restructuring."},
+      {RuleKind::InterleavedAccumulation, Severity::Warning, "SCORPIO-W004",
+       "interleaved-accumulation",
+       "aggregation chain node has interleaved consumers; S4 cannot "
+       "collapse it",
+       "Step S4 collapses a self-referential accumulation (res = res + "
+       "term) only when each chain node has exactly one consumer of "
+       "the same kind.  Reading an intermediate accumulator value "
+       "elsewhere keeps the whole chain as graph levels, which skews "
+       "the S5 significance-variance level search."},
+      {RuleKind::DeadSignificance, Severity::Warning, "SCORPIO-W005",
+       "dead-significance",
+       "registered input has an identically-zero adjoint",
+       "No registered output depends on this input (its adjoint is "
+       "exactly [0, 0] for every output seed): its significance is "
+       "identically zero.  Either the registration is stale or the "
+       "kernel ignores the input — both make the significance report "
+       "misleading."},
+      {RuleKind::UnregisteredInput, Severity::Warning, "SCORPIO-W006",
+       "unregistered-input",
+       "tape input node was never registered with the analysis",
+       "An input recorded directly (IAValue::input) without "
+       "Analysis::registerInput has no name: its significance cannot "
+       "be attributed in reports, and the paper's S2 profiling step "
+       "never validated its range."},
+      {RuleKind::FloatingInput, Severity::Warning, "SCORPIO-W007",
+       "floating-input",
+       "input node has no consumers",
+       "An input no operation ever reads contributes nothing to any "
+       "output; it usually indicates a registration typo or dead "
+       "kernel code."},
+  };
+  return Catalog;
+}
+
+const Rule &verify::ruleInfo(RuleKind K) {
+  const std::vector<Rule> &Catalog = ruleCatalog();
+  const size_t I = static_cast<size_t>(K);
+  assert(I < Catalog.size() && Catalog[I].Kind == K &&
+         "rule catalog out of sync with RuleKind");
+  return Catalog[I];
+}
+
+void VerifyReport::add(Finding F) {
+  size_t &N = CountByRule[static_cast<size_t>(F.Kind)];
+  ++N;
+  if (N <= MaxPerRule)
+    Stored.push_back(std::move(F));
+}
+
+size_t VerifyReport::errorCount() const {
+  size_t N = 0;
+  for (size_t I = 0; I != NumRules; ++I)
+    if (ruleCatalog()[I].Sev == Severity::Error)
+      N += CountByRule[I];
+  return N;
+}
+
+size_t VerifyReport::warningCount() const {
+  size_t N = 0;
+  for (size_t I = 0; I != NumRules; ++I)
+    if (ruleCatalog()[I].Sev == Severity::Warning)
+      N += CountByRule[I];
+  return N;
+}
+
+void VerifyReport::merge(const VerifyReport &Other) {
+  // Stored findings go through add() (which counts them); the counts of
+  // findings Other dropped at its own cap are carried over directly.
+  std::vector<size_t> StoredOther(NumRules, 0);
+  for (const Finding &F : Other.Stored) {
+    ++StoredOther[static_cast<size_t>(F.Kind)];
+    add(F);
+  }
+  for (size_t I = 0; I != NumRules; ++I)
+    CountByRule[I] += Other.CountByRule[I] - StoredOther[I];
+}
+
+void VerifyReport::writeJson(JsonWriter &J) const {
+  J.beginObject();
+  J.key("errors").value(errorCount());
+  J.key("warnings").value(warningCount());
+  J.key("ruleCounts").beginObject();
+  for (size_t I = 0; I != NumRules; ++I)
+    if (CountByRule[I] != 0)
+      J.key(ruleCatalog()[I].Id).value(CountByRule[I]);
+  J.endObject();
+  J.key("findings").beginArray();
+  for (const Finding &F : Stored) {
+    const Rule &R = F.rule();
+    J.beginObject();
+    J.key("ruleId").value(R.Id);
+    J.key("severity").value(severityName(R.Sev));
+    J.key("node").value(static_cast<long long>(F.Node));
+    if (F.ArgIndex >= 0)
+      J.key("arg").value(F.ArgIndex);
+    J.key("message").value(F.Message);
+    J.endObject();
+  }
+  J.endArray();
+  J.endObject();
+}
+
+void VerifyReport::writeJson(std::ostream &OS) const {
+  JsonWriter J(OS);
+  writeJson(J);
+  OS << "\n";
+}

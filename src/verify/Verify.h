@@ -1,0 +1,156 @@
+//===- verify/Verify.h - Rule catalog and findings of scorpio-lint --------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The rule catalog and finding/report types shared by the tape verifier
+/// (structural IR invariants, TapeVerifier.h) and the approximation-
+/// safety linter (numeric-hazard heuristics, Lint.h).
+///
+/// The paper's Algorithm 1 trusts the recorded DynDFG end to end:
+/// interval partials (S3), aggregation-chain simplification (S4) and the
+/// significance-variance search (S5) all silently misbehave on a
+/// malformed tape, and a kernel that is numerically unsafe under
+/// interval evaluation (a zero-straddling divisor, an exploding partial)
+/// produces `[-inf, inf]` significances with no hint *why*.  Following
+/// the compiler-style analysis-pass model of CHEF-FP, every check is a
+/// catalogued rule with a stable ID (`SCORPIO-Exxx` structural errors,
+/// `SCORPIO-Wxxx` approximation-safety warnings) so findings can be
+/// baselined, diffed and exported as SARIF.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_VERIFY_VERIFY_H
+#define SCORPIO_VERIFY_VERIFY_H
+
+#include "tape/Tape.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace scorpio {
+
+class JsonWriter;
+
+namespace verify {
+
+/// Severity of a rule (maps to the SARIF "level" property).
+enum class Severity : uint8_t { Error, Warning };
+
+/// Stable mnemonic of \p S: "error" or "warning".
+const char *severityName(Severity S);
+
+/// Every rule scorpio-lint knows, in catalog order.  The enumerator
+/// value is the index into ruleCatalog().
+enum class RuleKind : uint8_t {
+  // Structural IR invariants (TapeVerifier) — a tape violating one of
+  // these is malformed and every downstream result is garbage.
+  DanglingArgument,      ///< SCORPIO-E001: argument id outside the tape
+  NonTopologicalArgument,///< SCORPIO-E002: argument id >= node id
+  ArityMismatch,         ///< SCORPIO-E003: edge count inconsistent with OpKind
+  MalformedPartial,      ///< SCORPIO-E004: NaN / inverted partial bounds
+  MalformedValue,        ///< SCORPIO-E005: NaN / inverted value bounds
+  InputKindMismatch,     ///< SCORPIO-E006: registered input not OpKind::Input
+  InvalidOutput,         ///< SCORPIO-E007: output id not a recorded node
+  BatchSweepMismatch,    ///< SCORPIO-E008: batch lane != dedicated sweep
+  // Approximation-safety heuristics (Lint) — the tape is well-formed
+  // but the kernel is hazardous under interval evaluation.
+  ZeroStraddlingOperand, ///< SCORPIO-W001: div/log/sqrt operand spans 0
+  UnboundedPartial,      ///< SCORPIO-W002: infinite local partial
+  WidthAmplification,    ///< SCORPIO-W003: node widens inputs > threshold
+  InterleavedAccumulation,///< SCORPIO-W004: S4 cannot collapse the chain
+  DeadSignificance,      ///< SCORPIO-W005: input with identically-zero adjoint
+  UnregisteredInput,     ///< SCORPIO-W006: tape input never registered
+  FloatingInput,         ///< SCORPIO-W007: input with no consumers
+};
+
+inline constexpr size_t NumRules =
+    static_cast<size_t>(RuleKind::FloatingInput) + 1;
+
+/// Immutable catalog entry for one rule.
+struct Rule {
+  RuleKind Kind;
+  Severity Sev;
+  /// Stable identifier, "SCORPIO-E001" ... — never renumber.
+  const char *Id;
+  /// Short kebab-case name ("dangling-argument").
+  const char *Name;
+  /// One-line summary (SARIF shortDescription).
+  const char *Summary;
+  /// Fuller help text with the paper/pipeline reference (SARIF
+  /// fullDescription).
+  const char *Help;
+};
+
+/// The full catalog, indexed by RuleKind enumerator value.
+const Rule &ruleInfo(RuleKind K);
+
+/// All rules in catalog order (for report headers and SARIF
+/// tool.driver.rules).
+const std::vector<Rule> &ruleCatalog();
+
+/// One verifier/linter finding with NodeId provenance.
+struct Finding {
+  RuleKind Kind = RuleKind::DanglingArgument;
+  /// Offending tape node (InvalidNodeId for tape-global findings such as
+  /// an out-of-range registered output).
+  NodeId Node = InvalidNodeId;
+  /// Offending argument slot of Node, or -1 when the finding concerns
+  /// the node as a whole.
+  int ArgIndex = -1;
+  /// Human-readable one-liner naming the concrete violation.
+  std::string Message;
+
+  const Rule &rule() const { return ruleInfo(Kind); }
+  Severity severity() const { return rule().Sev; }
+};
+
+/// The result of running the verifier and/or linter over one tape:
+/// findings (capped per rule so a pathological tape cannot produce a
+/// gigabyte of reports) plus exact per-rule fire counts.
+class VerifyReport {
+public:
+  /// Per-rule cap on *stored* findings; counts keep counting beyond it.
+  explicit VerifyReport(size_t MaxFindingsPerRule = 32)
+      : MaxPerRule(MaxFindingsPerRule), CountByRule(NumRules, 0) {}
+
+  /// Records a finding (stores it unless the per-rule cap is reached).
+  void add(Finding F);
+
+  const std::vector<Finding> &findings() const { return Stored; }
+
+  /// Exact number of times \p K fired (including findings dropped by the
+  /// storage cap).
+  size_t countOf(RuleKind K) const {
+    return CountByRule[static_cast<size_t>(K)];
+  }
+
+  /// Total findings of the given severity (exact, cap-independent).
+  size_t errorCount() const;
+  size_t warningCount() const;
+  bool hasErrors() const { return errorCount() != 0; }
+
+  /// Merges \p Other into this report (counts add; stored findings
+  /// append subject to this report's cap).
+  void merge(const VerifyReport &Other);
+
+  /// Writes the report as one JSON object: per-rule counts plus the
+  /// stored findings with node provenance.
+  void writeJson(JsonWriter &J) const;
+  void writeJson(std::ostream &OS) const;
+
+private:
+  size_t MaxPerRule;
+  std::vector<Finding> Stored;
+  std::vector<size_t> CountByRule;
+};
+
+} // namespace verify
+} // namespace scorpio
+
+#endif // SCORPIO_VERIFY_VERIFY_H

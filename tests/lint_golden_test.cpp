@@ -1,0 +1,155 @@
+//===- tests/lint_golden_test.cpp - Golden SARIF/JSON export tests --------===//
+//
+// Byte-exact golden-file tests of the lint exporters on the Maclaurin
+// running example, plus schema-shape validation of the SARIF 2.1.0
+// required fields on a findings-bearing report.  Regenerate goldens
+// with SCORPIO_UPDATE_GOLDENS=1 in the environment.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Lint.h"
+#include "verify/Sarif.h"
+#include "verify/TapeVerifier.h"
+
+#include "core/Analysis.h"
+#include "kernels/KernelRegistry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace scorpio;
+using namespace scorpio::verify;
+
+#ifndef SCORPIO_GOLDEN_DIR
+#error "SCORPIO_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace {
+
+std::string goldenPath(const std::string &Name) {
+  return std::string(SCORPIO_GOLDEN_DIR) + "/" + Name;
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream IS(Path, std::ios::binary);
+  EXPECT_TRUE(IS.good()) << "cannot open " << Path;
+  std::ostringstream OS;
+  OS << IS.rdbuf();
+  return OS.str();
+}
+
+/// Compares \p Actual against the golden file, or rewrites the golden
+/// when SCORPIO_UPDATE_GOLDENS is set.
+void expectGolden(const std::string &Name, const std::string &Actual) {
+  const std::string Path = goldenPath(Name);
+  if (std::getenv("SCORPIO_UPDATE_GOLDENS") != nullptr) {
+    std::ofstream OS(Path, std::ios::binary);
+    ASSERT_TRUE(OS.good()) << "cannot write " << Path;
+    OS << Actual;
+    GTEST_SKIP() << "regenerated " << Path;
+  }
+  EXPECT_EQ(Actual, readFile(Path)) << "golden mismatch for " << Name
+                                    << " (set SCORPIO_UPDATE_GOLDENS=1 to "
+                                       "regenerate)";
+}
+
+/// The exact verifier+linter pipeline scorpio_lint runs per kernel.
+VerifyReport lintRegistryKernel(const std::string &Name) {
+  const KernelDescriptor *K = KernelRegistry::global().find(Name);
+  EXPECT_NE(K, nullptr) << Name;
+  Analysis A;
+  K->Analyse(A, K->DefaultRanges);
+  VerifyReport R = verifyTape(A.tape(), A.outputNodes());
+  if (!R.hasErrors()) {
+    const std::vector<NodeId> Inputs = A.registeredInputNodes();
+    LintContext Ctx;
+    Ctx.RegisteredInputs = Inputs;
+    Ctx.HaveRegistration = true;
+    Ctx.Outputs = A.outputNodes();
+    R.merge(lintTape(A.tape(), Ctx));
+  }
+  return R;
+}
+
+TEST(LintGolden, MaclaurinSarifMatchesGolden) {
+  const VerifyReport R = lintRegistryKernel("maclaurin");
+  std::ostringstream OS;
+  writeSarif(OS, "maclaurin", R);
+  expectGolden("maclaurin_lint.sarif", OS.str());
+}
+
+TEST(LintGolden, MaclaurinJsonMatchesGolden) {
+  const VerifyReport R = lintRegistryKernel("maclaurin");
+  std::ostringstream OS;
+  R.writeJson(OS);
+  expectGolden("maclaurin_lint.json", OS.str());
+}
+
+TEST(LintGolden, SarifCarriesTheRequiredFields) {
+  // SARIF 2.1.0 structural requirements, checked on a findings-bearing
+  // report so results[] is non-empty.
+  Analysis A;
+  IAValue X = A.input("x", 1.0, 2.0);
+  IAValue D = A.input("d", -0.5, 0.5);
+  IAValue Unused = A.input("unused", 0.0, 1.0);
+  (void)Unused;
+  IAValue Z = X / D;
+  A.registerOutput(Z, "z");
+  const std::vector<NodeId> Inputs = A.registeredInputNodes();
+  LintContext Ctx;
+  Ctx.RegisteredInputs = Inputs;
+  Ctx.HaveRegistration = true;
+  Ctx.Outputs = A.outputNodes();
+  const VerifyReport R = lintTape(A.tape(), Ctx);
+  ASSERT_GT(R.warningCount(), 0u);
+
+  std::ostringstream OS;
+  writeSarif(OS, "hazard-kernel", R);
+  const std::string S = OS.str();
+
+  // Document header.
+  EXPECT_NE(S.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(S.find("\"$schema\""), std::string::npos);
+  EXPECT_NE(S.find("\"runs\":["), std::string::npos);
+  // runs[].tool.driver with the published rule catalog.
+  EXPECT_NE(S.find("\"tool\":{\"driver\":{\"name\":\"scorpio-lint\""),
+            std::string::npos);
+  EXPECT_NE(S.find("\"rules\":["), std::string::npos);
+  for (const Rule &Rule : ruleCatalog())
+    EXPECT_NE(S.find(std::string("\"id\":\"") + Rule.Id + "\""),
+              std::string::npos)
+        << Rule.Id;
+  // results[] entries with ruleId / ruleIndex / level / message /
+  // locations.
+  EXPECT_NE(S.find("\"results\":["), std::string::npos);
+  EXPECT_NE(S.find("\"ruleId\":\"SCORPIO-W001\""), std::string::npos);
+  EXPECT_NE(S.find("\"ruleIndex\":"), std::string::npos);
+  EXPECT_NE(S.find("\"level\":\"warning\""), std::string::npos);
+  EXPECT_NE(S.find("\"message\":{\"text\":"), std::string::npos);
+  EXPECT_NE(S.find("\"logicalLocations\""), std::string::npos);
+  EXPECT_NE(S.find("\"fullyQualifiedName\":\"hazard-kernel/u"),
+            std::string::npos);
+}
+
+TEST(LintGolden, DotHighlightsColorOffendingNodes) {
+  Analysis A;
+  IAValue X = A.input("x", -0.5, 0.5);
+  IAValue Z = 1.0 / X;
+  A.registerOutput(Z, "z");
+  const std::vector<NodeId> Inputs = A.registeredInputNodes();
+  LintContext Ctx;
+  Ctx.RegisteredInputs = Inputs;
+  Ctx.HaveRegistration = true;
+  Ctx.Outputs = A.outputNodes();
+  const VerifyReport R = lintTape(A.tape(), Ctx);
+  ASSERT_GT(R.warningCount(), 0u);
+  const auto Colors = dotHighlights(R);
+  ASSERT_FALSE(Colors.empty());
+  EXPECT_TRUE(Colors.count(Z.node()));
+}
+
+} // namespace

@@ -1,0 +1,235 @@
+//===- tests/lint_test.cpp - Approximation-safety linter unit tests -------===//
+//
+// Each SCORPIO-Wxxx rule fired by a purpose-built recording, plus
+// clean-kernel negative checks.  Recordings go through the real
+// Analysis/IAValue path: the linter works on well-formed tapes only.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Lint.h"
+
+#include "core/Analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace scorpio;
+using namespace scorpio::verify;
+
+namespace {
+
+/// Lints the given analysis' tape with full registration context.
+VerifyReport lint(Analysis &A, const LintOptions &Options = {}) {
+  const std::vector<NodeId> Inputs = A.registeredInputNodes();
+  LintContext Ctx;
+  Ctx.RegisteredInputs = Inputs;
+  Ctx.HaveRegistration = true;
+  Ctx.Outputs = A.outputNodes();
+  return lintTape(A.tape(), Ctx, Options);
+}
+
+size_t totalFindings(const VerifyReport &R) {
+  size_t N = 0;
+  for (size_t I = 0; I != NumRules; ++I)
+    N += R.countOf(static_cast<RuleKind>(I));
+  return N;
+}
+
+TEST(Lint, CleanKernelProducesNoFindings) {
+  Analysis A;
+  IAValue X = A.input("x", 1.0, 2.0);
+  IAValue Y = A.input("y", 0.5, 1.5);
+  IAValue Z = sqr(X) + X * Y + exp(Y);
+  A.registerOutput(Z, "z");
+  EXPECT_EQ(totalFindings(lint(A)), 0u);
+}
+
+TEST(Lint, ZeroStraddlingDivisorW001) {
+  Analysis A;
+  IAValue X = A.input("x", 1.0, 2.0);
+  IAValue D = A.input("d", -0.5, 0.5);
+  IAValue Z = X / D;
+  A.registerOutput(Z, "z");
+  const VerifyReport R = lint(A);
+  EXPECT_EQ(R.countOf(RuleKind::ZeroStraddlingOperand), 1u);
+  // The exploding divisor also blows up the local partials.
+  EXPECT_GE(R.countOf(RuleKind::UnboundedPartial), 1u);
+  ASSERT_FALSE(R.findings().empty());
+  EXPECT_STREQ(R.findings()[0].rule().Id, "SCORPIO-W001");
+  EXPECT_EQ(R.findings()[0].Node, Z.node());
+}
+
+TEST(Lint, ZeroStraddlingPassiveNumeratorDivW001) {
+  // 1.0 / d records only the divisor edge; the straddling operand is
+  // recognized through its unbounded partial.
+  Analysis A;
+  IAValue D = A.input("d", -1.0, 1.0);
+  IAValue Z = 1.0 / D;
+  A.registerOutput(Z, "z");
+  EXPECT_GE(lint(A).countOf(RuleKind::ZeroStraddlingOperand), 1u);
+}
+
+TEST(Lint, LogReachingZeroW001) {
+  Analysis A;
+  IAValue X = A.input("x", 0.0, 1.0);
+  IAValue Z = log(X);
+  A.registerOutput(Z, "z");
+  const VerifyReport R = lint(A);
+  EXPECT_EQ(R.countOf(RuleKind::ZeroStraddlingOperand), 1u);
+  // log'(x) = 1/x is unbounded on [0, 1].
+  EXPECT_GE(R.countOf(RuleKind::UnboundedPartial), 1u);
+}
+
+TEST(Lint, UnboundedPartialW002) {
+  Analysis A;
+  IAValue X = A.input("x", 0.0, 4.0);
+  IAValue Z = sqrt(X); // d/dx = 1/(2 sqrt x) -> unbounded at 0
+  A.registerOutput(Z, "z");
+  const VerifyReport R = lint(A);
+  EXPECT_GE(R.countOf(RuleKind::UnboundedPartial), 1u);
+  bool Found = false;
+  for (const Finding &F : R.findings())
+    if (F.Kind == RuleKind::UnboundedPartial) {
+      EXPECT_EQ(F.Node, Z.node());
+      EXPECT_STREQ(F.rule().Id, "SCORPIO-W002");
+      Found = true;
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST(Lint, WidthAmplificationW003) {
+  Analysis A;
+  IAValue X = A.input("x", 0.0, 10.0);
+  IAValue Z = exp(X); // width ~2.2e4 from operand width 10
+  A.registerOutput(Z, "z");
+  LintOptions Options;
+  Options.WidthAmplificationThreshold = 1e3;
+  const VerifyReport R = lint(A, Options);
+  EXPECT_EQ(R.countOf(RuleKind::WidthAmplification), 1u);
+  ASSERT_FALSE(R.findings().empty());
+  EXPECT_EQ(R.findings()[0].Node, Z.node());
+  EXPECT_STREQ(R.findings()[0].rule().Id, "SCORPIO-W003");
+  // Default threshold (1e8) does not fire on this kernel.
+  EXPECT_EQ(lint(A).countOf(RuleKind::WidthAmplification), 0u);
+}
+
+TEST(Lint, InterleavedAccumulationW004) {
+  Analysis A;
+  IAValue X = A.input("x", 1.0, 2.0);
+  IAValue Y = A.input("y", 3.0, 4.0);
+  IAValue Acc1 = X + Y;
+  IAValue Extra = Acc1 * 2.0; // second consumer of the chain head
+  IAValue Acc2 = Acc1 + X;
+  IAValue Z = Acc2 + Extra;
+  A.registerOutput(Z, "z");
+  const VerifyReport R = lint(A);
+  EXPECT_EQ(R.countOf(RuleKind::InterleavedAccumulation), 1u);
+  ASSERT_FALSE(R.findings().empty());
+  EXPECT_EQ(R.findings()[0].Node, Acc1.node());
+  EXPECT_STREQ(R.findings()[0].rule().Id, "SCORPIO-W004");
+}
+
+TEST(Lint, UninterruptedAccumulationChainIsNotFlagged) {
+  Analysis A;
+  IAValue X = A.input("x", 1.0, 2.0);
+  IAValue Acc = 0.0;
+  for (int I = 0; I != 5; ++I)
+    Acc = Acc + X * static_cast<double>(I + 1);
+  A.registerOutput(Acc, "acc");
+  EXPECT_EQ(lint(A).countOf(RuleKind::InterleavedAccumulation), 0u);
+}
+
+TEST(Lint, DeadSignificanceW005) {
+  Analysis A;
+  IAValue X = A.input("x", 1.0, 2.0);
+  IAValue Y = A.input("y", 3.0, 4.0);
+  IAValue Dead = Y + 1.0; // consumed, but reaches no output
+  (void)Dead;
+  IAValue Z = sqr(X);
+  A.registerOutput(Z, "z");
+  const VerifyReport R = lint(A);
+  EXPECT_EQ(R.countOf(RuleKind::DeadSignificance), 1u);
+  bool Found = false;
+  for (const Finding &F : R.findings())
+    if (F.Kind == RuleKind::DeadSignificance) {
+      EXPECT_EQ(F.Node, Y.node());
+      EXPECT_STREQ(F.rule().Id, "SCORPIO-W005");
+      Found = true;
+    }
+  EXPECT_TRUE(Found);
+  // x reaches the output: not flagged.
+  EXPECT_EQ(R.countOf(RuleKind::FloatingInput), 0u);
+}
+
+TEST(Lint, UnregisteredInputW006) {
+  Analysis A;
+  IAValue X = A.input("x", 1.0, 2.0);
+  // Recorded directly on the tape, bypassing Analysis registration.
+  IAValue Hidden = IAValue::input(Interval(5.0, 6.0));
+  IAValue Z = X * Hidden;
+  A.registerOutput(Z, "z");
+  const VerifyReport R = lint(A);
+  EXPECT_EQ(R.countOf(RuleKind::UnregisteredInput), 1u);
+  bool Found = false;
+  for (const Finding &F : R.findings())
+    if (F.Kind == RuleKind::UnregisteredInput) {
+      EXPECT_EQ(F.Node, Hidden.node());
+      EXPECT_STREQ(F.rule().Id, "SCORPIO-W006");
+      Found = true;
+    }
+  EXPECT_TRUE(Found);
+
+  // Without registration authority the rule stays silent.
+  LintContext Ctx;
+  Ctx.HaveRegistration = false;
+  Ctx.Outputs = A.outputNodes();
+  EXPECT_EQ(lintTape(A.tape(), Ctx).countOf(RuleKind::UnregisteredInput),
+            0u);
+}
+
+TEST(Lint, FloatingInputW007) {
+  Analysis A;
+  IAValue X = A.input("x", 1.0, 2.0);
+  IAValue Unused = A.input("unused", 0.0, 1.0);
+  (void)Unused;
+  IAValue Z = sqr(X);
+  A.registerOutput(Z, "z");
+  const VerifyReport R = lint(A);
+  EXPECT_EQ(R.countOf(RuleKind::FloatingInput), 1u);
+  bool Found = false;
+  for (const Finding &F : R.findings())
+    if (F.Kind == RuleKind::FloatingInput) {
+      EXPECT_EQ(F.Node, Unused.node());
+      EXPECT_STREQ(F.rule().Id, "SCORPIO-W007");
+      Found = true;
+    }
+  EXPECT_TRUE(Found);
+  // Floating inputs are excluded from W005 (no double reporting).
+  EXPECT_EQ(R.countOf(RuleKind::DeadSignificance), 0u);
+}
+
+TEST(Lint, ReportMergeAndCountsAreConsistent) {
+  Analysis A;
+  IAValue X = A.input("x", -0.5, 0.5);
+  IAValue Unused = A.input("unused", 0.0, 1.0);
+  (void)Unused;
+  IAValue Z = 1.0 / X;
+  A.registerOutput(Z, "z");
+  const VerifyReport R = lint(A);
+  EXPECT_GT(R.warningCount(), 0u);
+  EXPECT_EQ(R.errorCount(), 0u);
+  EXPECT_FALSE(R.hasErrors());
+
+  VerifyReport Merged;
+  Merged.merge(R);
+  Merged.merge(R);
+  for (size_t I = 0; I != NumRules; ++I) {
+    const RuleKind K = static_cast<RuleKind>(I);
+    EXPECT_EQ(Merged.countOf(K), 2 * R.countOf(K)) << ruleInfo(K).Id;
+  }
+  EXPECT_EQ(Merged.warningCount(), 2 * R.warningCount());
+}
+
+} // namespace

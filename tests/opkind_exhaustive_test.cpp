@@ -1,0 +1,79 @@
+//===- tests/opkind_exhaustive_test.cpp - Kind-dispatch exhaustiveness ----===//
+//
+// Exhaustive coverage of every OpKind through the kind-dispatch helpers
+// (opKindName, opArity, isAccumulativeOp).  Together with
+// -Werror=switch this makes "someone added an OpKind enumerator and
+// forgot a dispatch site" either a build error or a test failure, never
+// silent garbage.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tape/Tape.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+using namespace scorpio;
+
+namespace {
+
+TEST(OpKindExhaustive, AnchorsMatchTheEnum) {
+  // If a new enumerator is appended without moving LastOpKind, the
+  // exhaustive loops below silently skip it.
+  EXPECT_EQ(LastOpKind, OpKind::TanOverX);
+  EXPECT_EQ(NumOpKinds, static_cast<size_t>(OpKind::TanOverX) + 1);
+}
+
+TEST(OpKindExhaustive, EveryKindHasAUniqueNonEmptyName) {
+  std::set<std::string> Seen;
+  for (size_t I = 0; I != NumOpKinds; ++I) {
+    const OpKind K = static_cast<OpKind>(I);
+    const char *Name = opKindName(K);
+    ASSERT_NE(Name, nullptr) << "kind " << I;
+    const std::string S(Name);
+    EXPECT_FALSE(S.empty()) << "kind " << I;
+    EXPECT_TRUE(Seen.insert(S).second)
+        << "duplicate mnemonic '" << S << "' for kind " << I;
+  }
+  EXPECT_EQ(Seen.size(), NumOpKinds);
+}
+
+TEST(OpKindExhaustive, EveryKindHasAValidArity) {
+  size_t Nullary = 0;
+  for (size_t I = 0; I != NumOpKinds; ++I) {
+    const OpKind K = static_cast<OpKind>(I);
+    const unsigned Arity = opArity(K);
+    EXPECT_LE(Arity, 2u) << opKindName(K);
+    if (Arity == 0) {
+      ++Nullary;
+      EXPECT_EQ(K, OpKind::Input) << opKindName(K);
+    }
+  }
+  // Input is the only leaf kind; everything else consumes operands.
+  EXPECT_EQ(Nullary, 1u);
+}
+
+TEST(OpKindExhaustive, AccumulativeKindsAreExactlyTheS4Set) {
+  // The associative accumulation set Algorithm 1 step S4 collapses.
+  // Spelled out per kind so extending the enum forces a decision here.
+  const std::set<OpKind> Expected = {OpKind::Add, OpKind::Mul, OpKind::Min,
+                                     OpKind::Max};
+  for (size_t I = 0; I != NumOpKinds; ++I) {
+    const OpKind K = static_cast<OpKind>(I);
+    EXPECT_EQ(isAccumulativeOp(K), Expected.count(K) == 1)
+        << opKindName(K);
+  }
+}
+
+TEST(OpKindExhaustive, AccumulativeKindsAreBinary) {
+  for (size_t I = 0; I != NumOpKinds; ++I) {
+    const OpKind K = static_cast<OpKind>(I);
+    if (isAccumulativeOp(K)) {
+      EXPECT_EQ(opArity(K), 2u) << opKindName(K);
+    }
+  }
+}
+
+} // namespace

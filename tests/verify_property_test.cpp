@@ -1,0 +1,335 @@
+//===- tests/verify_property_test.cpp - Verifier property/mutation tests --===//
+//
+// Property tests of the structural verifier: randomly generated valid
+// tapes pass clean, and every class of single-field mutation is flagged
+// with exactly the expected rule ID.  The generator builds RawTape
+// views directly (the recording API cannot produce defects), and a
+// second generator drives the real recording path so the E008 sweep
+// replay is exercised against arbitrary expression shapes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/TapeVerifier.h"
+
+#include "core/Analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <random>
+#include <vector>
+
+using namespace scorpio;
+using namespace scorpio::verify;
+
+namespace {
+
+constexpr double NaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Kinds the generator records, spanning all arities.
+const OpKind UnaryKinds[] = {OpKind::Neg, OpKind::Sin, OpKind::Exp,
+                             OpKind::Sqr, OpKind::Atan};
+const OpKind BinaryKinds[] = {OpKind::Add, OpKind::Sub, OpKind::Mul,
+                              OpKind::Min, OpKind::Max};
+
+/// A random structurally valid raw tape: a block of inputs followed by
+/// unary/binary nodes over earlier ids, with well-formed enclosures.
+RawTape randomRaw(std::mt19937 &Rng) {
+  RawTape Raw;
+  std::uniform_int_distribution<int> NumInputsDist(1, 4);
+  std::uniform_int_distribution<int> NumOpsDist(1, 24);
+  std::uniform_real_distribution<double> ValDist(-8.0, 8.0);
+  const int NumInputs = NumInputsDist(Rng);
+  const int NumOps = NumOpsDist(Rng);
+
+  auto randomBounds = [&](double &Lo, double &Hi) {
+    double A = ValDist(Rng), B = ValDist(Rng);
+    Lo = std::min(A, B);
+    Hi = std::max(A, B);
+  };
+
+  for (int I = 0; I != NumInputs; ++I) {
+    RawNode N;
+    N.Kind = OpKind::Input;
+    randomBounds(N.ValueLo, N.ValueHi);
+    Raw.Nodes.push_back(N);
+    Raw.Inputs.push_back(static_cast<NodeId>(I));
+  }
+  for (int I = 0; I != NumOps; ++I) {
+    const NodeId Id = static_cast<NodeId>(Raw.Nodes.size());
+    std::uniform_int_distribution<NodeId> ArgDist(0, Id - 1);
+    RawNode N;
+    if (Rng() % 2 == 0) {
+      N.Kind = UnaryKinds[Rng() % std::size(UnaryKinds)];
+      N.NumArgs = 1;
+    } else {
+      N.Kind = BinaryKinds[Rng() % std::size(BinaryKinds)];
+      // Binary nodes legitimately carry one edge when the other
+      // operand was passive.
+      N.NumArgs = static_cast<uint8_t>(1 + Rng() % 2);
+    }
+    randomBounds(N.ValueLo, N.ValueHi);
+    for (unsigned A = 0; A != N.NumArgs; ++A) {
+      N.Args[A] = ArgDist(Rng);
+      randomBounds(N.PartialLo[A], N.PartialHi[A]);
+    }
+    Raw.Nodes.push_back(N);
+  }
+  // The last node is always an output; maybe an extra random one too.
+  Raw.Outputs.push_back(static_cast<NodeId>(Raw.Nodes.size() - 1));
+  if (Rng() % 2 == 0) {
+    std::uniform_int_distribution<NodeId> AnyDist(
+        0, static_cast<NodeId>(Raw.Nodes.size() - 1));
+    Raw.Outputs.push_back(AnyDist(Rng));
+  }
+  return Raw;
+}
+
+size_t totalFindings(const VerifyReport &R) {
+  size_t N = 0;
+  for (size_t I = 0; I != NumRules; ++I)
+    N += R.countOf(static_cast<RuleKind>(I));
+  return N;
+}
+
+TEST(VerifyProperty, RandomValidRawTapesPassClean) {
+  std::mt19937 Rng(20160312); // CGO 2016 conference date
+  for (int Iter = 0; Iter != 200; ++Iter) {
+    const RawTape Raw = randomRaw(Rng);
+    const VerifyReport R = verifyStructure(Raw);
+    ASSERT_EQ(totalFindings(R), 0u)
+        << "iteration " << Iter << ": "
+        << (R.findings().empty() ? "?" : R.findings()[0].Message);
+  }
+}
+
+TEST(VerifyProperty, RandomRecordedExpressionsVerifyCleanWithSweepReplay) {
+  std::mt19937 Rng(271828);
+  for (int Iter = 0; Iter != 25; ++Iter) {
+    Analysis A;
+    std::uniform_real_distribution<double> LoDist(0.5, 1.5);
+    std::uniform_real_distribution<double> WDist(0.1, 1.0);
+    std::vector<IAValue> Pool;
+    const int NumInputs = 2 + static_cast<int>(Rng() % 3);
+    for (int I = 0; I != NumInputs; ++I) {
+      const double Lo = LoDist(Rng);
+      Pool.push_back(
+          A.input("x" + std::to_string(I), Lo, Lo + WDist(Rng)));
+    }
+    const int NumOps = 5 + static_cast<int>(Rng() % 20);
+    for (int I = 0; I != NumOps; ++I) {
+      const IAValue &U = Pool[Rng() % Pool.size()];
+      const IAValue &V = Pool[Rng() % Pool.size()];
+      switch (Rng() % 6) {
+      case 0:
+        Pool.push_back(U + V);
+        break;
+      case 1:
+        Pool.push_back(U * V);
+        break;
+      case 2:
+        Pool.push_back(U - 0.5 * V);
+        break;
+      case 3:
+        Pool.push_back(sin(U));
+        break;
+      case 4:
+        Pool.push_back(exp(0.1 * U));
+        break;
+      default:
+        Pool.push_back(sqr(U));
+        break;
+      }
+    }
+    const int NumOutputs = 1 + static_cast<int>(Rng() % 10);
+    for (int O = 0; O != NumOutputs; ++O)
+      A.registerOutput(Pool[Pool.size() - 1 - static_cast<size_t>(O) %
+                                Pool.size()],
+                       "y" + std::to_string(O));
+    VerifierOptions Options;
+    Options.BatchWidth = 1 + Rng() % 8; // replay at random widths
+    const VerifyReport R = verifyTape(A.tape(), A.outputNodes(), Options);
+    ASSERT_EQ(totalFindings(R), 0u)
+        << "iteration " << Iter << ": "
+        << (R.findings().empty() ? "?" : R.findings()[0].Message);
+  }
+}
+
+/// One mutation class: corrupts a random applicable site in the tape
+/// and returns the rule expected to fire (or false when the tape has
+/// no applicable site).
+struct Mutation {
+  const char *Name;
+  RuleKind Expected;
+  bool (*Apply)(RawTape &, std::mt19937 &);
+};
+
+/// Ids of nodes with at least one edge.
+std::vector<size_t> nodesWithEdges(const RawTape &Raw) {
+  std::vector<size_t> Ids;
+  for (size_t I = 0; I != Raw.Nodes.size(); ++I)
+    if (Raw.Nodes[I].NumArgs != 0)
+      Ids.push_back(I);
+  return Ids;
+}
+
+const Mutation Mutations[] = {
+    {"dangling-argument", RuleKind::DanglingArgument,
+     [](RawTape &Raw, std::mt19937 &Rng) {
+       const std::vector<size_t> Ids = nodesWithEdges(Raw);
+       if (Ids.empty())
+         return false;
+       RawNode &N = Raw.Nodes[Ids[Rng() % Ids.size()]];
+       N.Args[Rng() % N.NumArgs] =
+           static_cast<NodeId>(Raw.Nodes.size()) + 1 + Rng() % 100;
+       return true;
+     }},
+    {"negative-argument", RuleKind::DanglingArgument,
+     [](RawTape &Raw, std::mt19937 &Rng) {
+       const std::vector<size_t> Ids = nodesWithEdges(Raw);
+       if (Ids.empty())
+         return false;
+       RawNode &N = Raw.Nodes[Ids[Rng() % Ids.size()]];
+       N.Args[Rng() % N.NumArgs] = -1 - static_cast<NodeId>(Rng() % 4);
+       return true;
+     }},
+    {"forward-argument", RuleKind::NonTopologicalArgument,
+     [](RawTape &Raw, std::mt19937 &Rng) {
+       const std::vector<size_t> Ids = nodesWithEdges(Raw);
+       if (Ids.empty())
+         return false;
+       const size_t I = Ids[Rng() % Ids.size()];
+       RawNode &N = Raw.Nodes[I];
+       // Self or any later node, still inside the tape.
+       std::uniform_int_distribution<NodeId> FwdDist(
+           static_cast<NodeId>(I),
+           static_cast<NodeId>(Raw.Nodes.size() - 1));
+       N.Args[Rng() % N.NumArgs] = FwdDist(Rng);
+       return true;
+     }},
+    {"input-with-edge", RuleKind::ArityMismatch,
+     [](RawTape &Raw, std::mt19937 &Rng) {
+       if (Raw.Inputs.empty())
+         return false;
+       RawNode &N = Raw.Nodes[static_cast<size_t>(
+           Raw.Inputs[Rng() % Raw.Inputs.size()])];
+       N.NumArgs = 1;
+       N.Args[0] = 0;
+       return true;
+     }},
+    {"op-without-edges", RuleKind::ArityMismatch,
+     [](RawTape &Raw, std::mt19937 &Rng) {
+       const std::vector<size_t> Ids = nodesWithEdges(Raw);
+       if (Ids.empty())
+         return false;
+       Raw.Nodes[Ids[Rng() % Ids.size()]].NumArgs = 0;
+       return true;
+     }},
+    {"unrecognized-kind", RuleKind::ArityMismatch,
+     [](RawTape &Raw, std::mt19937 &Rng) {
+       Raw.Nodes[Rng() % Raw.Nodes.size()].Kind =
+           static_cast<OpKind>(NumOpKinds + Rng() % 50);
+       return true;
+     }},
+    {"nan-partial", RuleKind::MalformedPartial,
+     [](RawTape &Raw, std::mt19937 &Rng) {
+       const std::vector<size_t> Ids = nodesWithEdges(Raw);
+       if (Ids.empty())
+         return false;
+       RawNode &N = Raw.Nodes[Ids[Rng() % Ids.size()]];
+       const unsigned A = Rng() % N.NumArgs;
+       if (Rng() % 2 == 0)
+         N.PartialLo[A] = NaN;
+       else
+         N.PartialHi[A] = NaN;
+       return true;
+     }},
+    {"inverted-partial", RuleKind::MalformedPartial,
+     [](RawTape &Raw, std::mt19937 &Rng) {
+       const std::vector<size_t> Ids = nodesWithEdges(Raw);
+       if (Ids.empty())
+         return false;
+       RawNode &N = Raw.Nodes[Ids[Rng() % Ids.size()]];
+       const unsigned A = Rng() % N.NumArgs;
+       N.PartialLo[A] = N.PartialHi[A] + 1.0;
+       return true;
+     }},
+    {"nan-value", RuleKind::MalformedValue,
+     [](RawTape &Raw, std::mt19937 &Rng) {
+       RawNode &N = Raw.Nodes[Rng() % Raw.Nodes.size()];
+       if (Rng() % 2 == 0)
+         N.ValueLo = NaN;
+       else
+         N.ValueHi = NaN;
+       return true;
+     }},
+    {"inverted-value", RuleKind::MalformedValue,
+     [](RawTape &Raw, std::mt19937 &Rng) {
+       RawNode &N = Raw.Nodes[Rng() % Raw.Nodes.size()];
+       N.ValueLo = N.ValueHi + 2.0;
+       return true;
+     }},
+    {"non-input-in-input-list", RuleKind::InputKindMismatch,
+     [](RawTape &Raw, std::mt19937 &Rng) {
+       const std::vector<size_t> Ids = nodesWithEdges(Raw);
+       if (Ids.empty())
+         return false;
+       Raw.Inputs.push_back(
+           static_cast<NodeId>(Ids[Rng() % Ids.size()]));
+       return true;
+     }},
+    {"out-of-range-input-entry", RuleKind::InputKindMismatch,
+     [](RawTape &Raw, std::mt19937 &Rng) {
+       Raw.Inputs.push_back(static_cast<NodeId>(Raw.Nodes.size()) +
+                            static_cast<NodeId>(Rng() % 10));
+       return true;
+     }},
+    {"out-of-range-output", RuleKind::InvalidOutput,
+     [](RawTape &Raw, std::mt19937 &Rng) {
+       Raw.Outputs.push_back(static_cast<NodeId>(Raw.Nodes.size()) +
+                             static_cast<NodeId>(Rng() % 10));
+       return true;
+     }},
+    {"negative-output", RuleKind::InvalidOutput,
+     [](RawTape &Raw, std::mt19937 &Rng) {
+       Raw.Outputs.push_back(-1 - static_cast<NodeId>(Rng() % 4));
+       return true;
+     }},
+};
+
+TEST(VerifyProperty, EverySingleMutationIsFlaggedWithItsRule) {
+  std::mt19937 Rng(42);
+  for (const Mutation &M : Mutations) {
+    int Applied = 0;
+    for (int Iter = 0; Iter != 40; ++Iter) {
+      RawTape Raw = randomRaw(Rng);
+      if (!M.Apply(Raw, Rng))
+        continue;
+      ++Applied;
+      const VerifyReport R = verifyStructure(Raw);
+      EXPECT_GE(R.countOf(M.Expected), 1u)
+          << M.Name << " iteration " << Iter << " not flagged";
+      EXPECT_TRUE(R.hasErrors()) << M.Name;
+    }
+    // The generator always produces at least one input and one op, so
+    // every mutation class must have found applicable sites.
+    EXPECT_GT(Applied, 0) << M.Name;
+  }
+}
+
+TEST(VerifyProperty, MutationsDoNotCrossContaminateRules) {
+  // A mutated tape may legitimately trip *additional* rules (a dangling
+  // argument can also skew arity accounting), but a NaN value must
+  // never be reported as, say, a dangling argument.  Check the two
+  // purely-local mutation classes stay confined to their rule.
+  std::mt19937 Rng(7);
+  for (int Iter = 0; Iter != 40; ++Iter) {
+    RawTape Raw = randomRaw(Rng);
+    Raw.Nodes[Rng() % Raw.Nodes.size()].ValueLo = NaN;
+    const VerifyReport R = verifyStructure(Raw);
+    EXPECT_EQ(R.countOf(RuleKind::MalformedValue), 1u);
+    EXPECT_EQ(totalFindings(R), 1u) << "iteration " << Iter;
+  }
+}
+
+} // namespace

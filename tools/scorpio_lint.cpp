@@ -1,0 +1,343 @@
+//===- tools/scorpio_lint.cpp - Static analysis driver for the registry ---===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line driver of the src/verify static-analysis subsystem: runs
+/// every KernelRegistry kernel (the paper's six benchmarks, the
+/// Maclaurin running example and the standard library) under a recording
+/// Analysis, verifies the recorded tape's structural invariants
+/// (SCORPIO-Exxx) and lints it for approximation-safety hazards
+/// (SCORPIO-Wxxx), then diffs the per-kernel rule counts against a
+/// committed baseline so CI catches both new hazards and silently
+/// vanished ones.
+///
+/// Exit codes: 0 clean (and baseline matches), 1 baseline mismatch,
+/// 2 structural verifier errors (the tape IR itself is broken).
+///
+//===----------------------------------------------------------------------===//
+
+#include "kernels/KernelRegistry.h"
+#include "support/Json.h"
+#include "tape/TapeDot.h"
+#include "verify/Lint.h"
+#include "verify/Sarif.h"
+#include "verify/TapeVerifier.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace scorpio;
+
+namespace {
+
+struct Options {
+  std::vector<std::string> Kernels; ///< empty = all registered kernels
+  std::string BaselinePath;         ///< diff against this baseline
+  std::string WriteBaselinePath;    ///< regenerate the baseline instead
+  std::string JsonPath;             ///< per-kernel JSON report ("-" = stdout)
+  std::string SarifPath;            ///< SARIF 2.1.0 export ("-" = stdout)
+  std::string DotDir;               ///< write <kernel>.dot with highlights
+  bool List = false;
+  bool Quiet = false;
+};
+
+int usage(std::ostream &OS, int Code) {
+  OS << "usage: scorpio_lint [options]\n"
+        "\n"
+        "Runs the tape verifier and approximation-safety linter over\n"
+        "every registered kernel on its default profiling ranges.\n"
+        "\n"
+        "  --kernel <name>          lint only this kernel (repeatable)\n"
+        "  --baseline <file>        diff rule counts against a baseline;\n"
+        "                           exit 1 on any difference\n"
+        "  --write-baseline <file>  write the current counts as baseline\n"
+        "  --json <file|->          write per-kernel findings as JSON\n"
+        "  --sarif <file|->         write findings as SARIF 2.1.0\n"
+        "  --dot <dir>              write <kernel>.dot with findings\n"
+        "                           highlighted (errors red, warnings\n"
+        "                           orange)\n"
+        "  --list                   list registered kernels and exit\n"
+        "  --quiet                  suppress the per-kernel summary\n"
+        "  --help                   this text\n";
+  return Code;
+}
+
+bool parseArgs(int Argc, char **Argv, Options &Opts) {
+  auto Value = [&](int &I) -> const char * {
+    if (I + 1 >= Argc) {
+      std::cerr << "scorpio_lint: " << Argv[I] << " needs a value\n";
+      return nullptr;
+    }
+    return Argv[++I];
+  };
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    const char *V = nullptr;
+    if (Arg == "--kernel") {
+      if (!(V = Value(I)))
+        return false;
+      Opts.Kernels.push_back(V);
+    } else if (Arg == "--baseline") {
+      if (!(V = Value(I)))
+        return false;
+      Opts.BaselinePath = V;
+    } else if (Arg == "--write-baseline") {
+      if (!(V = Value(I)))
+        return false;
+      Opts.WriteBaselinePath = V;
+    } else if (Arg == "--json") {
+      if (!(V = Value(I)))
+        return false;
+      Opts.JsonPath = V;
+    } else if (Arg == "--sarif") {
+      if (!(V = Value(I)))
+        return false;
+      Opts.SarifPath = V;
+    } else if (Arg == "--dot") {
+      if (!(V = Value(I)))
+        return false;
+      Opts.DotDir = V;
+    } else if (Arg == "--list") {
+      Opts.List = true;
+    } else if (Arg == "--quiet") {
+      Opts.Quiet = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage(std::cout, 0);
+      std::exit(0);
+    } else {
+      std::cerr << "scorpio_lint: unknown option '" << Arg << "'\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Result of analysing one kernel.
+struct KernelRun {
+  std::string Name;
+  size_t TapeNodes = 0;
+  verify::VerifyReport Report;
+};
+
+/// Records the kernel on its default ranges and runs verifier + linter.
+/// The DOT export (which needs the live tape) happens here too.
+KernelRun lintKernel(const KernelDescriptor &K, const Options &Opts) {
+  KernelRun Run;
+  Run.Name = K.Name;
+
+  Analysis A;
+  K.Analyse(A, K.DefaultRanges);
+  Run.TapeNodes = A.tape().size();
+
+  Run.Report = verify::verifyTape(A.tape(), A.outputNodes());
+  // The linter trusts node ids and arities, so it only runs on tapes
+  // that passed structural verification.
+  if (!Run.Report.hasErrors()) {
+    const std::vector<NodeId> Inputs = A.registeredInputNodes();
+    verify::LintContext Ctx;
+    Ctx.RegisteredInputs = Inputs;
+    Ctx.HaveRegistration = true;
+    Ctx.Outputs = A.outputNodes();
+    Run.Report.merge(verify::lintTape(A.tape(), Ctx));
+  }
+
+  if (!Opts.DotDir.empty()) {
+    const std::string Path = Opts.DotDir + "/" + K.Name + ".dot";
+    std::ofstream OS(Path);
+    if (!OS) {
+      std::cerr << "scorpio_lint: cannot write '" << Path << "'\n";
+    } else {
+      TapeDotOptions DO;
+      DO.FillColors = verify::dotHighlights(Run.Report);
+      writeTapeDot(A.tape(), OS, A.labels(), DO);
+    }
+  }
+  return Run;
+}
+
+/// Baseline lines "<kernel> <ruleId> <count>", sorted (kernels are
+/// iterated in sorted order and rules in catalog order).
+std::vector<std::string> baselineLines(const std::vector<KernelRun> &Runs) {
+  std::vector<std::string> Lines;
+  for (const KernelRun &Run : Runs)
+    for (const verify::Rule &R : verify::ruleCatalog())
+      if (size_t N = Run.Report.countOf(R.Kind))
+        Lines.push_back(Run.Name + " " + R.Id + " " + std::to_string(N));
+  return Lines;
+}
+
+/// Reads a baseline file, skipping blanks and '#' comments.
+bool readBaseline(const std::string &Path, std::vector<std::string> &Lines) {
+  std::ifstream IS(Path);
+  if (!IS) {
+    std::cerr << "scorpio_lint: cannot read baseline '" << Path << "'\n";
+    return false;
+  }
+  std::string Line;
+  while (std::getline(IS, Line)) {
+    while (!Line.empty() && (Line.back() == '\r' || Line.back() == ' '))
+      Line.pop_back();
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    Lines.push_back(Line);
+  }
+  return true;
+}
+
+/// Diffs current counts against the baseline; reports every line that
+/// appeared or disappeared.  Returns true when they match.
+bool checkBaseline(const std::vector<std::string> &Current,
+                   const std::vector<std::string> &Baseline) {
+  const std::set<std::string> Cur(Current.begin(), Current.end());
+  const std::set<std::string> Base(Baseline.begin(), Baseline.end());
+  bool Ok = true;
+  for (const std::string &L : Cur)
+    if (!Base.count(L)) {
+      std::cerr << "scorpio_lint: new finding not in baseline: " << L << "\n";
+      Ok = false;
+    }
+  for (const std::string &L : Base)
+    if (!Cur.count(L)) {
+      std::cerr << "scorpio_lint: baseline finding no longer produced: " << L
+                << "\n";
+      Ok = false;
+    }
+  return Ok;
+}
+
+/// Opens \p Path for writing ("-" = stdout); calls \p F with the stream.
+template <typename Fn>
+bool withOutput(const std::string &Path, Fn F) {
+  if (Path == "-") {
+    F(std::cout);
+    return true;
+  }
+  std::ofstream OS(Path);
+  if (!OS) {
+    std::cerr << "scorpio_lint: cannot write '" << Path << "'\n";
+    return false;
+  }
+  F(OS);
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return usage(std::cerr, 2);
+
+  KernelRegistry &Registry = KernelRegistry::global();
+  if (Opts.List) {
+    for (const std::string &Name : Registry.names())
+      std::cout << Name << "  ("
+                << Registry.find(Name)->InputNames.size() << " inputs)  "
+                << Registry.find(Name)->Description << "\n";
+    return 0;
+  }
+
+  std::vector<std::string> Names =
+      Opts.Kernels.empty() ? Registry.names() : Opts.Kernels;
+  std::sort(Names.begin(), Names.end());
+
+  std::vector<KernelRun> Runs;
+  for (const std::string &Name : Names) {
+    const KernelDescriptor *K = Registry.find(Name);
+    if (!K) {
+      std::cerr << "scorpio_lint: unknown kernel '" << Name << "'\n";
+      return 2;
+    }
+    Runs.push_back(lintKernel(*K, Opts));
+  }
+
+  size_t TotalErrors = 0, TotalWarnings = 0;
+  for (const KernelRun &Run : Runs) {
+    TotalErrors += Run.Report.errorCount();
+    TotalWarnings += Run.Report.warningCount();
+    if (Opts.Quiet)
+      continue;
+    std::cout << Run.Name << ": " << Run.TapeNodes << " nodes, "
+              << Run.Report.errorCount() << " errors, "
+              << Run.Report.warningCount() << " warnings";
+    bool First = true;
+    for (const verify::Rule &R : verify::ruleCatalog())
+      if (size_t N = Run.Report.countOf(R.Kind)) {
+        std::cout << (First ? "  [" : ", ") << R.Id << " x" << N;
+        First = false;
+      }
+    std::cout << (First ? "" : "]") << "\n";
+  }
+  if (!Opts.Quiet)
+    std::cout << Runs.size() << " kernels: " << TotalErrors << " errors, "
+              << TotalWarnings << " warnings\n";
+
+  if (!Opts.JsonPath.empty()) {
+    const bool Ok = withOutput(Opts.JsonPath, [&](std::ostream &OS) {
+      JsonWriter J(OS);
+      J.beginObject();
+      J.key("tool").value("scorpio-lint");
+      J.key("kernels").beginObject();
+      for (const KernelRun &Run : Runs) {
+        J.key(Run.Name);
+        Run.Report.writeJson(J);
+      }
+      J.endObject();
+      J.endObject();
+      OS << "\n";
+    });
+    if (!Ok)
+      return 2;
+  }
+
+  if (!Opts.SarifPath.empty()) {
+    std::vector<verify::SarifEntry> Entries;
+    Entries.reserve(Runs.size());
+    for (const KernelRun &Run : Runs)
+      Entries.push_back({Run.Name, &Run.Report});
+    if (!withOutput(Opts.SarifPath, [&](std::ostream &OS) {
+          verify::writeSarif(OS, Entries);
+        }))
+      return 2;
+  }
+
+  const std::vector<std::string> Current = baselineLines(Runs);
+  if (!Opts.WriteBaselinePath.empty()) {
+    const bool Ok = withOutput(Opts.WriteBaselinePath, [&](std::ostream &OS) {
+      OS << "# scorpio_lint baseline: one '<kernel> <ruleId> <count>' per\n"
+            "# rule that fires on the kernel's default profiling ranges.\n"
+            "# Regenerate with: scorpio_lint --write-baseline <this file>\n";
+      for (const std::string &L : Current)
+        OS << L << "\n";
+    });
+    if (!Ok)
+      return 2;
+  }
+
+  if (TotalErrors != 0) {
+    std::cerr << "scorpio_lint: structural verifier errors — the recorded "
+                 "tape IR is malformed\n";
+    return 2;
+  }
+
+  if (!Opts.BaselinePath.empty()) {
+    std::vector<std::string> Baseline;
+    if (!readBaseline(Opts.BaselinePath, Baseline))
+      return 2;
+    if (!checkBaseline(Current, Baseline))
+      return 1;
+    if (!Opts.Quiet)
+      std::cout << "baseline OK (" << Baseline.size() << " entries)\n";
+  }
+  return 0;
+}
