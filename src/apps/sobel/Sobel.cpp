@@ -296,10 +296,9 @@ void recordSobelTile(const Image &In, int X0, int Y0, int X1, int Y1,
 
 } // namespace
 
-SobelTileSignificance scorpio::apps::analyseSobelTiles(const Image &In,
-                                                       int TileSize,
-                                                       double HalfWidth,
-                                                       unsigned NumThreads) {
+SobelTileSignificance scorpio::apps::analyseSobelTiles(
+    const Image &In, int TileSize, double HalfWidth, unsigned NumThreads,
+    ShardVerification Verify) {
   assert(TileSize > 0 && "tile must contain pixels");
   const int W = In.width(), H = In.height();
 
@@ -324,7 +323,7 @@ SobelTileSignificance scorpio::apps::analyseSobelTiles(const Image &In,
   Opts.Mode = AnalysisOptions::OutputMode::PerOutput;
 
   SobelTileSignificance Sig;
-  Sig.Result = P.run(Opts, NumThreads);
+  Sig.Result = P.run(Opts, NumThreads, Verify);
   for (const ShardResult &S : Sig.Result.shards())
     for (const VariableSignificance &V : S.Result.intermediates()) {
       if (V.Name.compare(0, 2, "Ax") == 0 ||

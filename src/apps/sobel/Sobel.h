@@ -77,10 +77,14 @@ struct SobelTileSignificance {
 /// ParallelAnalysis shard (its own tape, all tile pixels recorded as one
 /// DynDFG with per-pixel gx/gy outputs, PerOutput mode).  Per-pixel
 /// block significances match analyseSobelBlocks exactly; the merge is
-/// deterministic in tile order for any \p NumThreads.
-SobelTileSignificance analyseSobelTiles(const Image &In, int TileSize,
-                                        double HalfWidth = 8.0,
-                                        unsigned NumThreads = 0);
+/// deterministic in tile order for any \p NumThreads.  \p Verify
+/// forwards to ParallelAnalysis::run(): each tile's sub-tape is
+/// re-verified on its worker and the merged findings land in
+/// Result.verification().
+SobelTileSignificance
+analyseSobelTiles(const Image &In, int TileSize, double HalfWidth = 8.0,
+                  unsigned NumThreads = 0,
+                  ShardVerification Verify = ShardVerification::Off);
 
 } // namespace apps
 } // namespace scorpio

@@ -160,6 +160,49 @@ std::vector<NodeId> Analysis::registeredInputNodes() const {
   return Ids;
 }
 
+TapeRegistration Analysis::registration() const {
+  return {OutputNodes, Labels, InputVars, IntermediateVars, OutputVars};
+}
+
+diag::Status Analysis::adopt(Tape &&T, const TapeRegistration &Reg) {
+  const auto Fail = [](diag::ErrC Code, const char *Msg) {
+    return diag::Status::error(Code, Msg);
+  };
+  if (!SCORPIO_CHECK(Scope.tape().empty() && Labels.empty() &&
+                         OutputNodes.empty(),
+                     diag::ErrC::InvalidState,
+                     "Analysis::adopt: analysis already holds recorded or "
+                     "registered state"))
+    return Fail(diag::ErrC::InvalidState,
+                "Analysis::adopt: analysis already holds recorded or "
+                "registered state");
+  const auto InRange = [&](NodeId Id) {
+    return Id >= 0 && static_cast<size_t>(Id) < T.size();
+  };
+  bool IdsOk = true;
+  for (const auto &[Id, Name] : Reg.Labels)
+    IdsOk = IdsOk && InRange(Id);
+  for (const auto *List : {&Reg.InputVars, &Reg.IntermediateVars,
+                           &Reg.OutputVars})
+    for (const auto &[Id, Name] : *List)
+      IdsOk = IdsOk && InRange(Id);
+  for (NodeId Id : Reg.Outputs)
+    IdsOk = IdsOk && InRange(Id);
+  if (!SCORPIO_CHECK(IdsOk, diag::ErrC::OutOfRange,
+                     "Analysis::adopt: registration references nodes "
+                     "outside the tape"))
+    return Fail(diag::ErrC::OutOfRange,
+                "Analysis::adopt: registration references nodes outside "
+                "the tape");
+  Scope.tape() = std::move(T);
+  Labels = Reg.Labels;
+  InputVars = Reg.InputVars;
+  IntermediateVars = Reg.IntermediateVars;
+  OutputVars = Reg.OutputVars;
+  OutputNodes = Reg.Outputs;
+  return diag::Status::ok();
+}
+
 void Analysis::registerIntermediate(const IAValue &Z,
                                     const std::string &Name) {
   if (!Z.isActive())

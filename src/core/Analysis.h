@@ -21,9 +21,10 @@
 #ifndef SCORPIO_CORE_ANALYSIS_H
 #define SCORPIO_CORE_ANALYSIS_H
 
-#include "core/DynDFG.h"
+#include "graph/DynDFG.h"
 #include "core/IAValue.h"
 #include "tape/Tape.h"
+#include "tape/TapeIO.h"
 #include "verify/Verify.h"
 
 #include <map>
@@ -230,6 +231,18 @@ public:
   /// The paper's ANALYSE(): reverse sweep(s), Eq.-11 significances,
   /// S4 simplification, S5 variance-level detection.
   AnalysisResult analyse(const AnalysisOptions &Options = {});
+
+  /// Snapshot of everything registered so far, in the form tape/TapeIO.h
+  /// serializes: outputs, labels and the three variable lists.
+  TapeRegistration registration() const;
+
+  /// Adopts a deserialized tape (e.g. LoadedTape from loadStap) together
+  /// with its registration.  Only valid on a fresh Analysis — nothing
+  /// recorded, nothing registered; analyse() then reproduces the
+  /// original process's result bit for bit.  Registration node ids must
+  /// name nodes of \p T; on any violation the analysis is left unchanged
+  /// and an error Status is returned.
+  diag::Status adopt(Tape &&T, const TapeRegistration &Reg);
 
   /// Direct access to the recording tape (tests, tooling).
   Tape &tape() { return Scope.tape(); }

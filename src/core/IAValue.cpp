@@ -2,6 +2,8 @@
 
 #include "core/IAValue.h"
 
+#include "support/Diag.h"
+
 #include <algorithm>
 #include <ostream>
 #include <sstream>
@@ -10,7 +12,10 @@ using namespace scorpio;
 
 IAValue IAValue::input(const Interval &Range) {
   Tape *T = Tape::active();
-  assert(T && "IAValue::input requires an active tape");
+  // Without a tape there is nothing to record on; a passive value keeps
+  // the kernel running (it just cannot contribute significances).
+  SCORPIO_REQUIRE(T != nullptr, diag::ErrC::InvalidState,
+                  "IAValue::input requires an active tape", IAValue(Range));
   return IAValue(Range, T->recordInput(Range));
 }
 

@@ -2,10 +2,10 @@
 
 #include "core/MonteCarlo.h"
 
+#include "support/Diag.h"
 #include "support/Random.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numeric>
 
@@ -14,8 +14,13 @@ using namespace scorpio;
 std::vector<double> scorpio::monteCarloInputSignificance(
     const PointKernel &Kernel, std::span<const Interval> InputBox,
     const MonteCarloOptions &Options) {
-  assert(!InputBox.empty() && "empty input box");
-  assert(Options.SamplesPerInput > 0 && "need at least one sample");
+  SCORPIO_REQUIRE(!InputBox.empty(), diag::ErrC::EmptyInput,
+                  "monteCarloInputSignificance: empty input box", {});
+  // Zero samples would divide by zero below; all-zero significances are
+  // the honest estimate of an estimator that never sampled.
+  SCORPIO_REQUIRE(Options.SamplesPerInput > 0, diag::ErrC::InvalidArgument,
+                  "monteCarloInputSignificance: need at least one sample",
+                  std::vector<double>(InputBox.size(), 0.0));
   Random Rng(Options.Seed);
   const size_t N = InputBox.size();
   std::vector<double> Point(N), Sig(N, 0.0);
@@ -39,7 +44,10 @@ std::vector<double> scorpio::monteCarloInputSignificance(
 
 double scorpio::rankingAgreement(std::span<const double> A,
                                  std::span<const double> B) {
-  assert(A.size() == B.size() && "size mismatch");
+  // Rankings of different lengths cannot be compared; 0 claims neither
+  // agreement nor disagreement.
+  SCORPIO_REQUIRE(A.size() == B.size(), diag::ErrC::SizeMismatch,
+                  "rankingAgreement: size mismatch", 0.0);
   const size_t N = A.size();
   if (N < 2)
     return 1.0;

@@ -5,8 +5,42 @@
 #include "runtime/ThreadPool.h"
 #include "support/Diag.h"
 #include "support/Json.h"
+#include "verify/GraphVerifier.h"
+#include "verify/TapeVerifier.h"
 
 using namespace scorpio;
+
+namespace {
+
+/// Re-verifies one analysed shard on the worker that produced it.
+/// Incremental mode re-checks the sub-tape structure and the post-S4/S5
+/// graph invariants; Full mode adds the E008 batch-sweep replay.
+verify::VerifyReport verifyShard(Analysis &A, const AnalysisResult &Result,
+                                 const AnalysisOptions &Options,
+                                 ShardVerification Mode) {
+  verify::VerifierOptions TapeOpts;
+  TapeOpts.CheckBatchSweep = Mode == ShardVerification::Full;
+  TapeOpts.BatchWidth = Options.BatchWidth;
+  verify::VerifyReport R =
+      Mode == ShardVerification::Full
+          ? verify::verifyTape(A.tape(), A.outputNodes(), TapeOpts)
+          : verify::verifyStructure(
+                verify::extractRaw(A.tape(), A.outputNodes()), TapeOpts);
+  // Graph auditing re-walks every node several times; it belongs to the
+  // Full tier so Incremental stays cheap enough for per-merge use.
+  if (Mode == ShardVerification::Full && Options.BuildGraph &&
+      Result.isValid()) {
+    const DynDFG &G = Result.graph();
+    R.merge(verify::verifyGraph(G));
+    const double Divisor =
+        Result.outputSignificance() > 0.0 ? Result.outputSignificance() : 1.0;
+    R.merge(verify::verifyVarianceLevel(G, Result.varianceLevel(),
+                                        Options.Delta, Divisor));
+  }
+  return R;
+}
+
+} // namespace
 
 const VariableSignificance *
 ParallelAnalysisResult::find(const std::string &PrefixedName) const {
@@ -53,7 +87,8 @@ void ParallelAnalysis::addShard(std::string Name,
 }
 
 ParallelAnalysisResult ParallelAnalysis::run(const AnalysisOptions &Options,
-                                             unsigned NumThreads) {
+                                             unsigned NumThreads,
+                                             ShardVerification Verify) {
   ParallelAnalysisResult R;
   R.Shards.resize(Shards.size());
 
@@ -62,7 +97,7 @@ ParallelAnalysisResult ParallelAnalysis::run(const AnalysisOptions &Options,
     for (size_t I = 0; I != Shards.size(); ++I) {
       const Shard &S = Shards[I];
       ShardResult &Slot = R.Shards[I];
-      Pool.submit([&S, &Slot, &Options, I] {
+      Pool.submit([&S, &Slot, &Options, Verify, I] {
         // Tapes and the current-Analysis pointer are thread-local, so
         // each worker records in complete isolation; the shard's index
         // in the result vector is fixed at registration, making the
@@ -74,12 +109,17 @@ ParallelAnalysisResult ParallelAnalysis::run(const AnalysisOptions &Options,
         Slot.Name = S.Name;
         Slot.Index = I;
         Slot.Result = A.analyse(Options);
+        // Re-verification happens worker-side, while the shard's tape
+        // is still alive; only the report survives into the merge.
+        if (Verify != ShardVerification::Off)
+          Slot.Verification = verifyShard(A, Slot.Result, Options, Verify);
       });
     }
     Pool.waitIdle();
   }
 
   // Deterministic merge: strictly shard-registration order.
+  R.Verified = Verify != ShardVerification::Off;
   for (const ShardResult &S : R.Shards) {
     for (const std::string &D : S.Result.divergences())
       R.Divergences.push_back(S.Name + ": " + D);
@@ -91,6 +131,8 @@ ParallelAnalysisResult ParallelAnalysis::run(const AnalysisOptions &Options,
         R.Variables.push_back(std::move(P));
       }
     R.OutputSig += S.Result.outputSignificance();
+    if (R.Verified)
+      R.Verification.merge(S.Verification, S.Name + ": ");
   }
   return R;
 }

@@ -31,12 +31,31 @@
 
 namespace scorpio {
 
+/// How much re-verification run() performs on each shard before the
+/// merge consumes it.
+enum class ShardVerification : uint8_t {
+  /// No verification (the default; shards are trusted).
+  Off,
+  /// Incremental re-verification: each worker re-checks its own shard's
+  /// sub-tape structure (SCORPIO-Exxx) and, when the graph was built,
+  /// the post-S4/S5 DynDFG invariants (SCORPIO-Gxxx) at merge time.
+  /// Skips the O(tape x lanes) batch-sweep replay, so the overhead is a
+  /// small fraction of the recording+sweep cost.
+  Incremental,
+  /// The full audit: incremental checks plus the SCORPIO-E008
+  /// batch-vs-dedicated sweep bit-identity replay.
+  Full,
+};
+
 /// The result of one shard, tagged with its registration-order index and
 /// user-supplied name.
 struct ShardResult {
   std::string Name;
   size_t Index = 0;
   AnalysisResult Result;
+  /// This shard's re-verification findings (empty when verification was
+  /// off).
+  verify::VerifyReport Verification;
 };
 
 /// Deterministically merged output of ParallelAnalysis::run().
@@ -65,6 +84,14 @@ public:
   /// Sum of the per-shard output significances.
   double outputSignificance() const { return OutputSig; }
 
+  /// Every shard's re-verification findings merged in shard order, each
+  /// message prefixed "<shard>: ".  Empty unless run() was asked to
+  /// verify.
+  const verify::VerifyReport &verification() const { return Verification; }
+
+  /// True when per-shard re-verification ran for this result.
+  bool wasVerified() const { return Verified; }
+
   /// Machine-readable merged report: validity, prefixed divergences and
   /// one nested AnalysisResult report per shard, all in shard order.
   /// Byte-identical for identical shard results, whatever the thread
@@ -77,6 +104,8 @@ private:
   std::vector<std::string> Divergences;
   std::vector<VariableSignificance> Variables;
   double OutputSig = 0.0;
+  verify::VerifyReport Verification;
+  bool Verified = false;
 };
 
 /// Driver fanning shard record-functions over a thread pool.
@@ -104,8 +133,13 @@ public:
 
   /// Records and analyses every shard on \p NumThreads pool workers
   /// (0 = hardware concurrency), then merges deterministically.
+  /// \p Verify selects per-shard re-verification: each worker audits its
+  /// own sub-tape/sub-graph right after analysing it, and the merge
+  /// combines the per-shard reports (messages prefixed with the shard
+  /// name) into ParallelAnalysisResult::verification().
   ParallelAnalysisResult run(const AnalysisOptions &Options = {},
-                             unsigned NumThreads = 0);
+                             unsigned NumThreads = 0,
+                             ShardVerification Verify = ShardVerification::Off);
 
 private:
   struct Shard {

@@ -2,6 +2,8 @@
 
 #include "core/RangeSweep.h"
 
+#include "support/Diag.h"
+
 using namespace scorpio;
 
 const SweepVariable *SweepResult::find(const std::string &Name) const {
@@ -22,7 +24,9 @@ SweepResult
 scorpio::sweepAnalysis(const AnalysisKernel &Kernel,
                        const std::vector<std::vector<Interval>> &Boxes,
                        const SweepOptions &Options) {
-  assert(!Boxes.empty() && "sweep needs at least one box");
+  SCORPIO_REQUIRE(!Boxes.empty(), diag::ErrC::EmptyInput,
+                  "sweepAnalysis: sweep needs at least one box",
+                  SweepResult{});
   SweepResult Result;
   std::map<std::string, RunningStats> Stats;
 

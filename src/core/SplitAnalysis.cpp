@@ -2,6 +2,8 @@
 
 #include "core/SplitAnalysis.h"
 
+#include "support/Diag.h"
+
 #include <algorithm>
 #include <deque>
 
@@ -43,7 +45,8 @@ size_t widestDim(const std::vector<Interval> &Box) {
 SplitResult scorpio::analyseWithSplitting(const AnalysisKernel &Kernel,
                                           std::vector<Interval> InputBox,
                                           const SplitOptions &Options) {
-  assert(!InputBox.empty() && "empty input box");
+  SCORPIO_REQUIRE(!InputBox.empty(), diag::ErrC::EmptyInput,
+                  "analyseWithSplitting: empty input box", SplitResult{});
   SplitResult Result;
   double TotalWeight = 0.0;
 

@@ -2,6 +2,8 @@
 
 #include "core/TaskSuggestion.h"
 
+#include "support/Diag.h"
+
 #include <algorithm>
 #include <ostream>
 
@@ -10,7 +12,11 @@ using namespace scorpio;
 std::vector<TaskSuggestion>
 scorpio::suggestTasks(const AnalysisResult &Result,
                       const TaskSuggestionOptions &Options) {
-  assert(Result.isValid() && "cannot suggest tasks from a diverged run");
+  // Significances of a diverged run are meaningless (paper Section 2.2);
+  // no suggestion is safer than a wrong one.
+  SCORPIO_REQUIRE(Result.isValid(), diag::ErrC::InvalidState,
+                  "suggestTasks: cannot suggest tasks from a diverged run",
+                  {});
   const DynDFG &G = Result.graph();
   int Level = Options.Level >= 0 ? Options.Level : Result.varianceLevel();
   if (Level < 0)

@@ -1,6 +1,6 @@
-//===- core/DynDFG.cpp - DynDFG simplification and level analysis --------===//
+//===- graph/DynDFG.cpp - DynDFG simplification and level analysis -------===//
 
-#include "core/DynDFG.h"
+#include "graph/DynDFG.h"
 
 #include "support/Dot.h"
 #include "support/Statistics.h"
@@ -15,9 +15,9 @@ DynDFG DynDFG::fromTape(const Tape &T,
                         const std::vector<double> &Significance,
                         const std::map<NodeId, std::string> &Labels,
                         const std::vector<NodeId> &Outputs) {
-  assert(Significance.size() == T.size() &&
-         "need one significance per tape node");
   DynDFG G;
+  SCORPIO_REQUIRE(Significance.size() == T.size(), diag::ErrC::SizeMismatch,
+                  "DynDFG::fromTape: need one significance per tape node", G);
   G.Nodes.resize(T.size());
   for (size_t I = 0; I != T.size(); ++I) {
     const NodeId Id = static_cast<NodeId>(I);

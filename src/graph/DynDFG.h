@@ -1,4 +1,4 @@
-//===- core/DynDFG.h - Significance-annotated dynamic data flow graph -----===//
+//===- graph/DynDFG.h - Significance-annotated dynamic data flow graph ----===//
 //
 // Part of the scorpio project: reproduction of "Towards Automatic
 // Significance Analysis for Approximate Computing" (CGO 2016).
@@ -25,9 +25,10 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef SCORPIO_CORE_DYNDFG_H
-#define SCORPIO_CORE_DYNDFG_H
+#ifndef SCORPIO_GRAPH_DYNDFG_H
+#define SCORPIO_GRAPH_DYNDFG_H
 
+#include "support/Diag.h"
 #include "tape/Tape.h"
 
 #include <map>
@@ -73,12 +74,24 @@ public:
   size_t size() const { return Nodes.size(); }
   size_t numAlive() const;
 
+  /// True iff \p Id names a node of this graph.  Ids also arrive from
+  /// callers (task suggestions, tooling), so node() live-checks them and
+  /// recovers with a neutral fallback instead of reading out of bounds
+  /// in Release builds.
+  bool isValidNode(NodeId Id) const {
+    return Id >= 0 && static_cast<size_t>(Id) < Nodes.size();
+  }
+
   const DfgNode &node(NodeId Id) const {
-    assert(Id >= 0 && static_cast<size_t>(Id) < Nodes.size());
+    if (!SCORPIO_CHECK(isValidNode(Id), diag::ErrC::OutOfRange,
+                       "DynDFG::node: node id out of range"))
+      return fallbackNode();
     return Nodes[static_cast<size_t>(Id)];
   }
   DfgNode &node(NodeId Id) {
-    assert(Id >= 0 && static_cast<size_t>(Id) < Nodes.size());
+    if (!SCORPIO_CHECK(isValidNode(Id), diag::ErrC::OutOfRange,
+                       "DynDFG::node: node id out of range"))
+      return fallbackNode();
     return Nodes[static_cast<size_t>(Id)];
   }
 
@@ -121,9 +134,21 @@ public:
   void writeDot(std::ostream &OS) const;
 
 private:
+  /// Neutral scratch node returned by node() when the id check fails:
+  /// dead (Alive = false) so traversals skip it, re-zeroed on every
+  /// request so writes through the mutable overload cannot leak between
+  /// failures.  Thread-local because ParallelAnalysis shards query
+  /// graphs concurrently.
+  static DfgNode &fallbackNode() {
+    thread_local DfgNode Fallback;
+    Fallback = DfgNode();
+    Fallback.Alive = false;
+    return Fallback;
+  }
+
   std::vector<DfgNode> Nodes;
 };
 
 } // namespace scorpio
 
-#endif // SCORPIO_CORE_DYNDFG_H
+#endif // SCORPIO_GRAPH_DYNDFG_H

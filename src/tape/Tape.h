@@ -164,6 +164,12 @@ public:
   Tape() = default;
   Tape(const Tape &) = delete;
   Tape &operator=(const Tape &) = delete;
+  // Movable so deserialized tapes (tape/TapeIO.h) can be handed to an
+  // Analysis wholesale.  Moving while a tape is active would dangle the
+  // thread-local active() pointer; ActiveTapeScope only ever move-
+  // assigns *into* its owned tape, whose address is stable.
+  Tape(Tape &&) = default;
+  Tape &operator=(Tape &&) = default;
 
   /// Preallocates storage for \p ExpectedNodes nodes.  A pure hint:
   /// recording beyond it simply grows block by block.  Kernels that know

@@ -1,0 +1,544 @@
+//===- tape/TapeIO.cpp - Versioned .stap tape serialization ---------------===//
+
+#include "tape/TapeIO.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <type_traits>
+
+using namespace scorpio;
+using namespace scorpio::diag;
+
+namespace {
+
+constexpr char Magic[4] = {'S', 'T', 'A', 'P'};
+
+constexpr uint32_t fourCC(char A, char B, char C, char D) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(A)) |
+         static_cast<uint32_t>(static_cast<uint8_t>(B)) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(C)) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(D)) << 24;
+}
+
+constexpr uint32_t TagOps = fourCC('O', 'P', 'S', ' ');
+constexpr uint32_t TagVals = fourCC('V', 'A', 'L', 'S');
+constexpr uint32_t TagEdge = fourCC('E', 'D', 'G', 'E');
+constexpr uint32_t TagInpt = fourCC('I', 'N', 'P', 'T');
+constexpr uint32_t TagOutp = fourCC('O', 'U', 'T', 'P');
+constexpr uint32_t TagLabl = fourCC('L', 'A', 'B', 'L');
+constexpr uint32_t TagVars = fourCC('V', 'A', 'R', 'S');
+constexpr uint32_t TagDivg = fourCC('D', 'I', 'V', 'G');
+constexpr uint32_t TagSig = fourCC('S', 'I', 'G', ' ');
+
+std::string tagName(uint32_t Tag) {
+  std::string S(4, ' ');
+  std::memcpy(S.data(), &Tag, 4);
+  while (!S.empty() && S.back() == ' ')
+    S.pop_back();
+  return S;
+}
+
+uint64_t fnv1a64(const char *Data, size_t Size, uint64_t Hash) {
+  for (size_t I = 0; I != Size; ++I) {
+    Hash ^= static_cast<uint8_t>(Data[I]);
+    Hash *= 1099511628211ULL;
+  }
+  return Hash;
+}
+constexpr uint64_t Fnv1aBasis = 14695981039346656037ULL;
+
+/// Appends POD values to a byte buffer.
+class ByteWriter {
+public:
+  template <typename T> void put(const T &V) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const size_t At = Buf.size();
+    Buf.resize(At + sizeof(T));
+    std::memcpy(Buf.data() + At, &V, sizeof(T));
+  }
+  void putString(const std::string &S) {
+    put(static_cast<uint32_t>(S.size()));
+    Buf.append(S);
+  }
+  const std::string &bytes() const { return Buf; }
+
+private:
+  std::string Buf;
+};
+
+/// Bounds-checked POD reader over one section's payload.  Any read past
+/// the end latches the failure flag and yields zeroes, so parsing code
+/// can run straight-line and test ok() once.
+class Cursor {
+public:
+  Cursor(const char *Data, size_t Size) : Data(Data), Size(Size) {}
+
+  template <typename T> T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T V{};
+    if (Pos + sizeof(T) > Size || !Ok) {
+      Ok = false;
+      return V;
+    }
+    std::memcpy(&V, Data + Pos, sizeof(T));
+    Pos += sizeof(T);
+    return V;
+  }
+  bool getString(std::string &Out) {
+    const uint32_t Len = get<uint32_t>();
+    if (!Ok || Pos + Len > Size) {
+      Ok = false;
+      return false;
+    }
+    Out.assign(Data + Pos, Len);
+    Pos += Len;
+    return true;
+  }
+  bool ok() const { return Ok; }
+  bool atEnd() const { return Ok && Pos == Size; }
+
+private:
+  const char *Data;
+  size_t Size;
+  size_t Pos = 0;
+  bool Ok = true;
+};
+
+std::string opsPayload(const verify::RawTape &Raw) {
+  ByteWriter W;
+  for (const verify::RawNode &N : Raw.Nodes) {
+    W.put(static_cast<uint8_t>(N.Kind));
+    W.put(N.AuxInt);
+  }
+  return W.bytes();
+}
+
+std::string valsPayload(const verify::RawTape &Raw) {
+  ByteWriter W;
+  for (const verify::RawNode &N : Raw.Nodes) {
+    W.put(N.ValueLo);
+    W.put(N.ValueHi);
+  }
+  return W.bytes();
+}
+
+std::string edgePayload(const verify::RawTape &Raw) {
+  ByteWriter W;
+  for (const verify::RawNode &N : Raw.Nodes) {
+    W.put(N.NumArgs);
+    for (unsigned A = 0; A != N.NumArgs && A != 2; ++A) {
+      W.put(N.Args[A]);
+      W.put(N.PartialLo[A]);
+      W.put(N.PartialHi[A]);
+    }
+  }
+  return W.bytes();
+}
+
+std::string idListPayload(const std::vector<NodeId> &Ids) {
+  ByteWriter W;
+  W.put(static_cast<uint64_t>(Ids.size()));
+  for (NodeId Id : Ids)
+    W.put(Id);
+  return W.bytes();
+}
+
+void putNamedIds(ByteWriter &W,
+                 const std::vector<std::pair<NodeId, std::string>> &List) {
+  W.put(static_cast<uint64_t>(List.size()));
+  for (const auto &[Id, Name] : List) {
+    W.put(Id);
+    W.putString(Name);
+  }
+}
+
+struct SectionOut {
+  uint32_t Tag;
+  std::string Payload;
+};
+
+Status writeSections(std::ostream &OS, size_t NumNodes,
+                     const std::vector<SectionOut> &Sections) {
+  uint64_t Checksum = Fnv1aBasis;
+  for (const SectionOut &S : Sections)
+    Checksum = fnv1a64(S.Payload.data(), S.Payload.size(), Checksum);
+
+  ByteWriter Header;
+  Header.put(Magic);
+  Header.put(StapVersion);
+  Header.put(static_cast<uint64_t>(NumNodes));
+  Header.put(static_cast<uint64_t>(Sections.size()));
+  Header.put(Checksum);
+
+  // Section table: tag, pad, absolute offset, size.
+  uint64_t Offset = Header.bytes().size() + Sections.size() * 24;
+  ByteWriter Table;
+  for (const SectionOut &S : Sections) {
+    Table.put(S.Tag);
+    Table.put(static_cast<uint32_t>(0));
+    Table.put(Offset);
+    Table.put(static_cast<uint64_t>(S.Payload.size()));
+    Offset += S.Payload.size();
+  }
+
+  OS.write(Header.bytes().data(),
+           static_cast<std::streamsize>(Header.bytes().size()));
+  OS.write(Table.bytes().data(),
+           static_cast<std::streamsize>(Table.bytes().size()));
+  for (const SectionOut &S : Sections)
+    OS.write(S.Payload.data(), static_cast<std::streamsize>(S.Payload.size()));
+  SCORPIO_REQUIRE(OS.good(), ErrC::InvalidState,
+                  "writeStap: output stream write failed",
+                  Status::error(ErrC::InvalidState,
+                                "writeStap: output stream write failed"));
+  return Status::ok();
+}
+
+Status stapError(std::string Message) {
+  return Status::error(ErrC::InvalidArgument, "stap: " + std::move(Message));
+}
+
+} // namespace
+
+Status scorpio::writeStap(std::ostream &OS, const verify::RawTape &Raw,
+                          const TapeRegistration &Reg,
+                          std::span<const double> Significance,
+                          std::span<const std::string> Divergences) {
+  if (!Significance.empty() && Significance.size() != Raw.Nodes.size())
+    return stapError("significance vector size does not match node count");
+
+  std::vector<SectionOut> Sections;
+  Sections.push_back({TagOps, opsPayload(Raw)});
+  Sections.push_back({TagVals, valsPayload(Raw)});
+  Sections.push_back({TagEdge, edgePayload(Raw)});
+  Sections.push_back({TagInpt, idListPayload(Raw.Inputs)});
+  Sections.push_back({TagOutp, idListPayload(Raw.Outputs)});
+  if (!Reg.Labels.empty()) {
+    ByteWriter W;
+    W.put(static_cast<uint64_t>(Reg.Labels.size()));
+    for (const auto &[Id, Name] : Reg.Labels) {
+      W.put(Id);
+      W.putString(Name);
+    }
+    Sections.push_back({TagLabl, W.bytes()});
+  }
+  if (!Reg.InputVars.empty() || !Reg.IntermediateVars.empty() ||
+      !Reg.OutputVars.empty()) {
+    ByteWriter W;
+    putNamedIds(W, Reg.InputVars);
+    putNamedIds(W, Reg.IntermediateVars);
+    putNamedIds(W, Reg.OutputVars);
+    Sections.push_back({TagVars, W.bytes()});
+  }
+  if (!Divergences.empty()) {
+    ByteWriter W;
+    W.put(static_cast<uint64_t>(Divergences.size()));
+    for (const std::string &D : Divergences)
+      W.putString(D);
+    Sections.push_back({TagDivg, W.bytes()});
+  }
+  if (!Significance.empty()) {
+    ByteWriter W;
+    W.put(static_cast<uint64_t>(Significance.size()));
+    for (double S : Significance)
+      W.put(S);
+    Sections.push_back({TagSig, W.bytes()});
+  }
+  return writeSections(OS, Raw.Nodes.size(), Sections);
+}
+
+Status scorpio::writeStap(std::ostream &OS, const Tape &T,
+                          const TapeRegistration &Reg,
+                          std::span<const double> Significance) {
+  const verify::RawTape Raw = verify::extractRaw(T, Reg.Outputs);
+  return writeStap(OS, Raw, Reg, Significance, T.divergences());
+}
+
+Status scorpio::saveStap(const std::string &Path, const Tape &T,
+                         const TapeRegistration &Reg,
+                         std::span<const double> Significance) {
+  std::ofstream OS(Path, std::ios::binary);
+  if (!OS)
+    return stapError("cannot open '" + Path + "' for writing");
+  return writeStap(OS, T, Reg, Significance);
+}
+
+Expected<LoadedTape> scorpio::readStap(std::istream &IS) {
+  std::ostringstream Buf;
+  Buf << IS.rdbuf();
+  const std::string File = Buf.str();
+
+  // Header.
+  const size_t HeaderSize = 4 + 4 + 8 + 8 + 8;
+  if (File.size() < 4 || std::memcmp(File.data(), Magic, 4) != 0)
+    return stapError("not a .stap file (bad magic)");
+  if (File.size() < HeaderSize)
+    return stapError("truncated header");
+  Cursor H(File.data() + 4, HeaderSize - 4);
+  const uint32_t Version = H.get<uint32_t>();
+  if (Version != StapVersion)
+    return stapError("unsupported format version " + std::to_string(Version));
+  const uint64_t NumNodes = H.get<uint64_t>();
+  const uint64_t NumSections = H.get<uint64_t>();
+  const uint64_t Checksum = H.get<uint64_t>();
+  // A node or section count near 2^64 would overflow the size math
+  // below; nothing legitimate comes close.
+  if (NumNodes > (uint64_t{1} << 32) || NumSections > 1024)
+    return stapError("implausible node or section count");
+
+  // Section table.
+  if (File.size() < HeaderSize + NumSections * 24)
+    return stapError("truncated section table");
+  struct Section {
+    uint32_t Tag;
+    uint64_t Offset;
+    uint64_t Size;
+  };
+  std::vector<Section> Sections;
+  Cursor TableCur(File.data() + HeaderSize, NumSections * 24);
+  for (uint64_t I = 0; I != NumSections; ++I) {
+    Section S;
+    S.Tag = TableCur.get<uint32_t>();
+    // Reserved pad: v1 is strict, every byte of the file is load-bearing
+    // (a writer that sets it is a different format, and tamper detection
+    // must not have a blind spot the checksum does not cover).
+    if (TableCur.get<uint32_t>() != 0)
+      return stapError("reserved section-table bytes must be zero");
+    S.Offset = TableCur.get<uint64_t>();
+    S.Size = TableCur.get<uint64_t>();
+    if (!TableCur.ok() || S.Offset > File.size() ||
+        S.Size > File.size() - S.Offset)
+      return stapError("section '" + tagName(S.Tag) +
+                       "' extends past the end of the file");
+    Sections.push_back(S);
+  }
+
+  // Checksum over every payload, in table order.
+  uint64_t Actual = Fnv1aBasis;
+  for (const Section &S : Sections)
+    Actual = fnv1a64(File.data() + S.Offset, S.Size, Actual);
+  if (Actual != Checksum)
+    return stapError("payload checksum mismatch (corrupted file)");
+
+  // Index sections; v1 is strict: no duplicates, no unknown tags.
+  std::map<uint32_t, const Section *> ByTag;
+  for (const Section &S : Sections) {
+    switch (S.Tag) {
+    case TagOps:
+    case TagVals:
+    case TagEdge:
+    case TagInpt:
+    case TagOutp:
+    case TagLabl:
+    case TagVars:
+    case TagDivg:
+    case TagSig:
+      break;
+    default:
+      return stapError("unknown section tag '" + tagName(S.Tag) + "'");
+    }
+    if (!ByTag.emplace(S.Tag, &S).second)
+      return stapError("duplicate section '" + tagName(S.Tag) + "'");
+  }
+  for (uint32_t Required : {TagOps, TagVals, TagEdge, TagInpt, TagOutp})
+    if (!ByTag.count(Required))
+      return stapError("missing required section '" + tagName(Required) +
+                       "'");
+  const auto SectionCursor = [&](uint32_t Tag) {
+    const Section *S = ByTag[Tag];
+    return Cursor(File.data() + S->Offset, S->Size);
+  };
+
+  // NumNodes is attacker-controlled: pin it against the fixed-stride
+  // sections (OPS = 5, VALS = 16 bytes per node) before allocating
+  // anything proportional to it.  Section sizes are bounded by the real
+  // file size, so a consistent NumNodes is too — no multi-gigabyte
+  // resize from one flipped header byte.
+  if (ByTag[TagOps]->Size != NumNodes * 5 ||
+      ByTag[TagVals]->Size != NumNodes * 16)
+    return stapError("node count does not match the OPS/VALS section sizes");
+
+  // Decode the node stream into the raw mirror.
+  verify::RawTape Raw;
+  Raw.Nodes.resize(NumNodes);
+  {
+    Cursor C = SectionCursor(TagOps);
+    for (verify::RawNode &N : Raw.Nodes) {
+      const uint8_t Kind = C.get<uint8_t>();
+      N.AuxInt = C.get<int32_t>();
+      if (Kind >= NumOpKinds)
+        return stapError("invalid op kind " + std::to_string(Kind));
+      N.Kind = static_cast<OpKind>(Kind);
+    }
+    if (!C.atEnd())
+      return stapError("OPS section size does not match the node count");
+  }
+  {
+    Cursor C = SectionCursor(TagVals);
+    for (verify::RawNode &N : Raw.Nodes) {
+      N.ValueLo = C.get<double>();
+      N.ValueHi = C.get<double>();
+    }
+    if (!C.atEnd())
+      return stapError("VALS section size does not match the node count");
+  }
+  {
+    Cursor C = SectionCursor(TagEdge);
+    for (verify::RawNode &N : Raw.Nodes) {
+      N.NumArgs = C.get<uint8_t>();
+      if (N.NumArgs > 2)
+        return stapError("node edge count " + std::to_string(N.NumArgs) +
+                         " exceeds the binary-operation maximum");
+      for (unsigned A = 0; A != N.NumArgs; ++A) {
+        N.Args[A] = C.get<NodeId>();
+        N.PartialLo[A] = C.get<double>();
+        N.PartialHi[A] = C.get<double>();
+      }
+    }
+    if (!C.atEnd())
+      return stapError("EDGE section is truncated or oversized");
+  }
+  const auto ReadIdList = [&](uint32_t Tag, std::vector<NodeId> &Out) {
+    Cursor C = SectionCursor(Tag);
+    const uint64_t Count = C.get<uint64_t>();
+    if (Count > NumNodes)
+      return false;
+    Out.reserve(Count);
+    for (uint64_t I = 0; I != Count; ++I)
+      Out.push_back(C.get<NodeId>());
+    return C.atEnd();
+  };
+  if (!ReadIdList(TagInpt, Raw.Inputs))
+    return stapError("malformed INPT section");
+  if (!ReadIdList(TagOutp, Raw.Outputs))
+    return stapError("malformed OUTP section");
+
+  // The acceptance gate: the decoded node stream must satisfy every
+  // structural rule before a Tape is built from it.  Refuse, never
+  // repair.
+  const verify::VerifyReport Gate = verify::verifyStructure(Raw);
+  if (Gate.hasErrors()) {
+    std::string First = "structural error";
+    if (!Gate.findings().empty())
+      First = Gate.findings().front().rule().Id + std::string(": ") +
+              Gate.findings().front().Message;
+    return stapError("rejected by the verifyStructure acceptance gate (" +
+                     std::to_string(Gate.errorCount()) + " errors; first: " +
+                     First + ")");
+  }
+
+  // Registration sections (ids are range-checked; the gate only saw the
+  // node stream and the input/output lists).
+  LoadedTape Loaded;
+  const auto ValidId = [&](NodeId Id) {
+    return Id >= 0 && static_cast<uint64_t>(Id) < NumNodes;
+  };
+  if (ByTag.count(TagLabl)) {
+    Cursor C = SectionCursor(TagLabl);
+    const uint64_t Count = C.get<uint64_t>();
+    if (Count > NumNodes)
+      return stapError("malformed LABL section");
+    for (uint64_t I = 0; I != Count; ++I) {
+      const NodeId Id = C.get<NodeId>();
+      std::string Name;
+      if (!C.getString(Name) || !ValidId(Id))
+        return stapError("malformed LABL section");
+      Loaded.Reg.Labels[Id] = std::move(Name);
+    }
+    if (!C.atEnd())
+      return stapError("malformed LABL section");
+  }
+  if (ByTag.count(TagVars)) {
+    Cursor C = SectionCursor(TagVars);
+    const auto ReadList =
+        [&](std::vector<std::pair<NodeId, std::string>> &Out) {
+          const uint64_t Count = C.get<uint64_t>();
+          if (Count > NumNodes)
+            return false;
+          for (uint64_t I = 0; I != Count; ++I) {
+            const NodeId Id = C.get<NodeId>();
+            std::string Name;
+            if (!C.getString(Name) || !ValidId(Id))
+              return false;
+            Out.emplace_back(Id, std::move(Name));
+          }
+          return C.ok();
+        };
+    if (!ReadList(Loaded.Reg.InputVars) ||
+        !ReadList(Loaded.Reg.IntermediateVars) ||
+        !ReadList(Loaded.Reg.OutputVars) || !C.atEnd())
+      return stapError("malformed VARS section");
+  }
+  std::vector<std::string> Divergences;
+  if (ByTag.count(TagDivg)) {
+    Cursor C = SectionCursor(TagDivg);
+    const uint64_t Count = C.get<uint64_t>();
+    if (Count > (uint64_t{1} << 20))
+      return stapError("malformed DIVG section");
+    for (uint64_t I = 0; I != Count; ++I) {
+      std::string D;
+      if (!C.getString(D))
+        return stapError("malformed DIVG section");
+      Divergences.push_back(std::move(D));
+    }
+    if (!C.atEnd())
+      return stapError("malformed DIVG section");
+  }
+  if (ByTag.count(TagSig)) {
+    Cursor C = SectionCursor(TagSig);
+    const uint64_t Count = C.get<uint64_t>();
+    if (Count != NumNodes)
+      return stapError("SIG section size does not match the node count");
+    Loaded.Significance.reserve(Count);
+    for (uint64_t I = 0; I != Count; ++I)
+      Loaded.Significance.push_back(C.get<double>());
+    if (!C.atEnd())
+      return stapError("malformed SIG section");
+  }
+
+  // Rebuild a real Tape through the recording API.  Post-gate this is
+  // loss-free: E003 guarantees every node has a representable shape, and
+  // E004/E005 guarantee every bound pair is a constructible Interval.
+  Loaded.T.reserve(NumNodes);
+  for (const verify::RawNode &N : Raw.Nodes) {
+    const Interval V(N.ValueLo, N.ValueHi);
+    switch (opArity(N.Kind)) {
+    case 0:
+      Loaded.T.recordInput(V);
+      break;
+    case 1:
+      Loaded.T.recordUnary(N.Kind, V, N.Args[0],
+                           Interval(N.PartialLo[0], N.PartialHi[0]),
+                           N.AuxInt);
+      break;
+    default:
+      Loaded.T.recordBinary(
+          N.Kind, V, N.NumArgs > 0 ? N.Args[0] : InvalidNodeId,
+          N.NumArgs > 0 ? Interval(N.PartialLo[0], N.PartialHi[0])
+                        : Interval(0.0),
+          N.NumArgs > 1 ? N.Args[1] : InvalidNodeId,
+          N.NumArgs > 1 ? Interval(N.PartialLo[1], N.PartialHi[1])
+                        : Interval(0.0));
+      break;
+    }
+  }
+  // The tape derives its input list from the recorded Input nodes; the
+  // INPT section must agree or the file's registration is lying about
+  // the node stream.
+  if (Loaded.T.inputs() != Raw.Inputs)
+    return stapError("INPT section does not match the recorded input nodes");
+  for (const std::string &D : Divergences)
+    Loaded.T.noteDivergence(D);
+  Loaded.Reg.Outputs = Raw.Outputs;
+  return Expected<LoadedTape>(std::move(Loaded));
+}
+
+Expected<LoadedTape> scorpio::loadStap(const std::string &Path) {
+  std::ifstream IS(Path, std::ios::binary);
+  if (!IS)
+    return stapError("cannot open '" + Path + "' for reading");
+  return readStap(IS);
+}

@@ -1,0 +1,114 @@
+//===- tape/TapeIO.h - Versioned .stap tape serialization -----------------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `.stap` binary format: a recorded tape plus its registration
+/// context (and optionally per-node significances) as a magic/version
+/// header, a section table and one section per SoA chunk:
+///
+///   header   'STAP', format version, node count, section count,
+///            FNV-1a64 checksum over all section payloads
+///   OPS      per node: op kind, integer exponent
+///   VALS     per node: value enclosure bounds
+///   EDGE     per node: recorded argument ids + partial bounds
+///   INPT     the tape's input node list
+///   OUTP     registered output nodes
+///   LABL     NodeId -> user name map (optional)
+///   VARS     registered input/intermediate/output variables (optional)
+///   DIVG     divergence diagnostics (optional)
+///   SIG      per-node significances (optional)
+///
+/// Integers and doubles are stored in native endianness; `.stap` files
+/// are an on-disk/IPC transport between scorpio processes on one
+/// architecture, not an archival interchange format.
+///
+/// The loader is a trust boundary: a `.stap` file may come from another
+/// process, an older build, or an attacker, so every read is
+/// bounds-checked against the section table, the checksum is validated,
+/// and the decoded node stream must pass `verify::verifyStructure`
+/// before a Tape is constructed from it.  A file that fails any gate is
+/// rejected with a structured `Status` — never undefined behavior, and
+/// never a "repaired" tape.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_TAPE_TAPEIO_H
+#define SCORPIO_TAPE_TAPEIO_H
+
+#include "support/Diag.h"
+#include "tape/Tape.h"
+#include "verify/TapeVerifier.h"
+
+#include <iosfwd>
+#include <map>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace scorpio {
+
+/// The current .stap format version.
+inline constexpr uint32_t StapVersion = 1;
+
+/// Registration context of a tape: everything an Analysis knows beyond
+/// the node stream itself.  Serialized alongside the tape so a reloaded
+/// analysis reproduces the original's reports verbatim.
+struct TapeRegistration {
+  /// Registered output nodes, in registration order.
+  std::vector<NodeId> Outputs;
+  /// NodeId -> user-facing name for every registered variable.
+  std::map<NodeId, std::string> Labels;
+  /// (node, name) per registered input/intermediate/output, in
+  /// registration order.
+  std::vector<std::pair<NodeId, std::string>> InputVars;
+  std::vector<std::pair<NodeId, std::string>> IntermediateVars;
+  std::vector<std::pair<NodeId, std::string>> OutputVars;
+};
+
+/// Writes \p T with registration \p Reg (and, when non-empty, one
+/// significance per node) to \p OS in .stap format.
+diag::Status writeStap(std::ostream &OS, const Tape &T,
+                       const TapeRegistration &Reg,
+                       std::span<const double> Significance = {});
+
+/// Raw-view writer: serializes an arbitrary (possibly defective)
+/// verify::RawTape.  This is the mutation-test seam — the recording API
+/// cannot construct a malformed tape, but the loader's acceptance gate
+/// must be shown to reject one.  \p Reg.Outputs is ignored in favor of
+/// \p Raw.Outputs.
+diag::Status writeStap(std::ostream &OS, const verify::RawTape &Raw,
+                       const TapeRegistration &Reg,
+                       std::span<const double> Significance = {},
+                       std::span<const std::string> Divergences = {});
+
+/// Writes \p T to the file at \p Path.
+diag::Status saveStap(const std::string &Path, const Tape &T,
+                      const TapeRegistration &Reg,
+                      std::span<const double> Significance = {});
+
+/// A successfully loaded and verified .stap file.
+struct LoadedTape {
+  Tape T;
+  TapeRegistration Reg;
+  /// Per-node significances when the file carried a SIG section;
+  /// empty otherwise.
+  std::vector<double> Significance;
+};
+
+/// Parses, validates and verifies a .stap stream.  Returns the loaded
+/// tape, or the Status naming the first gate the file failed (malformed
+/// header, out-of-bounds section, checksum mismatch, or a
+/// verify::verifyStructure structural error).
+diag::Expected<LoadedTape> readStap(std::istream &IS);
+
+/// Loads the .stap file at \p Path.
+diag::Expected<LoadedTape> loadStap(const std::string &Path);
+
+} // namespace scorpio
+
+#endif // SCORPIO_TAPE_TAPEIO_H

@@ -1,0 +1,107 @@
+//===- verify/Baseline.cpp - Lint baseline parsing and diffing ------------===//
+
+#include "verify/Baseline.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+using namespace scorpio;
+using namespace scorpio::verify;
+
+std::string BaselineEntry::toLine() const {
+  return Kernel + " " + RuleId + " " + std::to_string(Count);
+}
+
+namespace {
+
+/// Trims trailing CR / spaces in place.
+void rtrim(std::string &S) {
+  while (!S.empty() && (S.back() == '\r' || S.back() == ' '))
+    S.pop_back();
+}
+
+const char ExpectedPrefix[] = "# expected:";
+
+} // namespace
+
+bool verify::parseBaseline(std::istream &IS, Baseline &Out,
+                           std::string &Error) {
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(IS, Line)) {
+    ++LineNo;
+    rtrim(Line);
+    if (Line.empty())
+      continue;
+    if (Line.rfind(ExpectedPrefix, 0) == 0) {
+      std::istringstream LS(Line.substr(sizeof(ExpectedPrefix) - 1));
+      ExpectedFinding E;
+      if (!(LS >> E.RuleId >> E.Kernel)) {
+        Error = "line " + std::to_string(LineNo) +
+                ": malformed '# expected: <ruleId> <kernel> <reason>' "
+                "annotation";
+        return false;
+      }
+      std::getline(LS, E.Reason);
+      const size_t First = E.Reason.find_first_not_of(' ');
+      E.Reason = First == std::string::npos ? "" : E.Reason.substr(First);
+      if (E.Reason.empty()) {
+        Error = "line " + std::to_string(LineNo) +
+                ": '# expected:' annotation needs a reason";
+        return false;
+      }
+      Out.Expected.push_back(std::move(E));
+      continue;
+    }
+    if (Line[0] == '#')
+      continue;
+    std::istringstream LS(Line);
+    BaselineEntry E;
+    std::string Extra;
+    if (!(LS >> E.Kernel >> E.RuleId >> E.Count) || (LS >> Extra)) {
+      Error = "line " + std::to_string(LineNo) +
+              ": expected '<kernel> <ruleId> <count>', got '" + Line + "'";
+      return false;
+    }
+    Out.Entries.push_back(std::move(E));
+  }
+  return true;
+}
+
+bool verify::readBaselineFile(const std::string &Path, Baseline &Out,
+                              std::string &Error) {
+  std::ifstream IS(Path);
+  if (!IS) {
+    Error = "cannot read baseline '" + Path + "'";
+    return false;
+  }
+  return parseBaseline(IS, Out, Error);
+}
+
+BaselineDiff verify::diffBaseline(const std::vector<BaselineEntry> &Current,
+                                  const Baseline &Base) {
+  BaselineDiff D;
+  std::set<std::string> Cur, Known;
+  for (const BaselineEntry &E : Current)
+    Cur.insert(E.toLine());
+  for (const BaselineEntry &E : Base.Entries)
+    Known.insert(E.toLine());
+  for (const std::string &L : Cur)
+    if (!Known.count(L))
+      D.NewFindings.push_back(L);
+  for (const std::string &L : Known)
+    if (!Cur.count(L))
+      D.Vanished.push_back(L);
+
+  // Annotations must document a live count entry of the baseline.
+  std::set<std::pair<std::string, std::string>> Pairs;
+  for (const BaselineEntry &E : Base.Entries)
+    Pairs.insert({E.Kernel, E.RuleId});
+  for (const ExpectedFinding &E : Base.Expected)
+    if (!Pairs.count({E.Kernel, E.RuleId}))
+      D.StaleAnnotations.push_back("# expected: " + E.RuleId + " " +
+                                   E.Kernel + " " + E.Reason);
+  return D;
+}

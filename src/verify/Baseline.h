@@ -1,0 +1,98 @@
+//===- verify/Baseline.h - Lint baseline parsing and diffing --------------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The committed-baseline model of scorpio-lint, factored out of the CLI
+/// so tests can drive it directly.  A baseline file holds one
+///
+///   <kernel> <ruleId> <count>
+///
+/// line per rule that fires on a kernel's default profiling ranges, plus
+/// optional structured annotations documenting *why* a finding is known
+/// and accepted:
+///
+///   # expected: <ruleId> <kernel> <free-form reason>
+///
+/// Annotations are not suppressions — the count line must still exist —
+/// but they pin the rationale next to the number, and an annotation
+/// whose count line disappears goes stale and fails the diff, so the
+/// documentation cannot rot silently.  Plain '#' comments remain
+/// ignored.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_VERIFY_BASELINE_H
+#define SCORPIO_VERIFY_BASELINE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace scorpio {
+namespace verify {
+
+/// One "<kernel> <ruleId> <count>" baseline entry.
+struct BaselineEntry {
+  std::string Kernel;
+  std::string RuleId;
+  size_t Count = 0;
+
+  /// The canonical baseline-file representation.
+  std::string toLine() const;
+
+  bool operator==(const BaselineEntry &O) const {
+    return Kernel == O.Kernel && RuleId == O.RuleId && Count == O.Count;
+  }
+};
+
+/// One "# expected: <ruleId> <kernel> <reason>" annotation.
+struct ExpectedFinding {
+  std::string RuleId;
+  std::string Kernel;
+  std::string Reason;
+};
+
+/// A parsed baseline file: count entries plus expectation annotations.
+struct Baseline {
+  std::vector<BaselineEntry> Entries;
+  std::vector<ExpectedFinding> Expected;
+};
+
+/// Parses baseline text from \p IS.  Returns false and sets \p Error on
+/// the first malformed count line or '# expected:' annotation; plain
+/// comments and blank lines are skipped.
+bool parseBaseline(std::istream &IS, Baseline &Out, std::string &Error);
+
+/// Reads and parses the baseline file at \p Path.
+bool readBaselineFile(const std::string &Path, Baseline &Out,
+                      std::string &Error);
+
+/// The result of diffing current counts against a baseline.
+struct BaselineDiff {
+  /// Current count lines absent from the baseline.
+  std::vector<std::string> NewFindings;
+  /// Baseline count lines no longer produced.
+  std::vector<std::string> Vanished;
+  /// '# expected:' annotations whose (kernel, ruleId) matches no count
+  /// entry of the baseline itself — stale documentation.
+  std::vector<std::string> StaleAnnotations;
+
+  bool clean() const {
+    return NewFindings.empty() && Vanished.empty() &&
+           StaleAnnotations.empty();
+  }
+};
+
+/// Diffs \p Current (the counts a lint run just produced) against
+/// \p Base, including the annotation staleness check.
+BaselineDiff diffBaseline(const std::vector<BaselineEntry> &Current,
+                          const Baseline &Base);
+
+} // namespace verify
+} // namespace scorpio
+
+#endif // SCORPIO_VERIFY_BASELINE_H

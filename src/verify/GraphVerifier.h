@@ -1,0 +1,115 @@
+//===- verify/GraphVerifier.h - Post-S4/S5 DynDFG verification ------------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Phase-2 static verification: the SCORPIO-Gxxx rules of the catalog in
+/// Verify.h, checked over the DynDFG half of Algorithm 1.  The tape
+/// verifier (TapeVerifier.h) guards the recorded IR between S3 and the
+/// reverse sweep; this pass guards everything after it:
+///
+///  * verifyGraph — structural invariants of a graph as produced by
+///    DynDFG::fromTape or left behind by any transformation: Preds/Succs
+///    mirror consistency (G001), no dangling/dead edges (G002),
+///    acyclicity (G003), levels forming a valid BFS distance function
+///    with outputs at 0 (G004), and — as a warning — alive nodes that
+///    reach no output (G005);
+///  * verifySimplify — the S4 contract, checked as a Before/After pair:
+///    the alive output set survives verbatim (G006), every collapsed
+///    node really was a `res = res + term` aggregation link whose
+///    external operands re-attached to the surviving chain head (G007),
+///    and the significance mass the result reports is conserved (G008);
+///  * verifyVarianceLevel — the S5 result is reproducible from the
+///    per-level significances of the graph it was computed on (G009);
+///  * verifyTruncation — a truncatedAbove result is exactly the level
+///    prefix of its source graph with payloads intact (G010);
+///  * auditGraphPipeline — the whole fromTape -> simplify -> levels ->
+///    findSignificanceVarianceLevel -> truncatedAbove chain in one call,
+///    merging every rule's findings into a single report.  This is what
+///    `scorpio_lint --graph` and the ParallelAnalysis incremental
+///    re-verification run.
+///
+/// Like the tape verifier, the checks trust nothing about how the graph
+/// was built: tests forge defects directly through DynDFG::node() and
+/// assert each one fires its rule.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_VERIFY_GRAPHVERIFIER_H
+#define SCORPIO_VERIFY_GRAPHVERIFIER_H
+
+#include "graph/DynDFG.h"
+#include "verify/Verify.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace scorpio {
+namespace verify {
+
+/// Options controlling graph verification.
+struct GraphVerifierOptions {
+  /// Per-rule cap on stored findings (exact counts are always kept).
+  size_t MaxFindingsPerRule = 32;
+  /// Relative tolerance of the G008 significance-mass comparison:
+  /// |after - before| <= MassTolerance * max(1, |before|) passes.
+  /// simplify() never rewrites significances, so the default is tight;
+  /// loosen it only for producers that renormalize during S4.
+  double MassTolerance = 1e-12;
+  /// Emit the G005 unreachable-alive warning.  auditGraphPipeline turns
+  /// this off for the post-simplify re-check so one unread input is not
+  /// reported once per pipeline stage.
+  bool CheckUnreachable = true;
+  /// Upper bound on the number of truncation levels auditGraphPipeline
+  /// samples with verifyTruncation (each sample copies the graph).
+  int MaxTruncationSamples = 3;
+};
+
+/// Verifies the structural graph rules (G001-G005) on \p G.
+VerifyReport verifyGraph(const DynDFG &G,
+                         const GraphVerifierOptions &Options = {});
+
+/// Verifies the S4 contract (G006-G008) between \p Before (the graph as
+/// built by fromTape) and \p After (the same graph after simplify()).
+/// The two must be views of the same node id space.
+VerifyReport verifySimplify(const DynDFG &Before, const DynDFG &After,
+                            const GraphVerifierOptions &Options = {});
+
+/// Verifies that \p ReportedLevel is what an independent per-level
+/// variance scan of \p G with the given \p Delta / \p Divisor produces
+/// (G009).  \p ReportedLevel is the value findSignificanceVarianceLevel
+/// returned to the caller being audited.
+VerifyReport verifyVarianceLevel(const DynDFG &G, int ReportedLevel,
+                                 double Delta, double Divisor = 1.0,
+                                 const GraphVerifierOptions &Options = {});
+
+/// Verifies that \p Truncated is exactly \p G.truncatedAbove(MaxLevel)
+/// (G010): same id space, alive iff alive-in-G with 0 <= Level <=
+/// MaxLevel, payloads bit-preserved, edges filtered to survivors.
+VerifyReport verifyTruncation(const DynDFG &G, int MaxLevel,
+                              const DynDFG &Truncated,
+                              const GraphVerifierOptions &Options = {});
+
+/// Runs the full post-S3 pipeline on a recorded tape — fromTape ->
+/// verifyGraph -> simplify -> verifySimplify + verifyGraph ->
+/// findSignificanceVarianceLevel -> verifyVarianceLevel -> sampled
+/// verifyTruncation — and returns every finding in one merged report.
+/// \p Significance, \p Labels and \p Outputs are the fromTape inputs;
+/// \p Delta / \p Divisor mirror the S5 parameters of the audited
+/// analysis (AnalysisOptions::Delta and the output-significance
+/// normalizer).
+VerifyReport auditGraphPipeline(const Tape &T,
+                                const std::vector<double> &Significance,
+                                const std::map<NodeId, std::string> &Labels,
+                                const std::vector<NodeId> &Outputs,
+                                double Delta, double Divisor = 1.0,
+                                const GraphVerifierOptions &Options = {});
+
+} // namespace verify
+} // namespace scorpio
+
+#endif // SCORPIO_VERIFY_GRAPHVERIFIER_H

@@ -118,6 +118,85 @@ const std::vector<Rule> &verify::ruleCatalog() {
        "An input no operation ever reads contributes nothing to any "
        "output; it usually indicates a registration typo or dead "
        "kernel code."},
+      {RuleKind::MirrorInconsistency, Severity::Error, "SCORPIO-G001",
+       "mirror-inconsistency",
+       "Preds and Succs adjacency lists are not multiplicity-consistent "
+       "mirrors",
+       "The DynDFG stores each edge twice (consumer's Preds, producer's "
+       "Succs); if the two views disagree, the level BFS (which walks "
+       "Preds) and simplify (which walks Succs) operate on different "
+       "graphs."},
+      {RuleKind::GraphDanglingEdge, Severity::Error, "SCORPIO-G002",
+       "graph-dangling-edge",
+       "graph edge references an out-of-range or dead node",
+       "Every Pred/Succ id of an alive node must name an alive node "
+       "inside the graph; an edge into a collapsed (dead) or "
+       "nonexistent node makes every traversal — levels, truncation, "
+       "DOT export — undefined."},
+      {RuleKind::GraphCycle, Severity::Error, "SCORPIO-G003",
+       "graph-cycle",
+       "the alive subgraph contains a cycle",
+       "The DynDFG is the unrolled dataflow of a straight-line tape and "
+       "must be a DAG; a cycle means fromTape or simplify corrupted "
+       "the edge lists, and the BFS level assignment (step S5) would "
+       "never produce a valid distance function over it."},
+      {RuleKind::LevelInvariant, Severity::Error, "SCORPIO-G004",
+       "level-invariant",
+       "stored node levels are not the BFS distance from the outputs",
+       "Levels drive the entire S5 phase: outputs sit at level 0, every "
+       "other reachable alive node at 1 + min over its consumers, and "
+       "unreachable nodes at -1.  A mis-levelled graph skews "
+       "nodesAtLevel, the variance search and truncatedAbove alike."},
+      {RuleKind::UnreachableAlive, Severity::Warning, "SCORPIO-G005",
+       "unreachable-alive",
+       "alive node cannot reach any registered output",
+       "A node no output transitively depends on carries significance "
+       "that never influences the result (level -1); it is dead weight "
+       "in the graph — usually an unread input or a computed-but-"
+       "unused intermediate (cf. SCORPIO-W007 on the tape side)."},
+      {RuleKind::OutputSetChanged, Severity::Error, "SCORPIO-G006",
+       "output-set-changed",
+       "simplify changed the set of alive output nodes",
+       "Step S4 only collapses internal aggregation chains; the "
+       "registered outputs must survive verbatim.  Losing or gaining "
+       "an output means downstream significance reports describe a "
+       "different kernel than the one recorded."},
+      {RuleKind::InvalidCollapse, Severity::Error, "SCORPIO-G007",
+       "invalid-collapse",
+       "simplify collapsed a node that was not a res=res+term chain "
+       "link",
+       "S4's contract (paper Section 2.3) is to collapse only "
+       "accumulative operations with exactly one alive consumer of the "
+       "same kind, re-attaching their operands to the surviving chain "
+       "head.  Collapsing anything else rewires the dataflow and "
+       "silently changes what the significance analysis measures."},
+      {RuleKind::SignificanceMassLoss, Severity::Error, "SCORPIO-G008",
+       "significance-mass-loss",
+       "simplify changed the total alive significance mass beyond "
+       "tolerance",
+       "Collapsing a chain moves labels and edges but must not create "
+       "or destroy significance: the sum over alive nodes before and "
+       "after S4 has to agree within tolerance, or the normalized "
+       "Eq.-11 ranking after simplification is incomparable to the "
+       "recorded one."},
+      {RuleKind::VarianceLevelMismatch, Severity::Error, "SCORPIO-G009",
+       "variance-level-mismatch",
+       "reported significance-variance level is not reproducible from "
+       "per-level statistics",
+       "Step S5 reports the first level whose normalized-significance "
+       "variance exceeds Delta; recomputing that scan independently "
+       "from the stored per-level significances must give the same "
+       "level, or the task-suggestion boundary the runtime trusts is "
+       "fabricated."},
+      {RuleKind::TruncationNotMonotone, Severity::Error, "SCORPIO-G010",
+       "truncation-not-monotone",
+       "truncatedAbove result is not the level-prefix of the source "
+       "graph",
+       "G.removeAbove(L) must keep exactly the alive nodes with level "
+       "in [0, L] and preserve their payloads; keeping a deeper node, "
+       "dropping a shallower one, or mutating values/significances "
+       "breaks the monotone-refinement contract the paper's iterative "
+       "deepening relies on."},
   };
   return Catalog;
 }
@@ -153,13 +232,17 @@ size_t VerifyReport::warningCount() const {
   return N;
 }
 
-void VerifyReport::merge(const VerifyReport &Other) {
+void VerifyReport::merge(const VerifyReport &Other,
+                         const std::string &MessagePrefix) {
   // Stored findings go through add() (which counts them); the counts of
   // findings Other dropped at its own cap are carried over directly.
   std::vector<size_t> StoredOther(NumRules, 0);
   for (const Finding &F : Other.Stored) {
     ++StoredOther[static_cast<size_t>(F.Kind)];
-    add(F);
+    Finding Copy = F;
+    if (!MessagePrefix.empty())
+      Copy.Message = MessagePrefix + Copy.Message;
+    add(std::move(Copy));
   }
   for (size_t I = 0; I != NumRules; ++I)
     CountByRule[I] += Other.CountByRule[I] - StoredOther[I];

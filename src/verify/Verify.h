@@ -67,10 +67,24 @@ enum class RuleKind : uint8_t {
   DeadSignificance,      ///< SCORPIO-W005: input with identically-zero adjoint
   UnregisteredInput,     ///< SCORPIO-W006: tape input never registered
   FloatingInput,         ///< SCORPIO-W007: input with no consumers
+  // Graph invariants (GraphVerifier) — phase-2 checks over the DynDFG
+  // produced by fromTape and transformed by S4 (simplify), the level
+  // BFS and S5 (findSignificanceVarianceLevel).  Appended after the
+  // W rules; never renumber.
+  MirrorInconsistency,   ///< SCORPIO-G001: Preds/Succs are not mirrors
+  GraphDanglingEdge,     ///< SCORPIO-G002: graph edge out of range / dead
+  GraphCycle,            ///< SCORPIO-G003: alive subgraph contains a cycle
+  LevelInvariant,        ///< SCORPIO-G004: levels are not the BFS distance
+  UnreachableAlive,      ///< SCORPIO-G005: alive node reaches no output
+  OutputSetChanged,      ///< SCORPIO-G006: simplify changed the output set
+  InvalidCollapse,       ///< SCORPIO-G007: collapsed node was no chain link
+  SignificanceMassLoss,  ///< SCORPIO-G008: simplify lost significance mass
+  VarianceLevelMismatch, ///< SCORPIO-G009: S5 level not reproducible
+  TruncationNotMonotone, ///< SCORPIO-G010: truncatedAbove kept/dropped wrong
 };
 
 inline constexpr size_t NumRules =
-    static_cast<size_t>(RuleKind::FloatingInput) + 1;
+    static_cast<size_t>(RuleKind::TruncationNotMonotone) + 1;
 
 /// Immutable catalog entry for one rule.
 struct Rule {
@@ -136,8 +150,11 @@ public:
   bool hasErrors() const { return errorCount() != 0; }
 
   /// Merges \p Other into this report (counts add; stored findings
-  /// append subject to this report's cap).
-  void merge(const VerifyReport &Other);
+  /// append subject to this report's cap).  A non-empty
+  /// \p MessagePrefix is prepended to every carried-over finding
+  /// message — ParallelAnalysis uses "shard-name: " so merged per-shard
+  /// findings keep their provenance.
+  void merge(const VerifyReport &Other, const std::string &MessagePrefix = "");
 
   /// Writes the report as one JSON object: per-rule counts plus the
   /// stored findings with node provenance.

@@ -1,0 +1,126 @@
+//===- tests/baseline_test.cpp - Lint baseline model unit tests -----------===//
+//
+// The committed-baseline model of scorpio-lint: count-line and
+// '# expected:' annotation parsing, the two-way diff, and annotation
+// staleness (documentation whose count line vanished must fail the
+// diff, so rationale cannot rot silently).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Baseline.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace scorpio::verify;
+
+namespace {
+
+Baseline parse(const std::string &Text) {
+  std::istringstream IS(Text);
+  Baseline B;
+  std::string Error;
+  EXPECT_TRUE(parseBaseline(IS, B, Error)) << Error;
+  return B;
+}
+
+std::string parseError(const std::string &Text) {
+  std::istringstream IS(Text);
+  Baseline B;
+  std::string Error;
+  EXPECT_FALSE(parseBaseline(IS, B, Error));
+  EXPECT_FALSE(Error.empty());
+  return Error;
+}
+
+TEST(BaselineParse, CountLinesAndComments) {
+  const Baseline B = parse("# a comment\n"
+                           "\n"
+                           "sobel-pixel SCORPIO-W007 1\n"
+                           "rms3 SCORPIO-W001 2\r\n");
+  ASSERT_EQ(B.Entries.size(), 2u);
+  EXPECT_EQ(B.Entries[0].Kernel, "sobel-pixel");
+  EXPECT_EQ(B.Entries[0].RuleId, "SCORPIO-W007");
+  EXPECT_EQ(B.Entries[0].Count, 1u);
+  EXPECT_EQ(B.Entries[1].Count, 2u);
+  EXPECT_TRUE(B.Expected.empty());
+  EXPECT_EQ(B.Entries[0].toLine(), "sobel-pixel SCORPIO-W007 1");
+}
+
+TEST(BaselineParse, ExpectedAnnotations) {
+  const Baseline B =
+      parse("# expected: SCORPIO-G005 sobel-pixel center pixel is unread\n"
+            "sobel-pixel SCORPIO-G005 1\n");
+  ASSERT_EQ(B.Expected.size(), 1u);
+  EXPECT_EQ(B.Expected[0].RuleId, "SCORPIO-G005");
+  EXPECT_EQ(B.Expected[0].Kernel, "sobel-pixel");
+  EXPECT_EQ(B.Expected[0].Reason, "center pixel is unread");
+}
+
+TEST(BaselineParse, MalformedLinesAreErrorsWithLineNumbers) {
+  EXPECT_NE(parseError("sobel-pixel SCORPIO-W007\n").find("line 1"),
+            std::string::npos);
+  EXPECT_NE(parseError("ok SCORPIO-W001 1\nbad bad bad bad\n").find("line 2"),
+            std::string::npos);
+  // Count must be a number.
+  parseError("sobel-pixel SCORPIO-W007 many\n");
+  // An annotation without a reason is undocumented — reject it.
+  parseError("# expected: SCORPIO-G005 sobel-pixel\n");
+}
+
+TEST(BaselineDiffTest, CleanWhenIdentical) {
+  const Baseline B = parse("a SCORPIO-W001 1\nb SCORPIO-W002 3\n");
+  const BaselineDiff D = diffBaseline(B.Entries, B);
+  EXPECT_TRUE(D.clean());
+}
+
+TEST(BaselineDiffTest, NewAndVanishedFindings) {
+  const Baseline Base = parse("a SCORPIO-W001 1\nb SCORPIO-W002 3\n");
+  const std::vector<BaselineEntry> Current = {
+      {"a", "SCORPIO-W001", 1}, // unchanged
+      {"a", "SCORPIO-W004", 2}, // new
+      {"b", "SCORPIO-W002", 4}, // count drifted: one new + one vanished
+  };
+  const BaselineDiff D = diffBaseline(Current, Base);
+  EXPECT_FALSE(D.clean());
+  ASSERT_EQ(D.NewFindings.size(), 2u);
+  EXPECT_EQ(D.NewFindings[0], "a SCORPIO-W004 2");
+  EXPECT_EQ(D.NewFindings[1], "b SCORPIO-W002 4");
+  ASSERT_EQ(D.Vanished.size(), 1u);
+  EXPECT_EQ(D.Vanished[0], "b SCORPIO-W002 3");
+}
+
+TEST(BaselineDiffTest, AnnotationWithMatchingEntryIsNotStale) {
+  const Baseline Base =
+      parse("# expected: SCORPIO-G005 sobel-pixel known dead input\n"
+            "sobel-pixel SCORPIO-G005 1\n");
+  const BaselineDiff D = diffBaseline(Base.Entries, Base);
+  EXPECT_TRUE(D.clean());
+}
+
+TEST(BaselineDiffTest, StaleAnnotationFailsTheDiff) {
+  // The annotation documents a finding whose count line is gone: the
+  // documentation is stale and must not survive silently.
+  const Baseline Base =
+      parse("# expected: SCORPIO-G005 sobel-pixel known dead input\n"
+            "rms3 SCORPIO-W001 1\n");
+  const BaselineDiff D = diffBaseline(Base.Entries, Base);
+  EXPECT_FALSE(D.clean());
+  ASSERT_EQ(D.StaleAnnotations.size(), 1u);
+  EXPECT_NE(D.StaleAnnotations[0].find("SCORPIO-G005"), std::string::npos);
+  EXPECT_NE(D.StaleAnnotations[0].find("sobel-pixel"), std::string::npos);
+}
+
+TEST(BaselineDiffTest, AnnotationIsNotASuppression) {
+  // An annotated finding that stops firing still shows up as vanished:
+  // annotations document counts, they never mask them.
+  const Baseline Base =
+      parse("# expected: SCORPIO-W007 sobel-pixel unread center\n"
+            "sobel-pixel SCORPIO-W007 1\n");
+  const BaselineDiff D = diffBaseline({}, Base);
+  EXPECT_FALSE(D.clean());
+  ASSERT_EQ(D.Vanished.size(), 1u);
+}
+
+} // namespace

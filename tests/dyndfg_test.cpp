@@ -7,7 +7,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Analysis.h"
-#include "core/DynDFG.h"
+#include "graph/DynDFG.h"
 
 #include <gtest/gtest.h>
 

@@ -1,0 +1,315 @@
+//===- tests/graph_verifier_test.cpp - DynDFG/S4/S5 verifier unit tests ---===//
+//
+// Every SCORPIO-Gxxx pipeline rule: a graph produced by the real
+// fromTape -> simplify -> levels -> S5 -> truncation chain passes clean,
+// and each hand-forged defect is flagged with the expected rule ID.
+// Defects are forged through the mutable DynDFG::node() accessor because
+// the pipeline itself cannot produce them — which is exactly what the
+// verifier exists to prove.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/GraphVerifier.h"
+
+#include "core/Analysis.h"
+#include "kernels/KernelRegistry.h"
+#include "support/Diag.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace scorpio;
+using namespace scorpio::verify;
+
+namespace {
+
+class GraphVerifierTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    diag::DiagSink::global().clear();
+    diag::setCheckPolicy(diag::CheckPolicy::ReturnStatus);
+  }
+  void TearDown() override { diag::DiagSink::global().clear(); }
+};
+
+/// Records y = x*x + y*y + x*y (an Add aggregation chain over three
+/// product terms — the Figure-3 shape S4 collapses) and builds the
+/// unsimplified DynDFG exactly as auditGraphPipeline would.
+struct ChainFixture {
+  Analysis A;
+  AnalysisResult R;
+  std::vector<double> Sig;
+  DynDFG G;
+
+  ChainFixture() {
+    const IAValue X = A.input("x", 1.0, 2.0);
+    const IAValue Y = A.input("y", 0.5, 1.5);
+    const IAValue S = X * X + Y * Y + X * Y;
+    A.registerOutput(S, "s");
+    R = A.analyse();
+    Sig.resize(A.tape().size());
+    for (size_t I = 0; I != Sig.size(); ++I)
+      Sig[I] = R.significanceOf(static_cast<NodeId>(I));
+    G = DynDFG::fromTape(A.tape(), Sig, A.labels(), A.outputNodes());
+  }
+
+  double divisor() const {
+    return R.outputSignificance() > 0.0 ? R.outputSignificance() : 1.0;
+  }
+};
+
+/// First alive non-output node with at least one predecessor — a safe
+/// target for structural mutations.
+NodeId innerNode(const DynDFG &G) {
+  for (NodeId Id = 0; static_cast<size_t>(Id) < G.size(); ++Id) {
+    const DfgNode &N = G.node(Id);
+    if (N.Alive && !N.IsOutput && !N.Preds.empty())
+      return Id;
+  }
+  ADD_FAILURE() << "fixture has no inner node";
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Clean pipelines
+//===----------------------------------------------------------------------===//
+
+TEST_F(GraphVerifierTest, ChainFixturePassesEveryStage) {
+  ChainFixture F;
+  EXPECT_EQ(verifyGraph(F.G).errorCount(), 0u);
+
+  DynDFG After = F.G;
+  After.simplify();
+  EXPECT_EQ(verifySimplify(F.G, After).errorCount(), 0u);
+
+  const int L = After.findSignificanceVarianceLevel(1e-3, F.divisor());
+  EXPECT_EQ(verifyVarianceLevel(After, L, 1e-3, F.divisor()).errorCount(),
+            0u);
+
+  const DynDFG Trunc = After.truncatedAbove(1);
+  EXPECT_EQ(verifyTruncation(After, 1, Trunc).errorCount(), 0u);
+}
+
+TEST_F(GraphVerifierTest, AuditPipelineCleanOnChainFixture) {
+  ChainFixture F;
+  const VerifyReport Report =
+      auditGraphPipeline(F.A.tape(), F.Sig, F.A.labels(), F.A.outputNodes(),
+                         1e-3, F.divisor());
+  EXPECT_EQ(Report.errorCount(), 0u) << "forged-defect-free pipeline";
+  EXPECT_EQ(Report.warningCount(), 0u) << "every input feeds the output";
+}
+
+TEST_F(GraphVerifierTest, AuditPipelineCleanOnEveryRegistryKernel) {
+  // The lint --graph contract: zero G errors across the whole registry.
+  for (const std::string &Name : KernelRegistry::global().names()) {
+    const KernelDescriptor *K = KernelRegistry::global().find(Name);
+    ASSERT_NE(K, nullptr);
+    Analysis A;
+    K->Analyse(A, K->DefaultRanges);
+    const AnalysisResult R = A.analyse();
+    ASSERT_TRUE(R.isValid()) << Name;
+    std::vector<double> Sig(A.tape().size());
+    for (size_t I = 0; I != Sig.size(); ++I)
+      Sig[I] = R.significanceOf(static_cast<NodeId>(I));
+    const double Div =
+        R.outputSignificance() > 0.0 ? R.outputSignificance() : 1.0;
+    const VerifyReport Report = auditGraphPipeline(
+        A.tape(), Sig, A.labels(), A.outputNodes(), 1e-3, Div);
+    EXPECT_EQ(Report.errorCount(), 0u) << Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// G001-G005: structural graph rules
+//===----------------------------------------------------------------------===//
+
+TEST_F(GraphVerifierTest, G001ForgedExtraSuccFires) {
+  ChainFixture F;
+  // An edge present in Succs but not mirrored by any Pred.
+  F.G.node(0).Succs.push_back(innerNode(F.G));
+  const VerifyReport Report = verifyGraph(F.G);
+  EXPECT_GE(Report.countOf(RuleKind::MirrorInconsistency), 1u);
+}
+
+TEST_F(GraphVerifierTest, G002ForgedDanglingPredFires) {
+  ChainFixture F;
+  F.G.node(innerNode(F.G)).Preds.push_back(
+      static_cast<NodeId>(F.G.size() + 7));
+  const VerifyReport Report = verifyGraph(F.G);
+  EXPECT_GE(Report.countOf(RuleKind::GraphDanglingEdge), 1u);
+}
+
+TEST_F(GraphVerifierTest, G002DeadEndpointFires) {
+  ChainFixture F;
+  // Kill a node that still has live consumers: their Pred edges now
+  // point at a dead endpoint.
+  const NodeId Victim = innerNode(F.G);
+  ASSERT_FALSE(F.G.node(Victim).Succs.empty());
+  F.G.node(Victim).Alive = false;
+  const VerifyReport Report = verifyGraph(F.G);
+  EXPECT_GE(Report.countOf(RuleKind::GraphDanglingEdge), 1u);
+}
+
+TEST_F(GraphVerifierTest, G003ForgedCycleFires) {
+  ChainFixture F;
+  // Reverse-close an existing edge with consistent mirrors, so only the
+  // cycle check can object: B already consumes A; now A "consumes" B.
+  const NodeId B = innerNode(F.G);
+  const NodeId A = F.G.node(B).Preds[0];
+  F.G.node(A).Preds.push_back(B);
+  F.G.node(B).Succs.push_back(A);
+  const VerifyReport Report = verifyGraph(F.G);
+  EXPECT_GE(Report.countOf(RuleKind::GraphCycle), 1u);
+}
+
+TEST_F(GraphVerifierTest, G004ForgedLevelFires) {
+  ChainFixture F;
+  F.G.node(innerNode(F.G)).Level += 5;
+  const VerifyReport Report = verifyGraph(F.G);
+  EXPECT_GE(Report.countOf(RuleKind::LevelInvariant), 1u);
+}
+
+TEST_F(GraphVerifierTest, G005UnreadInputWarns) {
+  // An input that never feeds the output stays alive with Level -1 —
+  // a warning (dead code worth knowing about), not an error.
+  Analysis A;
+  const IAValue X = A.input("x", 1.0, 2.0);
+  const IAValue Unused = A.input("unused", 0.0, 1.0);
+  (void)Unused;
+  const IAValue Y = X * X;
+  A.registerOutput(Y, "y");
+  const AnalysisResult R = A.analyse();
+  std::vector<double> Sig(A.tape().size());
+  for (size_t I = 0; I != Sig.size(); ++I)
+    Sig[I] = R.significanceOf(static_cast<NodeId>(I));
+  const DynDFG G =
+      DynDFG::fromTape(A.tape(), Sig, A.labels(), A.outputNodes());
+
+  const VerifyReport Report = verifyGraph(G);
+  EXPECT_EQ(Report.errorCount(), 0u);
+  EXPECT_GE(Report.countOf(RuleKind::UnreachableAlive), 1u);
+
+  GraphVerifierOptions NoWarn;
+  NoWarn.CheckUnreachable = false;
+  EXPECT_EQ(verifyGraph(G, NoWarn).countOf(RuleKind::UnreachableAlive), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// G006-G008: the S4 simplify contract
+//===----------------------------------------------------------------------===//
+
+TEST_F(GraphVerifierTest, G006KilledOutputFires) {
+  ChainFixture F;
+  DynDFG After = F.G;
+  After.simplify();
+  for (NodeId Id = 0; static_cast<size_t>(Id) < After.size(); ++Id)
+    if (After.node(Id).IsOutput)
+      After.node(Id).Alive = false;
+  const VerifyReport Report = verifySimplify(F.G, After);
+  EXPECT_GE(Report.countOf(RuleKind::OutputSetChanged), 1u);
+}
+
+TEST_F(GraphVerifierTest, G007NonChainCollapseFires) {
+  ChainFixture F;
+  DynDFG After = F.G;
+  // "Collapse" a multiplication term: Mul is not accumulative, so no
+  // legal S4 step may remove it.
+  NodeId Victim = InvalidNodeId;
+  for (NodeId Id = 0; static_cast<size_t>(Id) < After.size(); ++Id)
+    if (After.node(Id).Alive && After.node(Id).Kind == OpKind::Mul) {
+      Victim = Id;
+      break;
+    }
+  ASSERT_NE(Victim, InvalidNodeId);
+  After.node(Victim).Alive = false;
+  const VerifyReport Report = verifySimplify(F.G, After);
+  EXPECT_GE(Report.countOf(RuleKind::InvalidCollapse), 1u);
+}
+
+TEST_F(GraphVerifierTest, G008MutatedSignificanceFires) {
+  ChainFixture F;
+  DynDFG After = F.G;
+  After.simplify();
+  NodeId Victim = InvalidNodeId;
+  for (NodeId Id = 0; static_cast<size_t>(Id) < After.size(); ++Id)
+    if (After.node(Id).Alive && After.node(Id).Significance > 0.0) {
+      Victim = Id;
+      break;
+    }
+  ASSERT_NE(Victim, InvalidNodeId);
+  After.node(Victim).Significance *= 2.0;
+  const VerifyReport Report = verifySimplify(F.G, After);
+  EXPECT_GE(Report.countOf(RuleKind::SignificanceMassLoss), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// G009/G010: S5 and truncation
+//===----------------------------------------------------------------------===//
+
+TEST_F(GraphVerifierTest, G009WrongReportedLevelFires) {
+  ChainFixture F;
+  DynDFG After = F.G;
+  After.simplify();
+  const int Actual = After.findSignificanceVarianceLevel(1e-3, F.divisor());
+  const int Wrong = Actual == 1 ? 2 : 1;
+  EXPECT_EQ(
+      verifyVarianceLevel(After, Actual, 1e-3, F.divisor()).errorCount(), 0u);
+  const VerifyReport Report =
+      verifyVarianceLevel(After, Wrong, 1e-3, F.divisor());
+  EXPECT_GE(Report.countOf(RuleKind::VarianceLevelMismatch), 1u);
+}
+
+TEST_F(GraphVerifierTest, G010TamperedTruncationFires) {
+  ChainFixture F;
+  const DynDFG Clean = F.G.truncatedAbove(1);
+  EXPECT_EQ(verifyTruncation(F.G, 1, Clean).errorCount(), 0u);
+
+  // A deep node that truncatedAbove(1) must have dropped, resurrected.
+  DynDFG Resurrected = Clean;
+  NodeId Dropped = InvalidNodeId;
+  for (NodeId Id = 0; static_cast<size_t>(Id) < F.G.size(); ++Id)
+    if (F.G.node(Id).Alive && F.G.node(Id).Level > 1) {
+      Dropped = Id;
+      break;
+    }
+  ASSERT_NE(Dropped, InvalidNodeId);
+  Resurrected.node(Dropped).Alive = true;
+  EXPECT_GE(verifyTruncation(F.G, 1, Resurrected)
+                .countOf(RuleKind::TruncationNotMonotone),
+            1u);
+
+  // A surviving node with its significance payload altered.
+  DynDFG Tampered = Clean;
+  NodeId Kept = InvalidNodeId;
+  for (NodeId Id = 0; static_cast<size_t>(Id) < Tampered.size(); ++Id)
+    if (Tampered.node(Id).Alive) {
+      Kept = Id;
+      break;
+    }
+  ASSERT_NE(Kept, InvalidNodeId);
+  Tampered.node(Kept).Significance += 1.0;
+  EXPECT_GE(verifyTruncation(F.G, 1, Tampered)
+                .countOf(RuleKind::TruncationNotMonotone),
+            1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Report plumbing the G rules rely on
+//===----------------------------------------------------------------------===//
+
+TEST_F(GraphVerifierTest, MergePrefixesCarriedFindings) {
+  ChainFixture F;
+  F.G.node(innerNode(F.G)).Level += 5;
+  const VerifyReport Inner = verifyGraph(F.G);
+  ASSERT_GE(Inner.findings().size(), 1u);
+
+  VerifyReport Merged;
+  Merged.merge(Inner, "tile_0_0: ");
+  ASSERT_GE(Merged.findings().size(), 1u);
+  EXPECT_EQ(Merged.findings()[0].Message.rfind("tile_0_0: ", 0), 0u);
+  EXPECT_EQ(Merged.countOf(RuleKind::LevelInvariant),
+            Inner.countOf(RuleKind::LevelInvariant));
+}
+
+} // namespace

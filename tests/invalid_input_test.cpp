@@ -12,6 +12,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Analysis.h"
+#include "core/MonteCarlo.h"
+#include "core/RangeSweep.h"
+#include "core/SplitAnalysis.h"
+#include "core/TaskSuggestion.h"
 #include "interval/Interval.h"
 #include "quality/Image.h"
 #include "quality/Metrics.h"
@@ -427,6 +431,75 @@ TEST_F(InvalidInputTest, FaultInjectionQualityLayer) {
   EXPECT_EQ(mseOf(std::span<const double>(A), std::span<const double>(A)),
             Inf);
   EXPECT_EQ(DiagSink::global().countOf(ErrC::SizeMismatch), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Core drivers migrated off raw assert()
+//===----------------------------------------------------------------------===//
+
+TEST_F(InvalidInputTest, IAValueInputWithoutTapeStaysPassive) {
+  // No Analysis, no ActiveTapeScope: nothing to record on.
+  const IAValue X = IAValue::input(Interval(1.0, 2.0));
+  EXPECT_FALSE(X.isActive());
+  EXPECT_EQ(X.value(), Interval(1.0, 2.0));
+  EXPECT_EQ(DiagSink::global().countOf(ErrC::InvalidState), 1u);
+}
+
+TEST_F(InvalidInputTest, MonteCarloEmptyBoxRecoversEmpty) {
+  const auto Sig = monteCarloInputSignificance(
+      [](std::span<const double>) { return 0.0; }, {});
+  EXPECT_TRUE(Sig.empty());
+  EXPECT_EQ(DiagSink::global().countOf(ErrC::EmptyInput), 1u);
+}
+
+TEST_F(InvalidInputTest, MonteCarloZeroSamplesRecoversToZeros) {
+  const std::vector<Interval> Box = {Interval(0.0, 1.0), Interval(1.0, 2.0)};
+  MonteCarloOptions Opts;
+  Opts.SamplesPerInput = 0;
+  const auto Sig = monteCarloInputSignificance(
+      [](std::span<const double> P) { return P[0] + P[1]; }, Box, Opts);
+  EXPECT_EQ(Sig, std::vector<double>({0.0, 0.0}));
+  EXPECT_EQ(DiagSink::global().countOf(ErrC::InvalidArgument), 1u);
+}
+
+TEST_F(InvalidInputTest, RankingAgreementSizeMismatchRecoversToZero) {
+  const std::vector<double> A = {1.0, 2.0, 3.0};
+  const std::vector<double> B = {1.0, 2.0};
+  EXPECT_EQ(rankingAgreement(A, B), 0.0);
+  EXPECT_EQ(DiagSink::global().countOf(ErrC::SizeMismatch), 1u);
+}
+
+TEST_F(InvalidInputTest, SweepWithNoBoxesRecoversEmpty) {
+  const SweepResult R = sweepAnalysis(
+      [](Analysis &, std::span<const Interval>) {}, {});
+  EXPECT_TRUE(R.Variables.empty());
+  EXPECT_EQ(R.NumDiverged, 0u);
+  EXPECT_EQ(DiagSink::global().countOf(ErrC::EmptyInput), 1u);
+}
+
+TEST_F(InvalidInputTest, SplitWithEmptyBoxRecoversEmpty) {
+  const SplitResult R = analyseWithSplitting(
+      [](Analysis &, std::span<const Interval>) {}, {});
+  EXPECT_FALSE(R.Converged);
+  EXPECT_EQ(R.NumConverged, 0u);
+  EXPECT_TRUE(R.Significance.empty());
+  EXPECT_EQ(DiagSink::global().countOf(ErrC::EmptyInput), 1u);
+}
+
+TEST_F(InvalidInputTest, SuggestTasksOnDivergedResultRecoversEmpty) {
+  Analysis A;
+  IAValue X = A.input("x", -1.0, 1.0);
+  // Ambiguous comparison: the interval straddles zero.
+  const bool Gt = X > 0.0;
+  (void)Gt;
+  IAValue Y = X * X;
+  A.registerOutput(Y, "y");
+  const AnalysisResult R = A.analyse();
+  ASSERT_FALSE(R.isValid());
+  DiagSink::global().clear();
+  const auto Tasks = suggestTasks(R);
+  EXPECT_TRUE(Tasks.empty());
+  EXPECT_EQ(DiagSink::global().countOf(ErrC::InvalidState), 1u);
 }
 
 } // namespace

@@ -230,4 +230,88 @@ TEST(BlackScholesSharded, JsonDeterministicAcrossThreadCounts) {
   EXPECT_EQ(JsonWith(4), One);
 }
 
+//===----------------------------------------------------------------------===//
+// Incremental shard re-verification
+//===----------------------------------------------------------------------===//
+
+TEST(ShardVerificationMode, OffByDefault) {
+  ParallelAnalysis P;
+  P.addShard("affine", [] { recordAffine(3.0, 1.0); });
+  const ParallelAnalysisResult R = P.run();
+  EXPECT_FALSE(R.wasVerified());
+  EXPECT_TRUE(R.verification().findings().empty());
+  EXPECT_EQ(R.verification().errorCount(), 0u);
+}
+
+TEST(ShardVerificationMode, IncrementalAndFullVerifyCleanShards) {
+  for (const ShardVerification Mode :
+       {ShardVerification::Incremental, ShardVerification::Full}) {
+    ParallelAnalysis P;
+    for (int I = 0; I != 4; ++I)
+      P.addShard("shard" + std::to_string(I),
+                 [I] { recordAffine(1.0 + I, 0.5 * I); });
+    const ParallelAnalysisResult R = P.run({}, /*NumThreads=*/2, Mode);
+    EXPECT_TRUE(R.wasVerified());
+    EXPECT_EQ(R.verification().errorCount(), 0u);
+    EXPECT_EQ(R.verification().warningCount(), 0u);
+    for (const ShardResult &S : R.shards())
+      EXPECT_EQ(S.Verification.errorCount(), 0u) << S.Name;
+  }
+}
+
+TEST(ShardVerificationMode, MergedFindingsCarryShardNamePrefix) {
+  // An unread input makes the shard's graph warn (SCORPIO-G005) under
+  // Full verification; the merged report must attribute the finding to
+  // the shard by name.
+  ParallelAnalysis P;
+  P.addShard("clean", [] { recordAffine(2.0, 0.0); });
+  P.addShard("deadcode", [] {
+    Analysis &A = Analysis::current();
+    IAValue X = A.input("x", 1.0, 2.0);
+    IAValue Unused = A.input("unused", 0.0, 1.0);
+    (void)Unused;
+    IAValue Y = X * X;
+    A.registerOutput(Y, "y");
+  });
+  const ParallelAnalysisResult R =
+      P.run({}, /*NumThreads=*/2, ShardVerification::Full);
+  EXPECT_TRUE(R.wasVerified());
+  EXPECT_EQ(R.verification().errorCount(), 0u);
+  ASSERT_GE(R.verification().warningCount(), 1u);
+  bool FoundPrefixed = false;
+  for (const verify::Finding &F : R.verification().findings())
+    if (F.Message.rfind("deadcode: ", 0) == 0)
+      FoundPrefixed = true;
+  EXPECT_TRUE(FoundPrefixed) << "finding not attributed to its shard";
+  // Per-shard reports stay unprefixed and shard-local.
+  EXPECT_EQ(R.shards()[0].Verification.warningCount(), 0u);
+  EXPECT_GE(R.shards()[1].Verification.warningCount(), 1u);
+}
+
+TEST(ShardVerificationMode, VerifiedRunsStayDeterministic) {
+  auto JsonWith = [](unsigned NumThreads) {
+    ParallelAnalysis P;
+    for (int I = 0; I != 6; ++I)
+      P.addShard("shard" + std::to_string(I),
+                 [I] { recordAffine(1.0 + I, 0.25 * I); });
+    std::ostringstream OS;
+    P.run({}, NumThreads, ShardVerification::Incremental).writeJson(OS);
+    return OS.str();
+  };
+  const std::string One = JsonWith(1);
+  EXPECT_EQ(JsonWith(3), One);
+}
+
+TEST(ShardVerificationMode, SobelTilesForwardTheKnob) {
+  Image In(8, 8);
+  for (int Y = 0; Y < 8; ++Y)
+    for (int X = 0; X < 8; ++X)
+      In.at(X, Y) = static_cast<uint8_t>((X * 29 + Y * 71) % 256);
+  const apps::SobelTileSignificance R = apps::analyseSobelTiles(
+      In, 4, 8.0, /*NumThreads=*/2, ShardVerification::Incremental);
+  ASSERT_TRUE(R.Result.isValid());
+  EXPECT_TRUE(R.Result.wasVerified());
+  EXPECT_EQ(R.Result.verification().errorCount(), 0u);
+}
+
 } // namespace

@@ -1,0 +1,285 @@
+//===- tests/tapeio_test.cpp - .stap serialization unit tests -------------===//
+//
+// The .stap round-trip contract (a reloaded tape re-analyses to a
+// byte-identical report) and the loader's trust boundary: truncation at
+// every length, a flipped byte at every position, forged structural
+// defects and unknown sections are all rejected with a structured
+// Status — never a crash, never a silently "repaired" tape.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tape/TapeIO.h"
+
+#include "core/Analysis.h"
+#include "support/Diag.h"
+#include "verify/TapeVerifier.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace scorpio;
+
+namespace {
+
+class TapeIOTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    diag::DiagSink::global().clear();
+    diag::setCheckPolicy(diag::CheckPolicy::ReturnStatus);
+  }
+  void TearDown() override { diag::DiagSink::global().clear(); }
+};
+
+/// Records y = x*x + z*z + x*z with one intermediate registered, then
+/// analyses — the shared serialization fixture.
+struct Recorded {
+  Analysis A;
+  AnalysisResult R;
+
+  Recorded() {
+    const IAValue X = A.input("x", 1.0, 2.0);
+    const IAValue Z = A.input("z", 0.5, 1.5);
+    const IAValue Cross = X * Z;
+    A.registerIntermediate(Cross, "cross");
+    const IAValue Y = X * X + Z * Z + Cross;
+    A.registerOutput(Y, "y");
+    R = A.analyse();
+  }
+
+  /// The fixture's tape serialized to a .stap byte string.
+  std::string bytes(bool WithSignificance = false) {
+    std::vector<double> Sig;
+    if (WithSignificance)
+      for (size_t I = 0; I != A.tape().size(); ++I)
+        Sig.push_back(R.significanceOf(static_cast<NodeId>(I)));
+    std::ostringstream OS(std::ios::binary);
+    const diag::Status S = writeStap(OS, A.tape(), A.registration(), Sig);
+    EXPECT_TRUE(S.isOk()) << S.message();
+    return OS.str();
+  }
+};
+
+diag::Expected<LoadedTape> load(const std::string &Bytes) {
+  std::istringstream IS(Bytes, std::ios::binary);
+  return readStap(IS);
+}
+
+//===----------------------------------------------------------------------===//
+// Round trip
+//===----------------------------------------------------------------------===//
+
+TEST_F(TapeIOTest, RoundTripReanalysesBitIdentically) {
+  Recorded Fix;
+  std::ostringstream Original;
+  Fix.R.writeJson(Original);
+
+  diag::Expected<LoadedTape> Loaded = load(Fix.bytes());
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.status().message();
+
+  Analysis B;
+  const diag::Status S =
+      B.adopt(std::move(Loaded.value().T), Loaded.value().Reg);
+  ASSERT_TRUE(S.isOk()) << S.message();
+
+  std::ostringstream Replayed;
+  B.analyse().writeJson(Replayed);
+  EXPECT_EQ(Original.str(), Replayed.str());
+}
+
+TEST_F(TapeIOTest, RoundTripPreservesRegistrationAndSignificance) {
+  Recorded Fix;
+  diag::Expected<LoadedTape> Loaded = load(Fix.bytes(/*WithSignificance=*/true));
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.status().message();
+
+  const TapeRegistration Orig = Fix.A.registration();
+  const TapeRegistration &Got = Loaded.value().Reg;
+  EXPECT_EQ(Got.Outputs, Orig.Outputs);
+  EXPECT_EQ(Got.Labels, Orig.Labels);
+  EXPECT_EQ(Got.InputVars, Orig.InputVars);
+  EXPECT_EQ(Got.IntermediateVars, Orig.IntermediateVars);
+  EXPECT_EQ(Got.OutputVars, Orig.OutputVars);
+
+  ASSERT_EQ(Loaded.value().Significance.size(), Fix.A.tape().size());
+  for (size_t I = 0; I != Loaded.value().Significance.size(); ++I)
+    EXPECT_EQ(Loaded.value().Significance[I],
+              Fix.R.significanceOf(static_cast<NodeId>(I)))
+        << "node " << I;
+}
+
+TEST_F(TapeIOTest, DivergencesSurviveTheRoundTrip) {
+  Recorded Fix;
+  const verify::RawTape Raw =
+      verify::extractRaw(Fix.A.tape(), Fix.A.outputNodes());
+  const std::vector<std::string> Divergences = {
+      "x < z: ambiguous interval comparison"};
+  std::ostringstream OS(std::ios::binary);
+  ASSERT_TRUE(
+      writeStap(OS, Raw, Fix.A.registration(), {}, Divergences).isOk());
+
+  diag::Expected<LoadedTape> Loaded = load(OS.str());
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.status().message();
+  EXPECT_EQ(Loaded.value().T.divergences(), Divergences);
+
+  // A diverged tape must re-analyse to an *invalid* result, exactly as
+  // the recording process saw it (paper Section 2.2).
+  Analysis B;
+  ASSERT_TRUE(B.adopt(std::move(Loaded.value().T), Loaded.value().Reg).isOk());
+  EXPECT_FALSE(B.analyse().isValid());
+}
+
+//===----------------------------------------------------------------------===//
+// Trust boundary: malformed bytes
+//===----------------------------------------------------------------------===//
+
+TEST_F(TapeIOTest, TruncationAtEveryLengthIsRejected) {
+  Recorded Fix;
+  const std::string Bytes = Fix.bytes(/*WithSignificance=*/true);
+  ASSERT_GT(Bytes.size(), 0u);
+  for (size_t Len = 0; Len != Bytes.size(); ++Len) {
+    diag::Expected<LoadedTape> Loaded = load(Bytes.substr(0, Len));
+    EXPECT_FALSE(Loaded.hasValue()) << "accepted a " << Len
+                                    << "-byte prefix of a "
+                                    << Bytes.size() << "-byte file";
+    EXPECT_FALSE(Loaded.status().message().empty());
+  }
+}
+
+TEST_F(TapeIOTest, ByteFlipAtEveryPositionIsRejected) {
+  Recorded Fix;
+  const std::string Bytes = Fix.bytes(/*WithSignificance=*/true);
+  for (size_t Pos = 0; Pos != Bytes.size(); ++Pos) {
+    std::string Tampered = Bytes;
+    Tampered[Pos] = static_cast<char>(Tampered[Pos] ^ 0xFF);
+    diag::Expected<LoadedTape> Loaded = load(Tampered);
+    EXPECT_FALSE(Loaded.hasValue())
+        << "accepted a file with byte " << Pos << " flipped";
+  }
+}
+
+TEST_F(TapeIOTest, UnknownSectionTagIsRejected) {
+  Recorded Fix;
+  std::string Bytes = Fix.bytes();
+  const size_t Pos = Bytes.find("LABL");
+  ASSERT_NE(Pos, std::string::npos);
+  Bytes.replace(Pos, 4, "QQQQ");
+  diag::Expected<LoadedTape> Loaded = load(Bytes);
+  ASSERT_FALSE(Loaded.hasValue());
+  EXPECT_NE(Loaded.status().message().find("unknown"), std::string::npos)
+      << Loaded.status().message();
+}
+
+TEST_F(TapeIOTest, WrongMagicAndVersionAreRejected) {
+  Recorded Fix;
+  std::string Bytes = Fix.bytes();
+  std::string BadMagic = Bytes;
+  BadMagic[0] = 'X';
+  EXPECT_FALSE(load(BadMagic).hasValue());
+
+  std::string BadVersion = Bytes;
+  BadVersion[4] = static_cast<char>(StapVersion + 1);
+  diag::Expected<LoadedTape> Loaded = load(BadVersion);
+  ASSERT_FALSE(Loaded.hasValue());
+  EXPECT_NE(Loaded.status().message().find("version"), std::string::npos)
+      << Loaded.status().message();
+}
+
+TEST_F(TapeIOTest, EmptyAndGarbageStreamsAreRejected) {
+  EXPECT_FALSE(load("").hasValue());
+  EXPECT_FALSE(load("not a stap file at all").hasValue());
+  EXPECT_FALSE(load(std::string(1024, '\0')).hasValue());
+}
+
+//===----------------------------------------------------------------------===//
+// Trust boundary: structurally defective tapes
+//===----------------------------------------------------------------------===//
+
+/// Serializes \p Raw (with the fixture's registration) and returns the
+/// loader's verdict.
+diag::Status loadForged(const Recorded &Fix, const verify::RawTape &Raw) {
+  std::ostringstream OS(std::ios::binary);
+  const diag::Status W = writeStap(OS, Raw, Fix.A.registration());
+  EXPECT_TRUE(W.isOk()) << W.message();
+  diag::Expected<LoadedTape> Loaded = load(OS.str());
+  EXPECT_FALSE(Loaded.hasValue());
+  return Loaded.status();
+}
+
+TEST_F(TapeIOTest, ForwardReferenceIsRejectedByTheVerifyGate) {
+  Recorded Fix;
+  verify::RawTape Raw = verify::extractRaw(Fix.A.tape(), Fix.A.outputNodes());
+  // Last node consumes itself: a forward (non-topological) reference.
+  ASSERT_GE(Raw.Nodes.back().NumArgs, 1u);
+  Raw.Nodes.back().Args[0] = static_cast<NodeId>(Raw.Nodes.size() - 1);
+  const diag::Status S = loadForged(Fix, Raw);
+  EXPECT_NE(S.message().find("verifyStructure"), std::string::npos)
+      << S.message();
+}
+
+TEST_F(TapeIOTest, NaNPartialIsRejectedByTheVerifyGate) {
+  Recorded Fix;
+  verify::RawTape Raw = verify::extractRaw(Fix.A.tape(), Fix.A.outputNodes());
+  ASSERT_GE(Raw.Nodes.back().NumArgs, 1u);
+  Raw.Nodes.back().PartialLo[0] = std::numeric_limits<double>::quiet_NaN();
+  const diag::Status S = loadForged(Fix, Raw);
+  EXPECT_NE(S.message().find("verifyStructure"), std::string::npos)
+      << S.message();
+}
+
+TEST_F(TapeIOTest, OutOfRangeOutputIsRejectedByTheVerifyGate) {
+  Recorded Fix;
+  verify::RawTape Raw = verify::extractRaw(Fix.A.tape(), Fix.A.outputNodes());
+  Raw.Outputs.push_back(static_cast<NodeId>(Raw.Nodes.size() + 100));
+  const diag::Status S = loadForged(Fix, Raw);
+  EXPECT_NE(S.message().find("verifyStructure"), std::string::npos)
+      << S.message();
+}
+
+//===----------------------------------------------------------------------===//
+// Analysis::adopt misuse
+//===----------------------------------------------------------------------===//
+
+TEST_F(TapeIOTest, AdoptRefusesAUsedAnalysis) {
+  Recorded Fix;
+  diag::Expected<LoadedTape> Loaded = load(Fix.bytes());
+  ASSERT_TRUE(Loaded.hasValue());
+
+  Analysis Used;
+  (void)Used.input("w", 0.0, 1.0); // no longer fresh
+  const diag::Status S =
+      Used.adopt(std::move(Loaded.value().T), Loaded.value().Reg);
+  EXPECT_FALSE(S.isOk());
+  EXPECT_EQ(S.code(), diag::ErrC::InvalidState);
+}
+
+TEST_F(TapeIOTest, AdoptRefusesOutOfRangeRegistration) {
+  Recorded Fix;
+  diag::Expected<LoadedTape> Loaded = load(Fix.bytes());
+  ASSERT_TRUE(Loaded.hasValue());
+
+  TapeRegistration Reg = Loaded.value().Reg;
+  Reg.Outputs.push_back(static_cast<NodeId>(Fix.A.tape().size() + 5));
+  Analysis B;
+  const diag::Status S = B.adopt(std::move(Loaded.value().T), Reg);
+  EXPECT_FALSE(S.isOk());
+  EXPECT_EQ(S.code(), diag::ErrC::OutOfRange);
+}
+
+TEST_F(TapeIOTest, SaveAndLoadFileRoundTrip) {
+  Recorded Fix;
+  const std::string Path =
+      ::testing::TempDir() + "/scorpio_tapeio_roundtrip.stap";
+  ASSERT_TRUE(saveStap(Path, Fix.A.tape(), Fix.A.registration()).isOk());
+  diag::Expected<LoadedTape> Loaded = loadStap(Path);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.status().message();
+  EXPECT_EQ(Loaded.value().T.size(), Fix.A.tape().size());
+  EXPECT_FALSE(loadStap(Path + ".does-not-exist").hasValue());
+  std::remove(Path.c_str());
+}
+
+} // namespace

@@ -15,14 +15,25 @@
 /// committed baseline so CI catches both new hazards and silently
 /// vanished ones.
 ///
+/// `--graph` additionally audits the phase-2 pipeline — DynDFG
+/// construction, S4 simplification, S5 variance-level detection and
+/// level truncation — with the SCORPIO-Gxxx rules.  `--roundtrip`
+/// serializes each kernel's tape to the .stap format, re-loads it
+/// through the verifying loader, re-analyses the adopted tape and
+/// demands a byte-identical analysis report.
+///
 /// Exit codes: 0 clean (and baseline matches), 1 baseline mismatch,
-/// 2 structural verifier errors (the tape IR itself is broken).
+/// 2 structural verifier errors or a round-trip failure (the tape IR
+/// itself, or its serialization, is broken).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "kernels/KernelRegistry.h"
 #include "support/Json.h"
 #include "tape/TapeDot.h"
+#include "tape/TapeIO.h"
+#include "verify/Baseline.h"
+#include "verify/GraphVerifier.h"
 #include "verify/Lint.h"
 #include "verify/Sarif.h"
 #include "verify/TapeVerifier.h"
@@ -47,6 +58,8 @@ struct Options {
   std::string JsonPath;             ///< per-kernel JSON report ("-" = stdout)
   std::string SarifPath;            ///< SARIF 2.1.0 export ("-" = stdout)
   std::string DotDir;               ///< write <kernel>.dot with highlights
+  bool Graph = false;               ///< run the SCORPIO-Gxxx graph audit
+  bool Roundtrip = false;           ///< .stap serialize/load/re-analyse check
   bool List = false;
   bool Quiet = false;
 };
@@ -66,6 +79,11 @@ int usage(std::ostream &OS, int Code) {
         "  --dot <dir>              write <kernel>.dot with findings\n"
         "                           highlighted (errors red, warnings\n"
         "                           orange)\n"
+        "  --graph                  audit the DynDFG/S4/S5 pipeline with\n"
+        "                           the SCORPIO-Gxxx rules\n"
+        "  --roundtrip              serialize each tape to .stap, reload\n"
+        "                           through the verifying loader and\n"
+        "                           demand a byte-identical re-analysis\n"
         "  --list                   list registered kernels and exit\n"
         "  --quiet                  suppress the per-kernel summary\n"
         "  --help                   this text\n";
@@ -107,6 +125,10 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       if (!(V = Value(I)))
         return false;
       Opts.DotDir = V;
+    } else if (Arg == "--graph") {
+      Opts.Graph = true;
+    } else if (Arg == "--roundtrip") {
+      Opts.Roundtrip = true;
     } else if (Arg == "--list") {
       Opts.List = true;
     } else if (Arg == "--quiet") {
@@ -127,10 +149,50 @@ struct KernelRun {
   std::string Name;
   size_t TapeNodes = 0;
   verify::VerifyReport Report;
+  bool RoundtripOk = true;
+  std::string RoundtripError;
 };
 
-/// Records the kernel on its default ranges and runs verifier + linter.
-/// The DOT export (which needs the live tape) happens here too.
+/// Serializes \p A's tape to .stap, reloads it through the verifying
+/// loader, adopts it into a fresh Analysis and re-analyses with the same
+/// options; the two reports must be byte-identical.  On failure
+/// \p Error names the first stage that broke.
+bool roundtripKernel(Analysis &A, const AnalysisResult &Original,
+                     const AnalysisOptions &AOpts, std::string &Error) {
+  std::stringstream Stap(std::ios::in | std::ios::out | std::ios::binary);
+  if (diag::Status S = writeStap(Stap, A.tape(), A.registration()); !S) {
+    Error = "writeStap: " + S.message();
+    return false;
+  }
+  diag::Expected<LoadedTape> Loaded = readStap(Stap);
+  if (!Loaded) {
+    Error = "readStap: " + Loaded.status().message();
+    return false;
+  }
+  // The reloaded analysis nests inside the recording one (Analysis is a
+  // per-thread scope stack), adopts the deserialized tape and must
+  // reproduce the original report bit for bit.
+  Analysis B;
+  if (diag::Status S = B.adopt(std::move(Loaded.value().T),
+                               Loaded.value().Reg);
+      !S) {
+    Error = "adopt: " + S.message();
+    return false;
+  }
+  const AnalysisResult Replayed = B.analyse(AOpts);
+  std::ostringstream J1, J2;
+  Original.writeJson(J1);
+  Replayed.writeJson(J2);
+  if (J1.str() != J2.str()) {
+    Error = "re-analysis of the reloaded tape differs from the original";
+    return false;
+  }
+  return true;
+}
+
+/// Records the kernel on its default ranges and runs verifier + linter
+/// (plus the graph audit and .stap round-trip when requested).  The DOT
+/// export (which needs the live tape) happens here too.
 KernelRun lintKernel(const KernelDescriptor &K, const Options &Opts) {
   KernelRun Run;
   Run.Name = K.Name;
@@ -151,6 +213,22 @@ KernelRun lintKernel(const KernelDescriptor &K, const Options &Opts) {
     Run.Report.merge(verify::lintTape(A.tape(), Ctx));
   }
 
+  if (!Run.Report.hasErrors() && (Opts.Graph || Opts.Roundtrip)) {
+    const AnalysisOptions AOpts; // defaults: CombinedSeed, S4+S5, Delta 1e-3
+    const AnalysisResult R = A.analyse(AOpts);
+    if (Opts.Graph && R.isValid()) {
+      std::vector<double> Sig(A.tape().size());
+      for (size_t I = 0; I != Sig.size(); ++I)
+        Sig[I] = R.significanceOf(static_cast<NodeId>(I));
+      const double Divisor =
+          R.outputSignificance() > 0.0 ? R.outputSignificance() : 1.0;
+      Run.Report.merge(verify::auditGraphPipeline(
+          A.tape(), Sig, A.labels(), A.outputNodes(), AOpts.Delta, Divisor));
+    }
+    if (Opts.Roundtrip)
+      Run.RoundtripOk = roundtripKernel(A, R, AOpts, Run.RoundtripError);
+  }
+
   if (!Opts.DotDir.empty()) {
     const std::string Path = Opts.DotDir + "/" + K.Name + ".dot";
     std::ofstream OS(Path);
@@ -165,54 +243,16 @@ KernelRun lintKernel(const KernelDescriptor &K, const Options &Opts) {
   return Run;
 }
 
-/// Baseline lines "<kernel> <ruleId> <count>", sorted (kernels are
-/// iterated in sorted order and rules in catalog order).
-std::vector<std::string> baselineLines(const std::vector<KernelRun> &Runs) {
-  std::vector<std::string> Lines;
+/// Per-kernel rule-count entries "<kernel> <ruleId> <count>" (kernels
+/// are iterated in sorted order and rules in catalog order).
+std::vector<verify::BaselineEntry>
+baselineEntries(const std::vector<KernelRun> &Runs) {
+  std::vector<verify::BaselineEntry> Entries;
   for (const KernelRun &Run : Runs)
     for (const verify::Rule &R : verify::ruleCatalog())
       if (size_t N = Run.Report.countOf(R.Kind))
-        Lines.push_back(Run.Name + " " + R.Id + " " + std::to_string(N));
-  return Lines;
-}
-
-/// Reads a baseline file, skipping blanks and '#' comments.
-bool readBaseline(const std::string &Path, std::vector<std::string> &Lines) {
-  std::ifstream IS(Path);
-  if (!IS) {
-    std::cerr << "scorpio_lint: cannot read baseline '" << Path << "'\n";
-    return false;
-  }
-  std::string Line;
-  while (std::getline(IS, Line)) {
-    while (!Line.empty() && (Line.back() == '\r' || Line.back() == ' '))
-      Line.pop_back();
-    if (Line.empty() || Line[0] == '#')
-      continue;
-    Lines.push_back(Line);
-  }
-  return true;
-}
-
-/// Diffs current counts against the baseline; reports every line that
-/// appeared or disappeared.  Returns true when they match.
-bool checkBaseline(const std::vector<std::string> &Current,
-                   const std::vector<std::string> &Baseline) {
-  const std::set<std::string> Cur(Current.begin(), Current.end());
-  const std::set<std::string> Base(Baseline.begin(), Baseline.end());
-  bool Ok = true;
-  for (const std::string &L : Cur)
-    if (!Base.count(L)) {
-      std::cerr << "scorpio_lint: new finding not in baseline: " << L << "\n";
-      Ok = false;
-    }
-  for (const std::string &L : Base)
-    if (!Cur.count(L)) {
-      std::cerr << "scorpio_lint: baseline finding no longer produced: " << L
-                << "\n";
-      Ok = false;
-    }
-  return Ok;
+        Entries.push_back({Run.Name, R.Id, N});
+  return Entries;
 }
 
 /// Opens \p Path for writing ("-" = stdout); calls \p F with the stream.
@@ -311,14 +351,37 @@ int main(int Argc, char **Argv) {
       return 2;
   }
 
-  const std::vector<std::string> Current = baselineLines(Runs);
+  const std::vector<verify::BaselineEntry> Current = baselineEntries(Runs);
   if (!Opts.WriteBaselinePath.empty()) {
+    // Regeneration preserves the '# expected:' annotations of the file
+    // being replaced — except stale ones, which are dropped so the
+    // documented rationale always matches a real count line.
+    std::vector<verify::ExpectedFinding> Kept;
+    {
+      verify::Baseline Old;
+      std::string Error;
+      if (verify::readBaselineFile(Opts.WriteBaselinePath, Old, Error))
+        for (const verify::ExpectedFinding &E : Old.Expected)
+          for (const verify::BaselineEntry &C : Current)
+            if (C.Kernel == E.Kernel && C.RuleId == E.RuleId) {
+              Kept.push_back(E);
+              break;
+            }
+    }
     const bool Ok = withOutput(Opts.WriteBaselinePath, [&](std::ostream &OS) {
       OS << "# scorpio_lint baseline: one '<kernel> <ruleId> <count>' per\n"
             "# rule that fires on the kernel's default profiling ranges.\n"
-            "# Regenerate with: scorpio_lint --write-baseline <this file>\n";
-      for (const std::string &L : Current)
-        OS << L << "\n";
+            "# '# expected: <ruleId> <kernel> <reason>' documents why a\n"
+            "# finding is known and accepted (not a suppression: the count\n"
+            "# line must still exist, and a stale annotation fails the\n"
+            "# diff).\n"
+            "# Regenerate with: scorpio_lint --graph --write-baseline "
+            "<this file>\n";
+      for (const verify::ExpectedFinding &E : Kept)
+        OS << "# expected: " << E.RuleId << " " << E.Kernel << " " << E.Reason
+           << "\n";
+      for (const verify::BaselineEntry &E : Current)
+        OS << E.toLine() << "\n";
     });
     if (!Ok)
       return 2;
@@ -330,14 +393,42 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
-  if (!Opts.BaselinePath.empty()) {
-    std::vector<std::string> Baseline;
-    if (!readBaseline(Opts.BaselinePath, Baseline))
+  if (Opts.Roundtrip) {
+    bool AllOk = true;
+    for (const KernelRun &Run : Runs)
+      if (!Run.RoundtripOk) {
+        std::cerr << "scorpio_lint: " << Run.Name
+                  << ": .stap round-trip failed: " << Run.RoundtripError
+                  << "\n";
+        AllOk = false;
+      }
+    if (!AllOk)
       return 2;
-    if (!checkBaseline(Current, Baseline))
+    if (!Opts.Quiet)
+      std::cout << "roundtrip OK (" << Runs.size() << " kernels)\n";
+  }
+
+  if (!Opts.BaselinePath.empty()) {
+    verify::Baseline Base;
+    std::string Error;
+    if (!verify::readBaselineFile(Opts.BaselinePath, Base, Error)) {
+      std::cerr << "scorpio_lint: " << Error << "\n";
+      return 2;
+    }
+    const verify::BaselineDiff Diff = verify::diffBaseline(Current, Base);
+    for (const std::string &L : Diff.NewFindings)
+      std::cerr << "scorpio_lint: new finding not in baseline: " << L << "\n";
+    for (const std::string &L : Diff.Vanished)
+      std::cerr << "scorpio_lint: baseline finding no longer produced: " << L
+                << "\n";
+    for (const std::string &L : Diff.StaleAnnotations)
+      std::cerr << "scorpio_lint: stale '# expected:' annotation: " << L
+                << "\n";
+    if (!Diff.clean())
       return 1;
     if (!Opts.Quiet)
-      std::cout << "baseline OK (" << Baseline.size() << " entries)\n";
+      std::cout << "baseline OK (" << Base.Entries.size() << " entries, "
+                << Base.Expected.size() << " annotations)\n";
   }
   return 0;
 }
