@@ -8,6 +8,10 @@
 #include "verify/GraphVerifier.h"
 #include "verify/TapeVerifier.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
 using namespace scorpio;
 
 namespace {
@@ -40,7 +44,59 @@ verify::VerifyReport verifyShard(Analysis &A, const AnalysisResult &Result,
   return R;
 }
 
+/// Deterministic on-disk name for shard \p Index ("shard_000007.stap"),
+/// shared by run()'s directory transport and tools/scorpio_shardd.
+std::string shardFileName(size_t Index) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "shard_%06zu.stap", Index);
+  return Buf;
+}
+
 } // namespace
+
+TapeMeta scorpio::makeShardMeta(const std::string &Name, uint64_t Index,
+                                const AnalysisOptions &Options) {
+  TapeMeta Meta;
+  Meta.ShardName = Name;
+  Meta.ShardIndex = Index;
+  Meta.HasOptions = true;
+  Meta.OutputMode = static_cast<uint8_t>(Options.Mode);
+  Meta.Metric = static_cast<uint8_t>(Options.SignificanceMetric);
+  Meta.BatchWidth = Options.BatchWidth;
+  Meta.Simplify = Options.Simplify;
+  Meta.BuildGraph = Options.BuildGraph;
+  Meta.VerifyTape = Options.VerifyTape;
+  Meta.Delta = Options.Delta;
+  Meta.SignificanceCap = Options.SignificanceCap;
+  return Meta;
+}
+
+AnalysisOptions scorpio::shardMetaOptions(const TapeMeta &Meta) {
+  AnalysisOptions Options;
+  Options.Mode = static_cast<AnalysisOptions::OutputMode>(Meta.OutputMode);
+  Options.SignificanceMetric =
+      static_cast<AnalysisOptions::Metric>(Meta.Metric);
+  Options.BatchWidth = Meta.BatchWidth;
+  Options.Simplify = Meta.Simplify;
+  Options.BuildGraph = Meta.BuildGraph;
+  Options.VerifyTape = Meta.VerifyTape;
+  Options.Delta = Meta.Delta;
+  Options.SignificanceCap = Meta.SignificanceCap;
+  return Options;
+}
+
+bool scorpio::shardMetaMatches(const TapeMeta &Meta,
+                               const AnalysisOptions &Options) {
+  return Meta.HasOptions &&
+         Meta.OutputMode == static_cast<uint8_t>(Options.Mode) &&
+         Meta.Metric == static_cast<uint8_t>(Options.SignificanceMetric) &&
+         Meta.BatchWidth == Options.BatchWidth &&
+         Meta.Simplify == Options.Simplify &&
+         Meta.BuildGraph == Options.BuildGraph &&
+         Meta.VerifyTape == Options.VerifyTape &&
+         Meta.Delta == Options.Delta &&
+         Meta.SignificanceCap == Options.SignificanceCap;
+}
 
 const VariableSignificance *
 ParallelAnalysisResult::find(const std::string &PrefixedName) const {
@@ -86,40 +142,70 @@ void ParallelAnalysis::addShard(std::string Name,
       Shard{std::move(Name), std::move(Record), TapeSizeHint});
 }
 
-ParallelAnalysisResult ParallelAnalysis::run(const AnalysisOptions &Options,
-                                             unsigned NumThreads,
-                                             ShardVerification Verify) {
-  ParallelAnalysisResult R;
-  R.Shards.resize(Shards.size());
-
-  {
-    rt::ThreadPool Pool(NumThreads);
-    for (size_t I = 0; I != Shards.size(); ++I) {
-      const Shard &S = Shards[I];
-      ShardResult &Slot = R.Shards[I];
-      Pool.submit([&S, &Slot, &Options, Verify, I] {
-        // Tapes and the current-Analysis pointer are thread-local, so
-        // each worker records in complete isolation; the shard's index
-        // in the result vector is fixed at registration, making the
-        // merge independent of scheduling.
-        Analysis A;
-        if (S.TapeSizeHint != 0)
-          A.tape().reserve(S.TapeSizeHint);
-        S.Record();
-        Slot.Name = S.Name;
-        Slot.Index = I;
-        Slot.Result = A.analyse(Options);
-        // Re-verification happens worker-side, while the shard's tape
-        // is still alive; only the report survives into the merge.
-        if (Verify != ShardVerification::Off)
-          Slot.Verification = verifyShard(A, Slot.Result, Options, Verify);
-      });
-    }
-    Pool.waitIdle();
+void ParallelAnalysis::analyseWorker(Analysis &A, ShardResult &Slot,
+                                     const AnalysisOptions &Options,
+                                     ShardVerification Verify) {
+  if (A.numOutputs() == 0) {
+    // A shard whose kernel registered no outputs contributes nothing to
+    // the merge — that is a valid-but-empty result, not an analysis
+    // failure.  Real interval divergences the kernel hit while
+    // recording still surface (and still invalidate), and a diagnostic
+    // notes the empty shard without poisoning the merged report the way
+    // analyse()'s "no registered output" error divergence would.
+    SCORPIO_CHECK(false, diag::ErrC::EmptyInput,
+                  "ParallelAnalysis: shard registered no outputs; "
+                  "producing an empty result");
+    AnalysisResult Empty;
+    for (const std::string &D : A.tape().divergences())
+      Empty.Divergences.push_back(D);
+    Slot.Result = std::move(Empty);
+  } else {
+    Slot.Result = A.analyse(Options);
   }
+  // Re-verification happens while the shard's tape is still alive; only
+  // the report survives into the merge.
+  if (Verify != ShardVerification::Off)
+    Slot.Verification = verifyShard(A, Slot.Result, Options, Verify);
+}
 
-  // Deterministic merge: strictly shard-registration order.
-  R.Verified = Verify != ShardVerification::Off;
+void ParallelAnalysis::transportFailure(ShardResult &Slot,
+                                        const diag::Status &S) {
+  AnalysisResult Failed;
+  Failed.Divergences.push_back("transport: " + S.message());
+  Slot.Result = std::move(Failed);
+  Slot.Verification = verify::VerifyReport();
+}
+
+ShardResult ParallelAnalysis::analyseShardTape(LoadedTape Loaded,
+                                               const AnalysisOptions &Options,
+                                               ShardVerification Verify) {
+  ShardResult SR;
+  if (Loaded.Meta) {
+    SR.Name = Loaded.Meta->ShardName;
+    SR.Index = static_cast<size_t>(Loaded.Meta->ShardIndex);
+  }
+  Analysis A;
+  const TapeRegistration Reg = std::move(Loaded.Reg);
+  if (diag::Status S = A.adopt(std::move(Loaded.T), Reg); !S.isOk()) {
+    transportFailure(SR, S);
+    return SR;
+  }
+  analyseWorker(A, SR, Options, Verify);
+  return SR;
+}
+
+ParallelAnalysisResult
+ParallelAnalysis::mergeShards(std::vector<ShardResult> Shards,
+                              bool Verified) {
+  // Deterministic merge: strictly shard-index order, whatever order the
+  // caller collected the results in (completion order, directory order).
+  std::stable_sort(Shards.begin(), Shards.end(),
+                   [](const ShardResult &A, const ShardResult &B) {
+                     return A.Index < B.Index;
+                   });
+  ParallelAnalysisResult R;
+  R.Shards = std::move(Shards);
+  R.Verified = Verified;
   for (const ShardResult &S : R.Shards) {
     for (const std::string &D : S.Result.divergences())
       R.Divergences.push_back(S.Name + ": " + D);
@@ -135,4 +221,89 @@ ParallelAnalysisResult ParallelAnalysis::run(const AnalysisOptions &Options,
       R.Verification.merge(S.Verification, S.Name + ": ");
   }
   return R;
+}
+
+ParallelAnalysisResult ParallelAnalysis::run(const AnalysisOptions &Options,
+                                             unsigned NumThreads,
+                                             ShardVerification Verify,
+                                             const TransportOptions &Transport) {
+  std::vector<ShardResult> Results(Shards.size());
+  const bool Stap = Transport.Mode == ShardTransport::Stap;
+  // Stap transport: stage 1 leaves one serialized blob (or file path)
+  // per shard; stage 2 reloads each through the readStap trust boundary.
+  std::vector<std::string> Blobs(Stap ? Shards.size() : 0);
+  // One byte per shard (vector<bool> would pack bits and race).
+  std::vector<unsigned char> Failed(Stap ? Shards.size() : 0, 0);
+
+  {
+    rt::ThreadPool Pool(NumThreads);
+    for (size_t I = 0; I != Shards.size(); ++I) {
+      Pool.submit([&, I] {
+        // Tapes and the current-Analysis pointer are thread-local, so
+        // each worker records in complete isolation; the shard's index
+        // in the result vector is fixed at registration, making the
+        // merge independent of scheduling.
+        const Shard &S = Shards[I];
+        ShardResult &Slot = Results[I];
+        Analysis A;
+        if (S.TapeSizeHint != 0)
+          A.tape().reserve(S.TapeSizeHint);
+        S.Record();
+        Slot.Name = S.Name;
+        Slot.Index = I;
+        if (!Stap) {
+          analyseWorker(A, Slot, Options, Verify);
+          return;
+        }
+        const TapeMeta Meta = makeShardMeta(S.Name, I, Options);
+        StapWriteOptions WOpts;
+        WOpts.Compress = Transport.Compress;
+        diag::Status St = diag::Status::ok();
+        if (Transport.Directory.empty()) {
+          std::ostringstream OS(std::ios::binary);
+          St = writeStap(OS, A.tape(), A.registration(), {}, WOpts, &Meta);
+          Blobs[I] = OS.str();
+        } else {
+          Blobs[I] = Transport.Directory + "/" + shardFileName(I);
+          St = saveStap(Blobs[I], A.tape(), A.registration(), {}, WOpts,
+                        &Meta);
+        }
+        if (!St.isOk()) {
+          transportFailure(Slot, St);
+          Failed[I] = 1;
+        }
+      });
+    }
+    Pool.waitIdle();
+
+    if (Stap) {
+      for (size_t I = 0; I != Shards.size(); ++I) {
+        if (Failed[I])
+          continue;
+        Pool.submit([&, I] {
+          ShardResult &Slot = Results[I];
+          diag::Expected<LoadedTape> Loaded =
+              Transport.Directory.empty()
+                  ? [&] {
+                      std::istringstream IS(Blobs[I], std::ios::binary);
+                      return readStap(IS);
+                    }()
+                  : loadStap(Blobs[I]);
+          if (!Loaded.hasValue()) {
+            transportFailure(Slot, Loaded.status());
+            return;
+          }
+          ShardResult Re =
+              analyseShardTape(std::move(Loaded.value()), Options, Verify);
+          // Name/Index stay as registered; the tape's META must agree
+          // (it was stamped from the same registration one stage ago).
+          Slot.Result = std::move(Re.Result);
+          Slot.Verification = std::move(Re.Verification);
+        });
+      }
+      Pool.waitIdle();
+    }
+  }
+
+  return mergeShards(std::move(Results), Verify != ShardVerification::Off);
 }

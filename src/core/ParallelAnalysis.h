@@ -24,6 +24,7 @@
 #define SCORPIO_CORE_PARALLELANALYSIS_H
 
 #include "core/Analysis.h"
+#include "tape/TapeIO.h"
 
 #include <functional>
 #include <string>
@@ -46,6 +47,47 @@ enum class ShardVerification : uint8_t {
   /// batch-vs-dedicated sweep bit-identity replay.
   Full,
 };
+
+/// How a shard's recorded tape travels from its recording worker to the
+/// analysing merge.
+enum class ShardTransport : uint8_t {
+  /// The tape never leaves the worker's Analysis (the default): record,
+  /// analyse and verify all happen on the same live object.
+  InProcess,
+  /// Cross-process rehearsal over the wire format: each worker
+  /// serializes its recorded shard to a `.stap` v2 blob (in memory, or
+  /// one file per shard when a directory is given), and a second stage
+  /// deserializes each blob through the full `readStap` trust boundary
+  /// — checksum, codec caps, `verifyStructure` acceptance gate — before
+  /// adopting and analysing it.  The merged report is byte-identical to
+  /// the InProcess path; the blobs/files are exactly what a remote
+  /// recorder would ship (see tools/scorpio_shardd + scorpio_merge).
+  Stap,
+};
+
+/// Transport knobs for ParallelAnalysis::run().
+struct TransportOptions {
+  ShardTransport Mode = ShardTransport::InProcess;
+  /// Stap mode: write v2 per-section compression (varint/RLE).
+  bool Compress = true;
+  /// Stap mode: when non-empty, shard tapes are written to
+  /// "<Directory>/shard_<index>.stap" (the directory must exist) and
+  /// read back from disk; when empty, blobs stay in memory.
+  std::string Directory;
+};
+
+/// Builds the META payload run() stamps into a shard tape: name, index
+/// and the recording AnalysisOptions, flattened into TapeMeta fields.
+TapeMeta makeShardMeta(const std::string &Name, uint64_t Index,
+                       const AnalysisOptions &Options);
+
+/// Reconstructs the recording AnalysisOptions from a shard tape's META.
+AnalysisOptions shardMetaOptions(const TapeMeta &Meta);
+
+/// True when \p Meta carries options and they match \p Options exactly —
+/// the merge-side guard against mixing shards recorded under different
+/// analysis configurations.
+bool shardMetaMatches(const TapeMeta &Meta, const AnalysisOptions &Options);
 
 /// The result of one shard, tagged with its registration-order index and
 /// user-supplied name.
@@ -137,9 +179,30 @@ public:
   /// own sub-tape/sub-graph right after analysing it, and the merge
   /// combines the per-shard reports (messages prefixed with the shard
   /// name) into ParallelAnalysisResult::verification().
+  /// \p Transport selects how shard tapes reach the analysing stage; in
+  /// Stap mode a shard whose serialization or reload fails becomes an
+  /// invalid ShardResult carrying a "transport: ..." divergence instead
+  /// of poisoning the run.
   ParallelAnalysisResult run(const AnalysisOptions &Options = {},
                              unsigned NumThreads = 0,
-                             ShardVerification Verify = ShardVerification::Off);
+                             ShardVerification Verify = ShardVerification::Off,
+                             const TransportOptions &Transport = {});
+
+  /// Analyses one deserialized shard tape exactly as the Stap-transport
+  /// merge does: adopt into a fresh Analysis, analyse, optionally
+  /// re-verify.  Name/Index come from the tape's META when present.
+  /// Adoption failure yields an invalid result with a "transport: ..."
+  /// divergence.  This is the seam tools/scorpio_merge drives.
+  static ShardResult analyseShardTape(LoadedTape Loaded,
+                                      const AnalysisOptions &Options = {},
+                                      ShardVerification Verify =
+                                          ShardVerification::Off);
+
+  /// Deterministically merges per-shard results (stably re-sorted by
+  /// Index) into a ParallelAnalysisResult — the exact merge run()
+  /// performs, exposed so an out-of-process driver can reproduce it.
+  static ParallelAnalysisResult mergeShards(std::vector<ShardResult> Shards,
+                                            bool Verified = false);
 
 private:
   struct Shard {
@@ -148,6 +211,14 @@ private:
     size_t TapeSizeHint = 0;
   };
   std::vector<Shard> Shards;
+
+  /// Shared worker tail: analyse (or produce a valid-but-empty result
+  /// for a shard with no registered outputs) and optionally re-verify.
+  static void analyseWorker(Analysis &A, ShardResult &Slot,
+                            const AnalysisOptions &Options,
+                            ShardVerification Verify);
+  /// Marks \p Slot invalid with a shard-local "transport: ..." divergence.
+  static void transportFailure(ShardResult &Slot, const diag::Status &S);
 };
 
 } // namespace scorpio

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <type_traits>
@@ -28,10 +29,18 @@ constexpr uint32_t TagVals = fourCC('V', 'A', 'L', 'S');
 constexpr uint32_t TagEdge = fourCC('E', 'D', 'G', 'E');
 constexpr uint32_t TagInpt = fourCC('I', 'N', 'P', 'T');
 constexpr uint32_t TagOutp = fourCC('O', 'U', 'T', 'P');
+constexpr uint32_t TagMeta = fourCC('M', 'E', 'T', 'A');
 constexpr uint32_t TagLabl = fourCC('L', 'A', 'B', 'L');
 constexpr uint32_t TagVars = fourCC('V', 'A', 'R', 'S');
 constexpr uint32_t TagDivg = fourCC('D', 'I', 'V', 'G');
 constexpr uint32_t TagSig = fourCC('S', 'I', 'G', ' ');
+
+/// Per-node strides of the fixed-stride sections and the per-argument
+/// stride of EDGE; the loader pins attacker-controlled counts against
+/// these before allocating.
+constexpr uint64_t OpsStride = 5;   // kind u8 + aux exponent i32
+constexpr uint64_t ValsStride = 16; // lower/upper doubles
+constexpr uint64_t EdgeArgStride = 20; // NodeId i32 + partial lo/hi doubles
 
 std::string tagName(uint32_t Tag) {
   std::string S(4, ' ');
@@ -107,6 +116,291 @@ private:
   bool Ok = true;
 };
 
+//===----------------------------------------------------------------------===//
+// v2 section codecs
+//===----------------------------------------------------------------------===//
+
+/// LEB128-style base-128 varint.
+void putVarint(std::string &Out, uint64_t V) {
+  while (V >= 0x80) {
+    Out.push_back(static_cast<char>((V & 0x7F) | 0x80));
+    V >>= 7;
+  }
+  Out.push_back(static_cast<char>(V));
+}
+
+bool getVarint(const char *Data, size_t Size, size_t &Pos, uint64_t &V) {
+  V = 0;
+  for (unsigned Shift = 0; Shift < 64 && Pos < Size; Shift += 7) {
+    const uint8_t B = static_cast<uint8_t>(Data[Pos++]);
+    V |= static_cast<uint64_t>(B & 0x7F) << Shift;
+    if (!(B & 0x80))
+      return true;
+  }
+  return false;
+}
+
+uint64_t zigzag(int64_t V) {
+  return (static_cast<uint64_t>(V) << 1) ^ static_cast<uint64_t>(V >> 63);
+}
+int64_t unzigzag(uint64_t V) {
+  return static_cast<int64_t>(V >> 1) ^ -static_cast<int64_t>(V & 1);
+}
+
+/// RLE token stream: a control byte C < 0x80 copies the next C+1
+/// literal bytes; C >= 0x80 repeats the next byte (C - 0x80) + 3 times
+/// (runs of 3..130).  Worst-case expansion of the *decoder* is 65x (a
+/// 2-byte repeat token yields at most 130 bytes), which bounds the
+/// allocation a hostile stored size can demand.
+constexpr uint64_t RleMaxExpansion = 65;
+
+std::string rleCompress(const std::string &Raw) {
+  std::string Out;
+  const size_t N = Raw.size();
+  size_t I = 0;
+  while (I < N) {
+    size_t Run = 1;
+    while (I + Run < N && Raw[I + Run] == Raw[I] && Run < 130)
+      ++Run;
+    if (Run >= 3) {
+      Out.push_back(static_cast<char>(0x80 + (Run - 3)));
+      Out.push_back(Raw[I]);
+      I += Run;
+      continue;
+    }
+    const size_t Start = I;
+    size_t Lit = 0;
+    while (I < N && Lit < 128) {
+      if (I + 2 < N && Raw[I + 1] == Raw[I] && Raw[I + 2] == Raw[I])
+        break;
+      ++I;
+      ++Lit;
+    }
+    Out.push_back(static_cast<char>(Lit - 1));
+    Out.append(Raw, Start, Lit);
+  }
+  return Out;
+}
+
+bool rleDecompress(const char *Data, size_t Size, uint64_t RawSize,
+                   std::string &Out) {
+  Out.clear();
+  Out.reserve(RawSize);
+  size_t I = 0;
+  while (I < Size) {
+    const uint8_t C = static_cast<uint8_t>(Data[I++]);
+    if (C < 0x80) {
+      const size_t Lit = static_cast<size_t>(C) + 1;
+      if (I + Lit > Size || Out.size() + Lit > RawSize)
+        return false;
+      Out.append(Data + I, Lit);
+      I += Lit;
+    } else {
+      if (I >= Size)
+        return false;
+      const size_t Rep = static_cast<size_t>(C - 0x80) + 3;
+      if (Out.size() + Rep > RawSize)
+        return false;
+      Out.append(Rep, Data[I++]);
+    }
+  }
+  return Out.size() == RawSize;
+}
+
+/// OPS varint layout: [NumNodes kind bytes][NumNodes zigzag varints of
+/// the aux exponent].  Grouping the kinds lets the RLE stage exploit
+/// op-kind repetition that the interleaved raw stride hides.
+std::string varintEncodeOps(const std::string &Raw, size_t NumNodes) {
+  std::string Out;
+  Out.reserve(NumNodes * 2);
+  for (size_t I = 0; I != NumNodes; ++I)
+    Out.push_back(Raw[I * OpsStride]);
+  for (size_t I = 0; I != NumNodes; ++I) {
+    int32_t Aux = 0;
+    std::memcpy(&Aux, Raw.data() + I * OpsStride + 1, 4);
+    putVarint(Out, zigzag(Aux));
+  }
+  return Out;
+}
+
+bool varintDecodeOps(const char *Data, size_t Size, uint64_t NumNodes,
+                     std::string &Out) {
+  // >= 1 kind byte + >= 1 varint byte per node: rejecting here pins the
+  // 5*NumNodes allocation below against the real encoded size.
+  if (Size < 2 * NumNodes)
+    return false;
+  Out.assign(NumNodes * OpsStride, '\0');
+  size_t Pos = NumNodes;
+  for (size_t I = 0; I != NumNodes; ++I) {
+    Out[I * OpsStride] = Data[I];
+    uint64_t Z = 0;
+    if (!getVarint(Data, Size, Pos, Z))
+      return false;
+    const int64_t V = unzigzag(Z);
+    if (V < std::numeric_limits<int32_t>::min() ||
+        V > std::numeric_limits<int32_t>::max())
+      return false;
+    const int32_t Aux = static_cast<int32_t>(V);
+    std::memcpy(Out.data() + I * OpsStride + 1, &Aux, 4);
+  }
+  return Pos == Size;
+}
+
+/// EDGE varint layout: [NumNodes arg-count bytes][one zigzag varint per
+/// argument: consumer index minus argument id (small positive numbers
+/// for the back-references every well-formed tape consists of)][raw
+/// partial-bound doubles, 16 bytes per argument].
+std::string varintEncodeEdge(const std::string &Raw, size_t NumNodes) {
+  std::string Counts, Deltas, Partials;
+  Counts.reserve(NumNodes);
+  size_t Pos = 0;
+  for (size_t I = 0; I != NumNodes; ++I) {
+    const uint8_t NumArgs = static_cast<uint8_t>(Raw[Pos++]);
+    Counts.push_back(static_cast<char>(NumArgs));
+    const unsigned Stored = NumArgs < 2 ? NumArgs : 2;
+    for (unsigned A = 0; A != Stored; ++A) {
+      int32_t Arg = 0;
+      std::memcpy(&Arg, Raw.data() + Pos, 4);
+      Pos += 4;
+      putVarint(Deltas, zigzag(static_cast<int64_t>(I) - Arg));
+      Partials.append(Raw, Pos, 16);
+      Pos += 16;
+    }
+  }
+  return Counts + Deltas + Partials;
+}
+
+bool varintDecodeEdge(const char *Data, size_t Size, uint64_t NumNodes,
+                      std::string &Out) {
+  if (Size < NumNodes) // one arg-count byte per node at minimum
+    return false;
+  uint64_t TotalArgs = 0;
+  for (size_t I = 0; I != NumNodes; ++I) {
+    const uint8_t C = static_cast<uint8_t>(Data[I]);
+    TotalArgs += C < 2 ? C : 2;
+  }
+  std::vector<int32_t> Args;
+  Args.reserve(TotalArgs);
+  size_t Pos = NumNodes;
+  for (size_t I = 0; I != NumNodes; ++I) {
+    const uint8_t C = static_cast<uint8_t>(Data[I]);
+    const unsigned Stored = C < 2 ? C : 2;
+    for (unsigned A = 0; A != Stored; ++A) {
+      uint64_t Z = 0;
+      if (!getVarint(Data, Size, Pos, Z))
+        return false;
+      const int64_t Arg = static_cast<int64_t>(I) - unzigzag(Z);
+      if (Arg < std::numeric_limits<int32_t>::min() ||
+          Arg > std::numeric_limits<int32_t>::max())
+        return false;
+      Args.push_back(static_cast<int32_t>(Arg));
+    }
+  }
+  if (Size - Pos != TotalArgs * 16)
+    return false;
+  Out.clear();
+  Out.reserve(NumNodes + TotalArgs * EdgeArgStride);
+  size_t AI = 0;
+  for (size_t I = 0; I != NumNodes; ++I) {
+    const uint8_t C = static_cast<uint8_t>(Data[I]);
+    Out.push_back(static_cast<char>(C));
+    const unsigned Stored = C < 2 ? C : 2;
+    for (unsigned A = 0; A != Stored; ++A, ++AI) {
+      Out.append(reinterpret_cast<const char *>(&Args[AI]), 4);
+      Out.append(Data + Pos + AI * 16, 16);
+    }
+  }
+  return true;
+}
+
+struct SectionOut {
+  uint32_t Tag;
+  uint32_t Flags = 0;
+  std::string Payload;
+};
+
+/// Stores \p S in whichever admissible encoding is smallest.  Candidate
+/// order (raw, varint, rle, varint+rle) breaks ties deterministically
+/// toward the simpler encoding; a section only gains a flag when that
+/// strictly shrinks it.
+void compressSection(SectionOut &S, size_t NumNodes) {
+  const bool VarintOk = S.Tag == TagOps || S.Tag == TagEdge;
+  std::string Varint;
+  if (VarintOk)
+    Varint = S.Tag == TagOps ? varintEncodeOps(S.Payload, NumNodes)
+                             : varintEncodeEdge(S.Payload, NumNodes);
+  const auto Rle = [](const std::string &In) {
+    std::string Stored;
+    const uint64_t RawSize = In.size();
+    Stored.append(reinterpret_cast<const char *>(&RawSize), 8);
+    Stored += rleCompress(In);
+    return Stored;
+  };
+  std::string Best = S.Payload;
+  uint32_t BestFlags = 0;
+  const auto Consider = [&](uint32_t Flags, std::string Cand) {
+    if (Cand.size() < Best.size()) {
+      Best = std::move(Cand);
+      BestFlags = Flags;
+    }
+  };
+  if (VarintOk)
+    Consider(StapSectionVarint, Varint);
+  Consider(StapSectionRle, Rle(S.Payload));
+  if (VarintOk)
+    Consider(StapSectionVarint | StapSectionRle, Rle(Varint));
+  S.Payload = std::move(Best);
+  S.Flags = BestFlags;
+}
+
+/// Reverses the stored-form encoding of one section into its raw (v1
+/// wire layout) payload.  All size checks run before the corresponding
+/// allocation; on any codec violation the empty Expected carries the
+/// reason.
+Status stapError(std::string Message) {
+  return Status::error(ErrC::InvalidArgument, "stap: " + std::move(Message));
+}
+
+Expected<std::string> decodeSectionPayload(uint32_t Tag, uint32_t Flags,
+                                           const char *Data, size_t Size,
+                                           uint64_t NumNodes) {
+  std::string Stage(Data, Size);
+  if (Flags & StapSectionRle) {
+    if (Size < 8)
+      return stapError("section '" + tagName(Tag) +
+                       "': RLE payload shorter than its size header");
+    uint64_t RawSize = 0;
+    std::memcpy(&RawSize, Data, 8);
+    const uint64_t TokenBytes = Size - 8;
+    // The decoder can emit at most RleMaxExpansion bytes per stored
+    // byte; a stored size above that bound is a decompression bomb.
+    if (RawSize > TokenBytes * RleMaxExpansion)
+      return stapError("section '" + tagName(Tag) +
+                       "': RLE size exceeds the codec expansion bound");
+    std::string Out;
+    if (!rleDecompress(Data + 8, TokenBytes, RawSize, Out))
+      return stapError("section '" + tagName(Tag) +
+                       "': malformed RLE token stream");
+    Stage = std::move(Out);
+  }
+  if (Flags & StapSectionVarint) {
+    std::string Out;
+    const bool Ok =
+        Tag == TagOps
+            ? varintDecodeOps(Stage.data(), Stage.size(), NumNodes, Out)
+            : varintDecodeEdge(Stage.data(), Stage.size(), NumNodes, Out);
+    if (!Ok)
+      return stapError("section '" + tagName(Tag) +
+                       "': malformed varint encoding");
+    Stage = std::move(Out);
+  }
+  return Expected<std::string>(std::move(Stage));
+}
+
+//===----------------------------------------------------------------------===//
+// Raw payload builders
+//===----------------------------------------------------------------------===//
+
 std::string opsPayload(const verify::RawTape &Raw) {
   ByteWriter W;
   for (const verify::RawNode &N : Raw.Nodes) {
@@ -155,41 +449,65 @@ void putNamedIds(ByteWriter &W,
   }
 }
 
-struct SectionOut {
-  uint32_t Tag;
-  std::string Payload;
-};
+std::string metaPayload(const TapeMeta &Meta) {
+  ByteWriter W;
+  W.put(stapSchemaHash()); // always the writing build's hash
+  W.put(Meta.ShardIndex);
+  W.putString(Meta.ShardName);
+  W.put(static_cast<uint8_t>(Meta.HasOptions ? 1 : 0));
+  W.put(Meta.OutputMode);
+  W.put(Meta.Metric);
+  W.put(Meta.BatchWidth);
+  W.put(static_cast<uint8_t>(Meta.Simplify ? 1 : 0));
+  W.put(static_cast<uint8_t>(Meta.BuildGraph ? 1 : 0));
+  W.put(static_cast<uint8_t>(Meta.VerifyTape ? 1 : 0));
+  W.put(Meta.Delta);
+  W.put(Meta.SignificanceCap);
+  return W.bytes();
+}
 
 Status writeSections(std::ostream &OS, size_t NumNodes,
-                     const std::vector<SectionOut> &Sections) {
-  uint64_t Checksum = Fnv1aBasis;
-  for (const SectionOut &S : Sections)
-    Checksum = fnv1a64(S.Payload.data(), S.Payload.size(), Checksum);
-
+                     std::vector<SectionOut> &Sections,
+                     const StapWriteOptions &Options) {
   ByteWriter Header;
   Header.put(Magic);
-  Header.put(StapVersion);
+  Header.put(Options.Version);
   Header.put(static_cast<uint64_t>(NumNodes));
   Header.put(static_cast<uint64_t>(Sections.size()));
-  Header.put(Checksum);
+  const size_t ChecksumAt = Header.bytes().size();
+  Header.put(static_cast<uint64_t>(0)); // patched below
 
-  // Section table: tag, pad, absolute offset, size.
+  // Section table: tag, flags (v1: reserved zero), absolute offset,
+  // stored size.  Layout is strictly sequential — the reader enforces
+  // it, so the writer has no freedom here.
   uint64_t Offset = Header.bytes().size() + Sections.size() * 24;
   ByteWriter Table;
   for (const SectionOut &S : Sections) {
     Table.put(S.Tag);
-    Table.put(static_cast<uint32_t>(0));
+    Table.put(S.Flags);
     Table.put(Offset);
     Table.put(static_cast<uint64_t>(S.Payload.size()));
     Offset += S.Payload.size();
   }
 
-  OS.write(Header.bytes().data(),
-           static_cast<std::streamsize>(Header.bytes().size()));
-  OS.write(Table.bytes().data(),
-           static_cast<std::streamsize>(Table.bytes().size()));
+  std::string File = Header.bytes();
+  File += Table.bytes();
   for (const SectionOut &S : Sections)
-    OS.write(S.Payload.data(), static_cast<std::streamsize>(S.Payload.size()));
+    File += S.Payload;
+
+  // v1 hashes the concatenated payloads only; v2 hashes the whole file
+  // with the checksum field taken as zero, so header and section-table
+  // bytes have no blind spot the payload hash cannot see.
+  uint64_t Checksum = Fnv1aBasis;
+  if (Options.Version >= 2)
+    Checksum = fnv1a64(File.data(), File.size(), Fnv1aBasis);
+  else
+    for (const SectionOut &S : Sections)
+      Checksum = fnv1a64(S.Payload.data(), S.Payload.size(), Checksum);
+  std::memcpy(File.data() + ChecksumAt, &Checksum, 8);
+
+  OS.write(File.data(), static_cast<std::streamsize>(File.size()));
+  OS.flush();
   SCORPIO_REQUIRE(OS.good(), ErrC::InvalidState,
                   "writeStap: output stream write failed",
                   Status::error(ErrC::InvalidState,
@@ -197,25 +515,40 @@ Status writeSections(std::ostream &OS, size_t NumNodes,
   return Status::ok();
 }
 
-Status stapError(std::string Message) {
-  return Status::error(ErrC::InvalidArgument, "stap: " + std::move(Message));
-}
-
 } // namespace
+
+uint64_t scorpio::stapSchemaHash() {
+  const std::string Schema =
+      "stap|ops:" + std::to_string(OpsStride) +
+      "|vals:" + std::to_string(ValsStride) +
+      "|edge:1+" + std::to_string(EdgeArgStride) +
+      "*arg|id:i32|opkinds:" + std::to_string(NumOpKinds);
+  return fnv1a64(Schema.data(), Schema.size(), Fnv1aBasis);
+}
 
 Status scorpio::writeStap(std::ostream &OS, const verify::RawTape &Raw,
                           const TapeRegistration &Reg,
                           std::span<const double> Significance,
-                          std::span<const std::string> Divergences) {
+                          std::span<const std::string> Divergences,
+                          const StapWriteOptions &Options,
+                          const TapeMeta *Meta) {
   if (!Significance.empty() && Significance.size() != Raw.Nodes.size())
     return stapError("significance vector size does not match node count");
+  if (Options.Version < StapOldestReadableVersion ||
+      Options.Version > StapVersion)
+    return stapError("cannot write format version " +
+                     std::to_string(Options.Version));
+  if (Options.Version < 2 && (Options.Compress || Meta))
+    return stapError("compression and META require format version 2");
 
   std::vector<SectionOut> Sections;
-  Sections.push_back({TagOps, opsPayload(Raw)});
-  Sections.push_back({TagVals, valsPayload(Raw)});
-  Sections.push_back({TagEdge, edgePayload(Raw)});
-  Sections.push_back({TagInpt, idListPayload(Raw.Inputs)});
-  Sections.push_back({TagOutp, idListPayload(Raw.Outputs)});
+  Sections.push_back({TagOps, 0, opsPayload(Raw)});
+  Sections.push_back({TagVals, 0, valsPayload(Raw)});
+  Sections.push_back({TagEdge, 0, edgePayload(Raw)});
+  Sections.push_back({TagInpt, 0, idListPayload(Raw.Inputs)});
+  Sections.push_back({TagOutp, 0, idListPayload(Raw.Outputs)});
+  if (Meta)
+    Sections.push_back({TagMeta, 0, metaPayload(*Meta)});
   if (!Reg.Labels.empty()) {
     ByteWriter W;
     W.put(static_cast<uint64_t>(Reg.Labels.size()));
@@ -223,7 +556,7 @@ Status scorpio::writeStap(std::ostream &OS, const verify::RawTape &Raw,
       W.put(Id);
       W.putString(Name);
     }
-    Sections.push_back({TagLabl, W.bytes()});
+    Sections.push_back({TagLabl, 0, W.bytes()});
   }
   if (!Reg.InputVars.empty() || !Reg.IntermediateVars.empty() ||
       !Reg.OutputVars.empty()) {
@@ -231,39 +564,56 @@ Status scorpio::writeStap(std::ostream &OS, const verify::RawTape &Raw,
     putNamedIds(W, Reg.InputVars);
     putNamedIds(W, Reg.IntermediateVars);
     putNamedIds(W, Reg.OutputVars);
-    Sections.push_back({TagVars, W.bytes()});
+    Sections.push_back({TagVars, 0, W.bytes()});
   }
   if (!Divergences.empty()) {
     ByteWriter W;
     W.put(static_cast<uint64_t>(Divergences.size()));
     for (const std::string &D : Divergences)
       W.putString(D);
-    Sections.push_back({TagDivg, W.bytes()});
+    Sections.push_back({TagDivg, 0, W.bytes()});
   }
   if (!Significance.empty()) {
     ByteWriter W;
     W.put(static_cast<uint64_t>(Significance.size()));
     for (double S : Significance)
       W.put(S);
-    Sections.push_back({TagSig, W.bytes()});
+    Sections.push_back({TagSig, 0, W.bytes()});
   }
-  return writeSections(OS, Raw.Nodes.size(), Sections);
+  if (Options.Compress)
+    for (SectionOut &S : Sections)
+      compressSection(S, Raw.Nodes.size());
+  return writeSections(OS, Raw.Nodes.size(), Sections, Options);
 }
 
 Status scorpio::writeStap(std::ostream &OS, const Tape &T,
                           const TapeRegistration &Reg,
-                          std::span<const double> Significance) {
+                          std::span<const double> Significance,
+                          const StapWriteOptions &Options,
+                          const TapeMeta *Meta) {
   const verify::RawTape Raw = verify::extractRaw(T, Reg.Outputs);
-  return writeStap(OS, Raw, Reg, Significance, T.divergences());
+  return writeStap(OS, Raw, Reg, Significance, T.divergences(), Options,
+                   Meta);
 }
 
 Status scorpio::saveStap(const std::string &Path, const Tape &T,
                          const TapeRegistration &Reg,
-                         std::span<const double> Significance) {
-  std::ofstream OS(Path, std::ios::binary);
+                         std::span<const double> Significance,
+                         const StapWriteOptions &Options,
+                         const TapeMeta *Meta) {
+  std::ofstream OS(Path, std::ios::binary | std::ios::trunc);
   if (!OS)
     return stapError("cannot open '" + Path + "' for writing");
-  return writeStap(OS, T, Reg, Significance);
+  if (Status S = writeStap(OS, T, Reg, Significance, Options, Meta); !S)
+    return S;
+  // writeStap flushed; close() surfaces any failure the OS deferred
+  // (disk full, quota, I/O error) instead of losing it in the
+  // destructor — a .stap that saveStap blessed must be complete.
+  OS.close();
+  if (OS.fail())
+    return stapError("write to '" + Path +
+                     "' failed on flush/close (disk full?)");
+  return Status::ok();
 }
 
 Expected<LoadedTape> scorpio::readStap(std::istream &IS) {
@@ -279,7 +629,7 @@ Expected<LoadedTape> scorpio::readStap(std::istream &IS) {
     return stapError("truncated header");
   Cursor H(File.data() + 4, HeaderSize - 4);
   const uint32_t Version = H.get<uint32_t>();
-  if (Version != StapVersion)
+  if (Version < StapOldestReadableVersion || Version > StapVersion)
     return stapError("unsupported format version " + std::to_string(Version));
   const uint64_t NumNodes = H.get<uint64_t>();
   const uint64_t NumSections = H.get<uint64_t>();
@@ -294,36 +644,70 @@ Expected<LoadedTape> scorpio::readStap(std::istream &IS) {
     return stapError("truncated section table");
   struct Section {
     uint32_t Tag;
+    uint32_t Flags;
     uint64_t Offset;
     uint64_t Size;
   };
   std::vector<Section> Sections;
   Cursor TableCur(File.data() + HeaderSize, NumSections * 24);
+  // Layout strictness (both versions): payloads sit contiguously in
+  // table order immediately after the table, and the file ends at the
+  // last payload byte.  This closes the blind spots a payload-domain
+  // checksum cannot see — an offset flip on a zero-sized section, a
+  // gap, an overlap, or trailing garbage.
+  uint64_t ExpectedOffset = HeaderSize + NumSections * 24;
   for (uint64_t I = 0; I != NumSections; ++I) {
     Section S;
     S.Tag = TableCur.get<uint32_t>();
-    // Reserved pad: v1 is strict, every byte of the file is load-bearing
-    // (a writer that sets it is a different format, and tamper detection
-    // must not have a blind spot the checksum does not cover).
-    if (TableCur.get<uint32_t>() != 0)
-      return stapError("reserved section-table bytes must be zero");
+    S.Flags = TableCur.get<uint32_t>();
     S.Offset = TableCur.get<uint64_t>();
     S.Size = TableCur.get<uint64_t>();
+    if (Version < 2) {
+      // v1: the flags word is a reserved must-be-zero pad.
+      if (S.Flags != 0)
+        return stapError("reserved section-table bytes must be zero");
+    } else {
+      if (S.Flags & ~StapSectionFlagMask)
+        return stapError("unknown section flags on '" + tagName(S.Tag) +
+                         "'");
+      if ((S.Flags & StapSectionVarint) && S.Tag != TagOps &&
+          S.Tag != TagEdge)
+        return stapError("varint flag is only defined for OPS/EDGE, not '" +
+                         tagName(S.Tag) + "'");
+    }
     if (!TableCur.ok() || S.Offset > File.size() ||
         S.Size > File.size() - S.Offset)
       return stapError("section '" + tagName(S.Tag) +
                        "' extends past the end of the file");
+    if (S.Offset != ExpectedOffset)
+      return stapError("section '" + tagName(S.Tag) +
+                       "' is not stored at its expected offset");
+    ExpectedOffset += S.Size;
     Sections.push_back(S);
   }
+  if (ExpectedOffset != File.size())
+    return stapError("file size does not match the section layout "
+                     "(trailing bytes?)");
 
-  // Checksum over every payload, in table order.
+  // Checksum.  v1 hashes the payloads in table order; v2 hashes the
+  // whole file with the checksum field zeroed.
   uint64_t Actual = Fnv1aBasis;
-  for (const Section &S : Sections)
-    Actual = fnv1a64(File.data() + S.Offset, S.Size, Actual);
+  if (Version >= 2) {
+    const size_t ChecksumAt = 4 + 4 + 8 + 8;
+    Actual = fnv1a64(File.data(), ChecksumAt, Actual);
+    const char Zeros[8] = {};
+    Actual = fnv1a64(Zeros, 8, Actual);
+    Actual = fnv1a64(File.data() + HeaderSize, File.size() - HeaderSize,
+                     Actual);
+  } else {
+    for (const Section &S : Sections)
+      Actual = fnv1a64(File.data() + S.Offset, S.Size, Actual);
+  }
   if (Actual != Checksum)
     return stapError("payload checksum mismatch (corrupted file)");
 
-  // Index sections; v1 is strict: no duplicates, no unknown tags.
+  // Index sections; both versions are strict: no duplicates, no unknown
+  // tags (META is a v2 tag — in a v1 file it is unknown).
   std::map<uint32_t, const Section *> ByTag;
   for (const Section &S : Sections) {
     switch (S.Tag) {
@@ -337,6 +721,10 @@ Expected<LoadedTape> scorpio::readStap(std::istream &IS) {
     case TagDivg:
     case TagSig:
       break;
+    case TagMeta:
+      if (Version >= 2)
+        break;
+      return stapError("unknown section tag '" + tagName(S.Tag) + "'");
     default:
       return stapError("unknown section tag '" + tagName(S.Tag) + "'");
     }
@@ -347,18 +735,30 @@ Expected<LoadedTape> scorpio::readStap(std::istream &IS) {
     if (!ByTag.count(Required))
       return stapError("missing required section '" + tagName(Required) +
                        "'");
+
+  // Undo per-section encodings.  Every decode is capped by the codec's
+  // worst-case expansion before it allocates, so a hostile stored size
+  // cannot demand a multi-gigabyte buffer.
+  std::map<uint32_t, std::string> Decoded;
+  for (const auto &[Tag, S] : ByTag) {
+    Expected<std::string> Payload = decodeSectionPayload(
+        Tag, S->Flags, File.data() + S->Offset, S->Size, NumNodes);
+    if (!Payload)
+      return Payload.status();
+    Decoded[Tag] = std::move(Payload.value());
+  }
   const auto SectionCursor = [&](uint32_t Tag) {
-    const Section *S = ByTag[Tag];
-    return Cursor(File.data() + S->Offset, S->Size);
+    const std::string &P = Decoded[Tag];
+    return Cursor(P.data(), P.size());
   };
 
   // NumNodes is attacker-controlled: pin it against the fixed-stride
   // sections (OPS = 5, VALS = 16 bytes per node) before allocating
-  // anything proportional to it.  Section sizes are bounded by the real
-  // file size, so a consistent NumNodes is too — no multi-gigabyte
-  // resize from one flipped header byte.
-  if (ByTag[TagOps]->Size != NumNodes * 5 ||
-      ByTag[TagVals]->Size != NumNodes * 16)
+  // anything proportional to it.  Decoded sizes are bounded by the real
+  // file size times the codec expansion caps, so a consistent NumNodes
+  // is too — no multi-gigabyte resize from one flipped header byte.
+  if (Decoded[TagOps].size() != NumNodes * OpsStride ||
+      Decoded[TagVals].size() != NumNodes * ValsStride)
     return stapError("node count does not match the OPS/VALS section sizes");
 
   // Decode the node stream into the raw mirror.
@@ -433,9 +833,41 @@ Expected<LoadedTape> scorpio::readStap(std::istream &IS) {
   // Registration sections (ids are range-checked; the gate only saw the
   // node stream and the input/output lists).
   LoadedTape Loaded;
+  Loaded.Version = Version;
   const auto ValidId = [&](NodeId Id) {
     return Id >= 0 && static_cast<uint64_t>(Id) < NumNodes;
   };
+  if (ByTag.count(TagMeta)) {
+    Cursor C = SectionCursor(TagMeta);
+    TapeMeta Meta;
+    Meta.SchemaHash = C.get<uint64_t>();
+    Meta.ShardIndex = C.get<uint64_t>();
+    if (!C.getString(Meta.ShardName))
+      return stapError("malformed META section");
+    const uint8_t HasOptions = C.get<uint8_t>();
+    Meta.OutputMode = C.get<uint8_t>();
+    Meta.Metric = C.get<uint8_t>();
+    Meta.BatchWidth = C.get<uint32_t>();
+    const uint8_t Simplify = C.get<uint8_t>();
+    const uint8_t BuildGraph = C.get<uint8_t>();
+    const uint8_t VerifyTape = C.get<uint8_t>();
+    Meta.Delta = C.get<double>();
+    Meta.SignificanceCap = C.get<double>();
+    if (!C.atEnd() || HasOptions > 1 || Simplify > 1 || BuildGraph > 1 ||
+        VerifyTape > 1 || Meta.OutputMode > 1 || Meta.Metric > 1)
+      return stapError("malformed META section");
+    Meta.HasOptions = HasOptions != 0;
+    Meta.Simplify = Simplify != 0;
+    Meta.BuildGraph = BuildGraph != 0;
+    Meta.VerifyTape = VerifyTape != 0;
+    // A shard recorded against a different wire schema (op-kind set,
+    // node layout) would decode to plausible garbage; refuse it here so
+    // a merge never consumes it.
+    if (Meta.SchemaHash != stapSchemaHash())
+      return stapError("META schema hash mismatch (tape was recorded by an "
+                       "incompatible scorpio build)");
+    Loaded.Meta = std::move(Meta);
+  }
   if (ByTag.count(TagLabl)) {
     Cursor C = SectionCursor(TagLabl);
     const uint64_t Count = C.get<uint64_t>();

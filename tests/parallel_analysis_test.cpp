@@ -108,6 +108,47 @@ TEST(ParallelAnalysis, DivergentShardInvalidatesMergeAndNamesShard) {
   EXPECT_FALSE(R.shards()[1].Result.isValid());
 }
 
+TEST(ParallelAnalysis, NoOutputShardYieldsValidEmptyResultAndDiagnostic) {
+  diag::DiagSink::global().clear();
+  ParallelAnalysis P;
+  P.addShard("silent", [] {
+    // Records work but never registers an output.  Analysis::analyse
+    // would reject this tape; the shard driver must instead produce a
+    // valid-but-empty result so one forgotten registerOutput cannot
+    // poison a thousand-shard merge.
+    Analysis &A = Analysis::current();
+    IAValue X = A.input("x", 1.0, 2.0);
+    A.registerIntermediate(X * X, "unused");
+  });
+  P.addShard("real", [] { recordAffine(2.0, 0.0); });
+  const ParallelAnalysisResult R = P.run({}, /*NumThreads=*/1);
+  EXPECT_TRUE(R.isValid());
+  ASSERT_EQ(R.shards().size(), 2u);
+  EXPECT_TRUE(R.shards()[0].Result.isValid());
+  EXPECT_TRUE(R.shards()[0].Result.inputs().empty());
+  EXPECT_EQ(R.shards()[0].Result.outputSignificance(), 0.0);
+  EXPECT_NE(R.find("real/x"), nullptr);
+  EXPECT_GT(R.outputSignificance(), 0.0);
+  // The condition is still reported through the structured sink so the
+  // omission is visible, just not fatal.
+  EXPECT_GE(diag::DiagSink::global().countOf(diag::ErrC::EmptyInput), 1u);
+  diag::DiagSink::global().clear();
+}
+
+TEST(ParallelAnalysis, EmptyShardNameStillPrefixesVariables) {
+  ParallelAnalysis P;
+  P.addShard("", [] { recordAffine(2.0, 1.0); });
+  const ParallelAnalysisResult R = P.run();
+  EXPECT_TRUE(R.isValid());
+  // An empty name degrades to a bare "/" prefix: stable, findable, and
+  // never colliding with an unprefixed sequential report.
+  EXPECT_NE(R.find("/x"), nullptr);
+  EXPECT_NE(R.find("/y"), nullptr);
+  EXPECT_EQ(R.find("x"), nullptr);
+  ASSERT_EQ(R.variables().size(), 2u);
+  EXPECT_EQ(R.variables()[0].Name, "/x");
+}
+
 TEST(ParallelAnalysis, TapeSizeHintDoesNotChangeResults) {
   auto Run = [](size_t Hint) {
     ParallelAnalysis P;

@@ -16,8 +16,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <limits>
 #include <sstream>
 #include <string>
@@ -68,6 +72,20 @@ struct Recorded {
 diag::Expected<LoadedTape> load(const std::string &Bytes) {
   std::istringstream IS(Bytes, std::ios::binary);
   return readStap(IS);
+}
+
+/// Recomputes the v2 checksum (FNV-1a64 over the whole file with the
+/// checksum field zeroed) after a deliberate mutation, so tests can
+/// exercise the gates *behind* the checksum.
+void refreshChecksum(std::string &Bytes) {
+  ASSERT_GE(Bytes.size(), 32u);
+  std::memset(Bytes.data() + 24, 0, 8);
+  uint64_t Hash = 14695981039346656037ULL;
+  for (char C : Bytes) {
+    Hash ^= static_cast<uint8_t>(C);
+    Hash *= 1099511628211ULL;
+  }
+  std::memcpy(Bytes.data() + 24, &Hash, 8);
 }
 
 //===----------------------------------------------------------------------===//
@@ -168,6 +186,7 @@ TEST_F(TapeIOTest, UnknownSectionTagIsRejected) {
   const size_t Pos = Bytes.find("LABL");
   ASSERT_NE(Pos, std::string::npos);
   Bytes.replace(Pos, 4, "QQQQ");
+  refreshChecksum(Bytes);
   diag::Expected<LoadedTape> Loaded = load(Bytes);
   ASSERT_FALSE(Loaded.hasValue());
   EXPECT_NE(Loaded.status().message().find("unknown"), std::string::npos)
@@ -280,6 +299,382 @@ TEST_F(TapeIOTest, SaveAndLoadFileRoundTrip) {
   EXPECT_EQ(Loaded.value().T.size(), Fix.A.tape().size());
   EXPECT_FALSE(loadStap(Path + ".does-not-exist").hasValue());
   std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// v2: compression, META, version compatibility
+//===----------------------------------------------------------------------===//
+
+/// Serializes the fixture with explicit writer options (and optionally
+/// a META payload and per-node significances).
+std::string bytesWith(Recorded &Fix, const StapWriteOptions &Opts,
+                      const TapeMeta *Meta = nullptr,
+                      bool WithSignificance = false) {
+  std::vector<double> Sig;
+  if (WithSignificance)
+    for (size_t I = 0; I != Fix.A.tape().size(); ++I)
+      Sig.push_back(Fix.R.significanceOf(static_cast<NodeId>(I)));
+  std::ostringstream OS(std::ios::binary);
+  const diag::Status S =
+      writeStap(OS, Fix.A.tape(), Fix.A.registration(), Sig, Opts, Meta);
+  EXPECT_TRUE(S.isOk()) << S.message();
+  return OS.str();
+}
+
+TEST_F(TapeIOTest, CompressedRoundTripReanalysesBitIdentically) {
+  Recorded Fix;
+  std::ostringstream Original;
+  Fix.R.writeJson(Original);
+
+  StapWriteOptions Opts;
+  Opts.Compress = true;
+  const std::string Compressed = bytesWith(Fix, Opts);
+  const std::string Raw = Fix.bytes();
+  // This fixture's OPS/EDGE sections are delta-friendly; compression
+  // must actually engage, not silently fall back to raw everywhere.
+  EXPECT_LT(Compressed.size(), Raw.size());
+
+  diag::Expected<LoadedTape> Loaded = load(Compressed);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.status().message();
+  EXPECT_EQ(Loaded.value().Version, 2u);
+
+  Analysis B;
+  ASSERT_TRUE(
+      B.adopt(std::move(Loaded.value().T), Loaded.value().Reg).isOk());
+  std::ostringstream Replayed;
+  B.analyse().writeJson(Replayed);
+  EXPECT_EQ(Original.str(), Replayed.str());
+}
+
+TEST_F(TapeIOTest, CompressedSignificanceAndRegistrationSurvive) {
+  Recorded Fix;
+  StapWriteOptions Opts;
+  Opts.Compress = true;
+  diag::Expected<LoadedTape> Loaded =
+      load(bytesWith(Fix, Opts, nullptr, /*WithSignificance=*/true));
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.status().message();
+  const TapeRegistration Orig = Fix.A.registration();
+  EXPECT_EQ(Loaded.value().Reg.Outputs, Orig.Outputs);
+  EXPECT_EQ(Loaded.value().Reg.Labels, Orig.Labels);
+  ASSERT_EQ(Loaded.value().Significance.size(), Fix.A.tape().size());
+  for (size_t I = 0; I != Loaded.value().Significance.size(); ++I)
+    EXPECT_EQ(Loaded.value().Significance[I],
+              Fix.R.significanceOf(static_cast<NodeId>(I)));
+}
+
+TEST_F(TapeIOTest, MetaSectionRoundTrips) {
+  Recorded Fix;
+  TapeMeta Meta;
+  Meta.ShardName = "tile_3_1";
+  Meta.ShardIndex = 7;
+  Meta.HasOptions = true;
+  Meta.OutputMode = 1;
+  Meta.Metric = 1;
+  Meta.BatchWidth = 4;
+  Meta.Simplify = false;
+  Meta.BuildGraph = false;
+  Meta.VerifyTape = true;
+  Meta.Delta = 0.25;
+  Meta.SignificanceCap = 1e100;
+  StapWriteOptions Opts;
+  Opts.Compress = true;
+
+  diag::Expected<LoadedTape> Loaded = load(bytesWith(Fix, Opts, &Meta));
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.status().message();
+  ASSERT_TRUE(Loaded.value().Meta.has_value());
+  const TapeMeta &Got = *Loaded.value().Meta;
+  EXPECT_EQ(Got.SchemaHash, stapSchemaHash());
+  EXPECT_EQ(Got.ShardName, "tile_3_1");
+  EXPECT_EQ(Got.ShardIndex, 7u);
+  EXPECT_TRUE(Got.HasOptions);
+  EXPECT_EQ(Got.OutputMode, 1);
+  EXPECT_EQ(Got.Metric, 1);
+  EXPECT_EQ(Got.BatchWidth, 4u);
+  EXPECT_FALSE(Got.Simplify);
+  EXPECT_FALSE(Got.BuildGraph);
+  EXPECT_TRUE(Got.VerifyTape);
+  EXPECT_EQ(Got.Delta, 0.25);
+  EXPECT_EQ(Got.SignificanceCap, 1e100);
+
+  // Without META the optional stays empty.
+  diag::Expected<LoadedTape> Plain = load(Fix.bytes());
+  ASSERT_TRUE(Plain.hasValue());
+  EXPECT_FALSE(Plain.value().Meta.has_value());
+}
+
+TEST_F(TapeIOTest, V1WriterRejectsV2OnlyFeatures) {
+  Recorded Fix;
+  std::ostringstream OS(std::ios::binary);
+  StapWriteOptions V1Compress;
+  V1Compress.Version = 1;
+  V1Compress.Compress = true;
+  EXPECT_FALSE(writeStap(OS, Fix.A.tape(), Fix.A.registration(), {},
+                         V1Compress)
+                   .isOk());
+  StapWriteOptions V1;
+  V1.Version = 1;
+  TapeMeta Meta;
+  EXPECT_FALSE(
+      writeStap(OS, Fix.A.tape(), Fix.A.registration(), {}, V1, &Meta)
+          .isOk());
+  StapWriteOptions Future;
+  Future.Version = StapVersion + 1;
+  EXPECT_FALSE(
+      writeStap(OS, Fix.A.tape(), Fix.A.registration(), {}, Future).isOk());
+}
+
+TEST_F(TapeIOTest, V1FileLoadsBitIdenticallyToV2) {
+  Recorded Fix;
+  std::ostringstream Original;
+  Fix.R.writeJson(Original);
+
+  StapWriteOptions V1;
+  V1.Version = 1;
+  diag::Expected<LoadedTape> Loaded = load(bytesWith(Fix, V1));
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.status().message();
+  EXPECT_EQ(Loaded.value().Version, 1u);
+  EXPECT_FALSE(Loaded.value().Meta.has_value());
+
+  Analysis B;
+  ASSERT_TRUE(
+      B.adopt(std::move(Loaded.value().T), Loaded.value().Reg).isOk());
+  std::ostringstream Replayed;
+  B.analyse().writeJson(Replayed);
+  EXPECT_EQ(Original.str(), Replayed.str());
+}
+
+#ifdef SCORPIO_GOLDEN_DIR
+/// The committed v1 fixture must stay byte-for-byte loadable forever:
+/// the golden file is compared against today's Version=1 writer (so the
+/// legacy write path cannot drift) and must load through the v2 reader
+/// into the same re-analysis report as a fresh v2 serialization.
+TEST_F(TapeIOTest, GoldenV1FixtureStaysLoadable) {
+  Recorded Fix;
+  StapWriteOptions V1;
+  V1.Version = 1;
+  const std::string Fresh = bytesWith(Fix, V1, nullptr,
+                                      /*WithSignificance=*/true);
+  const std::string Path = std::string(SCORPIO_GOLDEN_DIR) + "/tape_v1.stap";
+  if (std::getenv("SCORPIO_UPDATE_GOLDENS") != nullptr) {
+    std::ofstream OS(Path, std::ios::binary);
+    ASSERT_TRUE(OS.good()) << "cannot write " << Path;
+    OS << Fresh;
+    GTEST_SKIP() << "regenerated " << Path;
+  }
+  std::ifstream IS(Path, std::ios::binary);
+  ASSERT_TRUE(IS.good()) << "missing golden " << Path
+                         << " (set SCORPIO_UPDATE_GOLDENS=1 to create)";
+  std::ostringstream Golden;
+  Golden << IS.rdbuf();
+  EXPECT_EQ(Golden.str(), Fresh)
+      << "the Version=1 writer no longer reproduces the committed v1 "
+         "fixture byte for byte";
+
+  diag::Expected<LoadedTape> Loaded = load(Golden.str());
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.status().message();
+  EXPECT_EQ(Loaded.value().Version, 1u);
+  Analysis B;
+  ASSERT_TRUE(
+      B.adopt(std::move(Loaded.value().T), Loaded.value().Reg).isOk());
+  std::ostringstream Original, Replayed;
+  Fix.R.writeJson(Original);
+  B.analyse().writeJson(Replayed);
+  EXPECT_EQ(Original.str(), Replayed.str());
+}
+#endif // SCORPIO_GOLDEN_DIR
+
+//===----------------------------------------------------------------------===//
+// v2 trust boundary: compressed sections, flags, layout, schema
+//===----------------------------------------------------------------------===//
+
+TEST_F(TapeIOTest, CompressedByteFlipAtEveryPositionIsRejected) {
+  Recorded Fix;
+  TapeMeta Meta;
+  Meta.ShardName = "flip";
+  StapWriteOptions Opts;
+  Opts.Compress = true;
+  // All section kinds present (META + SIG included), all compressed
+  // encodings eligible; the sweep covers the header and section table
+  // too — the v2 whole-file checksum domain has no blind spot.
+  const std::string Bytes =
+      bytesWith(Fix, Opts, &Meta, /*WithSignificance=*/true);
+  for (size_t Pos = 0; Pos != Bytes.size(); ++Pos) {
+    std::string Tampered = Bytes;
+    Tampered[Pos] = static_cast<char>(Tampered[Pos] ^ 0xFF);
+    EXPECT_FALSE(load(Tampered).hasValue())
+        << "accepted a compressed file with byte " << Pos << " flipped";
+  }
+}
+
+TEST_F(TapeIOTest, CompressedTruncationAtEveryLengthIsRejected) {
+  Recorded Fix;
+  StapWriteOptions Opts;
+  Opts.Compress = true;
+  const std::string Bytes =
+      bytesWith(Fix, Opts, nullptr, /*WithSignificance=*/true);
+  for (size_t Len = 0; Len != Bytes.size(); ++Len)
+    EXPECT_FALSE(load(Bytes.substr(0, Len)).hasValue())
+        << "accepted a " << Len << "-byte prefix";
+}
+
+TEST_F(TapeIOTest, UnknownSectionFlagBitsAreRejected) {
+  Recorded Fix;
+  std::string Bytes = Fix.bytes();
+  // First section-table entry: tag at 32, flags at 36.
+  Bytes[36] = static_cast<char>(Bytes[36] | 4); // bit outside the mask
+  refreshChecksum(Bytes);
+  diag::Expected<LoadedTape> Loaded = load(Bytes);
+  ASSERT_FALSE(Loaded.hasValue());
+  EXPECT_NE(Loaded.status().message().find("unknown section flags"),
+            std::string::npos)
+      << Loaded.status().message();
+}
+
+TEST_F(TapeIOTest, VarintFlagOnNonVarintSectionIsRejected) {
+  Recorded Fix;
+  std::string Bytes = Fix.bytes();
+  // Second entry is VALS (writer emits OPS, VALS, EDGE, ...): flags at
+  // 32 + 24 + 4.
+  ASSERT_EQ(Bytes.compare(32 + 24, 4, "VALS"), 0);
+  Bytes[32 + 24 + 4] = static_cast<char>(Bytes[32 + 24 + 4] | 1);
+  refreshChecksum(Bytes);
+  diag::Expected<LoadedTape> Loaded = load(Bytes);
+  ASSERT_FALSE(Loaded.hasValue());
+  EXPECT_NE(Loaded.status().message().find("varint"), std::string::npos)
+      << Loaded.status().message();
+}
+
+TEST_F(TapeIOTest, TrailingGarbageIsRejectedInBothVersions) {
+  Recorded Fix;
+  // v2: the appended bytes break the whole-file checksum, and even with
+  // the checksum refreshed the layout check (file must end at the last
+  // payload byte) rejects.
+  std::string V2 = Fix.bytes() + "JUNK";
+  EXPECT_FALSE(load(V2).hasValue());
+  refreshChecksum(V2);
+  diag::Expected<LoadedTape> L2 = load(V2);
+  ASSERT_FALSE(L2.hasValue());
+  EXPECT_NE(L2.status().message().find("section layout"), std::string::npos)
+      << L2.status().message();
+
+  // v1's payload-domain checksum cannot see trailing bytes at all; the
+  // layout check is the only gate, and it must hold for v1 files too.
+  StapWriteOptions V1;
+  V1.Version = 1;
+  const std::string V1Garbage = bytesWith(Fix, V1) + "JUNK";
+  diag::Expected<LoadedTape> L1 = load(V1Garbage);
+  ASSERT_FALSE(L1.hasValue());
+  EXPECT_NE(L1.status().message().find("section layout"), std::string::npos)
+      << L1.status().message();
+}
+
+TEST_F(TapeIOTest, ZeroSizeSectionOffsetFlipIsRejectedInV1) {
+  // A zero-node tape's OPS/VALS/EDGE payloads are empty: under v1's
+  // payload-domain checksum, their table offsets are invisible to the
+  // hash.  The strict-layout rule (every offset exactly sequential) is
+  // what rejects a flipped offset byte.
+  verify::RawTape Empty;
+  std::ostringstream OS(std::ios::binary);
+  StapWriteOptions V1;
+  V1.Version = 1;
+  ASSERT_TRUE(writeStap(OS, Empty, TapeRegistration{}, {}, {}, V1).isOk());
+  const std::string Bytes = OS.str();
+  ASSERT_TRUE(load(Bytes).hasValue()) << "empty tape must round-trip";
+
+  // First entry (OPS, zero size): offset field at 32 + 8.
+  std::string Tampered = Bytes;
+  Tampered[32 + 8] = static_cast<char>(Tampered[32 + 8] ^ 0x01);
+  diag::Expected<LoadedTape> Loaded = load(Tampered);
+  ASSERT_FALSE(Loaded.hasValue())
+      << "offset flip on a zero-size section went undetected";
+  EXPECT_NE(Loaded.status().message().find("offset"), std::string::npos)
+      << Loaded.status().message();
+}
+
+TEST_F(TapeIOTest, SchemaHashMismatchIsRejected) {
+  Recorded Fix;
+  TapeMeta Meta;
+  Meta.ShardName = "schema";
+  std::string Bytes = bytesWith(Fix, {}, &Meta);
+  // The META payload leads with the writing build's schema hash; find
+  // its little-endian bytes and corrupt them.
+  const uint64_t Hash = stapSchemaHash();
+  std::string Needle(8, '\0');
+  std::memcpy(Needle.data(), &Hash, 8);
+  const size_t Pos = Bytes.find(Needle);
+  ASSERT_NE(Pos, std::string::npos);
+  Bytes[Pos] = static_cast<char>(Bytes[Pos] ^ 0xFF);
+  refreshChecksum(Bytes);
+  diag::Expected<LoadedTape> Loaded = load(Bytes);
+  ASSERT_FALSE(Loaded.hasValue());
+  EXPECT_NE(Loaded.status().message().find("schema hash"), std::string::npos)
+      << Loaded.status().message();
+}
+
+//===----------------------------------------------------------------------===//
+// Failing sinks: no silent truncated .stap
+//===----------------------------------------------------------------------===//
+
+/// A sink that accepts \p Capacity bytes and then fails every further
+/// write — the unbuffered essence of a disk filling up mid-save.
+class LimitedSink : public std::streambuf {
+public:
+  explicit LimitedSink(size_t Capacity) : Remaining(Capacity) {}
+
+protected:
+  int_type overflow(int_type C) override {
+    if (Remaining == 0 || C == traits_type::eof())
+      return traits_type::eof();
+    --Remaining;
+    return C;
+  }
+  std::streamsize xsputn(const char *, std::streamsize N) override {
+    const std::streamsize Written =
+        std::min<std::streamsize>(N, static_cast<std::streamsize>(Remaining));
+    Remaining -= static_cast<size_t>(Written);
+    return Written; // short write once full
+  }
+
+private:
+  size_t Remaining;
+};
+
+TEST_F(TapeIOTest, WriteToFailingSinkReturnsErrorStatus) {
+  Recorded Fix;
+  // Zero capacity: every write fails outright.
+  {
+    LimitedSink Sink(0);
+    std::ostream OS(&Sink);
+    const diag::Status S = writeStap(OS, Fix.A.tape(), Fix.A.registration());
+    EXPECT_FALSE(S.isOk());
+    EXPECT_EQ(S.code(), diag::ErrC::InvalidState);
+  }
+  // Disk fills partway through: the short write must surface, never a
+  // silently truncated stream blessed with Status::ok().
+  for (size_t Capacity : {1u, 32u, 100u}) {
+    LimitedSink Sink(Capacity);
+    std::ostream OS(&Sink);
+    const diag::Status S = writeStap(OS, Fix.A.tape(), Fix.A.registration());
+    EXPECT_FALSE(S.isOk()) << "capacity " << Capacity;
+  }
+}
+
+TEST_F(TapeIOTest, SaveStapReportsUnwritablePathAndFullDisk) {
+  Recorded Fix;
+  const diag::Status S = saveStap(
+      ::testing::TempDir() + "/no-such-dir-xyzzy/tape.stap", Fix.A.tape(),
+      Fix.A.registration());
+  EXPECT_FALSE(S.isOk());
+  EXPECT_NE(S.message().find("cannot open"), std::string::npos)
+      << S.message();
+
+  // The classic full-disk device, where open succeeds and the flush is
+  // what fails.  Only meaningful where /dev/full exists (Linux).
+  if (std::ifstream("/dev/full").good()) {
+    const diag::Status Full =
+        saveStap("/dev/full", Fix.A.tape(), Fix.A.registration());
+    EXPECT_FALSE(Full.isOk());
+  }
 }
 
 } // namespace

@@ -1,0 +1,280 @@
+//===- tests/transport_test.cpp - Cross-process shard transport tests -----===//
+//
+// The ISSUE-5 contract: ParallelAnalysis's Stap transport mode (record
+// in workers, serialize every shard to a `.stap` v2 blob, reload each
+// through the full trust boundary, re-analyse, merge) must produce a
+// merged report byte-identical to the in-process path — on every
+// registry kernel, with compression on, in memory and on disk — and
+// failures of the transport itself must degrade to a per-shard
+// "transport: ..." divergence, never UB or a half-merged report.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ParallelAnalysis.h"
+
+#include "kernels/KernelRegistry.h"
+#include "support/Diag.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace scorpio;
+
+namespace {
+
+class TransportTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    diag::DiagSink::global().clear();
+    diag::setCheckPolicy(diag::CheckPolicy::ReturnStatus);
+  }
+  void TearDown() override { diag::DiagSink::global().clear(); }
+};
+
+/// Registers every registry kernel (sorted) as one shard.
+void addRegistryShards(ParallelAnalysis &P) {
+  KernelRegistry &Registry = KernelRegistry::global();
+  std::vector<std::string> Names = Registry.names();
+  std::sort(Names.begin(), Names.end());
+  for (const std::string &Name : Names) {
+    const KernelDescriptor *K = Registry.find(Name);
+    ASSERT_NE(K, nullptr);
+    P.addShard(Name, [K] {
+      K->Analyse(Analysis::current(), K->DefaultRanges);
+    });
+  }
+}
+
+std::string mergedJson(const ParallelAnalysisResult &R) {
+  std::ostringstream OS;
+  R.writeJson(OS);
+  return OS.str();
+}
+
+/// Runs the registry shard set under \p Transport and returns the
+/// merged JSON.
+std::string runRegistry(const TransportOptions &Transport,
+                        ShardVerification Verify = ShardVerification::Off) {
+  ParallelAnalysis P;
+  addRegistryShards(P);
+  return mergedJson(P.run({}, /*NumThreads=*/4, Verify, Transport));
+}
+
+TEST_F(TransportTest, StapTransportIsByteIdenticalOnAllRegistryKernels) {
+  const std::string InProcess = runRegistry({});
+
+  TransportOptions Stap;
+  Stap.Mode = ShardTransport::Stap; // in-memory blobs, compression on
+  EXPECT_EQ(InProcess, runRegistry(Stap));
+
+  TransportOptions Raw = Stap;
+  Raw.Compress = false;
+  EXPECT_EQ(InProcess, runRegistry(Raw));
+}
+
+TEST_F(TransportTest, DirectoryTransportIsByteIdenticalAndLeavesTapes) {
+  const std::string Dir = ::testing::TempDir() + "/scorpio_transport_dir";
+  std::filesystem::remove_all(Dir);
+  ASSERT_TRUE(std::filesystem::create_directory(Dir));
+
+  TransportOptions Stap;
+  Stap.Mode = ShardTransport::Stap;
+  Stap.Directory = Dir;
+  const std::string ViaDisk = runRegistry(Stap);
+  EXPECT_EQ(runRegistry({}), ViaDisk);
+
+  // One .stap file per registry kernel remains on disk, each loadable
+  // through the trust boundary with its META intact — this is exactly
+  // what scorpio_merge consumes.
+  size_t Count = 0;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir)) {
+    ASSERT_EQ(Entry.path().extension(), ".stap");
+    diag::Expected<LoadedTape> Loaded = loadStap(Entry.path().string());
+    ASSERT_TRUE(Loaded.hasValue()) << Loaded.status().message();
+    ASSERT_TRUE(Loaded.value().Meta.has_value());
+    EXPECT_TRUE(Loaded.value().Meta->HasOptions);
+    ++Count;
+  }
+  EXPECT_EQ(Count, KernelRegistry::global().names().size());
+  std::filesystem::remove_all(Dir);
+}
+
+TEST_F(TransportTest, TransportPreservesVerificationFindings) {
+  EXPECT_EQ(runRegistry({}, ShardVerification::Incremental),
+            runRegistry({ShardTransport::Stap, /*Compress=*/true, {}},
+                        ShardVerification::Incremental));
+}
+
+TEST_F(TransportTest, UnwritableDirectoryBecomesTransportDivergence) {
+  ParallelAnalysis P;
+  P.addShard("affine", [] {
+    Analysis &A = Analysis::current();
+    IAValue X = A.input("x", 1.0, 2.0);
+    IAValue Y = X * 3.0;
+    A.registerOutput(Y, "y");
+  });
+  TransportOptions Stap;
+  Stap.Mode = ShardTransport::Stap;
+  Stap.Directory = ::testing::TempDir() + "/scorpio-no-such-dir-xyzzy";
+  const ParallelAnalysisResult R = P.run({}, 1, ShardVerification::Off, Stap);
+  EXPECT_FALSE(R.isValid());
+  ASSERT_EQ(R.divergences().size(), 1u);
+  EXPECT_NE(R.divergences()[0].find("affine: transport:"), std::string::npos)
+      << R.divergences()[0];
+}
+
+TEST_F(TransportTest, AnalyseShardTapeReplaysMetaIdentity) {
+  Analysis A;
+  IAValue X = A.input("x", 0.5, 1.5);
+  IAValue Y = X * X + 2.0;
+  A.registerOutput(Y, "y");
+
+  const TapeMeta Meta = makeShardMeta("tile_9", 9, {});
+  std::ostringstream OS(std::ios::binary);
+  StapWriteOptions WOpts;
+  WOpts.Compress = true;
+  ASSERT_TRUE(
+      writeStap(OS, A.tape(), A.registration(), {}, WOpts, &Meta).isOk());
+  std::istringstream IS(OS.str(), std::ios::binary);
+  diag::Expected<LoadedTape> Loaded = readStap(IS);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.status().message();
+
+  const ShardResult S =
+      ParallelAnalysis::analyseShardTape(std::move(Loaded.value()));
+  EXPECT_EQ(S.Name, "tile_9");
+  EXPECT_EQ(S.Index, 9u);
+  ASSERT_TRUE(S.Result.isValid());
+  const AnalysisResult Direct = A.analyse();
+  EXPECT_EQ(S.Result.outputSignificance(), Direct.outputSignificance());
+  EXPECT_EQ(S.Result.find("x")->Significance, Direct.find("x")->Significance);
+}
+
+TEST_F(TransportTest, MergeShardsSortsByIndexDeterministically) {
+  // Feed shards in scrambled completion order; the merge must emit
+  // registration (index) order, exactly like run() does.
+  auto Make = [](const std::string &Name, size_t Index, double Slope) {
+    Analysis A;
+    IAValue X = A.input("x", 1.0, 2.0);
+    IAValue Y = X * Slope;
+    A.registerOutput(Y, "y");
+    ShardResult S;
+    S.Name = Name;
+    S.Index = Index;
+    S.Result = A.analyse();
+    return S;
+  };
+  std::vector<ShardResult> Scrambled;
+  Scrambled.push_back(Make("c", 2, 4.0));
+  Scrambled.push_back(Make("a", 0, 2.0));
+  Scrambled.push_back(Make("b", 1, 3.0));
+  const ParallelAnalysisResult R =
+      ParallelAnalysis::mergeShards(std::move(Scrambled));
+  ASSERT_EQ(R.shards().size(), 3u);
+  EXPECT_EQ(R.shards()[0].Name, "a");
+  EXPECT_EQ(R.shards()[1].Name, "b");
+  EXPECT_EQ(R.shards()[2].Name, "c");
+  EXPECT_EQ(R.variables()[0].Name, "a/x");
+}
+
+TEST_F(TransportTest, MetaOptionHelpersRoundTrip) {
+  AnalysisOptions Options;
+  Options.Mode = AnalysisOptions::OutputMode::PerOutput;
+  Options.SignificanceMetric =
+      AnalysisOptions::Metric::WidthTimesDerivative;
+  Options.BatchWidth = 3;
+  Options.Simplify = false;
+  Options.BuildGraph = false;
+  Options.VerifyTape = true;
+  Options.Delta = 0.125;
+  Options.SignificanceCap = 1e200;
+
+  const TapeMeta Meta = makeShardMeta("m", 4, Options);
+  EXPECT_TRUE(shardMetaMatches(Meta, Options));
+  EXPECT_FALSE(shardMetaMatches(Meta, AnalysisOptions{}));
+  EXPECT_FALSE(shardMetaMatches(TapeMeta{}, Options)); // no options carried
+
+  const AnalysisOptions Back = shardMetaOptions(Meta);
+  EXPECT_EQ(Back.Mode, Options.Mode);
+  EXPECT_EQ(Back.SignificanceMetric, Options.SignificanceMetric);
+  EXPECT_EQ(Back.BatchWidth, Options.BatchWidth);
+  EXPECT_EQ(Back.Simplify, Options.Simplify);
+  EXPECT_EQ(Back.BuildGraph, Options.BuildGraph);
+  EXPECT_EQ(Back.VerifyTape, Options.VerifyTape);
+  EXPECT_EQ(Back.Delta, Options.Delta);
+  EXPECT_EQ(Back.SignificanceCap, Options.SignificanceCap);
+}
+
+TEST_F(TransportTest, ZeroShardsWithTransportIsValidAndEmpty) {
+  ParallelAnalysis P;
+  TransportOptions Stap;
+  Stap.Mode = ShardTransport::Stap;
+  const ParallelAnalysisResult R = P.run({}, 0, ShardVerification::Off, Stap);
+  EXPECT_TRUE(R.isValid());
+  EXPECT_TRUE(R.shards().empty());
+  EXPECT_TRUE(R.variables().empty());
+  EXPECT_EQ(R.outputSignificance(), 0.0);
+}
+
+TEST_F(TransportTest, NoOutputShardIsValidButEmptyInBothModes) {
+  auto Run = [](const TransportOptions &Transport) {
+    ParallelAnalysis P;
+    P.addShard("silent", [] {
+      // Records work but never registers an output.
+      Analysis &A = Analysis::current();
+      IAValue X = A.input("x", 1.0, 2.0);
+      IAValue Y = X * X;
+      A.registerIntermediate(Y, "unused");
+    });
+    P.addShard("real", [] {
+      Analysis &A = Analysis::current();
+      IAValue X = A.input("x", 1.0, 2.0);
+      A.registerOutput(X * 2.0, "y");
+    });
+    return P.run({}, 1, ShardVerification::Off, Transport);
+  };
+
+  const ParallelAnalysisResult InProcess = Run({});
+  // The empty shard neither invalidates the merge nor fabricates a
+  // divergence; the real shard's contribution is intact.
+  EXPECT_TRUE(InProcess.isValid())
+      << (InProcess.divergences().empty() ? std::string()
+                                          : InProcess.divergences()[0]);
+  ASSERT_EQ(InProcess.shards().size(), 2u);
+  EXPECT_TRUE(InProcess.shards()[0].Result.inputs().empty());
+  EXPECT_EQ(InProcess.shards()[0].Result.outputSignificance(), 0.0);
+  EXPECT_NE(InProcess.find("real/y"), nullptr);
+  EXPECT_GT(InProcess.outputSignificance(), 0.0);
+
+  TransportOptions Stap;
+  Stap.Mode = ShardTransport::Stap;
+  EXPECT_EQ(mergedJson(InProcess), mergedJson(Run(Stap)));
+}
+
+TEST_F(TransportTest, DivergedShardStaysDivergedThroughTransport) {
+  auto Run = [](const TransportOptions &Transport) {
+    ParallelAnalysis P;
+    P.addShard("branchy", [] {
+      Analysis &A = Analysis::current();
+      IAValue X = A.input("x", 0.0, 2.0);
+      IAValue Y = A.input("y", 1.0, 3.0);
+      (void)(X < Y); // ambiguous: diverges
+      A.registerOutput(X + Y, "z");
+    });
+    return P.run({}, 1, ShardVerification::Off, Transport);
+  };
+  const ParallelAnalysisResult InProcess = Run({});
+  EXPECT_FALSE(InProcess.isValid());
+  TransportOptions Stap;
+  Stap.Mode = ShardTransport::Stap;
+  const ParallelAnalysisResult Transported = Run(Stap);
+  EXPECT_FALSE(Transported.isValid());
+  EXPECT_EQ(mergedJson(InProcess), mergedJson(Transported));
+}
+
+} // namespace

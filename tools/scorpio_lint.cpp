@@ -22,12 +22,19 @@
 /// through the verifying loader, re-analyses the adopted tape and
 /// demands a byte-identical analysis report.
 ///
+/// `--stap <file>` switches the driver to auditing tapes recorded
+/// elsewhere: each file is loaded through the full .stap trust boundary
+/// (checksum, codec caps, verifyStructure acceptance gate) and then
+/// verified/linted exactly like a registry kernel, using the analysis
+/// options embedded in the tape's META section when present.
+///
 /// Exit codes: 0 clean (and baseline matches), 1 baseline mismatch,
-/// 2 structural verifier errors or a round-trip failure (the tape IR
-/// itself, or its serialization, is broken).
+/// 2 structural verifier errors, a round-trip failure, or a .stap file
+/// that failed a loader gate.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "core/ParallelAnalysis.h"
 #include "kernels/KernelRegistry.h"
 #include "support/Json.h"
 #include "tape/TapeDot.h"
@@ -53,6 +60,7 @@ namespace {
 
 struct Options {
   std::vector<std::string> Kernels; ///< empty = all registered kernels
+  std::vector<std::string> StapFiles; ///< audit these tapes instead
   std::string BaselinePath;         ///< diff against this baseline
   std::string WriteBaselinePath;    ///< regenerate the baseline instead
   std::string JsonPath;             ///< per-kernel JSON report ("-" = stdout)
@@ -71,6 +79,11 @@ int usage(std::ostream &OS, int Code) {
         "every registered kernel on its default profiling ranges.\n"
         "\n"
         "  --kernel <name>          lint only this kernel (repeatable)\n"
+        "  --stap <file>            audit a .stap tape recorded elsewhere\n"
+        "                           instead of the registry (repeatable;\n"
+        "                           excludes the kernel/baseline modes).\n"
+        "                           Exit 2 when a file fails any loader\n"
+        "                           gate or holds structural errors\n"
         "  --baseline <file>        diff rule counts against a baseline;\n"
         "                           exit 1 on any difference\n"
         "  --write-baseline <file>  write the current counts as baseline\n"
@@ -105,6 +118,10 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       if (!(V = Value(I)))
         return false;
       Opts.Kernels.push_back(V);
+    } else if (Arg == "--stap") {
+      if (!(V = Value(I)))
+        return false;
+      Opts.StapFiles.push_back(V);
     } else if (Arg == "--baseline") {
       if (!(V = Value(I)))
         return false;
@@ -243,6 +260,80 @@ KernelRun lintKernel(const KernelDescriptor &K, const Options &Opts) {
   return Run;
 }
 
+/// Audits one externally recorded .stap tape: load through the full
+/// trust boundary (checksum, codec caps, verifyStructure gate), adopt,
+/// then run the same verifier + linter (and optional graph audit) the
+/// registry kernels get.  \p LoadOk is false when any loader gate or the
+/// adoption failed — the caller exits 2.  Analysis options come from the
+/// tape's META section when present, so the audit replays the recording
+/// configuration.
+KernelRun lintStapFile(const std::string &Path, const Options &Opts,
+                       bool &LoadOk) {
+  KernelRun Run;
+  Run.Name = Path;
+  LoadOk = false;
+
+  diag::Expected<LoadedTape> Loaded = loadStap(Path);
+  if (!Loaded) {
+    std::cerr << "scorpio_lint: " << Path << ": " << Loaded.status().message()
+              << "\n";
+    return Run;
+  }
+  if (Loaded.value().Meta && !Loaded.value().Meta->ShardName.empty())
+    Run.Name = Loaded.value().Meta->ShardName;
+  const AnalysisOptions AOpts =
+      Loaded.value().Meta && Loaded.value().Meta->HasOptions
+          ? shardMetaOptions(*Loaded.value().Meta)
+          : AnalysisOptions{};
+
+  Analysis A;
+  const TapeRegistration Reg = Loaded.value().Reg;
+  if (diag::Status S = A.adopt(std::move(Loaded.value().T), Reg); !S) {
+    std::cerr << "scorpio_lint: " << Path << ": " << S.message() << "\n";
+    return Run;
+  }
+  LoadOk = true;
+  Run.TapeNodes = A.tape().size();
+
+  Run.Report = verify::verifyTape(A.tape(), A.outputNodes());
+  if (!Run.Report.hasErrors()) {
+    verify::LintContext Ctx;
+    Ctx.RegisteredInputs = A.registeredInputNodes();
+    Ctx.HaveRegistration = true;
+    Ctx.Outputs = A.outputNodes();
+    Run.Report.merge(verify::lintTape(A.tape(), Ctx));
+  }
+  // The graph audit needs a valid analysis; a tape with no outputs (an
+  // empty shard) has nothing to audit.
+  if (!Run.Report.hasErrors() && Opts.Graph && !A.outputNodes().empty()) {
+    const AnalysisResult R = A.analyse(AOpts);
+    if (R.isValid()) {
+      std::vector<double> Sig(A.tape().size());
+      for (size_t I = 0; I != Sig.size(); ++I)
+        Sig[I] = R.significanceOf(static_cast<NodeId>(I));
+      const double Divisor =
+          R.outputSignificance() > 0.0 ? R.outputSignificance() : 1.0;
+      Run.Report.merge(verify::auditGraphPipeline(
+          A.tape(), Sig, A.labels(), A.outputNodes(), AOpts.Delta, Divisor));
+    }
+  }
+
+  if (!Opts.DotDir.empty()) {
+    std::string FileSafe = Run.Name;
+    std::replace(FileSafe.begin(), FileSafe.end(), '/', '_');
+    const std::string DotPath = Opts.DotDir + "/" + FileSafe + ".dot";
+    std::ofstream OS(DotPath);
+    if (!OS) {
+      std::cerr << "scorpio_lint: cannot write '" << DotPath << "'\n";
+    } else {
+      TapeDotOptions DO;
+      DO.FillColors = verify::dotHighlights(Run.Report);
+      writeTapeDot(A.tape(), OS, A.labels(), DO);
+    }
+  }
+  return Run;
+}
+
 /// Per-kernel rule-count entries "<kernel> <ruleId> <count>" (kernels
 /// are iterated in sorted order and rules in catalog order).
 std::vector<verify::BaselineEntry>
@@ -277,6 +368,13 @@ int main(int Argc, char **Argv) {
   Options Opts;
   if (!parseArgs(Argc, Argv, Opts))
     return usage(std::cerr, 2);
+  if (!Opts.StapFiles.empty() &&
+      (!Opts.Kernels.empty() || !Opts.BaselinePath.empty() ||
+       !Opts.WriteBaselinePath.empty() || Opts.Roundtrip || Opts.List)) {
+    std::cerr << "scorpio_lint: --stap audits external tapes and cannot be "
+                 "combined with the kernel/baseline/roundtrip/list modes\n";
+    return 2;
+  }
 
   KernelRegistry &Registry = KernelRegistry::global();
   if (Opts.List) {
@@ -287,18 +385,26 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  std::vector<std::string> Names =
-      Opts.Kernels.empty() ? Registry.names() : Opts.Kernels;
-  std::sort(Names.begin(), Names.end());
-
   std::vector<KernelRun> Runs;
-  for (const std::string &Name : Names) {
-    const KernelDescriptor *K = Registry.find(Name);
-    if (!K) {
-      std::cerr << "scorpio_lint: unknown kernel '" << Name << "'\n";
-      return 2;
+  bool StapLoadFailed = false;
+  if (!Opts.StapFiles.empty()) {
+    for (const std::string &Path : Opts.StapFiles) {
+      bool LoadOk = false;
+      Runs.push_back(lintStapFile(Path, Opts, LoadOk));
+      StapLoadFailed = StapLoadFailed || !LoadOk;
     }
-    Runs.push_back(lintKernel(*K, Opts));
+  } else {
+    std::vector<std::string> Names =
+        Opts.Kernels.empty() ? Registry.names() : Opts.Kernels;
+    std::sort(Names.begin(), Names.end());
+    for (const std::string &Name : Names) {
+      const KernelDescriptor *K = Registry.find(Name);
+      if (!K) {
+        std::cerr << "scorpio_lint: unknown kernel '" << Name << "'\n";
+        return 2;
+      }
+      Runs.push_back(lintKernel(*K, Opts));
+    }
   }
 
   size_t TotalErrors = 0, TotalWarnings = 0;
@@ -319,8 +425,10 @@ int main(int Argc, char **Argv) {
     std::cout << (First ? "" : "]") << "\n";
   }
   if (!Opts.Quiet)
-    std::cout << Runs.size() << " kernels: " << TotalErrors << " errors, "
-              << TotalWarnings << " warnings\n";
+    std::cout << Runs.size()
+              << (Opts.StapFiles.empty() ? " kernels: " : " tapes: ")
+              << TotalErrors << " errors, " << TotalWarnings
+              << " warnings\n";
 
   if (!Opts.JsonPath.empty()) {
     const bool Ok = withOutput(Opts.JsonPath, [&](std::ostream &OS) {
@@ -387,6 +495,11 @@ int main(int Argc, char **Argv) {
       return 2;
   }
 
+  if (StapLoadFailed) {
+    std::cerr << "scorpio_lint: one or more .stap files failed a loader "
+                 "gate\n";
+    return 2;
+  }
   if (TotalErrors != 0) {
     std::cerr << "scorpio_lint: structural verifier errors — the recorded "
                  "tape IR is malformed\n";

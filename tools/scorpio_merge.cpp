@@ -1,0 +1,176 @@
+//===- tools/scorpio_merge.cpp - Merge a directory of shard tapes ---------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The merging half of the cross-process pipeline: loads every `.stap`
+/// file in a directory through the full trust boundary (checksum, codec
+/// expansion caps, schema hash, `verifyStructure` acceptance gate),
+/// refuses directories whose shards were recorded under inconsistent
+/// analysis options, re-analyses each shard exactly as
+/// `ParallelAnalysis`'s transport mode does, and writes the
+/// deterministically merged `ParallelAnalysisResult` JSON — byte-
+/// identical to what the recording process's in-process merge would
+/// have produced.
+///
+/// Exit codes: 0 merged and valid, 1 merged but the report is invalid
+/// (a shard diverged), 2 load/compatibility/argument failure.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/ParallelAnalysis.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace scorpio;
+
+namespace {
+
+int usage(std::ostream &OS, int Code) {
+  OS << "usage: scorpio_merge <dir> [options]\n"
+        "\n"
+        "Loads every .stap shard tape in <dir> through the verifying\n"
+        "loader, re-analyses each under the analysis options recorded\n"
+        "in its META section, and writes the merged\n"
+        "ParallelAnalysisResult JSON.\n"
+        "\n"
+        "  --json <file|->          merged report destination (default -)\n"
+        "  --verify <mode>          per-shard re-verification before the\n"
+        "                           merge: off, incremental or full\n"
+        "  --help                   this text\n";
+  return Code;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Dir, JsonPath = "-";
+  ShardVerification Verify = ShardVerification::Off;
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    auto Value = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::cerr << "scorpio_merge: " << Arg << " needs a value\n";
+        return nullptr;
+      }
+      return Argv[++I];
+    };
+    const char *V = nullptr;
+    if (Arg == "--json") {
+      if (!(V = Value()))
+        return usage(std::cerr, 2);
+      JsonPath = V;
+    } else if (Arg == "--verify") {
+      if (!(V = Value()))
+        return usage(std::cerr, 2);
+      const std::string Mode = V;
+      if (Mode == "off")
+        Verify = ShardVerification::Off;
+      else if (Mode == "incremental")
+        Verify = ShardVerification::Incremental;
+      else if (Mode == "full")
+        Verify = ShardVerification::Full;
+      else {
+        std::cerr << "scorpio_merge: unknown --verify mode '" << Mode
+                  << "'\n";
+        return usage(std::cerr, 2);
+      }
+    } else if (Arg == "--help" || Arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::cerr << "scorpio_merge: unknown option '" << Arg << "'\n";
+      return usage(std::cerr, 2);
+    } else if (Dir.empty()) {
+      Dir = Arg;
+    } else {
+      std::cerr << "scorpio_merge: more than one directory given\n";
+      return usage(std::cerr, 2);
+    }
+  }
+  if (Dir.empty()) {
+    std::cerr << "scorpio_merge: a shard directory is required\n";
+    return usage(std::cerr, 2);
+  }
+
+  std::error_code EC;
+  std::vector<std::string> Paths;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir, EC))
+    if (Entry.is_regular_file() && Entry.path().extension() == ".stap")
+      Paths.push_back(Entry.path().string());
+  if (EC) {
+    std::cerr << "scorpio_merge: cannot read '" << Dir
+              << "': " << EC.message() << "\n";
+    return 2;
+  }
+  if (Paths.empty()) {
+    std::cerr << "scorpio_merge: no .stap files in '" << Dir << "'\n";
+    return 2;
+  }
+  // Deterministic scan order; the merge itself re-sorts by the shard
+  // index carried in each tape's META, so directory order never shows
+  // in the report.
+  std::sort(Paths.begin(), Paths.end());
+
+  // Load every shard through the trust boundary before analysing any:
+  // a directory with one bad tape is rejected whole, not half-merged.
+  std::vector<LoadedTape> Tapes;
+  Tapes.reserve(Paths.size());
+  for (const std::string &Path : Paths) {
+    diag::Expected<LoadedTape> Loaded = loadStap(Path);
+    if (!Loaded) {
+      std::cerr << "scorpio_merge: " << Path << ": "
+                << Loaded.status().message() << "\n";
+      return 2;
+    }
+    Tapes.push_back(std::move(Loaded.value()));
+  }
+
+  // Mixed recording configurations would merge apples with oranges;
+  // shards without META (hand-written v1/v2 tapes) analyse under the
+  // defaults, but a directory mixing two option sets is refused.
+  const TapeMeta *First = nullptr;
+  for (size_t I = 0; I != Tapes.size(); ++I) {
+    if (!Tapes[I].Meta || !Tapes[I].Meta->HasOptions)
+      continue;
+    if (!First) {
+      First = &*Tapes[I].Meta;
+      continue;
+    }
+    if (!shardMetaMatches(*Tapes[I].Meta, shardMetaOptions(*First))) {
+      std::cerr << "scorpio_merge: " << Paths[I]
+                << ": recorded under different analysis options than "
+                << Paths[0] << "\n";
+      return 2;
+    }
+  }
+  const AnalysisOptions Options =
+      First ? shardMetaOptions(*First) : AnalysisOptions{};
+
+  std::vector<ShardResult> Shards;
+  Shards.reserve(Tapes.size());
+  for (LoadedTape &T : Tapes)
+    Shards.push_back(ParallelAnalysis::analyseShardTape(std::move(T),
+                                                        Options, Verify));
+  const ParallelAnalysisResult R = ParallelAnalysis::mergeShards(
+      std::move(Shards), Verify != ShardVerification::Off);
+
+  if (JsonPath == "-") {
+    R.writeJson(std::cout);
+  } else {
+    std::ofstream OS(JsonPath);
+    if (!OS) {
+      std::cerr << "scorpio_merge: cannot write '" << JsonPath << "'\n";
+      return 2;
+    }
+    R.writeJson(OS);
+  }
+  return R.isValid() ? 0 : 1;
+}
