@@ -5,29 +5,34 @@
 // the sharded end-to-end driver — and writes the measurements to
 // BENCH_analysis.json for tracking across commits.
 //
-// The two headline ratios:
+// The headline ratios:
 //   * batched_sweep_speedup: reverse-sweeping all 16 outputs of a
 //     shared-support tape through Tape::reverseSweepBatch in width-8
 //     groups versus 16 dedicated clear+seed+sweep passes.  The
 //     analyse()-level width-1/width-8 measurements are also recorded;
 //     they dilute the sweep win with the width-independent significance
 //     accumulation pass, so the headline targets the sweep stage.
+//   * simd_sweep_speedup: the same width-8 batched sweep with the Auto
+//     (SIMD) backend versus the forced scalar backend — the pure
+//     vectorization win, gated at >= 2.0 on SIMD-capable builds.
 //   * sharded_sobel_speedup: tile-sharded Sobel analysis on a 4-thread
-//     pool versus a single thread.  On a single-core host this is
-//     honestly ~1.0; the JSON records the hardware concurrency so the
-//     number can be judged in context.
+//     pool versus a single thread.  Recorded always; gated only when
+//     the host actually has more than one hardware thread (on a
+//     single-core box ~1.0 is the honest answer and not a regression).
 //
 //===----------------------------------------------------------------------===//
 
 #include "apps/sobel/Sobel.h"
 #include "core/Analysis.h"
 #include "quality/Image.h"
+#include "simd/IntervalOps.h"
 #include "support/Json.h"
 #include "support/Timer.h"
 #include "tape/Tape.h"
 #include "tape/TapeIO.h"
 
 #include <algorithm>
+#include <cstring>
 #include <fstream>
 #include <functional>
 #include <limits>
@@ -53,6 +58,10 @@ struct Measurement {
     return Seconds > 0.0
                ? static_cast<double>(Items * Calls) / Seconds
                : 0.0;
+  }
+  double nsPerOp() const {
+    const double Ops = static_cast<double>(Items * Calls);
+    return Ops > 0.0 ? Seconds / Ops * 1e9 : 0.0;
   }
 };
 
@@ -173,6 +182,7 @@ int main() {
   constexpr int ChainLen = 4096;
   constexpr unsigned BatchW = 8;
   double BatchSpeedup = 0.0;
+  double SimdSweepSpeedup = 1.0;
   {
     Analysis A;
     const std::vector<NodeId> Outs = recordChains(A, NumOutputs, ChainLen);
@@ -195,10 +205,24 @@ int main() {
                 std::span<const NodeId>(Outs.data() + B, E - B), Batch);
           }
         });
+    // The same batched sweep, forced onto the textbook scalar lane
+    // loops: the ratio isolates the SIMD kernels from the batching win.
+    const Measurement SweepBatchedScalar =
+        measure("msweep_batched_m16_w8_scalar", NumOutputs, [&] {
+          for (size_t B = 0; B < Outs.size(); B += BatchW) {
+            const size_t E = std::min(B + BatchW, Outs.size());
+            T.reverseSweepBatch(
+                std::span<const NodeId>(Outs.data() + B, E - B), Batch,
+                SweepBackend::Scalar);
+          }
+        });
     Results.push_back(SweepScalar);
     Results.push_back(SweepBatched);
+    Results.push_back(SweepBatchedScalar);
     BatchSpeedup =
         SweepScalar.secondsPerCall() / SweepBatched.secondsPerCall();
+    SimdSweepSpeedup = SweepBatchedScalar.secondsPerCall() /
+                       SweepBatched.secondsPerCall();
   }
 
   // analyse()-level context: the same tape end to end.  The ratio here
@@ -315,6 +339,80 @@ int main() {
     }));
   }
 
+  // --- Stage 7: interval-primitive microbenchmarks -----------------
+  // Per-op cost of the three interval primitives the sweep is built
+  // from — full product, hull, and the outward-rounding step — as a
+  // scalar loop and through the simd run kernels over the same buffers.
+  // Each pair is checked bit-identical once before timing; the JSON
+  // carries per-op ns so primitive regressions are visible without
+  // re-deriving them from the sweep numbers.
+  {
+    constexpr size_t PrimN = 4096;
+    std::vector<Interval, simd::AlignedAllocator<Interval>> A, B, OutS,
+        OutV;
+    A.reserve(PrimN);
+    B.reserve(PrimN);
+    OutS.resize(PrimN, Interval(0.0));
+    OutV.resize(PrimN, Interval(0.0));
+    for (size_t I = 0; I != PrimN; ++I) {
+      // Deterministic mixed-sign, mixed-width operands, with exact
+      // zeros sprinkled in so the zero-identity lanes get exercised.
+      const double C = static_cast<double>(I % 997) - 498.0;
+      const double W = static_cast<double>(I % 13) * 0.25;
+      A.push_back(I % 31 == 0 ? Interval(0.0) : Interval(C - W, C + W));
+      const double C2 = 300.0 - static_cast<double>(I % 601);
+      B.push_back(I % 37 == 0 ? Interval(0.0)
+                              : Interval(C2 - 0.5, C2 + 0.5));
+    }
+    const auto BitEqualRuns = [&] {
+      return std::memcmp(OutS.data(), OutV.data(),
+                         PrimN * sizeof(Interval)) == 0;
+    };
+    bool PrimIdentical = true;
+
+    for (size_t I = 0; I != PrimN; ++I)
+      OutS[I] = A[I] * B[I];
+    simd::mulRun(A.data(), B.data(), OutV.data(), PrimN);
+    PrimIdentical = PrimIdentical && BitEqualRuns();
+    Results.push_back(measure("prim_mul_scalar", PrimN, [&] {
+      for (size_t I = 0; I != PrimN; ++I)
+        OutS[I] = A[I] * B[I];
+    }));
+    Results.push_back(measure("prim_mul_simd", PrimN, [&] {
+      simd::mulRun(A.data(), B.data(), OutV.data(), PrimN);
+    }));
+
+    for (size_t I = 0; I != PrimN; ++I)
+      OutS[I] = hull(A[I], B[I]);
+    simd::hullRun(A.data(), B.data(), OutV.data(), PrimN);
+    PrimIdentical = PrimIdentical && BitEqualRuns();
+    Results.push_back(measure("prim_hull_scalar", PrimN, [&] {
+      for (size_t I = 0; I != PrimN; ++I)
+        OutS[I] = hull(A[I], B[I]);
+    }));
+    Results.push_back(measure("prim_hull_simd", PrimN, [&] {
+      simd::hullRun(A.data(), B.data(), OutV.data(), PrimN);
+    }));
+
+    for (size_t I = 0; I != PrimN; ++I)
+      OutS[I] = detail::outward(A[I].lower(), A[I].upper(), 1);
+    simd::outwardRun(A.data(), OutV.data(), PrimN);
+    PrimIdentical = PrimIdentical && BitEqualRuns();
+    Results.push_back(measure("prim_outward_scalar", PrimN, [&] {
+      for (size_t I = 0; I != PrimN; ++I)
+        OutS[I] = detail::outward(A[I].lower(), A[I].upper(), 1);
+    }));
+    Results.push_back(measure("prim_outward_simd", PrimN, [&] {
+      simd::outwardRun(A.data(), OutV.data(), PrimN);
+    }));
+
+    if (!PrimIdentical) {
+      std::cout << "ERROR: simd primitive runs are not bit-identical to "
+                   "the scalar loops\n";
+      return 1;
+    }
+  }
+
   // Determinism: different pool sizes must merge to identical JSON.
   std::ostringstream J1, J4;
   apps::analyseSobelTiles(In, 16, 8.0, 1).Result.writeJson(J1);
@@ -324,10 +422,15 @@ int main() {
   // --- Report ------------------------------------------------------
   for (const Measurement &M : Results)
     std::cout << "  " << M.Name << ": " << M.opsPerSec() << " ops/sec ("
-              << M.Calls << " calls, " << M.Seconds << " s)\n";
+              << M.nsPerOp() << " ns/op, " << M.Calls << " calls, "
+              << M.Seconds << " s)\n";
   std::cout << "  batched sweep speedup (16 outputs, width-8 groups vs "
                "16 scalar sweeps): "
             << BatchSpeedup << "x\n";
+  std::cout << "  simd sweep speedup (width-8 batch, Auto vs Scalar "
+               "backend, "
+            << simd::NativeLanes << " native lanes): " << SimdSweepSpeedup
+            << "x\n";
   std::cout << "  sharded sobel speedup (4 vs 1 threads): " << ShardSpeedup
             << "x on " << std::thread::hardware_concurrency()
             << " hardware thread(s)\n";
@@ -337,6 +440,14 @@ int main() {
             << StapCompressionRatio << "\n";
   std::cout << "  sharded merge deterministic: "
             << (Deterministic ? "yes" : "NO") << "\n";
+
+  // Gates that depend on what this box can express: the SIMD-vs-scalar
+  // ratio only means something when the build actually has vector
+  // lanes, and the 4-vs-1-thread ratio only when there is more than one
+  // hardware thread to run on.  Both numbers are recorded regardless,
+  // with the gating decision labelled alongside them in the JSON.
+  const bool SimdGate = simd::NativeLanes > 1;
+  const bool ShardGate = std::thread::hardware_concurrency() > 1;
 
   bool Wrote = true;
   {
@@ -353,11 +464,17 @@ int main() {
       J.key("calls").value(M.Calls);
       J.key("seconds").value(M.Seconds);
       J.key("ops_per_sec").value(M.opsPerSec());
+      J.key("ns_per_op").value(M.nsPerOp());
       J.endObject();
     }
     J.endArray();
     J.key("batched_sweep_speedup").value(BatchSpeedup);
+    J.key("simd_native_lanes")
+        .value(static_cast<size_t>(simd::NativeLanes));
+    J.key("simd_sweep_speedup").value(SimdSweepSpeedup);
+    J.key("simd_sweep_gated").value(SimdGate);
     J.key("sharded_sobel_speedup").value(ShardSpeedup);
+    J.key("sharded_sobel_gated").value(ShardGate);
     J.key("incremental_verify_overhead").value(VerifyOverhead);
     J.key("stap_compression_ratio").value(StapCompressionRatio);
     J.key("sharded_deterministic").value(Deterministic);
@@ -374,7 +491,11 @@ int main() {
   // already touched, so < 10% of the record+sweep cost is structural.
   // The chain tape's delta-friendly OPS/EDGE streams make < 1.0 a
   // structural property of the varint codec, not a tuning accident.
+  // The SIMD sweep gate asks for >= 2.0 pure vectorization win on
+  // SIMD-capable builds; the sharded gate needs real parallel hardware.
   const bool Ok = Wrote && Deterministic && BatchSpeedup > 1.0 &&
+                  (!SimdGate || SimdSweepSpeedup >= 2.0) &&
+                  (!ShardGate || ShardSpeedup > 1.0) &&
                   VerifyOverhead < 0.10 && StapCompressionRatio < 1.0;
   std::cout << "perf report: " << (Ok ? "PASS" : "FAIL") << "\n";
   return Ok ? 0 : 1;

@@ -298,7 +298,7 @@ AnalysisResult Analysis::analyse(const AnalysisOptions &OptionsIn) {
     T.clearAdjoints();
     for (NodeId Out : OutputNodes)
       T.seedAdjoint(Out, Interval(1.0));
-    T.reverseSweep();
+    T.reverseSweep(Options.Sweep);
     for (size_t I = 0; I != T.size(); ++I)
       R.NodeSignificance[I] =
           cappedSignificance(static_cast<NodeId>(I), Options);
@@ -308,7 +308,7 @@ AnalysisResult Analysis::analyse(const AnalysisOptions &OptionsIn) {
     for (NodeId Out : OutputNodes) {
       T.clearAdjoints();
       T.seedAdjoint(Out, Interval(1.0));
-      T.reverseSweep();
+      T.reverseSweep(Options.Sweep);
       for (size_t I = 0; I != T.size(); ++I) {
         R.NodeSignificance[I] +=
             cappedSignificance(static_cast<NodeId>(I), Options);
@@ -333,7 +333,7 @@ AnalysisResult Analysis::analyse(const AnalysisOptions &OptionsIn) {
       Seeds.clear();
       for (size_t O = Begin; O != End; ++O)
         Seeds.emplace_back(OutputNodes[O], Interval(1.0));
-      T.reverseSweepBatch(Seeds, Batch);
+      T.reverseSweepBatch(Seeds, Batch, Options.Sweep);
 
       const unsigned W = static_cast<unsigned>(End - Begin);
       for (size_t I = 0; I != T.size(); ++I) {

@@ -91,6 +91,11 @@ struct AnalysisOptions {
   /// structural errors invalidate the result and skip the sweep — a
   /// malformed IR is reported, never analysed.
   bool VerifyTape = false;
+  /// Which adjoint-sweep implementation to run.  Auto (the default)
+  /// uses the SIMD lanes when the build has them; Scalar forces the
+  /// textbook loops.  Results are bit-identical either way (the E008
+  /// contract) — the knob exists for A/B measurement and cross-checks.
+  SweepBackend Sweep = SweepBackend::Auto;
 };
 
 /// Significance of one registered variable.

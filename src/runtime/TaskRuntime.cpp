@@ -2,6 +2,7 @@
 
 #include "runtime/TaskRuntime.h"
 
+#include "simd/DoubleLanes.h"
 #include "support/Diag.h"
 
 #include <algorithm>
@@ -58,26 +59,72 @@ TaskRuntime::decideFates(const std::vector<double> &Significances,
                   "mismatch",
                   std::vector<TaskFate>(Significances.size(),
                                         TaskFate::Accurate));
+  // std::vector<bool> is bit-packed; widen to bytes for the span form.
+  std::vector<uint8_t> Approx(HasApprox.size());
+  for (size_t I = 0; I != HasApprox.size(); ++I)
+    Approx[I] = HasApprox[I] ? 1 : 0;
+  std::vector<TaskFate> Fates(Significances.size(), TaskFate::Dropped);
+  decideFatesBatch(Significances, Approx, Ratio, Fates);
+  return Fates;
+}
+
+void TaskRuntime::decideFatesBatch(std::span<const double> Significances,
+                                   std::span<const uint8_t> HasApprox,
+                                   double Ratio, std::span<TaskFate> Fates) {
+  const size_t N = Significances.size();
+  if (!SCORPIO_CHECK(HasApprox.size() == N && Fates.size() == N,
+                     diag::ErrC::SizeMismatch,
+                     "TaskRuntime::decideFatesBatch: span size mismatch")) {
+    std::fill(Fates.begin(), Fates.end(), TaskFate::Accurate);
+    return;
+  }
   // An out-of-range ratio is clamped; a NaN ratio means "no usable
   // knob" and resolves to 1.0, the all-accurate safe side.
   if (!SCORPIO_CHECK(Ratio >= 0.0 && Ratio <= 1.0, diag::ErrC::OutOfRange,
-                     "TaskRuntime::decideFates: ratio out of [0, 1]"))
+                     "TaskRuntime::decideFatesBatch: ratio out of [0, 1]"))
     Ratio = std::isnan(Ratio) ? 1.0 : std::clamp(Ratio, 0.0, 1.0);
-  const size_t N = Significances.size();
-  std::vector<TaskFate> Fates(N, TaskFate::Dropped);
   if (N == 0)
-    return Fates;
+    return;
 
-  // NaN significances (a diverged or failed analysis) would break the
-  // comparator's strict weak ordering; rank them as 0 — no evidence the
-  // task matters — deterministically, and use the sanitized keys for the
-  // force-accurate check below too (NaN >= 1.0 is false either way).
-  std::vector<double> Keys(Significances);
-  for (double &K : Keys)
-    if (std::isnan(K))
-      K = 0.0;
+  // Per-task classification, lane-parallel.  NaN significances (a
+  // diverged or failed analysis) would break the sort comparator's
+  // strict weak ordering; rank them as 0 — no evidence the task matters
+  // — and use the sanitized keys for the force-accurate check too (NaN
+  // >= 1.0 is false either way).  Each task's base fate ignores its
+  // rank: forced Accurate at key >= 1.0, else Approximate/Dropped by
+  // HasApprox.  The ranking pass below only ever promotes to Accurate,
+  // so base-then-promote decides identically to the single rank loop.
+  std::vector<double> Keys(N);
+  size_t I = 0;
+  if constexpr (simd::NativeLanes > 1) {
+    constexpr unsigned W = simd::NativeLanes;
+    using DL = simd::DoubleLanes<W>;
+    const DL One = DL::broadcast(1.0);
+    for (; I + W <= N; I += W) {
+      const DL S = DL::load(Significances.data() + I);
+      const DL K = DL::select(S.unord(), DL::zero(), S);
+      K.store(Keys.data() + I);
+      // ge() lane order matches array order for plain double loads (the
+      // interleave permutation applies only to Interval loads).
+      const unsigned Forced = K.ge(One).bits();
+      for (unsigned L = 0; L != W; ++L)
+        Fates[I + L] = ((Forced >> L) & 1u)
+                           ? TaskFate::Accurate
+                           : (HasApprox[I + L] ? TaskFate::Approximate
+                                               : TaskFate::Dropped);
+    }
+  }
+  for (; I != N; ++I) {
+    const double S = Significances[I];
+    const double K = std::isnan(S) ? 0.0 : S;
+    Keys[I] = K;
+    Fates[I] = K >= 1.0 ? TaskFate::Accurate
+                        : (HasApprox[I] ? TaskFate::Approximate
+                                        : TaskFate::Dropped);
+  }
 
-  // Rank tasks by significance, descending; stable in spawn order.
+  // Rank tasks by significance, descending; stable in spawn order.  The
+  // top NumAccurate ranks run accurate regardless of their base fate.
   std::vector<size_t> Order(N);
   std::iota(Order.begin(), Order.end(), size_t{0});
   std::stable_sort(Order.begin(), Order.end(),
@@ -86,28 +133,22 @@ TaskRuntime::decideFates(const std::vector<double> &Significances,
   const size_t NumAccurate =
       std::min(N, static_cast<size_t>(
                       std::ceil(Ratio * static_cast<double>(N) - 1e-9)));
-  for (size_t Rank = 0; Rank != N; ++Rank) {
-    const size_t I = Order[Rank];
-    if (Rank < NumAccurate || Keys[I] >= 1.0)
-      Fates[I] = TaskFate::Accurate;
-    else
-      Fates[I] = HasApprox[I] ? TaskFate::Approximate : TaskFate::Dropped;
-  }
-  return Fates;
+  for (size_t Rank = 0; Rank != NumAccurate; ++Rank)
+    Fates[Order[Rank]] = TaskFate::Accurate;
 }
 
 TaskStats TaskRuntime::runBatch(std::vector<PendingTask> Batch,
                                 double Ratio) {
   std::vector<double> Significances;
-  std::vector<bool> HasApprox;
+  std::vector<uint8_t> HasApprox;
   Significances.reserve(Batch.size());
   HasApprox.reserve(Batch.size());
   for (const PendingTask &T : Batch) {
     Significances.push_back(T.Significance);
-    HasApprox.push_back(static_cast<bool>(T.ApproxFn));
+    HasApprox.push_back(static_cast<bool>(T.ApproxFn) ? 1 : 0);
   }
-  const std::vector<TaskFate> Fates =
-      decideFates(Significances, HasApprox, Ratio);
+  std::vector<TaskFate> Fates(Batch.size(), TaskFate::Dropped);
+  decideFatesBatch(Significances, HasApprox, Ratio, Fates);
 
   TaskStats Stats;
   for (size_t I = 0; I != Batch.size(); ++I) {

@@ -36,6 +36,7 @@
 
 #include <functional>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -101,6 +102,17 @@ public:
   static std::vector<TaskFate>
   decideFates(const std::vector<double> &Significances,
               const std::vector<bool> &HasApprox, double Ratio);
+
+  /// Buffer-form fate policy the taskwait hot path uses: same decisions
+  /// as decideFates (bit for bit, pinned by tests/simd_sweep_test.cpp),
+  /// over contiguous spans so the per-task classification — NaN
+  /// sanitization and the significance >= 1.0 force-accurate test —
+  /// runs lane-parallel.  Writes one fate per task into \p Fates, whose
+  /// size must match (size-mismatched metadata degrades to all-Accurate,
+  /// as in decideFates).
+  static void decideFatesBatch(std::span<const double> Significances,
+                               std::span<const uint8_t> HasApprox,
+                               double Ratio, std::span<TaskFate> Fates);
 
   /// Running totals over all completed taskwaits.
   const TaskStats &totals() const { return Totals; }

@@ -1,0 +1,109 @@
+//===- simd/AlignedAlloc.h - Cache-line-aligned allocation helpers --------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Allocation helpers giving the SoA hot-path arrays (BatchAdjoints,
+/// ChunkedVector blocks) cache-line-aligned starts, so vector loads of
+/// the leading lanes never straddle a line and the blocks tile cleanly.
+/// Alignment is an optimization contract, not a correctness one — the
+/// SIMD kernels use unaligned loads — but debug builds assert it so a
+/// regression is caught at the allocation site, not in a profile.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_SIMD_ALIGNEDALLOC_H
+#define SCORPIO_SIMD_ALIGNEDALLOC_H
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <new>
+
+namespace scorpio {
+namespace simd {
+
+/// One x86/ARM cache line; also a multiple of every vector register
+/// size in use.
+inline constexpr std::size_t CacheLineBytes = 64;
+
+/// True iff \p P starts on a cache-line boundary.
+inline bool isCacheLineAligned(const void *P) {
+  return reinterpret_cast<std::uintptr_t>(P) % CacheLineBytes == 0;
+}
+
+/// Minimal C++17 allocator handing out cache-line-aligned storage;
+/// drop-in for std::vector's default allocator.
+template <typename T> struct AlignedAllocator {
+  using value_type = T;
+  static_assert((CacheLineBytes & (CacheLineBytes - 1)) == 0,
+                "alignment must be a power of two");
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U> &) noexcept {}
+
+  T *allocate(std::size_t N) {
+    return static_cast<T *>(
+        ::operator new(N * sizeof(T), std::align_val_t{CacheLineBytes}));
+  }
+  void deallocate(T *P, std::size_t) noexcept {
+    ::operator delete(P, std::align_val_t{CacheLineBytes});
+  }
+
+  template <typename U> struct rebind {
+    using other = AlignedAllocator<U>;
+  };
+  friend bool operator==(const AlignedAllocator &,
+                         const AlignedAllocator &) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator &,
+                         const AlignedAllocator &) {
+    return false;
+  }
+};
+
+/// Deleter for fixed-count aligned arrays (see allocateAlignedBlock).
+template <typename T> struct AlignedBlockDeleter {
+  std::size_t Count = 0;
+  void operator()(T *P) const noexcept {
+    if (!P)
+      return;
+    for (std::size_t I = Count; I-- > 0;)
+      P[I].~T();
+    ::operator delete(static_cast<void *>(P),
+                      std::align_val_t{CacheLineBytes});
+  }
+};
+
+/// Owning pointer to a cache-line-aligned, value-initialized T[N].
+template <typename T>
+using AlignedBlock = std::unique_ptr<T[], AlignedBlockDeleter<T>>;
+
+/// Allocates a cache-line-aligned array of \p N value-initialized Ts —
+/// the aligned equivalent of std::make_unique<T[]>(N).
+template <typename T> AlignedBlock<T> allocateAlignedBlock(std::size_t N) {
+  void *Raw = ::operator new(N * sizeof(T), std::align_val_t{CacheLineBytes});
+  T *P = static_cast<T *>(Raw);
+  std::size_t I = 0;
+  try {
+    for (; I != N; ++I)
+      new (P + I) T();
+  } catch (...) {
+    while (I-- > 0)
+      P[I].~T();
+    ::operator delete(Raw, std::align_val_t{CacheLineBytes});
+    throw;
+  }
+  assert(isCacheLineAligned(P) && "aligned new returned unaligned storage");
+  return AlignedBlock<T>(P, AlignedBlockDeleter<T>{N});
+}
+
+} // namespace simd
+} // namespace scorpio
+
+#endif // SCORPIO_SIMD_ALIGNEDALLOC_H

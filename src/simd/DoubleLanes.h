@@ -1,0 +1,397 @@
+//===- simd/DoubleLanes.h - Explicit-width double lane abstraction --------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-width vector of doubles with the small operation set the
+/// interval hot paths need: lane-wise IEEE arithmetic, comparisons to
+/// masks, branch-free selection, and the bit-level outward-rounding
+/// steps (stepDown/stepUp) reformulated as integer lane operations.
+///
+/// The same algorithm source compiles against two backends:
+///
+///  * The generic template `DoubleLanes<W>` stores `double V[W]` and
+///    implements every operation as a fixed-trip-count scalar loop with
+///    no data-dependent branches.  It compiles on any target (plain,
+///    SSE2, NEON) and is written so the autovectorizer can profitably
+///    turn it into whatever the target offers.
+///  * Explicit intrinsic specializations (AVX2 `DoubleLanes<4>`) are
+///    selected automatically when the translation unit is compiled for
+///    a capable ISA.
+///
+/// `NativeLanes` is the compile-time width the hot paths should use:
+/// 1 when SCORPIO_SIMD_DISABLED is defined (the pure-scalar fallback
+/// build, -DSCORPIO_SIMD=OFF), otherwise the widest width with hardware
+/// backing.  Hot-path loops are written as a `NativeLanes`-wide vector
+/// body plus a scalar tail, so the fallback build degenerates to
+/// exactly the original scalar loops.
+///
+/// Semantics contract (pinned by tests/simd_lanes_test.cpp): every
+/// operation is bit-identical to its scalar reference —
+///
+///  * `minStd`/`maxStd` replicate std::min/std::max ordering, including
+///    the (b < a) ? b : a tie behavior on signed zeros;
+///  * `stepDown`/`stepUp` replicate interval/Interval.h's
+///    detail::stepDown/stepUp for every input, including +-0,
+///    subnormals, infinities and NaN;
+///  * `select` is a pure bit-level blend.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_SIMD_DOUBLELANES_H
+#define SCORPIO_SIMD_DOUBLELANES_H
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#if !defined(SCORPIO_SIMD_DISABLED) && defined(__AVX2__)
+#define SCORPIO_SIMD_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace scorpio {
+namespace simd {
+
+/// The lane width the hot paths compile to.  1 means "scalar tail
+/// only": the vector bodies vanish and the code is the plain scalar
+/// path.
+#if defined(SCORPIO_SIMD_DISABLED)
+inline constexpr unsigned NativeLanes = 1;
+#elif defined(SCORPIO_SIMD_AVX2)
+inline constexpr unsigned NativeLanes = 4;
+#elif defined(__SSE2__) || defined(__ARM_NEON) || defined(__aarch64__)
+// No hand-written intrinsics for these targets (yet): the generic
+// branch-free two-lane body is written to autovectorize to their
+// 128-bit registers.
+inline constexpr unsigned NativeLanes = 2;
+#else
+inline constexpr unsigned NativeLanes = 1;
+#endif
+
+namespace detail {
+
+/// Branch-free scalar equivalent of interval detail::stepDown (next
+/// double below X; identity on NaN and -inf).  Kept if-convertible so
+/// the generic lane loops vectorize.
+inline double stepDownBranchless(double X) {
+  std::uint64_t B;
+  std::memcpy(&B, &X, sizeof(B));
+  const bool Preserve =
+      X != X || X == -std::numeric_limits<double>::infinity();
+  const bool IsZero = X == 0.0;
+  const bool Neg = (B >> 63) != 0;
+  std::uint64_t Stepped = B + (Neg ? std::uint64_t{1} : ~std::uint64_t{0});
+  Stepped = IsZero ? 0x8000000000000001ULL : Stepped;
+  double R;
+  std::memcpy(&R, &Stepped, sizeof(R));
+  return Preserve ? X : R;
+}
+
+/// Branch-free scalar equivalent of interval detail::stepUp (next
+/// double above X; identity on NaN and +inf).
+inline double stepUpBranchless(double X) {
+  std::uint64_t B;
+  std::memcpy(&B, &X, sizeof(B));
+  const bool Preserve =
+      X != X || X == std::numeric_limits<double>::infinity();
+  const bool IsZero = X == 0.0;
+  const bool Neg = (B >> 63) != 0;
+  std::uint64_t Stepped = B + (Neg ? ~std::uint64_t{0} : std::uint64_t{1});
+  Stepped = IsZero ? std::uint64_t{1} : Stepped;
+  double R;
+  std::memcpy(&R, &Stepped, sizeof(R));
+  return Preserve ? X : R;
+}
+
+} // namespace detail
+
+/// Per-lane boolean mask.  Generic backend: one bool per lane.
+template <unsigned W> struct LaneMask {
+  bool M[W];
+
+  bool test(unsigned I) const { return M[I]; }
+  bool any() const {
+    bool R = false;
+    for (unsigned I = 0; I != W; ++I)
+      R |= M[I];
+    return R;
+  }
+  bool all() const {
+    bool R = true;
+    for (unsigned I = 0; I != W; ++I)
+      R &= M[I];
+    return R;
+  }
+  /// Lane bits packed LSB-first.
+  unsigned bits() const {
+    unsigned R = 0;
+    for (unsigned I = 0; I != W; ++I)
+      R |= static_cast<unsigned>(M[I]) << I;
+    return R;
+  }
+
+  friend LaneMask operator|(const LaneMask &A, const LaneMask &B) {
+    LaneMask R;
+    for (unsigned I = 0; I != W; ++I)
+      R.M[I] = A.M[I] | B.M[I];
+    return R;
+  }
+  friend LaneMask operator&(const LaneMask &A, const LaneMask &B) {
+    LaneMask R;
+    for (unsigned I = 0; I != W; ++I)
+      R.M[I] = A.M[I] & B.M[I];
+    return R;
+  }
+};
+
+/// W doubles operated on lane-wise.  Generic backend.
+template <unsigned W> struct DoubleLanes {
+  static constexpr unsigned Width = W;
+  double V[W];
+
+  static DoubleLanes load(const double *P) {
+    DoubleLanes R;
+    for (unsigned I = 0; I != W; ++I)
+      R.V[I] = P[I];
+    return R;
+  }
+  static DoubleLanes broadcast(double X) {
+    DoubleLanes R;
+    for (unsigned I = 0; I != W; ++I)
+      R.V[I] = X;
+    return R;
+  }
+  static DoubleLanes zero() { return broadcast(0.0); }
+
+  void store(double *P) const {
+    for (unsigned I = 0; I != W; ++I)
+      P[I] = V[I];
+  }
+  double lane(unsigned I) const { return V[I]; }
+  void setLane(unsigned I, double X) { V[I] = X; }
+
+  friend DoubleLanes operator+(const DoubleLanes &A, const DoubleLanes &B) {
+    DoubleLanes R;
+    for (unsigned I = 0; I != W; ++I)
+      R.V[I] = A.V[I] + B.V[I];
+    return R;
+  }
+  friend DoubleLanes operator-(const DoubleLanes &A, const DoubleLanes &B) {
+    DoubleLanes R;
+    for (unsigned I = 0; I != W; ++I)
+      R.V[I] = A.V[I] - B.V[I];
+    return R;
+  }
+  friend DoubleLanes operator*(const DoubleLanes &A, const DoubleLanes &B) {
+    DoubleLanes R;
+    for (unsigned I = 0; I != W; ++I)
+      R.V[I] = A.V[I] * B.V[I];
+    return R;
+  }
+
+  LaneMask<W> eq(const DoubleLanes &B) const {
+    LaneMask<W> R;
+    for (unsigned I = 0; I != W; ++I)
+      R.M[I] = V[I] == B.V[I];
+    return R;
+  }
+  LaneMask<W> lt(const DoubleLanes &B) const {
+    LaneMask<W> R;
+    for (unsigned I = 0; I != W; ++I)
+      R.M[I] = V[I] < B.V[I];
+    return R;
+  }
+  LaneMask<W> ge(const DoubleLanes &B) const {
+    LaneMask<W> R;
+    for (unsigned I = 0; I != W; ++I)
+      R.M[I] = V[I] >= B.V[I];
+    return R;
+  }
+  /// True where the lane is NaN (unordered with itself).
+  LaneMask<W> unord() const {
+    LaneMask<W> R;
+    for (unsigned I = 0; I != W; ++I)
+      R.M[I] = V[I] != V[I];
+    return R;
+  }
+
+  /// Mask ? A : B, lane-wise, as a pure bit blend.
+  static DoubleLanes select(const LaneMask<W> &Mask, const DoubleLanes &A,
+                            const DoubleLanes &B) {
+    DoubleLanes R;
+    for (unsigned I = 0; I != W; ++I)
+      R.V[I] = Mask.M[I] ? A.V[I] : B.V[I];
+    return R;
+  }
+
+  /// std::min semantics: (b < a) ? b : a (bit-identical, including the
+  /// +-0 tie and NaN-operand behavior).
+  static DoubleLanes minStd(const DoubleLanes &A, const DoubleLanes &B) {
+    DoubleLanes R;
+    for (unsigned I = 0; I != W; ++I)
+      R.V[I] = B.V[I] < A.V[I] ? B.V[I] : A.V[I];
+    return R;
+  }
+  /// std::max semantics: (a < b) ? b : a.
+  static DoubleLanes maxStd(const DoubleLanes &A, const DoubleLanes &B) {
+    DoubleLanes R;
+    for (unsigned I = 0; I != W; ++I)
+      R.V[I] = A.V[I] < B.V[I] ? B.V[I] : A.V[I];
+    return R;
+  }
+
+  /// Lane-wise next-double-below (interval detail::stepDown).
+  DoubleLanes stepDown() const {
+    DoubleLanes R;
+    for (unsigned I = 0; I != W; ++I)
+      R.V[I] = detail::stepDownBranchless(V[I]);
+    return R;
+  }
+  /// Lane-wise next-double-above (interval detail::stepUp).
+  DoubleLanes stepUp() const {
+    DoubleLanes R;
+    for (unsigned I = 0; I != W; ++I)
+      R.V[I] = detail::stepUpBranchless(V[I]);
+    return R;
+  }
+};
+
+#if defined(SCORPIO_SIMD_AVX2)
+
+/// AVX2 mask: all-ones / all-zeros double lanes from vcmppd.
+template <> struct LaneMask<4> {
+  __m256d M;
+
+  bool test(unsigned I) const {
+    return (static_cast<unsigned>(_mm256_movemask_pd(M)) >> I) & 1u;
+  }
+  bool any() const { return _mm256_movemask_pd(M) != 0; }
+  bool all() const { return _mm256_movemask_pd(M) == 0xF; }
+  unsigned bits() const {
+    return static_cast<unsigned>(_mm256_movemask_pd(M));
+  }
+
+  friend LaneMask operator|(const LaneMask &A, const LaneMask &B) {
+    return {_mm256_or_pd(A.M, B.M)};
+  }
+  friend LaneMask operator&(const LaneMask &A, const LaneMask &B) {
+    return {_mm256_and_pd(A.M, B.M)};
+  }
+};
+
+/// AVX2 backend: four doubles in one ymm register.
+template <> struct DoubleLanes<4> {
+  static constexpr unsigned Width = 4;
+  __m256d V;
+
+  static DoubleLanes load(const double *P) { return {_mm256_loadu_pd(P)}; }
+  static DoubleLanes broadcast(double X) { return {_mm256_set1_pd(X)}; }
+  static DoubleLanes zero() { return {_mm256_setzero_pd()}; }
+
+  void store(double *P) const { _mm256_storeu_pd(P, V); }
+  double lane(unsigned I) const {
+    alignas(32) double T[4];
+    _mm256_store_pd(T, V);
+    return T[I];
+  }
+  void setLane(unsigned I, double X) {
+    alignas(32) double T[4];
+    _mm256_store_pd(T, V);
+    T[I] = X;
+    V = _mm256_load_pd(T);
+  }
+
+  friend DoubleLanes operator+(const DoubleLanes &A, const DoubleLanes &B) {
+    return {_mm256_add_pd(A.V, B.V)};
+  }
+  friend DoubleLanes operator-(const DoubleLanes &A, const DoubleLanes &B) {
+    return {_mm256_sub_pd(A.V, B.V)};
+  }
+  friend DoubleLanes operator*(const DoubleLanes &A, const DoubleLanes &B) {
+    return {_mm256_mul_pd(A.V, B.V)};
+  }
+
+  LaneMask<4> eq(const DoubleLanes &B) const {
+    return {_mm256_cmp_pd(V, B.V, _CMP_EQ_OQ)};
+  }
+  LaneMask<4> lt(const DoubleLanes &B) const {
+    return {_mm256_cmp_pd(V, B.V, _CMP_LT_OQ)};
+  }
+  LaneMask<4> ge(const DoubleLanes &B) const {
+    return {_mm256_cmp_pd(V, B.V, _CMP_GE_OQ)};
+  }
+  LaneMask<4> unord() const {
+    return {_mm256_cmp_pd(V, V, _CMP_UNORD_Q)};
+  }
+
+  static DoubleLanes select(const LaneMask<4> &Mask, const DoubleLanes &A,
+                            const DoubleLanes &B) {
+    // blendv picks the second operand where the mask sign bit is set.
+    return {_mm256_blendv_pd(B.V, A.V, Mask.M)};
+  }
+
+  static DoubleLanes minStd(const DoubleLanes &A, const DoubleLanes &B) {
+    // Not vminpd: its NaN/+-0 behavior differs from std::min's
+    // (b < a) ? b : a, and the contract here is bit-identity.
+    return select(B.lt(A), B, A);
+  }
+  static DoubleLanes maxStd(const DoubleLanes &A, const DoubleLanes &B) {
+    return select(A.lt(B), B, A);
+  }
+
+  DoubleLanes stepDown() const {
+    const __m256i B = _mm256_castpd_si256(V);
+    const __m256d Preserve = _mm256_or_pd(
+        _mm256_cmp_pd(V, V, _CMP_UNORD_Q),
+        _mm256_cmp_pd(
+            V, _mm256_set1_pd(-std::numeric_limits<double>::infinity()),
+            _CMP_EQ_OQ));
+    const __m256d IsZero =
+        _mm256_cmp_pd(V, _mm256_setzero_pd(), _CMP_EQ_OQ);
+    // Negative lanes step +1 in integer space (magnitude grows),
+    // positive lanes step -1 (magnitude shrinks).
+    const __m256i Neg = _mm256_cmpgt_epi64(_mm256_setzero_si256(), B);
+    const __m256i Delta =
+        _mm256_or_si256(_mm256_and_si256(Neg, _mm256_set1_epi64x(1)),
+                        _mm256_andnot_si256(Neg, _mm256_set1_epi64x(-1)));
+    __m256d R = _mm256_castsi256_pd(_mm256_add_epi64(B, Delta));
+    // Both zeros step to -0x1p-1074.
+    R = _mm256_blendv_pd(
+        R,
+        _mm256_castsi256_pd(
+            _mm256_set1_epi64x(static_cast<long long>(0x8000000000000001ULL))),
+        IsZero);
+    return {_mm256_blendv_pd(R, V, Preserve)};
+  }
+
+  DoubleLanes stepUp() const {
+    const __m256i B = _mm256_castpd_si256(V);
+    const __m256d Preserve = _mm256_or_pd(
+        _mm256_cmp_pd(V, V, _CMP_UNORD_Q),
+        _mm256_cmp_pd(
+            V, _mm256_set1_pd(std::numeric_limits<double>::infinity()),
+            _CMP_EQ_OQ));
+    const __m256d IsZero =
+        _mm256_cmp_pd(V, _mm256_setzero_pd(), _CMP_EQ_OQ);
+    const __m256i Neg = _mm256_cmpgt_epi64(_mm256_setzero_si256(), B);
+    const __m256i Delta =
+        _mm256_or_si256(_mm256_and_si256(Neg, _mm256_set1_epi64x(-1)),
+                        _mm256_andnot_si256(Neg, _mm256_set1_epi64x(1)));
+    __m256d R = _mm256_castsi256_pd(_mm256_add_epi64(B, Delta));
+    // Both zeros step to +0x1p-1074.
+    R = _mm256_blendv_pd(R, _mm256_castsi256_pd(_mm256_set1_epi64x(1)),
+                         IsZero);
+    return {_mm256_blendv_pd(R, V, Preserve)};
+  }
+};
+
+#endif // SCORPIO_SIMD_AVX2
+
+} // namespace simd
+} // namespace scorpio
+
+#endif // SCORPIO_SIMD_DOUBLELANES_H

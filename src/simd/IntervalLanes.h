@@ -1,0 +1,203 @@
+//===- simd/IntervalLanes.h - Lane-parallel interval arithmetic -----------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// W independent intervals processed vertically: a DoubleLanes<W> of
+/// lower bounds and one of upper bounds.  Every operation here is the
+/// branch-free reformulation of the corresponding scalar operator in
+/// interval/Interval.h, with the scalar early-exits (exact-zero operand
+/// identities) turned into lane selects, and the outward rounding
+/// turned into the integer stepDown/stepUp lane ops:
+///
+///   * addIA     == scorpio::operator+  (zero-addend identities)
+///   * mulIA     == scorpio::operator*  (zero-factor exactness,
+///                  mulBound's 0 * inf == 0, std::min/max ordering)
+///   * mulPoint  == the point-partial shortcut of the adjoint sweep
+///                  (two mulBound products, outward by 1 ulp)
+///   * hullIA    == scorpio::hull
+///
+/// Bit-identity with the scalar path is the contract, not an
+/// aspiration: the E008 verifier rule and tests/simd_sweep_test.cpp
+/// compare adjoints bit-for-bit between this path and the scalar one.
+///
+/// Memory layout: loadIntervals/storeIntervals move between an
+/// interleaved `Interval[]` array ([lo0 hi0 lo1 hi1 ...]) and the
+/// split lane registers.  Backends may permute which array element
+/// lands in which lane (the AVX2 unpack pair uses order 0,2,1,3) —
+/// legal because every operation is lane-wise and load/store use the
+/// same permutation, so array slot i always round-trips to array slot
+/// i.  Code must not mix lane indices with array indices.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_SIMD_INTERVALLANES_H
+#define SCORPIO_SIMD_INTERVALLANES_H
+
+#include "interval/Interval.h"
+#include "simd/DoubleLanes.h"
+
+namespace scorpio {
+namespace simd {
+
+static_assert(sizeof(Interval) == 2 * sizeof(double),
+              "Interval must be exactly {lower, upper}");
+
+/// W intervals, bounds split across two lane registers.
+template <unsigned W> struct IntervalLanes {
+  DoubleLanes<W> Lo, Hi;
+
+  static IntervalLanes zero() {
+    return {DoubleLanes<W>::zero(), DoubleLanes<W>::zero()};
+  }
+  /// All lanes = [X.lower(), X.upper()].
+  static IntervalLanes broadcast(const Interval &X) {
+    return {DoubleLanes<W>::broadcast(X.lower()),
+            DoubleLanes<W>::broadcast(X.upper())};
+  }
+
+  /// Lanes that are exactly [0, 0] (the scalar operators' identity /
+  /// exactness special case).
+  LaneMask<W> isZero() const {
+    const DoubleLanes<W> Z = DoubleLanes<W>::zero();
+    return Lo.eq(Z) & Hi.eq(Z);
+  }
+
+  static IntervalLanes select(const LaneMask<W> &Mask, const IntervalLanes &A,
+                              const IntervalLanes &B) {
+    return {DoubleLanes<W>::select(Mask, A.Lo, B.Lo),
+            DoubleLanes<W>::select(Mask, A.Hi, B.Hi)};
+  }
+};
+
+/// Loads W consecutive intervals from an interleaved array.
+template <unsigned W>
+inline IntervalLanes<W> loadIntervals(const Interval *P) {
+  IntervalLanes<W> R;
+  for (unsigned I = 0; I != W; ++I) {
+    R.Lo.setLane(I, P[I].lower());
+    R.Hi.setLane(I, P[I].upper());
+  }
+  return R;
+}
+
+/// Stores W lanes back to an interleaved array.  The lanes must hold
+/// valid interval bounds (lo <= hi, no NaN) — they are written through
+/// the object representation, bypassing the checked constructor, which
+/// is exactly what the hot path needs (the values being stored are
+/// results of containment-preserving operations).
+template <unsigned W>
+inline void storeIntervals(Interval *P, const IntervalLanes<W> &X) {
+  double *D = reinterpret_cast<double *>(P);
+  for (unsigned I = 0; I != W; ++I) {
+    D[2 * I] = X.Lo.lane(I);
+    D[2 * I + 1] = X.Hi.lane(I);
+  }
+}
+
+#if defined(SCORPIO_SIMD_AVX2)
+
+// The unpack pair deinterleaves two ymm loads without a cross-lane
+// shuffle: with A = [lo0 hi0 lo1 hi1] and B = [lo2 hi2 lo3 hi3],
+// unpacklo(A, B) = [lo0 lo2 lo1 lo3] and unpackhi(A, B) =
+// [hi0 hi2 hi1 hi3] — array order 0,2,1,3 in the lanes, consistently
+// for both bounds, and the same pair of unpacks re-interleaves on
+// store.  See the layout note in the file header.
+
+template <> inline IntervalLanes<4> loadIntervals<4>(const Interval *P) {
+  const double *D = reinterpret_cast<const double *>(P);
+  const __m256d A = _mm256_loadu_pd(D);
+  const __m256d B = _mm256_loadu_pd(D + 4);
+  return {{_mm256_unpacklo_pd(A, B)}, {_mm256_unpackhi_pd(A, B)}};
+}
+
+template <>
+inline void storeIntervals<4>(Interval *P, const IntervalLanes<4> &X) {
+  double *D = reinterpret_cast<double *>(P);
+  _mm256_storeu_pd(D, _mm256_unpacklo_pd(X.Lo.V, X.Hi.V));
+  _mm256_storeu_pd(D + 4, _mm256_unpackhi_pd(X.Lo.V, X.Hi.V));
+}
+
+#endif // SCORPIO_SIMD_AVX2
+
+/// Lane-wise detail::mulBound: A * B with an exact-zero factor forcing
+/// an exact-zero product (0 * inf == 0, the IA convention).
+template <unsigned W>
+inline DoubleLanes<W> mulBoundLanes(const DoubleLanes<W> &A,
+                                    const DoubleLanes<W> &B) {
+  const DoubleLanes<W> Z = DoubleLanes<W>::zero();
+  return DoubleLanes<W>::select(A.eq(Z) | B.eq(Z), Z, A * B);
+}
+
+/// Lane-wise scorpio::operator+ — the adjoint accumulation op.  The
+/// scalar early exits become selects applied in reverse check order so
+/// the first scalar match wins: A == [0,0] -> B, else B == [0,0] -> A,
+/// else outward(A.Lo + B.Lo, A.Hi + B.Hi, 1).
+template <unsigned W>
+inline IntervalLanes<W> addIA(const IntervalLanes<W> &A,
+                              const IntervalLanes<W> &B) {
+  IntervalLanes<W> R{(A.Lo + B.Lo).stepDown(), (A.Hi + B.Hi).stepUp()};
+  R = IntervalLanes<W>::select(B.isZero(), A, R);
+  R = IntervalLanes<W>::select(A.isZero(), B, R);
+  return R;
+}
+
+/// Lane-wise scorpio::operator* — general interval product: four
+/// mulBound corner products, std::min/std::max reduction in the scalar
+/// association order, outward by 1 ulp, and the exact-zero-factor lanes
+/// forced to exactly [0, 0] (no widening, so zero adjoints stay zero).
+template <unsigned W>
+inline IntervalLanes<W> mulIA(const IntervalLanes<W> &A,
+                              const IntervalLanes<W> &B) {
+  using D = DoubleLanes<W>;
+  const D P1 = mulBoundLanes(A.Lo, B.Lo);
+  const D P2 = mulBoundLanes(A.Lo, B.Hi);
+  const D P3 = mulBoundLanes(A.Hi, B.Lo);
+  const D P4 = mulBoundLanes(A.Hi, B.Hi);
+  const D Lo = D::minStd(D::minStd(P1, P2), D::minStd(P3, P4));
+  const D Hi = D::maxStd(D::maxStd(P1, P2), D::maxStd(P3, P4));
+  IntervalLanes<W> R{Lo.stepDown(), Hi.stepUp()};
+  return IntervalLanes<W>::select(A.isZero() | B.isZero(),
+                                  IntervalLanes<W>::zero(), R);
+}
+
+/// The adjoint sweep's point-partial shortcut, lane-wise: multiply W
+/// intervals by one nonzero point value Pv.  Only two of operator*'s
+/// four corner products are distinct, and a one-signed point factor is
+/// monotone, so the bounds arrive pre-ordered: ascending for Pv > 0,
+/// descending for Pv < 0.  Bit-exactly operator*'s result for nonzero
+/// input lanes; callers must still force [0, 0] lanes (see the sweep).
+template <bool PositivePv, unsigned W>
+inline IntervalLanes<W> mulPoint(const DoubleLanes<W> &Pv,
+                                 const IntervalLanes<W> &A) {
+  const DoubleLanes<W> X1 = mulBoundLanes(Pv, A.Lo);
+  const DoubleLanes<W> X2 = mulBoundLanes(Pv, A.Hi);
+  if constexpr (PositivePv)
+    return {X1.stepDown(), X2.stepUp()};
+  else
+    return {X2.stepDown(), X1.stepUp()};
+}
+
+/// Lane-wise scorpio::hull: [min(lo, lo'), max(hi, hi')], no outward
+/// step (the hull of represented bounds is exactly representable).
+template <unsigned W>
+inline IntervalLanes<W> hullIA(const IntervalLanes<W> &A,
+                               const IntervalLanes<W> &B) {
+  using D = DoubleLanes<W>;
+  return {D::minStd(A.Lo, B.Lo), D::maxStd(A.Hi, B.Hi)};
+}
+
+/// Lane-wise detail::outward(lo, hi, 1): widen every lane by one ulp on
+/// each side.
+template <unsigned W>
+inline IntervalLanes<W> outward1(const IntervalLanes<W> &A) {
+  return {A.Lo.stepDown(), A.Hi.stepUp()};
+}
+
+} // namespace simd
+} // namespace scorpio
+
+#endif // SCORPIO_SIMD_INTERVALLANES_H

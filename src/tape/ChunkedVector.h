@@ -19,6 +19,8 @@
 #ifndef SCORPIO_TAPE_CHUNKEDVECTOR_H
 #define SCORPIO_TAPE_CHUNKEDVECTOR_H
 
+#include "simd/AlignedAlloc.h"
+
 #include <cassert>
 #include <memory>
 #include <utility>
@@ -73,7 +75,7 @@ public:
   void reserve(size_t N) {
     const size_t NeedBlocks = (N + BlockSize - 1) >> BlockShift;
     while (Blocks.size() < NeedBlocks)
-      Blocks.push_back(std::make_unique<T[]>(BlockSize));
+      Blocks.push_back(simd::allocateAlignedBlock<T>(BlockSize));
   }
 
   void clear() {
@@ -90,8 +92,18 @@ public:
   }
 
   /// Pointer to the first element of block \p B, for streaming loops.
-  T *blockData(size_t B) { return Blocks[B].get(); }
-  const T *blockData(size_t B) const { return Blocks[B].get(); }
+  /// Blocks are cache-line aligned so a vectorized run over a block
+  /// starts on an aligned boundary.
+  T *blockData(size_t B) {
+    assert(simd::isCacheLineAligned(Blocks[B].get()) &&
+           "chunk block lost cache-line alignment");
+    return Blocks[B].get();
+  }
+  const T *blockData(size_t B) const {
+    assert(simd::isCacheLineAligned(Blocks[B].get()) &&
+           "chunk block lost cache-line alignment");
+    return Blocks[B].get();
+  }
 
   /// Number of blocks that contain at least one element.
   size_t numFilledBlocks() const {
@@ -101,13 +113,13 @@ public:
 private:
   T &appendSlot() {
     if ((Count >> BlockShift) == Blocks.size())
-      Blocks.push_back(std::make_unique<T[]>(BlockSize));
+      Blocks.push_back(simd::allocateAlignedBlock<T>(BlockSize));
     T &Slot = Blocks[Count >> BlockShift][Count & IndexMask];
     ++Count;
     return Slot;
   }
 
-  std::vector<std::unique_ptr<T[]>> Blocks;
+  std::vector<simd::AlignedBlock<T>> Blocks;
   size_t Count = 0;
 };
 

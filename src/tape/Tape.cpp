@@ -2,6 +2,9 @@
 
 #include "tape/Tape.h"
 
+#include "simd/IntervalLanes.h"
+#include "simd/IntervalOps.h"
+
 #include <algorithm>
 
 using namespace scorpio;
@@ -174,13 +177,8 @@ NodeId Tape::recordBinary(OpKind K, const Interval &V, NodeId Arg0,
 }
 
 void Tape::clearAdjoints() {
-  const Interval Zero(0.0);
-  for (size_t B = 0, NB = Adjoints.numFilledBlocks(); B != NB; ++B) {
-    Interval *Block = Adjoints.blockData(B);
-    const size_t Fill = Adjoints.blockFill(B);
-    for (size_t I = 0; I != Fill; ++I)
-      Block[I] = Zero;
-  }
+  for (size_t B = 0, NB = Adjoints.numFilledBlocks(); B != NB; ++B)
+    simd::zeroFillRun(Adjoints.blockData(B), Adjoints.blockFill(B));
 }
 
 void Tape::seedAdjoint(NodeId Id, const Interval &Seed) {
@@ -189,26 +187,119 @@ void Tape::seedAdjoint(NodeId Id, const Interval &Seed) {
   Adjoints[static_cast<size_t>(Id)] += Seed;
 }
 
-void Tape::reverseSweep() {
+void Tape::reverseSweep(SweepBackend Backend) {
   // Eq. 8: u_(1)i = sum over consumers j of dphi_j/du_i * u_(1)j,
   // evaluated by walking the tape backwards and scattering each node's
   // adjoint to its arguments.  Nodes with a [0,0] adjoint reach nobody
   // (interval products with an exact-zero factor are exactly [0,0]), so
   // they are skipped without widening the result.
   const Interval Zero(0.0);
+  if (Backend == SweepBackend::Scalar) {
+    // The textbook per-edge operator loop, kept verbatim as the
+    // reference side of the bit-identity cross-checks.
+    for (size_t I = Values.size(); I-- > 0;) {
+      const Interval &A = Adjoints[I];
+      if (A == Zero)
+        continue;
+      const TapeEdges &E = Edges[I];
+      for (uint8_t K = 0; K != E.NumArgs; ++K)
+        Adjoints[static_cast<size_t>(E.Args[K])] += E.Partials[K] * A;
+    }
+    return;
+  }
+  // Auto: identical scatter order, with two bit-exact shortcuts.  An
+  // exact-zero partial contributes the exact-zero product, and adding
+  // [0, 0] is the identity — skip the edge.  A point partial (every
+  // +/- edge) needs only two of operator*'s four corner products, and
+  // a one-signed point factor is monotone, so the bounds arrive
+  // pre-ordered; both branches reproduce operator*'s result bit for
+  // bit (the same classification the batched sweep amortizes over its
+  // lanes).
   for (size_t I = Values.size(); I-- > 0;) {
     const Interval &A = Adjoints[I];
     if (A == Zero)
       continue;
     const TapeEdges &E = Edges[I];
-    for (uint8_t K = 0; K != E.NumArgs; ++K)
-      Adjoints[static_cast<size_t>(E.Args[K])] += E.Partials[K] * A;
+    for (uint8_t K = 0; K != E.NumArgs; ++K) {
+      const Interval P = E.Partials[K];
+      if (P == Zero)
+        continue;
+      Interval &D = Adjoints[static_cast<size_t>(E.Args[K])];
+      if (P.isPoint()) {
+        const double Pv = P.lower();
+        const double X1 = detail::mulBound(Pv, A.lower());
+        const double X2 = detail::mulBound(Pv, A.upper());
+        D += Pv > 0.0 ? detail::outward(X1, X2, 1)
+                      : detail::outward(X2, X1, 1);
+      } else {
+        D += P * A;
+      }
+    }
   }
 }
 
+namespace {
+
+/// The vectorized prefix of one lane scatter: applies partial \p P of
+/// one (node, argument) edge to lanes [0, retval) of destination row
+/// \p D, simd::NativeLanes lanes per step.  Shape selects the same
+/// three product forms the scalar loop classifies into: 0 = positive
+/// point partial, 1 = negative point partial, 2 = general interval
+/// partial.  Returns the number of lanes consumed (a multiple of the
+/// vector width; the caller's scalar loop finishes the tail).
+///
+/// Bit-identity with the scalar lanes is compositional: mulPoint/mulIA
+/// reproduce the products, the exact-zero-adjoint skip becomes a
+/// select to [0, 0] (which addIA's B-zero identity turns back into
+/// "destination unchanged"), and addIA reproduces operator+.
+template <int Shape>
+inline unsigned scatterLanesSimd(const Interval &P, const Interval *Row,
+                                 Interval *D, unsigned W) {
+  if constexpr (simd::NativeLanes <= 1) {
+    (void)P;
+    (void)Row;
+    (void)D;
+    (void)W;
+    return 0;
+  } else {
+    constexpr unsigned VW = simd::NativeLanes;
+    using IL = simd::IntervalLanes<VW>;
+    const simd::DoubleLanes<VW> Pv =
+        simd::DoubleLanes<VW>::broadcast(P.lower());
+    const IL PL = IL::broadcast(P);
+    const IL ZeroIA = IL::zero();
+    unsigned L = 0;
+    for (; L + VW <= W; L += VW) {
+      const IL A = simd::loadIntervals<VW>(Row + L);
+      const simd::LaneMask<VW> AZ = A.isZero();
+      // A whole vector of zero adjoints reaches nobody — the common
+      // case in the upper tape region, before the seeds fan out.
+      if (AZ.all())
+        continue;
+      IL C;
+      if constexpr (Shape == 0)
+        C = simd::mulPoint<true>(Pv, A);
+      else if constexpr (Shape == 1)
+        C = simd::mulPoint<false>(Pv, A);
+      else
+        C = simd::mulIA(PL, A);
+      // Zero-adjoint lanes contribute exactly [0, 0] (mulIA already
+      // guarantees this; the point forms outward-round their zero
+      // products, so force them back).
+      if constexpr (Shape != 2)
+        C = IL::select(AZ, ZeroIA, C);
+      const IL Dv = simd::loadIntervals<VW>(D + L);
+      simd::storeIntervals<VW>(D + L, simd::addIA(Dv, C));
+    }
+    return L;
+  }
+}
+
+} // namespace
+
 void Tape::reverseSweepBatch(
-    std::span<const std::pair<NodeId, Interval>> Seeds,
-    BatchAdjoints &Out) const {
+    std::span<const std::pair<NodeId, Interval>> Seeds, BatchAdjoints &Out,
+    SweepBackend Backend) const {
   const unsigned W = static_cast<unsigned>(Seeds.size());
   Out.resize(Values.size(), W);
   if (W == 0 || Values.empty())
@@ -230,6 +321,11 @@ void Tape::reverseSweepBatch(
   // argument order (which matters when both arguments alias, as in x*x),
   // and contributions to a slot arrive in descending consumer order.
   const Interval Zero(0.0);
+  // With the Auto backend each lane loop runs a vectorized prefix
+  // (NativeLanes lanes per step) and finishes with the scalar tail; the
+  // Scalar backend — the E008 cross-check reference — starts every loop
+  // at lane 0 so only the original scalar code runs.
+  const bool UseSimd = Backend == SweepBackend::Auto && simd::NativeLanes > 1;
   for (size_t I = Values.size(); I-- > 0;) {
     const TapeEdges &E = Edges[I];
     if (E.NumArgs == 0)
@@ -257,7 +353,8 @@ void Tape::reverseSweepBatch(
         // Both branches produce bit-exactly operator*'s result.
         const double Pv = P.lower();
         if (Pv > 0.0) {
-          for (unsigned L = 0; L != W; ++L) {
+          for (unsigned L = UseSimd ? scatterLanesSimd<0>(P, Row, D, W) : 0;
+               L != W; ++L) {
             const Interval A = Row[L];
             if (A == Zero)
               continue;
@@ -266,7 +363,8 @@ void Tape::reverseSweepBatch(
             D[L] += detail::outward(X1, X2, 1);
           }
         } else {
-          for (unsigned L = 0; L != W; ++L) {
+          for (unsigned L = UseSimd ? scatterLanesSimd<1>(P, Row, D, W) : 0;
+               L != W; ++L) {
             const Interval A = Row[L];
             if (A == Zero)
               continue;
@@ -276,7 +374,8 @@ void Tape::reverseSweepBatch(
           }
         }
       } else {
-        for (unsigned L = 0; L != W; ++L) {
+        for (unsigned L = UseSimd ? scatterLanesSimd<2>(P, Row, D, W) : 0;
+             L != W; ++L) {
           const Interval A = Row[L];
           if (A == Zero)
             continue;
@@ -288,12 +387,13 @@ void Tape::reverseSweepBatch(
 }
 
 void Tape::reverseSweepBatch(std::span<const NodeId> SeedNodes,
-                             BatchAdjoints &Out) const {
+                             BatchAdjoints &Out, SweepBackend Backend) const {
   std::vector<std::pair<NodeId, Interval>> Seeds;
   Seeds.reserve(SeedNodes.size());
   for (NodeId Id : SeedNodes)
     Seeds.emplace_back(Id, Interval(1.0));
-  reverseSweepBatch(std::span<const std::pair<NodeId, Interval>>(Seeds), Out);
+  reverseSweepBatch(std::span<const std::pair<NodeId, Interval>>(Seeds), Out,
+                    Backend);
 }
 
 void Tape::noteDivergence(std::string Description) {

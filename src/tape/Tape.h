@@ -30,6 +30,7 @@
 #define SCORPIO_TAPE_TAPE_H
 
 #include "interval/Interval.h"
+#include "simd/AlignedAlloc.h"
 #include "support/Diag.h"
 #include "tape/ChunkedVector.h"
 
@@ -108,10 +109,27 @@ struct TapeOp {
   int32_t AuxInt = 0;
 };
 
+/// Which implementation a reverse sweep runs on.  Both produce
+/// bit-identical adjoints — the equivalence is enforced by the
+/// SCORPIO-E008 verifier rule and tests/simd_sweep_test.cpp — so Auto
+/// is always safe; Scalar exists as the reference side of that
+/// cross-check and for A/B benchmarking (bench/perf_report's
+/// simd_sweep_speedup).
+enum class SweepBackend : uint8_t {
+  /// Explicit-width SIMD lane loops when compiled in
+  /// (simd::NativeLanes > 1), the scalar loop otherwise.
+  Auto,
+  /// The scalar per-lane loop, unconditionally.
+  Scalar,
+};
+
 /// A dense NumNodes x Width matrix of interval adjoints, striped per node
 /// (the Width lanes of one node are contiguous).  Each lane is one
 /// independent reverse-sweep seed; Tape::reverseSweepBatch() propagates
 /// all lanes in a single backward pass over the tape.
+///
+/// Storage starts cache-line-aligned so the vectorized sweep's lane
+/// loads tile cleanly (see simd/AlignedAlloc.h).
 class BatchAdjoints {
 public:
   BatchAdjoints() = default;
@@ -122,6 +140,8 @@ public:
     Nodes = NumNodes;
     Lanes = Width;
     Data.assign(NumNodes * Width, Interval(0.0));
+    assert((Data.empty() || simd::isCacheLineAligned(Data.data())) &&
+           "BatchAdjoints storage must be cache-line-aligned");
   }
 
   size_t numNodes() const { return Nodes; }
@@ -147,7 +167,7 @@ public:
   }
 
 private:
-  std::vector<Interval> Data;
+  std::vector<Interval, simd::AlignedAllocator<Interval>> Data;
   size_t Nodes = 0;
   unsigned Lanes = 0;
 };
@@ -278,8 +298,11 @@ public:
   void seedAdjoint(NodeId Id, const Interval &Seed);
 
   /// Propagates adjoints from the last node towards the inputs (Eq. 8).
-  /// Callers seed output adjoints first.
-  void reverseSweep();
+  /// Callers seed output adjoints first.  Auto classifies point partials
+  /// once per edge and shortcuts their products (bit-exactly the full
+  /// interval multiply); Scalar is the textbook per-edge operator loop.
+  /// Both orderings and results are bit-identical.
+  void reverseSweep(SweepBackend Backend = SweepBackend::Auto);
 
   /// Vector-adjoint mode: one backward pass propagating
   /// K = Seeds.size() independent seeds, lane k starting from
@@ -288,12 +311,20 @@ public:
   /// to clearAdjoints() + seedAdjoint(Seeds[k]...) + reverseSweep(): the
   /// per-lane operation sequence is exactly the single-sweep sequence.
   /// Does not touch the tape's own adjoints.
+  ///
+  /// With Backend == Auto the lane loops run simd::NativeLanes-wide
+  /// vertical SIMD over the BatchAdjoints rows (scalar tail for the
+  /// remainder); Scalar forces the reference per-lane loop.  The two
+  /// backends are bit-identical — the SCORPIO-E008 cross-check replays
+  /// both and compares every adjoint.
   void reverseSweepBatch(std::span<const std::pair<NodeId, Interval>> Seeds,
-                         BatchAdjoints &Out) const;
+                         BatchAdjoints &Out,
+                         SweepBackend Backend = SweepBackend::Auto) const;
 
   /// Convenience form seeding every listed node with [1, 1].
   void reverseSweepBatch(std::span<const NodeId> SeedNodes,
-                         BatchAdjoints &Out) const;
+                         BatchAdjoints &Out,
+                         SweepBackend Backend = SweepBackend::Auto) const;
 
   /// Records that a kernel branched on an ambiguous interval comparison.
   /// The analysis result will be flagged invalid (paper Section 2.2).

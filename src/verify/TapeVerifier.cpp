@@ -2,6 +2,8 @@
 
 #include "verify/TapeVerifier.h"
 
+#include "simd/DoubleLanes.h"
+
 #include <algorithm>
 #include <cmath>
 #include <cstring>
@@ -163,19 +165,44 @@ bool bitEqual(const Interval &A, const Interval &B) {
 /// SCORPIO-E008: replay every output's adjoint both as a batch lane and
 /// as a width-1 dedicated batch sweep and compare all node adjoints
 /// bit-for-bit.  Both replays go through the const batch entry point,
-/// so the tape's own adjoint state is never touched.
+/// so the tape's own adjoint state is never touched.  On SIMD-capable
+/// builds the batch replay is additionally repeated with the forced
+/// scalar backend (SweepBackend::Scalar, the textbook lane loops) and
+/// compared lane-for-lane, so a vectorization bug is pinned to the SIMD
+/// kernels rather than surfacing as a generic batch/dedicated mismatch.
 void crossCheckBatchSweep(const Tape &T, std::span<const NodeId> Outputs,
                           const VerifierOptions &Options,
                           VerifyReport &Report) {
   const unsigned Width = std::max(1u, Options.BatchWidth);
   std::vector<std::pair<NodeId, Interval>> Seeds;
-  BatchAdjoints Lanes, Single;
+  BatchAdjoints Lanes, ScalarLanes, Single;
   for (size_t Begin = 0; Begin < Outputs.size(); Begin += Width) {
     const size_t End = std::min(Begin + Width, Outputs.size());
     Seeds.clear();
     for (size_t O = Begin; O != End; ++O)
       Seeds.emplace_back(Outputs[O], Interval(1.0));
     T.reverseSweepBatch(Seeds, Lanes);
+    if (simd::NativeLanes > 1) {
+      T.reverseSweepBatch(Seeds, ScalarLanes, SweepBackend::Scalar);
+      for (size_t O = Begin; O != End; ++O) {
+        const unsigned Lane = static_cast<unsigned>(O - Begin);
+        for (size_t I = 0; I != T.size(); ++I) {
+          const NodeId Id = static_cast<NodeId>(I);
+          if (bitEqual(Lanes.at(Id, Lane), ScalarLanes.at(Id, Lane)))
+            continue;
+          std::ostringstream OS;
+          OS << "adjoint of u" << Id << " for output u" << Outputs[O]
+             << " differs between the SIMD and scalar sweep backends in "
+                "batch lane "
+             << Lane;
+          Finding F;
+          F.Kind = RuleKind::BatchSweepMismatch;
+          F.Node = Id;
+          F.Message = OS.str();
+          Report.add(std::move(F));
+        }
+      }
+    }
     // Testing seam (see VerifierOptions::TestLaneAdjointBitFlip).
     auto LaneAdjoint = [&](NodeId Id, unsigned Lane) {
       Interval A = Lanes.at(Id, Lane);

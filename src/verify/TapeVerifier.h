@@ -28,7 +28,10 @@
 /// The batch-sweep cross-check (SCORPIO-E008) additionally replays the
 /// adjoint sweep on the real Tape: every reverseSweepBatch lane is
 /// compared bit-for-bit against a dedicated single-seed sweep, pinning
-/// the vector-adjoint equivalence contract at verification time.
+/// the vector-adjoint equivalence contract at verification time.  On
+/// SIMD builds the same lanes are also replayed with the forced scalar
+/// backend (SweepBackend::Scalar) and compared bit-for-bit, extending
+/// the contract to the vectorized kernels themselves.
 ///
 //===----------------------------------------------------------------------===//
 
