@@ -24,7 +24,9 @@
 
 #include "apps/sobel/Sobel.h"
 #include "core/Analysis.h"
+#include "core/ParallelAnalysis.h"
 #include "quality/Image.h"
+#include "service/ResultCache.h"
 #include "simd/IntervalOps.h"
 #include "support/Json.h"
 #include "support/Timer.h"
@@ -33,6 +35,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <limits>
@@ -339,6 +342,66 @@ int main() {
     }));
   }
 
+  // --- Stage 6b: warm result-cache merge speedup -------------------
+  // A directory of analysis-heavy chain shards merged streaming twice:
+  // cold (every shard analysed) versus against a pre-warmed
+  // content-addressed result cache (every shard served without a
+  // reverse sweep).  The ratio is the repeat-merge win scorpio_merge
+  // --cache buys; the floor is 1.0 — a warm cache must never cost more
+  // than the analysis it replaces.
+  double CacheHitSpeedup = 1.0;
+  {
+    namespace fs = std::filesystem;
+    const std::string ShardDir = "bench_cache_shards.tmp";
+    const std::string CacheDir = "bench_cache_entries.tmp";
+    fs::remove_all(ShardDir);
+    fs::remove_all(CacheDir);
+    fs::create_directories(ShardDir);
+
+    AnalysisOptions ChainOpts;
+    ChainOpts.Mode = AnalysisOptions::OutputMode::PerOutput;
+    ParallelAnalysis P;
+    for (int S = 0; S != 8; ++S)
+      P.addShard("chain" + std::to_string(S), [] {
+        recordChains(Analysis::current(), NumOutputs, RecordNodes / 16);
+      });
+    TransportOptions Stap;
+    Stap.Mode = ShardTransport::Stap;
+    Stap.Directory = ShardDir;
+    P.run(ChainOpts, 4, ShardVerification::Off, Stap);
+
+    std::vector<std::string> ShardPaths;
+    for (const auto &Entry : fs::directory_iterator(ShardDir))
+      ShardPaths.push_back(Entry.path().string());
+    std::sort(ShardPaths.begin(), ShardPaths.end());
+    const size_t NumShards = ShardPaths.size();
+
+    const auto StreamMerge = [&](StreamingMergeOptions Options) {
+      if (!ParallelAnalysis::mergeStapStreaming(ShardPaths, Options)
+               .hasValue())
+        std::abort();
+    };
+    const Measurement NoCache =
+        measure("stap_merge_nocache", NumShards,
+                [&] { StreamMerge({}); });
+
+    service::ResultCache Cache(CacheDir);
+    StreamingMergeOptions Cached;
+    Cached.Cache = CacheMode::ReadWrite;
+    Cached.ResultCache = &Cache;
+    StreamMerge(Cached); // populate once; timed runs below all hit
+    const Measurement Warm =
+        measure("stap_merge_warmcache", NumShards,
+                [&] { StreamMerge(Cached); });
+    Results.push_back(NoCache);
+    Results.push_back(Warm);
+    CacheHitSpeedup = Warm.secondsPerCall() > 0.0
+                          ? NoCache.secondsPerCall() / Warm.secondsPerCall()
+                          : 1.0;
+    fs::remove_all(ShardDir);
+    fs::remove_all(CacheDir);
+  }
+
   // --- Stage 7: interval-primitive microbenchmarks -----------------
   // Per-op cost of the three interval primitives the sweep is built
   // from — full product, hull, and the outward-rounding step — as a
@@ -438,6 +501,9 @@ int main() {
             << VerifyOverhead * 100.0 << "% (gate: < 10%)\n";
   std::cout << "  stap compression ratio (compressed/raw bytes): "
             << StapCompressionRatio << "\n";
+  std::cout << "  stap cache-hit speedup (streaming merge, warm cache vs "
+               "full analysis): "
+            << CacheHitSpeedup << "x\n";
   std::cout << "  sharded merge deterministic: "
             << (Deterministic ? "yes" : "NO") << "\n";
 
@@ -477,6 +543,7 @@ int main() {
     J.key("sharded_sobel_gated").value(ShardGate);
     J.key("incremental_verify_overhead").value(VerifyOverhead);
     J.key("stap_compression_ratio").value(StapCompressionRatio);
+    J.key("stap_cache_hit_speedup").value(CacheHitSpeedup);
     J.key("sharded_deterministic").value(Deterministic);
     J.endObject();
     OS << "\n";
@@ -493,10 +560,14 @@ int main() {
   // structural property of the varint codec, not a tuning accident.
   // The SIMD sweep gate asks for >= 2.0 pure vectorization win on
   // SIMD-capable builds; the sharded gate needs real parallel hardware.
+  // A warm result cache trades every reverse sweep for one key hash and
+  // a file read, so >= 1.0 is the structural floor: the cache must
+  // never cost more than the analysis it skips.
   const bool Ok = Wrote && Deterministic && BatchSpeedup > 1.0 &&
                   (!SimdGate || SimdSweepSpeedup >= 2.0) &&
                   (!ShardGate || ShardSpeedup > 1.0) &&
-                  VerifyOverhead < 0.10 && StapCompressionRatio < 1.0;
+                  VerifyOverhead < 0.10 && StapCompressionRatio < 1.0 &&
+                  CacheHitSpeedup >= 1.0;
   std::cout << "perf report: " << (Ok ? "PASS" : "FAIL") << "\n";
   return Ok ? 0 : 1;
 }

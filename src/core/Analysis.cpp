@@ -61,7 +61,7 @@ void AnalysisResult::print(std::ostream &OS) const {
   PrintList("intermediates", Intermediates);
   PrintList("outputs", Outputs);
   OS << "variance level L=" << VarianceLevel << " (graph height "
-     << Graph.height() << ", " << Graph.numAlive() << " nodes)\n";
+     << GraphHeight << ", " << GraphAlive << " nodes)\n";
 }
 
 void AnalysisResult::writeJson(std::ostream &OS) const {
@@ -100,9 +100,11 @@ void AnalysisResult::writeJson(JsonWriter &J) const {
     J.key("verification");
     Verification.writeJson(J);
   }
+  // The stats captured at analyse() time, not the live graph: cached
+  // results carry no DynDFG but must render byte-identically.
   J.key("graph").beginObject();
-  J.key("aliveNodes").value(Graph.numAlive());
-  J.key("height").value(Graph.height());
+  J.key("aliveNodes").value(GraphAlive);
+  J.key("height").value(GraphHeight);
   J.endObject();
   J.endObject();
 }
@@ -386,6 +388,8 @@ AnalysisResult Analysis::analyse(const AnalysisOptions &OptionsIn) {
     // copy of the graph would hold, without deep-copying the graph.
     R.VarianceLevel = R.Graph.findSignificanceVarianceLevel(
         Options.Delta, R.OutputSig > 0.0 ? R.OutputSig : 1.0);
+    R.GraphAlive = R.Graph.numAlive();
+    R.GraphHeight = R.Graph.height();
   }
 
   return R;

@@ -145,7 +145,15 @@ public:
   double outputSignificance() const { return OutputSig; }
 
   /// The simplified DynDFG (or the raw one when Simplify was off).
+  /// Only live analyse() results carry a graph; results deserialized
+  /// from the result cache report the recorded stats below instead.
   const DynDFG &graph() const { return Graph; }
+
+  /// Alive-node count and height of graph() at analyse() time.  Stored
+  /// separately so a cached result (which cannot carry the DynDFG)
+  /// reports byte-identical graph statistics.
+  size_t graphAliveNodes() const { return GraphAlive; }
+  int graphHeight() const { return GraphHeight; }
 
   /// Level found by step S5 (-1 when no variance level was detected).
   int varianceLevel() const { return VarianceLevel; }
@@ -178,6 +186,8 @@ private:
   std::vector<VariableSignificance> Inputs, Intermediates, Outputs;
   double OutputSig = 0.0;
   DynDFG Graph;
+  size_t GraphAlive = 0;
+  int GraphHeight = 0;
   int VarianceLevel = -1;
   verify::VerifyReport Verification;
   bool Verified = false;

@@ -9,8 +9,16 @@
 #include "verify/TapeVerifier.h"
 
 #include <algorithm>
+#include <cmath>
+#include <condition_variable>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <optional>
 #include <sstream>
+#include <thread>
 
 using namespace scorpio;
 
@@ -50,6 +58,153 @@ std::string shardFileName(size_t Index) {
   char Buf[32];
   std::snprintf(Buf, sizeof(Buf), "shard_%06zu.stap", Index);
   return Buf;
+}
+
+//===----------------------------------------------------------------------===//
+// Result-cache wire format helpers
+//
+// Host-endian, like the keys: a cache directory is machine-local state,
+// not an interchange format (the .stap tapes it is derived from are the
+// canonical cross-machine artifact).
+//===----------------------------------------------------------------------===//
+
+constexpr uint64_t Fnv1aBasis = 14695981039346656037ULL;
+
+uint64_t fnv1a64(const char *Data, size_t Size, uint64_t Hash) {
+  for (size_t I = 0; I != Size; ++I) {
+    Hash ^= static_cast<uint8_t>(Data[I]);
+    Hash *= 1099511628211ULL;
+  }
+  return Hash;
+}
+
+/// Incremental FNV-1a over typed fields (cache keys).
+class KeyHasher {
+public:
+  template <typename T> void add(const T &V) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    char B[sizeof(T)];
+    std::memcpy(B, &V, sizeof(T));
+    Hash = fnv1a64(B, sizeof(T), Hash);
+  }
+  void addString(const std::string &S) {
+    add(static_cast<uint64_t>(S.size()));
+    Hash = fnv1a64(S.data(), S.size(), Hash);
+  }
+  uint64_t hash() const { return Hash; }
+
+private:
+  uint64_t Hash = Fnv1aBasis;
+};
+
+/// Appends POD fields to the cache payload buffer.
+class CacheWriter {
+public:
+  template <typename T> void put(const T &V) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const size_t At = Buf.size();
+    Buf.resize(At + sizeof(T));
+    std::memcpy(Buf.data() + At, &V, sizeof(T));
+  }
+  void putString(const std::string &S) {
+    put(static_cast<uint64_t>(S.size()));
+    Buf.append(S);
+  }
+  std::string take() { return std::move(Buf); }
+
+private:
+  std::string Buf;
+};
+
+/// Latching bounds-checked reader over a cache payload (the entry's
+/// checksum already passed, but the format must also reject stray bytes
+/// fed to it directly).
+class CacheReader {
+public:
+  explicit CacheReader(std::string_view Bytes)
+      : Data(Bytes.data()), Size(Bytes.size()) {}
+
+  template <typename T> T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T V{};
+    if (!Ok || Size - Pos < sizeof(T)) {
+      Ok = false;
+      return V;
+    }
+    std::memcpy(&V, Data + Pos, sizeof(T));
+    Pos += sizeof(T);
+    return V;
+  }
+  bool getString(std::string &Out) {
+    const uint64_t Len = get<uint64_t>();
+    if (!Ok || Len > Size - Pos) {
+      Ok = false;
+      return false;
+    }
+    Out.assign(Data + Pos, static_cast<size_t>(Len));
+    Pos += static_cast<size_t>(Len);
+    return true;
+  }
+  /// A stored element count must fit in the remaining bytes at
+  /// \p MinBytesPerElement each, or the stream is lying.
+  bool plausibleCount(uint64_t Count, size_t MinBytesPerElement) {
+    if (!Ok || Count > (Size - Pos) / MinBytesPerElement) {
+      Ok = false;
+      return false;
+    }
+    return true;
+  }
+  bool ok() const { return Ok; }
+  bool atEnd() const { return Ok && Pos == Size; }
+
+private:
+  const char *Data;
+  size_t Size;
+  size_t Pos = 0;
+  bool Ok = true;
+};
+
+/// Reconstructs an Interval from stored bounds, rejecting bit patterns
+/// no analysis can produce (the Interval invariant would assert).
+bool readInterval(CacheReader &R, Interval &Out) {
+  const double Lo = R.get<double>();
+  const double Hi = R.get<double>();
+  if (!R.ok() || std::isnan(Lo) || std::isnan(Hi) || Lo > Hi)
+    return false;
+  Out = Interval(Lo, Hi);
+  return true;
+}
+
+/// Cache-aware shard analysis shared by run()'s Stap reload stage and
+/// the streaming merge: a key hit skips adoption and every reverse
+/// sweep; a miss analyses and (in ReadWrite mode) stores.  Verification
+/// requests bypass the cache — cached entries carry no findings.
+ShardResult analyseOrCacheShard(LoadedTape Loaded,
+                                const AnalysisOptions &Options,
+                                ShardVerification Verify, CacheMode Mode,
+                                ShardResultCache *Cache,
+                                StreamingMergeStats *Stats) {
+  const bool UseCache =
+      Cache && Mode != CacheMode::Off && Verify == ShardVerification::Off;
+  uint64_t Key = 0;
+  if (UseCache) {
+    Key = shardCacheKey(Loaded, Options);
+    ShardResult Hit;
+    if (Cache->lookup(Key, Hit)) {
+      if (Stats)
+        ++Stats->CacheHits;
+      return Hit;
+    }
+    if (Stats)
+      ++Stats->CacheMisses;
+  }
+  ShardResult SR =
+      ParallelAnalysis::analyseShardTape(std::move(Loaded), Options, Verify);
+  if (Stats)
+    ++Stats->Analysed;
+  if (UseCache && Mode == CacheMode::ReadWrite)
+    Cache->store(Key, SR);
+  return SR;
 }
 
 } // namespace
@@ -96,6 +251,123 @@ bool scorpio::shardMetaMatches(const TapeMeta &Meta,
          Meta.VerifyTape == Options.VerifyTape &&
          Meta.Delta == Options.Delta &&
          Meta.SignificanceCap == Options.SignificanceCap;
+}
+
+uint64_t scorpio::shardCacheKey(const LoadedTape &Shard,
+                                const AnalysisOptions &Options,
+                                uint64_t SchemaHash) {
+  KeyHasher H;
+  H.add(SchemaHash);
+  // META shard identity.  A missing META is a distinct state, not a
+  // zero-equivalent one: an anonymous shard must never collide with
+  // shard 0 of a named run.
+  H.add(static_cast<uint8_t>(Shard.Meta.has_value()));
+  if (Shard.Meta) {
+    H.add(Shard.Meta->ShardIndex);
+    H.addString(Shard.Meta->ShardName);
+  }
+  // Every flattened analysis option, including the sweep backend: Auto
+  // and Scalar produce bit-identical results by the E008 contract, but
+  // the key must not bake that theorem in — a backend bug would
+  // otherwise cross-contaminate cached results.
+  H.add(static_cast<uint8_t>(Options.Mode));
+  H.add(static_cast<uint8_t>(Options.SignificanceMetric));
+  H.add(Options.BatchWidth);
+  H.add(static_cast<uint8_t>(Options.Simplify));
+  H.add(static_cast<uint8_t>(Options.BuildGraph));
+  H.add(static_cast<uint8_t>(Options.VerifyTape));
+  H.add(Options.Delta);
+  H.add(Options.SignificanceCap);
+  H.add(static_cast<uint8_t>(Options.Sweep));
+  // Input enclosures bit for bit: the analysis is a function of the
+  // input intervals, so [0, 1] and [0, 1 + ulp] must key differently.
+  const Tape &T = Shard.T;
+  H.add(static_cast<uint64_t>(T.inputs().size()));
+  for (NodeId In : T.inputs()) {
+    H.add(In);
+    H.add(T.value(In).lower());
+    H.add(T.value(In).upper());
+  }
+  // Structural digest of the node stream.  Node *values* beyond the
+  // inputs are recomputed by the sweep, so kinds, aux exponents,
+  // argument wiring and recorded partial bounds pin the computation.
+  H.add(static_cast<uint64_t>(T.size()));
+  for (size_t I = 0; I != T.size(); ++I) {
+    const NodeId Id = static_cast<NodeId>(I);
+    H.add(static_cast<uint8_t>(T.kind(Id)));
+    H.add(T.auxInt(Id));
+    const unsigned NumArgs = T.numArgs(Id);
+    H.add(static_cast<uint8_t>(NumArgs));
+    for (unsigned A = 0; A != NumArgs; ++A) {
+      H.add(T.arg(Id, A));
+      H.add(T.partial(Id, A).lower());
+      H.add(T.partial(Id, A).upper());
+    }
+  }
+  // Divergences recorded while the shard ran (they invalidate the
+  // report, so a diverged and a clean recording of the same kernel must
+  // never share an entry).
+  H.add(static_cast<uint64_t>(T.divergences().size()));
+  for (const std::string &D : T.divergences())
+    H.addString(D);
+  // Registration: which nodes are outputs/variables and their names.
+  const TapeRegistration &Reg = Shard.Reg;
+  H.add(static_cast<uint64_t>(Reg.Outputs.size()));
+  for (NodeId Out : Reg.Outputs)
+    H.add(Out);
+  H.add(static_cast<uint64_t>(Reg.Labels.size()));
+  for (const auto &[Id, Name] : Reg.Labels) {
+    H.add(Id);
+    H.addString(Name);
+  }
+  for (const auto *List :
+       {&Reg.InputVars, &Reg.IntermediateVars, &Reg.OutputVars}) {
+    H.add(static_cast<uint64_t>(List->size()));
+    for (const auto &[Id, Name] : *List) {
+      H.add(Id);
+      H.addString(Name);
+    }
+  }
+  return H.hash();
+}
+
+diag::Expected<std::vector<std::string>>
+scorpio::listStapShards(const std::string &Dir) {
+  namespace fs = std::filesystem;
+  std::error_code EC;
+  fs::directory_iterator It(Dir, EC);
+  if (EC)
+    return diag::Status::error(diag::ErrC::InvalidArgument,
+                               "cannot open shard directory '" + Dir +
+                                   "': " + EC.message());
+  std::vector<std::string> Paths;
+  // Explicit increment form: the range-for operator++ throws on a
+  // mid-scan failure, and checking the constructor's error_code alone
+  // (as the old scorpio_merge scanner did) misses it entirely — a
+  // failed increment silently becomes the end iterator.  Here a scan
+  // failure reports the last entry that was still readable.
+  std::string Last;
+  for (fs::directory_iterator End; It != End;) {
+    const fs::directory_entry &Entry = *It;
+    Last = Entry.path().string();
+    if (Entry.path().extension() == ".stap") {
+      const bool Regular = Entry.is_regular_file(EC);
+      if (EC)
+        return diag::Status::error(diag::ErrC::InvalidArgument,
+                                   "cannot stat shard '" + Last +
+                                       "': " + EC.message());
+      if (Regular)
+        Paths.push_back(Last);
+    }
+    It.increment(EC);
+    if (EC)
+      return diag::Status::error(diag::ErrC::InvalidArgument,
+                                 "error scanning shard directory '" + Dir +
+                                     "' after '" + Last +
+                                     "': " + EC.message());
+  }
+  std::sort(Paths.begin(), Paths.end());
+  return Paths;
 }
 
 const VariableSignificance *
@@ -293,8 +565,9 @@ ParallelAnalysisResult ParallelAnalysis::run(const AnalysisOptions &Options,
             transportFailure(Slot, Loaded.status());
             return;
           }
-          ShardResult Re =
-              analyseShardTape(std::move(Loaded.value()), Options, Verify);
+          ShardResult Re = analyseOrCacheShard(
+              std::move(Loaded.value()), Options, Verify, Transport.Cache,
+              Transport.ResultCache, /*Stats=*/nullptr);
           // Name/Index stay as registered; the tape's META must agree
           // (it was stamped from the same registration one stage ago).
           Slot.Result = std::move(Re.Result);
@@ -306,4 +579,263 @@ ParallelAnalysisResult ParallelAnalysis::run(const AnalysisOptions &Options,
   }
 
   return mergeShards(std::move(Results), Verify != ShardVerification::Off);
+}
+
+diag::Status ParallelAnalysisResult::saveJson(const std::string &Path) const {
+  std::ofstream OS(Path, std::ios::binary | std::ios::trunc);
+  if (!OS)
+    return diag::Status::error(diag::ErrC::InvalidArgument,
+                               "cannot open '" + Path + "' for writing");
+  writeJson(OS);
+  // Same contract as saveStap: a full disk or failing sink must become
+  // an error here, never a silently truncated report discovered later.
+  OS.flush();
+  if (!OS.good())
+    return diag::Status::error(diag::ErrC::InvalidArgument,
+                               "error writing report to '" + Path + "'");
+  OS.close();
+  if (OS.fail())
+    return diag::Status::error(diag::ErrC::InvalidArgument,
+                               "error closing report '" + Path + "'");
+  return diag::Status::ok();
+}
+
+//===----------------------------------------------------------------------===//
+// Result-cache serialization
+//===----------------------------------------------------------------------===//
+
+std::string ParallelAnalysis::serializeShardResult(const ShardResult &Shard) {
+  CacheWriter W;
+  W.putString(Shard.Name);
+  W.put(static_cast<uint64_t>(Shard.Index));
+  const AnalysisResult &R = Shard.Result;
+  W.put(static_cast<uint64_t>(R.Divergences.size()));
+  for (const std::string &D : R.Divergences)
+    W.putString(D);
+  W.put(static_cast<uint64_t>(R.NodeSignificance.size()));
+  for (double S : R.NodeSignificance)
+    W.put(S);
+  for (const auto *List : {&R.Inputs, &R.Intermediates, &R.Outputs}) {
+    W.put(static_cast<uint64_t>(List->size()));
+    for (const VariableSignificance &V : *List) {
+      W.putString(V.Name);
+      W.put(V.Node);
+      W.put(V.Value.lower());
+      W.put(V.Value.upper());
+      W.put(V.Significance);
+      W.put(V.Normalized);
+    }
+  }
+  W.put(R.OutputSig);
+  W.put(static_cast<int32_t>(R.VarianceLevel));
+  W.put(static_cast<uint64_t>(R.GraphAlive));
+  W.put(static_cast<int32_t>(R.GraphHeight));
+  return W.take();
+}
+
+diag::Expected<ShardResult>
+ParallelAnalysis::deserializeShardResult(std::string_view Bytes) {
+  const auto Malformed = [] {
+    return diag::Status::error(diag::ErrC::InvalidArgument,
+                               "malformed shard-result payload");
+  };
+  CacheReader R(Bytes);
+  ShardResult SR;
+  R.getString(SR.Name);
+  SR.Index = static_cast<size_t>(R.get<uint64_t>());
+  AnalysisResult &Res = SR.Result;
+  const uint64_t NumDivergences = R.get<uint64_t>();
+  if (!R.plausibleCount(NumDivergences, sizeof(uint64_t)))
+    return Malformed();
+  for (uint64_t I = 0; I != NumDivergences; ++I) {
+    std::string D;
+    if (!R.getString(D))
+      return Malformed();
+    Res.Divergences.push_back(std::move(D));
+  }
+  const uint64_t NumNodes = R.get<uint64_t>();
+  if (!R.plausibleCount(NumNodes, sizeof(double)))
+    return Malformed();
+  Res.NodeSignificance.reserve(static_cast<size_t>(NumNodes));
+  for (uint64_t I = 0; I != NumNodes; ++I)
+    Res.NodeSignificance.push_back(R.get<double>());
+  for (auto *List : {&Res.Inputs, &Res.Intermediates, &Res.Outputs}) {
+    const uint64_t NumVars = R.get<uint64_t>();
+    // Name length + node + four doubles per variable, minimum.
+    if (!R.plausibleCount(NumVars, sizeof(uint64_t) + sizeof(NodeId) +
+                                       4 * sizeof(double)))
+      return Malformed();
+    for (uint64_t I = 0; I != NumVars; ++I) {
+      VariableSignificance V;
+      if (!R.getString(V.Name))
+        return Malformed();
+      V.Node = R.get<NodeId>();
+      if (!readInterval(R, V.Value))
+        return Malformed();
+      V.Significance = R.get<double>();
+      V.Normalized = R.get<double>();
+      if (!R.ok())
+        return Malformed();
+      List->push_back(std::move(V));
+    }
+  }
+  Res.OutputSig = R.get<double>();
+  Res.VarianceLevel = R.get<int32_t>();
+  Res.GraphAlive = static_cast<size_t>(R.get<uint64_t>());
+  Res.GraphHeight = R.get<int32_t>();
+  // Exactly the serialized fields, nothing more: trailing bytes mean the
+  // entry was written by something else.
+  if (!R.atEnd())
+    return Malformed();
+  return SR;
+}
+
+//===----------------------------------------------------------------------===//
+// Streaming merge
+//===----------------------------------------------------------------------===//
+
+diag::Expected<ParallelAnalysisResult>
+ParallelAnalysis::mergeStapStreaming(const std::vector<std::string> &Paths,
+                                     const StreamingMergeOptions &Options,
+                                     StreamingMergeStats *Stats) {
+  StreamingMergeStats LocalStats;
+  if (!Stats)
+    Stats = &LocalStats;
+  *Stats = StreamingMergeStats();
+  if (Paths.empty())
+    return diag::Status::error(diag::ErrC::EmptyInput,
+                               "streaming merge: no shard paths");
+
+  const size_t Window = std::max(1u, Options.PrefetchWindow);
+  // Prefetch slots: Slots[I % Window] holds the load of Paths[I] once a
+  // worker finishes it.  The pacing below never submits path I + Window
+  // before path I was consumed, so a slot is always free when its load
+  // is submitted and at most Window tapes exist at once (the one being
+  // analysed plus Window - 1 prefetched).
+  struct Slot {
+    std::optional<diag::Expected<LoadedTape>> Loaded;
+  };
+  std::vector<Slot> Slots(Window);
+  std::mutex Mutex;
+  std::condition_variable SlotReady;
+  size_t InFlight = 0;       // loaded tapes not yet consumed
+  size_t NextToSubmit = 0;   // next Paths index to hand to the pool
+
+  // Declared after the state its jobs reference: on any early return the
+  // pool destructor drains every submitted load before ~Slots runs.
+  const unsigned PoolThreads =
+      Options.NumThreads != 0
+          ? Options.NumThreads
+          : static_cast<unsigned>(std::min<size_t>(
+                Window,
+                std::max(1u, std::thread::hardware_concurrency())));
+  rt::ThreadPool Pool(PoolThreads);
+
+  const auto SubmitUpTo = [&](size_t Limit) {
+    Limit = std::min(Limit, Paths.size());
+    for (; NextToSubmit != Limit; ++NextToSubmit) {
+      const size_t I = NextToSubmit;
+      Pool.submit([&, I] {
+        diag::Expected<LoadedTape> Loaded = loadStap(Paths[I]);
+        std::lock_guard<std::mutex> Lock(Mutex);
+        if (Loaded.hasValue()) {
+          ++InFlight;
+          Stats->MaxTapesInFlight =
+              std::max(Stats->MaxTapesInFlight, InFlight);
+        }
+        Slots[I % Window].Loaded.emplace(std::move(Loaded));
+        SlotReady.notify_all();
+      });
+    }
+  };
+
+  // Takes Paths[I]'s load out of its slot, blocking until the prefetch
+  // worker delivers it.
+  const auto TakeSlot = [&](size_t I) {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Slot &S = Slots[I % Window];
+    SlotReady.wait(Lock, [&] { return S.Loaded.has_value(); });
+    diag::Expected<LoadedTape> Loaded = std::move(*S.Loaded);
+    S.Loaded.reset();
+    return Loaded;
+  };
+  const auto ReleaseOne = [&] {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    --InFlight;
+  };
+
+  // Batch option semantics: every shard analyses under the options of
+  // the first shard (in Paths order) that carries them.  META-less
+  // shards seen before that reference exists cannot be analysed yet —
+  // their tapes are released (the window must not grow) and the paths
+  // reloaded serially once the reference is known.
+  AnalysisOptions Reference;
+  bool HaveReference = false;
+  std::vector<std::pair<size_t, std::string>> Deferred; // (ordinal, path)
+  std::vector<std::pair<size_t, ShardResult>> Results;  // (ordinal, result)
+
+  const auto Analyse = [&](LoadedTape Loaded, size_t Ordinal) {
+    ShardResult SR = analyseOrCacheShard(
+        std::move(Loaded), HaveReference ? Reference : AnalysisOptions(),
+        Options.Verify, Options.Cache, Options.ResultCache, Stats);
+    Results.emplace_back(Ordinal, std::move(SR));
+    ++Stats->ShardsMerged;
+  };
+
+  for (size_t I = 0; I != Paths.size(); ++I) {
+    SubmitUpTo(I + Window);
+    diag::Expected<LoadedTape> Loaded = TakeSlot(I);
+    if (!Loaded.hasValue())
+      return diag::Status::error(Loaded.status().code(),
+                                 "shard '" + Paths[I] +
+                                     "': " + Loaded.status().message());
+    LoadedTape Tape = std::move(Loaded.value());
+    if (Tape.Meta && Tape.Meta->HasOptions) {
+      if (!HaveReference) {
+        Reference = shardMetaOptions(*Tape.Meta);
+        HaveReference = true;
+        Stats->ReferencePath = Paths[I];
+      } else if (!shardMetaMatches(*Tape.Meta, Reference)) {
+        return diag::Status::error(
+            diag::ErrC::InvalidArgument,
+            "shard '" + Paths[I] +
+                "' was recorded under different analysis options than '" +
+                Stats->ReferencePath + "'");
+      }
+    } else if (!HaveReference) {
+      // No options yet: release the tape now so the merge never holds
+      // more than the window, and reload this path in the tail phase.
+      Deferred.emplace_back(I, Paths[I]);
+      ReleaseOne();
+      continue;
+    }
+    Analyse(std::move(Tape), I);
+    ReleaseOne();
+  }
+
+  // Tail phase: deferred META-less shards, analysed serially under the
+  // reference (or the defaults, when no shard carried options — then
+  // every shard was deferred and order is preserved trivially).
+  for (auto &[Ordinal, Path] : Deferred) {
+    diag::Expected<LoadedTape> Loaded = loadStap(Path);
+    if (!Loaded.hasValue())
+      return diag::Status::error(Loaded.status().code(),
+                                 "shard '" + Path +
+                                     "': " + Loaded.status().message());
+    ++Stats->DeferredReloads;
+    Analyse(std::move(Loaded.value()), Ordinal);
+  }
+
+  // mergeShards stable-sorts by shard Index; reproducing the batch
+  // loader's report bit for bit additionally needs its *input* order —
+  // Paths order — restored first, since deferred shards were appended
+  // out of line and ties on Index resolve by input position.
+  std::sort(Results.begin(), Results.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  std::vector<ShardResult> Shards;
+  Shards.reserve(Results.size());
+  for (auto &[Ordinal, SR] : Results)
+    Shards.push_back(std::move(SR));
+  return mergeShards(std::move(Shards),
+                     Options.Verify != ShardVerification::Off);
 }

@@ -28,6 +28,7 @@
 
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace scorpio {
@@ -65,6 +66,34 @@ enum class ShardTransport : uint8_t {
   Stap,
 };
 
+/// How shard analyses interact with a content-addressed result cache.
+enum class CacheMode : uint8_t {
+  /// Never consult or write the cache (the default).
+  Off,
+  /// Serve cached results on a key hit; store freshly analysed results.
+  ReadWrite,
+  /// Serve hits but never write (shared/immutable cache directories).
+  ReadOnly,
+};
+
+struct ShardResult;
+
+/// Abstract content-addressed store of per-shard analysis results,
+/// keyed by shardCacheKey().  Implementations (src/service/ResultCache)
+/// must be safe to call from several analysis workers concurrently, and
+/// must serve only entries that round-trip verification blessed: a
+/// corrupted or mismatched entry behaves as a miss, never as a wrong
+/// result.
+class ShardResultCache {
+public:
+  virtual ~ShardResultCache() = default;
+  /// Fills \p Out and returns true when \p Key has a valid entry.
+  virtual bool lookup(uint64_t Key, ShardResult &Out) = 0;
+  /// Persists \p Result under \p Key.  Returns false when the entry
+  /// could not be durably stored (the cache then behaves as if absent).
+  virtual bool store(uint64_t Key, const ShardResult &Result) = 0;
+};
+
 /// Transport knobs for ParallelAnalysis::run().
 struct TransportOptions {
   ShardTransport Mode = ShardTransport::InProcess;
@@ -74,6 +103,13 @@ struct TransportOptions {
   /// "<Directory>/shard_<index>.stap" (the directory must exist) and
   /// read back from disk; when empty, blobs stay in memory.
   std::string Directory;
+  /// Result cache consulted by the Stap reload stage (and by the
+  /// streaming merge): a key hit skips adoption and every reverse sweep
+  /// for that shard.  Cached entries carry no verification findings, so
+  /// runs with \p Verify != Off bypass the cache entirely.
+  CacheMode Cache = CacheMode::Off;
+  /// The cache implementation; not owned, ignored when Cache == Off.
+  ShardResultCache *ResultCache = nullptr;
 };
 
 /// Builds the META payload run() stamps into a shard tape: name, index
@@ -88,6 +124,26 @@ AnalysisOptions shardMetaOptions(const TapeMeta &Meta);
 /// the merge-side guard against mixing shards recorded under different
 /// analysis configurations.
 bool shardMetaMatches(const TapeMeta &Meta, const AnalysisOptions &Options);
+
+/// Content-addressed cache key of one loaded shard tape: an FNV-1a hash
+/// over (\p SchemaHash, the META shard identity, every flattened field
+/// of \p Options, the input-node enclosures bit for bit, a structural
+/// digest of the node stream — op kinds, aux exponents, argument ids,
+/// partial bounds — the recorded divergences, and the registration
+/// lists).  Any change that could alter the analysis report changes the
+/// key; \p SchemaHash defaults to the running build's stapSchemaHash()
+/// so results cached by an incompatible build can never be served.
+/// Keys hash host-memory bytes, so a cache directory is machine-local.
+uint64_t shardCacheKey(const LoadedTape &Shard,
+                       const AnalysisOptions &Options,
+                       uint64_t SchemaHash = stapSchemaHash());
+
+/// Sorted paths of every regular "*.stap" file directly inside \p Dir.
+/// The directory is walked with the explicit error_code increment form,
+/// so a scan failure mid-iteration (permission flip, racing unlink of
+/// the directory) reports the failing entry instead of throwing.
+diag::Expected<std::vector<std::string>>
+listStapShards(const std::string &Dir);
 
 /// The result of one shard, tagged with its registration-order index and
 /// user-supplied name.
@@ -140,6 +196,12 @@ public:
   /// count that produced them.
   void writeJson(std::ostream &OS) const;
 
+  /// Writes the merged report to the file at \p Path.  The stream is
+  /// flushed and closed before returning: a full disk or failing sink
+  /// yields an error Status, never a silently truncated report
+  /// (mirrors saveStap).
+  diag::Status saveJson(const std::string &Path) const;
+
 private:
   friend class ParallelAnalysis;
   std::vector<ShardResult> Shards;
@@ -148,6 +210,46 @@ private:
   double OutputSig = 0.0;
   verify::VerifyReport Verification;
   bool Verified = false;
+};
+
+/// Knobs of ParallelAnalysis::mergeStapStreaming().
+struct StreamingMergeOptions {
+  /// Per-shard re-verification before the merge consumes a shard.
+  /// Anything other than Off bypasses the result cache (cached entries
+  /// carry no verification findings).
+  ShardVerification Verify = ShardVerification::Off;
+  /// Upper bound on loaded-but-unconsumed tapes, including the one
+  /// being analysed; values < 1 behave as 1.  This — not the shard
+  /// count — bounds the merge's memory.
+  unsigned PrefetchWindow = 4;
+  /// Worker threads prefetching shard loads (0 = min(PrefetchWindow,
+  /// hardware concurrency)).
+  unsigned NumThreads = 0;
+  /// Result cache, as in TransportOptions.
+  CacheMode Cache = CacheMode::Off;
+  ShardResultCache *ResultCache = nullptr;
+};
+
+/// Counters one mergeStapStreaming() call fills (all zero-initialized).
+struct StreamingMergeStats {
+  /// Shards folded into the merged result.
+  size_t ShardsMerged = 0;
+  /// Shards served from / missed in the result cache (both zero when
+  /// the cache was off or bypassed).
+  size_t CacheHits = 0;
+  size_t CacheMisses = 0;
+  /// Shards that ran a full analysis (== CacheMisses when caching,
+  /// == ShardsMerged when not).
+  size_t Analysed = 0;
+  /// META-less shards that were released and reloaded once the
+  /// reference options were known.
+  size_t DeferredReloads = 0;
+  /// High-water mark of simultaneously loaded tapes; never exceeds the
+  /// prefetch window.
+  size_t MaxTapesInFlight = 0;
+  /// Path of the shard whose META established the reference analysis
+  /// options (empty when no shard carried options).
+  std::string ReferencePath;
 };
 
 /// Driver fanning shard record-functions over a thread pool.
@@ -203,6 +305,38 @@ public:
   /// performs, exposed so an out-of-process driver can reproduce it.
   static ParallelAnalysisResult mergeShards(std::vector<ShardResult> Shards,
                                             bool Verified = false);
+
+  /// Bounded-memory streaming merge of on-disk shard tapes: each path
+  /// is loaded through the loadStap trust boundary (a small prefetch
+  /// window ahead, over rt::ThreadPool), META-checked as it arrives,
+  /// analysed (or served from the result cache) and released before the
+  /// next shard is consumed.  The merged report is byte-identical to
+  /// loading every tape and calling analyseShardTape + mergeShards,
+  /// including the batch semantics for shards without META options:
+  /// every shard analyses under the options of the first shard (in
+  /// \p Paths order) that carries them — META-less shards seen before
+  /// that point are released and reloaded once the reference is known —
+  /// and a directory mixing two option sets is refused, naming both the
+  /// offending path and the path that established the reference.  Any
+  /// bad shard (load failure, META mismatch) rejects the whole merge
+  /// with an error Status, without every tape having been resident.
+  static diag::Expected<ParallelAnalysisResult>
+  mergeStapStreaming(const std::vector<std::string> &Paths,
+                     const StreamingMergeOptions &Options = {},
+                     StreamingMergeStats *Stats = nullptr);
+
+  /// Serializes one shard's report payload (name, index, divergences,
+  /// per-node significances, variable lists, output significance,
+  /// variance level, graph stats — not the live DynDFG or verification
+  /// findings) to a stable byte string: the result-cache wire format.
+  /// Host-endian; cache entries are machine-local like their keys.
+  static std::string serializeShardResult(const ShardResult &Shard);
+
+  /// Reverses serializeShardResult.  Returns an error Status on any
+  /// truncated or malformed byte stream; a round-trip through both
+  /// functions reproduces writeJson output byte-identically.
+  static diag::Expected<ShardResult>
+  deserializeShardResult(std::string_view Bytes);
 
 private:
   struct Shard {

@@ -6,6 +6,7 @@
 #include "simd/IntervalOps.h"
 
 #include <algorithm>
+#include <atomic>
 
 using namespace scorpio;
 
@@ -187,7 +188,17 @@ void Tape::seedAdjoint(NodeId Id, const Interval &Seed) {
   Adjoints[static_cast<size_t>(Id)] += Seed;
 }
 
+namespace {
+/// See Tape::totalReverseSweeps().
+std::atomic<uint64_t> ReverseSweepCounter{0};
+} // namespace
+
+uint64_t Tape::totalReverseSweeps() {
+  return ReverseSweepCounter.load(std::memory_order_relaxed);
+}
+
 void Tape::reverseSweep(SweepBackend Backend) {
+  ReverseSweepCounter.fetch_add(1, std::memory_order_relaxed);
   // Eq. 8: u_(1)i = sum over consumers j of dphi_j/du_i * u_(1)j,
   // evaluated by walking the tape backwards and scattering each node's
   // adjoint to its arguments.  Nodes with a [0,0] adjoint reach nobody
@@ -300,6 +311,7 @@ inline unsigned scatterLanesSimd(const Interval &P, const Interval *Row,
 void Tape::reverseSweepBatch(
     std::span<const std::pair<NodeId, Interval>> Seeds, BatchAdjoints &Out,
     SweepBackend Backend) const {
+  ReverseSweepCounter.fetch_add(1, std::memory_order_relaxed);
   const unsigned W = static_cast<unsigned>(Seeds.size());
   Out.resize(Values.size(), W);
   if (W == 0 || Values.empty())

@@ -326,6 +326,13 @@ public:
                          BatchAdjoints &Out,
                          SweepBackend Backend = SweepBackend::Auto) const;
 
+  /// Process-wide count of adjoint reverse sweeps executed since process
+  /// start (each reverseSweep() call and each reverseSweepBatch() pass
+  /// counts once, whatever its lane width).  Monotonic and thread-safe;
+  /// the result-cache tests assert that a warm cache serves a repeated
+  /// merge without this counter moving.
+  static uint64_t totalReverseSweeps();
+
   /// Records that a kernel branched on an ambiguous interval comparison.
   /// The analysis result will be flagged invalid (paper Section 2.2).
   void noteDivergence(std::string Description);

@@ -2,6 +2,7 @@
 
 #include "tape/TapeIO.h"
 
+#include <bit>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -44,7 +45,11 @@ constexpr uint64_t EdgeArgStride = 20; // NodeId i32 + partial lo/hi doubles
 
 std::string tagName(uint32_t Tag) {
   std::string S(4, ' ');
-  std::memcpy(S.data(), &Tag, 4);
+  // fourCC packs the first character into the low byte; emit LSB-first
+  // so the name prints identically on any host.
+  for (int I = 0; I != 4; ++I)
+    S[static_cast<size_t>(I)] =
+        static_cast<char>((Tag >> (8 * I)) & 0xFF);
   while (!S.empty() && S.back() == ' ')
     S.pop_back();
   return S;
@@ -59,14 +64,55 @@ uint64_t fnv1a64(const char *Data, size_t Size, uint64_t Hash) {
 }
 constexpr uint64_t Fnv1aBasis = 14695981039346656037ULL;
 
-/// Appends POD values to a byte buffer.
+//===----------------------------------------------------------------------===//
+// Endianness
+//
+// The canonical on-disk byte order is little-endian: the writer swaps
+// every multi-byte field on big-endian hosts (a no-op on the little-
+// endian machines every existing .stap came from), and the reader
+// converts file order to host order.  Codecs operate on the canonical
+// raw payloads, so compressed sections are host-independent too.
+//===----------------------------------------------------------------------===//
+
+constexpr bool HostIsLittleEndian =
+    std::endian::native == std::endian::little;
+
+/// std::byteswap is C++23; this is the classic byte-reversal for any
+/// trivially copyable scalar (doubles included).
+template <typename T> T byteswapped(T V) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char B[sizeof(T)];
+  std::memcpy(B, &V, sizeof(T));
+  for (size_t I = 0; I != sizeof(T) / 2; ++I)
+    std::swap(B[I], B[sizeof(T) - 1 - I]);
+  std::memcpy(&V, B, sizeof(T));
+  return V;
+}
+
+/// Host value -> canonical little-endian file value (identity on LE
+/// hosts).
+template <typename T> T toLittleEndian(T V) {
+  if constexpr (sizeof(T) > 1)
+    if (!HostIsLittleEndian)
+      return byteswapped(V);
+  return V;
+}
+
+/// Appends POD values to a byte buffer, multi-byte scalars in canonical
+/// little-endian order (byte arrays such as the magic pass through
+/// verbatim).
 class ByteWriter {
 public:
   template <typename T> void put(const T &V) {
     static_assert(std::is_trivially_copyable_v<T>);
     const size_t At = Buf.size();
     Buf.resize(At + sizeof(T));
-    std::memcpy(Buf.data() + At, &V, sizeof(T));
+    if constexpr (std::is_arithmetic_v<T>) {
+      const T C = toLittleEndian(V);
+      std::memcpy(Buf.data() + At, &C, sizeof(T));
+    } else {
+      std::memcpy(Buf.data() + At, &V, sizeof(T));
+    }
   }
   void putString(const std::string &S) {
     put(static_cast<uint32_t>(S.size()));
@@ -80,10 +126,13 @@ private:
 
 /// Bounds-checked POD reader over one section's payload.  Any read past
 /// the end latches the failure flag and yields zeroes, so parsing code
-/// can run straight-line and test ok() once.
+/// can run straight-line and test ok() once.  \p FileBigEndian converts
+/// a legacy big-endian file's multi-byte fields to host order (the
+/// default reads canonical little-endian files on any host).
 class Cursor {
 public:
-  Cursor(const char *Data, size_t Size) : Data(Data), Size(Size) {}
+  Cursor(const char *Data, size_t Size, bool FileBigEndian = false)
+      : Data(Data), Size(Size), FileBigEndian(FileBigEndian) {}
 
   template <typename T> T get() {
     static_assert(std::is_trivially_copyable_v<T>);
@@ -94,6 +143,9 @@ public:
     }
     std::memcpy(&V, Data + Pos, sizeof(T));
     Pos += sizeof(T);
+    if constexpr (std::is_arithmetic_v<T> && sizeof(T) > 1)
+      if (FileBigEndian == HostIsLittleEndian)
+        V = byteswapped(V);
     return V;
   }
   bool getString(std::string &Out) {
@@ -114,6 +166,7 @@ private:
   size_t Size;
   size_t Pos = 0;
   bool Ok = true;
+  bool FileBigEndian = false;
 };
 
 //===----------------------------------------------------------------------===//
@@ -216,8 +269,11 @@ std::string varintEncodeOps(const std::string &Raw, size_t NumNodes) {
   for (size_t I = 0; I != NumNodes; ++I)
     Out.push_back(Raw[I * OpsStride]);
   for (size_t I = 0; I != NumNodes; ++I) {
+    // The raw payload holds canonical little-endian bytes; convert to a
+    // host value so the zigzag deltas are host-independent.
     int32_t Aux = 0;
     std::memcpy(&Aux, Raw.data() + I * OpsStride + 1, 4);
+    Aux = toLittleEndian(Aux);
     putVarint(Out, zigzag(Aux));
   }
   return Out;
@@ -240,7 +296,8 @@ bool varintDecodeOps(const char *Data, size_t Size, uint64_t NumNodes,
     if (V < std::numeric_limits<int32_t>::min() ||
         V > std::numeric_limits<int32_t>::max())
       return false;
-    const int32_t Aux = static_cast<int32_t>(V);
+    // toLittleEndian is its own inverse: host value -> canonical bytes.
+    const int32_t Aux = toLittleEndian(static_cast<int32_t>(V));
     std::memcpy(Out.data() + I * OpsStride + 1, &Aux, 4);
   }
   return Pos == Size;
@@ -261,6 +318,7 @@ std::string varintEncodeEdge(const std::string &Raw, size_t NumNodes) {
     for (unsigned A = 0; A != Stored; ++A) {
       int32_t Arg = 0;
       std::memcpy(&Arg, Raw.data() + Pos, 4);
+      Arg = toLittleEndian(Arg); // canonical bytes -> host value
       Pos += 4;
       putVarint(Deltas, zigzag(static_cast<int64_t>(I) - Arg));
       Partials.append(Raw, Pos, 16);
@@ -306,7 +364,8 @@ bool varintDecodeEdge(const char *Data, size_t Size, uint64_t NumNodes,
     Out.push_back(static_cast<char>(C));
     const unsigned Stored = C < 2 ? C : 2;
     for (unsigned A = 0; A != Stored; ++A, ++AI) {
-      Out.append(reinterpret_cast<const char *>(&Args[AI]), 4);
+      const int32_t Arg = toLittleEndian(Args[AI]); // host -> canonical
+      Out.append(reinterpret_cast<const char *>(&Arg), 4);
       Out.append(Data + Pos + AI * 16, 16);
     }
   }
@@ -331,7 +390,7 @@ void compressSection(SectionOut &S, size_t NumNodes) {
                              : varintEncodeEdge(S.Payload, NumNodes);
   const auto Rle = [](const std::string &In) {
     std::string Stored;
-    const uint64_t RawSize = In.size();
+    const uint64_t RawSize = toLittleEndian<uint64_t>(In.size());
     Stored.append(reinterpret_cast<const char *>(&RawSize), 8);
     Stored += rleCompress(In);
     return Stored;
@@ -371,6 +430,7 @@ Expected<std::string> decodeSectionPayload(uint32_t Tag, uint32_t Flags,
                        "': RLE payload shorter than its size header");
     uint64_t RawSize = 0;
     std::memcpy(&RawSize, Data, 8);
+    RawSize = toLittleEndian(RawSize); // canonical bytes -> host value
     const uint64_t TokenBytes = Size - 8;
     // The decoder can emit at most RleMaxExpansion bytes per stored
     // byte; a stored size above that bound is a decompression bomb.
@@ -504,6 +564,7 @@ Status writeSections(std::ostream &OS, size_t NumNodes,
   else
     for (const SectionOut &S : Sections)
       Checksum = fnv1a64(S.Payload.data(), S.Payload.size(), Checksum);
+  Checksum = toLittleEndian(Checksum); // stored canonically like every field
   std::memcpy(File.data() + ChecksumAt, &Checksum, 8);
 
   OS.write(File.data(), static_cast<std::streamsize>(File.size()));
@@ -627,7 +688,24 @@ Expected<LoadedTape> scorpio::readStap(std::istream &IS) {
     return stapError("not a .stap file (bad magic)");
   if (File.size() < HeaderSize)
     return stapError("truncated header");
-  Cursor H(File.data() + 4, HeaderSize - 4);
+  // Endianness detection: the canonical byte order is little-endian, but
+  // a version field that only parses byte-swapped marks a file from a
+  // legacy native-order writer on a big-endian machine (the magic is a
+  // byte string and matches either way).  Version values are tiny, so
+  // the two interpretations can never both be readable.
+  const auto FieldVersion = [&](bool BigEndian) {
+    uint32_t V = 0;
+    for (int I = 0; I != 4; ++I)
+      V |= static_cast<uint32_t>(static_cast<uint8_t>(File[4 + I]))
+           << (BigEndian ? 24 - 8 * I : 8 * I);
+    return V;
+  };
+  const auto Readable = [](uint32_t V) {
+    return V >= StapOldestReadableVersion && V <= StapVersion;
+  };
+  const bool FileBigEndian =
+      !Readable(FieldVersion(false)) && Readable(FieldVersion(true));
+  Cursor H(File.data() + 4, HeaderSize - 4, FileBigEndian);
   const uint32_t Version = H.get<uint32_t>();
   if (Version < StapOldestReadableVersion || Version > StapVersion)
     return stapError("unsupported format version " + std::to_string(Version));
@@ -649,7 +727,8 @@ Expected<LoadedTape> scorpio::readStap(std::istream &IS) {
     uint64_t Size;
   };
   std::vector<Section> Sections;
-  Cursor TableCur(File.data() + HeaderSize, NumSections * 24);
+  Cursor TableCur(File.data() + HeaderSize, NumSections * 24,
+                  FileBigEndian);
   // Layout strictness (both versions): payloads sit contiguously in
   // table order immediately after the table, and the file ends at the
   // last payload byte.  This closes the blind spots a payload-domain
@@ -670,6 +749,13 @@ Expected<LoadedTape> scorpio::readStap(std::istream &IS) {
       if (S.Flags & ~StapSectionFlagMask)
         return stapError("unknown section flags on '" + tagName(S.Tag) +
                          "'");
+      // The section codecs are defined over canonical little-endian
+      // payloads; a legacy big-endian writer's compressed stream would
+      // decode to garbage, so refuse it outright.
+      if (FileBigEndian && S.Flags != 0)
+        return stapError("byte-swapped file carries compressed section '" +
+                         tagName(S.Tag) +
+                         "' (legacy big-endian tapes must be uncompressed)");
       if ((S.Flags & StapSectionVarint) && S.Tag != TagOps &&
           S.Tag != TagEdge)
         return stapError("varint flag is only defined for OPS/EDGE, not '" +
@@ -747,9 +833,12 @@ Expected<LoadedTape> scorpio::readStap(std::istream &IS) {
       return Payload.status();
     Decoded[Tag] = std::move(Payload.value());
   }
+  // Decoded payloads of a big-endian file keep the file's byte order
+  // (only uncompressed sections get this far), so the per-section
+  // cursors inherit the swap flag.
   const auto SectionCursor = [&](uint32_t Tag) {
     const std::string &P = Decoded[Tag];
-    return Cursor(P.data(), P.size());
+    return Cursor(P.data(), P.size(), FileBigEndian);
   };
 
   // NumNodes is attacker-controlled: pin it against the fixed-stride

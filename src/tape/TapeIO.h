@@ -47,9 +47,16 @@
 /// load-bearing (an offset flip on a zero-sized section cannot hide
 /// from the checksum).
 ///
-/// Integers and doubles are stored in native endianness; `.stap` files
-/// are an on-disk/IPC transport between scorpio processes on one
-/// architecture, not an archival interchange format.
+/// Integers and doubles are stored canonically in **little-endian**
+/// byte order, whatever the writing host's native order — a `.stap`
+/// written anywhere loads bit-identically everywhere, so heterogeneous
+/// cluster nodes can exchange shards.  The reader additionally accepts
+/// files from legacy native-order writers on big-endian machines: a
+/// version field that only parses byte-swapped marks the file as
+/// big-endian and every multi-byte field is swapped on read.  Such
+/// legacy files must be uncompressed — the v2 codecs are defined over
+/// canonical little-endian payloads, so a byte-swapped file carrying
+/// compression flags is rejected, never mis-decoded.
 ///
 /// The loader is a trust boundary: a `.stap` file may come from another
 /// process, an older build, or an attacker, so every read is

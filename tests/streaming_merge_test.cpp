@@ -1,0 +1,571 @@
+//===- tests/streaming_merge_test.cpp - Streaming merge + result cache ----===//
+//
+// The PR-7 contract: ParallelAnalysis::mergeStapStreaming must produce a
+// merged report byte-identical to loading every tape and batch-merging —
+// on every registry kernel, compressed and raw — while never holding
+// more than the prefetch window of tapes; the content-addressed result
+// cache must serve a repeat merge without a single reverse sweep, and
+// every corrupted/invalidated entry must degrade to a miss, never a
+// wrong result.  Also covers the merge-CLI correctness seams: the
+// reference-path META diagnostic, saveJson sink checking and the
+// explicit-increment directory scanner.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ParallelAnalysis.h"
+#include "service/ResultCache.h"
+
+#include "kernels/KernelRegistry.h"
+#include "support/Diag.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace scorpio;
+
+namespace {
+
+class StreamingMergeTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    diag::DiagSink::global().clear();
+    diag::setCheckPolicy(diag::CheckPolicy::ReturnStatus);
+  }
+  void TearDown() override { diag::DiagSink::global().clear(); }
+};
+
+/// Self-cleaning scratch directory under the gtest temp root.
+struct TempDir {
+  std::string Path;
+  explicit TempDir(const std::string &Name)
+      : Path(::testing::TempDir() + "/" + Name) {
+    std::filesystem::remove_all(Path);
+    std::filesystem::create_directories(Path);
+  }
+  ~TempDir() { std::filesystem::remove_all(Path); }
+};
+
+/// Records every registry kernel as one META-stamped shard tape in
+/// \p Dir (exactly what scorpio_shardd produces) and returns the
+/// in-process merged report as the byte-identity baseline.
+std::string recordRegistryShards(const std::string &Dir,
+                                 bool Compress = true) {
+  ParallelAnalysis P;
+  KernelRegistry &Registry = KernelRegistry::global();
+  std::vector<std::string> Names = Registry.names();
+  std::sort(Names.begin(), Names.end());
+  for (const std::string &Name : Names) {
+    const KernelDescriptor *K = Registry.find(Name);
+    EXPECT_NE(K, nullptr);
+    P.addShard(Name,
+               [K] { K->Analyse(Analysis::current(), K->DefaultRanges); });
+  }
+  TransportOptions Stap;
+  Stap.Mode = ShardTransport::Stap;
+  Stap.Compress = Compress;
+  Stap.Directory = Dir;
+  std::ostringstream OS;
+  P.run({}, /*NumThreads=*/4, ShardVerification::Off, Stap).writeJson(OS);
+  return OS.str();
+}
+
+/// The pre-streaming merge algorithm (load every tape, pick the first
+/// META options, analyse in path order, mergeShards) — the reference
+/// the streaming path must reproduce bit for bit.
+std::string batchMergeJson(const std::vector<std::string> &Paths) {
+  std::vector<LoadedTape> Tapes;
+  for (const std::string &Path : Paths) {
+    diag::Expected<LoadedTape> Loaded = loadStap(Path);
+    EXPECT_TRUE(Loaded.hasValue()) << Path << ": "
+                                   << Loaded.status().message();
+    Tapes.push_back(std::move(Loaded.value()));
+  }
+  AnalysisOptions Options;
+  for (const LoadedTape &T : Tapes)
+    if (T.Meta && T.Meta->HasOptions) {
+      Options = shardMetaOptions(*T.Meta);
+      break;
+    }
+  std::vector<ShardResult> Shards;
+  for (LoadedTape &T : Tapes)
+    Shards.push_back(
+        ParallelAnalysis::analyseShardTape(std::move(T), Options));
+  std::ostringstream OS;
+  ParallelAnalysis::mergeShards(std::move(Shards)).writeJson(OS);
+  return OS.str();
+}
+
+std::string streamJson(const std::vector<std::string> &Paths,
+                       const StreamingMergeOptions &Options = {},
+                       StreamingMergeStats *Stats = nullptr) {
+  diag::Expected<ParallelAnalysisResult> R =
+      ParallelAnalysis::mergeStapStreaming(Paths, Options, Stats);
+  EXPECT_TRUE(R.hasValue()) << R.status().message();
+  if (!R.hasValue())
+    return {};
+  std::ostringstream OS;
+  R.value().writeJson(OS);
+  return OS.str();
+}
+
+/// Writes one tiny kernel (y = x * x, x in [Lo, Hi]) as a .stap shard;
+/// with \p Meta null the tape carries no META section.
+void writeSquareShard(const std::string &Path, double Lo, double Hi,
+                      const TapeMeta *Meta) {
+  Analysis A;
+  IAValue X = A.input("x", Lo, Hi);
+  IAValue Y = X * X;
+  A.registerOutput(Y, "y");
+  const diag::Status S =
+      saveStap(Path, A.tape(), A.registration(), {}, {}, Meta);
+  ASSERT_TRUE(S.isOk()) << S.message();
+}
+
+//===----------------------------------------------------------------------===//
+// Streaming byte-identity and the window bound
+//===----------------------------------------------------------------------===//
+
+TEST_F(StreamingMergeTest, StreamingIsByteIdenticalOnAllRegistryKernels) {
+  for (const bool Compress : {true, false}) {
+    TempDir Dir(Compress ? "scorpio_stream_c" : "scorpio_stream_r");
+    const std::string InProcess = recordRegistryShards(Dir.Path, Compress);
+    diag::Expected<std::vector<std::string>> Paths =
+        listStapShards(Dir.Path);
+    ASSERT_TRUE(Paths.hasValue()) << Paths.status().message();
+    ASSERT_EQ(Paths.value().size(),
+              KernelRegistry::global().names().size());
+
+    StreamingMergeStats Stats;
+    const std::string Streamed = streamJson(Paths.value(), {}, &Stats);
+    EXPECT_EQ(InProcess, Streamed);
+    EXPECT_EQ(InProcess, batchMergeJson(Paths.value()));
+    EXPECT_EQ(Stats.ShardsMerged, Paths.value().size());
+    EXPECT_EQ(Stats.Analysed, Paths.value().size());
+    EXPECT_EQ(Stats.CacheHits, 0u);
+    EXPECT_EQ(Stats.DeferredReloads, 0u);
+    EXPECT_FALSE(Stats.ReferencePath.empty());
+  }
+}
+
+TEST_F(StreamingMergeTest, PrefetchWindowBoundsTapesInFlight) {
+  TempDir Dir("scorpio_stream_window");
+  const std::string InProcess = recordRegistryShards(Dir.Path);
+  const std::vector<std::string> Paths =
+      listStapShards(Dir.Path).valueOr({});
+  for (const unsigned Window : {1u, 2u, 5u}) {
+    StreamingMergeOptions Options;
+    Options.PrefetchWindow = Window;
+    StreamingMergeStats Stats;
+    EXPECT_EQ(InProcess, streamJson(Paths, Options, &Stats));
+    EXPECT_GE(Stats.MaxTapesInFlight, 1u);
+    EXPECT_LE(Stats.MaxTapesInFlight, Window);
+  }
+}
+
+TEST_F(StreamingMergeTest, LoadFailureRejectsWholeMerge) {
+  TempDir Dir("scorpio_stream_badshard");
+  recordRegistryShards(Dir.Path);
+  {
+    std::ofstream OS(Dir.Path + "/shard_zz_bad.stap", std::ios::binary);
+    OS << "STAPgarbage-that-is-not-a-tape";
+  }
+  const std::vector<std::string> Paths =
+      listStapShards(Dir.Path).valueOr({});
+  diag::Expected<ParallelAnalysisResult> R =
+      ParallelAnalysis::mergeStapStreaming(Paths);
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.status().message().find("shard_zz_bad.stap"),
+            std::string::npos)
+      << R.status().message();
+}
+
+//===----------------------------------------------------------------------===//
+// META reference semantics (the scorpio_merge Paths[0] regression)
+//===----------------------------------------------------------------------===//
+
+TEST_F(StreamingMergeTest, MetaMismatchNamesTheActualReferencePath) {
+  TempDir Dir("scorpio_stream_metamix");
+  // Alphabetically first shard has no META: the old scanner reported
+  // Paths[0] as the reference, which is exactly wrong here.
+  writeSquareShard(Dir.Path + "/a_nometa.stap", 1.0, 2.0, nullptr);
+  const TapeMeta RefMeta = makeShardMeta("ref", 1, {});
+  writeSquareShard(Dir.Path + "/b_ref.stap", 1.0, 2.0, &RefMeta);
+  AnalysisOptions Other;
+  Other.Delta = 0.25; // differs from the defaults
+  const TapeMeta OtherMeta = makeShardMeta("other", 2, Other);
+  writeSquareShard(Dir.Path + "/c_other.stap", 1.0, 2.0, &OtherMeta);
+
+  diag::Expected<ParallelAnalysisResult> R =
+      ParallelAnalysis::mergeStapStreaming(
+          listStapShards(Dir.Path).valueOr({}));
+  ASSERT_FALSE(R.hasValue());
+  // The offending shard and the shard that actually established the
+  // reference options — not the alphabetically-first path.
+  EXPECT_NE(R.status().message().find("c_other.stap"), std::string::npos)
+      << R.status().message();
+  EXPECT_NE(R.status().message().find("b_ref.stap"), std::string::npos)
+      << R.status().message();
+  EXPECT_EQ(R.status().message().find("a_nometa.stap"), std::string::npos)
+      << R.status().message();
+}
+
+TEST_F(StreamingMergeTest, DeferredMetalessShardsMatchBatchSemantics) {
+  TempDir Dir("scorpio_stream_defer");
+  // META-less shards sort before the option-carrying one, so the
+  // streaming merge must defer them, then reload under the reference.
+  writeSquareShard(Dir.Path + "/a.stap", 1.0, 2.0, nullptr);
+  writeSquareShard(Dir.Path + "/b.stap", 3.0, 4.0, nullptr);
+  AnalysisOptions NonDefault;
+  NonDefault.Mode = AnalysisOptions::OutputMode::PerOutput;
+  NonDefault.Delta = 0.125;
+  const TapeMeta Meta = makeShardMeta("carrier", 0, NonDefault);
+  writeSquareShard(Dir.Path + "/c.stap", 5.0, 6.0, &Meta);
+
+  const std::vector<std::string> Paths =
+      listStapShards(Dir.Path).valueOr({});
+  StreamingMergeStats Stats;
+  const std::string Streamed = streamJson(Paths, {}, &Stats);
+  EXPECT_EQ(batchMergeJson(Paths), Streamed);
+  EXPECT_EQ(Stats.DeferredReloads, 2u);
+  EXPECT_EQ(Stats.ReferencePath, Dir.Path + "/c.stap");
+
+  // All META-less: everything defers and analyses under the defaults.
+  TempDir Plain("scorpio_stream_defer_all");
+  writeSquareShard(Plain.Path + "/a.stap", 1.0, 2.0, nullptr);
+  writeSquareShard(Plain.Path + "/b.stap", 3.0, 4.0, nullptr);
+  const std::vector<std::string> PlainPaths =
+      listStapShards(Plain.Path).valueOr({});
+  StreamingMergeStats PlainStats;
+  EXPECT_EQ(batchMergeJson(PlainPaths),
+            streamJson(PlainPaths, {}, &PlainStats));
+  EXPECT_EQ(PlainStats.DeferredReloads, 2u);
+  EXPECT_TRUE(PlainStats.ReferencePath.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Result cache: hits, invalidation, corruption, read-only
+//===----------------------------------------------------------------------===//
+
+TEST_F(StreamingMergeTest, WarmCacheIsByteIdenticalWithoutAnySweep) {
+  TempDir Shards("scorpio_cache_shards");
+  TempDir Cache("scorpio_cache_dir");
+  const std::string InProcess = recordRegistryShards(Shards.Path);
+  const std::vector<std::string> Paths =
+      listStapShards(Shards.Path).valueOr({});
+  const size_t N = Paths.size();
+
+  service::ResultCache RC(Cache.Path);
+  ASSERT_TRUE(RC.directoryStatus().isOk());
+  StreamingMergeOptions Options;
+  Options.Cache = CacheMode::ReadWrite;
+  Options.ResultCache = &RC;
+
+  StreamingMergeStats Cold;
+  EXPECT_EQ(InProcess, streamJson(Paths, Options, &Cold));
+  EXPECT_EQ(Cold.CacheHits, 0u);
+  EXPECT_EQ(Cold.CacheMisses, N);
+  EXPECT_EQ(Cold.Analysed, N);
+  EXPECT_EQ(RC.stats().Stores, N);
+
+  // The warm merge must not run one reverse sweep: every shard is
+  // served from the cache, so the process-wide sweep counter freezes.
+  const uint64_t SweepsBefore = Tape::totalReverseSweeps();
+  StreamingMergeStats Warm;
+  EXPECT_EQ(InProcess, streamJson(Paths, Options, &Warm));
+  EXPECT_EQ(Tape::totalReverseSweeps(), SweepsBefore);
+  EXPECT_EQ(Warm.CacheHits, N);
+  EXPECT_EQ(Warm.CacheMisses, 0u);
+  EXPECT_EQ(Warm.Analysed, 0u);
+}
+
+TEST_F(StreamingMergeTest, RunStapTransportUsesTheCacheToo) {
+  TempDir Cache("scorpio_cache_runstap");
+  service::ResultCache RC(Cache.Path);
+  TransportOptions Stap;
+  Stap.Mode = ShardTransport::Stap;
+  Stap.Cache = CacheMode::ReadWrite;
+  Stap.ResultCache = &RC;
+
+  const auto Run = [&] {
+    ParallelAnalysis P;
+    P.addShard("square", [] {
+      Analysis &A = Analysis::current();
+      IAValue X = A.input("x", 1.0, 2.0);
+      IAValue Y = X * X;
+      A.registerOutput(Y, "y");
+    });
+    std::ostringstream OS;
+    P.run({}, 1, ShardVerification::Off, Stap).writeJson(OS);
+    return OS.str();
+  };
+  const std::string First = Run();
+  EXPECT_EQ(RC.stats().Stores, 1u);
+  EXPECT_EQ(First, Run());
+  EXPECT_EQ(RC.stats().Hits, 1u);
+}
+
+TEST_F(StreamingMergeTest, VerificationBypassesTheCache) {
+  TempDir Shards("scorpio_cache_verify_shards");
+  TempDir Cache("scorpio_cache_verify_dir");
+  recordRegistryShards(Shards.Path);
+  const std::vector<std::string> Paths =
+      listStapShards(Shards.Path).valueOr({});
+  service::ResultCache RC(Cache.Path);
+  StreamingMergeOptions Options;
+  Options.Cache = CacheMode::ReadWrite;
+  Options.ResultCache = &RC;
+  Options.Verify = ShardVerification::Incremental;
+  StreamingMergeStats Stats;
+  streamJson(Paths, Options, &Stats);
+  // Verified merges carry findings a cache entry cannot: no lookups, no
+  // stores, every shard analysed fresh.
+  EXPECT_EQ(Stats.CacheHits + Stats.CacheMisses, 0u);
+  EXPECT_EQ(Stats.Analysed, Paths.size());
+  EXPECT_EQ(RC.stats().Stores, 0u);
+}
+
+TEST_F(StreamingMergeTest, CacheKeySeparatesEveryInput) {
+  Analysis A;
+  IAValue X = A.input("x", 1.0, 2.0);
+  IAValue Y = X * X;
+  A.registerOutput(Y, "y");
+  std::ostringstream OS(std::ios::binary);
+  const TapeMeta Meta = makeShardMeta("square", 0, {});
+  ASSERT_TRUE(writeStap(OS, A.tape(), A.registration(), {}, {}, &Meta)
+                  .isOk());
+  const auto Load = [&] {
+    std::istringstream IS(OS.str(), std::ios::binary);
+    diag::Expected<LoadedTape> L = readStap(IS);
+    EXPECT_TRUE(L.hasValue());
+    return std::move(L.value());
+  };
+  const LoadedTape Base = Load();
+  const uint64_t Key = shardCacheKey(Base, {});
+  EXPECT_EQ(Key, shardCacheKey(Load(), {})); // deterministic
+
+  // A different build's schema hash must never share entries.
+  EXPECT_NE(Key, shardCacheKey(Base, {}, stapSchemaHash() ^ 1));
+
+  // Every analysis option participates, including the sweep backend.
+  AnalysisOptions Opt;
+  Opt.Delta = 0.5;
+  EXPECT_NE(Key, shardCacheKey(Base, Opt));
+  Opt = {};
+  Opt.Sweep = SweepBackend::Scalar;
+  EXPECT_NE(Key, shardCacheKey(Base, Opt));
+
+  // A changed input enclosure changes the key.
+  Analysis B;
+  IAValue X2 = B.input("x", 1.0, 2.0000000000000004); // one ulp wider
+  IAValue Y2 = X2 * X2;
+  B.registerOutput(Y2, "y");
+  std::ostringstream OS2(std::ios::binary);
+  ASSERT_TRUE(writeStap(OS2, B.tape(), B.registration(), {}, {}, &Meta)
+                  .isOk());
+  std::istringstream IS2(OS2.str(), std::ios::binary);
+  diag::Expected<LoadedTape> Wider = readStap(IS2);
+  ASSERT_TRUE(Wider.hasValue());
+  EXPECT_NE(Key, shardCacheKey(Wider.value(), {}));
+
+  // META identity participates: same tape bytes, different shard name.
+  LoadedTape Renamed = Load();
+  Renamed.Meta->ShardName = "square2";
+  EXPECT_NE(Key, shardCacheKey(Renamed, {}));
+}
+
+TEST_F(StreamingMergeTest, CorruptedEntryFallsBackToAnalysis) {
+  TempDir Shards("scorpio_cache_corrupt_shards");
+  TempDir Cache("scorpio_cache_corrupt_dir");
+  const std::string InProcess = recordRegistryShards(Shards.Path);
+  const std::vector<std::string> Paths =
+      listStapShards(Shards.Path).valueOr({});
+  {
+    service::ResultCache RC(Cache.Path);
+    StreamingMergeOptions Options;
+    Options.Cache = CacheMode::ReadWrite;
+    Options.ResultCache = &RC;
+    streamJson(Paths, Options, nullptr);
+  }
+  // Flip one byte in the middle of every entry: checksums must catch
+  // each one, the merge must re-analyse and still be byte-identical,
+  // and ReadWrite mode must evict and re-store clean entries.
+  size_t Entries = 0;
+  for (const auto &E :
+       std::filesystem::directory_iterator(Cache.Path)) {
+    std::fstream F(E.path(), std::ios::in | std::ios::out |
+                                 std::ios::binary);
+    F.seekg(0, std::ios::end);
+    const auto Size = F.tellg();
+    F.seekp(static_cast<std::streamoff>(Size) / 2);
+    char C = 0;
+    F.seekg(static_cast<std::streamoff>(Size) / 2);
+    F.get(C);
+    F.seekp(static_cast<std::streamoff>(Size) / 2);
+    F.put(static_cast<char>(C ^ 0x5a));
+    ++Entries;
+  }
+  ASSERT_EQ(Entries, Paths.size());
+
+  service::ResultCache RC(Cache.Path);
+  StreamingMergeOptions Options;
+  Options.Cache = CacheMode::ReadWrite;
+  Options.ResultCache = &RC;
+  StreamingMergeStats Stats;
+  EXPECT_EQ(InProcess, streamJson(Paths, Options, &Stats));
+  EXPECT_EQ(Stats.CacheHits, 0u);
+  EXPECT_EQ(Stats.CacheMisses, Paths.size());
+  EXPECT_EQ(RC.stats().CorruptEntries, Paths.size());
+  EXPECT_EQ(RC.stats().Stores, Paths.size());
+
+  // The re-stored entries serve the next merge.
+  StreamingMergeStats Warm;
+  EXPECT_EQ(InProcess, streamJson(Paths, Options, &Warm));
+  EXPECT_EQ(Warm.CacheHits, Paths.size());
+}
+
+TEST_F(StreamingMergeTest, ReadOnlyCacheNeverWrites) {
+  TempDir Shards("scorpio_cache_ro_shards");
+  TempDir Cache("scorpio_cache_ro_dir");
+  const std::string InProcess = recordRegistryShards(Shards.Path);
+  const std::vector<std::string> Paths =
+      listStapShards(Shards.Path).valueOr({});
+
+  service::ResultCache RC(Cache.Path, /*Writable=*/false);
+  StreamingMergeOptions Options;
+  Options.Cache = CacheMode::ReadOnly;
+  Options.ResultCache = &RC;
+  StreamingMergeStats Stats;
+  EXPECT_EQ(InProcess, streamJson(Paths, Options, &Stats));
+  EXPECT_EQ(Stats.CacheMisses, Paths.size());
+  EXPECT_EQ(RC.stats().Stores, 0u);
+  EXPECT_TRUE(std::filesystem::is_empty(Cache.Path));
+
+  // Populate read-write, then serve read-only.
+  {
+    service::ResultCache RW(Cache.Path);
+    StreamingMergeOptions Populate;
+    Populate.Cache = CacheMode::ReadWrite;
+    Populate.ResultCache = &RW;
+    streamJson(Paths, Populate, nullptr);
+  }
+  service::ResultCache RO(Cache.Path, /*Writable=*/false);
+  StreamingMergeOptions Serve;
+  Serve.Cache = CacheMode::ReadOnly;
+  Serve.ResultCache = &RO;
+  StreamingMergeStats Warm;
+  EXPECT_EQ(InProcess, streamJson(Paths, Serve, &Warm));
+  EXPECT_EQ(Warm.CacheHits, Paths.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization round-trip
+//===----------------------------------------------------------------------===//
+
+TEST_F(StreamingMergeTest, ShardResultSerializationRoundTrips) {
+  Analysis A;
+  IAValue X = A.input("x", 1.0, 2.0);
+  IAValue Z = A.input("z", -0.5, 0.5);
+  IAValue Mid = X * Z;
+  A.registerIntermediate(Mid, "mid");
+  IAValue Y = Mid + X * X;
+  A.registerOutput(Y, "y");
+  ShardResult SR;
+  SR.Name = "round-trip";
+  SR.Index = 42;
+  SR.Result = A.analyse();
+
+  const std::string Bytes = ParallelAnalysis::serializeShardResult(SR);
+  diag::Expected<ShardResult> Back =
+      ParallelAnalysis::deserializeShardResult(Bytes);
+  ASSERT_TRUE(Back.hasValue()) << Back.status().message();
+  EXPECT_EQ(Back.value().Name, SR.Name);
+  EXPECT_EQ(Back.value().Index, SR.Index);
+  std::ostringstream Orig, Re;
+  SR.Result.writeJson(Orig);
+  Back.value().Result.writeJson(Re);
+  EXPECT_EQ(Orig.str(), Re.str());
+  // And re-serialization is bit-stable (the store-time verification
+  // relies on it).
+  EXPECT_EQ(Bytes,
+            ParallelAnalysis::serializeShardResult(Back.value()));
+
+  // Truncation at every length must be an error, never a crash or a
+  // silently partial result.
+  for (size_t Len = 0; Len != Bytes.size(); ++Len)
+    EXPECT_FALSE(ParallelAnalysis::deserializeShardResult(
+                     std::string_view(Bytes).substr(0, Len))
+                     .hasValue())
+        << "accepted truncation at " << Len;
+  // Trailing garbage is foreign bytes, not an entry.
+  EXPECT_FALSE(
+      ParallelAnalysis::deserializeShardResult(Bytes + "x").hasValue());
+  // A NaN interval bound would violate the Interval invariant.
+  EXPECT_FALSE(ParallelAnalysis::deserializeShardResult("").hasValue());
+}
+
+//===----------------------------------------------------------------------===//
+// CLI seams: saveJson sink checking and the directory scanner
+//===----------------------------------------------------------------------===//
+
+TEST_F(StreamingMergeTest, SaveJsonSurfacesSinkFailures) {
+  ParallelAnalysis P;
+  P.addShard("square", [] {
+    Analysis &A = Analysis::current();
+    IAValue X = A.input("x", 1.0, 2.0);
+    IAValue Y = X * X;
+    A.registerOutput(Y, "y");
+  });
+  const ParallelAnalysisResult R = P.run({}, 1);
+
+  // Unopenable path: error, not silence.
+  EXPECT_FALSE(
+      R.saveJson("/nonexistent-scorpio-dir/report.json").isOk());
+
+  // A sink that accepts open() but fails writes: /dev/full makes the
+  // flush fail, which the old writeJson-to-ofstream path never checked.
+  if (std::filesystem::exists("/dev/full")) {
+    const diag::Status S = R.saveJson("/dev/full");
+    EXPECT_FALSE(S.isOk());
+    EXPECT_NE(S.message().find("/dev/full"), std::string::npos);
+  }
+
+  // The happy path round-trips through writeJson byte-identically.
+  TempDir Dir("scorpio_savejson");
+  const std::string Path = Dir.Path + "/report.json";
+  ASSERT_TRUE(R.saveJson(Path).isOk());
+  std::ifstream IS(Path, std::ios::binary);
+  std::ostringstream Got, Want;
+  Got << IS.rdbuf();
+  R.writeJson(Want);
+  EXPECT_EQ(Got.str(), Want.str());
+}
+
+TEST_F(StreamingMergeTest, ListStapShardsFiltersAndSorts) {
+  TempDir Dir("scorpio_scan");
+  writeSquareShard(Dir.Path + "/b.stap", 1.0, 2.0, nullptr);
+  writeSquareShard(Dir.Path + "/a.stap", 1.0, 2.0, nullptr);
+  { std::ofstream(Dir.Path + "/notes.txt") << "not a tape"; }
+  // A directory named like a tape is not a regular file.
+  std::filesystem::create_directory(Dir.Path + "/dir.stap");
+
+  diag::Expected<std::vector<std::string>> Paths =
+      listStapShards(Dir.Path);
+  ASSERT_TRUE(Paths.hasValue()) << Paths.status().message();
+  ASSERT_EQ(Paths.value().size(), 2u);
+  EXPECT_EQ(Paths.value()[0], Dir.Path + "/a.stap");
+  EXPECT_EQ(Paths.value()[1], Dir.Path + "/b.stap");
+
+  diag::Expected<std::vector<std::string>> Missing =
+      listStapShards(Dir.Path + "/no-such-dir");
+  ASSERT_FALSE(Missing.hasValue());
+  EXPECT_NE(Missing.status().message().find("no-such-dir"),
+            std::string::npos);
+}
+
+} // namespace

@@ -677,4 +677,266 @@ TEST_F(TapeIOTest, SaveStapReportsUnwritablePathAndFullDisk) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Endianness tolerance: legacy big-endian files
+//===----------------------------------------------------------------------===//
+
+/// Reverses \p N bytes at \p Pos in place (scalar-field byte swap).
+void swapAt(std::string &B, size_t Pos, size_t N) {
+  ASSERT_LE(Pos + N, B.size());
+  std::reverse(B.begin() + static_cast<ptrdiff_t>(Pos),
+               B.begin() + static_cast<ptrdiff_t>(Pos + N));
+}
+
+uint64_t leAt(const std::string &B, size_t Pos, size_t N) {
+  uint64_t V = 0;
+  for (size_t I = 0; I != N; ++I)
+    V |= static_cast<uint64_t>(static_cast<uint8_t>(B[Pos + I])) << (8 * I);
+  return V;
+}
+
+/// Rewrites an *uncompressed* canonical (little-endian) v2 .stap byte
+/// string into what a legacy native-order writer on a big-endian
+/// machine would have produced: every multi-byte scalar byte-swapped
+/// (string characters untouched), checksum recomputed over the swapped
+/// bytes and stored big-endian.  Walks the exact on-disk layout, so it
+/// doubles as a layout pin: a new section or field that this helper
+/// does not know breaks the tests loudly.
+void byteSwapStapFile(std::string &B) {
+  ASSERT_GE(B.size(), 56u); // header + at least one table entry
+  const uint64_t NumNodes = leAt(B, 8, 8);
+  const uint64_t NumSections = leAt(B, 16, 8);
+  // Header: version, node count, section count (checksum is rewritten
+  // at the end).
+  swapAt(B, 4, 4);
+  swapAt(B, 8, 8);
+  swapAt(B, 16, 8);
+
+  struct Entry {
+    std::string Tag;
+    uint64_t Offset, Size;
+  };
+  std::vector<Entry> Entries;
+  for (uint64_t I = 0; I != NumSections; ++I) {
+    const size_t At = 32 + static_cast<size_t>(I) * 24;
+    Entries.push_back({B.substr(At, 4), leAt(B, At + 8, 8),
+                       leAt(B, At + 16, 8)});
+    swapAt(B, At, 4);      // tag (stored as a u32, so it swaps too)
+    swapAt(B, At + 4, 4);  // flags
+    swapAt(B, At + 8, 8);  // offset
+    swapAt(B, At + 16, 8); // size
+  }
+
+  // Swaps a u32 length prefix and skips the (byte-order-free) chars.
+  const auto SwapString = [&](size_t &Pos) {
+    const uint64_t Len = leAt(B, Pos, 4);
+    swapAt(B, Pos, 4);
+    Pos += 4 + static_cast<size_t>(Len);
+  };
+  const auto SwapIdList = [&](size_t Pos) {
+    const uint64_t Count = leAt(B, Pos, 8);
+    swapAt(B, Pos, 8);
+    Pos += 8;
+    for (uint64_t I = 0; I != Count; ++I, Pos += 4)
+      swapAt(B, Pos, 4);
+  };
+  const auto SwapNamedIds = [&](size_t &Pos) {
+    const uint64_t Count = leAt(B, Pos, 8);
+    swapAt(B, Pos, 8);
+    Pos += 8;
+    for (uint64_t I = 0; I != Count; ++I) {
+      swapAt(B, Pos, 4); // NodeId
+      Pos += 4;
+      SwapString(Pos);
+    }
+  };
+
+  for (const Entry &E : Entries) {
+    size_t Pos = static_cast<size_t>(E.Offset);
+    if (E.Tag == "OPS ") {
+      for (uint64_t I = 0; I != NumNodes; ++I)
+        swapAt(B, Pos + static_cast<size_t>(I) * 5 + 1, 4); // aux i32
+    } else if (E.Tag == "VALS") {
+      for (uint64_t I = 0; I != NumNodes * 2; ++I)
+        swapAt(B, Pos + static_cast<size_t>(I) * 8, 8);
+    } else if (E.Tag == "EDGE") {
+      for (uint64_t I = 0; I != NumNodes; ++I) {
+        const uint8_t NumArgs = static_cast<uint8_t>(B[Pos]);
+        ++Pos;
+        const unsigned Stored = NumArgs < 2 ? NumArgs : 2;
+        for (unsigned A = 0; A != Stored; ++A) {
+          swapAt(B, Pos, 4);     // arg id
+          swapAt(B, Pos + 4, 8); // partial lo
+          swapAt(B, Pos + 12, 8);
+          Pos += 20;
+        }
+      }
+    } else if (E.Tag == "INPT" || E.Tag == "OUTP") {
+      SwapIdList(Pos);
+    } else if (E.Tag == "META") {
+      swapAt(B, Pos, 8); // schema hash
+      swapAt(B, Pos + 8, 8);
+      Pos += 16;
+      SwapString(Pos);   // shard name
+      Pos += 4;          // HasOptions/OutputMode/Metric u8s + ...
+      swapAt(B, Pos - 1, 4); // BatchWidth u32 (after three u8s)
+      Pos += 3 + 3;      // BatchWidth tail + three more u8 flags
+      swapAt(B, Pos, 8); // Delta
+      swapAt(B, Pos + 8, 8);
+    } else if (E.Tag == "LABL") {
+      SwapNamedIds(Pos);
+    } else if (E.Tag == "VARS") {
+      SwapNamedIds(Pos);
+      SwapNamedIds(Pos);
+      SwapNamedIds(Pos);
+    } else if (E.Tag == "DIVG") {
+      const uint64_t Count = leAt(B, Pos, 8);
+      swapAt(B, Pos, 8);
+      Pos += 8;
+      for (uint64_t I = 0; I != Count; ++I)
+        SwapString(Pos);
+    } else if (E.Tag == "SIG ") {
+      const uint64_t Count = leAt(B, Pos, 8);
+      swapAt(B, Pos, 8);
+      Pos += 8;
+      for (uint64_t I = 0; I != Count; ++I, Pos += 8)
+        swapAt(B, Pos, 8);
+    } else {
+      FAIL() << "byteSwapStapFile: unknown section tag '" << E.Tag << "'";
+    }
+  }
+
+  // Checksum, as the legacy writer would have computed it: over the
+  // native-order (now swapped) bytes with the field zeroed, stored in
+  // native (big-endian) byte order.
+  std::memset(B.data() + 24, 0, 8);
+  uint64_t Hash = 14695981039346656037ULL;
+  for (char C : B) {
+    Hash ^= static_cast<uint8_t>(C);
+    Hash *= 1099511628211ULL;
+  }
+  for (int I = 0; I != 8; ++I)
+    B[24 + static_cast<size_t>(I)] =
+        static_cast<char>((Hash >> (56 - 8 * I)) & 0xff);
+}
+
+TEST_F(TapeIOTest, ByteSwappedFileLoadsBitIdentically) {
+  Recorded Fix;
+  TapeMeta Meta;
+  Meta.ShardName = "swapped";
+  Meta.ShardIndex = 7;
+  Meta.HasOptions = true;
+  std::string Bytes = bytesWith(Fix, {}, &Meta, /*WithSignificance=*/true);
+  byteSwapStapFile(Bytes);
+  ASSERT_NE(Bytes, bytesWith(Fix, {}, &Meta, true)); // actually swapped
+
+  diag::Expected<LoadedTape> Loaded = load(Bytes);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.status().message();
+  EXPECT_EQ(Loaded.value().Version, 2u);
+  ASSERT_TRUE(Loaded.value().Meta.has_value());
+  EXPECT_EQ(Loaded.value().Meta->ShardName, "swapped");
+  EXPECT_EQ(Loaded.value().Meta->ShardIndex, 7u);
+  EXPECT_EQ(Loaded.value().Significance.size(), Fix.A.tape().size());
+
+  Analysis B;
+  ASSERT_TRUE(
+      B.adopt(std::move(Loaded.value().T), Loaded.value().Reg).isOk());
+  std::ostringstream Original, Replayed;
+  Fix.R.writeJson(Original);
+  B.analyse().writeJson(Replayed);
+  EXPECT_EQ(Original.str(), Replayed.str());
+}
+
+TEST_F(TapeIOTest, ByteSwappedFileReserializesCanonically) {
+  // Loading a legacy big-endian file and re-saving it must produce the
+  // canonical little-endian bytes — the repair path for old tapes.
+  Recorded Fix;
+  const std::string Canonical = bytesWith(Fix, {});
+  std::string Swapped = Canonical;
+  byteSwapStapFile(Swapped);
+
+  diag::Expected<LoadedTape> Loaded = load(Swapped);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.status().message();
+  Analysis B;
+  ASSERT_TRUE(
+      B.adopt(std::move(Loaded.value().T), Loaded.value().Reg).isOk());
+  std::ostringstream OS(std::ios::binary);
+  ASSERT_TRUE(writeStap(OS, B.tape(), B.registration()).isOk());
+  EXPECT_EQ(OS.str(), Canonical);
+}
+
+TEST_F(TapeIOTest, ByteSwappedCompressedFileIsRejected) {
+  // The section codecs are defined over canonical little-endian
+  // payloads, so a legacy big-endian *compressed* file is unreadable by
+  // construction and must be refused with a diagnosis, not mis-decoded.
+  Recorded Fix;
+  StapWriteOptions Compress;
+  Compress.Compress = true;
+  std::string Bytes = bytesWith(Fix, Compress);
+  // Swap only the header and section table (the flags check fires
+  // before any payload is touched, so payload bytes stay as they are).
+  const uint64_t NumSections = leAt(Bytes, 16, 8);
+  swapAt(Bytes, 4, 4);
+  swapAt(Bytes, 8, 8);
+  swapAt(Bytes, 16, 8);
+  bool AnyCompressed = false;
+  for (uint64_t I = 0; I != NumSections; ++I) {
+    const size_t At = 32 + static_cast<size_t>(I) * 24;
+    AnyCompressed |= leAt(Bytes, At + 4, 4) != 0;
+    swapAt(Bytes, At, 4);
+    swapAt(Bytes, At + 4, 4);
+    swapAt(Bytes, At + 8, 8);
+    swapAt(Bytes, At + 16, 8);
+  }
+  ASSERT_TRUE(AnyCompressed); // the fixture must actually compress
+  diag::Expected<LoadedTape> Loaded = load(Bytes);
+  ASSERT_FALSE(Loaded.hasValue());
+  EXPECT_NE(Loaded.status().message().find("byte-swapped"),
+            std::string::npos)
+      << Loaded.status().message();
+}
+
+#ifdef SCORPIO_GOLDEN_DIR
+/// The committed byte-swapped fixture pins the legacy big-endian
+/// layout: it must regenerate bit-identically from the deterministic
+/// fixture (so the swap helper and the writer cannot drift apart) and
+/// load into the same re-analysis report as the canonical file.
+TEST_F(TapeIOTest, GoldenByteSwappedFixtureStaysLoadable) {
+  Recorded Fix;
+  TapeMeta Meta;
+  Meta.ShardName = "golden-be";
+  Meta.ShardIndex = 1;
+  std::string Fresh = bytesWith(Fix, {}, &Meta, /*WithSignificance=*/true);
+  byteSwapStapFile(Fresh);
+
+  const std::string Path = std::string(SCORPIO_GOLDEN_DIR) + "/tape_be.stap";
+  if (std::getenv("SCORPIO_UPDATE_GOLDENS") != nullptr) {
+    std::ofstream OS(Path, std::ios::binary);
+    ASSERT_TRUE(OS.good()) << "cannot write " << Path;
+    OS << Fresh;
+    GTEST_SKIP() << "regenerated " << Path;
+  }
+  std::ifstream IS(Path, std::ios::binary);
+  ASSERT_TRUE(IS.good()) << "missing golden " << Path
+                         << " (set SCORPIO_UPDATE_GOLDENS=1 to create)";
+  std::ostringstream Golden;
+  Golden << IS.rdbuf();
+  EXPECT_EQ(Golden.str(), Fresh)
+      << "the byte-swap layout no longer reproduces the committed "
+         "big-endian fixture";
+
+  diag::Expected<LoadedTape> Loaded = load(Golden.str());
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.status().message();
+  ASSERT_TRUE(Loaded.value().Meta.has_value());
+  EXPECT_EQ(Loaded.value().Meta->ShardName, "golden-be");
+  Analysis B;
+  ASSERT_TRUE(
+      B.adopt(std::move(Loaded.value().T), Loaded.value().Reg).isOk());
+  std::ostringstream Original, Replayed;
+  Fix.R.writeJson(Original);
+  B.analyse().writeJson(Replayed);
+  EXPECT_EQ(Original.str(), Replayed.str());
+}
+#endif // SCORPIO_GOLDEN_DIR
+
 } // namespace

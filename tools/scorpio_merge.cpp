@@ -6,7 +6,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The merging half of the cross-process pipeline: loads every `.stap`
+/// The merging half of the cross-process pipeline: streams every `.stap`
 /// file in a directory through the full trust boundary (checksum, codec
 /// expansion caps, schema hash, `verifyStructure` acceptance gate),
 /// refuses directories whose shards were recorded under inconsistent
@@ -16,17 +16,25 @@
 /// identical to what the recording process's in-process merge would
 /// have produced.
 ///
+/// The merge is bounded-memory: shards are prefetched a small window
+/// ahead, analysed and released one at a time, so a thousand-shard
+/// directory needs the footprint of --window tapes, not of all of them.
+/// With --cache, per-shard results are served from a content-addressed
+/// on-disk cache keyed by the tape bytes, the analysis options and the
+/// build's schema hash; a warm cache repeats a merge without running a
+/// single reverse sweep.
+///
 /// Exit codes: 0 merged and valid, 1 merged but the report is invalid
-/// (a shard diverged), 2 load/compatibility/argument failure.
+/// (a shard diverged), 2 load/compatibility/argument/write failure.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "core/ParallelAnalysis.h"
+#include "service/ResultCache.h"
 
-#include <algorithm>
-#include <filesystem>
-#include <fstream>
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,7 +45,7 @@ namespace {
 int usage(std::ostream &OS, int Code) {
   OS << "usage: scorpio_merge <dir> [options]\n"
         "\n"
-        "Loads every .stap shard tape in <dir> through the verifying\n"
+        "Streams every .stap shard tape in <dir> through the verifying\n"
         "loader, re-analyses each under the analysis options recorded\n"
         "in its META section, and writes the merged\n"
         "ParallelAnalysisResult JSON.\n"
@@ -45,15 +53,35 @@ int usage(std::ostream &OS, int Code) {
         "  --json <file|->          merged report destination (default -)\n"
         "  --verify <mode>          per-shard re-verification before the\n"
         "                           merge: off, incremental or full\n"
+        "  --stream                 accepted for compatibility; streaming\n"
+        "                           is the only merge mode\n"
+        "  --window <n>             max simultaneously loaded tapes\n"
+        "                           (default 4)\n"
+        "  --threads <n>            prefetch worker threads (default:\n"
+        "                           min(window, cores))\n"
+        "  --cache <dir>            content-addressed result cache\n"
+        "                           directory (created if missing)\n"
+        "  --cache-mode <rw|ro>     rw serves and stores (default),\n"
+        "                           ro only serves\n"
         "  --help                   this text\n";
   return Code;
+}
+
+/// Parses a positive integer option value; 0 on failure.
+unsigned parseCount(const char *V) {
+  char *End = nullptr;
+  const unsigned long N = std::strtoul(V, &End, 10);
+  if (End == V || *End != '\0' || N == 0 || N > 1u << 20)
+    return 0;
+  return static_cast<unsigned>(N);
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string Dir, JsonPath = "-";
-  ShardVerification Verify = ShardVerification::Off;
+  std::string Dir, JsonPath = "-", CacheDir;
+  StreamingMergeOptions Merge;
+  CacheMode Cache = CacheMode::ReadWrite;
   for (int I = 1; I < Argc; ++I) {
     const std::string Arg = Argv[I];
     auto Value = [&]() -> const char * {
@@ -73,13 +101,47 @@ int main(int Argc, char **Argv) {
         return usage(std::cerr, 2);
       const std::string Mode = V;
       if (Mode == "off")
-        Verify = ShardVerification::Off;
+        Merge.Verify = ShardVerification::Off;
       else if (Mode == "incremental")
-        Verify = ShardVerification::Incremental;
+        Merge.Verify = ShardVerification::Incremental;
       else if (Mode == "full")
-        Verify = ShardVerification::Full;
+        Merge.Verify = ShardVerification::Full;
       else {
         std::cerr << "scorpio_merge: unknown --verify mode '" << Mode
+                  << "'\n";
+        return usage(std::cerr, 2);
+      }
+    } else if (Arg == "--stream") {
+      // Streaming is the only mode; the flag documents intent in
+      // scripts and pins the CLI surface for when other modes return.
+    } else if (Arg == "--window") {
+      if (!(V = Value()))
+        return usage(std::cerr, 2);
+      if (!(Merge.PrefetchWindow = parseCount(V))) {
+        std::cerr << "scorpio_merge: bad --window value '" << V << "'\n";
+        return usage(std::cerr, 2);
+      }
+    } else if (Arg == "--threads") {
+      if (!(V = Value()))
+        return usage(std::cerr, 2);
+      if (!(Merge.NumThreads = parseCount(V))) {
+        std::cerr << "scorpio_merge: bad --threads value '" << V << "'\n";
+        return usage(std::cerr, 2);
+      }
+    } else if (Arg == "--cache") {
+      if (!(V = Value()))
+        return usage(std::cerr, 2);
+      CacheDir = V;
+    } else if (Arg == "--cache-mode") {
+      if (!(V = Value()))
+        return usage(std::cerr, 2);
+      const std::string Mode = V;
+      if (Mode == "rw")
+        Cache = CacheMode::ReadWrite;
+      else if (Mode == "ro")
+        Cache = CacheMode::ReadOnly;
+      else {
+        std::cerr << "scorpio_merge: unknown --cache-mode '" << Mode
                   << "'\n";
         return usage(std::cerr, 2);
       }
@@ -100,77 +162,60 @@ int main(int Argc, char **Argv) {
     return usage(std::cerr, 2);
   }
 
-  std::error_code EC;
-  std::vector<std::string> Paths;
-  for (const auto &Entry : std::filesystem::directory_iterator(Dir, EC))
-    if (Entry.is_regular_file() && Entry.path().extension() == ".stap")
-      Paths.push_back(Entry.path().string());
-  if (EC) {
-    std::cerr << "scorpio_merge: cannot read '" << Dir
-              << "': " << EC.message() << "\n";
+  // The explicit-increment scanner: a failure mid-scan (not just at
+  // open) is reported with the entry it died on instead of being
+  // silently swallowed by the iterator turning into end().
+  diag::Expected<std::vector<std::string>> Paths = listStapShards(Dir);
+  if (!Paths) {
+    std::cerr << "scorpio_merge: " << Paths.status().message() << "\n";
     return 2;
   }
-  if (Paths.empty()) {
+  if (Paths.value().empty()) {
     std::cerr << "scorpio_merge: no .stap files in '" << Dir << "'\n";
     return 2;
   }
-  // Deterministic scan order; the merge itself re-sorts by the shard
-  // index carried in each tape's META, so directory order never shows
-  // in the report.
-  std::sort(Paths.begin(), Paths.end());
 
-  // Load every shard through the trust boundary before analysing any:
-  // a directory with one bad tape is rejected whole, not half-merged.
-  std::vector<LoadedTape> Tapes;
-  Tapes.reserve(Paths.size());
-  for (const std::string &Path : Paths) {
-    diag::Expected<LoadedTape> Loaded = loadStap(Path);
-    if (!Loaded) {
-      std::cerr << "scorpio_merge: " << Path << ": "
-                << Loaded.status().message() << "\n";
-      return 2;
-    }
-    Tapes.push_back(std::move(Loaded.value()));
+  std::unique_ptr<service::ResultCache> ResultCache;
+  if (!CacheDir.empty()) {
+    ResultCache = std::make_unique<service::ResultCache>(
+        CacheDir, /*Writable=*/Cache == CacheMode::ReadWrite);
+    if (!ResultCache->directoryStatus().isOk())
+      // Degraded, not fatal: the merge still runs, every shard just
+      // analyses fresh (and the stats line shows all misses).
+      std::cerr << "scorpio_merge: "
+                << ResultCache->directoryStatus().message() << "\n";
+    Merge.Cache = Cache;
+    Merge.ResultCache = ResultCache.get();
   }
 
-  // Mixed recording configurations would merge apples with oranges;
-  // shards without META (hand-written v1/v2 tapes) analyse under the
-  // defaults, but a directory mixing two option sets is refused.
-  const TapeMeta *First = nullptr;
-  for (size_t I = 0; I != Tapes.size(); ++I) {
-    if (!Tapes[I].Meta || !Tapes[I].Meta->HasOptions)
-      continue;
-    if (!First) {
-      First = &*Tapes[I].Meta;
-      continue;
-    }
-    if (!shardMetaMatches(*Tapes[I].Meta, shardMetaOptions(*First))) {
-      std::cerr << "scorpio_merge: " << Paths[I]
-                << ": recorded under different analysis options than "
-                << Paths[0] << "\n";
-      return 2;
-    }
+  StreamingMergeStats Stats;
+  diag::Expected<ParallelAnalysisResult> Merged =
+      ParallelAnalysis::mergeStapStreaming(Paths.value(), Merge, &Stats);
+  if (!Merged) {
+    std::cerr << "scorpio_merge: " << Merged.status().message() << "\n";
+    return 2;
   }
-  const AnalysisOptions Options =
-      First ? shardMetaOptions(*First) : AnalysisOptions{};
+  const ParallelAnalysisResult &R = Merged.value();
 
-  std::vector<ShardResult> Shards;
-  Shards.reserve(Tapes.size());
-  for (LoadedTape &T : Tapes)
-    Shards.push_back(ParallelAnalysis::analyseShardTape(std::move(T),
-                                                        Options, Verify));
-  const ParallelAnalysisResult R = ParallelAnalysis::mergeShards(
-      std::move(Shards), Verify != ShardVerification::Off);
+  if (ResultCache) {
+    const service::ResultCache::Stats CS = ResultCache->stats();
+    std::cerr << "scorpio_merge: cache: " << CS.Hits << " hits, "
+              << CS.Misses << " misses, " << CS.Stores << " stores, "
+              << CS.CorruptEntries << " corrupt\n";
+  }
 
   if (JsonPath == "-") {
     R.writeJson(std::cout);
-  } else {
-    std::ofstream OS(JsonPath);
-    if (!OS) {
-      std::cerr << "scorpio_merge: cannot write '" << JsonPath << "'\n";
+    // A redirected stdout fails silently unless flushed and checked:
+    // a full disk must be exit code 2, not a truncated report.
+    std::cout.flush();
+    if (!std::cout.good()) {
+      std::cerr << "scorpio_merge: error writing report to stdout\n";
       return 2;
     }
-    R.writeJson(OS);
+  } else if (diag::Status S = R.saveJson(JsonPath); !S.isOk()) {
+    std::cerr << "scorpio_merge: " << S.message() << "\n";
+    return 2;
   }
   return R.isValid() ? 0 : 1;
 }
