@@ -4,6 +4,7 @@
 
 #include "support/Json.h"
 #include "support/Statistics.h"
+#include "verify/AbsInt.h"
 #include "verify/TapeVerifier.h"
 
 #include <algorithm>
@@ -281,7 +282,7 @@ AnalysisResult Analysis::analyse(const AnalysisOptions &OptionsIn) {
   // tape.  A malformed IR invalidates the result without sweeping — the
   // reverse sweep on a broken edge stream is exactly the garbage-in/
   // garbage-out path the verifier exists to close.
-  if (Options.VerifyTape) {
+  if (Options.VerifyTape != VerifyLevel::Off) {
     verify::VerifierOptions VO;
     VO.BatchWidth = std::max(1u, Options.BatchWidth);
     R.Verification = verify::verifyTape(T, OutputNodes, VO);
@@ -293,6 +294,18 @@ AnalysisResult Analysis::analyse(const AnalysisOptions &OptionsIn) {
                                   F.rule().Id + ": " + F.Message);
       return R;
     }
+  }
+
+  // Optional S3.6: the abstract-interpretation audit re-derives every
+  // enclosure and partial from the recorded inputs alone (forward
+  // containment checks now, the dynamic-significance check after the
+  // sweep below).  Runs only on a structurally clean tape.
+  verify::AbsIntResult AbsInt;
+  verify::AbsIntOptions AbsIntOpts;
+  const bool RunAbsInt = Options.VerifyTape == VerifyLevel::AbsInt;
+  if (RunAbsInt) {
+    AbsIntOpts.SignificanceCap = Options.SignificanceCap;
+    AbsInt = verify::absInterpret(T, OutputNodes, AbsIntOpts);
   }
 
   if (Options.Mode == AnalysisOptions::OutputMode::CombinedSeed ||
@@ -359,6 +372,20 @@ AnalysisResult Analysis::analyse(const AnalysisOptions &OptionsIn) {
 
   for (NodeId Out : OutputNodes)
     R.OutputSig += R.NodeSignificance[static_cast<size_t>(Out)];
+
+  // The second half of the S3.6 audit: every dynamic significance must
+  // fall inside the statically re-derived bound.  A-errors invalidate
+  // the result (the tape and the sweep disagree about the kernel) but
+  // the computed data stays in the report for inspection.
+  if (RunAbsInt) {
+    verify::checkDynamicSignificance(AbsInt, R.NodeSignificance,
+                                     AbsIntOpts);
+    R.Verification.merge(AbsInt.Report);
+    for (const verify::Finding &F : AbsInt.Report.findings())
+      if (F.severity() == verify::Severity::Error)
+        R.Divergences.push_back(std::string("verifier: ") + F.rule().Id +
+                                ": " + F.Message);
+  }
 
   auto FillVars = [&](const std::vector<std::pair<NodeId, std::string>> &Src,
                       std::vector<VariableSignificance> &Dst) {

@@ -29,6 +29,7 @@
 
 #include <map>
 #include <ostream>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -36,6 +37,22 @@
 namespace scorpio {
 
 class JsonWriter;
+
+/// How much of the verification stack analyse() runs over the freshly
+/// recorded tape.  Serialized into .stap META as one byte — append
+/// levels, never renumber.
+enum class VerifyLevel : uint8_t {
+  /// No verification.
+  Off = 0,
+  /// The structural tape verifier (SCORPIO-Exxx, src/verify): the old
+  /// `VerifyTape = true`.
+  Structural = 1,
+  /// Structural plus the abstract-interpretation audit (SCORPIO-Axxx,
+  /// verify/AbsInt.h): enclosures, partials and significance bounds
+  /// are re-derived from the recorded inputs and cross-checked against
+  /// the recorded tape and the dynamic sweep results.
+  AbsInt = 2,
+};
 
 /// Options controlling analyse().
 struct AnalysisOptions {
@@ -86,11 +103,15 @@ struct AnalysisOptions {
   /// Cap applied to infinite/overflowing significances so downstream
   /// statistics stay finite.
   double SignificanceCap = 1e300;
-  /// Run the structural tape verifier (src/verify) between S3 and the
-  /// reverse sweep.  Findings land in AnalysisResult::verification();
-  /// structural errors invalidate the result and skip the sweep — a
-  /// malformed IR is reported, never analysed.
-  bool VerifyTape = false;
+  /// Run the verification stack between S3 and the reverse sweep.
+  /// Findings land in AnalysisResult::verification(); structural
+  /// errors invalidate the result and skip the sweep — a malformed IR
+  /// is reported, never analysed.  At VerifyLevel::AbsInt the
+  /// abstract-interpretation audit additionally cross-checks recorded
+  /// enclosures/partials and the dynamic significances against
+  /// independently re-derived static bounds; A-errors invalidate the
+  /// result but the significance data is still computed and reported.
+  VerifyLevel VerifyTape = VerifyLevel::Off;
   /// Which adjoint-sweep implementation to run.  Auto (the default)
   /// uses the SIMD lanes when the build has them; Scalar forces the
   /// textbook loops.  Results are bit-identical either way (the E008
@@ -122,6 +143,13 @@ public:
   /// Raw significance of tape node \p Id.
   double significanceOf(NodeId Id) const {
     return NodeSignificance[static_cast<size_t>(Id)];
+  }
+
+  /// All per-node raw significances, indexed by NodeId.  The semantic
+  /// cache audit (verify/AbsInt.h) validates these against statically
+  /// re-derived bounds.
+  std::span<const double> nodeSignificances() const {
+    return NodeSignificance;
   }
 
   /// Normalized significance of tape node \p Id.

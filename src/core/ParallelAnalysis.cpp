@@ -5,6 +5,7 @@
 #include "runtime/ThreadPool.h"
 #include "support/Diag.h"
 #include "support/Json.h"
+#include "verify/AbsInt.h"
 #include "verify/GraphVerifier.h"
 #include "verify/TapeVerifier.h"
 
@@ -175,14 +176,37 @@ bool readInterval(CacheReader &R, Interval &Out) {
   return true;
 }
 
+/// Semantic cache audit: true when \p Hit's stored per-node
+/// significances are consistent with the significance bounds derived by
+/// abstract-interpreting the shard's node stream (verify/AbsInt.h).
+/// The entry's checksum already passed, so this is not an integrity
+/// check — it rejects entries whose *report content* no honest dynamic
+/// sweep over this tape could have produced (a poisoned or
+/// cross-contaminated cache directory).  An empty stored report (a
+/// shard with no registered outputs) carries nothing to audit.
+bool auditCachedShard(const LoadedTape &Loaded,
+                      const AnalysisOptions &Options,
+                      const ShardResult &Hit) {
+  std::span<const double> Stored = Hit.Result.nodeSignificances();
+  if (Stored.empty())
+    return true;
+  verify::AbsIntOptions AbsOpts;
+  AbsOpts.SignificanceCap = Options.SignificanceCap;
+  const verify::AbsIntResult Abs =
+      verify::absInterpret(Loaded.T, Loaded.Reg.Outputs, AbsOpts);
+  return !verify::auditStoredSignificance(Abs, Stored, AbsOpts).hasErrors();
+}
+
 /// Cache-aware shard analysis shared by run()'s Stap reload stage and
 /// the streaming merge: a key hit skips adoption and every reverse
 /// sweep; a miss analyses and (in ReadWrite mode) stores.  Verification
 /// requests bypass the cache — cached entries carry no findings.
+/// With \p Audit set, a hit is served only after auditCachedShard
+/// blesses it; a rejected entry is invalidated and counts as a miss.
 ShardResult analyseOrCacheShard(LoadedTape Loaded,
                                 const AnalysisOptions &Options,
                                 ShardVerification Verify, CacheMode Mode,
-                                ShardResultCache *Cache,
+                                ShardResultCache *Cache, bool Audit,
                                 StreamingMergeStats *Stats) {
   const bool UseCache =
       Cache && Mode != CacheMode::Off && Verify == ShardVerification::Off;
@@ -190,7 +214,14 @@ ShardResult analyseOrCacheShard(LoadedTape Loaded,
   if (UseCache) {
     Key = shardCacheKey(Loaded, Options);
     ShardResult Hit;
-    if (Cache->lookup(Key, Hit)) {
+    bool Hot = Cache->lookup(Key, Hit);
+    if (Hot && Audit && !auditCachedShard(Loaded, Options, Hit)) {
+      Hot = false;
+      Cache->invalidate(Key);
+      if (Stats)
+        ++Stats->CacheAuditRejected;
+    }
+    if (Hot) {
       if (Stats)
         ++Stats->CacheHits;
       return Hit;
@@ -220,7 +251,7 @@ TapeMeta scorpio::makeShardMeta(const std::string &Name, uint64_t Index,
   Meta.BatchWidth = Options.BatchWidth;
   Meta.Simplify = Options.Simplify;
   Meta.BuildGraph = Options.BuildGraph;
-  Meta.VerifyTape = Options.VerifyTape;
+  Meta.VerifyTape = static_cast<uint8_t>(Options.VerifyTape);
   Meta.Delta = Options.Delta;
   Meta.SignificanceCap = Options.SignificanceCap;
   return Meta;
@@ -234,7 +265,7 @@ AnalysisOptions scorpio::shardMetaOptions(const TapeMeta &Meta) {
   Options.BatchWidth = Meta.BatchWidth;
   Options.Simplify = Meta.Simplify;
   Options.BuildGraph = Meta.BuildGraph;
-  Options.VerifyTape = Meta.VerifyTape;
+  Options.VerifyTape = static_cast<VerifyLevel>(Meta.VerifyTape);
   Options.Delta = Meta.Delta;
   Options.SignificanceCap = Meta.SignificanceCap;
   return Options;
@@ -248,7 +279,7 @@ bool scorpio::shardMetaMatches(const TapeMeta &Meta,
          Meta.BatchWidth == Options.BatchWidth &&
          Meta.Simplify == Options.Simplify &&
          Meta.BuildGraph == Options.BuildGraph &&
-         Meta.VerifyTape == Options.VerifyTape &&
+         Meta.VerifyTape == static_cast<uint8_t>(Options.VerifyTape) &&
          Meta.Delta == Options.Delta &&
          Meta.SignificanceCap == Options.SignificanceCap;
 }
@@ -567,7 +598,8 @@ ParallelAnalysisResult ParallelAnalysis::run(const AnalysisOptions &Options,
           }
           ShardResult Re = analyseOrCacheShard(
               std::move(Loaded.value()), Options, Verify, Transport.Cache,
-              Transport.ResultCache, /*Stats=*/nullptr);
+              Transport.ResultCache, Transport.CacheAudit,
+              /*Stats=*/nullptr);
           // Name/Index stay as registered; the tape's META must agree
           // (it was stamped from the same registration one stage ago).
           Slot.Result = std::move(Re.Result);
@@ -777,7 +809,8 @@ ParallelAnalysis::mergeStapStreaming(const std::vector<std::string> &Paths,
   const auto Analyse = [&](LoadedTape Loaded, size_t Ordinal) {
     ShardResult SR = analyseOrCacheShard(
         std::move(Loaded), HaveReference ? Reference : AnalysisOptions(),
-        Options.Verify, Options.Cache, Options.ResultCache, Stats);
+        Options.Verify, Options.Cache, Options.ResultCache,
+        Options.CacheAudit, Stats);
     Results.emplace_back(Ordinal, std::move(SR));
     ++Stats->ShardsMerged;
   };

@@ -92,6 +92,10 @@ public:
   /// Persists \p Result under \p Key.  Returns false when the entry
   /// could not be durably stored (the cache then behaves as if absent).
   virtual bool store(uint64_t Key, const ShardResult &Result) = 0;
+  /// Drops \p Key's entry so later lookups miss.  Called when the
+  /// semantic cache audit rejects a stored report; the default is a
+  /// no-op for implementations with nothing to drop.
+  virtual void invalidate(uint64_t /*Key*/) {}
 };
 
 /// Transport knobs for ParallelAnalysis::run().
@@ -110,6 +114,13 @@ struct TransportOptions {
   CacheMode Cache = CacheMode::Off;
   /// The cache implementation; not owned, ignored when Cache == Off.
   ShardResultCache *ResultCache = nullptr;
+  /// Semantic cache audit: before a key hit is served, the shard's node
+  /// stream is abstract-interpreted (verify/AbsInt.h) and the cached
+  /// per-node significances are checked against the statically derived
+  /// bounds.  An entry whose stored report violates a bound is
+  /// invalidated and the shard re-analysed — a wrong cached result is
+  /// rejected, not served.
+  bool CacheAudit = false;
 };
 
 /// Builds the META payload run() stamps into a shard tape: name, index
@@ -228,6 +239,8 @@ struct StreamingMergeOptions {
   /// Result cache, as in TransportOptions.
   CacheMode Cache = CacheMode::Off;
   ShardResultCache *ResultCache = nullptr;
+  /// Semantic cache audit, as in TransportOptions::CacheAudit.
+  bool CacheAudit = false;
 };
 
 /// Counters one mergeStapStreaming() call fills (all zero-initialized).
@@ -241,6 +254,11 @@ struct StreamingMergeStats {
   /// Shards that ran a full analysis (== CacheMisses when caching,
   /// == ShardsMerged when not).
   size_t Analysed = 0;
+  /// Cache entries the semantic audit rejected: the key hit, but the
+  /// stored significances violated the abstract-interpretation bounds,
+  /// so the entry was invalidated and the shard re-analysed (each such
+  /// shard also counts as a CacheMiss).
+  size_t CacheAuditRejected = 0;
   /// META-less shards that were released and reloaded once the
   /// reference options were known.
   size_t DeferredReloads = 0;

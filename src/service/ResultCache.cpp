@@ -2,11 +2,13 @@
 
 #include "service/ResultCache.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 using namespace scorpio;
 using namespace scorpio::service;
@@ -101,8 +103,9 @@ bool readFile(const std::string &Path, std::string &Out) {
 
 } // namespace
 
-ResultCache::ResultCache(std::string Dir, bool Writable)
-    : Dir(std::move(Dir)), Writable(Writable) {
+ResultCache::ResultCache(std::string Dir, bool Writable,
+                         uint64_t BudgetBytes)
+    : Dir(std::move(Dir)), Writable(Writable), BudgetBytes(BudgetBytes) {
   namespace fs = std::filesystem;
   std::error_code EC;
   if (fs::is_directory(this->Dir, EC))
@@ -153,8 +156,24 @@ bool ResultCache::lookup(uint64_t Key, ShardResult &Out) {
     return false;
   }
   ++Counters.Hits;
+  // Touch the entry so LRU eviction sees it as recently used.  Best
+  // effort: a failed touch (read-only directory) costs eviction
+  // accuracy, never correctness.
+  if (Writable) {
+    std::error_code EC;
+    std::filesystem::last_write_time(
+        Path, std::filesystem::file_time_type::clock::now(), EC);
+  }
   Out = std::move(Parsed.value());
   return true;
+}
+
+void ResultCache::invalidate(uint64_t Key) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (!Writable)
+    return;
+  std::error_code EC;
+  std::filesystem::remove(entryPath(Key), EC);
 }
 
 bool ResultCache::store(uint64_t Key, const ShardResult &Result) {
@@ -199,7 +218,64 @@ bool ResultCache::store(uint64_t Key, const ShardResult &Result) {
   if (EC)
     return Fail();
   ++Counters.Stores;
+  if (BudgetBytes > 0)
+    enforceBudget(Path);
   return true;
+}
+
+void ResultCache::enforceBudget(const std::string &JustStored) {
+  namespace fs = std::filesystem;
+  struct EntryInfo {
+    fs::file_time_type MTime;
+    uint64_t Size = 0;
+    std::string Path;
+  };
+  std::vector<EntryInfo> Entries;
+  uint64_t Total = 0;
+  std::error_code EC;
+  fs::directory_iterator It(Dir, EC);
+  if (EC)
+    return;
+  // Explicit increment form, as in listStapShards: a mid-scan failure
+  // must end the walk, not throw out of a cache store.
+  for (fs::directory_iterator End; It != End; It.increment(EC)) {
+    if (EC)
+      return;
+    const fs::directory_entry &Entry = *It;
+    if (Entry.path().extension() != ".scrc")
+      continue;
+    EntryInfo Info;
+    Info.Path = Entry.path().string();
+    Info.Size = Entry.file_size(EC);
+    if (EC)
+      continue;
+    Info.MTime = Entry.last_write_time(EC);
+    if (EC)
+      continue;
+    Total += Info.Size;
+    Entries.push_back(std::move(Info));
+  }
+  if (Total <= BudgetBytes)
+    return;
+  // Oldest mtime first; the freshly stored entry is exempt so a store
+  // can never evict its own result (even with a budget smaller than
+  // one entry, the caller gets a usable warm entry until the next
+  // store displaces it).
+  std::sort(Entries.begin(), Entries.end(),
+            [](const EntryInfo &A, const EntryInfo &B) {
+              return A.MTime < B.MTime;
+            });
+  for (const EntryInfo &Info : Entries) {
+    if (Total <= BudgetBytes)
+      break;
+    if (Info.Path == JustStored)
+      continue;
+    std::error_code RemoveEC;
+    if (!fs::remove(Info.Path, RemoveEC) || RemoveEC)
+      continue;
+    Total -= Info.Size;
+    ++Counters.Evictions;
+  }
 }
 
 ResultCache::Stats ResultCache::stats() const {

@@ -57,12 +57,19 @@ public:
     size_t CorruptEntries = 0;
     /// store() calls that could not produce a durable verified entry.
     size_t WriteFailures = 0;
+    /// Entries removed to keep the directory under the size budget
+    /// (least-recently-used first, by entry mtime).
+    size_t Evictions = 0;
   };
 
   /// Uses (and if needed creates) \p Dir as the entry directory.
   /// \p Writable false puts the cache in read-only mode: lookups are
   /// served but store() refuses and corrupt entries are not evicted.
-  explicit ResultCache(std::string Dir, bool Writable = true);
+  /// \p BudgetBytes > 0 caps the combined size of the entries: after
+  /// each store, least-recently-used entries (by mtime; lookups touch
+  /// the entry they serve) are removed until the directory fits.
+  explicit ResultCache(std::string Dir, bool Writable = true,
+                       uint64_t BudgetBytes = 0);
 
   /// Ok when the entry directory exists (or was created) and is usable.
   /// A cache with a bad directory still works — every lookup misses and
@@ -71,6 +78,10 @@ public:
 
   bool lookup(uint64_t Key, ShardResult &Out) override;
   bool store(uint64_t Key, const ShardResult &Result) override;
+  /// Removes \p Key's entry file (semantic audit rejection).  No-op in
+  /// read-only mode — the caller still re-analyses, it just cannot
+  /// repair the shared directory.
+  void invalidate(uint64_t Key) override;
 
   Stats stats() const;
 
@@ -80,9 +91,13 @@ public:
 
 private:
   std::string entryPath(uint64_t Key) const;
+  /// Evicts LRU entries until the directory fits the budget (requires
+  /// the lock; \p JustStored is exempt so a store never evicts itself).
+  void enforceBudget(const std::string &JustStored);
 
   std::string Dir;
   bool Writable;
+  uint64_t BudgetBytes;
   diag::Status DirStatus;
   mutable std::mutex Mutex;
   Stats Counters;

@@ -520,7 +520,9 @@ std::string metaPayload(const TapeMeta &Meta) {
   W.put(Meta.BatchWidth);
   W.put(static_cast<uint8_t>(Meta.Simplify ? 1 : 0));
   W.put(static_cast<uint8_t>(Meta.BuildGraph ? 1 : 0));
-  W.put(static_cast<uint8_t>(Meta.VerifyTape ? 1 : 0));
+  W.put(Meta.VerifyTape); // the VerifyLevel wire byte, not a bool
+  static_assert(sizeof(Meta.VerifyTape) == 1,
+                "META layout fixes VerifyTape at one byte");
   W.put(Meta.Delta);
   W.put(Meta.SignificanceCap);
   return W.bytes();
@@ -942,13 +944,15 @@ Expected<LoadedTape> scorpio::readStap(std::istream &IS) {
     const uint8_t VerifyTape = C.get<uint8_t>();
     Meta.Delta = C.get<double>();
     Meta.SignificanceCap = C.get<double>();
+    // VerifyTape carries a core::VerifyLevel (0..2); a byte above the
+    // levels this build knows means a newer writer, refuse it.
     if (!C.atEnd() || HasOptions > 1 || Simplify > 1 || BuildGraph > 1 ||
-        VerifyTape > 1 || Meta.OutputMode > 1 || Meta.Metric > 1)
+        VerifyTape > 2 || Meta.OutputMode > 1 || Meta.Metric > 1)
       return stapError("malformed META section");
     Meta.HasOptions = HasOptions != 0;
     Meta.Simplify = Simplify != 0;
     Meta.BuildGraph = BuildGraph != 0;
-    Meta.VerifyTape = VerifyTape != 0;
+    Meta.VerifyTape = VerifyTape;
     // A shard recorded against a different wire schema (op-kind set,
     // node layout) would decode to plausible garbage; refuse it here so
     // a merge never consumes it.

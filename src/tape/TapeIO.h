@@ -123,7 +123,11 @@ struct TapeMeta {
   uint32_t BatchWidth = 8;
   bool Simplify = true;
   bool BuildGraph = true;
-  bool VerifyTape = false;
+  /// core::VerifyLevel as its wire byte (0 = Off, 1 = Structural,
+  /// 2 = AbsInt).  Was a bool before the AbsInt level existed; the wire
+  /// layout is unchanged (always one byte) and old readers reject
+  /// values above the levels they know.
+  uint8_t VerifyTape = 0;
   double Delta = 1e-3;
   double SignificanceCap = 1e300;
 };

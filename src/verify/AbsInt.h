@@ -1,0 +1,133 @@
+//===- verify/AbsInt.h - Abstract-interpretation audit pass ---------------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A static re-derivation of the analysis from the tape IR alone: an
+/// abstract interpreter that recomputes every node's interval enclosure
+/// and local partials from the recorded *input* enclosures using one
+/// transfer function per OpKind, then propagates adjoint magnitude
+/// bounds backward to obtain a per-node significance bound — all
+/// without executing any kernel or reverse sweep.
+///
+/// Everything the dynamic pipeline produces must be contained in the
+/// abstract result:
+///
+///  - the recorded enclosure of each node lies inside the abstract
+///    enclosure (the transfer functions are the recorder's own
+///    formulas, which are inclusion-monotone, so on an honest
+///    same-build tape the two are bitwise equal);
+///  - the recorded local partials lie inside the abstract partials;
+///  - the dynamic Eq.-11 significance of each node is at most the
+///    static bound, for every seeding scheme (combined or per-output)
+///    and both metrics.
+///
+/// Violations become the SCORPIO-A rule family — the first checks in
+/// the system that do not trust the recorder, the sweep, or any
+/// persisted bytes (CHEF-FP's source-independent estimation idea
+/// applied to our own IR).  The same machinery gives a *semantic*
+/// validation of persisted significance reports: a `.stap` significance
+/// section or a result-cache entry whose numbers violate the bounds
+/// derived from the tape it shipped with was not computed from that
+/// tape, no matter how good its checksums look.
+///
+/// Trust frontier: Input nodes (their enclosures are the givens),
+/// TanOverX nodes (the phase constant Phi is not recorded), and nodes
+/// whose recorded arity is below the OpKind arity (passive constant
+/// operands are not recorded) are *anchored*: the abstract value adopts
+/// the recorded one and no containment check applies to them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_VERIFY_ABSINT_H
+#define SCORPIO_VERIFY_ABSINT_H
+
+#include "interval/Interval.h"
+#include "tape/Tape.h"
+#include "verify/Verify.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace scorpio::verify {
+
+/// Knobs for the abstract interpreter.  Deliberately free of any
+/// dependency on core analysis options: the significance bound derived
+/// here is valid for every output mode and metric simultaneously.
+struct AbsIntOptions {
+  /// Mirror of AnalysisOptions::SignificanceCap — the bound saturates
+  /// at the cap exactly like cappedSignificance does.
+  double SignificanceCap = 1e300;
+  /// Outward widening (in ulps) applied to abstract enclosures before
+  /// the A001/A002 containment checks.  Zero slack is correct for
+  /// tapes recorded by this build; a few ulps absorb libm differences
+  /// in tapes recorded elsewhere.
+  unsigned SlackUlps = 4;
+  /// Relative headroom for the A003/A004 significance comparisons:
+  /// a dynamic value D only fires against bound B when
+  /// D > B * (1 + SignificanceSlack).  The bound over-approximates by
+  /// construction; the slack absorbs directed-rounding corner cases
+  /// in the scalar magnitude propagation.
+  double SignificanceSlack = 0.5;
+  /// Storage cap per rule, as in VerifierOptions/LintOptions.
+  unsigned MaxFindingsPerRule = 32;
+  /// Enable the SCORPIO-A007 constant-folding scan.
+  bool CheckFoldable = true;
+  /// Enable the SCORPIO-A008 common-subexpression scan.
+  bool CheckCommonSubexpressions = true;
+};
+
+/// The abstract interpretation of one tape.
+struct AbsIntResult {
+  /// Abstract enclosure per node (anchored nodes adopt the recorded
+  /// enclosure).
+  std::vector<Interval> Values;
+  /// Abstract local partials, two slots per node (index 2*Id + Arg);
+  /// unused slots are [0, 0].
+  std::vector<Interval> Partials;
+  /// Per-node upper bound on the summed adjoint magnitudes over every
+  /// output seed (the backward magnitude propagation).
+  std::vector<double> AdjointMagBound;
+  /// Per-node static significance bound: every dynamic per-node
+  /// significance (combined or per-output seeding, either metric,
+  /// capped at SignificanceCap) is at most this value.
+  std::vector<double> SignificanceBound;
+  /// 1 for trust-frontier nodes exempt from containment checks.
+  std::vector<uint8_t> Anchored;
+  /// A001/A002/A005/A006/A007/A008 findings from the forward pass.
+  VerifyReport Report;
+
+  bool hasErrors() const { return Report.hasErrors(); }
+};
+
+/// Runs the abstract interpreter over \p T: forward enclosure/partial
+/// re-derivation with containment checks, then the backward magnitude
+/// propagation seeded at \p Outputs.  \p T must already have passed
+/// verifyStructure — the interpreter assumes a topologically ordered,
+/// arity-consistent tape.
+AbsIntResult absInterpret(const Tape &T, std::span<const NodeId> Outputs,
+                          const AbsIntOptions &Options = {});
+
+/// SCORPIO-A003: checks the freshly computed dynamic per-node
+/// significances (one per tape node) against \p R's static bounds and
+/// appends findings to \p R.Report.
+void checkDynamicSignificance(AbsIntResult &R,
+                              std::span<const double> NodeSignificance,
+                              const AbsIntOptions &Options);
+
+/// SCORPIO-A004: semantic audit of a *persisted* significance report
+/// (result-cache entry, .stap significance section) against the static
+/// bounds derived from the tape it shipped with.  A size mismatch or
+/// any stored value above its bound fires A004.  Returns only the
+/// audit findings; \p R is the output of absInterpret over that tape.
+VerifyReport auditStoredSignificance(const AbsIntResult &R,
+                                     std::span<const double> Stored,
+                                     const AbsIntOptions &Options);
+
+} // namespace scorpio::verify
+
+#endif // SCORPIO_VERIFY_ABSINT_H

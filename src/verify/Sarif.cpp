@@ -76,6 +76,18 @@ void verify::writeSarif(std::ostream &OS,
       J.endArray();
       J.endObject();
       J.endArray();
+      // Rewrite suggestions (SCORPIO-A007/A008 fix-its) export as a
+      // SARIF fix with a description; we have no physical source
+      // locations, so the suggestion is textual.
+      if (!F.FixIt.empty()) {
+        J.key("fixes").beginArray();
+        J.beginObject();
+        J.key("description").beginObject();
+        J.key("text").value(F.FixIt);
+        J.endObject();
+        J.endObject();
+        J.endArray();
+      }
       J.endObject();
     }
   }

@@ -197,6 +197,80 @@ const std::vector<Rule> &verify::ruleCatalog() {
        "dropping a shallower one, or mutating values/significances "
        "breaks the monotone-refinement contract the paper's iterative "
        "deepening relies on."},
+      {RuleKind::ValueEscapesEnclosure, Severity::Error, "SCORPIO-A001",
+       "value-escapes-enclosure",
+       "recorded value enclosure is not contained in the abstract "
+       "re-derivation",
+       "The abstract interpreter re-derives every node's enclosure from "
+       "the recorded inputs alone with inclusion-monotone transfer "
+       "functions, so the recorded [u_j] must lie inside the abstract "
+       "one (up to the configured ulp slack).  An escape means the "
+       "recorded value cannot have been produced by the documented "
+       "operation on its operands — a forged, stale or corrupted tape."},
+      {RuleKind::PartialEscapesEnclosure, Severity::Error, "SCORPIO-A002",
+       "partial-escapes-enclosure",
+       "recorded local partial is not contained in the abstract "
+       "re-derivation",
+       "Local partials are pure functions of the operand enclosures "
+       "(Eq. 4-6); re-deriving them from the abstract operand values "
+       "must enclose the recorded edge weight.  An escape means the "
+       "recorded DynDFG edge weight disagrees with the recorded "
+       "dataflow that supposedly produced it."},
+      {RuleKind::SignificanceAboveBound, Severity::Error, "SCORPIO-A003",
+       "significance-above-bound",
+       "dynamic Eq.-11 significance exceeds the static significance "
+       "bound",
+       "Propagating adjoint magnitude bounds backward through the "
+       "abstract graph yields a per-node over-approximation of every "
+       "seeding scheme's capped Eq.-11 significance.  A dynamic value "
+       "above the bound cannot result from a reverse sweep over this "
+       "tape: the sweep result and the tape are out of sync."},
+      {RuleKind::StoredReportAboveBound, Severity::Error, "SCORPIO-A004",
+       "stored-report-above-bound",
+       "stored significance report violates the static bound for the "
+       "tape it claims to describe",
+       "A persisted report (a .stap significance section or a result-"
+       "cache entry) is validated semantically by abstract-interpreting "
+       "the node stream it shipped with: any stored per-node "
+       "significance above the static bound proves the report was not "
+       "computed from this tape — byte-level checksums cannot see "
+       "this."},
+      {RuleKind::StaticallyDeadEdge, Severity::Warning, "SCORPIO-A005",
+       "statically-dead-edge",
+       "node is cut off from every output by statically-zero partial "
+       "edges",
+       "When the abstract transfer functions prove every consuming "
+       "edge of a node transmits no adjoint (a certainly-unselected "
+       "min/max branch, x^0), the subgraph feeding it is a dead branch "
+       "that can never influence any output — invisible to the "
+       "syntactic W-rules, because the edges exist and the node is "
+       "alive in the graph.  The kernel computes it for nothing."},
+      {RuleKind::HiddenZeroDivisor, Severity::Warning, "SCORPIO-A006",
+       "hidden-zero-divisor",
+       "divisor must contain zero by abstract evaluation but the "
+       "recorded enclosure claims otherwise",
+       "The abstract re-derivation proves the divisor enclosure "
+       "straddles zero, yet the recorded operand hides it — so the "
+       "W001 domain-hazard lint stays silent while the true quotient "
+       "is unbounded.  The recorded tape understates the hazard."},
+      {RuleKind::ConstantFoldable, Severity::Warning, "SCORPIO-A007",
+       "constant-foldable",
+       "subgraph depends only on point enclosures and folds to a "
+       "constant",
+       "A node whose transitive inputs are all degenerate (point) "
+       "intervals has a point abstract value: the kernel re-computes a "
+       "compile-time constant on every evaluation and the analysis "
+       "carries zero-width nodes through every sweep.  Fold it into a "
+       "constant operand instead."},
+      {RuleKind::CommonSubexpression, Severity::Warning, "SCORPIO-A008",
+       "common-subexpression",
+       "node recomputes an identical earlier operation on the same "
+       "operands",
+       "Two recorded nodes with the same kind and argument list are "
+       "one value computed twice: the kernel pays the operation and "
+       "the tape/sweep pay the node twice, and the duplicate halves "
+       "the per-node significance attributed to the shared "
+       "subexpression.  Reuse the first occurrence."},
   };
   return Catalog;
 }
@@ -267,6 +341,8 @@ void VerifyReport::writeJson(JsonWriter &J) const {
     if (F.ArgIndex >= 0)
       J.key("arg").value(F.ArgIndex);
     J.key("message").value(F.Message);
+    if (!F.FixIt.empty())
+      J.key("fixIt").value(F.FixIt);
     J.endObject();
   }
   J.endArray();

@@ -81,10 +81,24 @@ enum class RuleKind : uint8_t {
   SignificanceMassLoss,  ///< SCORPIO-G008: simplify lost significance mass
   VarianceLevelMismatch, ///< SCORPIO-G009: S5 level not reproducible
   TruncationNotMonotone, ///< SCORPIO-G010: truncatedAbove kept/dropped wrong
+  // Abstract-interpretation cross-validation (AbsInt) — a second,
+  // independent derivation of enclosures and significance bounds from
+  // the recorded inputs alone.  A well-formed tape can still carry
+  // forged or stale numbers; these rules catch results the transfer
+  // functions cannot produce.  Appended after the G rules; never
+  // renumber.
+  ValueEscapesEnclosure,   ///< SCORPIO-A001: recorded value outside abstract
+  PartialEscapesEnclosure, ///< SCORPIO-A002: recorded partial outside abstract
+  SignificanceAboveBound,  ///< SCORPIO-A003: dynamic significance > static bound
+  StoredReportAboveBound,  ///< SCORPIO-A004: stored/cached report > static bound
+  StaticallyDeadEdge,      ///< SCORPIO-A005: node cut off by zero-partial edges
+  HiddenZeroDivisor,       ///< SCORPIO-A006: divisor must straddle 0, claims not
+  ConstantFoldable,        ///< SCORPIO-A007: point-valued subgraph re-evaluated
+  CommonSubexpression,     ///< SCORPIO-A008: identical node recorded twice
 };
 
 inline constexpr size_t NumRules =
-    static_cast<size_t>(RuleKind::TruncationNotMonotone) + 1;
+    static_cast<size_t>(RuleKind::CommonSubexpression) + 1;
 
 /// Immutable catalog entry for one rule.
 struct Rule {
@@ -119,6 +133,9 @@ struct Finding {
   int ArgIndex = -1;
   /// Human-readable one-liner naming the concrete violation.
   std::string Message;
+  /// Optional rewrite suggestion ("reuse u12 instead of recomputing");
+  /// exported as a SARIF fix.  Empty for findings with no repair.
+  std::string FixIt;
 
   const Rule &rule() const { return ruleInfo(Kind); }
   Severity severity() const { return rule().Sev; }

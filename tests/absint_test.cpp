@@ -1,0 +1,442 @@
+//===- tests/absint_test.cpp - Abstract-interpretation audit tests --------===//
+//
+// The PR-8 contract: verify/AbsInt re-derives every enclosure, partial
+// and significance bound from the recorded inputs alone, and everything
+// the dynamic pipeline produces is contained in the abstract result.
+// Covered here:
+//
+//  - containment on every registry kernel, under both output modes and
+//    both metrics (the honest-tape case: zero A-errors, and only the
+//    two known-benign A008 warnings fire);
+//  - one mutation test per SCORPIO-A rule, forging exactly the defect
+//    the rule exists to catch via the raw Tape recording API;
+//  - the A004 semantic audit of persisted significance reports
+//    (size mismatch, NaN, negative, inflated, honest);
+//  - a byte-exact golden SARIF export of a fix-it-bearing A-finding;
+//  - '# expected:' annotation staleness for A-family baseline entries.
+//
+// Regenerate goldens with SCORPIO_UPDATE_GOLDENS=1 in the environment.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/AbsInt.h"
+
+#include "core/Analysis.h"
+#include "kernels/KernelRegistry.h"
+#include "verify/Baseline.h"
+#include "verify/Sarif.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace scorpio;
+using namespace scorpio::verify;
+
+namespace {
+
+std::string goldenPath(const std::string &Name) {
+  return std::string(SCORPIO_GOLDEN_DIR) + "/" + Name;
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream IS(Path, std::ios::binary);
+  EXPECT_TRUE(IS.good()) << "cannot open " << Path;
+  std::ostringstream OS;
+  OS << IS.rdbuf();
+  return OS.str();
+}
+
+void expectGolden(const std::string &Name, const std::string &Actual) {
+  const std::string Path = goldenPath(Name);
+  if (std::getenv("SCORPIO_UPDATE_GOLDENS") != nullptr) {
+    std::ofstream OS(Path, std::ios::binary);
+    ASSERT_TRUE(OS.good()) << "cannot write " << Path;
+    OS << Actual;
+    GTEST_SKIP() << "regenerated " << Path;
+  }
+  EXPECT_EQ(Actual, readFile(Path)) << "golden mismatch for " << Name
+                                    << " (set SCORPIO_UPDATE_GOLDENS=1 to "
+                                       "regenerate)";
+}
+
+/// Count of stored findings of rule \p K whose FixIt is non-empty.
+size_t fixitCount(const VerifyReport &R, RuleKind K) {
+  size_t N = 0;
+  for (const Finding &F : R.findings())
+    if (F.Kind == K && !F.FixIt.empty())
+      ++N;
+  return N;
+}
+
+/// First stored finding of rule \p K (nullptr when none).
+const Finding *firstOf(const VerifyReport &R, RuleKind K) {
+  for (const Finding &F : R.findings())
+    if (F.Kind == K)
+      return &F;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Honest tapes: containment on every registry kernel
+//===----------------------------------------------------------------------===//
+
+// On a tape recorded by this build the abstract interpreter replays the
+// recorder's own formulas, so the recorded enclosures and partials must
+// lie inside (in fact equal) the abstract ones, and every dynamic
+// significance — under either output mode and either metric — must
+// respect the static bound.  The only expected findings are the two
+// known-benign A008 duplicates documented in tools/lint_baseline.txt.
+TEST(AbsIntRegistry, ContainmentHoldsOnEveryKernel) {
+  KernelRegistry &Registry = KernelRegistry::global();
+  for (const std::string &Name : Registry.names()) {
+    const KernelDescriptor *K = Registry.find(Name);
+    ASSERT_NE(K, nullptr) << Name;
+    Analysis A;
+    K->Analyse(A, K->DefaultRanges);
+    const Tape &T = A.tape();
+    const AbsIntResult Abs = absInterpret(T, A.outputNodes());
+
+    // Forward containment, node by node (anchored nodes are exempt:
+    // their abstract state *is* the recorded state).
+    ASSERT_EQ(Abs.Values.size(), T.size()) << Name;
+    for (NodeId Id = 0; Id != static_cast<NodeId>(T.size()); ++Id) {
+      if (Abs.Anchored[static_cast<size_t>(Id)])
+        continue;
+      EXPECT_TRUE(Abs.Values[static_cast<size_t>(Id)].contains(T.value(Id)))
+          << Name << " u" << Id << " value";
+      for (unsigned Arg = 0; Arg != T.numArgs(Id); ++Arg)
+        EXPECT_TRUE(Abs.Partials[2 * static_cast<size_t>(Id) + Arg]
+                        .contains(T.partial(Id, Arg)))
+            << Name << " u" << Id << " partial " << Arg;
+    }
+
+    // No A-errors; the A008 warnings are the two documented benign
+    // duplicates, nowhere else.
+    EXPECT_FALSE(Abs.hasErrors()) << Name;
+    EXPECT_EQ(Abs.Report.countOf(RuleKind::StaticallyDeadEdge), 0u) << Name;
+    EXPECT_EQ(Abs.Report.countOf(RuleKind::HiddenZeroDivisor), 0u) << Name;
+    EXPECT_EQ(Abs.Report.countOf(RuleKind::ConstantFoldable), 0u) << Name;
+    const size_t ExpectedCse =
+        (Name == "blackscholes-call" || Name == "nbody-lj-pair") ? 1u : 0u;
+    EXPECT_EQ(Abs.Report.countOf(RuleKind::CommonSubexpression), ExpectedCse)
+        << Name;
+  }
+}
+
+TEST(AbsIntRegistry, DynamicSignificanceRespectsTheBound) {
+  KernelRegistry &Registry = KernelRegistry::global();
+  using Mode = AnalysisOptions::OutputMode;
+  using Metric = AnalysisOptions::Metric;
+  for (const std::string &Name : Registry.names()) {
+    const KernelDescriptor *K = Registry.find(Name);
+    ASSERT_NE(K, nullptr) << Name;
+    for (const Mode M : {Mode::CombinedSeed, Mode::PerOutput}) {
+      for (const Metric Met :
+           {Metric::Eq11WorstCase, Metric::WidthTimesDerivative}) {
+        Analysis A;
+        K->Analyse(A, K->DefaultRanges);
+        AnalysisOptions Options;
+        Options.Mode = M;
+        Options.SignificanceMetric = Met;
+        const AnalysisResult R = A.analyse(Options);
+        if (!R.isValid())
+          continue; // diverged results carry no meaningful significances
+        const AbsIntOptions AbsOpts;
+        AbsIntResult Abs = absInterpret(A.tape(), A.outputNodes(), AbsOpts);
+        ASSERT_FALSE(Abs.hasErrors()) << Name;
+        // One bound covers every seeding scheme and metric.
+        for (NodeId Id = 0; Id != static_cast<NodeId>(A.tape().size()); ++Id)
+          EXPECT_LE(R.significanceOf(Id),
+                    Abs.SignificanceBound[static_cast<size_t>(Id)] *
+                        (1.0 + AbsOpts.SignificanceSlack))
+              << Name << " u" << Id;
+        checkDynamicSignificance(Abs, R.nodeSignificances(), AbsOpts);
+        EXPECT_EQ(Abs.Report.countOf(RuleKind::SignificanceAboveBound), 0u)
+            << Name;
+      }
+    }
+  }
+}
+
+// analyse() at VerifyLevel::AbsInt runs the audit inline: a clean
+// kernel verifies with zero A-findings and a valid result.
+TEST(AbsIntRegistry, AnalyseRunsTheAuditAtVerifyLevelAbsInt) {
+  Analysis A;
+  const KernelDescriptor *K = KernelRegistry::global().find("maclaurin");
+  ASSERT_NE(K, nullptr);
+  K->Analyse(A, K->DefaultRanges);
+  AnalysisOptions Options;
+  Options.VerifyTape = VerifyLevel::AbsInt;
+  const AnalysisResult R = A.analyse(Options);
+  EXPECT_TRUE(R.wasVerified());
+  EXPECT_TRUE(R.isValid());
+  EXPECT_EQ(R.verification().countOf(RuleKind::ValueEscapesEnclosure), 0u);
+  EXPECT_EQ(R.verification().countOf(RuleKind::SignificanceAboveBound), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Mutation tests: one forged defect per rule
+//===----------------------------------------------------------------------===//
+
+// SCORPIO-A001: a recorded enclosure the transfer functions cannot
+// produce.  sqr([1, 2]) is [1, 4]; a tape claiming [0, 0.5] lies.
+TEST(AbsIntMutation, A001FiresOnForgedValue) {
+  Tape T;
+  const NodeId X = T.recordInput(Interval(1.0, 2.0));
+  const NodeId Y = T.recordUnary(OpKind::Sqr, Interval(0.0, 0.5), X,
+                                 Interval(2.0, 4.0));
+  const std::vector<NodeId> Outputs{Y};
+  const AbsIntResult R = absInterpret(T, Outputs);
+  EXPECT_TRUE(R.hasErrors());
+  EXPECT_EQ(R.Report.countOf(RuleKind::ValueEscapesEnclosure), 1u);
+  EXPECT_EQ(R.Report.countOf(RuleKind::PartialEscapesEnclosure), 0u);
+  const Finding *F = firstOf(R.Report, RuleKind::ValueEscapesEnclosure);
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->Node, Y);
+  EXPECT_NE(F->Message.find("escapes the abstract enclosure"),
+            std::string::npos)
+      << F->Message;
+}
+
+// SCORPIO-A002: an honest value but a lying local partial.  The
+// derivative of sin on [1, 2] is cos([1, 2]) ⊆ [-1, 1]; [5, 5] is
+// impossible.
+TEST(AbsIntMutation, A002FiresOnForgedPartial) {
+  Tape T;
+  const NodeId X = T.recordInput(Interval(1.0, 2.0));
+  const NodeId Y = T.recordUnary(OpKind::Sin, sin(Interval(1.0, 2.0)), X,
+                                 Interval(5.0, 5.0));
+  const std::vector<NodeId> Outputs{Y};
+  const AbsIntResult R = absInterpret(T, Outputs);
+  EXPECT_TRUE(R.hasErrors());
+  EXPECT_EQ(R.Report.countOf(RuleKind::ValueEscapesEnclosure), 0u);
+  EXPECT_EQ(R.Report.countOf(RuleKind::PartialEscapesEnclosure), 1u);
+  const Finding *F = firstOf(R.Report, RuleKind::PartialEscapesEnclosure);
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->Node, Y);
+  EXPECT_EQ(F->ArgIndex, 0);
+  EXPECT_NE(F->Message.find("escapes the abstract partial"),
+            std::string::npos)
+      << F->Message;
+}
+
+// SCORPIO-A003: a dynamic significance report the bounds rule out.
+TEST(AbsIntMutation, A003FiresOnInflatedDynamicSignificance) {
+  Analysis A;
+  IAValue X = A.input("x", 1.0, 2.0);
+  IAValue Y = X * X;
+  A.registerOutput(Y, "y");
+  const AbsIntOptions Opts;
+  AbsIntResult R = absInterpret(A.tape(), A.outputNodes(), Opts);
+  ASSERT_FALSE(R.hasErrors());
+  const std::vector<double> Forged(A.tape().size(), 1e305);
+  checkDynamicSignificance(R, Forged, Opts);
+  EXPECT_TRUE(R.hasErrors());
+  EXPECT_GT(R.Report.countOf(RuleKind::SignificanceAboveBound), 0u);
+  const Finding *F = firstOf(R.Report, RuleKind::SignificanceAboveBound);
+  ASSERT_NE(F, nullptr);
+  EXPECT_NE(F->Message.find("exceeds the static bound"), std::string::npos)
+      << F->Message;
+}
+
+// SCORPIO-A004: the semantic audit of persisted reports.
+TEST(AbsIntMutation, A004AuditsStoredReports) {
+  Analysis A;
+  IAValue X = A.input("x", 1.0, 2.0);
+  IAValue Y = X * X;
+  A.registerOutput(Y, "y");
+  const AbsIntOptions Opts;
+  const AbsIntResult R = absInterpret(A.tape(), A.outputNodes(), Opts);
+  ASSERT_FALSE(R.hasErrors());
+  const AnalysisResult Dyn = A.analyse();
+  ASSERT_TRUE(Dyn.isValid());
+
+  // Honest stored report: clean.
+  EXPECT_FALSE(
+      auditStoredSignificance(R, Dyn.nodeSignificances(), Opts).hasErrors());
+
+  // Size mismatch: one tape-global finding.
+  const std::vector<double> Short(A.tape().size() - 1, 0.0);
+  const VerifyReport Sized = auditStoredSignificance(R, Short, Opts);
+  EXPECT_EQ(Sized.countOf(RuleKind::StoredReportAboveBound), 1u);
+  const Finding *F = firstOf(Sized, RuleKind::StoredReportAboveBound);
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->Node, InvalidNodeId);
+  EXPECT_NE(F->Message.find("per-node significances"), std::string::npos)
+      << F->Message;
+
+  // NaN, negative and inflated entries all violate the bound.
+  for (const double Bad :
+       {std::numeric_limits<double>::quiet_NaN(), -1.0, 1e305}) {
+    std::vector<double> Stored(Dyn.nodeSignificances().begin(),
+                               Dyn.nodeSignificances().end());
+    Stored.back() = Bad;
+    EXPECT_TRUE(auditStoredSignificance(R, Stored, Opts).hasErrors())
+        << "stored value " << Bad << " must be rejected";
+  }
+}
+
+// SCORPIO-A005: an intermediate whose every consuming edge has the
+// exact abstract partial [0, 0] — pow(u, 0) cuts its argument off the
+// adjoint graph, so u's significance is statically zero.
+TEST(AbsIntMutation, A005FiresOnStaticallyDeadEdge) {
+  Tape T;
+  const NodeId X = T.recordInput(Interval(1.0, 2.0));
+  const NodeId U = T.recordUnary(OpKind::Sqr, sqr(Interval(1.0, 2.0)), X,
+                                 Interval(2.0) * Interval(1.0, 2.0));
+  const NodeId Y = T.recordUnary(OpKind::PowInt, Interval(1.0), U,
+                                 Interval(0.0), /*AuxInt=*/0);
+  const std::vector<NodeId> Outputs{Y};
+  const AbsIntResult R = absInterpret(T, Outputs);
+  EXPECT_FALSE(R.hasErrors()); // warning, not error
+  EXPECT_EQ(R.Report.countOf(RuleKind::StaticallyDeadEdge), 1u);
+  const Finding *F = firstOf(R.Report, RuleKind::StaticallyDeadEdge);
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->Node, U);
+}
+
+// SCORPIO-A006: the abstract divisor must contain zero (sin over
+// [-1, 1] does), but the recorded divisor enclosure claims it does not.
+// The recorded sub-interval [0.5, 0.8] is inside the abstract one, so
+// no A001 fires — the hazard is *hidden*, not forged.
+TEST(AbsIntMutation, A006FiresOnHiddenZeroDivisor) {
+  Tape T;
+  const NodeId X = T.recordInput(Interval(-1.0, 1.0));
+  const NodeId S = T.recordUnary(OpKind::Sin, Interval(0.5, 0.8), X,
+                                 Interval(0.6, 0.9));
+  const NodeId N = T.recordInput(Interval(1.0));
+  const NodeId D =
+      T.recordBinary(OpKind::Div, Interval(1.25, 2.0), N,
+                     Interval(1.25, 2.0), S, Interval(-4.0, -1.5625));
+  const std::vector<NodeId> Outputs{D};
+  const AbsIntResult R = absInterpret(T, Outputs);
+  EXPECT_FALSE(R.hasErrors());
+  EXPECT_EQ(R.Report.countOf(RuleKind::ValueEscapesEnclosure), 0u);
+  EXPECT_EQ(R.Report.countOf(RuleKind::HiddenZeroDivisor), 1u);
+  const Finding *F = firstOf(R.Report, RuleKind::HiddenZeroDivisor);
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->Node, D);
+  EXPECT_NE(F->Message.find("hides the hazard"), std::string::npos)
+      << F->Message;
+}
+
+// SCORPIO-A007: a point-input subgraph re-evaluated every recording.
+// sqr of the point input [2, 2] is the constant [4, 4]; its consumer
+// mixes in a genuine interval and is not foldable itself.
+TEST(AbsIntMutation, A007FiresOnConstantFoldableSubgraph) {
+  Tape T;
+  const NodeId C = T.recordInput(Interval(2.0));
+  const NodeId X = T.recordInput(Interval(1.0, 2.0));
+  const NodeId U =
+      T.recordUnary(OpKind::Sqr, Interval(4.0), C, Interval(4.0));
+  const NodeId Y = T.recordBinary(OpKind::Add, Interval(5.0, 6.0), U,
+                                  Interval(1.0), X, Interval(1.0));
+  const std::vector<NodeId> Outputs{Y};
+  const AbsIntResult R = absInterpret(T, Outputs);
+  EXPECT_FALSE(R.hasErrors());
+  EXPECT_EQ(R.Report.countOf(RuleKind::ConstantFoldable), 1u);
+  EXPECT_EQ(fixitCount(R.Report, RuleKind::ConstantFoldable), 1u);
+  const Finding *F = firstOf(R.Report, RuleKind::ConstantFoldable);
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->Node, U);
+  EXPECT_NE(F->FixIt.find("fold"), std::string::npos) << F->FixIt;
+
+  // The scan is optional.
+  AbsIntOptions NoFold;
+  NoFold.CheckFoldable = false;
+  EXPECT_EQ(absInterpret(T, Outputs, NoFold)
+                .Report.countOf(RuleKind::ConstantFoldable),
+            0u);
+}
+
+// SCORPIO-A008: the same operation on identical operands recorded
+// twice — through the ordinary recording API, as a real kernel would.
+TEST(AbsIntMutation, A008FiresOnCommonSubexpression) {
+  Analysis A;
+  IAValue X = A.input("x", 1.0, 2.0);
+  IAValue Y = A.input("y", 3.0, 4.0);
+  IAValue P = X * Y;
+  IAValue Q = X * Y;
+  A.registerOutput(P + Q, "z");
+  const AbsIntResult R = absInterpret(A.tape(), A.outputNodes());
+  EXPECT_FALSE(R.hasErrors());
+  EXPECT_EQ(R.Report.countOf(RuleKind::CommonSubexpression), 1u);
+  EXPECT_EQ(fixitCount(R.Report, RuleKind::CommonSubexpression), 1u);
+  const Finding *F = firstOf(R.Report, RuleKind::CommonSubexpression);
+  ASSERT_NE(F, nullptr);
+  EXPECT_NE(F->Message.find("duplicates"), std::string::npos) << F->Message;
+  EXPECT_NE(F->FixIt.find("reuse"), std::string::npos) << F->FixIt;
+
+  // The scan is optional.
+  AbsIntOptions NoCse;
+  NoCse.CheckCommonSubexpressions = false;
+  EXPECT_EQ(absInterpret(A.tape(), A.outputNodes(), NoCse)
+                .Report.countOf(RuleKind::CommonSubexpression),
+            0u);
+}
+
+// The trust frontier: a node with a passive (unrecorded) operand is
+// anchored — its recorded value is a given, never an A001.
+TEST(AbsIntMutation, PassiveOperandNodesAreAnchored) {
+  Tape T;
+  const NodeId X = T.recordInput(Interval(1.0, 2.0));
+  // x * <passive 50.0>: only one recorded argument, arity below Mul's.
+  const NodeId Y =
+      T.recordBinary(OpKind::Mul, Interval(50.0, 100.0), X,
+                     Interval(50.0), InvalidNodeId, Interval(0.0));
+  const std::vector<NodeId> Outputs{Y};
+  const AbsIntResult R = absInterpret(T, Outputs);
+  EXPECT_EQ(R.Report.countOf(RuleKind::ValueEscapesEnclosure), 0u);
+  ASSERT_EQ(R.Anchored.size(), T.size());
+  EXPECT_EQ(R.Anchored[static_cast<size_t>(Y)], 1u);
+  EXPECT_FALSE(R.hasErrors());
+}
+
+//===----------------------------------------------------------------------===//
+// SARIF export and baseline annotations for the A family
+//===----------------------------------------------------------------------===//
+
+TEST(AbsIntExport, FixItSarifMatchesGolden) {
+  // The A008 forgery above is fully deterministic: two inputs, a
+  // duplicated multiply, one fix-it.  Its SARIF export pins the
+  // A-family rule metadata and the "fixes" emission byte-for-byte.
+  Analysis A;
+  IAValue X = A.input("x", 1.0, 2.0);
+  IAValue Y = A.input("y", 3.0, 4.0);
+  IAValue P = X * Y;
+  IAValue Q = X * Y;
+  A.registerOutput(P + Q, "z");
+  const AbsIntResult R = absInterpret(A.tape(), A.outputNodes());
+  std::ostringstream OS;
+  writeSarif(OS, "forged-cse", R.Report);
+  expectGolden("absint_fixit.sarif", OS.str());
+}
+
+TEST(AbsIntExport, StaleAFamilyAnnotationFailsTheBaselineDiff) {
+  // An '# expected:' annotation for an A-rule whose count line is gone
+  // must surface as stale documentation, exactly like the E/W/G rules.
+  std::istringstream Stale(
+      "# expected: SCORPIO-A008 blackscholes-call benign duplicate\n");
+  Baseline B;
+  std::string Error;
+  ASSERT_TRUE(parseBaseline(Stale, B, Error)) << Error;
+  const BaselineDiff D = diffBaseline({}, B);
+  ASSERT_EQ(D.StaleAnnotations.size(), 1u);
+  EXPECT_NE(D.StaleAnnotations[0].find("SCORPIO-A008"), std::string::npos);
+
+  std::istringstream Fresh(
+      "# expected: SCORPIO-A008 blackscholes-call benign duplicate\n"
+      "blackscholes-call SCORPIO-A008 1\n");
+  Baseline B2;
+  ASSERT_TRUE(parseBaseline(Fresh, B2, Error)) << Error;
+  EXPECT_TRUE(
+      diffBaseline({{"blackscholes-call", "SCORPIO-A008", 1}}, B2).clean());
+}
+
+} // namespace

@@ -21,6 +21,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -461,6 +462,194 @@ TEST_F(StreamingMergeTest, ReadOnlyCacheNeverWrites) {
   StreamingMergeStats Warm;
   EXPECT_EQ(InProcess, streamJson(Paths, Serve, &Warm));
   EXPECT_EQ(Warm.CacheHits, Paths.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Semantic cache audit and the size budget
+//===----------------------------------------------------------------------===//
+
+TEST_F(StreamingMergeTest, CacheAuditAcceptsHonestAndRejectsForgedEntries) {
+  TempDir Shards("scorpio_cache_audit_shards");
+  TempDir Cache("scorpio_cache_audit_dir");
+  const TapeMeta Meta = makeShardMeta("square", 0, {});
+  writeSquareShard(Shards.Path + "/shard_0.stap", 1.0, 2.0, &Meta);
+  const std::vector<std::string> Paths =
+      listStapShards(Shards.Path).valueOr({});
+  ASSERT_EQ(Paths.size(), 1u);
+
+  service::ResultCache RC(Cache.Path);
+  StreamingMergeOptions Options;
+  Options.Cache = CacheMode::ReadWrite;
+  Options.ResultCache = &RC;
+  Options.CacheAudit = true;
+
+  // Honest entries sail through the audit: cold stores, warm hits.
+  StreamingMergeStats Cold;
+  const std::string Honest = streamJson(Paths, Options, &Cold);
+  EXPECT_EQ(Cold.CacheAuditRejected, 0u);
+  StreamingMergeStats Warm;
+  EXPECT_EQ(Honest, streamJson(Paths, Options, &Warm));
+  EXPECT_EQ(Warm.CacheHits, 1u);
+  EXPECT_EQ(Warm.CacheAuditRejected, 0u);
+
+  // Forge the stored report: serialize the cached result, overwrite
+  // every per-node significance with a value the static bounds rule
+  // out, and store the forgery under the honest key.  The entry is
+  // checksummed, verified and framed perfectly — exactly what a stale
+  // or buggy build would have left behind.
+  diag::Expected<LoadedTape> Loaded = loadStap(Paths[0]);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.status().message();
+  ASSERT_TRUE(Loaded.value().Meta.has_value());
+  const AnalysisOptions RefOpts = shardMetaOptions(*Loaded.value().Meta);
+  const uint64_t Key = shardCacheKey(Loaded.value(), RefOpts);
+  ShardResult Hit;
+  ASSERT_TRUE(RC.lookup(Key, Hit));
+  ASSERT_TRUE(Hit.Result.divergences().empty());
+  std::string Payload = ParallelAnalysis::serializeShardResult(Hit);
+  // Layout: name (len + bytes), index, divergence count (0), node
+  // count, then the per-node significance doubles.
+  const size_t At = 8 + Hit.Name.size() + 8 + 8 + 8;
+  const double Huge = 1e305;
+  for (size_t I = 0; I != Hit.Result.nodeSignificances().size(); ++I)
+    std::memcpy(Payload.data() + At + I * sizeof(double), &Huge,
+                sizeof(double));
+  diag::Expected<ShardResult> Forged =
+      ParallelAnalysis::deserializeShardResult(Payload);
+  ASSERT_TRUE(Forged.hasValue()) << Forged.status().message();
+  ASSERT_EQ(Forged.value().Result.nodeSignificances()[0], Huge);
+  ASSERT_TRUE(RC.store(Key, Forged.value()));
+
+  // Without the audit the forgery is served — its checksums are fine.
+  StreamingMergeOptions NoAudit = Options;
+  NoAudit.CacheAudit = false;
+  StreamingMergeStats Blind;
+  streamJson(Paths, NoAudit, &Blind);
+  EXPECT_EQ(Blind.CacheHits, 1u);
+
+  // With the audit the entry is rejected, invalidated and re-analysed;
+  // the merged report is byte-identical to the honest one.
+  StreamingMergeStats Audited;
+  EXPECT_EQ(Honest, streamJson(Paths, Options, &Audited));
+  EXPECT_EQ(Audited.CacheAuditRejected, 1u);
+  EXPECT_EQ(Audited.CacheHits, 0u);
+  EXPECT_EQ(Audited.CacheMisses, 1u);
+  EXPECT_EQ(Audited.Analysed, 1u);
+
+  // The re-stored clean entry passes the next audited merge.
+  StreamingMergeStats Clean;
+  EXPECT_EQ(Honest, streamJson(Paths, Options, &Clean));
+  EXPECT_EQ(Clean.CacheHits, 1u);
+  EXPECT_EQ(Clean.CacheAuditRejected, 0u);
+}
+
+TEST_F(StreamingMergeTest, InvalidateRemovesTheEntryFile) {
+  TempDir Shards("scorpio_cache_inval_shards");
+  TempDir Cache("scorpio_cache_inval_dir");
+  const TapeMeta Meta = makeShardMeta("square", 0, {});
+  writeSquareShard(Shards.Path + "/s.stap", 1.0, 2.0, &Meta);
+  diag::Expected<LoadedTape> Loaded = loadStap(Shards.Path + "/s.stap");
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.status().message();
+  const uint64_t Key = shardCacheKey(Loaded.value(), {});
+  const ShardResult SR =
+      ParallelAnalysis::analyseShardTape(std::move(Loaded.value()), {});
+  const std::string Entry =
+      Cache.Path + "/" + service::ResultCache::entryFileName(Key);
+
+  service::ResultCache RC(Cache.Path);
+  ASSERT_TRUE(RC.store(Key, SR));
+  EXPECT_TRUE(std::filesystem::exists(Entry));
+  RC.invalidate(Key);
+  EXPECT_FALSE(std::filesystem::exists(Entry));
+  ShardResult Out;
+  EXPECT_FALSE(RC.lookup(Key, Out));
+
+  // A read-only cache must not repair the shared directory.
+  ASSERT_TRUE(RC.store(Key, SR));
+  service::ResultCache RO(Cache.Path, /*Writable=*/false);
+  RO.invalidate(Key);
+  EXPECT_TRUE(std::filesystem::exists(Entry));
+}
+
+TEST_F(StreamingMergeTest, CacheBudgetEvictsLeastRecentlyUsedEntries) {
+  namespace fs = std::filesystem;
+  // Measure one entry's on-disk size (all shards below share the tape
+  // shape and name length, so every entry is this large).
+  uint64_t EntrySize = 0;
+  {
+    TempDir Probe("scorpio_cache_budget_probe");
+    const TapeMeta Meta = makeShardMeta("sq9", 9, {});
+    writeSquareShard(Probe.Path + "/p.stap", 9.0, 10.0, &Meta);
+    diag::Expected<LoadedTape> L = loadStap(Probe.Path + "/p.stap");
+    ASSERT_TRUE(L.hasValue());
+    const uint64_t Key = shardCacheKey(L.value(), {});
+    service::ResultCache PC(Probe.Path + "/cache");
+    ASSERT_TRUE(PC.store(
+        Key, ParallelAnalysis::analyseShardTape(std::move(L.value()), {})));
+    EntrySize = fs::file_size(Probe.Path + "/cache/" +
+                              service::ResultCache::entryFileName(Key));
+  }
+  ASSERT_GT(EntrySize, 0u);
+
+  TempDir Shards("scorpio_cache_budget_shards");
+  TempDir Cache("scorpio_cache_budget_dir");
+  for (int I = 0; I != 6; ++I) {
+    const std::string Name = "sq" + std::to_string(I);
+    const TapeMeta Meta = makeShardMeta(Name, static_cast<uint64_t>(I), {});
+    writeSquareShard(Shards.Path + "/shard_" + std::to_string(I) + ".stap",
+                     1.0 + I, 2.0 + I, &Meta);
+  }
+  const std::vector<std::string> Paths =
+      listStapShards(Shards.Path).valueOr({});
+  ASSERT_EQ(Paths.size(), 6u);
+  const std::string Reference = streamJson(Paths); // uncached baseline
+
+  // Three entries fit; storing six must evict at least three, oldest
+  // first, and the directory must end up within the budget.
+  const uint64_t Budget = 3 * EntrySize;
+  service::ResultCache RC(Cache.Path, /*Writable=*/true, Budget);
+  StreamingMergeOptions Options;
+  Options.Cache = CacheMode::ReadWrite;
+  Options.ResultCache = &RC;
+  StreamingMergeStats Cold;
+  EXPECT_EQ(Reference, streamJson(Paths, Options, &Cold));
+  EXPECT_EQ(Cold.CacheMisses, 6u);
+  EXPECT_EQ(RC.stats().Stores, 6u);
+  EXPECT_GE(RC.stats().Evictions, 3u);
+
+  uint64_t Total = 0;
+  size_t Files = 0;
+  for (const auto &E : fs::directory_iterator(Cache.Path)) {
+    if (E.path().extension() != ".scrc")
+      continue;
+    Total += E.file_size();
+    ++Files;
+  }
+  EXPECT_LE(Total, Budget);
+  EXPECT_LE(Files, 3u);
+  EXPECT_GE(Files, 1u);
+
+  // The most recently stored shard survives (a store never evicts its
+  // own entry).
+  diag::Expected<LoadedTape> Last = loadStap(Paths.back());
+  ASSERT_TRUE(Last.hasValue());
+  EXPECT_TRUE(fs::exists(
+      Cache.Path + "/" +
+      service::ResultCache::entryFileName(shardCacheKey(
+          Last.value(), shardMetaOptions(*Last.value().Meta)))));
+
+  // A surviving entry still serves (and the single-shard merge it
+  // feeds is byte-identical to an uncached one).
+  const std::vector<std::string> LastOnly{Paths.back()};
+  StreamingMergeStats Survivor;
+  EXPECT_EQ(streamJson(LastOnly), streamJson(LastOnly, Options, &Survivor));
+  EXPECT_EQ(Survivor.CacheHits, 1u);
+
+  // A full warm scan under a budget below the working set thrashes by
+  // design (each re-store evicts the next shard's entry) — it must
+  // still merge byte-identically and stay within budget.
+  StreamingMergeStats Warm;
+  EXPECT_EQ(Reference, streamJson(Paths, Options, &Warm));
+  EXPECT_EQ(Warm.CacheHits + Warm.CacheMisses, 6u);
 }
 
 //===----------------------------------------------------------------------===//

@@ -373,7 +373,7 @@ TEST_F(TapeIOTest, MetaSectionRoundTrips) {
   Meta.BatchWidth = 4;
   Meta.Simplify = false;
   Meta.BuildGraph = false;
-  Meta.VerifyTape = true;
+  Meta.VerifyTape = 1; // VerifyLevel::Structural as its wire byte
   Meta.Delta = 0.25;
   Meta.SignificanceCap = 1e100;
   StapWriteOptions Opts;
@@ -392,7 +392,7 @@ TEST_F(TapeIOTest, MetaSectionRoundTrips) {
   EXPECT_EQ(Got.BatchWidth, 4u);
   EXPECT_FALSE(Got.Simplify);
   EXPECT_FALSE(Got.BuildGraph);
-  EXPECT_TRUE(Got.VerifyTape);
+  EXPECT_EQ(Got.VerifyTape, 1);
   EXPECT_EQ(Got.Delta, 0.25);
   EXPECT_EQ(Got.SignificanceCap, 1e100);
 

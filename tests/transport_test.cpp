@@ -190,7 +190,7 @@ TEST_F(TransportTest, MetaOptionHelpersRoundTrip) {
   Options.BatchWidth = 3;
   Options.Simplify = false;
   Options.BuildGraph = false;
-  Options.VerifyTape = true;
+  Options.VerifyTape = VerifyLevel::AbsInt;
   Options.Delta = 0.125;
   Options.SignificanceCap = 1e200;
 

@@ -290,7 +290,7 @@ TEST(TapeVerifier, AnalysisVerifyTapeHookRunsAndStaysValid) {
   IAValue Y = sqr(X) + exp(X);
   A.registerOutput(Y, "y");
   AnalysisOptions Options;
-  Options.VerifyTape = true;
+  Options.VerifyTape = VerifyLevel::Structural;
   const AnalysisResult R = A.analyse(Options);
   EXPECT_TRUE(R.wasVerified());
   EXPECT_FALSE(R.verification().hasErrors());

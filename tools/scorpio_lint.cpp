@@ -28,9 +28,18 @@
 /// verified/linted exactly like a registry kernel, using the analysis
 /// options embedded in the tape's META section when present.
 ///
+/// `--absint` adds the abstract-interpretation audit (SCORPIO-Axxx):
+/// enclosures, partials and per-output significance bounds are
+/// re-derived from the recorded input enclosures alone and
+/// cross-checked against the recorded tape and the dynamic sweep; with
+/// `--stap`, a tape's embedded SIG section is additionally audited
+/// against the static bounds.
+///
 /// Exit codes: 0 clean (and baseline matches), 1 baseline mismatch,
-/// 2 structural verifier errors, a round-trip failure, or a .stap file
-/// that failed a loader gate.
+/// 2 verifier errors (structural SCORPIO-Exxx or abstract-
+/// interpretation SCORPIO-Axxx), a round-trip failure, or a .stap file
+/// that failed a loader gate.  A-warnings, like W/G warnings, flow
+/// through the baseline diff and exit 1 on drift.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -39,6 +48,7 @@
 #include "support/Json.h"
 #include "tape/TapeDot.h"
 #include "tape/TapeIO.h"
+#include "verify/AbsInt.h"
 #include "verify/Baseline.h"
 #include "verify/GraphVerifier.h"
 #include "verify/Lint.h"
@@ -67,6 +77,7 @@ struct Options {
   std::string SarifPath;            ///< SARIF 2.1.0 export ("-" = stdout)
   std::string DotDir;               ///< write <kernel>.dot with highlights
   bool Graph = false;               ///< run the SCORPIO-Gxxx graph audit
+  bool AbsInt = false;              ///< run the SCORPIO-Axxx abstract audit
   bool Roundtrip = false;           ///< .stap serialize/load/re-analyse check
   bool List = false;
   bool Quiet = false;
@@ -94,6 +105,13 @@ int usage(std::ostream &OS, int Code) {
         "                           orange)\n"
         "  --graph                  audit the DynDFG/S4/S5 pipeline with\n"
         "                           the SCORPIO-Gxxx rules\n"
+        "  --absint                 abstract-interpretation audit\n"
+        "                           (SCORPIO-Axxx): re-derive enclosures\n"
+        "                           and significance bounds from the\n"
+        "                           input enclosures alone and cross-\n"
+        "                           check the recorded tape, the dynamic\n"
+        "                           sweep and (with --stap) the embedded\n"
+        "                           SIG section against them\n"
         "  --roundtrip              serialize each tape to .stap, reload\n"
         "                           through the verifying loader and\n"
         "                           demand a byte-identical re-analysis\n"
@@ -144,6 +162,8 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.DotDir = V;
     } else if (Arg == "--graph") {
       Opts.Graph = true;
+    } else if (Arg == "--absint") {
+      Opts.AbsInt = true;
     } else if (Arg == "--roundtrip") {
       Opts.Roundtrip = true;
     } else if (Arg == "--list") {
@@ -230,7 +250,8 @@ KernelRun lintKernel(const KernelDescriptor &K, const Options &Opts) {
     Run.Report.merge(verify::lintTape(A.tape(), Ctx));
   }
 
-  if (!Run.Report.hasErrors() && (Opts.Graph || Opts.Roundtrip)) {
+  if (!Run.Report.hasErrors() &&
+      (Opts.Graph || Opts.Roundtrip || Opts.AbsInt)) {
     const AnalysisOptions AOpts; // defaults: CombinedSeed, S4+S5, Delta 1e-3
     const AnalysisResult R = A.analyse(AOpts);
     if (Opts.Graph && R.isValid()) {
@@ -241,6 +262,18 @@ KernelRun lintKernel(const KernelDescriptor &K, const Options &Opts) {
           R.outputSignificance() > 0.0 ? R.outputSignificance() : 1.0;
       Run.Report.merge(verify::auditGraphPipeline(
           A.tape(), Sig, A.labels(), A.outputNodes(), AOpts.Delta, Divisor));
+    }
+    if (Opts.AbsInt) {
+      verify::AbsIntOptions AbsOpts;
+      AbsOpts.SignificanceCap = AOpts.SignificanceCap;
+      verify::AbsIntResult Abs =
+          verify::absInterpret(A.tape(), A.outputNodes(), AbsOpts);
+      // A diverged analysis carries no trustworthy dynamic
+      // significances to compare against the bounds.
+      if (R.isValid())
+        verify::checkDynamicSignificance(Abs, R.nodeSignificances(),
+                                         AbsOpts);
+      Run.Report.merge(Abs.Report);
     }
     if (Opts.Roundtrip)
       Run.RoundtripOk = roundtripKernel(A, R, AOpts, Run.RoundtripError);
@@ -288,6 +321,10 @@ KernelRun lintStapFile(const std::string &Path, const Options &Opts,
 
   Analysis A;
   const TapeRegistration Reg = Loaded.value().Reg;
+  // The SIG section (per-node significances the recording process
+  // claims) survives the adopt so --absint can audit it.
+  const std::vector<double> StoredSig =
+      std::move(Loaded.value().Significance);
   if (diag::Status S = A.adopt(std::move(Loaded.value().T), Reg); !S) {
     std::cerr << "scorpio_lint: " << Path << ": " << S.message() << "\n";
     return Run;
@@ -303,11 +340,12 @@ KernelRun lintStapFile(const std::string &Path, const Options &Opts,
     Ctx.Outputs = A.outputNodes();
     Run.Report.merge(verify::lintTape(A.tape(), Ctx));
   }
-  // The graph audit needs a valid analysis; a tape with no outputs (an
-  // empty shard) has nothing to audit.
-  if (!Run.Report.hasErrors() && Opts.Graph && !A.outputNodes().empty()) {
+  // The graph and abstract audits need a valid analysis; a tape with no
+  // outputs (an empty shard) has nothing to audit.
+  if (!Run.Report.hasErrors() && (Opts.Graph || Opts.AbsInt) &&
+      !A.outputNodes().empty()) {
     const AnalysisResult R = A.analyse(AOpts);
-    if (R.isValid()) {
+    if (Opts.Graph && R.isValid()) {
       std::vector<double> Sig(A.tape().size());
       for (size_t I = 0; I != Sig.size(); ++I)
         Sig[I] = R.significanceOf(static_cast<NodeId>(I));
@@ -315,6 +353,21 @@ KernelRun lintStapFile(const std::string &Path, const Options &Opts,
           R.outputSignificance() > 0.0 ? R.outputSignificance() : 1.0;
       Run.Report.merge(verify::auditGraphPipeline(
           A.tape(), Sig, A.labels(), A.outputNodes(), AOpts.Delta, Divisor));
+    }
+    if (Opts.AbsInt) {
+      verify::AbsIntOptions AbsOpts;
+      AbsOpts.SignificanceCap = AOpts.SignificanceCap;
+      verify::AbsIntResult Abs =
+          verify::absInterpret(A.tape(), A.outputNodes(), AbsOpts);
+      if (R.isValid())
+        verify::checkDynamicSignificance(Abs, R.nodeSignificances(),
+                                         AbsOpts);
+      // The recording process's own claimed significances, when the
+      // file shipped them, must also fall inside the static bounds.
+      if (!StoredSig.empty())
+        Abs.Report.merge(
+            verify::auditStoredSignificance(Abs, StoredSig, AbsOpts));
+      Run.Report.merge(Abs.Report);
     }
   }
 
@@ -483,8 +536,8 @@ int main(int Argc, char **Argv) {
             "# finding is known and accepted (not a suppression: the count\n"
             "# line must still exist, and a stale annotation fails the\n"
             "# diff).\n"
-            "# Regenerate with: scorpio_lint --graph --write-baseline "
-            "<this file>\n";
+            "# Regenerate with: scorpio_lint --graph --absint "
+            "--write-baseline <this file>\n";
       for (const verify::ExpectedFinding &E : Kept)
         OS << "# expected: " << E.RuleId << " " << E.Kernel << " " << E.Reason
            << "\n";
@@ -501,8 +554,9 @@ int main(int Argc, char **Argv) {
     return 2;
   }
   if (TotalErrors != 0) {
-    std::cerr << "scorpio_lint: structural verifier errors — the recorded "
-                 "tape IR is malformed\n";
+    std::cerr << "scorpio_lint: verifier errors — the recorded tape IR is "
+                 "malformed or its data violates the abstract-"
+                 "interpretation bounds\n";
     return 2;
   }
 

@@ -63,6 +63,13 @@ int usage(std::ostream &OS, int Code) {
         "                           directory (created if missing)\n"
         "  --cache-mode <rw|ro>     rw serves and stores (default),\n"
         "                           ro only serves\n"
+        "  --cache-budget <mb>      cap the cache directory size; after\n"
+        "                           each store, least-recently-used\n"
+        "                           entries are evicted until it fits\n"
+        "  --cache-audit            semantic audit: abstract-interpret\n"
+        "                           each hit's tape and reject cached\n"
+        "                           reports that violate the static\n"
+        "                           significance bounds (SCORPIO-A004)\n"
         "  --help                   this text\n";
   return Code;
 }
@@ -82,6 +89,7 @@ int main(int Argc, char **Argv) {
   std::string Dir, JsonPath = "-", CacheDir;
   StreamingMergeOptions Merge;
   CacheMode Cache = CacheMode::ReadWrite;
+  uint64_t CacheBudgetBytes = 0;
   for (int I = 1; I < Argc; ++I) {
     const std::string Arg = Argv[I];
     auto Value = [&]() -> const char * {
@@ -145,6 +153,18 @@ int main(int Argc, char **Argv) {
                   << "'\n";
         return usage(std::cerr, 2);
       }
+    } else if (Arg == "--cache-budget") {
+      if (!(V = Value()))
+        return usage(std::cerr, 2);
+      const unsigned MB = parseCount(V);
+      if (!MB) {
+        std::cerr << "scorpio_merge: bad --cache-budget value '" << V
+                  << "'\n";
+        return usage(std::cerr, 2);
+      }
+      CacheBudgetBytes = static_cast<uint64_t>(MB) * 1024 * 1024;
+    } else if (Arg == "--cache-audit") {
+      Merge.CacheAudit = true;
     } else if (Arg == "--help" || Arg == "-h") {
       return usage(std::cout, 0);
     } else if (!Arg.empty() && Arg[0] == '-') {
@@ -178,7 +198,8 @@ int main(int Argc, char **Argv) {
   std::unique_ptr<service::ResultCache> ResultCache;
   if (!CacheDir.empty()) {
     ResultCache = std::make_unique<service::ResultCache>(
-        CacheDir, /*Writable=*/Cache == CacheMode::ReadWrite);
+        CacheDir, /*Writable=*/Cache == CacheMode::ReadWrite,
+        CacheBudgetBytes);
     if (!ResultCache->directoryStatus().isOk())
       // Degraded, not fatal: the merge still runs, every shard just
       // analyses fresh (and the stats line shows all misses).
@@ -198,10 +219,14 @@ int main(int Argc, char **Argv) {
   const ParallelAnalysisResult &R = Merged.value();
 
   if (ResultCache) {
+    // The "hits ... corrupt" prefix is a stable surface scripts grep;
+    // new counters extend the line, never reorder it.
     const service::ResultCache::Stats CS = ResultCache->stats();
     std::cerr << "scorpio_merge: cache: " << CS.Hits << " hits, "
               << CS.Misses << " misses, " << CS.Stores << " stores, "
-              << CS.CorruptEntries << " corrupt\n";
+              << CS.CorruptEntries << " corrupt, " << CS.Evictions
+              << " evicted, " << Stats.CacheAuditRejected
+              << " audit-rejected\n";
   }
 
   if (JsonPath == "-") {
