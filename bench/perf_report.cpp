@@ -34,6 +34,7 @@
 #include "tape/Tape.h"
 #include "tape/TapeIO.h"
 #include "verify/AbsInt.h"
+#include "verify/FpError.h"
 
 #include <algorithm>
 #include <cstring>
@@ -366,6 +367,46 @@ int main() {
   const double AbsIntOverhead =
       StructuralMin > 0.0 ? AuditMin / StructuralMin : 0.0;
 
+  // --- Stage 5c: FP-error audit overhead ---------------------------
+  // The rounding-error counterpart of Stage 5b: fpErrorInterpret is the
+  // same abstract forward/backward pass plus a linear ulp-scaling loop,
+  // and checkDynamicFpError the same per-node bound comparison, so the
+  // identical < 10% gate applies.  The dynamic contributions come from
+  // a one-off FP-error-backend analyse of the pre-recorded tape.
+  AnalysisOptions DctFpOpt = DctOpt;
+  DctFpOpt.Backend = AnalysisBackend::FpError;
+  const AnalysisResult DctFpResult = DctRecorded.analyse(DctFpOpt);
+  if (!DctFpResult.isValid())
+    std::abort();
+  const auto RunFpAudit = [&] {
+    for (int I = 0; I != AbsIntBatch; ++I) {
+      verify::FpErrorResult FR = verify::fpErrorInterpret(
+          DctRecorded.tape(), DctRecorded.outputNodes(), {});
+      verify::checkDynamicFpError(FR, DctFpResult.nodeSignificances(), {});
+      if (FR.Report.hasErrors())
+        std::abort();
+    }
+  };
+  RunFpAudit(); // warm-up
+  double FpStructuralMin = std::numeric_limits<double>::infinity();
+  double FpAuditMin = FpStructuralMin;
+  for (int Round = 0; Round != 9; ++Round) {
+    Timer T;
+    RunStructural();
+    FpStructuralMin = std::min(FpStructuralMin, T.seconds());
+    T.reset();
+    RunFpAudit();
+    FpAuditMin = std::min(FpAuditMin, T.seconds());
+  }
+  Measurement FpErrAudited;
+  FpErrAudited.Name = "dct8_peroutput_fperr_audit";
+  FpErrAudited.Items = AbsIntBatch;
+  FpErrAudited.Calls = 1;
+  FpErrAudited.Seconds = FpAuditMin;
+  Results.push_back(FpErrAudited);
+  const double FpErrOverhead =
+      FpStructuralMin > 0.0 ? FpAuditMin / FpStructuralMin : 0.0;
+
   // --- Stage 6: .stap serialize/deserialize throughput -------------
   // The cross-process transport cost: one 20k-node chain tape through
   // writeStap (raw and compressed v2) and back through the verifying
@@ -569,6 +610,9 @@ int main() {
   std::cout << "  abstract-interpretation audit cost (dct8 per-output, "
                "audit vs structural record+analyse): "
             << AbsIntOverhead * 100.0 << "% (gate: < 10%)\n";
+  std::cout << "  fp-error audit cost (dct8 per-output, audit vs "
+               "structural record+analyse): "
+            << FpErrOverhead * 100.0 << "% (gate: < 10%)\n";
   std::cout << "  stap compression ratio (compressed/raw bytes): "
             << StapCompressionRatio << "\n";
   std::cout << "  stap cache-hit speedup (streaming merge, warm cache vs "
@@ -613,6 +657,7 @@ int main() {
     J.key("sharded_sobel_gated").value(ShardGate);
     J.key("incremental_verify_overhead").value(VerifyOverhead);
     J.key("absint_overhead").value(AbsIntOverhead);
+    J.key("fperr_overhead").value(FpErrOverhead);
     J.key("stap_compression_ratio").value(StapCompressionRatio);
     J.key("stap_cache_hit_speedup").value(CacheHitSpeedup);
     J.key("sharded_deterministic").value(Deterministic);
@@ -642,6 +687,7 @@ int main() {
                   (!SimdGate || SimdSweepSpeedup >= 2.0) &&
                   (!ShardGate || ShardSpeedup > 1.0) &&
                   VerifyOverhead < 0.10 && AbsIntOverhead < 0.10 &&
+                  FpErrOverhead < 0.10 &&
                   StapCompressionRatio < 1.0 && CacheHitSpeedup >= 1.0;
   std::cout << "perf report: " << (Ok ? "PASS" : "FAIL") << "\n";
   return Ok ? 0 : 1;

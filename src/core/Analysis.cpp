@@ -2,9 +2,11 @@
 
 #include "core/Analysis.h"
 
+#include "core/SweepBackends.h"
 #include "support/Json.h"
 #include "support/Statistics.h"
 #include "verify/AbsInt.h"
+#include "verify/FpError.h"
 #include "verify/TapeVerifier.h"
 
 #include <algorithm>
@@ -74,6 +76,10 @@ void AnalysisResult::writeJson(std::ostream &OS) const {
 void AnalysisResult::writeJson(JsonWriter &J) const {
   J.beginObject();
   J.key("valid").value(isValid());
+  // Only non-default backends stamp the report, so every pre-existing
+  // significance document stays byte-identical.
+  if (Backend != AnalysisBackend::Significance)
+    J.key("backend").value(sweepBackendFor(Backend).name());
   J.key("divergences").beginArray();
   for (const std::string &D : Divergences)
     J.value(D);
@@ -226,30 +232,6 @@ void Analysis::registerOutput(const IAValue &Y, const std::string &Name) {
   OutputNodes.push_back(Y.node());
 }
 
-double Analysis::cappedSignificance(const Interval &Value,
-                                    const Interval &Adjoint,
-                                    const AnalysisOptions &Options) {
-  double W = 0.0;
-  switch (Options.SignificanceMetric) {
-  case AnalysisOptions::Metric::Eq11WorstCase:
-    // Eq. 11: S_y(u_j) = w([u_j] * grad_[u_j][y]).
-    W = (Value * Adjoint).width();
-    break;
-  case AnalysisOptions::Metric::WidthTimesDerivative:
-    W = Value.width() * Adjoint.mag();
-    break;
-  }
-  if (std::isnan(W))
-    return Options.SignificanceCap;
-  return std::min(W, Options.SignificanceCap);
-}
-
-double Analysis::cappedSignificance(NodeId Id,
-                                    const AnalysisOptions &Options) const {
-  const Tape &T = Scope.tape();
-  return cappedSignificance(T.value(Id), T.adjoint(Id), Options);
-}
-
 AnalysisResult Analysis::analyse(const AnalysisOptions &OptionsIn) {
   Tape &T = Scope.tape();
   AnalysisResult R;
@@ -308,78 +290,32 @@ AnalysisResult Analysis::analyse(const AnalysisOptions &OptionsIn) {
     AbsInt = verify::absInterpret(T, OutputNodes, AbsIntOpts);
   }
 
-  if (Options.Mode == AnalysisOptions::OutputMode::CombinedSeed ||
-      OutputNodes.size() == 1) {
-    T.clearAdjoints();
-    for (NodeId Out : OutputNodes)
-      T.seedAdjoint(Out, Interval(1.0));
-    T.reverseSweep(Options.Sweep);
-    for (size_t I = 0; I != T.size(); ++I)
-      R.NodeSignificance[I] =
-          cappedSignificance(static_cast<NodeId>(I), Options);
-  } else if (Options.BatchWidth <= 1) {
-    // PerOutput, classic scalar-adjoint loop: m dedicated sweeps;
-    // S_y(u) = sum_i S_{y_i}(u).  Kept as the BatchWidth=1 baseline.
-    for (NodeId Out : OutputNodes) {
-      T.clearAdjoints();
-      T.seedAdjoint(Out, Interval(1.0));
-      T.reverseSweep(Options.Sweep);
-      for (size_t I = 0; I != T.size(); ++I) {
-        R.NodeSignificance[I] +=
-            cappedSignificance(static_cast<NodeId>(I), Options);
-        R.NodeSignificance[I] =
-            std::min(R.NodeSignificance[I], Options.SignificanceCap);
-      }
-    }
-  } else {
-    // PerOutput, vector-adjoint mode: propagate up to BatchWidth output
-    // seeds per backward pass, then accumulate lane significances in
-    // output order.  Per node the sequence of += / min operations is
-    // exactly the scalar loop's, so results are bit-identical.
-    const bool IsEq11 = Options.SignificanceMetric ==
-                        AnalysisOptions::Metric::Eq11WorstCase;
-    const Interval Zero(0.0);
-    std::vector<std::pair<NodeId, Interval>> Seeds;
-    BatchAdjoints Batch;
-    for (size_t Begin = 0; Begin < OutputNodes.size();
-         Begin += Options.BatchWidth) {
-      const size_t End =
-          std::min(Begin + Options.BatchWidth, OutputNodes.size());
-      Seeds.clear();
-      for (size_t O = Begin; O != End; ++O)
-        Seeds.emplace_back(OutputNodes[O], Interval(1.0));
-      T.reverseSweepBatch(Seeds, Batch, Options.Sweep);
+  // The reverse-sweep stage is a pluggable backend: the default
+  // SignificanceBackend is the pre-refactor Eq.-11 pipeline verbatim;
+  // FpErrorBackend accumulates CHEF-FP-style rounding-error
+  // contributions through the same sweep machinery.
+  R.Backend = Options.Backend;
+  sweepBackendFor(Options.Backend)
+      .run(T, OutputNodes, Options, R.NodeSignificance, R.OutputSig);
 
-      const unsigned W = static_cast<unsigned>(End - Begin);
-      for (size_t I = 0; I != T.size(); ++I) {
-        const Interval &V = T.value(static_cast<NodeId>(I));
-        const Interval *Row = Batch.row(static_cast<NodeId>(I));
-        // A [0,0] lane adjoint contributes exactly 0 significance (the
-        // interval product with an exact-zero factor is exactly [0,0]),
-        // except under WidthTimesDerivative with an unbounded value
-        // where inf*0 = NaN is capped — there every lane is evaluated.
-        const bool SkipZeroLanes = IsEq11 || V.isBounded();
-        for (unsigned L = 0; L != W; ++L) {
-          if (SkipZeroLanes && Row[L] == Zero)
-            continue;
-          R.NodeSignificance[I] += cappedSignificance(V, Row[L], Options);
-          R.NodeSignificance[I] =
-              std::min(R.NodeSignificance[I], Options.SignificanceCap);
-        }
-      }
-    }
-  }
-
-  for (NodeId Out : OutputNodes)
-    R.OutputSig += R.NodeSignificance[static_cast<size_t>(Out)];
-
-  // The second half of the S3.6 audit: every dynamic significance must
-  // fall inside the statically re-derived bound.  A-errors invalidate
-  // the result (the tape and the sweep disagree about the kernel) but
-  // the computed data stays in the report for inspection.
+  // The second half of the S3.6 audit: every dynamic number must fall
+  // inside a statically re-derived bound — significances against the
+  // AbsInt bounds (SCORPIO-A003), FP-error contributions against the
+  // FpError bounds (SCORPIO-F001/F003).  Errors invalidate the result
+  // (the tape and the sweep disagree about the kernel) but the computed
+  // data stays in the report for inspection.
   if (RunAbsInt) {
-    verify::checkDynamicSignificance(AbsInt, R.NodeSignificance,
-                                     AbsIntOpts);
+    if (Options.Backend == AnalysisBackend::FpError) {
+      verify::FpErrorOptions FpOpts;
+      FpOpts.ErrorCap = Options.SignificanceCap;
+      verify::FpErrorResult Fp =
+          verify::fpErrorInterpret(T, OutputNodes, FpOpts);
+      verify::checkDynamicFpError(Fp, R.NodeSignificance, FpOpts);
+      AbsInt.Report.merge(Fp.Report);
+    } else {
+      verify::checkDynamicSignificance(AbsInt, R.NodeSignificance,
+                                       AbsIntOpts);
+    }
     R.Verification.merge(AbsInt.Report);
     for (const verify::Finding &F : AbsInt.Report.findings())
       if (F.severity() == verify::Severity::Error)

@@ -54,6 +54,24 @@ enum class VerifyLevel : uint8_t {
   AbsInt = 2,
 };
 
+/// Which error-analysis backend the reverse sweep feeds (the pluggable
+/// SweepBackendIface of core/SweepBackends.h).  A per-run analysis
+/// choice like the sweep implementation or the merge-time verify level:
+/// it is NOT part of the .stap wire format (tapes record dataflow, not
+/// what question is asked of it), but it IS part of the result-cache
+/// key — significance and FP-error reports must never collide.
+enum class AnalysisBackend : uint8_t {
+  /// The paper's Eq.-11 interval significance analysis (the default;
+  /// byte-identical to the pre-refactor pipeline).
+  Significance = 0,
+  /// CHEF-FP-style floating-point rounding-error estimation: per-node
+  /// local half-ulp errors scaled per OpKind, propagated through the
+  /// same reverse adjoint sweep.  Per-node "significances" are then
+  /// absolute error contributions and outputSignificance() is the
+  /// total FP error bound at the outputs.
+  FpError = 1,
+};
+
 /// Options controlling analyse().
 struct AnalysisOptions {
   /// How multiple registered outputs are combined.
@@ -117,6 +135,11 @@ struct AnalysisOptions {
   /// textbook loops.  Results are bit-identical either way (the E008
   /// contract) — the knob exists for A/B measurement and cross-checks.
   SweepBackend Sweep = SweepBackend::Auto;
+  /// Which error-analysis backend interprets the adjoints the reverse
+  /// sweep computes.  Significance (the default) reproduces the paper's
+  /// Eq.-11 pipeline byte for byte; FpError reuses the same sweep
+  /// machinery to accumulate CHEF-FP-style rounding-error bounds.
+  AnalysisBackend Backend = AnalysisBackend::Significance;
 };
 
 /// Significance of one registered variable.
@@ -186,6 +209,13 @@ public:
   /// Level found by step S5 (-1 when no variance level was detected).
   int varianceLevel() const { return VarianceLevel; }
 
+  /// The error-analysis backend that produced this result.  Under
+  /// AnalysisBackend::FpError, nodeSignificances() holds per-node FP
+  /// error contributions and outputSignificance() the total FP error
+  /// bound; everything else (normalization, graph, variance level) is
+  /// computed over those numbers by the shared pipeline.
+  AnalysisBackend backend() const { return Backend; }
+
   /// Verifier findings (empty unless AnalysisOptions::VerifyTape ran).
   const verify::VerifyReport &verification() const { return Verification; }
 
@@ -217,6 +247,7 @@ private:
   size_t GraphAlive = 0;
   int GraphHeight = 0;
   int VarianceLevel = -1;
+  AnalysisBackend Backend = AnalysisBackend::Significance;
   verify::VerifyReport Verification;
   bool Verified = false;
   /// Lazy find() index: Name -> (list id, index).  List ids follow the
@@ -291,13 +322,6 @@ public:
   Tape &tape() { return Scope.tape(); }
 
 private:
-  /// Significance of one (value, adjoint) pair under the selected metric,
-  /// NaN-hardened and capped.
-  static double cappedSignificance(const Interval &Value,
-                                   const Interval &Adjoint,
-                                   const AnalysisOptions &Options);
-  double cappedSignificance(NodeId Id, const AnalysisOptions &Options) const;
-
   ActiveTapeScope Scope;
   Analysis *PreviousCurrent;
   std::map<NodeId, std::string> Labels;

@@ -6,6 +6,7 @@
 #include "support/Diag.h"
 #include "support/Json.h"
 #include "verify/AbsInt.h"
+#include "verify/FpError.h"
 #include "verify/GraphVerifier.h"
 #include "verify/TapeVerifier.h"
 
@@ -187,9 +188,24 @@ bool readInterval(CacheReader &R, Interval &Out) {
 bool auditCachedShard(const LoadedTape &Loaded,
                       const AnalysisOptions &Options,
                       const ShardResult &Hit) {
+  // Defense in depth against key-scheme regressions: an entry recorded
+  // under a different backend answers a different question and is
+  // rejected before any numeric audit.
+  if (Hit.Result.backend() != Options.Backend)
+    return false;
   std::span<const double> Stored = Hit.Result.nodeSignificances();
   if (Stored.empty())
     return true;
+  if (Options.Backend == AnalysisBackend::FpError) {
+    verify::FpErrorOptions FpOpts;
+    FpOpts.ErrorCap = Options.SignificanceCap;
+    const verify::FpErrorResult Fp =
+        verify::fpErrorInterpret(Loaded.T, Loaded.Reg.Outputs, FpOpts);
+    return !verify::auditStoredFpError(Fp, Stored,
+                                       Hit.Result.outputSignificance(),
+                                       FpOpts)
+                .hasErrors();
+  }
   verify::AbsIntOptions AbsOpts;
   AbsOpts.SignificanceCap = Options.SignificanceCap;
   const verify::AbsIntResult Abs =
@@ -310,6 +326,11 @@ uint64_t scorpio::shardCacheKey(const LoadedTape &Shard,
   H.add(Options.Delta);
   H.add(Options.SignificanceCap);
   H.add(static_cast<uint8_t>(Options.Sweep));
+  // The error-analysis backend is part of the key for the same reason:
+  // a significance report and an FP-error report over the same tape are
+  // different answers to different questions and must never serve each
+  // other from the cache.
+  H.add(static_cast<uint8_t>(Options.Backend));
   // Input enclosures bit for bit: the analysis is a function of the
   // input intervals, so [0, 1] and [0, 1 + ulp] must key differently.
   const Tape &T = Shard.T;
@@ -662,6 +683,10 @@ std::string ParallelAnalysis::serializeShardResult(const ShardResult &Shard) {
   W.put(static_cast<int32_t>(R.VarianceLevel));
   W.put(static_cast<uint64_t>(R.GraphAlive));
   W.put(static_cast<int32_t>(R.GraphHeight));
+  // Appended last so every pre-backend field keeps its offset; entries
+  // written before the field existed fail the strict atEnd() check and
+  // degrade to counted-corrupt misses.
+  W.put(static_cast<uint8_t>(R.Backend));
   return W.take();
 }
 
@@ -715,6 +740,10 @@ ParallelAnalysis::deserializeShardResult(std::string_view Bytes) {
   Res.VarianceLevel = R.get<int32_t>();
   Res.GraphAlive = static_cast<size_t>(R.get<uint64_t>());
   Res.GraphHeight = R.get<int32_t>();
+  const uint8_t Backend = R.get<uint8_t>();
+  if (Backend > static_cast<uint8_t>(AnalysisBackend::FpError))
+    return Malformed();
+  Res.Backend = static_cast<AnalysisBackend>(Backend);
   // Exactly the serialized fields, nothing more: trailing bytes mean the
   // entry was written by something else.
   if (!R.atEnd())
@@ -807,10 +836,14 @@ ParallelAnalysis::mergeStapStreaming(const std::vector<std::string> &Paths,
   std::vector<std::pair<size_t, ShardResult>> Results;  // (ordinal, result)
 
   const auto Analyse = [&](LoadedTape Loaded, size_t Ordinal) {
+    // The backend is a merge-side choice layered on top of the recorded
+    // options: .stap META pins how the tape was recorded (mode, metric,
+    // widths...), not which question the merge asks of it.
+    AnalysisOptions AO = HaveReference ? Reference : AnalysisOptions();
+    AO.Backend = Options.Backend;
     ShardResult SR = analyseOrCacheShard(
-        std::move(Loaded), HaveReference ? Reference : AnalysisOptions(),
-        Options.Verify, Options.Cache, Options.ResultCache,
-        Options.CacheAudit, Stats);
+        std::move(Loaded), AO, Options.Verify, Options.Cache,
+        Options.ResultCache, Options.CacheAudit, Stats);
     Results.emplace_back(Ordinal, std::move(SR));
     ++Stats->ShardsMerged;
   };

@@ -138,7 +138,9 @@ bool shardMetaMatches(const TapeMeta &Meta, const AnalysisOptions &Options);
 
 /// Content-addressed cache key of one loaded shard tape: an FNV-1a hash
 /// over (\p SchemaHash, the META shard identity, every flattened field
-/// of \p Options, the input-node enclosures bit for bit, a structural
+/// of \p Options — including the error-analysis backend, so FP-error
+/// and significance results never collide —, the input-node enclosures
+/// bit for bit, a structural
 /// digest of the node stream — op kinds, aux exponents, argument ids,
 /// partial bounds — the recorded divergences, and the registration
 /// lists).  Any change that could alter the analysis report changes the
@@ -241,6 +243,13 @@ struct StreamingMergeOptions {
   ShardResultCache *ResultCache = nullptr;
   /// Semantic cache audit, as in TransportOptions::CacheAudit.
   bool CacheAudit = false;
+  /// Error-analysis backend every shard analyses under.  A merge-side
+  /// choice layered on top of the META reference options — the .stap
+  /// wire format records how the tape was produced, not which question
+  /// the merge asks of it — and part of the result-cache key, so
+  /// FP-error and significance runs over the same shards never serve
+  /// each other's entries.
+  AnalysisBackend Backend = AnalysisBackend::Significance;
 };
 
 /// Counters one mergeStapStreaming() call fills (all zero-initialized).

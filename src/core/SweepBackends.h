@@ -1,0 +1,76 @@
+//===- core/SweepBackends.h - Pluggable reverse-sweep backends ------------===//
+//
+// Part of the scorpio project: reproduction of "Towards Automatic
+// Significance Analysis for Approximate Computing" (CGO 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The error-analysis backends behind Analysis::analyse().  A backend
+/// owns the reverse-sweep stage of the pipeline: it consumes the
+/// recorded tape through the adjoint sweep machinery (scalar, SIMD, or
+/// the batched vector-adjoint lanes of Tape::reverseSweepBatch) and
+/// fills one double per node plus a total, which the shared pipeline —
+/// normalization, DynDFG construction, the S5 variance level, result
+/// caching and JSON rendering — then treats uniformly.
+///
+/// Two backends exist:
+///
+///  * SignificanceBackend — the paper's Eq.-11 interval significance
+///    analysis.  The three seeding paths (combined seed, per-output
+///    scalar, per-output batched) were moved here verbatim from
+///    Analysis::analyse(), so the default pipeline is byte-identical
+///    to the pre-refactor one.
+///
+///  * FpErrorBackend — CHEF-FP-style rounding-error estimation.  A
+///    forward pass assigns each node a local error of half an ulp of
+///    its recorded enclosure midpoint, scaled per OpKind (exact ops
+///    like neg/abs contribute zero; libm transcendentals count
+///    double); the reverse adjoint sweep then accumulates per-node
+///    absolute error contributions eps_i * |adjoint_i| across the same
+///    seeding schemes.  The model lives in verify/FpError.h, shared
+///    with the static audit that re-derives bounds for it.
+///
+/// Backends are stateless: the singletons returned by sweepBackendFor
+/// are safe to share across threads (ParallelAnalysis shards call them
+/// concurrently on distinct tapes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCORPIO_CORE_SWEEPBACKENDS_H
+#define SCORPIO_CORE_SWEEPBACKENDS_H
+
+#include "core/Analysis.h"
+#include "tape/Tape.h"
+
+#include <span>
+#include <vector>
+
+namespace scorpio {
+
+/// One error-analysis backend of the reverse-sweep stage.
+class SweepBackendIface {
+public:
+  virtual ~SweepBackendIface() = default;
+
+  /// Stable identifier of the backend ("significance", "fperr"); the
+  /// JSON report carries it for non-default backends.
+  virtual const char *name() const = 0;
+
+  /// Runs the backend over \p T seeded at \p Outputs: fills \p PerNode
+  /// (pre-sized to T.size(), zero-initialized) with one non-negative,
+  /// NaN-free double per node, capped at Options.SignificanceCap, and
+  /// \p Total with the backend's scalar summary (summed output
+  /// significance / total FP error bound).  May use the tape's adjoint
+  /// storage as scratch.
+  virtual void run(Tape &T, std::span<const NodeId> Outputs,
+                   const AnalysisOptions &Options,
+                   std::vector<double> &PerNode, double &Total) const = 0;
+};
+
+/// The stateless singleton implementing \p Backend.
+const SweepBackendIface &sweepBackendFor(AnalysisBackend Backend);
+
+} // namespace scorpio
+
+#endif // SCORPIO_CORE_SWEEPBACKENDS_H

@@ -271,6 +271,86 @@ const std::vector<Rule> &verify::ruleCatalog() {
        "the tape/sweep pay the node twice, and the duplicate halves "
        "the per-node significance attributed to the shared "
        "subexpression.  Reuse the first occurrence."},
+      {RuleKind::FpContributionAboveBound, Severity::Error, "SCORPIO-F001",
+       "fp-contribution-above-bound",
+       "dynamic FP-error contribution exceeds the static rounding-error "
+       "bound",
+       "The FP-error backend attributes each node half an ulp of its "
+       "recorded enclosure midpoint (scaled per OpKind) times its "
+       "accumulated adjoint magnitude.  Re-deriving both factors from "
+       "the recorded inputs alone — ulp of the abstract enclosure "
+       "magnitude times the abstract adjoint magnitude bound — "
+       "dominates every honest sweep, so a dynamic contribution above "
+       "the bound proves the error numbers and the tape are out of "
+       "sync."},
+      {RuleKind::StoredFpErrorAboveBound, Severity::Error, "SCORPIO-F002",
+       "stored-fperror-above-bound",
+       "stored FP-error report violates the static rounding-error bound "
+       "for the tape it claims to describe",
+       "A persisted FP-error report (a result-cache entry analysed "
+       "under the FpError backend) is validated semantically against "
+       "the statically re-derived per-node error bounds, exactly like "
+       "SCORPIO-A004 validates significance reports: NaN, negative or "
+       "above-bound stored contributions prove the report was not "
+       "computed from this tape."},
+      {RuleKind::DeadNodeNonzeroError, Severity::Error, "SCORPIO-F003",
+       "dead-node-nonzero-error",
+       "node statically dead for significance carries a nonzero "
+       "FP-error contribution",
+       "The FP-error and significance analyses share one adjoint "
+       "recursion, so a node the abstract interpretation proves "
+       "unreachable by any adjoint (AdjointMagBound = 0, hence zero "
+       "significance bound) must also contribute exactly zero rounding "
+       "error.  A nonzero contribution on such a node means the two "
+       "backends disagree about the dataflow — one of them is not "
+       "describing this tape."},
+      {RuleKind::StoredTotalAboveBound, Severity::Error, "SCORPIO-F004",
+       "stored-total-above-bound",
+       "stored total FP error exceeds the static total rounding-error "
+       "bound",
+       "The total FP error at the outputs is the sum of the per-node "
+       "contributions, so the upward-rounded sum of the static per-node "
+       "bounds dominates it.  A stored total above that bound is "
+       "inconsistent with the node stream it shipped with even when "
+       "every per-node entry individually passes."},
+      {RuleKind::FloatDemotableTask, Severity::Warning, "SCORPIO-F005",
+       "float-demotable-task",
+       "task level's projected float rounding error is below the "
+       "demotion tolerance",
+       "Scaling a task level's double-precision error contribution by "
+       "2^29 (the ulp ratio between binary32 and binary64 at equal "
+       "magnitude) projects what the same code would contribute in "
+       "float.  When the projection stays below the demotion tolerance "
+       "the whole level is a mixed-precision candidate: demote its "
+       "variables to float and keep the rest of the kernel double, the "
+       "QDOT-style payoff of significance-driven precision selection."},
+      {RuleKind::ErrorDominatingNode, Severity::Warning, "SCORPIO-F006",
+       "error-dominating-node",
+       "one node contributes the majority of the total FP error bound",
+       "A node whose static error contribution exceeds half of the "
+       "total bound is where the rounding-error budget is actually "
+       "spent: rewriting that operation (higher precision, a fused "
+       "form, an algebraic reformulation) moves the total more than "
+       "touching everything else combined."},
+      {RuleKind::TotalErrorAboveTolerance, Severity::Warning, "SCORPIO-F007",
+       "total-error-above-tolerance",
+       "total FP rounding-error bound at the outputs exceeds the "
+       "configured tolerance",
+       "The accumulated half-ulp error bound over every output seed is "
+       "the backend's certificate of floating-point accuracy.  A total "
+       "above the tolerance — including the unbounded totals that "
+       "unbounded enclosures induce — means the kernel's output "
+       "precision cannot be certified at this input range and the "
+       "mixed-precision lints below it are moot."},
+      {RuleKind::DemotionBlockedByDominator, Severity::Warning,
+       "SCORPIO-F008", "demotion-blocked-by-dominator",
+       "task level misses float demotion only because of its single "
+       "largest error contributor",
+       "The level's projected float error exceeds the demotion "
+       "tolerance, but removing just the largest per-node contribution "
+       "brings it back under: one operation blocks the whole level's "
+       "demotion.  Keep that node in double (or rewrite it) and demote "
+       "the rest of the level."},
   };
   return Catalog;
 }

@@ -95,10 +95,24 @@ enum class RuleKind : uint8_t {
   HiddenZeroDivisor,       ///< SCORPIO-A006: divisor must straddle 0, claims not
   ConstantFoldable,        ///< SCORPIO-A007: point-valued subgraph re-evaluated
   CommonSubexpression,     ///< SCORPIO-A008: identical node recorded twice
+  // Floating-point rounding-error cross-validation and mixed-precision
+  // lints (FpError) — the CHEF-FP-style backend's half-ulp error
+  // contributions audited against independently re-derived static
+  // bounds (the A-rule trust model applied to the FP-error family) plus
+  // precision-demotion advice.  Appended after the A rules; never
+  // renumber.
+  FpContributionAboveBound, ///< SCORPIO-F001: dynamic FP-error contribution > static bound
+  StoredFpErrorAboveBound,  ///< SCORPIO-F002: stored/cached FP-error report > static bound
+  DeadNodeNonzeroError,     ///< SCORPIO-F003: significance-dead node with nonzero FP error
+  StoredTotalAboveBound,    ///< SCORPIO-F004: stored total FP error > static total bound
+  FloatDemotableTask,       ///< SCORPIO-F005: task level safe to demote to float
+  ErrorDominatingNode,      ///< SCORPIO-F006: one node dominates the FP error budget
+  TotalErrorAboveTolerance, ///< SCORPIO-F007: total FP error bound above tolerance
+  DemotionBlockedByDominator,///< SCORPIO-F008: level misses demotion only due to one node
 };
 
 inline constexpr size_t NumRules =
-    static_cast<size_t>(RuleKind::CommonSubexpression) + 1;
+    static_cast<size_t>(RuleKind::DemotionBlockedByDominator) + 1;
 
 /// Immutable catalog entry for one rule.
 struct Rule {

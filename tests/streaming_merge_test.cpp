@@ -360,6 +360,11 @@ TEST_F(StreamingMergeTest, CacheKeySeparatesEveryInput) {
   Opt = {};
   Opt.Sweep = SweepBackend::Scalar;
   EXPECT_NE(Key, shardCacheKey(Base, Opt));
+  // ...and the error-analysis backend: FP-error and significance
+  // results must never collide under one key.
+  Opt = {};
+  Opt.Backend = AnalysisBackend::FpError;
+  EXPECT_NE(Key, shardCacheKey(Base, Opt));
 
   // A changed input enclosure changes the key.
   Analysis B;
@@ -540,6 +545,82 @@ TEST_F(StreamingMergeTest, CacheAuditAcceptsHonestAndRejectsForgedEntries) {
   EXPECT_EQ(Honest, streamJson(Paths, Options, &Clean));
   EXPECT_EQ(Clean.CacheHits, 1u);
   EXPECT_EQ(Clean.CacheAuditRejected, 0u);
+}
+
+TEST_F(StreamingMergeTest, BackendsNeverShareCacheEntries) {
+  TempDir Shards("scorpio_cache_backend_shards");
+  TempDir Cache("scorpio_cache_backend_dir");
+  const TapeMeta Meta = makeShardMeta("square", 0, {});
+  writeSquareShard(Shards.Path + "/shard_0.stap", 1.0, 2.0, &Meta);
+  const std::vector<std::string> Paths =
+      listStapShards(Shards.Path).valueOr({});
+  ASSERT_EQ(Paths.size(), 1u);
+
+  service::ResultCache RC(Cache.Path);
+  StreamingMergeOptions Sig;
+  Sig.Cache = CacheMode::ReadWrite;
+  Sig.ResultCache = &RC;
+  StreamingMergeOptions Fp = Sig;
+  Fp.Backend = AnalysisBackend::FpError;
+
+  // Warm the cache with the significance backend, then merge under the
+  // FP-error backend: not one hit may be served across the boundary —
+  // the backend is part of the cache key.
+  const std::string SigReport = streamJson(Paths, Sig, nullptr);
+  StreamingMergeStats FpCold;
+  const std::string FpReport = streamJson(Paths, Fp, &FpCold);
+  EXPECT_EQ(FpCold.CacheHits, 0u);
+  EXPECT_EQ(FpCold.CacheMisses, 1u);
+  EXPECT_EQ(FpCold.Analysed, 1u);
+  // Different numbers (and a self-identifying report), not a re-label.
+  EXPECT_NE(SigReport, FpReport);
+  EXPECT_NE(FpReport.find("\"backend\":\"fperr\""), std::string::npos);
+  EXPECT_EQ(SigReport.find("\"backend\""), std::string::npos);
+
+  // Both entries now coexist; each backend warm-hits only its own.
+  StreamingMergeStats FpWarm, SigWarm;
+  EXPECT_EQ(FpReport, streamJson(Paths, Fp, &FpWarm));
+  EXPECT_EQ(FpWarm.CacheHits, 1u);
+  EXPECT_EQ(SigReport, streamJson(Paths, Sig, &SigWarm));
+  EXPECT_EQ(SigWarm.CacheHits, 1u);
+
+  // The semantic audit accepts each backend's honest entry under its
+  // own bounds (FP-error hits are audited against auditStoredFpError,
+  // not the significance bounds, which they would violate).
+  StreamingMergeOptions FpAudit = Fp;
+  FpAudit.CacheAudit = true;
+  StreamingMergeOptions SigAudit = Sig;
+  SigAudit.CacheAudit = true;
+  StreamingMergeStats FpAudited, SigAudited;
+  EXPECT_EQ(FpReport, streamJson(Paths, FpAudit, &FpAudited));
+  EXPECT_EQ(FpAudited.CacheHits, 1u);
+  EXPECT_EQ(FpAudited.CacheAuditRejected, 0u);
+  EXPECT_EQ(SigReport, streamJson(Paths, SigAudit, &SigAudited));
+  EXPECT_EQ(SigAudited.CacheHits, 1u);
+  EXPECT_EQ(SigAudited.CacheAuditRejected, 0u);
+
+  // Defense in depth: a significance result smuggled under the
+  // FP-error key (what a key collision or a buggy build would leave
+  // behind) is rejected by the audited merge on its backend tag alone,
+  // before any bound comparison, and the shard re-analyses honestly.
+  diag::Expected<LoadedTape> Loaded = loadStap(Paths[0]);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.status().message();
+  ASSERT_TRUE(Loaded.value().Meta.has_value());
+  AnalysisOptions SigRef = shardMetaOptions(*Loaded.value().Meta);
+  AnalysisOptions FpRef = SigRef;
+  FpRef.Backend = AnalysisBackend::FpError;
+  const uint64_t SigKey = shardCacheKey(Loaded.value(), SigRef);
+  const uint64_t FpKey = shardCacheKey(Loaded.value(), FpRef);
+  ASSERT_NE(SigKey, FpKey);
+  ShardResult SigHit;
+  ASSERT_TRUE(RC.lookup(SigKey, SigHit));
+  EXPECT_EQ(SigHit.Result.backend(), AnalysisBackend::Significance);
+  ASSERT_TRUE(RC.store(FpKey, SigHit));
+  StreamingMergeStats Recovered;
+  EXPECT_EQ(FpReport, streamJson(Paths, FpAudit, &Recovered));
+  EXPECT_EQ(Recovered.CacheAuditRejected, 1u);
+  EXPECT_EQ(Recovered.CacheHits, 0u);
+  EXPECT_EQ(Recovered.Analysed, 1u);
 }
 
 TEST_F(StreamingMergeTest, InvalidateRemovesTheEntryFile) {

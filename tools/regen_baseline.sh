@@ -1,0 +1,26 @@
+#!/bin/sh
+# Regenerates tools/lint_baseline.txt with every rule family enabled
+# (structural E, lint W, graph G, abstract-interpretation A, FP-error F)
+# so the committed baseline always covers the full scorpio_lint surface.
+# '# expected:' annotations whose count line still exists are preserved
+# by --write-baseline; stale ones are dropped.
+#
+# Usage: tools/regen_baseline.sh [path/to/scorpio_lint]
+# The binary defaults to build/tools/scorpio_lint relative to the repo
+# root.  CI prints this script's name whenever the baseline drifts.
+set -eu
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+LINT=${1:-"$ROOT/build/tools/scorpio_lint"}
+BASELINE="$ROOT/tools/lint_baseline.txt"
+
+if [ ! -x "$LINT" ]; then
+  echo "regen_baseline.sh: scorpio_lint binary not found at '$LINT'" >&2
+  echo "build it first (cmake --build build --target scorpio_lint)" \
+       "or pass the path as the first argument" >&2
+  exit 2
+fi
+
+"$LINT" --graph --absint --fperr --quiet --write-baseline "$BASELINE"
+echo "regenerated $BASELINE:"
+grep -c -v '^#' "$BASELINE" | sed 's/$/ count lines/'

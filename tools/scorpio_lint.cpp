@@ -35,6 +35,13 @@
 /// `--stap`, a tape's embedded SIG section is additionally audited
 /// against the static bounds.
 ///
+/// `--fperr` runs the CHEF-FP-style rounding-error analysis
+/// (SCORPIO-Fxxx): the dynamic FP-error sweep's per-node contributions
+/// are audited against independently re-derived static error bounds,
+/// and the mixed-precision lints flag tasks safe to demote to float,
+/// error-dominating nodes and outputs whose total error exceeds the
+/// tolerance.
+///
 /// Exit codes: 0 clean (and baseline matches), 1 baseline mismatch,
 /// 2 verifier errors (structural SCORPIO-Exxx or abstract-
 /// interpretation SCORPIO-Axxx), a round-trip failure, or a .stap file
@@ -50,6 +57,7 @@
 #include "tape/TapeIO.h"
 #include "verify/AbsInt.h"
 #include "verify/Baseline.h"
+#include "verify/FpError.h"
 #include "verify/GraphVerifier.h"
 #include "verify/Lint.h"
 #include "verify/Sarif.h"
@@ -78,6 +86,7 @@ struct Options {
   std::string DotDir;               ///< write <kernel>.dot with highlights
   bool Graph = false;               ///< run the SCORPIO-Gxxx graph audit
   bool AbsInt = false;              ///< run the SCORPIO-Axxx abstract audit
+  bool Fperr = false;               ///< run the SCORPIO-Fxxx FP-error audit
   bool Roundtrip = false;           ///< .stap serialize/load/re-analyse check
   bool List = false;
   bool Quiet = false;
@@ -112,6 +121,13 @@ int usage(std::ostream &OS, int Code) {
         "                           check the recorded tape, the dynamic\n"
         "                           sweep and (with --stap) the embedded\n"
         "                           SIG section against them\n"
+        "  --fperr                  CHEF-FP-style rounding-error audit\n"
+        "                           (SCORPIO-Fxxx): audit the dynamic\n"
+        "                           FP-error sweep against static error\n"
+        "                           bounds and emit the mixed-precision\n"
+        "                           lints (float-demotable tasks, error-\n"
+        "                           dominating nodes, total-error\n"
+        "                           tolerance)\n"
         "  --roundtrip              serialize each tape to .stap, reload\n"
         "                           through the verifying loader and\n"
         "                           demand a byte-identical re-analysis\n"
@@ -164,6 +180,8 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.Graph = true;
     } else if (Arg == "--absint") {
       Opts.AbsInt = true;
+    } else if (Arg == "--fperr") {
+      Opts.Fperr = true;
     } else if (Arg == "--roundtrip") {
       Opts.Roundtrip = true;
     } else if (Arg == "--list") {
@@ -227,6 +245,28 @@ bool roundtripKernel(Analysis &A, const AnalysisResult &Original,
   return true;
 }
 
+/// Runs the SCORPIO-Fxxx FP-error audit on \p A's tape: re-derives
+/// static per-node rounding-error bounds from the input enclosures,
+/// re-analyses under the FP-error backend, cross-checks the dynamic
+/// contributions against the bounds (F001/F003) and emits the
+/// mixed-precision lints (F005-F008).
+verify::VerifyReport fperrAudit(Analysis &A, const AnalysisOptions &AOpts) {
+  verify::FpErrorOptions FpOpts;
+  FpOpts.ErrorCap = AOpts.SignificanceCap;
+  verify::FpErrorResult Fp =
+      verify::fpErrorInterpret(A.tape(), A.outputNodes(), FpOpts);
+  AnalysisOptions FpAOpts = AOpts;
+  FpAOpts.Backend = AnalysisBackend::FpError;
+  const AnalysisResult RF = A.analyse(FpAOpts);
+  // A diverged analysis carries no trustworthy dynamic error
+  // contributions to compare against the bounds.
+  if (RF.isValid())
+    verify::checkDynamicFpError(Fp, RF.nodeSignificances(), FpOpts);
+  Fp.Report.merge(
+      verify::lintFpError(A.tape(), Fp, A.outputNodes(), A.labels(), FpOpts));
+  return std::move(Fp.Report);
+}
+
 /// Records the kernel on its default ranges and runs verifier + linter
 /// (plus the graph audit and .stap round-trip when requested).  The DOT
 /// export (which needs the live tape) happens here too.
@@ -251,7 +291,7 @@ KernelRun lintKernel(const KernelDescriptor &K, const Options &Opts) {
   }
 
   if (!Run.Report.hasErrors() &&
-      (Opts.Graph || Opts.Roundtrip || Opts.AbsInt)) {
+      (Opts.Graph || Opts.Roundtrip || Opts.AbsInt || Opts.Fperr)) {
     const AnalysisOptions AOpts; // defaults: CombinedSeed, S4+S5, Delta 1e-3
     const AnalysisResult R = A.analyse(AOpts);
     if (Opts.Graph && R.isValid()) {
@@ -275,6 +315,8 @@ KernelRun lintKernel(const KernelDescriptor &K, const Options &Opts) {
                                          AbsOpts);
       Run.Report.merge(Abs.Report);
     }
+    if (Opts.Fperr)
+      Run.Report.merge(fperrAudit(A, AOpts));
     if (Opts.Roundtrip)
       Run.RoundtripOk = roundtripKernel(A, R, AOpts, Run.RoundtripError);
   }
@@ -342,7 +384,8 @@ KernelRun lintStapFile(const std::string &Path, const Options &Opts,
   }
   // The graph and abstract audits need a valid analysis; a tape with no
   // outputs (an empty shard) has nothing to audit.
-  if (!Run.Report.hasErrors() && (Opts.Graph || Opts.AbsInt) &&
+  if (!Run.Report.hasErrors() &&
+      (Opts.Graph || Opts.AbsInt || Opts.Fperr) &&
       !A.outputNodes().empty()) {
     const AnalysisResult R = A.analyse(AOpts);
     if (Opts.Graph && R.isValid()) {
@@ -369,6 +412,11 @@ KernelRun lintStapFile(const std::string &Path, const Options &Opts,
             verify::auditStoredSignificance(Abs, StoredSig, AbsOpts));
       Run.Report.merge(Abs.Report);
     }
+    // The SIG section is not audited here: it stores Eq.-11
+    // significances (the recording side has no FP-error wire format),
+    // so only the freshly derived contributions are checked.
+    if (Opts.Fperr)
+      Run.Report.merge(fperrAudit(A, AOpts));
   }
 
   if (!Opts.DotDir.empty()) {
@@ -536,7 +584,7 @@ int main(int Argc, char **Argv) {
             "# finding is known and accepted (not a suppression: the count\n"
             "# line must still exist, and a stale annotation fails the\n"
             "# diff).\n"
-            "# Regenerate with: scorpio_lint --graph --absint "
+            "# Regenerate with: scorpio_lint --graph --absint --fperr "
             "--write-baseline <this file>\n";
       for (const verify::ExpectedFinding &E : Kept)
         OS << "# expected: " << E.RuleId << " " << E.Kernel << " " << E.Reason

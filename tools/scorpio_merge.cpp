@@ -70,6 +70,12 @@ int usage(std::ostream &OS, int Code) {
         "                           each hit's tape and reject cached\n"
         "                           reports that violate the static\n"
         "                           significance bounds (SCORPIO-A004)\n"
+        "                           or FP-error bounds (SCORPIO-F002)\n"
+        "  --fperr                  analyse every shard under the\n"
+        "                           FP-error backend: per-node rounding-\n"
+        "                           error contributions instead of\n"
+        "                           Eq.-11 significances (cached\n"
+        "                           separately from significance runs)\n"
         "  --help                   this text\n";
   return Code;
 }
@@ -165,6 +171,8 @@ int main(int Argc, char **Argv) {
       CacheBudgetBytes = static_cast<uint64_t>(MB) * 1024 * 1024;
     } else if (Arg == "--cache-audit") {
       Merge.CacheAudit = true;
+    } else if (Arg == "--fperr") {
+      Merge.Backend = AnalysisBackend::FpError;
     } else if (Arg == "--help" || Arg == "-h") {
       return usage(std::cout, 0);
     } else if (!Arg.empty() && Arg[0] == '-') {
