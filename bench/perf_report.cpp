@@ -15,10 +15,13 @@
 //   * simd_sweep_speedup: the same width-8 batched sweep with the Auto
 //     (SIMD) backend versus the forced scalar backend — the pure
 //     vectorization win, gated at >= 2.0 on SIMD-capable builds.
-//   * sharded_sobel_speedup: tile-sharded Sobel analysis on a 4-thread
-//     pool versus a single thread.  Recorded always; gated only when
-//     the host actually has more than one hardware thread (on a
-//     single-core box ~1.0 is the honest answer and not a regression).
+//   * sharded_speedup_t2 / sharded_speedup_t4: tile-sharded Sobel
+//     analysis on a 2-/4-thread work-stealing pool versus a single
+//     thread (sharded_sobel_speedup keeps the t4 ratio under its
+//     historical key).  Recorded always; the >1.0 gate needs more than
+//     one hardware thread, and the scaling gate (t4 >= 1.3) more than
+//     two (on a single-core box ~1.0 is the honest answer and not a
+//     regression).
 //
 //===----------------------------------------------------------------------===//
 
@@ -250,6 +253,12 @@ int main() {
     if (!R.Result.isValid())
       std::abort();
   });
+  Measurement Sharded2 = measure("sharded_sobel_2threads", NumPixels, [&] {
+    const apps::SobelTileSignificance R =
+        apps::analyseSobelTiles(In, 16, 8.0, /*NumThreads=*/2);
+    if (!R.Result.isValid())
+      std::abort();
+  });
   Measurement Sharded4 = measure("sharded_sobel_4threads", NumPixels, [&] {
     const apps::SobelTileSignificance R =
         apps::analyseSobelTiles(In, 16, 8.0, /*NumThreads=*/4);
@@ -257,7 +266,9 @@ int main() {
       std::abort();
   });
   Results.push_back(Sharded1);
+  Results.push_back(Sharded2);
   Results.push_back(Sharded4);
+  const double ShardSpeedupT2 = Sharded2.opsPerSec() / Sharded1.opsPerSec();
   const double ShardSpeedup = Sharded4.opsPerSec() / Sharded1.opsPerSec();
 
   // --- Stage 5: incremental shard re-verification overhead ---------
@@ -602,6 +613,8 @@ int main() {
                "backend, "
             << simd::NativeLanes << " native lanes): " << SimdSweepSpeedup
             << "x\n";
+  std::cout << "  sharded sobel speedup (2 vs 1 threads): "
+            << ShardSpeedupT2 << "x\n";
   std::cout << "  sharded sobel speedup (4 vs 1 threads): " << ShardSpeedup
             << "x on " << std::thread::hardware_concurrency()
             << " hardware thread(s)\n";
@@ -628,6 +641,11 @@ int main() {
   // with the gating decision labelled alongside them in the JSON.
   const bool SimdGate = simd::NativeLanes > 1;
   const bool ShardGate = std::thread::hardware_concurrency() > 1;
+  // The scaling gate proper: with more than two hardware threads the
+  // work-stealing driver must buy a real speedup at 4 workers, not
+  // just avoid a slowdown.  On one- and two-core boxes the ratio is
+  // still recorded and labelled, just not enforced.
+  const bool ShardScalingGate = std::thread::hardware_concurrency() > 2;
 
   bool Wrote = true;
   {
@@ -655,6 +673,9 @@ int main() {
     J.key("simd_sweep_gated").value(SimdGate);
     J.key("sharded_sobel_speedup").value(ShardSpeedup);
     J.key("sharded_sobel_gated").value(ShardGate);
+    J.key("sharded_speedup_t2").value(ShardSpeedupT2);
+    J.key("sharded_speedup_t4").value(ShardSpeedup);
+    J.key("sharded_t4_gated").value(ShardScalingGate);
     J.key("incremental_verify_overhead").value(VerifyOverhead);
     J.key("absint_overhead").value(AbsIntOverhead);
     J.key("fperr_overhead").value(FpErrOverhead);
@@ -686,6 +707,7 @@ int main() {
   const bool Ok = Wrote && Deterministic && BatchSpeedup > 1.0 &&
                   (!SimdGate || SimdSweepSpeedup >= 2.0) &&
                   (!ShardGate || ShardSpeedup > 1.0) &&
+                  (!ShardScalingGate || ShardSpeedup >= 1.3) &&
                   VerifyOverhead < 0.10 && AbsIntOverhead < 0.10 &&
                   FpErrOverhead < 0.10 &&
                   StapCompressionRatio < 1.0 && CacheHitSpeedup >= 1.0;

@@ -140,6 +140,12 @@ struct AnalysisOptions {
   /// Eq.-11 pipeline byte for byte; FpError reuses the same sweep
   /// machinery to accumulate CHEF-FP-style rounding-error bounds.
   AnalysisBackend Backend = AnalysisBackend::Significance;
+  /// Worker threads ParallelAnalysis::run() fans shards over when its
+  /// own NumThreads argument is 0 (0 here too = hardware concurrency).
+  /// Purely an execution knob: deliberately excluded from shard META,
+  /// cache keys and merge-side option matching, because the merged
+  /// report is byte-identical at every thread count.
+  unsigned NumThreads = 0;
 };
 
 /// Significance of one registered variable.

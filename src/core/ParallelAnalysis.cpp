@@ -219,6 +219,31 @@ bool auditCachedShard(const LoadedTape &Loaded,
 /// requests bypass the cache — cached entries carry no findings.
 /// With \p Audit set, a hit is served only after auditCachedShard
 /// blesses it; a rejected entry is invalidated and counts as a miss.
+/// Submits \p Job to \p Pool under \p Group, running it inline when the
+/// pool refuses (shutdown during process teardown): every result slot
+/// is published exactly once either way.  Callers must not hold locks
+/// the job itself acquires.
+void submitOrRun(rt::ThreadPool &Pool, rt::WaitGroup &Group,
+                 const std::function<void()> &Job) {
+  if (!Pool.submit(Job, &Group).isOk())
+    Job();
+}
+
+/// Resolves a caller-facing seed knob (0 = default) to a pool seed.
+uint64_t resolveStealSeed(uint64_t Seed) {
+  return Seed != 0 ? Seed : rt::ThreadPool::DefaultStealSeed;
+}
+
+/// Cost assumed for a shard that gave no tape-size hint: mid-sized, so
+/// unhinted shards neither explode a group nor get packed by the dozen.
+constexpr size_t DefaultShardCostNodes = 4096;
+/// Floor on the target group cost — below this, per-job scheduling
+/// overhead beats any balance the split could buy.
+constexpr size_t MinGroupCostNodes = 1024;
+/// Groups per worker the planner aims for: enough slack for the
+/// stealing scheduler to rebalance a skewed schedule.
+constexpr size_t GroupsPerWorker = 4;
+
 ShardResult analyseOrCacheShard(LoadedTape Loaded,
                                 const AnalysisOptions &Options,
                                 ShardVerification Verify, CacheMode Mode,
@@ -547,6 +572,44 @@ ParallelAnalysis::mergeShards(std::vector<ShardResult> Shards,
   return R;
 }
 
+std::vector<ParallelAnalysis::ShardGroup>
+ParallelAnalysis::planShardGroups(const std::vector<size_t> &CostHints,
+                                  unsigned NumWorkers) {
+  std::vector<ShardGroup> Plan;
+  if (CostHints.empty())
+    return Plan;
+  if (NumWorkers == 0)
+    NumWorkers = 1;
+  size_t Total = 0;
+  for (size_t C : CostHints)
+    Total += C != 0 ? C : DefaultShardCostNodes;
+  const size_t Target = std::max<size_t>(
+      MinGroupCostNodes,
+      Total / (static_cast<size_t>(NumWorkers) * GroupsPerWorker));
+  size_t Begin = 0;
+  size_t Acc = 0;
+  for (size_t I = 0; I != CostHints.size(); ++I) {
+    const size_t C = CostHints[I] != 0 ? CostHints[I] : DefaultShardCostNodes;
+    // An oversized shard must not drag neighbours behind it: close the
+    // accumulating group first, then let the big shard fill (or
+    // overflow) a group of its own.
+    if (I != Begin && Acc + C > Target) {
+      Plan.push_back({Begin, I});
+      Begin = I;
+      Acc = 0;
+    }
+    Acc += C;
+    if (Acc >= Target) {
+      Plan.push_back({Begin, I + 1});
+      Begin = I + 1;
+      Acc = 0;
+    }
+  }
+  if (Begin != CostHints.size())
+    Plan.push_back({Begin, CostHints.size()});
+  return Plan;
+}
+
 ParallelAnalysisResult ParallelAnalysis::run(const AnalysisOptions &Options,
                                              unsigned NumThreads,
                                              ShardVerification Verify,
@@ -556,13 +619,29 @@ ParallelAnalysisResult ParallelAnalysis::run(const AnalysisOptions &Options,
   // Stap transport: stage 1 leaves one serialized blob (or file path)
   // per shard; stage 2 reloads each through the readStap trust boundary.
   std::vector<std::string> Blobs(Stap ? Shards.size() : 0);
-  // One byte per shard (vector<bool> would pack bits and race).
-  std::vector<unsigned char> Failed(Stap ? Shards.size() : 0, 0);
 
-  {
-    rt::ThreadPool Pool(NumThreads);
-    for (size_t I = 0; I != Shards.size(); ++I) {
-      Pool.submit([&, I] {
+  // One warm process-wide pool per (thread count, seed): repeated run()
+  // calls stopped paying thread spawn/join per call, which alone was
+  // enough to put the old sharded Sobel behind serial analysis.
+  const unsigned Threads = NumThreads != 0 ? NumThreads : Options.NumThreads;
+  rt::ThreadPool &Pool =
+      rt::ThreadPool::shared(Threads, resolveStealSeed(StealSeed));
+  rt::WaitGroup Group;
+
+  // Cost-model the schedule: contiguous shards are grouped into jobs
+  // sized from their tape hints, so a thousand tiny shards become a
+  // handful of jobs while one huge shard stays alone on its worker.
+  std::vector<size_t> Costs;
+  Costs.reserve(Shards.size());
+  for (const Shard &S : Shards)
+    Costs.push_back(S.TapeSizeHint);
+  const std::vector<ShardGroup> Plan =
+      planShardGroups(Costs, Pool.numThreads());
+
+  for (const ShardGroup &G : Plan) {
+    submitOrRun(Pool, Group, [this, G, &Options, Verify, &Transport,
+                              &Results, &Blobs, &Pool, &Group, Stap] {
+      for (size_t I = G.Begin; I != G.End; ++I) {
         // Tapes and the current-Analysis pointer are thread-local, so
         // each worker records in complete isolation; the shard's index
         // in the result vector is fixed at registration, making the
@@ -577,7 +656,7 @@ ParallelAnalysisResult ParallelAnalysis::run(const AnalysisOptions &Options,
         Slot.Index = I;
         if (!Stap) {
           analyseWorker(A, Slot, Options, Verify);
-          return;
+          continue;
         }
         const TapeMeta Meta = makeShardMeta(S.Name, I, Options);
         StapWriteOptions WOpts;
@@ -593,19 +672,20 @@ ParallelAnalysisResult ParallelAnalysis::run(const AnalysisOptions &Options,
                         &Meta);
         }
         if (!St.isOk()) {
+          // Poisoned slot: a failed serialize still publishes its fixed
+          // result slot (as an invalid result carrying the transport
+          // divergence) and simply never spawns a reload, so the
+          // pipelined merge below cannot stall on it.
           transportFailure(Slot, St);
-          Failed[I] = 1;
-        }
-      });
-    }
-    Pool.waitIdle();
-
-    if (Stap) {
-      for (size_t I = 0; I != Shards.size(); ++I) {
-        if (Failed[I])
           continue;
-        Pool.submit([&, I] {
-          ShardResult &Slot = Results[I];
+        }
+        // Pipelined stage 2: the reload + re-analyse of this shard is
+        // submitted the moment its blob exists — it overlaps with the
+        // recording of the remaining shards instead of waiting behind a
+        // global barrier between the two waves.
+        submitOrRun(Pool, Group, [&Options, Verify, &Transport, &Results,
+                                  &Blobs, I] {
+          ShardResult &Slot2 = Results[I];
           diag::Expected<LoadedTape> Loaded =
               Transport.Directory.empty()
                   ? [&] {
@@ -614,7 +694,7 @@ ParallelAnalysisResult ParallelAnalysis::run(const AnalysisOptions &Options,
                     }()
                   : loadStap(Blobs[I]);
           if (!Loaded.hasValue()) {
-            transportFailure(Slot, Loaded.status());
+            transportFailure(Slot2, Loaded.status());
             return;
           }
           ShardResult Re = analyseOrCacheShard(
@@ -623,13 +703,13 @@ ParallelAnalysisResult ParallelAnalysis::run(const AnalysisOptions &Options,
               /*Stats=*/nullptr);
           // Name/Index stay as registered; the tape's META must agree
           // (it was stamped from the same registration one stage ago).
-          Slot.Result = std::move(Re.Result);
-          Slot.Verification = std::move(Re.Verification);
+          Slot2.Result = std::move(Re.Result);
+          Slot2.Verification = std::move(Re.Verification);
         });
       }
-      Pool.waitIdle();
-    }
+    });
   }
+  Group.wait();
 
   return mergeShards(std::move(Results), Verify != ShardVerification::Off);
 }
@@ -768,115 +848,220 @@ ParallelAnalysis::mergeStapStreaming(const std::vector<std::string> &Paths,
                                "streaming merge: no shard paths");
 
   const size_t Window = std::max(1u, Options.PrefetchWindow);
-  // Prefetch slots: Slots[I % Window] holds the load of Paths[I] once a
-  // worker finishes it.  The pacing below never submits path I + Window
-  // before path I was consumed, so a slot is always free when its load
-  // is submitted and at most Window tapes exist at once (the one being
-  // analysed plus Window - 1 prefetched).
+  // Pipelined prefetch slots: Slots[I % Window] carries Paths[I] through
+  // its lifecycle.  The pacing below never submits path I + Window
+  // before path I was consumed, so a slot is always Empty when its load
+  // is submitted and at most Window tapes exist at once.
+  //
+  //   Empty --load--> Loaded              (reference options unknown yet)
+  //   Empty --load+analyse--> Done        (reference known: the worker
+  //                                        analyses the shard itself)
+  //   Loaded --claim--> Claimed --> Done  (consumer found the reference;
+  //                                        parked slots go back to
+  //                                        workers for analysis)
+  //   any failure --> Done, Error set     (poisoned slot: a failed shard
+  //                                        still publishes, so the
+  //                                        consumer never deadlocks on a
+  //                                        slot that will never fill)
+  enum class SlotState : uint8_t { Empty, Loaded, Claimed, Done };
   struct Slot {
-    std::optional<diag::Expected<LoadedTape>> Loaded;
+    SlotState State = SlotState::Empty;
+    std::optional<LoadedTape> Tape;    // valid in Loaded
+    std::optional<ShardResult> Result; // valid in Done when not poisoned
+    diag::Status Error = diag::Status::ok();
   };
   std::vector<Slot> Slots(Window);
   std::mutex Mutex;
   std::condition_variable SlotReady;
-  size_t InFlight = 0;       // loaded tapes not yet consumed
-  size_t NextToSubmit = 0;   // next Paths index to hand to the pool
+  size_t InFlightTapes = 0; // loaded tapes not yet analysed/released
+  size_t NextToSubmit = 0;  // next Paths index to hand to the pool
+  // Batch option semantics: every shard analyses under the options of
+  // the first shard (in Paths order) that carries them.  The consumer
+  // establishes the reference; workers read it under Mutex.
+  AnalysisOptions Reference;
+  bool HaveReference = false;
 
-  // Declared after the state its jobs reference: on any early return the
-  // pool destructor drains every submitted load before ~Slots runs.
-  const unsigned PoolThreads =
-      Options.NumThreads != 0
-          ? Options.NumThreads
-          : static_cast<unsigned>(std::min<size_t>(
-                Window,
-                std::max(1u, std::thread::hardware_concurrency())));
-  rt::ThreadPool Pool(PoolThreads);
+  rt::ThreadPool &Pool = rt::ThreadPool::shared(
+      Options.NumThreads, resolveStealSeed(Options.StealSeed));
+  rt::WaitGroup Group;
+  // Declared after every local the jobs capture: any return path —
+  // including a poisoned-slot error mid-loop — drains the outstanding
+  // load/analyse jobs before that state goes out of scope.
+  struct DrainOnExit {
+    rt::WaitGroup &G;
+    ~DrainOnExit() { G.wait(); }
+  } Drain{Group};
 
+  const auto MismatchError = [&](const std::string &Path) {
+    return diag::Status::error(
+        diag::ErrC::InvalidArgument,
+        "shard '" + Path +
+            "' was recorded under different analysis options than '" +
+            Stats->ReferencePath + "'");
+  };
+
+  // Merge-side analysis shared by workers, the consumer and the
+  // deferred tail.  The backend is a merge-side choice layered on top
+  // of the recorded options: .stap META pins how the tape was recorded
+  // (mode, metric, widths...), not which question the merge asks of it.
+  // Cache counters accumulate into a local and fold under Mutex, since
+  // several workers analyse concurrently.
+  const auto AnalyseTape = [&](LoadedTape Tape,
+                               AnalysisOptions AO) -> ShardResult {
+    AO.Backend = Options.Backend;
+    StreamingMergeStats Local;
+    ShardResult SR = analyseOrCacheShard(std::move(Tape), AO, Options.Verify,
+                                         Options.Cache, Options.ResultCache,
+                                         Options.CacheAudit, &Local);
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stats->CacheHits += Local.CacheHits;
+    Stats->CacheMisses += Local.CacheMisses;
+    Stats->Analysed += Local.Analysed;
+    Stats->CacheAuditRejected += Local.CacheAuditRejected;
+    return SR;
+  };
+
+  // Must be called with no lock held (jobs acquire Mutex, and the
+  // inline fallback runs the job on this thread).
   const auto SubmitUpTo = [&](size_t Limit) {
     Limit = std::min(Limit, Paths.size());
     for (; NextToSubmit != Limit; ++NextToSubmit) {
       const size_t I = NextToSubmit;
-      Pool.submit([&, I] {
+      submitOrRun(Pool, Group, [&, I] {
         diag::Expected<LoadedTape> Loaded = loadStap(Paths[I]);
-        std::lock_guard<std::mutex> Lock(Mutex);
-        if (Loaded.hasValue()) {
-          ++InFlight;
-          Stats->MaxTapesInFlight =
-              std::max(Stats->MaxTapesInFlight, InFlight);
+        std::unique_lock<std::mutex> Lock(Mutex);
+        Slot &S = Slots[I % Window];
+        if (!Loaded.hasValue()) {
+          S.Error = diag::Status::error(Loaded.status().code(),
+                                        "shard '" + Paths[I] + "': " +
+                                            Loaded.status().message());
+          S.State = SlotState::Done;
+          SlotReady.notify_all();
+          return;
         }
-        Slots[I % Window].Loaded.emplace(std::move(Loaded));
+        ++InFlightTapes;
+        Stats->MaxTapesInFlight =
+            std::max(Stats->MaxTapesInFlight, InFlightTapes);
+        LoadedTape Tape = std::move(Loaded.value());
+        if (!HaveReference) {
+          // The reference can only be established by the consumer, in
+          // Paths order; park the tape for it (or for the claim sweep).
+          S.Tape.emplace(std::move(Tape));
+          S.State = SlotState::Loaded;
+          SlotReady.notify_all();
+          return;
+        }
+        if (Tape.Meta && Tape.Meta->HasOptions &&
+            !shardMetaMatches(*Tape.Meta, Reference)) {
+          --InFlightTapes;
+          S.Error = MismatchError(Paths[I]);
+          S.State = SlotState::Done;
+          SlotReady.notify_all();
+          return;
+        }
+        // Reference known: analyse right here on the worker, overlapped
+        // with the consumer's in-order fold.
+        S.State = SlotState::Claimed;
+        const AnalysisOptions AO = Reference;
+        Lock.unlock();
+        ShardResult SR = AnalyseTape(std::move(Tape), AO);
+        Lock.lock();
+        --InFlightTapes;
+        S.Result.emplace(std::move(SR));
+        S.State = SlotState::Done;
         SlotReady.notify_all();
       });
     }
   };
 
-  // Takes Paths[I]'s load out of its slot, blocking until the prefetch
-  // worker delivers it.
-  const auto TakeSlot = [&](size_t I) {
-    std::unique_lock<std::mutex> Lock(Mutex);
-    Slot &S = Slots[I % Window];
-    SlotReady.wait(Lock, [&] { return S.Loaded.has_value(); });
-    diag::Expected<LoadedTape> Loaded = std::move(*S.Loaded);
-    S.Loaded.reset();
-    return Loaded;
-  };
-  const auto ReleaseOne = [&] {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    --InFlight;
-  };
-
-  // Batch option semantics: every shard analyses under the options of
-  // the first shard (in Paths order) that carries them.  META-less
-  // shards seen before that reference exists cannot be analysed yet —
-  // their tapes are released (the window must not grow) and the paths
-  // reloaded serially once the reference is known.
-  AnalysisOptions Reference;
-  bool HaveReference = false;
   std::vector<std::pair<size_t, std::string>> Deferred; // (ordinal, path)
   std::vector<std::pair<size_t, ShardResult>> Results;  // (ordinal, result)
 
-  const auto Analyse = [&](LoadedTape Loaded, size_t Ordinal) {
-    // The backend is a merge-side choice layered on top of the recorded
-    // options: .stap META pins how the tape was recorded (mode, metric,
-    // widths...), not which question the merge asks of it.
-    AnalysisOptions AO = HaveReference ? Reference : AnalysisOptions();
-    AO.Backend = Options.Backend;
-    ShardResult SR = analyseOrCacheShard(
-        std::move(Loaded), AO, Options.Verify, Options.Cache,
-        Options.ResultCache, Options.CacheAudit, Stats);
-    Results.emplace_back(Ordinal, std::move(SR));
-    ++Stats->ShardsMerged;
-  };
-
   for (size_t I = 0; I != Paths.size(); ++I) {
     SubmitUpTo(I + Window);
-    diag::Expected<LoadedTape> Loaded = TakeSlot(I);
-    if (!Loaded.hasValue())
-      return diag::Status::error(Loaded.status().code(),
-                                 "shard '" + Paths[I] +
-                                     "': " + Loaded.status().message());
-    LoadedTape Tape = std::move(Loaded.value());
-    if (Tape.Meta && Tape.Meta->HasOptions) {
-      if (!HaveReference) {
-        Reference = shardMetaOptions(*Tape.Meta);
-        HaveReference = true;
-        Stats->ReferencePath = Paths[I];
-      } else if (!shardMetaMatches(*Tape.Meta, Reference)) {
-        return diag::Status::error(
-            diag::ErrC::InvalidArgument,
-            "shard '" + Paths[I] +
-                "' was recorded under different analysis options than '" +
-                Stats->ReferencePath + "'");
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Slot &S = Slots[I % Window];
+    SlotReady.wait(Lock, [&] {
+      return S.State == SlotState::Done || S.State == SlotState::Loaded;
+    });
+    if (S.State == SlotState::Done) {
+      if (!S.Error.isOk()) {
+        // First poisoned slot in path order rejects the merge exactly
+        // as the serial loop did; DrainOnExit waits out the stragglers.
+        diag::Status E = std::move(S.Error);
+        return E;
       }
-    } else if (!HaveReference) {
+      Results.emplace_back(I, std::move(*S.Result));
+      ++Stats->ShardsMerged;
+      S.Result.reset();
+      S.Error = diag::Status::ok();
+      S.State = SlotState::Empty;
+      continue;
+    }
+    // Loaded is only observable pre-reference: once the reference
+    // exists, workers publish Done directly and the claim sweep below
+    // converts every parked slot before the consumer can reach it.
+    LoadedTape Tape = std::move(*S.Tape);
+    S.Tape.reset();
+    S.State = SlotState::Empty;
+    if (!(Tape.Meta && Tape.Meta->HasOptions)) {
       // No options yet: release the tape now so the merge never holds
       // more than the window, and reload this path in the tail phase.
       Deferred.emplace_back(I, Paths[I]);
-      ReleaseOne();
+      --InFlightTapes;
       continue;
     }
-    Analyse(std::move(Tape), I);
-    ReleaseOne();
+    // First options-carrying shard in Paths order: the reference.
+    Reference = shardMetaOptions(*Tape.Meta);
+    HaveReference = true;
+    Stats->ReferencePath = Paths[I];
+    // Claim sweep: slots parked Loaded behind this one can now be
+    // analysed by workers.  A mismatch is poisoned in place — the
+    // consumer will surface it when it reaches that ordinal, matching
+    // the serial loop's first-in-path-order error.
+    std::vector<size_t> Claimed;
+    for (size_t J = I + 1; J < NextToSubmit; ++J) {
+      Slot &SJ = Slots[J % Window];
+      if (SJ.State != SlotState::Loaded)
+        continue;
+      if (SJ.Tape->Meta && SJ.Tape->Meta->HasOptions &&
+          !shardMetaMatches(*SJ.Tape->Meta, Reference)) {
+        SJ.Tape.reset();
+        --InFlightTapes;
+        SJ.Error = MismatchError(Paths[J]);
+        SJ.State = SlotState::Done;
+        continue;
+      }
+      SJ.State = SlotState::Claimed;
+      Claimed.push_back(J);
+    }
+    const AnalysisOptions AO = Reference;
+    Lock.unlock();
+    for (size_t J : Claimed) {
+      submitOrRun(Pool, Group, [&, J] {
+        std::unique_lock<std::mutex> JobLock(Mutex);
+        Slot &SJ = Slots[J % Window];
+        LoadedTape T = std::move(*SJ.Tape);
+        SJ.Tape.reset();
+        const AnalysisOptions JobAO = Reference;
+        JobLock.unlock();
+        ShardResult SR = AnalyseTape(std::move(T), JobAO);
+        JobLock.lock();
+        --InFlightTapes;
+        SJ.Result.emplace(std::move(SR));
+        SJ.State = SlotState::Done;
+        SlotReady.notify_all();
+      });
+    }
+    // The reference shard itself analyses on the consumer thread — the
+    // workers are already busy with the claimed backlog.
+    ShardResult SR = AnalyseTape(std::move(Tape), AO);
+    {
+      std::lock_guard<std::mutex> Lock2(Mutex);
+      --InFlightTapes;
+      ++Stats->ShardsMerged;
+    }
+    Results.emplace_back(I, std::move(SR));
   }
 
   // Tail phase: deferred META-less shards, analysed serially under the
@@ -889,7 +1074,15 @@ ParallelAnalysis::mergeStapStreaming(const std::vector<std::string> &Paths,
                                  "shard '" + Path +
                                      "': " + Loaded.status().message());
     ++Stats->DeferredReloads;
-    Analyse(std::move(Loaded.value()), Ordinal);
+    AnalysisOptions AO;
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (HaveReference)
+        AO = Reference;
+    }
+    ShardResult SR = AnalyseTape(std::move(Loaded.value()), AO);
+    Results.emplace_back(Ordinal, std::move(SR));
+    ++Stats->ShardsMerged;
   }
 
   // mergeShards stable-sorts by shard Index; reproducing the batch

@@ -235,9 +235,16 @@ struct StreamingMergeOptions {
   /// being analysed; values < 1 behave as 1.  This — not the shard
   /// count — bounds the merge's memory.
   unsigned PrefetchWindow = 4;
-  /// Worker threads prefetching shard loads (0 = min(PrefetchWindow,
-  /// hardware concurrency)).
+  /// Worker threads loading *and analysing* shards (0 = hardware
+  /// concurrency).  Once the reference options are known, workers run
+  /// the per-shard analysis themselves — the merge consumer only folds
+  /// finished results in path order — so the thread count is not capped
+  /// by the prefetch window.
   unsigned NumThreads = 0;
+  /// Victim-selection seed of the shared work-stealing pool (0 = the
+  /// pool default).  Any seed produces a byte-identical merged report;
+  /// the determinism suite varies it to prove that.
+  uint64_t StealSeed = 0;
   /// Result cache, as in TransportOptions.
   CacheMode Cache = CacheMode::Off;
   ShardResultCache *ResultCache = nullptr;
@@ -302,8 +309,36 @@ public:
 
   size_t numShards() const { return Shards.size(); }
 
+  /// Victim-selection seed forwarded to the shared work-stealing pool
+  /// (0 = the pool default).  Execution-order only: the merged report
+  /// is byte-identical for every seed.
+  void setStealSeed(uint64_t Seed) { StealSeed = Seed; }
+
+  /// One contiguous range of shard indices [Begin, End) scheduled as a
+  /// single pool job by the shard-size cost model.
+  struct ShardGroup {
+    size_t Begin = 0;
+    size_t End = 0;
+  };
+
+  /// The shard-size cost model: groups contiguous shards into pool
+  /// jobs sized from their tape-size hints (a hint of 0 is costed at a
+  /// default mid-sized tape).  Tiny shards are coalesced until a group
+  /// reaches the target grain — total cost divided by several tasks
+  /// per worker, so the stealing scheduler has slack to balance — and
+  /// a single oversized shard is isolated in its own group rather than
+  /// dragging neighbours behind it.  Pure function of the hints and
+  /// the worker count: scheduling granularity can never perturb the
+  /// merged report.  Groups partition [0, CostHints.size()) in order.
+  static std::vector<ShardGroup>
+  planShardGroups(const std::vector<size_t> &CostHints,
+                  unsigned NumWorkers);
+
   /// Records and analyses every shard on \p NumThreads pool workers
-  /// (0 = hardware concurrency), then merges deterministically.
+  /// (0 = AnalysisOptions::NumThreads, itself 0 = hardware
+  /// concurrency), then merges deterministically.  Repeated calls
+  /// reuse one process-wide pool (ThreadPool::shared) — no per-call
+  /// thread churn.
   /// \p Verify selects per-shard re-verification: each worker audits its
   /// own sub-tape/sub-graph right after analysing it, and the merge
   /// combines the per-shard reports (messages prefixed with the shard
@@ -335,9 +370,14 @@ public:
 
   /// Bounded-memory streaming merge of on-disk shard tapes: each path
   /// is loaded through the loadStap trust boundary (a small prefetch
-  /// window ahead, over rt::ThreadPool), META-checked as it arrives,
-  /// analysed (or served from the result cache) and released before the
-  /// next shard is consumed.  The merged report is byte-identical to
+  /// window ahead, over the shared work-stealing pool), META-checked as
+  /// it arrives, analysed (or served from the result cache) *on the
+  /// worker* once the reference options are known — analysis overlaps
+  /// the in-order fold instead of serializing behind it — and released
+  /// before the next shard is consumed.  A shard that fails mid-
+  /// pipeline still publishes its slot (poisoned, carrying the error),
+  /// so the consumer always makes progress and reports the first bad
+  /// shard in path order.  The merged report is byte-identical to
   /// loading every tape and calling analyseShardTape + mergeShards,
   /// including the batch semantics for shards without META options:
   /// every shard analyses under the options of the first shard (in
@@ -372,6 +412,7 @@ private:
     size_t TapeSizeHint = 0;
   };
   std::vector<Shard> Shards;
+  uint64_t StealSeed = 0;
 
   /// Shared worker tail: analyse (or produce a valid-but-empty result
   /// for a shard with no registered outputs) and optionally re-verify.

@@ -11,6 +11,17 @@
 
 using namespace scorpio::rt;
 
+namespace {
+
+/// A released task must execute exactly once: when the pool refuses the
+/// job (shutdown mid-teardown), run it inline on the releasing thread.
+void submitOrRun(ThreadPool &Pool, const std::function<void()> &Fn) {
+  if (!Pool.submit(Fn).isOk())
+    Fn();
+}
+
+} // namespace
+
 TaskRuntime::TaskRuntime(unsigned NumThreads) : Pool(NumThreads) {}
 
 TaskRuntime::~TaskRuntime() {
@@ -155,11 +166,11 @@ TaskStats TaskRuntime::runBatch(std::vector<PendingTask> Batch,
     switch (Fates[I]) {
     case TaskFate::Accurate:
       ++Stats.NumAccurate;
-      Pool.submit(std::move(Batch[I].AccurateFn));
+      submitOrRun(Pool, Batch[I].AccurateFn);
       break;
     case TaskFate::Approximate:
       ++Stats.NumApproximate;
-      Pool.submit(std::move(Batch[I].ApproxFn));
+      submitOrRun(Pool, Batch[I].ApproxFn);
       break;
     case TaskFate::Dropped:
       ++Stats.NumDropped;

@@ -1,4 +1,4 @@
-//===- runtime/ThreadPool.h - Fixed-size worker pool ----------------------===//
+//===- runtime/ThreadPool.h - Work-stealing worker pool -------------------===//
 //
 // Part of the scorpio project: reproduction of "Towards Automatic
 // Significance Analysis for Approximate Computing" (CGO 2016).
@@ -6,18 +6,40 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A minimal fixed-size thread pool with batch-wait support, used by the
-/// significance-aware task runtime to execute task batches released at a
-/// taskwait barrier.
+/// A work-stealing thread pool shared by the significance-aware task
+/// runtime and the sharded analysis driver.
+///
+/// Scheduling: every worker owns a deque (lock-per-deque).  submit()
+/// places a job on the caller's own deque when the caller is a pool
+/// worker (so pipelined continuations stay cache-hot) and round-robins
+/// across deques otherwise.  A worker pops its own deque LIFO; when it
+/// runs dry it steals FIFO from a victim chosen by a per-worker
+/// xorshift64 generator, so load balance does not depend on submission
+/// order.  The steal seed is a constructor knob: determinism tests vary
+/// it to prove results are schedule-independent.
+///
+/// Completion: waitIdle() blocks until the whole pool is idle; a
+/// WaitGroup scopes completion to one batch, so several drivers can
+/// share one pool (ThreadPool::shared) without each other's jobs
+/// extending their waits.
+///
+/// Shutdown: submit() after shutdown() began is a structured Status
+/// error (SCORPIO_CHECK), never a silently dropped job; already-queued
+/// jobs drain before the workers join.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SCORPIO_RUNTIME_THREADPOOL_H
 #define SCORPIO_RUNTIME_THREADPOOL_H
 
+#include "support/Diag.h"
+
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -25,35 +47,105 @@
 namespace scorpio {
 namespace rt {
 
+/// Completion latch for one batch of pool jobs: submit(Job, &Group)
+/// increments it, the pool decrements it after the job ran, wait()
+/// blocks until the count is zero.  A job may itself submit follow-up
+/// jobs into the same group (the increment happens before the parent's
+/// decrement, so the count never dips to zero early).
+class WaitGroup {
+public:
+  /// Adds \p N pending completions.
+  void add(size_t N = 1);
+  /// Signals one completion.
+  void done();
+  /// Blocks until every add() has been matched by a done().
+  void wait();
+
+private:
+  std::mutex Mutex;
+  std::condition_variable Cv;
+  size_t Count = 0;
+};
+
 /// Fixed worker pool; jobs are void() callables.
 class ThreadPool {
 public:
+  /// Default victim-selection seed (the 64-bit golden ratio, a standard
+  /// full-period xorshift starting point).
+  static constexpr uint64_t DefaultStealSeed = 0x9E3779B97F4A7C15ULL;
+
   /// \p NumThreads == 0 selects std::thread::hardware_concurrency().
-  explicit ThreadPool(unsigned NumThreads = 0);
+  /// \p StealSeed perturbs every worker's victim-selection sequence;
+  /// any value yields the same results (the merge is execution-order
+  /// independent), which the determinism suite exercises.
+  explicit ThreadPool(unsigned NumThreads = 0,
+                      uint64_t StealSeed = DefaultStealSeed);
   ~ThreadPool();
   ThreadPool(const ThreadPool &) = delete;
   ThreadPool &operator=(const ThreadPool &) = delete;
 
-  /// Enqueues one job.
-  void submit(std::function<void()> Job);
+  /// Enqueues one job, optionally accounted against \p Group.  Fails
+  /// with ErrC::InvalidState once shutdown() has begun — the job is NOT
+  /// queued and \p Group is NOT incremented; callers that must make
+  /// progress run the job inline on failure.
+  [[nodiscard]] diag::Status submit(std::function<void()> Job,
+                                    WaitGroup *Group = nullptr);
 
-  /// Blocks until every submitted job has finished.
+  /// Blocks until every submitted job has finished (pool-wide; prefer a
+  /// WaitGroup when other callers share this pool).
   void waitIdle();
 
+  /// Drains already-queued jobs and joins the workers.  Idempotent;
+  /// called by the destructor.  Not safe to race against submit() from
+  /// another thread except for submit's documented error return.
+  void shutdown();
+
   unsigned numThreads() const {
-    return static_cast<unsigned>(Workers.size());
+    return static_cast<unsigned>(Threads.size());
   }
 
-private:
-  void workerLoop();
+  /// Process-wide pool registry, keyed by (resolved thread count,
+  /// steal seed): repeated ParallelAnalysis::run() / streaming-merge
+  /// calls reuse one warm pool instead of re-spawning threads per call
+  /// (thread churn was a measured reason sharded analysis lost to
+  /// serial).  Pools live until process exit and are joined during
+  /// static destruction.
+  static ThreadPool &shared(unsigned NumThreads = 0,
+                            uint64_t StealSeed = DefaultStealSeed);
 
-  std::vector<std::thread> Workers;
-  std::deque<std::function<void()>> Queue;
-  std::mutex Mutex;
+private:
+  struct Job {
+    std::function<void()> Fn;
+    WaitGroup *Group = nullptr;
+  };
+
+  /// One worker's scheduling state.  Deque access is lock-per-deque:
+  /// the owner pushes/pops the back, thieves pop the front, and the
+  /// only global lock (SleepMutex) is touched when queues run dry.
+  struct Worker {
+    std::mutex Mutex;
+    std::deque<Job> Deque;
+    uint64_t Rng = 0; // xorshift64 victim-selection state
+  };
+
+  void workerLoop(size_t Self);
+  bool takeJob(size_t Self, Job &Out);
+  void runJob(Job &J);
+
+  std::vector<std::unique_ptr<Worker>> Lanes;
+  std::vector<std::thread> Threads;
+  std::atomic<size_t> NextLane{0};
+  /// Queued-but-untaken jobs; the sleep predicate.  Mutated under
+  /// SleepMutex on the submit side so sleeping workers cannot miss it.
+  std::atomic<size_t> PendingJobs{0};
+  /// Submitted-but-unfinished jobs; the waitIdle predicate.
+  std::atomic<size_t> InFlight{0};
+  std::mutex SleepMutex;
   std::condition_variable WorkAvailable;
   std::condition_variable AllDone;
-  size_t InFlight = 0;
-  bool ShuttingDown = false;
+  bool ShuttingDown = false; // guarded by SleepMutex
+  bool Joined = false;       // guarded by JoinMutex
+  std::mutex JoinMutex;
 };
 
 } // namespace rt

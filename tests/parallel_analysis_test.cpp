@@ -6,6 +6,7 @@
 #include "apps/sobel/Sobel.h"
 #include "core/Macros.h"
 #include "quality/Image.h"
+#include "support/Diag.h"
 
 #include <gtest/gtest.h>
 
@@ -341,6 +342,155 @@ TEST(ShardVerificationMode, VerifiedRunsStayDeterministic) {
   };
   const std::string One = JsonWith(1);
   EXPECT_EQ(JsonWith(3), One);
+}
+
+//===--------------------------------------------------------------------===//
+// Shard-size cost model
+//===--------------------------------------------------------------------===//
+
+using ShardGroup = ParallelAnalysis::ShardGroup;
+
+/// Groups must partition [0, N) contiguously and in order.
+void expectPartition(const std::vector<ShardGroup> &Plan, size_t N) {
+  size_t At = 0;
+  for (const ShardGroup &G : Plan) {
+    EXPECT_EQ(G.Begin, At);
+    EXPECT_LT(G.Begin, G.End);
+    At = G.End;
+  }
+  EXPECT_EQ(At, N);
+}
+
+TEST(ShardPlanner, EmptyAndSingle) {
+  EXPECT_TRUE(ParallelAnalysis::planShardGroups({}, 4).empty());
+  const auto Plan = ParallelAnalysis::planShardGroups({100}, 4);
+  expectPartition(Plan, 1);
+  EXPECT_EQ(Plan.size(), 1u);
+}
+
+TEST(ShardPlanner, CoalescesTinyShards) {
+  // 1000 tiny shards must not become 1000 pool jobs.
+  const std::vector<size_t> Costs(1000, 16);
+  const auto Plan = ParallelAnalysis::planShardGroups(Costs, 4);
+  expectPartition(Plan, Costs.size());
+  EXPECT_LT(Plan.size(), 100u);
+  EXPECT_GE(Plan.size(), 4u); // still enough groups to keep 4 workers fed
+}
+
+TEST(ShardPlanner, IsolatesOversizedShard) {
+  // One huge shard among small ones gets a group of its own instead of
+  // dragging neighbours behind it.
+  std::vector<size_t> Costs(64, 512);
+  Costs[20] = 1u << 20;
+  const auto Plan = ParallelAnalysis::planShardGroups(Costs, 4);
+  expectPartition(Plan, Costs.size());
+  bool FoundAlone = false;
+  for (const ShardGroup &G : Plan)
+    if (G.Begin == 20) {
+      EXPECT_EQ(G.End, 21u);
+      FoundAlone = true;
+    }
+  EXPECT_TRUE(FoundAlone);
+}
+
+TEST(ShardPlanner, MoreWorkersMeansFinerGroups) {
+  const std::vector<size_t> Costs(256, 2048);
+  const auto One = ParallelAnalysis::planShardGroups(Costs, 1);
+  const auto Eight = ParallelAnalysis::planShardGroups(Costs, 8);
+  expectPartition(One, Costs.size());
+  expectPartition(Eight, Costs.size());
+  EXPECT_LT(One.size(), Eight.size());
+}
+
+TEST(ShardPlanner, UnhintedShardsGetDefaultCost) {
+  // All-zero hints behave like mid-sized shards: grouped, not one giant
+  // group and not one group per shard.
+  const std::vector<size_t> Costs(64, 0);
+  const auto Plan = ParallelAnalysis::planShardGroups(Costs, 4);
+  expectPartition(Plan, Costs.size());
+  EXPECT_GT(Plan.size(), 1u);
+  EXPECT_LT(Plan.size(), 64u);
+}
+
+//===--------------------------------------------------------------------===//
+// Concurrency knobs and determinism
+//===--------------------------------------------------------------------===//
+
+TEST(ParallelAnalysis, OptionsNumThreadsAndStealSeedDoNotChangeOutput) {
+  const auto RunWith = [](unsigned OptThreads, uint64_t Seed) {
+    ParallelAnalysis P;
+    P.setStealSeed(Seed);
+    // Many tiny shards: exercises the coalescing planner under
+    // contention, where a scheduling-dependent merge would show.
+    for (int I = 0; I != 64; ++I)
+      P.addShard("s" + std::to_string(I),
+                 [I] { recordAffine(1.0 + I % 7, 0.25 * I); },
+                 /*TapeSizeHint=*/8);
+    AnalysisOptions Opts;
+    Opts.NumThreads = OptThreads;
+    std::ostringstream OS;
+    P.run(Opts).writeJson(OS);
+    return OS.str();
+  };
+  const std::string Ref = RunWith(1, 0);
+  EXPECT_EQ(Ref, RunWith(4, 0));
+  EXPECT_EQ(Ref, RunWith(4, 99));
+  EXPECT_EQ(Ref, RunWith(2, 0xABCDEF));
+}
+
+//===--------------------------------------------------------------------===//
+// Poisoned-slot protocol (fault injection)
+//===--------------------------------------------------------------------===//
+
+TEST(ShardTransportFault, FailedSerializePoisonsOneShardNotTheRun) {
+  // The armed writeStap check fails exactly one shard's serialize
+  // (which shard is schedule-dependent even at one thread — the worker
+  // races the submitting loop).  The pipelined run must publish that
+  // shard's slot as a transport failure and complete the rest.
+  ParallelAnalysis P;
+  for (int I = 0; I != 4; ++I)
+    P.addShard("s" + std::to_string(I),
+               [I] { recordAffine(2.0, 1.0 * I); });
+  TransportOptions Stap;
+  Stap.Mode = ShardTransport::Stap;
+  diag::DiagTestHook::arm("writeStap: output stream write failed", 1);
+  const ParallelAnalysisResult R =
+      P.run({}, /*NumThreads=*/1, ShardVerification::Off, Stap);
+  diag::DiagTestHook::disarm();
+  EXPECT_FALSE(R.isValid());
+  ASSERT_EQ(R.shards().size(), 4u);
+  ASSERT_EQ(R.divergences().size(), 1u);
+  EXPECT_NE(R.divergences()[0].find(": transport: "), std::string::npos)
+      << R.divergences()[0];
+  // The three surviving shards carry real reports.
+  size_t Healthy = 0;
+  for (const ShardResult &S : R.shards())
+    if (S.Result.outputSignificance() > 0.0)
+      ++Healthy;
+  EXPECT_EQ(Healthy, 3u);
+}
+
+TEST(ShardTransportFault, FailedSerializeUnderThreadsStillTerminates) {
+  // Under a threaded schedule any one shard may hit the armed site; the
+  // run must terminate (no stalled pipeline stage) with exactly one
+  // poisoned shard.
+  ParallelAnalysis P;
+  for (int I = 0; I != 12; ++I)
+    P.addShard("s" + std::to_string(I),
+               [I] { recordAffine(1.5, 0.5 * I); });
+  TransportOptions Stap;
+  Stap.Mode = ShardTransport::Stap;
+  diag::DiagTestHook::arm("writeStap: output stream write failed", 1);
+  const ParallelAnalysisResult R =
+      P.run({}, /*NumThreads=*/4, ShardVerification::Off, Stap);
+  diag::DiagTestHook::disarm();
+  EXPECT_FALSE(R.isValid());
+  ASSERT_EQ(R.shards().size(), 12u);
+  size_t Poisoned = 0;
+  for (const std::string &D : R.divergences())
+    if (D.find("transport: ") != std::string::npos)
+      ++Poisoned;
+  EXPECT_EQ(Poisoned, 1u);
 }
 
 TEST(ShardVerificationMode, SobelTilesForwardTheKnob) {

@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <limits>
 #include <numeric>
+#include <thread>
 
 using namespace scorpio;
 using namespace scorpio::rt;
@@ -243,6 +245,132 @@ TEST(ThreadPool, WaitIdleOnFreshPool) {
 TEST(ThreadPool, DefaultsToHardwareConcurrency) {
   ThreadPool Pool(0);
   EXPECT_GE(Pool.numThreads(), 1u);
+}
+
+// Regression (the silent-drop bug): submit after shutdown must be a
+// structured Status error, never a job that vanishes or races the
+// joining workers.
+TEST(ThreadPool, SubmitAfterShutdownIsStatusError) {
+  ThreadPool Pool(2);
+  std::atomic<int> Ran{0};
+  ASSERT_TRUE(Pool.submit([&] { ++Ran; }).isOk());
+  Pool.waitIdle();
+  Pool.shutdown();
+  const size_t DiagsBefore = diag::DiagSink::global().count();
+  const diag::Status S = Pool.submit([&] { ++Ran; });
+  EXPECT_FALSE(S.isOk());
+  EXPECT_EQ(S.code(), diag::ErrC::InvalidState);
+  EXPECT_EQ(diag::DiagSink::global().count(), DiagsBefore + 1);
+  EXPECT_EQ(Ran.load(), 1);
+  Pool.shutdown(); // idempotent
+}
+
+// Jobs queued before shutdown() must drain, not drop.
+TEST(ThreadPool, ShutdownDrainsQueuedJobs) {
+  std::atomic<int> Ran{0};
+  {
+    ThreadPool Pool(2);
+    for (int I = 0; I != 64; ++I)
+      ASSERT_TRUE(Pool.submit([&] { ++Ran; }).isOk());
+  } // destructor == shutdown
+  EXPECT_EQ(Ran.load(), 64);
+}
+
+TEST(ThreadPool, WaitGroupScopesOneBatch) {
+  ThreadPool Pool(4);
+  WaitGroup Mine;
+  std::atomic<int> MineRan{0};
+  std::atomic<bool> OtherDone{false};
+  // A foreign long-running job on the same pool must not extend
+  // Mine.wait() the way pool-wide waitIdle would.
+  ASSERT_TRUE(Pool
+                  .submit([&] {
+                    while (!OtherDone.load())
+                      std::this_thread::yield();
+                  })
+                  .isOk());
+  for (int I = 0; I != 16; ++I)
+    ASSERT_TRUE(Pool.submit([&] { ++MineRan; }, &Mine).isOk());
+  Mine.wait();
+  EXPECT_EQ(MineRan.load(), 16);
+  OtherDone = true;
+  Pool.waitIdle();
+}
+
+// A job may submit follow-up work into its own group (the pipelined
+// record -> reload pattern); the group must not release early.
+TEST(ThreadPool, NestedSubmitExtendsGroup) {
+  ThreadPool Pool(4);
+  WaitGroup Group;
+  std::atomic<int> Stage2{0};
+  for (int I = 0; I != 8; ++I) {
+    ASSERT_TRUE(Pool
+                    .submit(
+                        [&] {
+                          const diag::Status S =
+                              Pool.submit([&] { ++Stage2; }, &Group);
+                          if (!S.isOk())
+                            ++Stage2;
+                        },
+                        &Group)
+                    .isOk());
+  }
+  Group.wait();
+  EXPECT_EQ(Stage2.load(), 8);
+}
+
+// Stealing smoke: one deliberately skewed schedule (a long job then a
+// burst of short ones) completes everything at every seed.
+TEST(ThreadPool, WorkStealingCompletesSkewedLoad) {
+  for (const uint64_t Seed :
+       {ThreadPool::DefaultStealSeed, uint64_t(1), uint64_t(0xDEADBEEF)}) {
+    ThreadPool Pool(4, Seed);
+    WaitGroup Group;
+    std::atomic<int> Ran{0};
+    ASSERT_TRUE(Pool
+                    .submit(
+                        [&] {
+                          std::this_thread::sleep_for(
+                              std::chrono::milliseconds(5));
+                          ++Ran;
+                        },
+                        &Group)
+                    .isOk());
+    for (int I = 0; I != 500; ++I)
+      ASSERT_TRUE(Pool.submit([&] { ++Ran; }, &Group).isOk());
+    Group.wait();
+    EXPECT_EQ(Ran.load(), 501) << "seed " << Seed;
+  }
+}
+
+TEST(ThreadPool, SharedRegistryReusesPools) {
+  ThreadPool &A = ThreadPool::shared(2);
+  ThreadPool &B = ThreadPool::shared(2);
+  EXPECT_EQ(&A, &B);
+  // Distinct thread counts and seeds are distinct pools.
+  EXPECT_NE(&A, &ThreadPool::shared(3));
+  EXPECT_NE(&A, &ThreadPool::shared(2, 12345));
+  // The auto count resolves before keying: 0 and the explicit value
+  // share one pool.
+  unsigned HW = std::thread::hardware_concurrency();
+  if (HW == 0)
+    HW = 1;
+  EXPECT_EQ(&ThreadPool::shared(0), &ThreadPool::shared(HW));
+  std::atomic<int> Ran{0};
+  WaitGroup Group;
+  for (int I = 0; I != 32; ++I)
+    ASSERT_TRUE(A.submit([&] { ++Ran; }, &Group).isOk());
+  Group.wait();
+  EXPECT_EQ(Ran.load(), 32);
+}
+
+TEST(WaitGroup, WaitOnEmptyGroupReturnsImmediately) {
+  WaitGroup Group;
+  Group.wait();
+  Group.add(2);
+  Group.done();
+  Group.done();
+  Group.wait();
 }
 
 TEST(TaskStats, Addition) {

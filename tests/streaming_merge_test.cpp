@@ -186,6 +186,33 @@ TEST_F(StreamingMergeTest, LoadFailureRejectsWholeMerge) {
       << R.status().message();
 }
 
+TEST_F(StreamingMergeTest, MidStreamLoadFailureDoesNotStallThePipeline) {
+  // A shard in the middle of the path order is corrupted while slots
+  // behind it are already loading/analysing on workers.  The poisoned
+  // slot must publish (never leave the consumer waiting on a slot that
+  // will never fill), the error must name the bad shard, and the drain
+  // guard must retire every outstanding worker job before return.
+  TempDir Dir("scorpio_stream_poison");
+  recordRegistryShards(Dir.Path);
+  std::vector<std::string> Paths = listStapShards(Dir.Path).valueOr({});
+  ASSERT_GT(Paths.size(), 4u);
+  const std::string Victim = Paths[Paths.size() / 2];
+  {
+    std::ofstream OS(Victim, std::ios::binary | std::ios::trunc);
+    OS << "STAPtruncated-mid-stream";
+  }
+  for (const unsigned Threads : {1u, 4u}) {
+    StreamingMergeOptions Options;
+    Options.NumThreads = Threads;
+    Options.PrefetchWindow = 6;
+    diag::Expected<ParallelAnalysisResult> R =
+        ParallelAnalysis::mergeStapStreaming(Paths, Options);
+    ASSERT_FALSE(R.hasValue());
+    EXPECT_NE(R.status().message().find(Victim), std::string::npos)
+        << R.status().message();
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // META reference semantics (the scorpio_merge Paths[0] regression)
 //===----------------------------------------------------------------------===//

@@ -57,8 +57,8 @@ int usage(std::ostream &OS, int Code) {
         "                           is the only merge mode\n"
         "  --window <n>             max simultaneously loaded tapes\n"
         "                           (default 4)\n"
-        "  --threads <n>            prefetch worker threads (default:\n"
-        "                           min(window, cores))\n"
+        "  --threads <n>            analysis/prefetch worker threads;\n"
+        "                           0 or omitted = all cores\n"
         "  --cache <dir>            content-addressed result cache\n"
         "                           directory (created if missing)\n"
         "  --cache-mode <rw|ro>     rw serves and stores (default),\n"
@@ -138,7 +138,13 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--threads") {
       if (!(V = Value()))
         return usage(std::cerr, 2);
-      if (!(Merge.NumThreads = parseCount(V))) {
+      // "--threads 0" is the documented auto value (hardware
+      // concurrency), consistent with AnalysisOptions::NumThreads and
+      // StreamingMergeOptions::NumThreads; parseCount cannot express it
+      // because 0 is its failure value.
+      if (std::string_view(V) == "0") {
+        Merge.NumThreads = 0;
+      } else if (!(Merge.NumThreads = parseCount(V))) {
         std::cerr << "scorpio_merge: bad --threads value '" << V << "'\n";
         return usage(std::cerr, 2);
       }
